@@ -1,0 +1,57 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.baselines import BASELINE_REGISTRY, make_baseline
+from repro.core.config import ByteBrainConfig
+from repro.datasets.synthetic import LogDataset
+from repro.evaluation.runner import BaselineRunner, ByteBrainRunner, EvaluationRun
+
+__all__ = [
+    "SYNTAX_BASELINES",
+    "LEARNING_BASELINES",
+    "ALL_BASELINES",
+    "run_bytebrain",
+    "run_baseline",
+    "maybe_sample",
+]
+
+#: Baselines grouped the way the paper's related-work section groups them.
+SYNTAX_BASELINES: List[str] = [
+    "AEL", "Drain", "IPLoM", "LenMa", "LFA", "LogCluster", "LogMine", "Logram",
+    "LogSig", "MoLFI", "SHISO", "SLCT", "Spell",
+]
+LEARNING_BASELINES: List[str] = ["UniParser", "LogPPT", "LILAC"]
+ALL_BASELINES: List[str] = SYNTAX_BASELINES + LEARNING_BASELINES
+
+
+def maybe_sample(dataset: LogDataset, max_lines: Optional[int]) -> LogDataset:
+    """Return a prefix of the dataset when it exceeds ``max_lines``."""
+    if max_lines is None or dataset.n_logs <= max_lines:
+        return dataset
+    return dataset.prefix(max_lines)
+
+
+def run_bytebrain(
+    dataset: LogDataset,
+    config: Optional[ByteBrainConfig] = None,
+    name: str = "ByteBrain",
+    query_threshold: float = 0.6,
+) -> EvaluationRun:
+    """Run ByteBrain (or a variant) on a corpus and return the measurements."""
+    runner = ByteBrainRunner(config=config, name=name, query_threshold=query_threshold)
+    return runner.run(dataset)
+
+
+def run_baseline(
+    baseline_name: str,
+    dataset: LogDataset,
+    max_lines: Optional[int] = None,
+) -> EvaluationRun:
+    """Run one baseline (optionally on a bounded sample of the corpus)."""
+    if baseline_name not in BASELINE_REGISTRY:
+        raise KeyError(f"unknown baseline {baseline_name!r}")
+    runner = BaselineRunner(lambda: make_baseline(baseline_name), name=baseline_name)
+    return runner.run(maybe_sample(dataset, max_lines))

@@ -1,0 +1,62 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  The measured
+workload runs under ``pytest-benchmark`` (so ``--benchmark-only`` collects
+them all), and the reproduced rows/series are written to
+``benchmarks/output/<experiment>.txt`` as well as echoed to stdout, so the
+numbers survive the run and can be compared against the paper (see
+EXPERIMENTS.md).
+
+Scale note: the paper's LogHub-2.0 corpora run to tens of millions of lines;
+the synthetic corpora here are scaled down (see ``repro.datasets.registry``)
+and the slowest baselines additionally parse a bounded sample
+(``BASELINE_SAMPLE_LINES``) so the whole suite finishes on a laptop.  The
+per-log throughput of every method is unaffected by the sampling.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.datasets.registry import generate_dataset
+from repro.datasets.synthetic import LogDataset
+
+#: Upper bound on the number of lines handed to baseline parsers in the
+#: large-scale benches (ByteBrain always parses the full corpus).
+BASELINE_SAMPLE_LINES = 12_000
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a reproduced table/figure and echo it."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+class DatasetCache:
+    """Session-wide cache so each corpus is generated at most once."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[tuple, LogDataset] = {}
+
+    def get(self, name: str, variant: str = "loghub", **kwargs) -> LogDataset:
+        key = (name, variant, tuple(sorted(kwargs.items())))
+        if key not in self._cache:
+            self._cache[key] = generate_dataset(name, variant=variant, **kwargs)
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def datasets() -> DatasetCache:
+    return DatasetCache()
+
+
+@pytest.fixture(scope="session")
+def report():
+    return write_report

@@ -1,0 +1,69 @@
+"""Fig. 4 — log duplication before and after common-variable replacement.
+
+The paper motivates deduplication by showing the CDF of per-record occurrence
+counts across LogHub-2.0 datasets, with duplication increasing sharply after
+variable replacement.  Reproduced as duplication statistics (unique fraction
+and occurrence-count percentiles) with and without masking for the same four
+systems the paper plots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dedup import deduplicate
+from repro.core.masking import VariableMasker
+from repro.core.tokenizer import Tokenizer
+from repro.evaluation.reporting import banner, format_table
+
+FIG4_DATASETS = ["Linux", "Thunderbird", "Spark", "Apache"]
+
+
+def _duplication_stats(lines, with_replacement):
+    tokenizer = Tokenizer()
+    if with_replacement:
+        masker = VariableMasker()
+        lines = masker.mask_many(lines)
+    token_lists = tokenizer.tokenize_many(lines)
+    counts = np.asarray(deduplicate(token_lists).counts, dtype=float)
+    return {
+        "unique_fraction": len(counts) / max(len(lines), 1),
+        "p50_count": float(np.percentile(counts, 50)),
+        "p90_count": float(np.percentile(counts, 90)),
+        "max_count": float(counts.max()),
+    }
+
+
+def _collect(datasets):
+    rows = []
+    for name in FIG4_DATASETS:
+        corpus = datasets.get(name, "loghub2")
+        without = _duplication_stats(corpus.lines, with_replacement=False)
+        with_mask = _duplication_stats(corpus.lines, with_replacement=True)
+        rows.append(
+            {
+                "dataset": name,
+                "n_logs": corpus.n_logs,
+                "unique_frac_raw": round(without["unique_fraction"], 4),
+                "unique_frac_masked": round(with_mask["unique_fraction"], 4),
+                "p90_count_raw": without["p90_count"],
+                "p90_count_masked": with_mask["p90_count"],
+                "max_count_raw": without["max_count"],
+                "max_count_masked": with_mask["max_count"],
+            }
+        )
+    return rows
+
+
+def test_fig04_duplication_cdf(benchmark, datasets, report):
+    rows = benchmark.pedantic(_collect, args=(datasets,), rounds=1, iterations=1)
+    text = banner("Fig. 4 — duplication with and without variable replacement") + "\n"
+    text += format_table(rows)
+    report("fig04_duplication_cdf", text)
+
+    for row in rows:
+        # Replacement can only merge records, so duplication increases.
+        assert row["unique_frac_masked"] <= row["unique_frac_raw"] + 1e-9
+        assert row["max_count_masked"] >= row["max_count_raw"]
+        # Logs are heavily duplicated to begin with (the paper's premise).
+        assert row["unique_frac_raw"] < 0.8

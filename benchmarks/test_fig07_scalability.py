@@ -1,0 +1,54 @@
+"""Fig. 7 — running time scales (near-)linearly with the number of logs.
+
+Reproduced by running ByteBrain's full train-plus-match pipeline on growing
+prefixes of two large corpora and checking that the time-per-log does not
+grow with corpus size (linear scaling implies a flat per-log cost).
+"""
+
+from __future__ import annotations
+
+from repro.core.parser import ByteBrainParser
+from repro.evaluation.reporting import banner, format_table
+
+PREFIX_SIZES = [5_000, 10_000, 20_000, 40_000]
+FIG7_DATASETS = ["Spark", "Thunderbird"]
+
+
+def _run(datasets):
+    rows = []
+    for name in FIG7_DATASETS:
+        corpus = datasets.get(name, "loghub2")
+        for size in PREFIX_SIZES:
+            if size > corpus.n_logs:
+                continue
+            subset = corpus.prefix(size)
+            parser = ByteBrainParser()
+            result = parser.parse_corpus(subset.lines)
+            rows.append(
+                {
+                    "dataset": name,
+                    "n_logs": size,
+                    "seconds": round(result.total_seconds, 3),
+                    "logs_per_second": round(result.throughput),
+                    "microseconds_per_log": round(1e6 * result.total_seconds / size, 1),
+                }
+            )
+    return rows
+
+
+def test_fig07_running_time_scales_linearly(benchmark, datasets, report):
+    rows = benchmark.pedantic(_run, args=(datasets,), rounds=1, iterations=1)
+    text = banner("Fig. 7 — running time vs number of logs (ByteBrain)") + "\n"
+    text += format_table(rows)
+    report("fig07_scalability", text)
+
+    for name in FIG7_DATASETS:
+        series = [row for row in rows if row["dataset"] == name]
+        if len(series) < 2:
+            continue
+        first, last = series[0], series[-1]
+        size_ratio = last["n_logs"] / first["n_logs"]
+        time_ratio = last["seconds"] / max(first["seconds"], 1e-9)
+        # Near-linear: total time grows no faster than ~1.8x the size growth
+        # (sub-linear is fine and expected thanks to deduplication).
+        assert time_ratio <= 1.8 * size_ratio, (name, time_ratio, size_ratio)

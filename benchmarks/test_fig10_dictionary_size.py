@@ -1,0 +1,56 @@
+"""Fig. 10 — ordinal-encoding dictionary size vs corpus size.
+
+Hash encoding stores no token dictionary at all; ordinal encoding must
+persist a token→id mapping whose size grows with the vocabulary.  Reproduced
+by training the ordinal-encoding variant on growing prefixes of two large
+corpora and reporting the dictionary size next to the (zero) hash-encoding
+cost.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ByteBrainConfig
+from repro.core.trainer import OfflineTrainer
+from repro.evaluation.reporting import banner, format_table
+
+FIG10_DATASETS = ["Thunderbird", "Spark", "Mac"]
+PREFIX_SIZES = [4_000, 8_000, 16_000]
+
+
+def _run(datasets):
+    rows = []
+    for name in FIG10_DATASETS:
+        corpus = datasets.get(name, "loghub2")
+        for size in PREFIX_SIZES:
+            if size > corpus.n_logs:
+                continue
+            subset = corpus.prefix(size)
+            ordinal = OfflineTrainer(ByteBrainConfig(encoding="ordinal")).train(subset.lines)
+            hashed = OfflineTrainer(ByteBrainConfig(encoding="hash")).train(subset.lines)
+            rows.append(
+                {
+                    "dataset": name,
+                    "n_logs": size,
+                    "raw_bytes": subset.size_bytes,
+                    "ordinal_dictionary_bytes": ordinal.model.dictionary_bytes,
+                    "hash_dictionary_bytes": hashed.model.dictionary_bytes,
+                }
+            )
+    return rows
+
+
+def test_fig10_dictionary_size(benchmark, datasets, report):
+    rows = benchmark.pedantic(_run, args=(datasets,), rounds=1, iterations=1)
+    text = banner("Fig. 10 — dictionary storage: ordinal vs hash encoding") + "\n"
+    text += format_table(rows)
+    report("fig10_dictionary_size", text)
+
+    # Hash encoding never stores a dictionary; ordinal always does, and the
+    # dictionary grows with corpus size within each dataset.
+    for row in rows:
+        assert row["hash_dictionary_bytes"] == 0
+        assert row["ordinal_dictionary_bytes"] > 0
+    for name in FIG10_DATASETS:
+        series = [row for row in rows if row["dataset"] == name]
+        if len(series) >= 2:
+            assert series[-1]["ordinal_dictionary_bytes"] >= series[0]["ordinal_dictionary_bytes"]

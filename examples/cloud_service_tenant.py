@@ -1,0 +1,87 @@
+"""Cloud-service scenario: multi-topic ingestion, scheduled training, the
+precision slider, template libraries and failure-scenario matching.
+
+This mirrors how a tenant of the paper's Torch Log Service experiences the
+system: they create a log topic, ship logs continuously, and get parsing,
+grouping, alerting and anomaly analytics out of the box.
+
+Run with:  python examples/cloud_service_tenant.py
+"""
+
+from __future__ import annotations
+
+from repro import LogParsingService
+from repro.datasets.production import generate_production_topic
+from repro.service.analytics import FailureScenario
+from repro.service.scheduler import SchedulerPolicy
+
+
+def main() -> None:
+    service = LogParsingService(
+        scheduler_policy=SchedulerPolicy(
+            volume_threshold=5_000, time_interval_seconds=300.0, initial_volume_threshold=500
+        )
+    )
+    service.create_topic("api-gateway")
+    service.create_topic("search-backend")
+
+    # --- continuous ingestion -------------------------------------------- #
+    api_logs = generate_production_topic("go_http_api", n_logs=8_000)
+    search_logs = generate_production_topic("go_search", n_logs=6_000)
+    now = 0.0
+    for line in api_logs.lines:
+        service.ingest("api-gateway", line, now=now)
+        now += 0.01
+    for line in search_logs.lines:
+        service.ingest("search-backend", line, now=now)
+        now += 0.01
+
+    for topic in service.topic_names():
+        stats = service.topic_stats(topic)
+        print(
+            f"[{topic}] records={stats['n_records']:.0f} templates={stats['n_templates']:.0f} "
+            f"model={stats['model_size_bytes'] / 1024:.1f} KiB "
+            f"training_rounds={stats['training_rounds']:.0f}"
+        )
+
+    # --- the precision slider -------------------------------------------- #
+    print("\napi-gateway templates at two precision levels:")
+    for threshold in (0.3, 0.9):
+        groups = service.query_templates("api-gateway", threshold=threshold)
+        print(f"  threshold {threshold}: {len(groups)} groups; most frequent:")
+        for group in groups[:3]:
+            print(f"    {group.count:6d}  {group.display_text}")
+
+    # --- template library + alerting counts ------------------------------ #
+    groups = service.query_templates("api-gateway", threshold=0.6)
+    slow_requests = next((g for g in groups if "slow_request" in g.display_text), groups[0])
+    service.save_template_to_library("api-gateway", "slow-requests", slow_requests.template_ids[0])
+    print("\ntemplate library counts:", service.library_counts("api-gateway"))
+
+    # --- known-failure scenario matching ---------------------------------- #
+    service.failure_library.add(
+        FailureScenario(
+            name="upstream-degradation",
+            description="upstream timeouts visible at the gateway",
+            # Signature templates use the parser's tokenized template text
+            # ("key=value" pairs are split on "=").
+            signature_templates=["level error msg upstream_timeout upstream <*> path <*> attempt <*>"],
+            min_coverage=1.0,
+        )
+    )
+    matches = service.match_failure_scenarios("api-gateway", window=(0.0, now))
+    for match in matches:
+        print(f"\nfailure scenario matched: {match.scenario.name} (coverage {match.coverage:.0%})")
+
+    # --- anomaly detection across time windows ---------------------------- #
+    midpoint = now / 2
+    anomalies = service.detect_anomalies(
+        "api-gateway", baseline_window=(0.0, midpoint), current_window=(midpoint, now)
+    )
+    print(f"\n{len(anomalies)} template anomalies between the two halves of the stream")
+    for anomaly in anomalies[:5]:
+        print("  ", anomaly)
+
+
+if __name__ == "__main__":
+    main()

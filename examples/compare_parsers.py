@@ -1,0 +1,39 @@
+"""Compare ByteBrain against the baseline parsers on a benchmark corpus.
+
+A miniature version of the paper's Tables 2/3 and Fig. 2: pick a dataset,
+run every parser on it, and print grouping accuracy and throughput.
+
+Run with:  python examples/compare_parsers.py [dataset] [variant]
+           e.g. python examples/compare_parsers.py BGL loghub2
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import generate_dataset
+from repro.baselines import BASELINE_REGISTRY, make_baseline
+from repro.evaluation.reporting import format_table
+from repro.evaluation.runner import BaselineRunner, ByteBrainRunner
+
+
+def main() -> None:
+    dataset_name = sys.argv[1] if len(sys.argv) > 1 else "HDFS"
+    variant = sys.argv[2] if len(sys.argv) > 2 else "loghub"
+    dataset = generate_dataset(dataset_name, variant=variant)
+    print(f"dataset: {dataset_name} ({variant}), {dataset.n_logs} lines, {dataset.n_templates} templates\n")
+
+    rows = []
+    run = ByteBrainRunner().run(dataset)
+    rows.append(run.as_row())
+    for name in sorted(BASELINE_REGISTRY):
+        runner = BaselineRunner(lambda n=name: make_baseline(n), name=name)
+        rows.append(runner.run(dataset).as_row())
+
+    rows.sort(key=lambda row: -row["GA"])
+    columns = ["parser", "GA", "FGA", "PA", "throughput", "seconds"]
+    print(format_table(rows, columns))
+
+
+if __name__ == "__main__":
+    main()

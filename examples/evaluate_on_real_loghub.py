@@ -1,0 +1,47 @@
+"""Evaluate ByteBrain on the *real* LogHub benchmark (when available locally).
+
+The repository's benchmarks run on synthetic corpora so they work offline.
+If you have a checkout of https://github.com/logpai/loghub (or LogHub-2.0),
+point this script at it and the same evaluation pipeline runs on the genuine
+labelled data.
+
+Run with:  python examples/evaluate_on_real_loghub.py /path/to/loghub [dataset ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.datasets.loghub import find_loghub_dataset, load_structured_csv
+from repro.datasets.registry import DATASET_NAMES
+from repro.evaluation.reporting import format_table
+from repro.evaluation.runner import ByteBrainRunner
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        print("No LogHub path given — falling back to the synthetic HDFS corpus.\n")
+        from repro.datasets.registry import generate_dataset
+
+        corpora = [generate_dataset("HDFS", variant="loghub")]
+    else:
+        root = sys.argv[1]
+        names = sys.argv[2:] or DATASET_NAMES
+        corpora = []
+        for name in names:
+            path = find_loghub_dataset(root, name)
+            if path is None:
+                print(f"  (skipping {name}: no structured CSV found under {root})")
+                continue
+            corpora.append(load_structured_csv(path, name=name))
+
+    rows = []
+    for corpus in corpora:
+        run = ByteBrainRunner().run(corpus)
+        rows.append(run.as_row())
+    print(format_table(rows, ["parser", "dataset", "n_logs", "GA", "FGA", "throughput", "seconds"]))
+
+
+if __name__ == "__main__":
+    main()

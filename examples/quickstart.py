@@ -1,0 +1,50 @@
+"""Quickstart: train ByteBrain on a log corpus, match new logs, adjust precision.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ByteBrainConfig, ByteBrainParser, generate_dataset
+
+
+def main() -> None:
+    # 1. Get a corpus.  Here we use the synthetic HDFS benchmark corpus; in a
+    #    real deployment these would be the raw lines of one log topic.
+    dataset = generate_dataset("HDFS", variant="loghub")
+    print(f"corpus: {dataset.name}, {dataset.n_logs} lines, {dataset.n_templates} true templates")
+    print("sample line:", dataset.lines[0])
+
+    # 2. Train the parser (the offline phase of the paper: preprocessing,
+    #    deduplication, initial grouping, hierarchical clustering).
+    parser = ByteBrainParser(ByteBrainConfig())
+    training = parser.train(dataset.lines)
+    print(
+        f"\ntrained in {training.duration_seconds:.2f}s: "
+        f"{len(parser.model)} templates from {training.n_unique} unique records "
+        f"({training.n_groups} initial groups)"
+    )
+
+    # 3. Match new incoming logs (the online phase).
+    new_logs = [
+        "Received block blk_6549992 of size 67108864 from /10.251.43.21",
+        "PacketResponder 2 for block blk_6549992 terminating",
+        "Verification succeeded for blk_6549992",
+    ]
+    for line in new_logs:
+        result = parser.match(line)
+        print(f"\nlog     : {line}")
+        print(f"template: {result.template_text}  (saturation {result.saturation:.2f})")
+
+    # 4. Query-time precision adjustment: the same parsed corpus grouped at
+    #    three different saturation thresholds, without any re-parsing.
+    corpus_result = parser.match_many(dataset.lines)
+    for threshold in (0.3, 0.6, 0.9):
+        groups = parser.group_results(corpus_result, threshold)
+        print(f"\nthreshold {threshold}: {len(groups)} template groups; top 3:")
+        for group in groups[:3]:
+            print(f"  {group.count:5d}  {group.display_text}")
+
+
+if __name__ == "__main__":
+    main()

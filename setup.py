@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so the package can be installed in environments without the ``wheel``
+package (offline/dev containers) via ``pip install -e . --no-use-pep517`` or
+``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

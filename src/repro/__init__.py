@@ -1,0 +1,39 @@
+"""Reproduction of *Adaptive and Efficient Log Parsing as a Cloud Service*.
+
+This package re-implements ByteBrain-LogParser (SIGMOD-Companion 2025) from
+scratch, together with the cloud log-service substrate it is deployed in, the
+baseline parsers it is evaluated against, LogHub-style benchmark datasets, and
+the evaluation harness that regenerates every table and figure of the paper.
+
+The most common entry points are re-exported here:
+
+``ByteBrainParser``
+    The core adaptive log parser (offline training + online matching +
+    query-time precision adjustment).
+``ByteBrainConfig``
+    Configuration / ablation switches for the parser.
+``LogParsingService``
+    In-process simulation of the cloud log service (topics, ingestion,
+    scheduled training, precision-slider queries, analytics).
+``generate_dataset`` / ``list_datasets``
+    Synthetic LogHub-style benchmark corpora with ground-truth templates.
+"""
+
+from repro.core.config import ByteBrainConfig
+from repro.core.parser import ByteBrainParser, ParseResult
+from repro.core.model import ParserModel, Template
+from repro.datasets.registry import generate_dataset, list_datasets
+from repro.service.service import LogParsingService
+
+__all__ = [
+    "ByteBrainParser",
+    "ByteBrainConfig",
+    "ParseResult",
+    "ParserModel",
+    "Template",
+    "LogParsingService",
+    "generate_dataset",
+    "list_datasets",
+]
+
+__version__ = "1.0.0"

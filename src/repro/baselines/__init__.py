@@ -1,0 +1,60 @@
+"""Baseline log parsers the paper compares against (§5.1.2).
+
+Every syntax-based baseline is re-implemented from its original publication
+behind one tiny interface (:class:`repro.baselines.base.BaselineParser`):
+``parse(lines)`` returns one group id per line, which is all the Grouping
+Accuracy metric needs.  The deep-learning and LLM baselines (UniParser,
+LogPPT, LILAC) are behavioural proxies — see :mod:`repro.baselines.semantic`
+and DESIGN.md for the substitution rationale.
+"""
+
+from repro.baselines.base import BaselineParser
+from repro.baselines.ael import AELParser
+from repro.baselines.drain import DrainParser
+from repro.baselines.iplom import IPLoMParser
+from repro.baselines.lenma import LenMaParser
+from repro.baselines.lfa import LFAParser
+from repro.baselines.logcluster import LogClusterParser
+from repro.baselines.logmine import LogMineParser
+from repro.baselines.logram import LogramParser
+from repro.baselines.logsig import LogSigParser
+from repro.baselines.molfi import MoLFIParser
+from repro.baselines.shiso import SHISOParser
+from repro.baselines.slct import SLCTParser
+from repro.baselines.spell import SpellParser
+from repro.baselines.semantic import LILACProxy, LogPPTProxy, UniParserProxy
+
+#: All baseline classes keyed by the names used in the paper's tables.
+BASELINE_REGISTRY = {
+    "AEL": AELParser,
+    "Drain": DrainParser,
+    "IPLoM": IPLoMParser,
+    "LenMa": LenMaParser,
+    "LFA": LFAParser,
+    "LogCluster": LogClusterParser,
+    "LogMine": LogMineParser,
+    "Logram": LogramParser,
+    "LogSig": LogSigParser,
+    "MoLFI": MoLFIParser,
+    "SHISO": SHISOParser,
+    "SLCT": SLCTParser,
+    "Spell": SpellParser,
+    "UniParser": UniParserProxy,
+    "LogPPT": LogPPTProxy,
+    "LILAC": LILACProxy,
+}
+
+__all__ = [
+    "BaselineParser",
+    "BASELINE_REGISTRY",
+    "make_baseline",
+    *sorted(parser_class.__name__ for parser_class in BASELINE_REGISTRY.values()),
+]
+
+
+def make_baseline(name: str) -> BaselineParser:
+    """Instantiate a baseline by its paper name."""
+    try:
+        return BASELINE_REGISTRY[name]()
+    except KeyError:
+        raise KeyError(f"unknown baseline {name!r}; known: {sorted(BASELINE_REGISTRY)}") from None

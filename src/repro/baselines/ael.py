@@ -1,0 +1,47 @@
+"""AEL: Abstracting Execution Logs.
+
+Re-implementation of Jiang et al., *Abstracting Execution Logs to Execution
+Events for Enterprise Applications* (QSIC 2008).  AEL first anonymises
+obvious dynamic fields, bins logs by (token count, number of anonymised
+tokens), and then "categorises" each bin by merging logs whose constant
+tokens are identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines.base import WILDCARD, BaselineParser
+
+__all__ = ["AELParser"]
+
+
+class AELParser(BaselineParser):
+    """Bin-and-categorise parser (AEL)."""
+
+    name = "AEL"
+
+    def __init__(self, merge_percent: float = 0.5) -> None:
+        self.merge_percent = merge_percent
+
+    def parse(self, lines: Sequence[str]) -> List[int]:
+        keys: List[Tuple] = []
+        for line in lines:
+            tokens = self.preprocess(line)
+            if not tokens:
+                tokens = ["<empty>"]
+            anonymised = [WILDCARD if self._is_dynamic(token) else token for token in tokens]
+            n_dynamic = sum(1 for token in anonymised if token == WILDCARD)
+            constants = tuple(token for token in anonymised if token != WILDCARD)
+            # Bin key: token count + dynamic-token count; category key: the
+            # constant-token signature within the bin.
+            keys.append((len(anonymised), n_dynamic, constants))
+        return self.group_by(keys)
+
+    @staticmethod
+    def _is_dynamic(token: str) -> bool:
+        if token == WILDCARD:
+            return True
+        if any(ch.isdigit() for ch in token):
+            return True
+        return "=" in token

@@ -1,0 +1,76 @@
+"""Shared infrastructure for the baseline parsers.
+
+All baselines follow the LogPai benchmark convention: whitespace
+tokenization after masking the handful of obvious variables (numbers, IPs,
+hex ids) that the benchmark's per-dataset regexes would normally cover.
+Using the same masking rules for every baseline and for ByteBrain keeps the
+comparison fair — differences in accuracy and speed come from the grouping
+algorithms, not from preprocessing tricks.
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["BaselineParser", "WILDCARD"]
+
+WILDCARD = "<*>"
+
+_MASK_PATTERNS = [
+    re.compile(r"(?<!\d)\d{4}-\d{2}-\d{2}[T ]\d{2}:\d{2}:\d{2}(?:[.,]\d+)?(?!\d)"),
+    re.compile(r"\b[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}\b"),
+    re.compile(r"\b(?:\d{1,3}\.){3}\d{1,3}(?::\d{1,5})?\b"),
+    re.compile(r"\b0[xX][0-9a-fA-F]+\b"),
+    re.compile(r"\b[0-9a-fA-F]{16,}\b"),
+    re.compile(r"\bblk_-?\d+\b"),
+    re.compile(r"(?<![\w.])[-+]?\d+(?:\.\d+)?(?![\w.])"),
+]
+
+
+class BaselineParser(ABC):
+    """Minimal interface every baseline implements."""
+
+    #: Display name matching the paper's tables.
+    name: str = "baseline"
+
+    def preprocess(self, line: str) -> List[str]:
+        """Mask obvious variables and split on whitespace."""
+        for pattern in _MASK_PATTERNS:
+            line = pattern.sub(WILDCARD, line)
+        return line.split()
+
+    def preprocess_many(self, lines: Sequence[str]) -> List[List[str]]:
+        """Preprocess a batch of lines."""
+        return [self.preprocess(line) for line in lines]
+
+    @abstractmethod
+    def parse(self, lines: Sequence[str]) -> List[int]:
+        """Return one group id per input line."""
+
+    # ------------------------------------------------------------------ #
+    # helpers shared by several baselines
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def sequence_template(token_lists: Sequence[Sequence[str]]) -> Tuple[str, ...]:
+        """Positional template of equal-length token sequences."""
+        if not token_lists:
+            return ()
+        template = list(token_lists[0])
+        for tokens in token_lists[1:]:
+            for index, token in enumerate(tokens):
+                if template[index] != token:
+                    template[index] = WILDCARD
+        return tuple(template)
+
+    @staticmethod
+    def group_by(keys: Sequence[object]) -> List[int]:
+        """Turn arbitrary hashable keys into dense integer group ids."""
+        mapping: Dict[object, int] = {}
+        result: List[int] = []
+        for key in keys:
+            if key not in mapping:
+                mapping[key] = len(mapping)
+            result.append(mapping[key])
+        return result

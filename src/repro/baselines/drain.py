@@ -1,0 +1,133 @@
+"""Drain: online log parsing with a fixed-depth parse tree.
+
+Re-implementation of He et al., *Drain: An Online Log Parsing Approach with
+Fixed Depth Tree* (ICWS 2017).  Logs descend a tree keyed first by token
+count, then by the first ``depth`` tokens (tokens containing digits route to
+a wildcard branch), and finally pick the most similar log group under the
+leaf if the token-level similarity exceeds ``similarity_threshold``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.base import WILDCARD, BaselineParser
+
+__all__ = ["DrainParser"]
+
+
+@dataclass
+class _LogGroup:
+    """One leaf log group holding the evolving template."""
+
+    group_id: int
+    template: List[str]
+
+
+class DrainParser(BaselineParser):
+    """Fixed-depth-tree parser (Drain)."""
+
+    name = "Drain"
+
+    def __init__(self, depth: int = 4, similarity_threshold: float = 0.5, max_children: int = 100) -> None:
+        if depth < 3:
+            raise ValueError("Drain requires depth >= 3")
+        self.depth = depth - 2  # number of token-routing levels
+        self.similarity_threshold = similarity_threshold
+        self.max_children = max_children
+
+    def parse(self, lines: Sequence[str]) -> List[int]:
+        root: Dict[int, Dict] = {}
+        groups: List[_LogGroup] = []
+        assignments: List[int] = []
+        for line in lines:
+            tokens = self.preprocess(line)
+            if not tokens:
+                tokens = ["<empty>"]
+            group = self._match(root, groups, tokens)
+            if group is None:
+                group = _LogGroup(group_id=len(groups), template=list(tokens))
+                groups.append(group)
+                self._insert(root, tokens, group)
+            else:
+                self._update_template(group, tokens)
+            assignments.append(group.group_id)
+        return assignments
+
+    # ------------------------------------------------------------------ #
+    # tree navigation
+    # ------------------------------------------------------------------ #
+    def _routing_tokens(self, tokens: Sequence[str]) -> List[str]:
+        routed = []
+        for token in tokens[: self.depth]:
+            routed.append(WILDCARD if any(ch.isdigit() for ch in token) else token)
+        return routed
+
+    def _leaf(self, root: Dict, tokens: Sequence[str], create: bool) -> Optional[List[_LogGroup]]:
+        node = root.get(len(tokens))
+        if node is None:
+            if not create:
+                return None
+            node = {}
+            root[len(tokens)] = node
+        for token in self._routing_tokens(tokens):
+            child = node.get(token)
+            if child is None:
+                if not create:
+                    return None
+                if len(node) >= self.max_children and token not in node:
+                    token = WILDCARD
+                    child = node.get(token)
+                    if child is None:
+                        child = {}
+                        node[token] = child
+                else:
+                    child = {}
+                    node[token] = child
+            node = child
+        leaf = node.get("__groups__")
+        if leaf is None:
+            if not create:
+                return None
+            leaf = []
+            node["__groups__"] = leaf
+        return leaf
+
+    def _match(self, root: Dict, groups: List[_LogGroup], tokens: Sequence[str]) -> Optional[_LogGroup]:
+        leaf = self._leaf(root, tokens, create=False)
+        if not leaf:
+            return None
+        best: Optional[_LogGroup] = None
+        best_similarity = -1.0
+        for group in leaf:
+            similarity, _ = self._similarity(group.template, tokens)
+            if similarity > best_similarity:
+                best_similarity = similarity
+                best = group
+        if best is not None and best_similarity >= self.similarity_threshold:
+            return best
+        return None
+
+    def _insert(self, root: Dict, tokens: Sequence[str], group: _LogGroup) -> None:
+        leaf = self._leaf(root, tokens, create=True)
+        leaf.append(group)
+
+    @staticmethod
+    def _similarity(template: Sequence[str], tokens: Sequence[str]) -> Tuple[float, int]:
+        same = 0
+        wildcards = 0
+        for template_token, token in zip(template, tokens):
+            if template_token == WILDCARD:
+                wildcards += 1
+            elif template_token == token:
+                same += 1
+        if not template:
+            return 1.0, 0
+        return same / len(template), wildcards
+
+    @staticmethod
+    def _update_template(group: _LogGroup, tokens: Sequence[str]) -> None:
+        for index, token in enumerate(tokens):
+            if group.template[index] != token:
+                group.template[index] = WILDCARD

@@ -1,0 +1,107 @@
+"""IPLoM: Iterative Partitioning Log Mining.
+
+Re-implementation of Makanju et al., *Clustering Event Logs Using Iterative
+Partitioning* (KDD 2009).  Three partitioning steps are applied in sequence:
+
+1. partition by token count,
+2. partition by the token at the position with the fewest distinct values,
+3. partition by the relationship (bijection or not) between the two most
+   variable remaining positions — reduced here to partitioning by the token
+   pair at those positions when neither looks like a pure variable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines.base import WILDCARD, BaselineParser
+
+__all__ = ["IPLoMParser"]
+
+
+class IPLoMParser(BaselineParser):
+    """Iterative-partitioning parser (IPLoM)."""
+
+    name = "IPLoM"
+
+    def __init__(self, partition_support_threshold: float = 0.05, upper_bound: float = 0.9) -> None:
+        self.partition_support_threshold = partition_support_threshold
+        self.upper_bound = upper_bound
+
+    def parse(self, lines: Sequence[str]) -> List[int]:
+        token_lists = self.preprocess_many(lines)
+        token_lists = [tokens if tokens else ["<empty>"] for tokens in token_lists]
+
+        # Step 1: partition by token count.
+        partitions: Dict[Tuple, List[int]] = defaultdict(list)
+        for index, tokens in enumerate(token_lists):
+            partitions[(len(tokens),)].append(index)
+
+        # Step 2: split each partition by the least-variable position.
+        partitions = self._split_all(partitions, token_lists, step=2)
+        # Step 3: split by the token pair at the two most variable positions
+        # when they do not look like free variables.
+        partitions = self._split_all(partitions, token_lists, step=3)
+
+        assignment = [0] * len(token_lists)
+        for group_id, indices in enumerate(partitions.values()):
+            for index in indices:
+                assignment[index] = group_id
+        return assignment
+
+    def _split_all(
+        self,
+        partitions: Dict[Tuple, List[int]],
+        token_lists: List[List[str]],
+        step: int,
+    ) -> Dict[Tuple, List[int]]:
+        result: Dict[Tuple, List[int]] = {}
+        for key, indices in partitions.items():
+            if len(indices) <= 1:
+                result[key] = indices
+                continue
+            splits = self._split_partition(indices, token_lists, step)
+            for sub_key, sub_indices in splits.items():
+                result[key + (step, sub_key)] = sub_indices
+        return result
+
+    def _split_partition(
+        self, indices: List[int], token_lists: List[List[str]], step: int
+    ) -> Dict[object, List[int]]:
+        n_positions = len(token_lists[indices[0]])
+        if n_positions == 0:
+            return {"": indices}
+        distinct_per_position = [
+            len({token_lists[i][pos] for i in indices}) for pos in range(n_positions)
+        ]
+        if step == 2:
+            # Choose the position with the fewest (but >1 if possible) values.
+            candidates = [
+                (count, pos) for pos, count in enumerate(distinct_per_position) if count > 1
+            ]
+            if not candidates:
+                return {"": indices}
+            count, position = min(candidates)
+            if count > max(2, self.partition_support_threshold * len(indices)) and (
+                count / len(indices) > self.upper_bound
+            ):
+                return {"": indices}
+            return self._bucket(indices, token_lists, [position])
+        # Step 3: the two most variable positions, skipped when either looks
+        # like a pure variable (distinct count close to partition size).
+        ranked = sorted(range(n_positions), key=lambda pos: -distinct_per_position[pos])
+        chosen = [pos for pos in ranked if 1 < distinct_per_position[pos] <= self.upper_bound * len(indices)][:2]
+        if len(chosen) < 2:
+            return {"": indices}
+        return self._bucket(indices, token_lists, chosen)
+
+    @staticmethod
+    def _bucket(
+        indices: List[int], token_lists: List[List[str]], positions: List[int]
+    ) -> Dict[object, List[int]]:
+        buckets: Dict[object, List[int]] = defaultdict(list)
+        for index in indices:
+            key = tuple(token_lists[index][pos] for pos in positions)
+            buckets[key].append(index)
+        return buckets

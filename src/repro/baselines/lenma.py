@@ -1,0 +1,96 @@
+"""LenMa: clustering by word-length vectors.
+
+Re-implementation of Shima, *Length Matters: Clustering System Log Messages
+Using Length of Words* (2016).  Each log is summarised by the vector of its
+token lengths; a log joins the cluster (of equal token count) whose length
+vector is most similar (cosine similarity combined with exact positional
+matches), otherwise it starts a new cluster.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.base import BaselineParser
+
+__all__ = ["LenMaParser"]
+
+
+@dataclass
+class _Cluster:
+    group_id: int
+    length_vector: List[float]
+    tokens: List[str]
+    size: int
+
+
+class LenMaParser(BaselineParser):
+    """Word-length-vector clustering (LenMa)."""
+
+    name = "LenMa"
+
+    def __init__(self, threshold: float = 0.9) -> None:
+        self.threshold = threshold
+
+    def parse(self, lines: Sequence[str]) -> List[int]:
+        clusters_by_length: Dict[int, List[_Cluster]] = {}
+        cache: Dict[Tuple[str, ...], int] = {}
+        assignments: List[int] = []
+        next_id = 0
+        for line in lines:
+            tokens = self.preprocess(line)
+            if not tokens:
+                tokens = ["<empty>"]
+            key = tuple(tokens)
+            cached = cache.get(key)
+            if cached is not None:
+                assignments.append(cached)
+                continue
+            lengths = [float(len(token)) for token in tokens]
+            bucket = clusters_by_length.setdefault(len(tokens), [])
+            best = self._best_cluster(bucket, lengths, tokens)
+            if best is None:
+                best = _Cluster(group_id=next_id, length_vector=lengths, tokens=list(tokens), size=1)
+                bucket.append(best)
+                next_id += 1
+            else:
+                self._update(best, lengths, tokens)
+            cache[key] = best.group_id
+            assignments.append(best.group_id)
+        return assignments
+
+    def _best_cluster(
+        self, bucket: List[_Cluster], lengths: List[float], tokens: List[str]
+    ) -> Optional[_Cluster]:
+        best: Optional[_Cluster] = None
+        best_score = self.threshold
+        for cluster in bucket:
+            score = self._similarity(cluster, lengths, tokens)
+            if score >= best_score:
+                best = cluster
+                best_score = score
+        return best
+
+    @staticmethod
+    def _similarity(cluster: _Cluster, lengths: List[float], tokens: List[str]) -> float:
+        dot = sum(a * b for a, b in zip(cluster.length_vector, lengths))
+        norm_a = math.sqrt(sum(a * a for a in cluster.length_vector))
+        norm_b = math.sqrt(sum(b * b for b in lengths))
+        if norm_a == 0 or norm_b == 0:
+            return 0.0
+        cosine = dot / (norm_a * norm_b)
+        exact = sum(1 for a, b in zip(cluster.tokens, tokens) if a == b) / max(len(tokens), 1)
+        return 0.5 * cosine + 0.5 * exact
+
+    @staticmethod
+    def _update(cluster: _Cluster, lengths: List[float], tokens: List[str]) -> None:
+        size = cluster.size
+        cluster.length_vector = [
+            (old * size + new) / (size + 1) for old, new in zip(cluster.length_vector, lengths)
+        ]
+        cluster.tokens = [
+            old if old == new else "<*>" for old, new in zip(cluster.tokens, tokens)
+        ]
+        cluster.size += 1

@@ -1,0 +1,44 @@
+"""LFA: Log File Abstraction via token-frequency analysis.
+
+Re-implementation of Nagappan & Vouk, *Abstracting Log Lines to Log Event
+Types for Mining Software System Logs* (MSR 2010).  Token frequencies are
+counted over the whole file; within each log line, tokens whose frequency is
+far below the line's most frequent token are treated as parameters, and the
+remaining constant signature identifies the event type.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines.base import WILDCARD, BaselineParser
+
+__all__ = ["LFAParser"]
+
+
+class LFAParser(BaselineParser):
+    """Token-frequency abstraction (LFA)."""
+
+    name = "LFA"
+
+    def __init__(self, ratio_threshold: float = 0.5) -> None:
+        self.ratio_threshold = ratio_threshold
+
+    def parse(self, lines: Sequence[str]) -> List[int]:
+        token_lists = self.preprocess_many(lines)
+        token_lists = [tokens if tokens else ["<empty>"] for tokens in token_lists]
+        frequency: Counter = Counter()
+        for tokens in token_lists:
+            frequency.update(tokens)
+
+        keys: List[Tuple] = []
+        for tokens in token_lists:
+            counts = [frequency[token] for token in tokens]
+            max_count = max(counts)
+            signature = tuple(
+                token if frequency[token] >= self.ratio_threshold * max_count else WILDCARD
+                for token in tokens
+            )
+            keys.append((len(tokens), signature))
+        return self.group_by(keys)

@@ -1,0 +1,46 @@
+"""LogCluster: frequent-word based log clustering.
+
+Re-implementation of Vaarandi & Pihelgas / Lin et al.-style frequent-word
+clustering as used in the LogPai benchmark: words whose support exceeds a
+relative threshold are "frequent"; every log is keyed by the ordered
+sequence of its frequent words, and logs sharing a key form a cluster.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence, Tuple
+
+from repro.baselines.base import BaselineParser
+
+__all__ = ["LogClusterParser"]
+
+
+class LogClusterParser(BaselineParser):
+    """Frequent-word-sequence clustering (LogCluster)."""
+
+    name = "LogCluster"
+
+    def __init__(self, support: float = 0.01) -> None:
+        if not 0.0 < support < 1.0:
+            raise ValueError("support must be in (0, 1)")
+        self.support = support
+
+    def parse(self, lines: Sequence[str]) -> List[int]:
+        token_lists = self.preprocess_many(lines)
+        token_lists = [tokens if tokens else ["<empty>"] for tokens in token_lists]
+        word_support: Counter = Counter()
+        for tokens in token_lists:
+            word_support.update(set(tokens))
+        minimum = max(2, int(self.support * len(token_lists)))
+        frequent = {word for word, count in word_support.items() if count >= minimum}
+
+        keys: List[Tuple] = []
+        for tokens in token_lists:
+            # The cluster key is the ordered sequence of frequent words only;
+            # unlike length-partitioned parsers, LogCluster merges messages
+            # of different lengths when their frequent words coincide (the
+            # weakness the paper points out in §2).
+            frequent_sequence = tuple(token for token in tokens if token in frequent)
+            keys.append(frequent_sequence)
+        return self.group_by(keys)

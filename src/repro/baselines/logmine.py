@@ -1,0 +1,100 @@
+"""LogMine: hierarchical clustering with iterative pattern merging.
+
+Re-implementation of Hamooni et al., *LogMine: Fast Pattern Recognition for
+Log Analytics* (CIKM 2016), reduced to its core loop: greedy clustering of
+logs under a positional distance threshold, followed by pattern generation
+(positional alignment) and a second, looser clustering level over the
+generated patterns — the paper's "iterative clustering and merging".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.base import WILDCARD, BaselineParser
+
+__all__ = ["LogMineParser"]
+
+
+class LogMineParser(BaselineParser):
+    """Greedy distance clustering with pattern merging (LogMine)."""
+
+    name = "LogMine"
+
+    def __init__(self, max_distance: float = 0.3, levels: int = 2, level_relaxation: float = 1.5) -> None:
+        self.max_distance = max_distance
+        self.levels = levels
+        self.level_relaxation = level_relaxation
+
+    def parse(self, lines: Sequence[str]) -> List[int]:
+        token_lists = self.preprocess_many(lines)
+        token_lists = [tokens if tokens else ["<empty>"] for tokens in token_lists]
+
+        # Deduplicate exact token sequences to keep the O(n * clusters)
+        # greedy loop tractable (the original batches identical messages too).
+        unique: List[List[str]] = []
+        counts: List[int] = []
+        inverse: List[int] = []
+        index_of: Dict[Tuple[str, ...], int] = {}
+        for tokens in token_lists:
+            key = tuple(tokens)
+            idx = index_of.get(key)
+            if idx is None:
+                idx = len(unique)
+                index_of[key] = idx
+                unique.append(list(tokens))
+                counts.append(0)
+            counts[idx] += 1
+            inverse.append(idx)
+
+        assignment = list(range(len(unique)))
+        patterns = [list(tokens) for tokens in unique]
+        max_distance = self.max_distance
+        for _ in range(self.levels):
+            assignment, patterns = self._cluster_level(unique, assignment, patterns, max_distance)
+            max_distance *= self.level_relaxation
+
+        return [assignment[index_of[tuple(token_lists[i])]] for i in range(len(token_lists))]
+
+    def _cluster_level(
+        self,
+        unique: List[List[str]],
+        assignment: List[int],
+        patterns: List[List[str]],
+        max_distance: float,
+    ) -> Tuple[List[int], List[List[str]]]:
+        cluster_patterns: List[List[str]] = []
+        remap: Dict[int, int] = {}
+        for old_cluster in sorted(set(assignment)):
+            pattern = patterns[old_cluster]
+            target: Optional[int] = None
+            for cluster_id, existing in enumerate(cluster_patterns):
+                if len(existing) != len(pattern):
+                    continue
+                if self._distance(existing, pattern) <= max_distance:
+                    target = cluster_id
+                    break
+            if target is None:
+                cluster_patterns.append(list(pattern))
+                target = len(cluster_patterns) - 1
+            else:
+                cluster_patterns[target] = self._merge(cluster_patterns[target], pattern)
+            remap[old_cluster] = target
+        new_assignment = [remap[cluster] for cluster in assignment]
+        return new_assignment, cluster_patterns
+
+    @staticmethod
+    def _distance(a: Sequence[str], b: Sequence[str]) -> float:
+        if not a:
+            return 0.0
+        same = sum(
+            1 for token_a, token_b in zip(a, b) if token_a == token_b or WILDCARD in (token_a, token_b)
+        )
+        return 1.0 - same / len(a)
+
+    @staticmethod
+    def _merge(a: Sequence[str], b: Sequence[str]) -> List[str]:
+        return [
+            token_a if token_a == token_b else WILDCARD
+            for token_a, token_b in zip(a, b)
+        ]

@@ -1,0 +1,69 @@
+"""Logram: log parsing with n-gram dictionaries.
+
+Re-implementation of Dai et al., *Logram: Efficient Log Parsing Using n-Gram
+Dictionaries* (TSE 2020).  Bigram and trigram occurrence dictionaries are
+built over the corpus; a token is considered dynamic when the n-grams it
+participates in are rare, and the remaining static-token signature defines
+the event.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence, Tuple
+
+from repro.baselines.base import WILDCARD, BaselineParser
+
+__all__ = ["LogramParser"]
+
+
+class LogramParser(BaselineParser):
+    """n-gram dictionary parser (Logram)."""
+
+    name = "Logram"
+
+    def __init__(self, bigram_threshold: int = 4, trigram_threshold: int = 2) -> None:
+        self.bigram_threshold = bigram_threshold
+        self.trigram_threshold = trigram_threshold
+
+    def parse(self, lines: Sequence[str]) -> List[int]:
+        token_lists = self.preprocess_many(lines)
+        token_lists = [tokens if tokens else ["<empty>"] for tokens in token_lists]
+
+        bigrams: Counter = Counter()
+        trigrams: Counter = Counter()
+        for tokens in token_lists:
+            for i in range(len(tokens) - 1):
+                bigrams[(tokens[i], tokens[i + 1])] += 1
+            for i in range(len(tokens) - 2):
+                trigrams[(tokens[i], tokens[i + 1], tokens[i + 2])] += 1
+
+        keys: List[Tuple] = []
+        for tokens in token_lists:
+            dynamic = [False] * len(tokens)
+            # A trigram below threshold marks its member tokens as candidates;
+            # the bigram check confirms which of them are actually dynamic.
+            for i in range(len(tokens) - 2):
+                if trigrams[(tokens[i], tokens[i + 1], tokens[i + 2])] < self.trigram_threshold:
+                    for j in (i, i + 1, i + 2):
+                        if self._bigram_support(tokens, j, bigrams) < self.bigram_threshold:
+                            dynamic[j] = True
+            if len(tokens) <= 2:
+                for j in range(len(tokens)):
+                    if self._bigram_support(tokens, j, bigrams) < self.bigram_threshold:
+                        dynamic[j] = True
+            signature = tuple(
+                WILDCARD if dynamic[i] or tokens[i] == WILDCARD else tokens[i]
+                for i in range(len(tokens))
+            )
+            keys.append((len(tokens), signature))
+        return self.group_by(keys)
+
+    @staticmethod
+    def _bigram_support(tokens: Sequence[str], index: int, bigrams: Counter) -> int:
+        supports = []
+        if index > 0:
+            supports.append(bigrams[(tokens[index - 1], tokens[index])])
+        if index < len(tokens) - 1:
+            supports.append(bigrams[(tokens[index], tokens[index + 1])])
+        return max(supports) if supports else 0

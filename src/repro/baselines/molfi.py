@@ -1,0 +1,141 @@
+"""MoLFI: multi-objective search for log message formats.
+
+Re-implementation of Messaoudi et al., *A Search-Based Approach for Accurate
+Identification of Log Message Formats* (ICPC 2018), reduced to a compact
+evolutionary search: for every token-count bucket a small population of
+candidate template sets (wildcard masks over the distinct messages) evolves
+under mutation, optimising the usual two objectives — frequency (how many
+messages each template matches) and specificity (how few wildcards it uses).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import WILDCARD, BaselineParser
+
+__all__ = ["MoLFIParser"]
+
+
+class MoLFIParser(BaselineParser):
+    """Search-based parser (MoLFI), compact evolutionary variant."""
+
+    name = "MoLFI"
+
+    def __init__(self, generations: int = 8, population: int = 6, seed: int = 5) -> None:
+        self.generations = generations
+        self.population = population
+        self.seed = seed
+
+    def parse(self, lines: Sequence[str]) -> List[int]:
+        token_lists = self.preprocess_many(lines)
+        token_lists = [tokens if tokens else ["<empty>"] for tokens in token_lists]
+        rng = np.random.default_rng(self.seed)
+
+        buckets: Dict[int, List[int]] = defaultdict(list)
+        for index, tokens in enumerate(token_lists):
+            buckets[len(tokens)].append(index)
+
+        assignment = [0] * len(token_lists)
+        next_group = 0
+        for length, indices in buckets.items():
+            unique: Dict[Tuple[str, ...], List[int]] = defaultdict(list)
+            for index in indices:
+                unique[tuple(token_lists[index])].append(index)
+            messages = list(unique.keys())
+            templates = self._evolve(messages, length, rng)
+            for message, message_indices in unique.items():
+                template_id = self._best_template(message, templates)
+                for index in message_indices:
+                    assignment[index] = next_group + template_id
+            next_group += len(templates)
+        return assignment
+
+    # ------------------------------------------------------------------ #
+    # evolutionary search per token-count bucket
+    # ------------------------------------------------------------------ #
+    def _evolve(
+        self, messages: List[Tuple[str, ...]], length: int, rng: np.random.Generator
+    ) -> List[Tuple[str, ...]]:
+        if len(messages) == 1:
+            return [messages[0]]
+        population = [self._random_solution(messages, rng) for _ in range(self.population)]
+        for _ in range(self.generations):
+            scored = sorted(population, key=lambda sol: -self._fitness(sol, messages))
+            survivors = scored[: max(2, self.population // 2)]
+            population = list(survivors)
+            while len(population) < self.population:
+                parent = survivors[int(rng.integers(len(survivors)))]
+                population.append(self._mutate(parent, messages, rng))
+        best = max(population, key=lambda sol: self._fitness(sol, messages))
+        return best
+
+    def _random_solution(
+        self, messages: List[Tuple[str, ...]], rng: np.random.Generator
+    ) -> List[Tuple[str, ...]]:
+        templates: List[Tuple[str, ...]] = []
+        for message in messages:
+            mask = rng.random(len(message)) < 0.3
+            template = tuple(
+                WILDCARD if masked else token for token, masked in zip(message, mask)
+            )
+            if template not in templates:
+                templates.append(template)
+        return templates
+
+    def _mutate(
+        self,
+        solution: List[Tuple[str, ...]],
+        messages: List[Tuple[str, ...]],
+        rng: np.random.Generator,
+    ) -> List[Tuple[str, ...]]:
+        mutated = [list(template) for template in solution]
+        if mutated:
+            target = mutated[int(rng.integers(len(mutated)))]
+            if target:
+                position = int(rng.integers(len(target)))
+                if target[position] == WILDCARD:
+                    donor = messages[int(rng.integers(len(messages)))]
+                    if position < len(donor):
+                        target[position] = donor[position]
+                else:
+                    target[position] = WILDCARD
+        unique = []
+        for template in mutated:
+            key = tuple(template)
+            if key not in unique:
+                unique.append(key)
+        return unique
+
+    def _fitness(self, solution: List[Tuple[str, ...]], messages: List[Tuple[str, ...]]) -> float:
+        if not solution:
+            return 0.0
+        matched = 0
+        specificity = 0.0
+        for message in messages:
+            template_id = self._best_template(message, solution)
+            template = solution[template_id]
+            if self._matches(template, message):
+                matched += 1
+                specificity += 1.0 - template.count(WILDCARD) / max(len(template), 1)
+        coverage = matched / len(messages)
+        return coverage + specificity / max(len(messages), 1) - 0.05 * len(solution)
+
+    @staticmethod
+    def _matches(template: Tuple[str, ...], message: Tuple[str, ...]) -> bool:
+        return all(t == WILDCARD or t == m for t, m in zip(template, message))
+
+    def _best_template(self, message: Tuple[str, ...], templates: Sequence[Tuple[str, ...]]) -> int:
+        best_id = 0
+        best_score = -1.0
+        for template_id, template in enumerate(templates):
+            if not self._matches(template, message):
+                continue
+            score = sum(1 for t, m in zip(template, message) if t == m)
+            if score > best_score:
+                best_score = score
+                best_id = template_id
+        return best_id

@@ -1,0 +1,107 @@
+"""SHISO: incremental mining of log formats with a structured tree.
+
+Re-implementation of Mizutani, *Incremental Mining of System Log Format*
+(SCC 2013).  Each incoming log is compared against the children of the
+current tree node using a similarity over per-token character-class vectors
+(letters / digits / symbols); sufficiently similar nodes absorb the log and
+refine their format, otherwise a new child is created (children per node are
+bounded, overflow descends into the most similar child).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.base import WILDCARD, BaselineParser
+
+__all__ = ["SHISOParser"]
+
+
+@dataclass
+class _Node:
+    group_id: int
+    format: List[str]
+    children: List["_Node"] = field(default_factory=list)
+
+
+class SHISOParser(BaselineParser):
+    """Incremental structured-tree parser (SHISO)."""
+
+    name = "SHISO"
+
+    def __init__(self, max_children: int = 4, similarity_threshold: float = 0.6) -> None:
+        self.max_children = max_children
+        self.similarity_threshold = similarity_threshold
+
+    def parse(self, lines: Sequence[str]) -> List[int]:
+        roots: List[_Node] = []
+        assignments: List[int] = []
+        next_id = 0
+        cache: Dict[Tuple[str, ...], int] = {}
+        for line in lines:
+            tokens = self.preprocess(line)
+            if not tokens:
+                tokens = ["<empty>"]
+            key = tuple(tokens)
+            cached = cache.get(key)
+            if cached is not None:
+                assignments.append(cached)
+                continue
+            node, created = self._search(roots, tokens, next_id)
+            if created:
+                next_id += 1
+            cache[key] = node.group_id
+            assignments.append(node.group_id)
+        return assignments
+
+    def _search(self, siblings: List[_Node], tokens: List[str], next_id: int) -> Tuple[_Node, bool]:
+        best: Optional[_Node] = None
+        best_similarity = -1.0
+        for node in siblings:
+            similarity = self._similarity(node.format, tokens)
+            if similarity > best_similarity:
+                best_similarity = similarity
+                best = node
+        if best is not None and best_similarity >= self.similarity_threshold and len(best.format) == len(tokens):
+            self._refine(best, tokens)
+            return best, False
+        if len(siblings) < self.max_children or best is None:
+            node = _Node(group_id=next_id, format=list(tokens))
+            siblings.append(node)
+            return node, True
+        return self._search(best.children, tokens, next_id)
+
+    def _similarity(self, format_tokens: Sequence[str], tokens: Sequence[str]) -> float:
+        if not format_tokens or not tokens:
+            return 0.0
+        length = min(len(format_tokens), len(tokens))
+        score = 0.0
+        for index in range(length):
+            score += self._token_similarity(format_tokens[index], tokens[index])
+        return score / max(len(format_tokens), len(tokens))
+
+    @staticmethod
+    def _token_similarity(a: str, b: str) -> float:
+        if a == b:
+            return 1.0
+        if a == WILDCARD or b == WILDCARD:
+            return 0.5
+        vector_a = SHISOParser._char_classes(a)
+        vector_b = SHISOParser._char_classes(b)
+        dot = sum(x * y for x, y in zip(vector_a, vector_b))
+        norm = (sum(x * x for x in vector_a) * sum(y * y for y in vector_b)) ** 0.5
+        return 0.5 * (dot / norm if norm else 0.0)
+
+    @staticmethod
+    def _char_classes(token: str) -> List[float]:
+        letters = sum(1 for ch in token if ch.isalpha())
+        digits = sum(1 for ch in token if ch.isdigit())
+        symbols = len(token) - letters - digits
+        return [float(letters), float(digits), float(symbols), float(len(token))]
+
+    @staticmethod
+    def _refine(node: _Node, tokens: Sequence[str]) -> None:
+        node.format = [
+            old if old == new else WILDCARD for old, new in zip(node.format, tokens)
+        ]

@@ -1,0 +1,58 @@
+"""SLCT: Simple Logfile Clustering Tool.
+
+Re-implementation of Vaarandi, *A Data Clustering Algorithm for Mining
+Patterns from Event Logs* (IPOM 2003).  Word-position pairs whose support
+exceeds an absolute/relative threshold are "frequent"; each log's candidate
+cluster is the pattern of its frequent word-positions, and candidates whose
+support also passes the threshold become clusters — everything else lands in
+the outlier group (one group per token count to avoid degenerate merging).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines.base import WILDCARD, BaselineParser
+
+__all__ = ["SLCTParser"]
+
+
+class SLCTParser(BaselineParser):
+    """Word-position support clustering (SLCT)."""
+
+    name = "SLCT"
+
+    def __init__(self, support: float = 0.01, min_support: int = 2) -> None:
+        if not 0.0 < support < 1.0:
+            raise ValueError("support must be in (0, 1)")
+        self.support = support
+        self.min_support = min_support
+
+    def parse(self, lines: Sequence[str]) -> List[int]:
+        token_lists = self.preprocess_many(lines)
+        token_lists = [tokens if tokens else ["<empty>"] for tokens in token_lists]
+        threshold = max(self.min_support, int(self.support * len(token_lists)))
+
+        position_support: Counter = Counter()
+        for tokens in token_lists:
+            for position, token in enumerate(tokens):
+                position_support[(position, token)] += 1
+
+        candidates: List[Tuple] = []
+        candidate_support: Counter = Counter()
+        for tokens in token_lists:
+            pattern = tuple(
+                token if position_support[(position, token)] >= threshold else WILDCARD
+                for position, token in enumerate(tokens)
+            )
+            candidates.append((len(tokens), pattern))
+            candidate_support[(len(tokens), pattern)] += 1
+
+        keys: List[Tuple] = []
+        for (length, pattern), tokens in zip(candidates, token_lists):
+            if candidate_support[(length, pattern)] >= threshold:
+                keys.append((length, pattern))
+            else:
+                keys.append((length, "__outlier__"))
+        return self.group_by(keys)

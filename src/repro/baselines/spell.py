@@ -1,0 +1,128 @@
+"""Spell: streaming log parsing via longest common subsequence.
+
+Re-implementation of Du & Li, *Spell: Streaming Parsing of System Event Logs*
+(ICDM 2016).  Each incoming log is compared against the existing LCS objects;
+if the longest common subsequence with some object's template covers at least
+half of the log's tokens, the log joins that object and the template is
+refined to the LCS (gaps become wildcards); otherwise a new object is
+created.  A prefix lookup over exact token sequences short-circuits repeated
+messages, as in the original implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.base import WILDCARD, BaselineParser
+
+__all__ = ["SpellParser"]
+
+
+@dataclass
+class _LCSObject:
+    group_id: int
+    template: List[str]
+
+
+class SpellParser(BaselineParser):
+    """LCS-based streaming parser (Spell)."""
+
+    name = "Spell"
+
+    def __init__(self, tau: float = 0.5) -> None:
+        if not 0.0 < tau <= 1.0:
+            raise ValueError("tau must be in (0, 1]")
+        self.tau = tau
+
+    def parse(self, lines: Sequence[str]) -> List[int]:
+        objects: List[_LCSObject] = []
+        exact_cache: Dict[Tuple[str, ...], int] = {}
+        assignments: List[int] = []
+        for line in lines:
+            tokens = self.preprocess(line)
+            if not tokens:
+                tokens = ["<empty>"]
+            key = tuple(tokens)
+            cached = exact_cache.get(key)
+            if cached is not None:
+                assignments.append(cached)
+                continue
+            best = self._best_match(objects, tokens)
+            if best is None:
+                obj = _LCSObject(group_id=len(objects), template=list(tokens))
+                objects.append(obj)
+            else:
+                obj = best
+                obj.template = self._merge(obj.template, tokens)
+            exact_cache[key] = obj.group_id
+            assignments.append(obj.group_id)
+        return assignments
+
+    def _best_match(self, objects: List[_LCSObject], tokens: Sequence[str]) -> Optional[_LCSObject]:
+        best: Optional[_LCSObject] = None
+        best_length = 0
+        token_set = set(tokens)
+        for obj in objects:
+            constants = [t for t in obj.template if t != WILDCARD]
+            # Quick pruning: the LCS cannot exceed the set intersection size.
+            if len(token_set.intersection(constants)) <= best_length:
+                continue
+            lcs_length = self._lcs_length(constants, tokens)
+            if lcs_length > best_length:
+                best_length = lcs_length
+                best = obj
+        if best is not None and best_length >= self.tau * len(tokens):
+            return best
+        return None
+
+    @staticmethod
+    def _lcs_length(a: Sequence[str], b: Sequence[str]) -> int:
+        if not a or not b:
+            return 0
+        previous = [0] * (len(b) + 1)
+        for token_a in a:
+            current = [0] * (len(b) + 1)
+            for j, token_b in enumerate(b, start=1):
+                if token_a == token_b:
+                    current[j] = previous[j - 1] + 1
+                else:
+                    current[j] = max(previous[j], current[j - 1])
+            previous = current
+        return previous[-1]
+
+    @staticmethod
+    def _lcs_tokens(a: Sequence[str], b: Sequence[str]) -> List[str]:
+        table = [[0] * (len(b) + 1) for _ in range(len(a) + 1)]
+        for i, token_a in enumerate(a, start=1):
+            for j, token_b in enumerate(b, start=1):
+                if token_a == token_b:
+                    table[i][j] = table[i - 1][j - 1] + 1
+                else:
+                    table[i][j] = max(table[i - 1][j], table[i][j - 1])
+        lcs: List[str] = []
+        i, j = len(a), len(b)
+        while i > 0 and j > 0:
+            if a[i - 1] == b[j - 1]:
+                lcs.append(a[i - 1])
+                i -= 1
+                j -= 1
+            elif table[i - 1][j] >= table[i][j - 1]:
+                i -= 1
+            else:
+                j -= 1
+        return list(reversed(lcs))
+
+    def _merge(self, template: List[str], tokens: Sequence[str]) -> List[str]:
+        constants = [t for t in template if t != WILDCARD]
+        lcs = self._lcs_tokens(constants, tokens)
+        merged: List[str] = []
+        lcs_index = 0
+        for token in tokens:
+            if lcs_index < len(lcs) and token == lcs[lcs_index]:
+                merged.append(token)
+                lcs_index += 1
+            else:
+                if not merged or merged[-1] != WILDCARD:
+                    merged.append(WILDCARD)
+        return merged

@@ -1,0 +1,148 @@
+"""Command-line interface for the ByteBrain-LogParser reproduction.
+
+Four subcommands cover the workflows a downstream user needs without writing
+Python:
+
+``train``
+    Train a model on a log file and save it as JSON.
+``match``
+    Match a log file against a saved model, emitting one template per line
+    (optionally at a chosen saturation threshold).
+``evaluate``
+    Run ByteBrain (and optionally baselines) on a built-in benchmark corpus
+    and print grouping accuracy / throughput.
+``datasets``
+    List the available benchmark corpora.
+
+Examples
+--------
+::
+
+    python -m repro.cli train --input app.log --model model.json
+    python -m repro.cli match --input new.log --model model.json --threshold 0.6
+    python -m repro.cli evaluate --dataset HDFS --variant loghub2 --baselines Drain AEL
+    python -m repro.cli datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.baselines import BASELINE_REGISTRY, make_baseline
+from repro.core.config import ByteBrainConfig
+from repro.core.model import ParserModel
+from repro.core.parser import ByteBrainParser
+from repro.core.trainer import OfflineTrainer
+from repro.datasets.registry import generate_dataset, list_datasets
+from repro.evaluation.reporting import format_table
+from repro.evaluation.runner import BaselineRunner, ByteBrainRunner
+
+__all__ = ["build_parser", "main"]
+
+
+def _read_lines(path: str) -> List[str]:
+    text = Path(path).read_text(encoding="utf-8", errors="replace")
+    return [line for line in text.splitlines() if line.strip()]
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    lines = _read_lines(args.input)
+    if not lines:
+        print("error: input file contains no log lines", file=sys.stderr)
+        return 2
+    config = ByteBrainConfig(parallelism=args.parallelism)
+    trainer = OfflineTrainer(config)
+    result = trainer.train(lines)
+    Path(args.model).write_text(result.model.to_json(), encoding="utf-8")
+    print(
+        f"trained on {result.n_logs} lines ({result.n_unique} unique) in "
+        f"{result.duration_seconds:.2f}s -> {len(result.model)} templates, "
+        f"model {result.model.size_bytes() / 1024:.1f} KiB saved to {args.model}"
+    )
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    model = ParserModel.from_json(Path(args.model).read_text(encoding="utf-8"))
+    parser = ByteBrainParser.with_model(model, ByteBrainConfig(parallelism=args.parallelism))
+    lines = _read_lines(args.input)
+    results = parser.match_many(lines)
+    for line, result in zip(lines, results):
+        template = parser.template_at(result.template_id, args.threshold)
+        print(f"{template.template_id}\t{template.text}")
+    print(
+        f"# matched {len(lines)} lines against {len(model)} templates "
+        f"at threshold {args.threshold}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = generate_dataset(args.dataset, variant=args.variant)
+    rows = [ByteBrainRunner(query_threshold=args.threshold).run(dataset).as_row()]
+    for baseline in args.baselines:
+        if baseline not in BASELINE_REGISTRY:
+            print(f"error: unknown baseline {baseline!r}", file=sys.stderr)
+            return 2
+        runner = BaselineRunner(lambda b=baseline: make_baseline(b), name=baseline)
+        rows.append(runner.run(dataset).as_row())
+    print(format_table(rows, ["parser", "dataset", "n_logs", "GA", "FGA", "throughput", "seconds"]))
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for variant in ("loghub", "loghub2"):
+        for name in list_datasets(variant):
+            rows.append({"variant": variant, "dataset": name})
+    print(format_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ByteBrain-LogParser reproduction command-line interface"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    train = subparsers.add_parser("train", help="train a model from a log file")
+    train.add_argument("--input", required=True, help="path to a plain-text log file")
+    train.add_argument("--model", required=True, help="where to write the trained model (JSON)")
+    train.add_argument("--parallelism", type=int, default=1)
+    train.set_defaults(func=_cmd_train)
+
+    match = subparsers.add_parser("match", help="match a log file against a saved model")
+    match.add_argument("--input", required=True, help="path to a plain-text log file")
+    match.add_argument("--model", required=True, help="path to a model produced by 'train'")
+    match.add_argument("--threshold", type=float, default=0.6, help="saturation threshold")
+    match.add_argument("--parallelism", type=int, default=1)
+    match.set_defaults(func=_cmd_match)
+
+    evaluate = subparsers.add_parser("evaluate", help="evaluate on a built-in benchmark corpus")
+    evaluate.add_argument("--dataset", default="HDFS", help="benchmark corpus name")
+    evaluate.add_argument("--variant", default="loghub", choices=["loghub", "loghub2"])
+    evaluate.add_argument("--threshold", type=float, default=0.6)
+    evaluate.add_argument(
+        "--baselines", nargs="*", default=[], help="baseline parsers to compare against"
+    )
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    datasets = subparsers.add_parser("datasets", help="list available benchmark corpora")
+    datasets.set_defaults(func=_cmd_datasets)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

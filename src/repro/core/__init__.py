@@ -1,0 +1,24 @@
+"""Core ByteBrain-LogParser algorithm (the paper's primary contribution).
+
+Sub-modules map one-to-one onto the paper's algorithm sections:
+
+- :mod:`repro.core.tokenizer` — §4.1.1 regex tokenization
+- :mod:`repro.core.masking` — §4.1.2 common variable replacement
+- :mod:`repro.core.dedup` — §4.1.3 deduplication
+- :mod:`repro.core.encoding` — §4.1.4 hash encoding (+ ordinal for ablation)
+- :mod:`repro.core.grouping` — §4.2 initial grouping
+- :mod:`repro.core.distance` — §4.4 positional similarity distance
+- :mod:`repro.core.saturation` — §4.5 saturation score
+- :mod:`repro.core.clustering` — §4.4/§4.6/§4.7 single clustering process
+- :mod:`repro.core.tree` — §4.3 hierarchical clustering tree
+- :mod:`repro.core.trainer` — §3 offline training phase
+- :mod:`repro.core.matcher` — §4.8 online matching
+- :mod:`repro.core.query` — §3 query-time precision adjustment
+- :mod:`repro.core.model` — template model, persistence, merging
+- :mod:`repro.core.parser` — the public ``ByteBrainParser`` façade
+"""
+
+from repro.core.config import ByteBrainConfig
+from repro.core.parser import ByteBrainParser
+
+__all__ = ["ByteBrainConfig", "ByteBrainParser"]

@@ -1,0 +1,318 @@
+"""Single clustering process: one split of a tree node (paper §4.4–§4.7).
+
+Given the (deduplicated, encoded) logs of a node, the process partitions
+them into child clusters so that every child's saturation improves over the
+parent.  It is a K-Means-style iteration adapted to log data:
+
+* seeding follows K-Means++ — first centre random, second the farthest log
+  from the first (ablation: *random centroid selection*);
+* assignment uses the positional similarity distance of Eq. 2;
+* distance ties are broken uniformly at random so clusters stay balanced
+  (§4.6, ablation: *w/o balanced group*);
+* clusters whose saturation does not improve over the parent trigger the
+  creation of a new cluster seeded with the log farthest from all existing
+  centroids (§4.4, ablation: *w/o ensure saturation increase*);
+* cheap early-stop rules (§4.7) skip the whole process when the outcome is
+  already determined (ablation: *w/o early stopping*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import ByteBrainConfig
+from repro.core.distance import cluster_similarities
+from repro.core.saturation import profile_positions, saturation_from_profile
+
+__all__ = ["SplitOutcome", "split_node"]
+
+
+@dataclass
+class SplitOutcome:
+    """Result of attempting to split one node.
+
+    Attributes
+    ----------
+    children:
+        List of child member-index lists.  Empty when the node should stay a
+        leaf (early stop rule 2, or the split could not improve anything).
+    reason:
+        Human-readable explanation, useful in tests and debugging
+        (``"split"``, ``"leaf:single-unresolved"``, ``"leaf:saturated"``,
+        ``"singletons"``, ...).
+    """
+
+    children: List[List[int]]
+    reason: str
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node must not be split further."""
+        return len(self.children) <= 1
+
+
+def _node_saturation(
+    codes: np.ndarray,
+    weights: np.ndarray,
+    members: Sequence[int],
+    config: ByteBrainConfig,
+) -> float:
+    return saturation_from_profile(
+        profile_positions(codes, members, weights=weights),
+        use_variable_saturation=config.use_variable_saturation,
+        use_confidence_factor=config.use_confidence_factor,
+    )
+
+
+def split_node(
+    codes: np.ndarray,
+    weights: np.ndarray,
+    member_indices: Sequence[int],
+    config: ByteBrainConfig,
+    rng: np.random.Generator,
+    parent_saturation: Optional[float] = None,
+) -> SplitOutcome:
+    """Split the node's members into child clusters (or declare it a leaf).
+
+    Parameters
+    ----------
+    codes, weights:
+        Encoded token matrix of the whole initial group and per-row
+        deduplication counts.
+    member_indices:
+        Rows of ``codes`` belonging to the node being split.
+    config:
+        Algorithm configuration (ablation switches, iteration limits, seed).
+    rng:
+        Random generator shared across the tree build for reproducibility.
+    parent_saturation:
+        Saturation of the node itself; computed if not supplied.
+    """
+    members = list(member_indices)
+    if len(members) <= 1:
+        return SplitOutcome(children=[], reason="leaf:singleton")
+
+    if parent_saturation is None:
+        parent_saturation = _node_saturation(codes, weights, members, config)
+
+    profile = profile_positions(codes, members, weights=weights)
+
+    if config.early_stop_enabled:
+        # Rule 1: with <= 2 distinct logs each log is trivially its own cluster.
+        if len(members) <= 2:
+            return SplitOutcome(children=[[row] for row in members], reason="singletons:few-logs")
+        # Rule 2: a single unresolved position whose tokens are (mostly)
+        # distinct per log occurrence is a variable — splitting it would only
+        # enumerate its values without producing meaningful templates.
+        if len(profile.unresolved_counts) == 1 and (
+            profile.unresolved_counts[0] >= 0.5 * profile.n_logs
+        ):
+            return SplitOutcome(children=[], reason="leaf:single-unresolved")
+        # Rule 3: if every unresolved position holds a distinct token per log,
+        # the logs are inherently dissimilar -> one cluster per log.
+        if profile.all_unresolved_fully_distinct():
+            return SplitOutcome(
+                children=[[row] for row in members], reason="singletons:fully-distinct"
+            )
+
+    clusters = _iterative_clustering(codes, weights, members, config, rng, parent_saturation)
+    clusters = [cluster for cluster in clusters if cluster]
+    if len(clusters) <= 1:
+        fallback = _split_by_most_variable_position(codes, members)
+        if len(fallback) <= 1:
+            return SplitOutcome(children=[], reason="leaf:unsplittable")
+        return SplitOutcome(children=fallback, reason="split:position-fallback")
+    return SplitOutcome(children=clusters, reason="split")
+
+
+# --------------------------------------------------------------------------- #
+# internals
+# --------------------------------------------------------------------------- #
+
+
+def _iterative_clustering(
+    codes: np.ndarray,
+    weights: np.ndarray,
+    members: List[int],
+    config: ByteBrainConfig,
+    rng: np.random.Generator,
+    parent_saturation: float,
+) -> List[List[int]]:
+    """K-Means-style refinement with saturation-guarded cluster growth."""
+    centroids = _seed_centroids(codes, weights, members, config, rng)
+    assignment = _assign(codes, weights, members, [[c] for c in centroids], config, rng)
+
+    for _ in range(config.max_cluster_iterations):
+        clusters = _gather(members, assignment, n_clusters=max(assignment) + 1)
+        clusters = [cluster for cluster in clusters if cluster]
+
+        grew = False
+        if (
+            config.ensure_saturation_increase
+            and len(clusters) < config.max_clusters_per_split
+            and len(clusters) < len(members)
+        ):
+            stalled = _first_stalled_cluster(codes, weights, clusters, config, parent_saturation)
+            if stalled is not None:
+                new_centroid = _farthest_from_all(codes, weights, members, clusters, config)
+                if new_centroid is not None:
+                    clusters.append([new_centroid])
+                    grew = True
+
+        new_assignment = _assign(codes, weights, members, clusters, config, rng)
+        if not grew and new_assignment == assignment:
+            assignment = new_assignment
+            break
+        assignment = new_assignment
+
+    final = _gather(members, assignment, n_clusters=max(assignment) + 1)
+    return [cluster for cluster in final if cluster]
+
+
+def _seed_centroids(
+    codes: np.ndarray,
+    weights: np.ndarray,
+    members: List[int],
+    config: ByteBrainConfig,
+    rng: np.random.Generator,
+) -> List[int]:
+    """Pick the two initial cluster centres."""
+    if not config.use_kmeanspp_seeding:
+        picks = rng.choice(len(members), size=2, replace=False)
+        return [members[int(picks[0])], members[int(picks[1])]]
+    first = members[int(rng.integers(len(members)))]
+    similarities = cluster_similarities(
+        codes,
+        weights,
+        [first],
+        members,
+        use_position_importance=config.use_position_importance,
+        jit_enabled=config.jit_enabled,
+    )
+    # Farthest = least similar; never re-pick the first centre itself.
+    order = np.argsort(similarities)
+    for idx in order:
+        candidate = members[int(idx)]
+        if candidate != first:
+            return [first, candidate]
+    return [first, members[0 if members[0] != first else 1]]
+
+
+def _assign(
+    codes: np.ndarray,
+    weights: np.ndarray,
+    members: List[int],
+    clusters: List[List[int]],
+    config: ByteBrainConfig,
+    rng: np.random.Generator,
+) -> List[int]:
+    """Assign every member to its most similar cluster (ties per §4.6)."""
+    similarity = np.stack(
+        [
+            cluster_similarities(
+                codes,
+                weights,
+                cluster,
+                members,
+                use_position_importance=config.use_position_importance,
+                jit_enabled=config.jit_enabled,
+            )
+            for cluster in clusters
+        ],
+        axis=1,
+    )
+    best = similarity.max(axis=1, keepdims=True)
+    tied = similarity >= best - 1e-12
+    if config.balanced_grouping_enabled:
+        # Balanced grouping (§4.6): among tied clusters pick one uniformly at
+        # random.  Implemented by ranking tied entries with random priorities.
+        priorities = rng.random(similarity.shape)
+        masked = np.where(tied, priorities, -1.0)
+        assignment = masked.argmax(axis=1)
+    else:
+        # Deterministic variant (ablation "w/o balanced group"): first winner.
+        assignment = tied.argmax(axis=1)
+    return [int(choice) for choice in assignment]
+
+
+def _gather(members: List[int], assignment: List[int], n_clusters: int) -> List[List[int]]:
+    """Turn an assignment vector into per-cluster member lists."""
+    clusters: List[List[int]] = [[] for _ in range(n_clusters)]
+    for member, cluster_idx in zip(members, assignment):
+        clusters[cluster_idx].append(member)
+    return clusters
+
+
+def _first_stalled_cluster(
+    codes: np.ndarray,
+    weights: np.ndarray,
+    clusters: List[List[int]],
+    config: ByteBrainConfig,
+    parent_saturation: float,
+) -> Optional[int]:
+    """Index of the first cluster whose saturation did not improve, if any."""
+    for idx, cluster in enumerate(clusters):
+        if len(cluster) <= 1:
+            continue
+        score = _node_saturation(codes, weights, cluster, config)
+        if score <= parent_saturation + 1e-12:
+            return idx
+    return None
+
+
+def _farthest_from_all(
+    codes: np.ndarray,
+    weights: np.ndarray,
+    members: List[int],
+    clusters: List[List[int]],
+    config: ByteBrainConfig,
+) -> Optional[int]:
+    """Member with the smallest maximum similarity to any existing cluster."""
+    existing_singletons = {cluster[0] for cluster in clusters if len(cluster) == 1}
+    similarity = np.stack(
+        [
+            cluster_similarities(
+                codes,
+                weights,
+                cluster,
+                members,
+                use_position_importance=config.use_position_importance,
+                jit_enabled=config.jit_enabled,
+            )
+            for cluster in clusters
+        ],
+        axis=1,
+    )
+    best_per_member = similarity.max(axis=1)
+    order = np.argsort(best_per_member)
+    for idx in order:
+        candidate = members[int(idx)]
+        if candidate not in existing_singletons:
+            return candidate
+    return None
+
+
+def _split_by_most_variable_position(codes: np.ndarray, members: List[int]) -> List[List[int]]:
+    """Deterministic fallback split: group members by the token they hold at
+    the position with the most distinct values.
+
+    The iterative process occasionally collapses back into a single cluster
+    (e.g. when one log dominates the weight); grouping by the most variable
+    position always yields at least two children when any position is
+    unresolved, which guarantees tree-build termination.
+    """
+    group = codes[np.asarray(members, dtype=np.intp)]
+    if group.shape[1] == 0:
+        return [list(members)]
+    distinct = [np.unique(group[:, pos]).size for pos in range(group.shape[1])]
+    pivot = int(np.argmax(distinct))
+    if distinct[pivot] <= 1:
+        return [list(members)]
+    buckets: dict = {}
+    for row in members:
+        token = int(codes[row, pivot])
+        buckets.setdefault(token, []).append(row)
+    return list(buckets.values())

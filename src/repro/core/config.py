@@ -1,0 +1,213 @@
+"""Configuration for ByteBrain-LogParser, including every ablation switch.
+
+The paper's ablation study (§5.4, Fig. 8 and Fig. 9) toggles individual
+techniques on and off.  Every one of those toggles is a field on
+:class:`ByteBrainConfig`, so the ablation harness
+(:mod:`repro.evaluation.ablation`) simply constructs variant configs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+#: Sentinel token used for variable positions in templates.
+WILDCARD = "<*>"
+
+
+@dataclass
+class ByteBrainConfig:
+    """All tunables of the ByteBrain parsing algorithm.
+
+    The defaults correspond to the full method as evaluated in the paper.
+    Each ``use_*`` / ``*_enabled`` flag corresponds to one ablation variant
+    in §5.4.
+    """
+
+    # ------------------------------------------------------------------ #
+    # Preprocessing (§4.1)
+    # ------------------------------------------------------------------ #
+    #: Custom tokenization regex; ``None`` selects the paper's default
+    #: delimiter expression (Listing 1).
+    tokenizer_pattern: Optional[str] = None
+    #: Extra user-supplied ``(name, regex)`` masking rules applied before the
+    #: built-in ones (§4.1.2 "common variable replacement").
+    extra_masking_rules: Tuple[Tuple[str, str], ...] = ()
+    #: Disable the built-in masking rules entirely (used by Fig. 4 to show
+    #: duplication with/without variable replacement).
+    builtin_masking_enabled: bool = True
+    #: §4.1.3 — collapse duplicate (masked, tokenized) records during
+    #: training. Ablation: ``w/o deduplication & related techs``.
+    deduplication_enabled: bool = True
+    #: §4.1.4 — ``"hash"`` (the paper's method) or ``"ordinal"`` (ablation /
+    #: Fig. 10 storage comparison).
+    encoding: str = "hash"
+
+    # ------------------------------------------------------------------ #
+    # Initial grouping (§4.2)
+    # ------------------------------------------------------------------ #
+    #: Number of leading tokens used for prefix grouping (0 by default,
+    #: i.e. group only by token count).
+    prefix_group_tokens: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Hierarchical clustering (§4.3–§4.7)
+    # ------------------------------------------------------------------ #
+    #: Use the position-importance weights :math:`w_i` in Eq. 2.
+    #: Ablation: ``w/o position importance``.
+    use_position_importance: bool = True
+    #: Include the variability factor :math:`f_v` in the saturation score
+    #: (Eq. 3). Ablation: ``w/o variable in saturation`` (s = f_c).
+    use_variable_saturation: bool = True
+    #: Include the confidence factor :math:`p_c` in the saturation score.
+    #: Ablation: ``w/o confidence factor`` (s = f_v * f_c).
+    use_confidence_factor: bool = True
+    #: K-Means++-style centroid seeding (first random, second farthest).
+    #: Ablation: ``random centroid selection``.
+    use_kmeanspp_seeding: bool = True
+    #: Only keep a split if every child improves saturation over the parent;
+    #: otherwise add clusters until it does. Ablation:
+    #: ``w/o ensure saturation increase``.
+    ensure_saturation_increase: bool = True
+    #: §4.6 — break distance ties uniformly at random instead of always
+    #: assigning to the first cluster. Ablation: ``w/o balanced group``.
+    balanced_grouping_enabled: bool = True
+    #: §4.7 — early-stop rules. Ablation: ``w/o early stopping``.
+    early_stop_enabled: bool = True
+    #: Stop splitting a node once its saturation reaches this value.
+    saturation_target: float = 1.0
+    #: Hard cap on tree depth (safety bound; the paper's clustering is
+    #: naturally bounded by the number of token positions).
+    max_tree_depth: int = 48
+    #: Maximum refinement iterations inside a single clustering process.
+    max_cluster_iterations: int = 8
+    #: Maximum number of clusters a single clustering process may create.
+    max_clusters_per_split: int = 16
+
+    # ------------------------------------------------------------------ #
+    # Training-scale guards (§3 offline training)
+    # ------------------------------------------------------------------ #
+    #: Random-sample the training batch down to this many records to avoid
+    #: OOM on exceptionally large topics (``None`` disables sampling).
+    training_sample_size: Optional[int] = 200_000
+    #: Similarity threshold above which templates from a new training round
+    #: are merged into existing ones (§3 "model merging").
+    model_merge_similarity: float = 0.8
+
+    # ------------------------------------------------------------------ #
+    # Online matching (§4.8)
+    # ------------------------------------------------------------------ #
+    #: ``"text"`` — the paper's template-text matching; ``"naive"`` — reuse
+    #: the clustering assignment for training logs (ablation ``w/ naive
+    #: match``); unseen logs fall back to text matching either way.
+    matching_strategy: str = "text"
+    #: Insert unmatched online logs as temporary templates (§3 online
+    #: matching) so the next training round can learn them.
+    insert_unmatched_as_temporary: bool = True
+
+    # ------------------------------------------------------------------ #
+    # Execution model (§3 "Parallel", §5.3)
+    # ------------------------------------------------------------------ #
+    #: Number of worker threads for per-group training and matching shards.
+    #: ``1`` reproduces *ByteBrain Sequential*.
+    parallelism: int = 1
+    #: Use vectorised NumPy kernels for the inner loops.  Disabling this
+    #: reproduces *ByteBrain w/o JIT* (pure-Python loops) from Fig. 6.
+    jit_enabled: bool = True
+
+    # ------------------------------------------------------------------ #
+    # Reproducibility
+    # ------------------------------------------------------------------ #
+    #: Seed for every stochastic choice (centroid seeding, balanced-group
+    #: tie breaking, training sampling).
+    random_seed: int = 7
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # The flags are plain data; validation keeps misconfiguration loud.
+    def validate(self) -> None:
+        """Raise ``ValueError`` for inconsistent settings."""
+        if self.encoding not in ("hash", "ordinal"):
+            raise ValueError(f"encoding must be 'hash' or 'ordinal', got {self.encoding!r}")
+        if self.matching_strategy not in ("text", "naive"):
+            raise ValueError(
+                f"matching_strategy must be 'text' or 'naive', got {self.matching_strategy!r}"
+            )
+        if self.prefix_group_tokens < 0:
+            raise ValueError("prefix_group_tokens must be >= 0")
+        if not 0.0 < self.saturation_target <= 1.0:
+            raise ValueError("saturation_target must be in (0, 1]")
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        if self.max_tree_depth < 1:
+            raise ValueError("max_tree_depth must be >= 1")
+        if self.max_clusters_per_split < 2:
+            raise ValueError("max_clusters_per_split must be >= 2")
+        if not 0.0 <= self.model_merge_similarity <= 1.0:
+            raise ValueError("model_merge_similarity must be in [0, 1]")
+        if self.training_sample_size is not None and self.training_sample_size < 1:
+            raise ValueError("training_sample_size must be >= 1 or None")
+
+    def replace(self, **changes) -> "ByteBrainConfig":
+        """Return a copy of the config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise the config to a plain dict (JSON friendly)."""
+        data = dataclasses.asdict(self)
+        data["extra_masking_rules"] = [list(rule) for rule in self.extra_masking_rules]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ByteBrainConfig":
+        """Inverse of :meth:`to_dict`."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key in known}
+        rules = kwargs.get("extra_masking_rules")
+        if rules is not None:
+            kwargs["extra_masking_rules"] = tuple(tuple(rule) for rule in rules)
+        return cls(**kwargs)
+
+
+#: Named ablation variants exactly as labelled in Fig. 8 / Fig. 9.
+ABLATION_VARIANTS: Dict[str, Dict[str, object]] = {
+    "ByteBrain": {},
+    "w/ naive match": {"matching_strategy": "naive"},
+    "w/o variable in saturation": {"use_variable_saturation": False},
+    "w/o position importance": {"use_position_importance": False},
+    "w/o confidence factor": {"use_confidence_factor": False},
+    "random centroid selection": {"use_kmeanspp_seeding": False},
+    "w/o ensure saturation increase": {"ensure_saturation_increase": False},
+    "w/o balanced group": {"balanced_grouping_enabled": False},
+    "w/o early stopping": {"early_stop_enabled": False},
+    "w/o deduplication&related techs": {
+        "deduplication_enabled": False,
+        "balanced_grouping_enabled": False,
+        "early_stop_enabled": False,
+    },
+    "ordinal encoding": {"encoding": "ordinal"},
+}
+
+
+def ablation_config(name: str, base: Optional[ByteBrainConfig] = None) -> ByteBrainConfig:
+    """Build the config for a named ablation variant.
+
+    Parameters
+    ----------
+    name:
+        A key of :data:`ABLATION_VARIANTS` (the labels used in Fig. 8/9).
+    base:
+        Config to derive from; defaults to ``ByteBrainConfig()``.
+    """
+    if name not in ABLATION_VARIANTS:
+        raise KeyError(f"unknown ablation variant {name!r}; known: {sorted(ABLATION_VARIANTS)}")
+    base = base or ByteBrainConfig()
+    return base.replace(**ABLATION_VARIANTS[name])
+
+
+def list_ablation_variants() -> List[str]:
+    """Return the names of all ablation variants (paper Fig. 8/9 labels)."""
+    return list(ABLATION_VARIANTS)

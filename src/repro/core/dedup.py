@@ -1,0 +1,111 @@
+"""Deduplication of identical (masked, tokenized) log records (paper §4.1.3).
+
+Log streams are heavily duplicated, and duplication increases further after
+common-variable replacement (Fig. 4).  Collapsing duplicates while keeping an
+occurrence count is one of the biggest efficiency levers of the whole system
+(Fig. 9: removing it costs up to two orders of magnitude of throughput).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["DedupResult", "deduplicate", "deduplicate_raw", "duplication_histogram"]
+
+
+@dataclass
+class DedupResult:
+    """Outcome of deduplicating a batch of tokenized logs.
+
+    Attributes
+    ----------
+    unique_tokens:
+        One token tuple per distinct record, in first-seen order.
+    counts:
+        ``counts[i]`` is how many input records collapsed into
+        ``unique_tokens[i]``.
+    inverse:
+        ``inverse[j]`` is the index into ``unique_tokens`` for input record
+        ``j`` (lets callers map results back onto the original stream).
+    """
+
+    unique_tokens: List[Tuple[str, ...]]
+    counts: List[int]
+    inverse: List[int]
+
+    @property
+    def total(self) -> int:
+        """Number of input records."""
+        return len(self.inverse)
+
+    @property
+    def n_unique(self) -> int:
+        """Number of distinct records."""
+        return len(self.unique_tokens)
+
+    @property
+    def reduction_ratio(self) -> float:
+        """``total / n_unique`` — how much work deduplication saves."""
+        if self.n_unique == 0:
+            return 1.0
+        return self.total / self.n_unique
+
+
+def deduplicate(
+    token_lists: Sequence[Sequence[str]],
+    occurrence_counts: Optional[Sequence[int]] = None,
+) -> DedupResult:
+    """Collapse identical token sequences, keeping counts and an inverse map.
+
+    Parameters
+    ----------
+    token_lists:
+        Token sequences to deduplicate.
+    occurrence_counts:
+        Optional per-input occurrence counts (used when the inputs were
+        already deduplicated at the raw-text level); defaults to one each.
+    """
+    index_of: Dict[Tuple[str, ...], int] = {}
+    unique_tokens: List[Tuple[str, ...]] = []
+    counts: List[int] = []
+    inverse: List[int] = []
+    for position, tokens in enumerate(token_lists):
+        key = tuple(tokens)
+        idx = index_of.get(key)
+        if idx is None:
+            idx = len(unique_tokens)
+            index_of[key] = idx
+            unique_tokens.append(key)
+            counts.append(0)
+        counts[idx] += 1 if occurrence_counts is None else int(occurrence_counts[position])
+        inverse.append(idx)
+    return DedupResult(unique_tokens=unique_tokens, counts=counts, inverse=inverse)
+
+
+def deduplicate_raw(texts: Sequence[str]) -> Tuple[List[str], List[int], List[int]]:
+    """Collapse identical raw log lines.
+
+    Returns ``(unique_texts, counts, inverse)``; raw-level deduplication runs
+    before preprocessing so duplicate records skip masking and tokenization
+    entirely.
+    """
+    index_of: Dict[str, int] = {}
+    unique_texts: List[str] = []
+    counts: List[int] = []
+    inverse: List[int] = []
+    for text in texts:
+        idx = index_of.get(text)
+        if idx is None:
+            idx = len(unique_texts)
+            index_of[text] = idx
+            unique_texts.append(text)
+            counts.append(0)
+        counts[idx] += 1
+        inverse.append(idx)
+    return unique_texts, counts, inverse
+
+
+def duplication_histogram(token_lists: Sequence[Sequence[str]]) -> List[int]:
+    """Occurrence count of every distinct record (input to the Fig. 4 CDF)."""
+    return list(deduplicate(token_lists).counts)

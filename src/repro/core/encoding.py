@@ -1,0 +1,144 @@
+"""Token encoding: 64-bit hash encoding and ordinal encoding (paper §4.1.4).
+
+The paper encodes tokens into numeric vectors so the clustering inner loops
+operate on integers instead of strings.
+
+* **Hash encoding** (the paper's choice) maps every token to a deterministic
+  64-bit integer.  No token→id dictionary has to be stored or shipped, the
+  encoder is embarrassingly parallel, and the collision probability is
+  negligible (Eq. 1 — the birthday bound gives ~2.7e-6 for ten million
+  distinct tokens).
+* **Ordinal encoding** is kept as the ablation / storage-cost comparison
+  (Fig. 10): it assigns consecutive ids but requires persisting the full
+  dictionary, whose size grows with the vocabulary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import struct
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "TokenEncoder",
+    "HashEncoder",
+    "OrdinalEncoder",
+    "hash_token",
+    "collision_probability",
+    "make_encoder",
+]
+
+_UINT64_MASK = (1 << 64) - 1
+
+
+def hash_token(token: str) -> int:
+    """Deterministic 64-bit hash of a token.
+
+    Uses the first 8 bytes of blake2b, which is stable across processes and
+    Python versions (unlike the built-in ``hash``), exactly the property the
+    paper needs so that offline training and online matching agree without a
+    shared dictionary.
+    """
+    digest = hashlib.blake2b(token.encode("utf-8", "surrogatepass"), digest_size=8).digest()
+    return struct.unpack("<Q", digest)[0] & _UINT64_MASK
+
+
+def collision_probability(n_distinct_tokens: int, bits: int = 64) -> float:
+    """Birthday-bound collision probability for ``n`` distinct tokens (Eq. 1)."""
+    if n_distinct_tokens < 2:
+        return 0.0
+    n = float(n_distinct_tokens)
+    space = float(2**bits)
+    exponent = -(n * (n - 1.0)) / (2.0 * space)
+    return 1.0 - math.exp(exponent)
+
+
+class TokenEncoder:
+    """Common interface of the two encoders."""
+
+    name = "base"
+
+    def encode_tokens(self, tokens: Sequence[str]) -> np.ndarray:
+        """Encode one token sequence into a 1-D ``uint64`` array."""
+        raise NotImplementedError
+
+    def encode_batch(self, token_lists: Sequence[Sequence[str]]) -> List[np.ndarray]:
+        """Encode many token sequences."""
+        return [self.encode_tokens(tokens) for tokens in token_lists]
+
+    def dictionary_size_bytes(self) -> int:
+        """Bytes required to persist the encoder's state alongside the model."""
+        raise NotImplementedError
+
+
+class HashEncoder(TokenEncoder):
+    """Stateless 64-bit hash encoding (the paper's method)."""
+
+    name = "hash"
+
+    def __init__(self) -> None:
+        self._cache: Dict[str, int] = {}
+
+    def encode_tokens(self, tokens: Sequence[str]) -> np.ndarray:
+        cache = self._cache
+        values = np.empty(len(tokens), dtype=np.uint64)
+        for i, token in enumerate(tokens):
+            value = cache.get(token)
+            if value is None:
+                value = hash_token(token)
+                cache[token] = value
+            values[i] = value
+        return values
+
+    def dictionary_size_bytes(self) -> int:
+        """Hash encoding stores no dictionary at all."""
+        return 0
+
+
+class OrdinalEncoder(TokenEncoder):
+    """Dictionary-based encoding kept for the ablation and Fig. 10.
+
+    Every distinct token receives a consecutive integer id; the token→id
+    mapping must be persisted with the model, which is exactly the storage
+    cost the paper's hash encoding removes.
+    """
+
+    name = "ordinal"
+
+    def __init__(self) -> None:
+        self.vocabulary: Dict[str, int] = {}
+
+    def encode_tokens(self, tokens: Sequence[str]) -> np.ndarray:
+        vocab = self.vocabulary
+        values = np.empty(len(tokens), dtype=np.uint64)
+        for i, token in enumerate(tokens):
+            idx = vocab.get(token)
+            if idx is None:
+                idx = len(vocab)
+                vocab[token] = idx
+            values[i] = idx
+        return values
+
+    def dictionary_size_bytes(self) -> int:
+        """Size of the serialised token→id dictionary (JSON, as a proxy)."""
+        if not self.vocabulary:
+            return 2
+        payload = json.dumps(self.vocabulary, ensure_ascii=False)
+        return len(payload.encode("utf-8"))
+
+    def vocabulary_size(self) -> int:
+        """Number of distinct tokens seen so far."""
+        return len(self.vocabulary)
+
+
+def make_encoder(kind: str) -> TokenEncoder:
+    """Factory used by the trainer: ``"hash"`` or ``"ordinal"``."""
+    if kind == "hash":
+        return HashEncoder()
+    if kind == "ordinal":
+        return OrdinalEncoder()
+    raise ValueError(f"unknown encoding kind {kind!r}")

@@ -1,0 +1,81 @@
+"""Initial grouping of logs before hierarchical clustering (paper §4.2).
+
+Logs that cannot possibly share a template are separated early so that the
+expensive clustering runs on small, independent groups (which is also what
+makes per-group parallelism possible):
+
+1. **Length** — logs with different token counts belong to different
+   templates (a design decision the paper defends in §7).
+2. **Prefix** — logs whose first ``k`` tokens differ are separated
+   (``k`` is user-configured, 0 by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["GroupKey", "InitialGroup", "initial_grouping"]
+
+#: Hashable key identifying an initial group: token count plus the first
+#: ``k`` tokens.
+GroupKey = Tuple[int, Tuple[str, ...]]
+
+
+@dataclass
+class InitialGroup:
+    """One initial group: indices into the deduplicated record list."""
+
+    key: GroupKey
+    member_indices: List[int] = field(default_factory=list)
+
+    @property
+    def token_count(self) -> int:
+        """Token count shared by every member of the group."""
+        return self.key[0]
+
+    @property
+    def prefix(self) -> Tuple[str, ...]:
+        """Prefix tokens shared by every member of the group."""
+        return self.key[1]
+
+    def __len__(self) -> int:
+        return len(self.member_indices)
+
+
+def group_key(tokens: Sequence[str], prefix_tokens: int = 0) -> GroupKey:
+    """Compute the initial-group key for one token sequence."""
+    if prefix_tokens <= 0:
+        prefix: Tuple[str, ...] = ()
+    else:
+        prefix = tuple(tokens[:prefix_tokens])
+    return (len(tokens), prefix)
+
+
+def initial_grouping(
+    token_lists: Sequence[Sequence[str]],
+    prefix_tokens: int = 0,
+) -> List[InitialGroup]:
+    """Partition records into initial groups by length and prefix.
+
+    Parameters
+    ----------
+    token_lists:
+        Tokenized (and typically deduplicated) records.
+    prefix_tokens:
+        Number of leading tokens used for prefix grouping (paper default 0).
+
+    Returns
+    -------
+    list of InitialGroup
+        Groups in first-seen order; each holds indices into ``token_lists``.
+    """
+    groups: Dict[GroupKey, InitialGroup] = {}
+    for index, tokens in enumerate(token_lists):
+        key = group_key(tokens, prefix_tokens)
+        group = groups.get(key)
+        if group is None:
+            group = InitialGroup(key=key)
+            groups[key] = group
+        group.member_indices.append(index)
+    return list(groups.values())

@@ -1,0 +1,265 @@
+"""Online matching of incoming logs against the trained model (paper §4.8).
+
+Incoming logs are preprocessed exactly like training logs and then matched
+against template *texts* — position by position, most saturated template
+first — rather than by re-computing clustering distances.  Logs that match
+no template become temporary single-log templates so they are queryable
+immediately and get folded into the model at the next training cycle.
+
+The ablation variant *w/ naive match* instead reuses the template assignment
+the log received during training clustering (falling back to text matching
+only for unseen logs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import WILDCARD, ByteBrainConfig
+from repro.core.encoding import hash_token
+from repro.core.model import ParserModel, Template
+from repro.core.parallel import chunk, map_parallel
+from repro.core.trainer import Preprocessor
+
+__all__ = ["MatchResult", "OnlineMatcher", "TemplateMatchIndex"]
+
+
+class TemplateMatchIndex:
+    """Vectorised position-based template matching (§4.8).
+
+    For every token count the index holds a matrix of the templates' hashed
+    constant tokens plus a wildcard mask, ordered by descending saturation.
+    Matching one log is then a single vectorised comparison instead of a
+    Python loop over templates — the same trick the paper attributes to its
+    JIT-compiled matcher.
+    """
+
+    def __init__(self, model: ParserModel) -> None:
+        self._by_length: Dict[int, Tuple[np.ndarray, np.ndarray, List[int]]] = {}
+        self._build(model)
+
+    def _build(self, model: ParserModel) -> None:
+        per_length: Dict[int, List[Template]] = {}
+        for template in model.templates():
+            per_length.setdefault(template.n_tokens, []).append(template)
+        for length, templates in per_length.items():
+            templates.sort(key=lambda t: (-t.saturation, t.template_id))
+            if length == 0:
+                continue
+            codes = np.zeros((len(templates), length), dtype=np.uint64)
+            wildcard_mask = np.zeros((len(templates), length), dtype=bool)
+            ids: List[int] = []
+            for row, template in enumerate(templates):
+                ids.append(template.template_id)
+                for pos, token in enumerate(template.tokens):
+                    if token == WILDCARD:
+                        wildcard_mask[row, pos] = True
+                    else:
+                        codes[row, pos] = hash_token(token)
+            self._by_length[length] = (codes, wildcard_mask, ids)
+
+    def match(self, tokens: Sequence[str]) -> Optional[int]:
+        """Template id of the most saturated matching template, or ``None``."""
+        entry = self._by_length.get(len(tokens))
+        if entry is None:
+            return None
+        codes, wildcard_mask, ids = entry
+        encoded = np.fromiter((hash_token(token) for token in tokens), dtype=np.uint64, count=len(tokens))
+        hits = ((codes == encoded) | wildcard_mask).all(axis=1)
+        index = int(np.argmax(hits))
+        if not hits[index]:
+            return None
+        return ids[index]
+
+
+@dataclass
+class MatchResult:
+    """Outcome of matching one log record."""
+
+    template_id: int
+    template: Template
+    is_new_template: bool = False
+
+    @property
+    def template_text(self) -> str:
+        """User-facing template text."""
+        return self.template.text
+
+    @property
+    def saturation(self) -> float:
+        """Saturation (precision) of the matched template."""
+        return self.template.saturation
+
+
+class OnlineMatcher:
+    """Matches a stream of raw logs against a :class:`ParserModel`."""
+
+    def __init__(
+        self,
+        model: ParserModel,
+        config: Optional[ByteBrainConfig] = None,
+        preprocessor: Optional[Preprocessor] = None,
+        training_assignments: Optional[Dict[Tuple[str, ...], int]] = None,
+    ) -> None:
+        self.config = config or ByteBrainConfig()
+        self.model = model
+        self.preprocessor = preprocessor or Preprocessor(self.config)
+        self.training_assignments = training_assignments or {}
+        #: Memoised token-tuple -> template id map.  This is the online
+        #: counterpart of deduplication: duplicate records skip matching.
+        self._cache: Dict[Tuple[str, ...], int] = {}
+        #: Vectorised index over the trained templates.  Temporary templates
+        #: created online are exact token tuples, so they live in a side
+        #: dictionary instead of forcing index rebuilds.
+        self._index = TemplateMatchIndex(model) if self.config.jit_enabled else None
+        self._temporary: Dict[Tuple[str, ...], int] = {}
+
+    # ------------------------------------------------------------------ #
+    # single record
+    # ------------------------------------------------------------------ #
+    def match(self, raw_log: str) -> MatchResult:
+        """Preprocess and match a single raw log record."""
+        tokens = self.preprocessor.process(raw_log)
+        if not tokens:
+            tokens = ("<empty>",)
+        return self.match_tokens(tokens)
+
+    def match_tokens(self, tokens: Tuple[str, ...]) -> MatchResult:
+        """Match an already-preprocessed token tuple."""
+        if self.config.deduplication_enabled:
+            cached = self._cache.get(tokens)
+            if cached is not None:
+                return MatchResult(template_id=cached, template=self.model.get(cached))
+
+        template = self._lookup(tokens)
+        is_new = False
+        if template is None:
+            if self.config.insert_unmatched_as_temporary:
+                template = self.model.new_temporary_template(tokens)
+                self._temporary[tokens] = template.template_id
+                is_new = True
+            else:
+                # Degenerate fallback: report the log itself without
+                # registering it (used only when temporary insertion is off).
+                template = Template(
+                    template_id=-1,
+                    tokens=tokens,
+                    saturation=1.0,
+                    parent_id=None,
+                    depth=0,
+                    is_temporary=True,
+                )
+        if self.config.deduplication_enabled and template.template_id >= 0:
+            self._cache[tokens] = template.template_id
+        return MatchResult(template_id=template.template_id, template=template, is_new_template=is_new)
+
+    def _lookup(self, tokens: Tuple[str, ...]) -> Optional[Template]:
+        if self.config.matching_strategy == "naive":
+            assigned = self.training_assignments.get(tokens)
+            if assigned is not None and assigned in self.model:
+                return self.model.get(assigned)
+        if self._index is not None:
+            template_id = self._index.match(tokens)
+            if template_id is not None:
+                return self.model.get(template_id)
+            temporary_id = self._temporary.get(tokens)
+            if temporary_id is not None:
+                return self.model.get(temporary_id)
+            return None
+        return self.model.match_tokens(tokens)
+
+    # ------------------------------------------------------------------ #
+    # batches
+    # ------------------------------------------------------------------ #
+    def match_many(self, raw_logs: Sequence[str]) -> List[MatchResult]:
+        """Match a batch of raw logs.
+
+        The batch is preprocessed, deduplicated (the online counterpart of
+        §4.1.3 — duplicate records are matched once) and the distinct token
+        tuples are matched, optionally sharded across ``parallelism`` worker
+        threads since template-id computation is independent per log (§3
+        "Online Matching").  Temporary-template insertion stays
+        single-threaded to avoid concurrent model mutation.
+        """
+        if not raw_logs:
+            return []
+        if not self.config.deduplication_enabled:
+            token_lists = self.preprocessor.process_many(raw_logs)
+            token_lists = [tokens if tokens else ("<empty>",) for tokens in token_lists]
+            return [self.match_tokens(tokens) for tokens in token_lists]
+
+        # Raw-level deduplication first: identical raw records (bursts,
+        # health checks, retries) skip preprocessing entirely.
+        unique_raw: List[str] = []
+        raw_inverse: List[int] = []
+        raw_seen: Dict[str, int] = {}
+        for raw in raw_logs:
+            idx = raw_seen.get(raw)
+            if idx is None:
+                idx = len(unique_raw)
+                raw_seen[raw] = idx
+                unique_raw.append(raw)
+            raw_inverse.append(idx)
+
+        token_lists = self.preprocessor.process_many(unique_raw)
+        token_lists = [tokens if tokens else ("<empty>",) for tokens in token_lists]
+
+        # Token-level deduplication second: distinct raw records frequently
+        # collapse after variable replacement (§4.1.3, Fig. 4).
+        unique_order: List[Tuple[str, ...]] = []
+        token_inverse: List[int] = []
+        seen: Dict[Tuple[str, ...], int] = {}
+        for tokens in token_lists:
+            idx = seen.get(tokens)
+            if idx is None:
+                idx = len(unique_order)
+                seen[tokens] = idx
+                unique_order.append(tokens)
+            token_inverse.append(idx)
+
+        unique_results = self._match_unique(unique_order)
+        return [unique_results[token_inverse[raw_idx]] for raw_idx in raw_inverse]
+
+    def _match_unique(self, unique_tokens: List[Tuple[str, ...]]) -> List[MatchResult]:
+        """Match each distinct token tuple exactly once."""
+        parallelism = self.config.parallelism
+        results: List[Optional[MatchResult]] = [None] * len(unique_tokens)
+
+        pending: List[int] = []
+        for idx, tokens in enumerate(unique_tokens):
+            cached = self._cache.get(tokens)
+            if cached is not None:
+                results[idx] = MatchResult(template_id=cached, template=self.model.get(cached))
+            else:
+                pending.append(idx)
+
+        if parallelism > 1 and len(pending) >= 2 * parallelism:
+            shards = chunk(pending, parallelism)
+
+            def match_shard(indices: List[int]) -> List[Tuple[int, Optional[int]]]:
+                return [
+                    (idx, self._lookup_id(unique_tokens[idx]))
+                    for idx in indices
+                ]
+
+            shard_results = map_parallel(match_shard, shards, parallelism)
+            lookups = {idx: template_id for shard in shard_results for idx, template_id in shard}
+        else:
+            lookups = {idx: self._lookup_id(unique_tokens[idx]) for idx in pending}
+
+        for idx in pending:
+            template_id = lookups[idx]
+            tokens = unique_tokens[idx]
+            if template_id is None:
+                results[idx] = self.match_tokens(tokens)
+            else:
+                self._cache[tokens] = template_id
+                results[idx] = MatchResult(template_id=template_id, template=self.model.get(template_id))
+        return [result for result in results if result is not None]
+
+    def _lookup_id(self, tokens: Tuple[str, ...]) -> Optional[int]:
+        template = self._lookup(tokens)
+        return template.template_id if template is not None else None

@@ -1,0 +1,371 @@
+"""Template model: the artefact produced by offline training (paper §3, §4.8).
+
+The model stores, for every clustering-tree node, only what online matching
+and query-time precision adjustment need: the template text, the saturation
+score and the parent link.  Token-level statistics are deliberately *not*
+stored (that is the storage saving of §4.8), so the model is a few megabytes
+even for very large topics (Table 5).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import WILDCARD
+
+__all__ = ["Template", "ParserModel", "template_similarity", "merge_consecutive_wildcards"]
+
+
+def merge_consecutive_wildcards(tokens: Sequence[str], wildcard: str = WILDCARD) -> Tuple[str, ...]:
+    """Collapse runs of consecutive wildcards into a single wildcard (§7).
+
+    Used at the query-result layer so templates produced by variable-length
+    list arguments (``users * * *``) present as one intuitive template
+    (``users *``) without complicating online matching.
+    """
+    merged: List[str] = []
+    for token in tokens:
+        if token == wildcard and merged and merged[-1] == wildcard:
+            continue
+        merged.append(token)
+    return tuple(merged)
+
+
+def template_similarity(a: Sequence[str], b: Sequence[str], wildcard: str = WILDCARD) -> float:
+    """Positional similarity between two templates, used for model merging.
+
+    Two templates of different lengths are never merged (similarity 0).  For
+    equal lengths, a position contributes 1 when the tokens are identical and
+    0.5 when exactly one side is a wildcard (the wildcard *could* stand for
+    the other token); the score is the mean contribution.
+    """
+    if len(a) != len(b):
+        return 0.0
+    if len(a) == 0:
+        return 1.0
+    score = 0.0
+    for token_a, token_b in zip(a, b):
+        if token_a == token_b:
+            score += 1.0
+        elif token_a == wildcard or token_b == wildcard:
+            score += 0.5
+    return score / len(a)
+
+
+@dataclass
+class Template:
+    """One log template (== one clustering-tree node) held by the model."""
+
+    template_id: int
+    tokens: Tuple[str, ...]
+    saturation: float
+    parent_id: Optional[int]
+    depth: int
+    weight: float = 0.0
+    is_temporary: bool = False
+
+    @property
+    def text(self) -> str:
+        """Space-joined template text (the user-facing representation)."""
+        return " ".join(self.tokens)
+
+    @property
+    def merged_text(self) -> str:
+        """Template text with consecutive wildcards collapsed (§7)."""
+        return " ".join(merge_consecutive_wildcards(self.tokens))
+
+    @property
+    def n_tokens(self) -> int:
+        """Number of token positions."""
+        return len(self.tokens)
+
+    @property
+    def n_wildcards(self) -> int:
+        """Number of variable positions."""
+        return sum(1 for token in self.tokens if token == WILDCARD)
+
+    def matches(self, tokens: Sequence[str]) -> bool:
+        """Position-based match (§4.8): exact token or wildcard at each slot."""
+        if len(tokens) != len(self.tokens):
+            return False
+        for template_token, token in zip(self.tokens, tokens):
+            if template_token != WILDCARD and template_token != token:
+                return False
+        return True
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation."""
+        return {
+            "template_id": self.template_id,
+            "tokens": list(self.tokens),
+            "saturation": self.saturation,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "weight": self.weight,
+            "is_temporary": self.is_temporary,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Template":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            template_id=int(data["template_id"]),
+            tokens=tuple(data["tokens"]),
+            saturation=float(data["saturation"]),
+            parent_id=None if data["parent_id"] is None else int(data["parent_id"]),
+            depth=int(data["depth"]),
+            weight=float(data.get("weight", 0.0)),
+            is_temporary=bool(data.get("is_temporary", False)),
+        )
+
+
+class ParserModel:
+    """The collection of templates produced by training, plus match indexes.
+
+    The model maintains an index from token count to the template ids of that
+    length, ordered by descending saturation — exactly the order in which
+    online matching probes templates (§4.8: most precise first).
+    """
+
+    def __init__(self, templates: Optional[Iterable[Template]] = None) -> None:
+        self._templates: Dict[int, Template] = {}
+        self._by_length: Dict[int, List[int]] = {}
+        self._next_id: int = 0
+        self.dictionary_bytes: int = 0
+        if templates:
+            for template in templates:
+                self.add_template(template)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def allocate_id(self) -> int:
+        """Reserve the next free template id."""
+        allocated = self._next_id
+        self._next_id += 1
+        return allocated
+
+    def add_template(self, template: Template) -> Template:
+        """Insert a template (id must be unique) and index it for matching."""
+        if template.template_id in self._templates:
+            raise ValueError(f"duplicate template id {template.template_id}")
+        self._templates[template.template_id] = template
+        self._next_id = max(self._next_id, template.template_id + 1)
+        bucket = self._by_length.setdefault(template.n_tokens, [])
+        bucket.append(template.template_id)
+        bucket.sort(key=lambda tid: (-self._templates[tid].saturation, tid))
+        return template
+
+    def new_temporary_template(self, tokens: Sequence[str]) -> Template:
+        """Create and insert a temporary template for an unmatched online log.
+
+        Unmatched logs become their own (fully saturated) template so queries
+        can reference them immediately; the next training cycle re-learns
+        them properly (§3 online matching).
+        """
+        template = Template(
+            template_id=self.allocate_id(),
+            tokens=tuple(tokens),
+            saturation=1.0,
+            parent_id=None,
+            depth=0,
+            weight=1.0,
+            is_temporary=True,
+        )
+        return self.add_template(template)
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._templates)
+
+    def __contains__(self, template_id: int) -> bool:
+        return template_id in self._templates
+
+    def get(self, template_id: int) -> Template:
+        """Fetch a template by id (KeyError if unknown)."""
+        return self._templates[template_id]
+
+    def templates(self) -> List[Template]:
+        """All templates, ordered by id."""
+        return [self._templates[tid] for tid in sorted(self._templates)]
+
+    def templates_of_length(self, n_tokens: int) -> List[Template]:
+        """Templates with the given token count, most saturated first."""
+        return [self._templates[tid] for tid in self._by_length.get(n_tokens, [])]
+
+    def match_tokens(self, tokens: Sequence[str]) -> Optional[Template]:
+        """Position-based online matching (§4.8).
+
+        Probes templates of the same token count in descending saturation
+        order and returns the first match, or ``None``.
+        """
+        for template_id in self._by_length.get(len(tokens), []):
+            template = self._templates[template_id]
+            if template.matches(tokens):
+                return template
+        return None
+
+    def ancestors(self, template_id: int) -> List[Template]:
+        """Parent chain of a template, nearest parent first."""
+        chain: List[Template] = []
+        current = self._templates[template_id]
+        seen = {template_id}
+        while current.parent_id is not None and current.parent_id in self._templates:
+            if current.parent_id in seen:  # defensive: break on cycles
+                break
+            current = self._templates[current.parent_id]
+            seen.add(current.template_id)
+            chain.append(current)
+        return chain
+
+    def resolve_threshold(self, template_id: int, threshold: float) -> Template:
+        """Coarsest template on the ancestor path with saturation >= threshold.
+
+        This is the query-time precision adjustment of §3: starting from the
+        precise template recorded at ingestion, walk upward and return the
+        shallowest ancestor that still satisfies the user's threshold.  If
+        even the starting template falls below the threshold it is returned
+        unchanged (it is the most precise information available).
+        """
+        start = self._templates[template_id]
+        candidates = [start] + self.ancestors(template_id)
+        chosen = start
+        for template in candidates:
+            if template.saturation >= threshold - 1e-12:
+                chosen = template
+            else:
+                break
+        return chosen
+
+    def descendants(self, template_id: int) -> List[Template]:
+        """All templates whose ancestor chain contains ``template_id``."""
+        result = []
+        for template in self._templates.values():
+            if template.template_id == template_id:
+                continue
+            if any(anc.template_id == template_id for anc in self.ancestors(template.template_id)):
+                result.append(template)
+        return result
+
+    def templates_at_threshold(self, threshold: float) -> List[Template]:
+        """The set of coarsest templates satisfying ``threshold``.
+
+        These are the templates a user sees when setting the precision slider
+        to ``threshold``: templates whose saturation meets the threshold but
+        whose parent's does not (or that have no parent).
+        """
+        selected = []
+        for template in self._templates.values():
+            if template.saturation < threshold - 1e-12:
+                continue
+            parent_ok = (
+                template.parent_id is not None
+                and template.parent_id in self._templates
+                and self._templates[template.parent_id].saturation >= threshold - 1e-12
+            )
+            if not parent_ok:
+                selected.append(template)
+        return sorted(selected, key=lambda t: t.template_id)
+
+    # ------------------------------------------------------------------ #
+    # merging (§3: the newly trained model is merged with the previous one)
+    # ------------------------------------------------------------------ #
+    def merge_from(self, other: "ParserModel", similarity_threshold: float = 0.8) -> Dict[int, int]:
+        """Merge another model's templates into this one.
+
+        Templates of ``other`` that are sufficiently similar to an existing
+        template are folded into it (their weight accumulates); dissimilar
+        ones are inserted with fresh ids, preserving their parent structure.
+
+        Returns
+        -------
+        dict
+            Mapping from ``other``'s template ids to ids in this model.
+        """
+        id_map: Dict[int, int] = {}
+        # First pass: decide merge-vs-insert per template (parents first so
+        # the parent links of inserted templates can be remapped).
+        for template in sorted(other.templates(), key=lambda t: t.depth):
+            target = self._find_similar(template, similarity_threshold)
+            if target is not None:
+                target.weight += template.weight
+                id_map[template.template_id] = target.template_id
+                continue
+            new_id = self.allocate_id()
+            parent_id = template.parent_id
+            mapped_parent = id_map.get(parent_id) if parent_id is not None else None
+            clone = Template(
+                template_id=new_id,
+                tokens=template.tokens,
+                saturation=template.saturation,
+                parent_id=mapped_parent,
+                depth=template.depth,
+                weight=template.weight,
+                is_temporary=template.is_temporary,
+            )
+            self.add_template(clone)
+            id_map[template.template_id] = new_id
+        return id_map
+
+    def _find_similar(self, template: Template, threshold: float) -> Optional[Template]:
+        best: Optional[Template] = None
+        best_score = threshold
+        for candidate_id in self._by_length.get(template.n_tokens, []):
+            candidate = self._templates[candidate_id]
+            score = template_similarity(candidate.tokens, template.tokens)
+            if score >= best_score and abs(candidate.saturation - template.saturation) <= 0.25:
+                if best is None or score > best_score:
+                    best = candidate
+                    best_score = score
+        return best
+
+    # ------------------------------------------------------------------ #
+    # persistence and accounting
+    # ------------------------------------------------------------------ #
+    def to_json(self) -> str:
+        """Serialise the full model to JSON."""
+        payload = {
+            "templates": [template.to_dict() for template in self.templates()],
+            "dictionary_bytes": self.dictionary_bytes,
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ParserModel":
+        """Deserialise a model produced by :meth:`to_json`."""
+        data = json.loads(payload)
+        model = cls(Template.from_dict(item) for item in data["templates"])
+        model.dictionary_bytes = int(data.get("dictionary_bytes", 0))
+        return model
+
+    def size_bytes(self) -> int:
+        """Approximate persisted size of the model (templates + dictionary).
+
+        This is the quantity reported as "Model Size" in Table 5; hash
+        encoding keeps ``dictionary_bytes`` at zero, ordinal encoding pays
+        for the token dictionary (Fig. 10).
+        """
+        return len(self.to_json().encode("utf-8")) + self.dictionary_bytes
+
+    def stats(self) -> Dict[str, float]:
+        """Summary statistics used by the service and the benchmarks."""
+        templates = self.templates()
+        if not templates:
+            return {
+                "n_templates": 0,
+                "n_leaves": 0,
+                "max_depth": 0,
+                "size_bytes": self.size_bytes(),
+            }
+        parent_ids = {t.parent_id for t in templates if t.parent_id is not None}
+        n_leaves = sum(1 for t in templates if t.template_id not in parent_ids)
+        return {
+            "n_templates": len(templates),
+            "n_leaves": n_leaves,
+            "max_depth": max(t.depth for t in templates),
+            "size_bytes": self.size_bytes(),
+        }

@@ -1,0 +1,45 @@
+"""Parallel execution helpers (paper §3 "Parallel", §5.5.2).
+
+The paper parallelises per-group training and per-log matching across a
+small number of cores (1–5 in production).  Here the unit of parallelism is
+a thread pool: the heavy inner loops are NumPy kernels that release the GIL,
+so threads give a realistic speedup while keeping the in-process service
+simple.  ``parallelism == 1`` reproduces *ByteBrain Sequential*.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+__all__ = ["map_parallel", "chunk"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def map_parallel(fn: Callable[[T], R], items: Sequence[T], parallelism: int = 1) -> List[R]:
+    """Apply ``fn`` to every item, optionally across a thread pool.
+
+    Results are returned in input order regardless of completion order.
+    """
+    if parallelism <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = min(parallelism, len(items))
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))
+
+
+def chunk(items: Sequence[T], n_chunks: int) -> List[List[T]]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, near-equal parts."""
+    if n_chunks <= 1 or len(items) <= 1:
+        return [list(items)]
+    n_chunks = min(n_chunks, len(items))
+    size, remainder = divmod(len(items), n_chunks)
+    chunks: List[List[T]] = []
+    start = 0
+    for index in range(n_chunks):
+        end = start + size + (1 if index < remainder else 0)
+        chunks.append(list(items[start:end]))
+        start = end
+    return chunks

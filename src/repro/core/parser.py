@@ -1,0 +1,219 @@
+"""The public ``ByteBrainParser`` façade.
+
+Combines the offline trainer (§3/§4.1–§4.7), the online matcher (§4.8) and
+the query engine (§3 "Query") behind one object with the workflow a tenant
+of the cloud service experiences:
+
+>>> parser = ByteBrainParser()
+>>> parser.train(training_logs)
+>>> result = parser.match("acquire lock=23 flg=0x1 tag=ViewLock")
+>>> coarse = parser.template_at(result.template_id, threshold=0.5)
+
+``parse_corpus`` runs the full train-then-match pipeline used by the paper's
+accuracy and throughput experiments (§5.1.3 measures throughput as total log
+count divided by combined training + matching time).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import ByteBrainConfig
+from repro.core.matcher import MatchResult, OnlineMatcher
+from repro.core.model import ParserModel, Template
+from repro.core.query import QueryEngine, TemplateGroup
+from repro.core.trainer import OfflineTrainer, Preprocessor, TrainingResult
+
+__all__ = ["ByteBrainParser", "ParseResult", "CorpusParseResult"]
+
+
+@dataclass
+class ParseResult:
+    """Per-record parsing outcome returned by the façade."""
+
+    template_id: int
+    template_text: str
+    saturation: float
+
+
+@dataclass
+class CorpusParseResult:
+    """Outcome of running the full pipeline over a corpus."""
+
+    results: List[ParseResult]
+    training: TrainingResult
+    train_seconds: float
+    match_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Combined training + matching time (the paper's throughput basis)."""
+        return self.train_seconds + self.match_seconds
+
+    @property
+    def throughput(self) -> float:
+        """Logs per second over training + matching."""
+        if self.total_seconds <= 0:
+            return float("inf")
+        return len(self.results) / self.total_seconds
+
+    def template_ids(self) -> List[int]:
+        """Matched template id per input record."""
+        return [result.template_id for result in self.results]
+
+
+class ByteBrainParser:
+    """Adaptive, hierarchical-clustering log parser (the paper's method)."""
+
+    def __init__(self, config: Optional[ByteBrainConfig] = None) -> None:
+        self.config = config or ByteBrainConfig()
+        self.preprocessor = Preprocessor(self.config)
+        self.model: ParserModel = ParserModel()
+        self.query_engine: QueryEngine = QueryEngine(self.model)
+        self._matcher: Optional[OnlineMatcher] = None
+        self._training_assignments: Dict[Tuple[str, ...], int] = {}
+        self.last_training: Optional[TrainingResult] = None
+
+    @classmethod
+    def with_model(
+        cls, model: ParserModel, config: Optional[ByteBrainConfig] = None
+    ) -> "ByteBrainParser":
+        """Build a parser around an existing (e.g. deserialised) model.
+
+        Used when the offline training ran elsewhere — the cloud deployment
+        trains on dedicated pods and ships the model to the matching tier —
+        or when reloading a model persisted with :meth:`ParserModel.to_json`.
+        """
+        parser = cls(config)
+        parser.install_model(model)
+        return parser
+
+    def install_model(self, model: ParserModel) -> None:
+        """Replace the live model (rebinds the query engine and matcher)."""
+        self.model = model
+        self.query_engine = QueryEngine(model)
+        self._matcher = None
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    @property
+    def is_trained(self) -> bool:
+        """True once at least one training round has completed."""
+        return len(self.model) > 0
+
+    def train(self, raw_logs: Sequence[str]) -> TrainingResult:
+        """Run one offline training round and merge it into the live model.
+
+        The first round installs the trained model directly; subsequent
+        rounds are merged template-by-template (§3: templates above the
+        similarity threshold are merged, others become new nodes).
+        """
+        trainer = OfflineTrainer(self.config)
+        result = trainer.train(raw_logs)
+        if not self.is_trained:
+            self.model = result.model
+            self._training_assignments = dict(result.training_assignments)
+        else:
+            id_map = self.model.merge_from(result.model, self.config.model_merge_similarity)
+            self._training_assignments.update(
+                {tokens: id_map[tid] for tokens, tid in result.training_assignments.items()}
+            )
+        self.query_engine = QueryEngine(self.model)
+        self._matcher = None  # rebuilt lazily against the merged model
+        self.last_training = result
+        return result
+
+    # ------------------------------------------------------------------ #
+    # matching
+    # ------------------------------------------------------------------ #
+    @property
+    def matcher(self) -> OnlineMatcher:
+        """The online matcher bound to the current model."""
+        if self._matcher is None:
+            if not self.is_trained:
+                raise RuntimeError("ByteBrainParser must be trained before matching")
+            self._matcher = OnlineMatcher(
+                self.model,
+                config=self.config,
+                preprocessor=self.preprocessor,
+                training_assignments=self._training_assignments,
+            )
+        return self._matcher
+
+    def match(self, raw_log: str) -> ParseResult:
+        """Match a single raw log record against the trained model."""
+        return self._to_parse_result(self.matcher.match(raw_log))
+
+    def match_many(self, raw_logs: Sequence[str]) -> List[ParseResult]:
+        """Match a batch of raw log records."""
+        return [self._to_parse_result(result) for result in self.matcher.match_many(raw_logs)]
+
+    def parse_corpus(self, raw_logs: Sequence[str], train_fraction: float = 1.0) -> CorpusParseResult:
+        """Train on (a prefix of) the corpus and match every record.
+
+        Parameters
+        ----------
+        raw_logs:
+            The corpus to parse.
+        train_fraction:
+            Fraction of the corpus used for the offline training round
+            (default: the whole corpus, as in the paper's benchmark runs).
+        """
+        if not raw_logs:
+            raise ValueError("parse_corpus requires a non-empty corpus")
+        n_train = max(1, int(len(raw_logs) * train_fraction))
+        start = time.perf_counter()
+        training = self.train(raw_logs[:n_train])
+        train_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        results = self.match_many(raw_logs)
+        match_seconds = time.perf_counter() - start
+        return CorpusParseResult(
+            results=results,
+            training=training,
+            train_seconds=train_seconds,
+            match_seconds=match_seconds,
+        )
+
+    # ------------------------------------------------------------------ #
+    # query-time precision adjustment
+    # ------------------------------------------------------------------ #
+    def template_at(self, template_id: int, threshold: float) -> Template:
+        """Coarsest ancestor of ``template_id`` meeting the threshold."""
+        return self.query_engine.resolve(template_id, threshold)
+
+    def group_results(
+        self,
+        results: Sequence[ParseResult],
+        threshold: float,
+        merge_wildcards: bool = True,
+    ) -> List[TemplateGroup]:
+        """Group parse results at a precision threshold (the query slider)."""
+        return self.query_engine.group_records(
+            [result.template_id for result in results], threshold, merge_wildcards
+        )
+
+    def templates(self, threshold: Optional[float] = None) -> List[Template]:
+        """Templates of the model — all of them, or those visible at a threshold."""
+        if threshold is None:
+            return self.model.templates()
+        return self.model.templates_at_threshold(threshold)
+
+    def model_size_bytes(self) -> int:
+        """Persisted size of the current model (Table 5 "Model Size")."""
+        return self.model.size_bytes()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _to_parse_result(result: MatchResult) -> ParseResult:
+        return ParseResult(
+            template_id=result.template_id,
+            template_text=result.template_text,
+            saturation=result.saturation,
+        )

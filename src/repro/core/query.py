@@ -1,0 +1,102 @@
+"""Query-time precision adjustment and result grouping (paper §3 "Query", §7).
+
+Every stored log carries the id of the *most precise* template it matched at
+ingestion time.  At query time the user supplies a saturation threshold (the
+"precision slider"); the engine walks each template's ancestor chain upward
+to the coarsest template still satisfying the threshold, groups the results
+by that template, and optionally collapses consecutive wildcards so
+variable-length lists present as a single intuitive template.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.model import ParserModel, Template, merge_consecutive_wildcards
+
+__all__ = ["TemplateGroup", "QueryEngine"]
+
+
+@dataclass
+class TemplateGroup:
+    """One group of query results sharing a (threshold-adjusted) template."""
+
+    display_text: str
+    template_ids: List[int] = field(default_factory=list)
+    record_indices: List[int] = field(default_factory=list)
+    saturation: float = 0.0
+
+    @property
+    def count(self) -> int:
+        """Number of records in the group."""
+        return len(self.record_indices)
+
+
+class QueryEngine:
+    """Precision-adjustable grouping over matched template ids."""
+
+    def __init__(self, model: ParserModel) -> None:
+        self.model = model
+
+    def resolve(self, template_id: int, threshold: float) -> Template:
+        """Coarsest ancestor of ``template_id`` meeting the threshold (§3)."""
+        return self.model.resolve_threshold(template_id, threshold)
+
+    def group_records(
+        self,
+        template_ids: Sequence[int],
+        threshold: float,
+        merge_wildcards: bool = True,
+    ) -> List[TemplateGroup]:
+        """Group records (given their matched template ids) at a threshold.
+
+        Parameters
+        ----------
+        template_ids:
+            The per-record template ids recorded at ingestion (most precise).
+        threshold:
+            Saturation threshold chosen by the user's precision slider.
+        merge_wildcards:
+            Collapse consecutive wildcards in the displayed template (§7),
+            which also merges groups that only differ by variable-length
+            list elements.
+
+        Returns
+        -------
+        list of TemplateGroup
+            Groups ordered by descending record count.
+        """
+        groups: Dict[str, TemplateGroup] = {}
+        resolve_cache: Dict[int, Template] = {}
+        for record_index, template_id in enumerate(template_ids):
+            resolved = resolve_cache.get(template_id)
+            if resolved is None:
+                resolved = self.resolve(template_id, threshold)
+                resolve_cache[template_id] = resolved
+            if merge_wildcards:
+                display = " ".join(merge_consecutive_wildcards(resolved.tokens))
+            else:
+                display = resolved.text
+            group = groups.get(display)
+            if group is None:
+                group = TemplateGroup(display_text=display, saturation=resolved.saturation)
+                groups[display] = group
+            if resolved.template_id not in group.template_ids:
+                group.template_ids.append(resolved.template_id)
+            group.record_indices.append(record_index)
+            group.saturation = min(group.saturation, resolved.saturation)
+        return sorted(groups.values(), key=lambda g: (-g.count, g.display_text))
+
+    def templates_at(self, threshold: float) -> List[Template]:
+        """All templates a user sees at a given precision threshold."""
+        return self.model.templates_at_threshold(threshold)
+
+    def template_counts(
+        self, template_ids: Sequence[int], threshold: float
+    ) -> Dict[str, int]:
+        """Convenience: display-text -> record count at the given threshold."""
+        return {
+            group.display_text: group.count
+            for group in self.group_records(template_ids, threshold)
+        }

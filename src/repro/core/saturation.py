@@ -1,0 +1,178 @@
+"""Saturation score of a group of logs (paper §4.5, Eq. 3).
+
+Saturation measures how completely the token positions of a group have been
+resolved into constants or variables, and it is the quantity that
+
+* terminates hierarchical clustering (nodes at saturation 1 are leaves),
+* strictly increases with tree depth, and
+* is exposed to users as the query-time precision threshold.
+
+The score combines three ingredients:
+
+1. ``f_c`` — the proportion of positions whose token is identical in every
+   log of the group (*confirmed constants*).
+2. ``f_v`` — the minimum variability factor ``log(n_u) / log(n)`` over the
+   unresolved positions, where ``n`` is the number of logs in the group
+   (counting duplicates — deduplication only collapses the representation,
+   the score is defined over the original stream) and ``n_u`` the number of
+   distinct tokens at that position.  Positions where almost every log holds
+   a different token are almost certainly variables.
+3. ``p_c = 1 / 2^(m - m_c - 1)`` — a confidence factor that discounts the
+   variability estimate when many positions are still unresolved.
+
+``s(C) = (f_v * p_c + (1 - p_c)) * f_c``
+
+Interpretation notes (documented deviations where the paper is ambiguous):
+
+* the paper writes the variability factor as ``(log(n_u) - 1) / log(n)``;
+  we use ``log(n_u)/log(n)`` because it is the only reading consistent with
+  the worked example of Fig. 5 (node ``{4,6}`` has saturation 0.6 = ``f_c``,
+  which requires ``f_v = 1`` when every unresolved position is fully
+  distinct);
+* a group whose *single* unresolved position holds a distinct token in every
+  log (Fig. 5, Set 1) is treated as fully resolved — that position is
+  confidently a variable — giving saturation 1.0 as in the illustration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "PositionProfile",
+    "profile_positions",
+    "saturation_score",
+    "saturation_from_profile",
+]
+
+
+@dataclass
+class PositionProfile:
+    """Per-position statistics of a group of logs.
+
+    Attributes
+    ----------
+    n_unique:
+        Number of distinct (deduplicated) records in the group.
+    n_logs:
+        Total number of log occurrences (sum of deduplication counts).
+    distinct_counts:
+        ``distinct_counts[i]`` is the number of distinct tokens at position
+        ``i`` across the group.
+    """
+
+    n_unique: int
+    n_logs: float
+    distinct_counts: List[int]
+
+    @property
+    def n_positions(self) -> int:
+        """Total number of token positions ``m``."""
+        return len(self.distinct_counts)
+
+    @property
+    def n_constants(self) -> int:
+        """Number of constant positions (a single distinct token)."""
+        return sum(1 for count in self.distinct_counts if count <= 1)
+
+    @property
+    def unresolved_counts(self) -> List[int]:
+        """Distinct-token counts of the unresolved (non-constant) positions."""
+        return [count for count in self.distinct_counts if count > 1]
+
+    def all_unresolved_fully_distinct(self) -> bool:
+        """True if every unresolved position has a distinct token per log occurrence."""
+        unresolved = self.unresolved_counts
+        return bool(unresolved) and all(count >= self.n_logs for count in unresolved)
+
+
+def profile_positions(
+    codes: np.ndarray,
+    member_indices: Optional[Sequence[int]] = None,
+    weights: Optional[np.ndarray] = None,
+) -> PositionProfile:
+    """Compute the per-position distinct-token profile of a group.
+
+    Parameters
+    ----------
+    codes:
+        ``(n_unique, m)`` encoded token matrix.
+    member_indices:
+        Rows belonging to the group; ``None`` means all rows.
+    weights:
+        Per-row occurrence counts (deduplication counts); ``None`` means one
+        occurrence per row.
+    """
+    if member_indices is None:
+        rows = np.arange(codes.shape[0], dtype=np.intp)
+    else:
+        rows = np.asarray(member_indices, dtype=np.intp)
+    group = codes[rows]
+    n_unique = int(group.shape[0])
+    if n_unique == 0:
+        return PositionProfile(n_unique=0, n_logs=0.0, distinct_counts=[])
+    if weights is None:
+        n_logs = float(n_unique)
+    else:
+        n_logs = float(np.asarray(weights)[rows].sum())
+    distinct = [int(np.unique(group[:, pos]).size) for pos in range(group.shape[1])]
+    return PositionProfile(n_unique=n_unique, n_logs=n_logs, distinct_counts=distinct)
+
+
+def saturation_from_profile(
+    profile: PositionProfile,
+    use_variable_saturation: bool = True,
+    use_confidence_factor: bool = True,
+) -> float:
+    """Saturation score from a precomputed :class:`PositionProfile` (Eq. 3)."""
+    m = profile.n_positions
+    n = profile.n_logs
+    if profile.n_unique <= 1 or m == 0 or n <= 1:
+        return 1.0
+
+    m_c = profile.n_constants
+    f_c = m_c / m
+
+    if not use_variable_saturation:
+        # Ablation "w/o variable in saturation": s = f_c.
+        return f_c
+    if m_c == m:
+        return 1.0
+
+    unresolved = profile.unresolved_counts
+
+    # Fig. 5 Set 1: a lone unresolved position whose tokens are all distinct
+    # is confidently a variable -> the group is fully resolved.
+    if len(unresolved) == 1 and unresolved[0] >= n and profile.n_unique >= 3:
+        return 1.0
+
+    log_n = math.log(n)
+    factors = [min(math.log(count) / log_n, 1.0) for count in unresolved]
+    f_v = min(factors)
+
+    if not use_confidence_factor:
+        # Ablation "w/o confidence factor": s = f_v * f_c.
+        return f_v * f_c
+
+    p_c = 1.0 / (2.0 ** (m - m_c - 1))
+    return (f_v * p_c + (1.0 - p_c)) * f_c
+
+
+def saturation_score(
+    codes: np.ndarray,
+    member_indices: Optional[Sequence[int]] = None,
+    weights: Optional[np.ndarray] = None,
+    use_variable_saturation: bool = True,
+    use_confidence_factor: bool = True,
+) -> float:
+    """Saturation score of a group of encoded logs (convenience wrapper)."""
+    profile = profile_positions(codes, member_indices, weights=weights)
+    return saturation_from_profile(
+        profile,
+        use_variable_saturation=use_variable_saturation,
+        use_confidence_factor=use_confidence_factor,
+    )

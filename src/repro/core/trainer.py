@@ -1,0 +1,195 @@
+"""Offline training phase (paper §3, §4.1–§4.7).
+
+The trainer turns a batch of raw log records into a :class:`ParserModel`:
+
+1. mask common variables (§4.1.2),
+2. tokenize (§4.1.1),
+3. deduplicate with counts (§4.1.3),
+4. hash-encode tokens (§4.1.4),
+5. partition into initial groups by length/prefix (§4.2),
+6. hierarchically cluster every group — in parallel — into a tree (§4.3–§4.7),
+7. flatten every tree node into a template with a global id.
+
+The trainer also records which template each *training* record was assigned
+to during clustering; the ablation variant *w/ naive match* reuses those
+assignments instead of re-matching against template texts.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import ByteBrainConfig
+from repro.core.dedup import DedupResult, deduplicate, deduplicate_raw
+from repro.core.encoding import OrdinalEncoder, make_encoder
+from repro.core.grouping import InitialGroup, initial_grouping
+from repro.core.masking import VariableMasker
+from repro.core.model import ParserModel, Template
+from repro.core.parallel import map_parallel
+from repro.core.tokenizer import Tokenizer
+from repro.core.tree import ClusterTree, build_tree
+
+__all__ = ["Preprocessor", "TrainingResult", "OfflineTrainer"]
+
+
+class Preprocessor:
+    """Masking + tokenization shared by training and online matching."""
+
+    def __init__(self, config: ByteBrainConfig) -> None:
+        self.config = config
+        self.masker = VariableMasker(
+            extra_rules=config.extra_masking_rules,
+            include_builtin=config.builtin_masking_enabled,
+        )
+        self.tokenizer = Tokenizer(config.tokenizer_pattern)
+
+    def process(self, raw: str) -> Tuple[str, ...]:
+        """Mask then tokenize a single raw log record."""
+        return tuple(self.tokenizer.tokenize(self.masker.mask(raw)))
+
+    def process_many(self, raws: Sequence[str]) -> List[Tuple[str, ...]]:
+        """Mask then tokenize a batch of raw log records."""
+        masked = self.masker.mask_many(raws)
+        return [tuple(tokens) for tokens in self.tokenizer.tokenize_many(masked)]
+
+
+@dataclass
+class TrainingResult:
+    """Everything produced by one offline training run."""
+
+    model: ParserModel
+    #: Mapping from preprocessed token tuple to assigned (leaf) template id,
+    #: for every unique training record — used by the *naive match* ablation.
+    training_assignments: Dict[Tuple[str, ...], int]
+    n_logs: int
+    n_unique: int
+    n_groups: int
+    n_trees: int
+    duration_seconds: float
+    trees: List[ClusterTree] = field(default_factory=list)
+
+
+class OfflineTrainer:
+    """Runs the offline training phase for one log topic."""
+
+    def __init__(self, config: Optional[ByteBrainConfig] = None) -> None:
+        self.config = config or ByteBrainConfig()
+        self.preprocessor = Preprocessor(self.config)
+
+    def train(self, raw_logs: Sequence[str]) -> TrainingResult:
+        """Train a model from a batch of raw log records."""
+        config = self.config
+        start = time.perf_counter()
+        rng = np.random.default_rng(config.random_seed)
+
+        raw_logs = self._maybe_sample(raw_logs, rng)
+
+        if config.deduplication_enabled:
+            # Deduplicate at the raw-text level first so duplicate records
+            # skip masking/tokenization, then again after variable
+            # replacement (which collapses far more, Fig. 4).
+            unique_raw, raw_counts, _ = deduplicate_raw(raw_logs)
+            token_lists = self.preprocessor.process_many(unique_raw)
+            token_lists = [tokens if tokens else ("<empty>",) for tokens in token_lists]
+            dedup = deduplicate(token_lists, occurrence_counts=raw_counts)
+        else:
+            token_lists = self.preprocessor.process_many(raw_logs)
+            token_lists = [tokens if tokens else ("<empty>",) for tokens in token_lists]
+            dedup = DedupResult(
+                unique_tokens=[tuple(tokens) for tokens in token_lists],
+                counts=[1] * len(token_lists),
+                inverse=list(range(len(token_lists))),
+            )
+
+        encoder = make_encoder(config.encoding)
+        encoded = encoder.encode_batch(dedup.unique_tokens)
+        counts = np.asarray(dedup.counts, dtype=np.float64)
+
+        groups = initial_grouping(dedup.unique_tokens, config.prefix_group_tokens)
+
+        def cluster_group(group: InitialGroup) -> ClusterTree:
+            rows = group.member_indices
+            codes = np.stack([encoded[row] for row in rows]) if rows else np.empty((0, 0))
+            weights = counts[np.asarray(rows, dtype=np.intp)]
+            # Per-group generator seeded from a process-stable hash of the
+            # group key, so parallel and sequential training are identical.
+            group_digest = zlib.crc32(repr(group.key).encode())
+            group_rng = np.random.default_rng(
+                config.random_seed + 1_000_003 * (group_digest % 1_000_003)
+            )
+            return build_tree(
+                tokens=dedup.unique_tokens,
+                codes=codes,
+                weights=weights,
+                member_rows=rows,
+                config=config,
+                rng=group_rng,
+                group_key=group.key,
+            )
+
+        trees = map_parallel(cluster_group, groups, config.parallelism)
+
+        model, assignments = self._assemble_model(trees, dedup, encoder)
+        duration = time.perf_counter() - start
+        return TrainingResult(
+            model=model,
+            training_assignments=assignments,
+            n_logs=len(raw_logs),
+            n_unique=dedup.n_unique,
+            n_groups=len(groups),
+            n_trees=len(trees),
+            duration_seconds=duration,
+            trees=trees,
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _maybe_sample(self, raw_logs: Sequence[str], rng: np.random.Generator) -> Sequence[str]:
+        """Random-sample oversized training batches (OOM guard, §3)."""
+        limit = self.config.training_sample_size
+        if limit is None or len(raw_logs) <= limit:
+            return raw_logs
+        picks = rng.choice(len(raw_logs), size=limit, replace=False)
+        return [raw_logs[int(i)] for i in picks]
+
+    def _assemble_model(
+        self,
+        trees: Sequence[ClusterTree],
+        dedup: DedupResult,
+        encoder,
+    ) -> Tuple[ParserModel, Dict[Tuple[str, ...], int]]:
+        """Flatten every tree node into a globally-identified template."""
+        model = ParserModel()
+        if isinstance(encoder, OrdinalEncoder):
+            model.dictionary_bytes = encoder.dictionary_size_bytes()
+
+        assignments: Dict[Tuple[str, ...], int] = {}
+        for tree in trees:
+            local_to_global: Dict[int, int] = {}
+            # Parents first (sorted by depth) so parent links can be remapped.
+            for node in sorted(tree.nodes.values(), key=lambda n: n.depth):
+                global_id = model.allocate_id()
+                local_to_global[node.node_id] = global_id
+                parent_global = (
+                    local_to_global[node.parent_id] if node.parent_id is not None else None
+                )
+                model.add_template(
+                    Template(
+                        template_id=global_id,
+                        tokens=node.template,
+                        saturation=node.saturation,
+                        parent_id=parent_global,
+                        depth=node.depth,
+                        weight=node.weight,
+                    )
+                )
+            for local_row, local_leaf in tree.leaf_assignment().items():
+                global_row = tree.member_rows[local_row]
+                assignments[dedup.unique_tokens[global_row]] = local_to_global[local_leaf]
+        return model, assignments

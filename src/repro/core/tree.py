@@ -1,0 +1,243 @@
+"""Hierarchical clustering tree (paper §4.3).
+
+Each initial group becomes the root of a clustering tree.  Nodes are split by
+the single clustering process (:mod:`repro.core.clustering`) until their
+saturation reaches the target (1.0 by default) or an early-stop rule fires.
+Deeper nodes carry more precise templates; the tree is what makes query-time
+precision adjustment possible without re-parsing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import WILDCARD, ByteBrainConfig
+from repro.core.clustering import split_node
+from repro.core.saturation import profile_positions, saturation_from_profile
+
+__all__ = ["TreeNode", "ClusterTree", "build_tree", "extract_template"]
+
+
+def extract_template(token_lists: Sequence[Sequence[str]], wildcard: str = WILDCARD) -> Tuple[str, ...]:
+    """Template of a set of equal-length token sequences.
+
+    A position keeps its token if every sequence agrees on it; otherwise it
+    becomes the wildcard.
+    """
+    if not token_lists:
+        return ()
+    first = list(token_lists[0])
+    template = first[:]
+    for tokens in token_lists[1:]:
+        for pos, token in enumerate(tokens):
+            if template[pos] != token:
+                template[pos] = wildcard
+    return tuple(template)
+
+
+@dataclass
+class TreeNode:
+    """One node of a clustering tree (== one log template).
+
+    Attributes
+    ----------
+    node_id:
+        Identifier local to the tree (the trainer later assigns global
+        template ids).
+    parent_id:
+        ``None`` for the root.
+    member_rows:
+        Indices of the group's unique records that belong to this node.
+    saturation:
+        Saturation score, made monotonically non-decreasing along every
+        root-to-leaf path (the paper states the score strictly increases
+        with depth; we clamp children to at least their parent's score so
+        query-time ancestor traversal is well defined).
+    template:
+        Tuple of tokens with wildcards at variable positions.
+    depth:
+        Root is depth 0.
+    weight:
+        Total occurrence count (deduplication counts) of the node's members.
+    """
+
+    node_id: int
+    parent_id: Optional[int]
+    member_rows: List[int]
+    saturation: float
+    template: Tuple[str, ...]
+    depth: int
+    weight: float
+    children_ids: List[int] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return not self.children_ids
+
+    @property
+    def is_root(self) -> bool:
+        """True for the root of its tree."""
+        return self.parent_id is None
+
+
+@dataclass
+class ClusterTree:
+    """A full clustering tree for one initial group.
+
+    ``member_rows`` maps the tree's *local* row indices (used in every
+    node's ``member_rows`` list) back to the global unique-record indices of
+    the training batch.
+    """
+
+    nodes: Dict[int, TreeNode]
+    root_id: int
+    group_key: Tuple[int, Tuple[str, ...]]
+    member_rows: List[int] = field(default_factory=list)
+
+    def node(self, node_id: int) -> TreeNode:
+        """Look up a node by its (tree-local) id."""
+        return self.nodes[node_id]
+
+    @property
+    def n_nodes(self) -> int:
+        """Total number of nodes (templates) in the tree."""
+        return len(self.nodes)
+
+    @property
+    def depth(self) -> int:
+        """Maximum node depth."""
+        return max(node.depth for node in self.nodes.values())
+
+    def leaves(self) -> List[TreeNode]:
+        """All leaf nodes (the most precise templates)."""
+        return [node for node in self.nodes.values() if node.is_leaf]
+
+    def ancestors(self, node_id: int) -> List[TreeNode]:
+        """Ancestors of a node from its parent up to the root."""
+        chain: List[TreeNode] = []
+        current = self.nodes[node_id]
+        while current.parent_id is not None:
+            current = self.nodes[current.parent_id]
+            chain.append(current)
+        return chain
+
+    def leaf_assignment(self) -> Dict[int, int]:
+        """Map each member row to the deepest (leaf) node containing it."""
+        assignment: Dict[int, int] = {}
+        for node in self.nodes.values():
+            if node.is_leaf:
+                for row in node.member_rows:
+                    assignment[row] = node.node_id
+        return assignment
+
+
+def build_tree(
+    tokens: Sequence[Tuple[str, ...]],
+    codes: np.ndarray,
+    weights: np.ndarray,
+    member_rows: Sequence[int],
+    config: ByteBrainConfig,
+    rng: np.random.Generator,
+    group_key: Tuple[int, Tuple[str, ...]],
+) -> ClusterTree:
+    """Build the clustering tree for one initial group.
+
+    Parameters
+    ----------
+    tokens:
+        Token tuples of every unique record in the *whole* training batch
+        (indexed by row, shared across groups).
+    codes:
+        Encoded token matrix for this group's rows, aligned with ``tokens``
+        via ``member_rows`` (``codes[i]`` encodes ``tokens[member_rows[i]]``
+        is *not* the layout — see note below).
+    weights:
+        Occurrence counts aligned with ``codes`` rows.
+    member_rows:
+        For each row of ``codes``, the index of the corresponding record in
+        ``tokens``.
+    config, rng:
+        Algorithm configuration and the shared random generator.
+    group_key:
+        The initial-group key (token count, prefix), stored on the tree.
+
+    Notes
+    -----
+    ``codes``/``weights`` are *local* to the group (row ``i`` of ``codes``
+    corresponds to global record ``member_rows[i]``); the clustering operates
+    on local row indices throughout.
+    """
+    n_rows = codes.shape[0]
+    local_rows = list(range(n_rows))
+
+    def node_tokens(rows: Sequence[int]) -> List[Tuple[str, ...]]:
+        return [tokens[member_rows[row]] for row in rows]
+
+    def node_saturation(rows: Sequence[int]) -> float:
+        return saturation_from_profile(
+            profile_positions(codes, rows, weights=weights),
+            use_variable_saturation=config.use_variable_saturation,
+            use_confidence_factor=config.use_confidence_factor,
+        )
+
+    nodes: Dict[int, TreeNode] = {}
+    next_id = 0
+
+    def make_node(rows: List[int], parent_id: Optional[int], depth: int, saturation: float) -> TreeNode:
+        nonlocal next_id
+        node = TreeNode(
+            node_id=next_id,
+            parent_id=parent_id,
+            member_rows=rows,
+            saturation=saturation,
+            template=extract_template(node_tokens(rows)),
+            depth=depth,
+            weight=float(weights[np.asarray(rows, dtype=np.intp)].sum()) if rows else 0.0,
+        )
+        nodes[node.node_id] = node
+        next_id += 1
+        return node
+
+    root_saturation = node_saturation(local_rows)
+    root = make_node(local_rows, parent_id=None, depth=0, saturation=root_saturation)
+
+    frontier: List[int] = [root.node_id]
+    while frontier:
+        node_id = frontier.pop()
+        node = nodes[node_id]
+        if node.saturation >= config.saturation_target - 1e-12:
+            continue
+        if node.depth >= config.max_tree_depth:
+            continue
+        if len(node.member_rows) <= 1:
+            continue
+        outcome = split_node(
+            codes,
+            weights,
+            node.member_rows,
+            config,
+            rng,
+            parent_saturation=node.saturation,
+        )
+        if outcome.is_leaf:
+            continue
+        for child_rows in outcome.children:
+            raw = node_saturation(child_rows)
+            # Enforce the paper's invariant that saturation never decreases
+            # along a root-to-leaf path.
+            child_saturation = max(raw, node.saturation)
+            child = make_node(child_rows, parent_id=node.node_id, depth=node.depth + 1, saturation=child_saturation)
+            node.children_ids.append(child.node_id)
+            if len(child_rows) < len(node.member_rows):
+                frontier.append(child.node_id)
+
+    return ClusterTree(
+        nodes=nodes,
+        root_id=root.node_id,
+        group_key=group_key,
+        member_rows=list(member_rows),
+    )

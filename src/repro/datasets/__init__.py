@@ -1,0 +1,27 @@
+"""Benchmark datasets: synthetic LogHub-style corpora and real-data loaders.
+
+The paper evaluates on LogHub and LogHub-2.0.  Those corpora are public but
+cannot be downloaded in this offline environment, so
+:mod:`repro.datasets.synthetic` generates statistically similar corpora from
+per-system template catalogues (:mod:`repro.datasets.catalog`) with exact
+ground-truth labels.  :mod:`repro.datasets.loghub` loads the genuine LogHub
+CSV format when the files are available locally, so every experiment can be
+re-run on the real benchmark unchanged.
+"""
+
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    LOGHUB2_NAMES,
+    generate_dataset,
+    list_datasets,
+)
+from repro.datasets.synthetic import LogDataset, SyntheticLogGenerator
+
+__all__ = [
+    "DATASET_NAMES",
+    "LOGHUB2_NAMES",
+    "LogDataset",
+    "SyntheticLogGenerator",
+    "generate_dataset",
+    "list_datasets",
+]

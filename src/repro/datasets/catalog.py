@@ -1,0 +1,424 @@
+"""Per-system template catalogues mirroring the 16 LogHub systems (Table 1).
+
+Each :class:`SystemSpec` describes one LogHub system: a set of *curated*
+log-statement templates written to resemble that system's real messages, a
+target template count for the LogHub (2k-log) and LogHub-2.0 (large) variants
+— procedurally generated filler templates top the catalogue up to the target
+— plus the log volumes reported in Table 1 of the paper (used for scaling
+and for the Table 1 reproduction).
+
+Template strings use ``{kind}`` placeholders that are filled by
+:mod:`repro.datasets.variables` at generation time; everything outside the
+placeholders is constant text, which is exactly the ground-truth template.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["SystemSpec", "SYSTEM_SPECS", "ANDROID_WAKELOCK_TEMPLATES", "system_names"]
+
+
+@dataclass
+class SystemSpec:
+    """Catalogue entry for one LogHub system."""
+
+    name: str
+    #: Hand-written templates characteristic of the system.
+    curated_templates: List[str]
+    #: Template count of the 2k-log LogHub variant (paper Table 1).
+    loghub_templates: int
+    #: Template count of the LogHub-2.0 variant (paper Table 1; 0 if absent).
+    loghub2_templates: int
+    #: Log count of the LogHub-2.0 variant in the paper (for proportional scaling).
+    paper_loghub2_logs: int
+    #: Zipf skew of template frequencies (larger -> more duplication).
+    zipf_alpha: float = 1.3
+    #: Whether the system appears in LogHub-2.0 (Android/Windows do not).
+    in_loghub2: bool = True
+
+
+#: Android wakelock templates used by Table 4 (threshold-adaptivity demo).
+ANDROID_WAKELOCK_TEMPLATES: List[str] = [
+    'release lock={int} flg=0x0 tag="View Lock" name=systemui ws=null uid={int} pid={int}',
+    'release lock={int} flg=0x0 tag="*launch*" name=android ws=WS{{{int}}} uid={int} pid={int}',
+    'release lock={int} flg=0x0 tag="WindowManager" name=android ws=WS{{{int}}} uid={int} pid={int}',
+    'release lock={int} flg=0x0 tag="AudioMix" name=audioserver ws=null uid={int} pid={int}',
+    'acquire lock={int} flags=0x1 tag="View Lock" name=systemui ws=null uid={int} pid={int}',
+    'acquire lock={int} flags=0x1 tag="RILJ_ACK_WL" name=phone ws=null uid={int} pid={int}',
+    'acquire lock={int} flags=0x1 tag="*job*" name=android ws=WS{{{int}}} uid={int} pid={int}',
+    'acquire lock={int} flags=0x1 tag="AudioMix" name=audioserver ws=null uid={int} pid={int}',
+]
+
+
+def _spec(
+    name: str,
+    curated: List[str],
+    loghub_templates: int,
+    loghub2_templates: int,
+    paper_loghub2_logs: int,
+    zipf_alpha: float = 1.3,
+    in_loghub2: bool = True,
+) -> SystemSpec:
+    return SystemSpec(
+        name=name,
+        curated_templates=curated,
+        loghub_templates=loghub_templates,
+        loghub2_templates=loghub2_templates,
+        paper_loghub2_logs=paper_loghub2_logs,
+        zipf_alpha=zipf_alpha,
+        in_loghub2=in_loghub2,
+    )
+
+
+SYSTEM_SPECS: Dict[str, SystemSpec] = {
+    "HDFS": _spec(
+        "HDFS",
+        [
+            "Receiving block {block_id} src: /{ip_port} dest: /{ip_port}",
+            "Received block {block_id} of size {int} from /{ip}",
+            "PacketResponder {small_int} for block {block_id} terminating",
+            "BLOCK* NameSystem.addStoredBlock: blockMap updated: {ip_port} is added to {block_id} size {int}",
+            "BLOCK* NameSystem.allocateBlock: {path} {block_id}",
+            "BLOCK* ask {ip_port} to replicate {block_id} to datanode(s) {ip_port}",
+            "Verification succeeded for {block_id}",
+            "Deleting block {block_id} file {path}",
+            "writeBlock {block_id} received exception java.io.IOException: Connection reset by peer",
+            "Exception in receiveBlock for block {block_id} java.io.IOException: Broken pipe",
+            "Starting thread to transfer block {block_id} to {ip_port}",
+            "Unexpected error trying to delete block {block_id} BlockInfo not found in volumeMap",
+            "Changing block file offset of block {block_id} from {int} to {int} meta file offset to {int}",
+            "Served block {block_id} to /{ip}",
+        ],
+        loghub_templates=14,
+        loghub2_templates=46,
+        paper_loghub2_logs=11_167_740,
+        zipf_alpha=1.5,
+    ),
+    "BGL": _spec(
+        "BGL",
+        [
+            "instruction cache parity error corrected",
+            "data TLB error interrupt",
+            "generating core.{int}",
+            "program interrupt: fp unavailable interrupt.............{hex}",
+            "ciod: Error reading message prefix after LOGIN_MESSAGE on CioStream socket to {ip_port}",
+            "ciod: failed to read message prefix on control stream CioStream socket to {ip_port}",
+            "{int} double-hummer alignment exceptions",
+            "CE sym {small_int} at {hex} mask {hex}",
+            "total of {int} ddr error(s) detected and corrected over {int} seconds",
+            "machine check interrupt (bit={small_int}): L2 dcache unit data parity error",
+            "ddr: excessive soft failures, consider replacing the ddr memory card",
+            "rts: kernel terminated for reason {int} rts: bad message header: invalid cpu {small_int}",
+            "NodeCard is not fully functional: {word}",
+            "idoproxydb hit ASSERT condition: ASSERT expression={word} source file={path} line={int}",
+            "mmcs_db_server: /bgl/BlueLight/ppcfloor/bglsys/bin/mmcs_db_server: lost connection to DB2 server",
+        ],
+        loghub_templates=120,
+        loghub2_templates=320,
+        paper_loghub2_logs=4_631_261,
+        zipf_alpha=1.4,
+    ),
+    "Thunderbird": _spec(
+        "Thunderbird",
+        [
+            "session opened for user {user} by (uid={small_int})",
+            "session closed for user {user}",
+            "connection from {ip} () at {timestamp}",
+            "Failed password for {user} from {ip} port {int} ssh2",
+            "Accepted publickey for {user} from {ip} port {int} ssh2",
+            "check pass; user unknown",
+            "authentication failure; logname= uid={small_int} euid={small_int} tty=ssh ruser= rhost={ip}",
+            "pam_unix(sshd:auth): authentication failure; logname= uid={small_int} euid={small_int} tty=ssh ruser= rhost={ip} user={user}",
+            "kernel: ACPI: Processor [CPU{small_int}] (supports {small_int} throttling states)",
+            "kernel: usb {small_int}-{small_int}: new high speed USB device using ehci_hcd and address {small_int}",
+            "crond(pam_unix)[{int}]: session opened for user {user} by (uid={small_int})",
+            "in.tftpd[{int}]: RRQ from {ip} filename {path}",
+            "sendmail[{int}]: {long_hex}: from=<{user}@{host}.cluster>, size={int}, class={small_int}, nrcpts={small_int}",
+            "ntpd[{int}]: synchronized to {ip}, stratum {small_int}",
+            "snmpd[{int}]: Received TERM or STOP signal...  shutting down...",
+            "dhcpd: DHCPDISCOVER from {host} via eth{small_int}",
+            "dhcpd: DHCPACK on {ip} to {host} via eth{small_int}",
+        ],
+        loghub_templates=149,
+        loghub2_templates=1241,
+        paper_loghub2_logs=16_601_745,
+        zipf_alpha=1.35,
+    ),
+    "Spark": _spec(
+        "Spark",
+        [
+            "Starting task {float} in stage {float} (TID {int}, {host}, executor {small_int}, partition {int}, PROCESS_LOCAL, {int} bytes)",
+            "Finished task {float} in stage {float} (TID {int}) in {int} ms on {host} (executor {small_int}) ({int}/{int})",
+            "Running task {float} in stage {float} (TID {int})",
+            "Block {word}_{int}_{int} stored as values in memory (estimated size {size}, free {size})",
+            "Found block {word}_{int}_{int} locally",
+            "Removed broadcast_{int}_piece{small_int} on {ip_port} in memory (size: {size}, free: {size})",
+            "Asked to send map output locations for shuffle {small_int} to {ip_port}",
+            "Got assigned task {int}",
+            "Added broadcast_{int}_piece{small_int} in memory on {ip_port} (size: {size}, free: {size})",
+            "Registering block manager {ip_port} with {size} RAM, BlockManagerId({small_int}, {host}, {int}, None)",
+            "Executor updated: app-{int}-{int}/{small_int} is now RUNNING",
+            "Submitting {int} missing tasks from ResultStage {small_int} (MapPartitionsRDD[{int}] at map at {path})",
+            "Job {small_int} finished: collect at {path}:{int}, took {float} s",
+            "Lost task {float} in stage {float} (TID {int}, {host}, executor {small_int}): ExecutorLostFailure (executor {small_int} exited caused by one of the running tasks) Reason: Container killed by YARN for exceeding memory limits",
+        ],
+        loghub_templates=36,
+        loghub2_templates=236,
+        paper_loghub2_logs=16_075_117,
+        zipf_alpha=1.45,
+    ),
+    "Apache": _spec(
+        "Apache",
+        [
+            "jk2_init() Found child {int} in scoreboard slot {small_int}",
+            "workerEnv.init() ok {path}",
+            "mod_jk child workerEnv in error state {small_int}",
+            "[client {ip}] Directory index forbidden by rule: {path}",
+            "jk2_init() Can't find child {int} in scoreboard",
+            "mod_jk child init {small_int} {small_int}",
+        ],
+        loghub_templates=6,
+        loghub2_templates=29,
+        paper_loghub2_logs=51_978,
+        zipf_alpha=1.6,
+    ),
+    "Linux": _spec(
+        "Linux",
+        [
+            "session opened for user {user} by (uid={small_int})",
+            "session closed for user {user}",
+            "authentication failure; logname= uid={small_int} euid={small_int} tty=NODEVssh ruser= rhost={host}",
+            "connection from {ip} ({host}) at {timestamp}",
+            "Received disconnect from {ip}: {small_int}: Bye Bye",
+            "check pass; user unknown",
+            "CUPS: cupsd shutdown succeeded",
+            "klogd startup succeeded",
+            "Kernel command line: ro root=/dev/VolGroup00/LogVol00 rhgb quiet",
+            "audit(:{int}): major={small_int} name_count={small_int}: freeing multiple contexts ({small_int})",
+            "Memory: {int}k/{int}k available ({int}k kernel code, {int}k reserved, {int}k data, {int}k init, {int}k highmem)",
+            "ACPI: PCI interrupt {hex}[A] -> GSI {small_int} (level, low) -> IRQ {small_int}",
+            "pci_hotplug: PCI Hot Plug PCI Core version: {float}",
+            "warning: process `{word}' used the removed sysctl system call",
+            "FAILED LOGIN {small_int} FROM ({host}) FOR {user}, Authentication failure",
+        ],
+        loghub_templates=118,
+        loghub2_templates=338,
+        paper_loghub2_logs=23_921,
+        zipf_alpha=1.25,
+    ),
+    "Mac": _spec(
+        "Mac",
+        [
+            "Wifi: [{timestamp}] lqm-wifi: set frequent RSSI report to on",
+            "kernel[0]: ARPT: {float}: wl0: setup_keepalive: interval {int}, retry_interval {int}, retry_count {small_int}",
+            "kernel[0]: AppleCamIn::systemWakeCall - messageType = {hex}",
+            "com.apple.CDScheduler: Thermal pressure state: {small_int} Memory pressure state: {small_int}",
+            "WindowServer: send_datagram_available_ping: pid {int} failed to act on a ping it dequeued before timing out",
+            "sharingd[{int}]: {timestamp} Scanning started",
+            "sandboxd[{int}] ([{int}]): {word}({int}) deny network-outbound /private/var/run/mDNSResponder",
+            "corecaptured[{int}]: CCFile::captureLogRun Skipping current file Dir file [{timestamp}] Current File [{timestamp}]",
+            "QQ[{int}]: button report: {small_int}",
+            "Bluetooth: hci_le_meta_event: subevent {hex} not handled",
+            "mDNSResponder[{int}]: mDNS_DeregisterInterface: Frequent transitions for interface en{small_int} ({ip})",
+            "loginwindow[{int}]: CoreAnimation: timed out fence {hex}",
+            "hidd[{int}]: MultitouchHID: device bootloaded",
+            "GoogleSoftwareUpdateAgent[{int}]: {timestamp} Agent running as user {user}",
+        ],
+        loghub_templates=341,
+        loghub2_templates=626,
+        paper_loghub2_logs=100_314,
+        zipf_alpha=1.15,
+    ),
+    "Hadoop": _spec(
+        "Hadoop",
+        [
+            "Address change detected. Old: {host}/{ip_port} New: {host}/{ip_port}",
+            "TaskAttempt: [attempt_{int}_{int}_m_{int}_{small_int}] using containerId: [container_{int}_{int}_{int}_{int}] on NM: [{host}:{int}]",
+            "attempt_{int}_{int}_m_{int}_{small_int} TaskAttempt Transitioned from RUNNING to SUCCESS_CONTAINER_CLEANUP",
+            "Progress of TaskAttempt attempt_{int}_{int}_m_{int}_{small_int} is : {float}",
+            "Task succeeded with attempt attempt_{int}_{int}_m_{int}_{small_int}",
+            "Num completed Tasks: {int}",
+            "Reduce slow start threshold not met. completedMapsForReduceSlowstart {int}",
+            "Event Writer setup for JobId: job_{int}_{int}, File: {path}",
+            "Error communicating with RM: {host} java.net.ConnectException: Connection refused",
+            "Container container_{int}_{int}_{int}_{int} transitioned from RUNNING to COMPLETE",
+            "Assigned container container_{int}_{int}_{int}_{int} of capacity <memory:{int}, vCores:{small_int}> on host {host}:{int}",
+            "Releasing unassigned and invalid container Container: [ContainerId: container_{int}_{int}_{int}_{int}, NodeId: {host}:{int}]",
+        ],
+        loghub_templates=114,
+        loghub2_templates=236,
+        paper_loghub2_logs=179_993,
+        zipf_alpha=1.3,
+    ),
+    "HealthApp": _spec(
+        "HealthApp",
+        [
+            "Step_LSC|onStandStepChanged {int}",
+            "Step_LSC|onExtend:{int} {int} {int} {int}",
+            "Step_SPUtils|setTodayTotalDetailSteps={int}##{int}##{int}##{int}##{int}##{int}",
+            "Step_StandReportReceiver|onReceive action:android.intent.action.SCREEN_ON",
+            "Step_ExtSDM|calculateCaloriesWithCache totalCalories={int}",
+            "Step_ExtSDM|calculateAltitudeWithCache totalAltitude={int}",
+            "Step_StandStepCounter|flush sensor data",
+            "Step_SPUtils|getTodayTotalDetailSteps = {int}##{int}##{int}##{int}##{int}##{int}",
+            "HiH_HiHealthDataInsertStore|insertHiHealthData() enter,type:{int}",
+            "HiSyncUtil|isPhoneSupportHiSync:true",
+            "ui_PluginHealth|onReceiveMessage, msg:{int}",
+        ],
+        loghub_templates=75,
+        loghub2_templates=156,
+        paper_loghub2_logs=212_394,
+        zipf_alpha=1.35,
+    ),
+    "OpenStack": _spec(
+        "OpenStack",
+        [
+            'nova.osapi_compute.wsgi.server [{uuid} {user} {user}] {ip} "GET /v2/{long_hex}/servers/detail HTTP/1.1" status: {int} len: {int} time: {float}',
+            'nova.osapi_compute.wsgi.server [{uuid} {user} {user}] {ip} "POST /v2/{long_hex}/os-server-external-events HTTP/1.1" status: {int} len: {int} time: {float}',
+            "nova.compute.manager [{uuid} {user} {user}] [instance: {uuid}] VM Started (Lifecycle Event)",
+            "nova.compute.manager [{uuid} {user} {user}] [instance: {uuid}] VM Paused (Lifecycle Event)",
+            "nova.compute.manager [{uuid} {user} {user}] [instance: {uuid}] During sync_power_state the instance has a pending task (spawning). Skip.",
+            "nova.compute.claims [{uuid} {user} {user}] [instance: {uuid}] Total memory: {int} MB, used: {float} MB",
+            "nova.virt.libvirt.imagecache [{uuid}] image {uuid} at ({path}): checking",
+            "nova.compute.resource_tracker [{uuid}] Final resource view: name={host} phys_ram={int}MB used_ram={int}MB phys_disk={int}GB used_disk={int}GB total_vcpus={small_int} used_vcpus={small_int} pci_stats=[]",
+            "nova.scheduler.client.report [{uuid}] Deleted allocation for instance {uuid}",
+            "nova.metadata.wsgi.server [{uuid}] {ip} \"GET /openstack/2013-10-17 HTTP/1.1\" status: {int} len: {int} time: {float}",
+        ],
+        loghub_templates=43,
+        loghub2_templates=48,
+        paper_loghub2_logs=207_632,
+        zipf_alpha=1.4,
+    ),
+    "OpenSSH": _spec(
+        "OpenSSH",
+        [
+            "Accepted password for {user} from {ip} port {int} ssh2",
+            "Failed password for {user} from {ip} port {int} ssh2",
+            "Failed password for invalid user {word} from {ip} port {int} ssh2",
+            "Invalid user {word} from {ip}",
+            "input_userauth_request: invalid user {word} [preauth]",
+            "Connection closed by {ip} [preauth]",
+            "Received disconnect from {ip}: {small_int}: Bye Bye [preauth]",
+            "pam_unix(sshd:auth): authentication failure; logname= uid={small_int} euid={small_int} tty=ssh ruser= rhost={ip} user={user}",
+            "pam_unix(sshd:session): session opened for user {user} by (uid={small_int})",
+            "pam_unix(sshd:session): session closed for user {user}",
+            "error: Received disconnect from {ip}: {small_int}: com.jcraft.jsch.JSchException: Auth fail [preauth]",
+            "reverse mapping checking getaddrinfo for {host} [{ip}] failed - POSSIBLE BREAK-IN ATTEMPT!",
+            "message repeated {small_int} times: [ Failed password for {user} from {ip} port {int} ssh2]",
+        ],
+        loghub_templates=27,
+        loghub2_templates=38,
+        paper_loghub2_logs=638_947,
+        zipf_alpha=1.5,
+    ),
+    "Proxifier": _spec(
+        "Proxifier",
+        [
+            "{word}.exe - proxy.cse.cuhk.edu.hk:{int} open through proxy proxy.cse.cuhk.edu.hk:{int} HTTPS",
+            "{word}.exe - proxy.cse.cuhk.edu.hk:{int} close, {int} bytes sent, {int} bytes received, lifetime {duration}",
+            "{word}.exe *{int} - {host}.com:{int} open through proxy socks.cse.cuhk.edu.hk:{int} SOCKS5",
+            "{word}.exe *{int} - {host}.com:{int} close, {int} bytes ({size}) sent, {int} bytes ({size}) received, lifetime {duration}",
+            "{word}.exe - {host}.com:{int} error : Could not connect through proxy proxy.cse.cuhk.edu.hk:{int} - Proxy server cannot establish a connection with the target, status code {int}",
+            "open through proxy proxy.cse.cuhk.edu.hk:{int} HTTPS",
+        ],
+        loghub_templates=8,
+        loghub2_templates=11,
+        paper_loghub2_logs=21_320,
+        zipf_alpha=1.6,
+    ),
+    "HPC": _spec(
+        "HPC",
+        [
+            "inconsistent nodesets node-{int} 0x1fffffffe <ok> node-D{small_int} {hex} <ok>",
+            "PSU status ( on on )",
+            "PSU status ( off on )",
+            "Temperature ({word}) exceeds warning threshold",
+            "ambient={small_int}",
+            "Fan speeds ( {int} {int} {int} {int} {int} {int} )",
+            "Link error on broadcast tree Interconnect-0T00:{small_int}:{small_int}",
+            "ServerFileSystem domain storage{small_int} has the no new failures state",
+            "node node-{int} has detected an available network connection on network {ip} via interface alt0",
+            "Node node-{int} detected network connection fault on network {ip}",
+            "boot (command {int}) Error: machine check exception",
+            "critical temperature reached shutting down node-{int}",
+        ],
+        loghub_templates=46,
+        loghub2_templates=74,
+        paper_loghub2_logs=429_988,
+        zipf_alpha=1.4,
+    ),
+    "Zookeeper": _spec(
+        "Zookeeper",
+        [
+            "Received connection request /{ip_port}",
+            "Accepted socket connection from /{ip_port}",
+            "Closed socket connection for client /{ip_port} which had sessionid {hex}",
+            "Closed socket connection for client /{ip_port} (no session established for client)",
+            "Client attempting to establish new session at /{ip_port}",
+            "Established session {hex} with negotiated timeout {int} for client /{ip_port}",
+            "Expiring session {hex}, timeout of {int}ms exceeded",
+            "Processed session termination for sessionid: {hex}",
+            "caught end of stream exception EndOfStreamException: Unable to read additional data from client sessionid {hex}, likely client has closed socket",
+            "Notification: {small_int} (n.leader), {hex} (n.zxid), {small_int} (n.round), LOOKING (n.state), {small_int} (n.sid), {hex} (n.peerEPoch), FOLLOWING (my state)",
+            "Cannot open channel to {small_int} at election address {host}/{ip_port} java.net.ConnectException: Connection refused",
+            "Interrupted while waiting for message on queue java.lang.InterruptedException",
+            "Snapshotting: {hex} to {path}",
+        ],
+        loghub_templates=50,
+        loghub2_templates=89,
+        paper_loghub2_logs=74_273,
+        zipf_alpha=1.45,
+    ),
+    "Android": _spec(
+        "Android",
+        [
+            "PowerManagerService: acquire lock={int}, flags=0x1, tag=\"RILJ_ACK_WL\", name=phone, ws=null, uid={int}, pid={int}",
+            "PowerManagerService: release lock={int}, flg=0x0, tag=\"View Lock\", name=systemui, ws=null, uid={int}, pid={int}",
+            "ActivityManager: Displayed {word}.{word}/.MainActivity: +{int}ms",
+            "ActivityManager: Start proc {int}:{word}.{word}/u0a{int} for service {word}.{word}/.PushService",
+            "WindowManager: Relayout Window{{{long_hex} u0 StatusBar}}: viewVisibility={small_int} req={int}x{int}",
+            "InputReader: Reconfiguring input devices.  changes={hex}",
+            "libprocessgroup: Successfully killed process cgroup uid {int} pid {int} in {int}ms",
+            "chatty: uid={int}({word}) expire {small_int} lines",
+            "DisplayPowerController: Blocking screen off",
+            "AudioFlinger: BUFFER TIMEOUT: remove(4097) from active list on thread {hex}",
+            "GCMService: connection established to {ip_port}",
+            "dex2oat: dex2oat took {duration} (threads: {small_int}) arena alloc={size} java alloc={size} native alloc={size}",
+        ],
+        loghub_templates=166,
+        loghub2_templates=0,
+        paper_loghub2_logs=0,
+        zipf_alpha=1.2,
+        in_loghub2=False,
+    ),
+    "Windows": _spec(
+        "Windows",
+        [
+            "CBS    Loaded Servicing Stack v{float} with Core: {path}",
+            "CBS    Starting TrustedInstaller initialization.",
+            "CBS    Ending TrustedInstaller initialization.",
+            "CBS    SQM: Initializing online with Windows opt-in: False",
+            "CBS    SQM: Cleaning up report files older than {small_int} days.",
+            "CSI    {hex} [SR] Verify complete",
+            "CSI    {hex} [SR] Verifying {int} components",
+            "CSI    {hex} [SR] Beginning Verify and Repair transaction",
+            "CBS    Session: {int}_{int} initialized by client WindowsUpdateAgent.",
+            "CBS    Appl: detect Parent, Package: {word}-Package~{long_hex}~amd64~~{float}, Parent: Microsoft-Windows-Foundation-Package~{long_hex}~amd64~~{float}, Disposition = Detect, VersionComp: EQ, BuildComp: GE",
+            "CBS    Failed to internally open package. [HRESULT = {hex} - CBS_E_INVALID_PACKAGE]",
+        ],
+        loghub_templates=50,
+        loghub2_templates=0,
+        paper_loghub2_logs=0,
+        zipf_alpha=1.5,
+        in_loghub2=False,
+    ),
+}
+
+
+def system_names(loghub2_only: bool = False) -> List[str]:
+    """Names of the catalogued systems (optionally only those in LogHub-2.0)."""
+    if loghub2_only:
+        return [name for name, spec in SYSTEM_SPECS.items() if spec.in_loghub2]
+    return list(SYSTEM_SPECS)

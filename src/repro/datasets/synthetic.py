@@ -1,0 +1,263 @@
+"""Synthetic LogHub-style corpus generation with exact ground truth.
+
+A :class:`SyntheticLogGenerator` renders a corpus for one catalogued system:
+it takes the curated templates of the :class:`~repro.datasets.catalog.SystemSpec`,
+tops them up with procedurally generated templates until the target template
+count of the chosen variant (LogHub vs LogHub-2.0) is reached, draws template
+frequencies from a Zipf distribution (log data is heavily skewed — Fig. 4),
+and renders each log line by filling the template's ``{kind}`` placeholders
+with random values.
+
+Every line carries its ground-truth template index, so Grouping Accuracy can
+be computed exactly.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.catalog import ANDROID_WAKELOCK_TEMPLATES, SYSTEM_SPECS, SystemSpec
+from repro.datasets.variables import VARIABLE_KINDS, render_variable
+
+__all__ = ["LogDataset", "SyntheticLogGenerator", "render_template", "generate_android_wakelock"]
+
+_PLACEHOLDER_RE = re.compile(r"\{(" + "|".join(sorted(VARIABLE_KINDS, key=len, reverse=True)) + r")\}")
+
+
+def render_template(template: str, rng: np.random.Generator) -> str:
+    """Render one concrete log line from a template string.
+
+    ``{kind}`` placeholders are replaced by random values; ``{{``/``}}``
+    escape literal braces.
+    """
+    rendered = _PLACEHOLDER_RE.sub(lambda match: render_variable(match.group(1), rng), template)
+    return rendered.replace("{{", "{").replace("}}", "}")
+
+
+@dataclass
+class LogDataset:
+    """A generated (or loaded) benchmark corpus with ground truth."""
+
+    name: str
+    variant: str
+    lines: List[str]
+    ground_truth: List[int]
+    templates: List[str]
+    source: str = "synthetic"
+
+    @property
+    def n_logs(self) -> int:
+        """Number of log lines."""
+        return len(self.lines)
+
+    @property
+    def n_templates(self) -> int:
+        """Number of distinct ground-truth templates actually present."""
+        return len(set(self.ground_truth))
+
+    @property
+    def size_bytes(self) -> int:
+        """Raw text size of the corpus (Table 1 "Size")."""
+        return sum(len(line.encode("utf-8")) + 1 for line in self.lines)
+
+    def prefix(self, n_logs: int) -> "LogDataset":
+        """A new dataset holding only the first ``n_logs`` lines."""
+        n_logs = min(n_logs, self.n_logs)
+        return LogDataset(
+            name=self.name,
+            variant=self.variant,
+            lines=self.lines[:n_logs],
+            ground_truth=self.ground_truth[:n_logs],
+            templates=self.templates,
+            source=self.source,
+        )
+
+
+# Procedural filler vocabulary: combined with the curated templates these
+# give each system enough distinct templates to hit the Table 1 counts.
+_FILLER_VERBS = [
+    "starting", "stopping", "initialized", "failed to start", "restarting",
+    "registered", "unregistered", "scheduling", "completed", "aborted",
+    "committing", "rolling back", "allocating", "releasing", "refreshing",
+    "loading", "flushing", "validating", "compacting", "rebalancing",
+]
+_FILLER_SUBJECTS = [
+    "worker thread", "connection pool", "session cache", "request handler",
+    "heartbeat monitor", "metadata store", "replica set", "shard router",
+    "index builder", "queue consumer", "lease manager", "snapshot writer",
+    "checkpoint task", "garbage collector", "metrics reporter", "token bucket",
+    "rpc channel", "write-ahead log", "page cache", "partition balancer",
+]
+_FILLER_TAILS = [
+    "",
+    "after {duration}",
+    "for tenant {uuid}",
+    "on host {ip}",
+    "with status {small_int}",
+    "at offset {int}",
+    "using {size} of memory",
+    "in namespace ns-{int}",
+    "for request {uuid}",
+    "from peer {ip_port}",
+]
+
+
+class SyntheticLogGenerator:
+    """Generates LogHub-style corpora for one catalogued system."""
+
+    def __init__(self, spec: SystemSpec, seed: int = 11) -> None:
+        self.spec = spec
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    # template catalogue
+    # ------------------------------------------------------------------ #
+    def build_templates(self, n_templates: int) -> List[str]:
+        """Curated templates topped up with procedural ones to ``n_templates``."""
+        # zlib.crc32 is stable across processes (unlike the built-in hash),
+        # keeping generated corpora identical between runs.
+        rng = np.random.default_rng(self.seed + zlib.crc32(self.spec.name.encode()) % 10_000)
+        templates = list(self.spec.curated_templates[:n_templates])
+        existing = set(templates)
+        attempts = 0
+        while len(templates) < n_templates and attempts < n_templates * 50:
+            attempts += 1
+            candidate = self._procedural_template(rng)
+            if candidate not in existing:
+                templates.append(candidate)
+                existing.add(candidate)
+        return templates
+
+    def _procedural_template(self, rng: np.random.Generator) -> str:
+        verb = _FILLER_VERBS[int(rng.integers(len(_FILLER_VERBS)))]
+        subject = _FILLER_SUBJECTS[int(rng.integers(len(_FILLER_SUBJECTS)))]
+        tail = _FILLER_TAILS[int(rng.integers(len(_FILLER_TAILS)))]
+        component = f"{self.spec.name}.{subject.replace(' ', '_')}"
+        parts = [component, verb, subject]
+        if tail:
+            parts.append(tail)
+        if rng.random() < 0.5:
+            parts.append("id={int}")
+        if rng.random() < 0.3:
+            parts.append("elapsed {float} ms")
+        return " ".join(parts)
+
+    # ------------------------------------------------------------------ #
+    # corpus generation
+    # ------------------------------------------------------------------ #
+    def generate(
+        self,
+        n_logs: int,
+        n_templates: Optional[int] = None,
+        variant: str = "loghub",
+        seed: Optional[int] = None,
+        uniqueness_exponent: Optional[float] = None,
+    ) -> LogDataset:
+        """Generate a corpus.
+
+        Parameters
+        ----------
+        n_logs:
+            Number of log lines to render.
+        n_templates:
+            Number of distinct templates; defaults to the catalogue's target
+            for the chosen variant.
+        variant:
+            ``"loghub"`` (small, 2k-scale) or ``"loghub2"`` (large scale).
+        seed:
+            Override the generator seed (defaults to the constructor's).
+        uniqueness_exponent:
+            Controls how many *distinct* raw lines each template contributes:
+            a template with ``c`` occurrences draws its lines from a pool of
+            ``~c**uniqueness_exponent`` distinct renderings.  Distinct-line
+            counts therefore grow sublinearly with volume, which is exactly
+            the heavy duplication the paper's Fig. 4 documents for real log
+            streams (and which deduplication exploits).  Set it to ``1.0``
+            for fully distinct renderings.  Defaults to 0.9 for the small
+            LogHub variant (2k-line samples are mostly unique) and 0.62 for
+            the LogHub-2.0 variant (long streams are heavily duplicated).
+        """
+        if variant not in ("loghub", "loghub2"):
+            raise ValueError(f"variant must be 'loghub' or 'loghub2', got {variant!r}")
+        if uniqueness_exponent is None:
+            uniqueness_exponent = 0.9 if variant == "loghub" else 0.62
+        if not 0.0 < uniqueness_exponent <= 1.0:
+            raise ValueError("uniqueness_exponent must be in (0, 1]")
+        if n_templates is None:
+            n_templates = (
+                self.spec.loghub_templates if variant == "loghub" else self.spec.loghub2_templates
+            )
+        if n_templates <= 0:
+            raise ValueError(f"{self.spec.name} has no {variant} variant")
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        templates = self.build_templates(n_templates)
+
+        frequencies = self._zipf_frequencies(len(templates), rng)
+        template_choices = rng.choice(len(templates), size=n_logs, p=frequencies)
+        # Guarantee every template appears at least once (ground truth in the
+        # real LogHub labels every template present in the slice).
+        for template_idx in range(min(len(templates), n_logs)):
+            template_choices[template_idx] = template_idx
+        rng.shuffle(template_choices)
+
+        occurrence_counts = np.bincount(template_choices, minlength=len(templates))
+
+        lines: List[str] = []
+        ground_truth: List[int] = []
+        pools: Dict[int, List[str]] = {}
+        pool_limits: Dict[int, int] = {}
+        for template_idx, count in enumerate(occurrence_counts):
+            if count > 0 and uniqueness_exponent < 1.0:
+                pool_limits[template_idx] = max(3, int(round(float(count) ** uniqueness_exponent)))
+        for template_idx in template_choices:
+            template_idx = int(template_idx)
+            limit = pool_limits.get(template_idx)
+            pool = pools.setdefault(template_idx, [])
+            if limit is not None and len(pool) >= limit:
+                line = pool[int(rng.integers(len(pool)))]
+            else:
+                line = render_template(templates[template_idx], rng)
+                pool.append(line)
+            lines.append(line)
+            ground_truth.append(template_idx)
+        return LogDataset(
+            name=self.spec.name,
+            variant=variant,
+            lines=lines,
+            ground_truth=ground_truth,
+            templates=templates,
+        )
+
+    def _zipf_frequencies(self, n_templates: int, rng: np.random.Generator) -> np.ndarray:
+        ranks = np.arange(1, n_templates + 1, dtype=np.float64)
+        weights = 1.0 / np.power(ranks, self.spec.zipf_alpha)
+        rng.shuffle(weights)
+        return weights / weights.sum()
+
+
+def generate_android_wakelock(n_logs: int = 2000, seed: int = 23) -> LogDataset:
+    """Android wakelock acquire/release corpus used for Table 4.
+
+    These are the logs whose templates the paper shows at saturation
+    thresholds 0.05 / 0.78 / 0.9 / 0.95.
+    """
+    rng = np.random.default_rng(seed)
+    templates = list(ANDROID_WAKELOCK_TEMPLATES)
+    lines: List[str] = []
+    ground_truth: List[int] = []
+    for _ in range(n_logs):
+        template_idx = int(rng.integers(len(templates)))
+        lines.append(render_template(templates[template_idx], rng))
+        ground_truth.append(template_idx)
+    return LogDataset(
+        name="AndroidWakelock",
+        variant="loghub",
+        lines=lines,
+        ground_truth=ground_truth,
+        templates=templates,
+    )

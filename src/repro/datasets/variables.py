@@ -1,0 +1,166 @@
+"""Variable-value generators used by the synthetic log templates.
+
+Each *variable kind* mimics one family of dynamic fields found in the LogHub
+systems (numeric ids, IP addresses, block ids, paths, durations, ...).  The
+generators are deliberately simple but cover the syntactic shapes that the
+masking rules (:mod:`repro.core.masking`) and the clustering algorithm have
+to cope with.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+__all__ = ["VARIABLE_KINDS", "render_variable", "variable_kinds"]
+
+_BASE_WORDS = [
+    "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel",
+    "india", "juliet", "kilo", "lima", "mike", "november", "oscar", "papa",
+    "quebec", "romeo", "sierra", "tango", "uniform", "victor", "whiskey",
+    "amber", "basalt", "cedar", "dune", "ember", "fjord", "garnet", "harbor",
+    "iris", "jasper", "krypton", "lumen", "maple", "nectar", "onyx", "prism",
+    "quartz", "raven", "slate", "topaz", "umber", "vertex", "willow", "zenith",
+]
+
+#: Word-like variable values.  The pool is deliberately large so that
+#: positions holding these values look like genuine variables (many distinct
+#: tokens) rather than template-distinguishing constants.
+_WORD_POOL = _BASE_WORDS + [f"{word}{suffix}" for word in _BASE_WORDS[:24] for suffix in ("x", "io")]
+
+_USER_POOL = [
+    "root", "admin", "hdfs", "spark", "guest", "operator", "deploy", "backup",
+] + [f"svc{index:02d}" for index in range(40)]
+
+_HOST_POOL = [f"{prefix}{index:02d}" for prefix in ("node", "worker", "cache", "edge", "db") for index in range(12)]
+
+_PATH_POOL = [
+    "/var/log/syslog", "/usr/local/bin/app", "/data/blocks/segment",
+    "/tmp/upload/session", "/etc/hadoop/conf", "/home/user/job/output",
+    "/opt/service/cache", "/srv/www/static/index",
+]
+
+_SERVICE_POOL = [
+    "DataNode", "NameNode", "ResourceManager", "Executor", "TaskScheduler",
+    "BlockManager", "SessionManager", "AuthService", "QueryPlanner", "Compactor",
+    "LeaseMonitor", "ShardBalancer", "SnapshotWriter", "TokenIssuer", "WalFlusher",
+    "GcCoordinator", "QuotaManager", "TraceCollector", "RetryDispatcher", "CacheWarmer",
+]
+
+
+def _pick(pool: List[str], rng: np.random.Generator) -> str:
+    return pool[int(rng.integers(len(pool)))]
+
+
+def _render_int(rng: np.random.Generator) -> str:
+    return str(int(rng.integers(0, 1_000_000)))
+
+
+def _render_small_int(rng: np.random.Generator) -> str:
+    return str(int(rng.integers(0, 64)))
+
+
+def _render_float(rng: np.random.Generator) -> str:
+    return f"{rng.random() * 1000:.2f}"
+
+
+def _render_hex(rng: np.random.Generator) -> str:
+    return f"0x{int(rng.integers(0, 2**32)):08x}"
+
+
+def _render_long_hex(rng: np.random.Generator) -> str:
+    return "".join(f"{int(rng.integers(0, 16)):x}" for _ in range(24))
+
+
+def _render_ip(rng: np.random.Generator) -> str:
+    return ".".join(str(int(rng.integers(1, 255))) for _ in range(4))
+
+
+def _render_ip_port(rng: np.random.Generator) -> str:
+    return f"{_render_ip(rng)}:{int(rng.integers(1024, 65535))}"
+
+
+def _render_uuid(rng: np.random.Generator) -> str:
+    chunks = [8, 4, 4, 4, 12]
+    return "-".join(
+        "".join(f"{int(rng.integers(0, 16)):x}" for _ in range(width)) for width in chunks
+    )
+
+
+def _render_block_id(rng: np.random.Generator) -> str:
+    return f"blk_{int(rng.integers(10**9, 10**10))}"
+
+
+def _render_duration(rng: np.random.Generator) -> str:
+    return f"{int(rng.integers(1, 90_000))}ms"
+
+
+def _render_size(rng: np.random.Generator) -> str:
+    return f"{int(rng.integers(1, 4096))}MB"
+
+
+def _render_timestamp(rng: np.random.Generator) -> str:
+    month = int(rng.integers(1, 13))
+    day = int(rng.integers(1, 29))
+    hour = int(rng.integers(0, 24))
+    minute = int(rng.integers(0, 60))
+    second = int(rng.integers(0, 60))
+    return f"2024-{month:02d}-{day:02d} {hour:02d}:{minute:02d}:{second:02d}"
+
+
+def _render_word(rng: np.random.Generator) -> str:
+    return _pick(_WORD_POOL, rng)
+
+
+def _render_user(rng: np.random.Generator) -> str:
+    return _pick(_USER_POOL, rng)
+
+
+def _render_host(rng: np.random.Generator) -> str:
+    return _pick(_HOST_POOL, rng)
+
+
+def _render_path(rng: np.random.Generator) -> str:
+    base = _pick(_PATH_POOL, rng)
+    return f"{base}/{_pick(_BASE_WORDS, rng)}{int(rng.integers(0, 100)):02d}"
+
+
+def _render_service(rng: np.random.Generator) -> str:
+    return _pick(_SERVICE_POOL, rng)
+
+
+#: Registry of variable kinds usable in template strings as ``{kind}``.
+VARIABLE_KINDS: Dict[str, Callable[[np.random.Generator], str]] = {
+    "int": _render_int,
+    "small_int": _render_small_int,
+    "float": _render_float,
+    "hex": _render_hex,
+    "long_hex": _render_long_hex,
+    "ip": _render_ip,
+    "ip_port": _render_ip_port,
+    "uuid": _render_uuid,
+    "block_id": _render_block_id,
+    "duration": _render_duration,
+    "size": _render_size,
+    "timestamp": _render_timestamp,
+    "word": _render_word,
+    "user": _render_user,
+    "host": _render_host,
+    "path": _render_path,
+    "service": _render_service,
+}
+
+
+def variable_kinds() -> List[str]:
+    """Names of all available variable kinds."""
+    return list(VARIABLE_KINDS)
+
+
+def render_variable(kind: str, rng: np.random.Generator) -> str:
+    """Render one concrete value for a variable kind."""
+    try:
+        renderer = VARIABLE_KINDS[kind]
+    except KeyError:
+        raise KeyError(f"unknown variable kind {kind!r}; known: {sorted(VARIABLE_KINDS)}") from None
+    return renderer(rng)

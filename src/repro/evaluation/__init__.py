@@ -1,0 +1,24 @@
+"""Evaluation harness: metrics, runners, ablations and report rendering.
+
+These are the pieces the benchmark suite (``benchmarks/``) composes to
+regenerate every table and figure of the paper's evaluation section.
+"""
+
+from repro.evaluation.metrics import (
+    grouping_accuracy,
+    f1_grouping_accuracy,
+    parsing_accuracy,
+    throughput,
+)
+from repro.evaluation.runner import EvaluationRun, ByteBrainRunner, BaselineRunner, evaluate_parser
+
+__all__ = [
+    "grouping_accuracy",
+    "f1_grouping_accuracy",
+    "parsing_accuracy",
+    "throughput",
+    "EvaluationRun",
+    "ByteBrainRunner",
+    "BaselineRunner",
+    "evaluate_parser",
+]

@@ -1,0 +1,48 @@
+"""Ablation study harness (paper §5.4, Fig. 8 and Fig. 9).
+
+Builds one :class:`~repro.evaluation.runner.ByteBrainRunner` per ablation
+variant (the labels of Fig. 8/9) and runs them on the requested datasets,
+so the accuracy and throughput effect of every proposed technique can be
+reproduced with a single call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import ByteBrainConfig, ablation_config, list_ablation_variants
+from repro.datasets.synthetic import LogDataset
+from repro.evaluation.runner import DEFAULT_QUERY_THRESHOLD, ByteBrainRunner, EvaluationRun
+
+__all__ = ["ablation_runners", "run_ablation"]
+
+
+def ablation_runners(
+    variants: Optional[Sequence[str]] = None,
+    base_config: Optional[ByteBrainConfig] = None,
+    query_threshold: float = DEFAULT_QUERY_THRESHOLD,
+) -> Dict[str, ByteBrainRunner]:
+    """One configured runner per ablation variant name."""
+    names = list(variants) if variants is not None else list_ablation_variants()
+    runners: Dict[str, ByteBrainRunner] = {}
+    for name in names:
+        config = ablation_config(name, base_config)
+        runners[name] = ByteBrainRunner(config=config, name=name, query_threshold=query_threshold)
+    return runners
+
+
+def run_ablation(
+    datasets: Sequence[LogDataset],
+    variants: Optional[Sequence[str]] = None,
+    base_config: Optional[ByteBrainConfig] = None,
+    query_threshold: float = DEFAULT_QUERY_THRESHOLD,
+) -> Dict[str, List[EvaluationRun]]:
+    """Run every ablation variant over every dataset.
+
+    Returns a mapping ``variant name -> [EvaluationRun per dataset]``.
+    """
+    runners = ablation_runners(variants, base_config, query_threshold)
+    results: Dict[str, List[EvaluationRun]] = {}
+    for name, runner in runners.items():
+        results[name] = [runner.run(dataset) for dataset in datasets]
+    return results

@@ -1,0 +1,105 @@
+"""Evaluation metrics (paper §5.1.3).
+
+* **Grouping Accuracy (GA)** — the fraction of logs that are *correctly
+  grouped*: a log counts only if the set of logs sharing its predicted group
+  is exactly the set of logs sharing its ground-truth template.  This is the
+  strict metric used throughout the paper (and the LogPai benchmark).
+* **F1 Grouping Accuracy** — the pairwise F1 variant reported by several
+  baselines' original papers; included for completeness.
+* **Parsing accuracy** — fraction of logs whose predicted group is *pure*
+  (all members share one ground-truth template); a more lenient diagnostic.
+* **Throughput** — logs per second over combined training + matching time.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+__all__ = ["grouping_accuracy", "f1_grouping_accuracy", "parsing_accuracy", "throughput"]
+
+
+def _group_members(labels: Sequence[Hashable]) -> Dict[Hashable, List[int]]:
+    groups: Dict[Hashable, List[int]] = defaultdict(list)
+    for index, label in enumerate(labels):
+        groups[label].append(index)
+    return groups
+
+
+def grouping_accuracy(predicted: Sequence[Hashable], truth: Sequence[Hashable]) -> float:
+    """Strict grouping accuracy (GA) as defined in §5.1.3.
+
+    A log is correct only when the predicted group it belongs to contains
+    exactly the logs of its ground-truth template — no more, no fewer.
+    """
+    if len(predicted) != len(truth):
+        raise ValueError("predicted and truth must have the same length")
+    if not truth:
+        return 1.0
+    predicted_groups = _group_members(predicted)
+    truth_groups = {label: set(members) for label, members in _group_members(truth).items()}
+    correct = 0
+    for members in predicted_groups.values():
+        truth_labels = {truth[index] for index in members}
+        if len(truth_labels) != 1:
+            continue
+        label = next(iter(truth_labels))
+        if set(members) == truth_groups[label]:
+            correct += len(members)
+    return correct / len(truth)
+
+
+def parsing_accuracy(predicted: Sequence[Hashable], truth: Sequence[Hashable]) -> float:
+    """Fraction of logs whose predicted group is pure w.r.t. ground truth."""
+    if len(predicted) != len(truth):
+        raise ValueError("predicted and truth must have the same length")
+    if not truth:
+        return 1.0
+    predicted_groups = _group_members(predicted)
+    correct = 0
+    for members in predicted_groups.values():
+        truth_labels = {truth[index] for index in members}
+        if len(truth_labels) == 1:
+            correct += len(members)
+    return correct / len(truth)
+
+
+def f1_grouping_accuracy(predicted: Sequence[Hashable], truth: Sequence[Hashable]) -> float:
+    """Pairwise F1 over same-group log pairs.
+
+    Precision/recall are computed over the number of log pairs placed in the
+    same group by the parser vs. by the ground truth, using the standard
+    sum-of-combinations formulation (no quadratic pair enumeration).
+    """
+    if len(predicted) != len(truth):
+        raise ValueError("predicted and truth must have the same length")
+    if not truth:
+        return 1.0
+
+    def pair_count(counter: Counter) -> float:
+        return sum(count * (count - 1) / 2.0 for count in counter.values())
+
+    predicted_counter = Counter(predicted)
+    truth_counter = Counter(truth)
+    joint_counter = Counter(zip(predicted, truth))
+
+    predicted_pairs = pair_count(predicted_counter)
+    truth_pairs = pair_count(truth_counter)
+    agreeing_pairs = pair_count(joint_counter)
+
+    if predicted_pairs == 0 or truth_pairs == 0:
+        return 1.0 if predicted_pairs == truth_pairs else 0.0
+    precision = agreeing_pairs / predicted_pairs
+    recall = agreeing_pairs / truth_pairs
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def throughput(n_logs: int, seconds: float) -> float:
+    """Logs per second (training + matching time combined, §5.1.3)."""
+    if n_logs < 0:
+        raise ValueError("n_logs must be non-negative")
+    if seconds <= 0:
+        return float("inf") if n_logs else 0.0
+    return n_logs / seconds

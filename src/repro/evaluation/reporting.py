@@ -1,0 +1,82 @@
+"""Plain-text rendering of reproduced tables and figure series.
+
+The paper's figures are plots; a benchmark harness cannot (and need not)
+draw them, so every "figure" is reproduced as the series of numbers behind
+it, printed as an aligned text table next to the paper's reference values
+where the paper states them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_matrix", "format_series", "banner"]
+
+
+def banner(title: str, width: int = 78) -> str:
+    """A section banner used at the top of every benchmark's output."""
+    line = "=" * width
+    return f"{line}\n{title}\n{line}"
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max(len(cells[i]) for cells in rendered_rows))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(cells[i].ljust(widths[i]) for i in range(len(columns))) for cells in rendered_rows
+    )
+    return "\n".join([header, separator, body])
+
+
+def format_matrix(
+    matrix: Mapping[str, Mapping[str, object]],
+    row_label: str = "row",
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a nested mapping ``{row: {column: value}}`` as a table."""
+    if not matrix:
+        return "(empty matrix)"
+    if columns is None:
+        seen: List[str] = []
+        for row_values in matrix.values():
+            for key in row_values:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    rows = []
+    for row_name, row_values in matrix.items():
+        row: Dict[str, object] = {row_label: row_name}
+        for column in columns:
+            row[column] = row_values.get(column, "")
+        rows.append(row)
+    return format_table(rows, [row_label, *columns])
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[object]) -> str:
+    """Render one figure series as ``x -> y`` lines."""
+    lines = [f"series: {name}"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {_fmt(x):>12} -> {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

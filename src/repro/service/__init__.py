@@ -1,0 +1,22 @@
+"""In-process simulation of the cloud log service (paper §3 and §6).
+
+The paper deploys ByteBrain inside Volcano Engine's Torch Log Service (TLS).
+This package reproduces the service surface the algorithm interacts with:
+
+- :mod:`repro.service.topic` — append-only log topics with per-record
+  template ids and a simple inverted text index,
+- :mod:`repro.service.internal_topic` — the internal topic storing template
+  metadata (text, saturation, parent links),
+- :mod:`repro.service.scheduler` — volume/time-triggered periodic training,
+- :mod:`repro.service.indexer` — the indexing pipeline online matching is
+  embedded in,
+- :mod:`repro.service.analytics` — template-based anomaly detection,
+  period-over-period comparison and known-failure matching,
+- :mod:`repro.service.service` — the tenant-facing :class:`LogParsingService`.
+"""
+
+from repro.service.service import LogParsingService
+from repro.service.topic import LogRecord, LogTopic
+from repro.service.scheduler import TrainingScheduler
+
+__all__ = ["LogParsingService", "LogRecord", "LogTopic", "TrainingScheduler"]

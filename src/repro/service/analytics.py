@@ -1,0 +1,232 @@
+"""Template-based analytics built on parsing results (paper §1 and §6).
+
+The paper lists the advanced capabilities the service layers on top of
+parsing: "log anomaly detection (identifying abnormal changes in template
+quantities and newly emerged templates), template distribution comparison
+across different time periods, and automatic matching against a library of
+known failure scenarios".  This module implements all three over the
+per-record template ids stored in a :class:`~repro.service.topic.LogTopic`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.model import ParserModel, Template, template_similarity
+
+__all__ = [
+    "TemplateAnomaly",
+    "TemplateAnomalyDetector",
+    "DistributionComparison",
+    "compare_template_distributions",
+    "FailureScenario",
+    "FailureScenarioLibrary",
+]
+
+
+# --------------------------------------------------------------------------- #
+# anomaly detection
+# --------------------------------------------------------------------------- #
+@dataclass
+class TemplateAnomaly:
+    """One detected anomaly on a template's behaviour."""
+
+    template_id: int
+    kind: str  # "count_spike", "count_drop" or "new_template"
+    baseline_count: int
+    current_count: int
+    score: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"[{self.kind}] template {self.template_id}: "
+            f"{self.baseline_count} -> {self.current_count} (score {self.score:.2f})"
+        )
+
+
+class TemplateAnomalyDetector:
+    """Detects count anomalies and newly emerged templates between windows."""
+
+    def __init__(self, spike_ratio: float = 3.0, drop_ratio: float = 3.0, min_count: int = 5) -> None:
+        if spike_ratio <= 1.0 or drop_ratio <= 1.0:
+            raise ValueError("spike_ratio and drop_ratio must be > 1")
+        self.spike_ratio = spike_ratio
+        self.drop_ratio = drop_ratio
+        self.min_count = min_count
+
+    def detect(
+        self,
+        baseline_template_ids: Sequence[int],
+        current_template_ids: Sequence[int],
+    ) -> List[TemplateAnomaly]:
+        """Compare two windows of per-record template ids."""
+        baseline = Counter(baseline_template_ids)
+        current = Counter(current_template_ids)
+        baseline_total = max(sum(baseline.values()), 1)
+        current_total = max(sum(current.values()), 1)
+
+        anomalies: List[TemplateAnomaly] = []
+        for template_id, count in current.items():
+            base_count = baseline.get(template_id, 0)
+            if base_count == 0:
+                if count >= self.min_count:
+                    anomalies.append(
+                        TemplateAnomaly(
+                            template_id=template_id,
+                            kind="new_template",
+                            baseline_count=0,
+                            current_count=count,
+                            score=float(count),
+                        )
+                    )
+                continue
+            base_rate = base_count / baseline_total
+            current_rate = count / current_total
+            if current_rate >= base_rate * self.spike_ratio and count >= self.min_count:
+                anomalies.append(
+                    TemplateAnomaly(
+                        template_id=template_id,
+                        kind="count_spike",
+                        baseline_count=base_count,
+                        current_count=count,
+                        score=current_rate / base_rate,
+                    )
+                )
+        for template_id, base_count in baseline.items():
+            if base_count < self.min_count:
+                continue
+            count = current.get(template_id, 0)
+            base_rate = base_count / baseline_total
+            current_rate = count / current_total
+            if current_rate * self.drop_ratio <= base_rate:
+                anomalies.append(
+                    TemplateAnomaly(
+                        template_id=template_id,
+                        kind="count_drop",
+                        baseline_count=base_count,
+                        current_count=count,
+                        score=base_rate / max(current_rate, 1e-9),
+                    )
+                )
+        return sorted(anomalies, key=lambda a: -a.score)
+
+
+# --------------------------------------------------------------------------- #
+# distribution comparison
+# --------------------------------------------------------------------------- #
+@dataclass
+class DistributionComparison:
+    """Comparison of template distributions across two periods."""
+
+    jensen_shannon_divergence: float
+    added_templates: List[int]
+    removed_templates: List[int]
+    largest_shifts: List[Tuple[int, float]]  # (template_id, rate delta)
+
+
+def compare_template_distributions(
+    period_a_template_ids: Sequence[int],
+    period_b_template_ids: Sequence[int],
+    top_k: int = 10,
+) -> DistributionComparison:
+    """Compare the template mix of two time periods (§6 feature)."""
+    count_a = Counter(period_a_template_ids)
+    count_b = Counter(period_b_template_ids)
+    total_a = max(sum(count_a.values()), 1)
+    total_b = max(sum(count_b.values()), 1)
+    all_ids = set(count_a) | set(count_b)
+
+    divergence = 0.0
+    shifts: List[Tuple[int, float]] = []
+    for template_id in all_ids:
+        p = count_a.get(template_id, 0) / total_a
+        q = count_b.get(template_id, 0) / total_b
+        m = (p + q) / 2.0
+        if p > 0:
+            divergence += 0.5 * p * math.log2(p / m)
+        if q > 0:
+            divergence += 0.5 * q * math.log2(q / m)
+        shifts.append((template_id, q - p))
+
+    shifts.sort(key=lambda item: -abs(item[1]))
+    return DistributionComparison(
+        jensen_shannon_divergence=divergence,
+        added_templates=sorted(set(count_b) - set(count_a)),
+        removed_templates=sorted(set(count_a) - set(count_b)),
+        largest_shifts=shifts[:top_k],
+    )
+
+
+# --------------------------------------------------------------------------- #
+# failure scenario library
+# --------------------------------------------------------------------------- #
+@dataclass
+class FailureScenario:
+    """A known failure signature: template texts that characterise it."""
+
+    name: str
+    description: str
+    signature_templates: List[str]
+    #: Fraction of signature templates that must be present to report a match.
+    min_coverage: float = 0.6
+
+
+@dataclass
+class ScenarioMatch:
+    """A failure scenario detected in a window of logs."""
+
+    scenario: FailureScenario
+    coverage: float
+    matched_templates: List[str]
+
+
+class FailureScenarioLibrary:
+    """Library of known failure scenarios matched against parsed templates."""
+
+    def __init__(self) -> None:
+        self._scenarios: List[FailureScenario] = []
+
+    def add(self, scenario: FailureScenario) -> None:
+        """Register a failure scenario."""
+        if not scenario.signature_templates:
+            raise ValueError("a failure scenario needs at least one signature template")
+        self._scenarios.append(scenario)
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def scenarios(self) -> List[FailureScenario]:
+        """All registered scenarios."""
+        return list(self._scenarios)
+
+    def match(
+        self,
+        observed_templates: Sequence[Template],
+        similarity_threshold: float = 0.75,
+    ) -> List[ScenarioMatch]:
+        """Match observed templates against every registered scenario.
+
+        A signature template counts as present when some observed template's
+        token sequence is sufficiently similar to it.
+        """
+        observed_token_lists = [template.tokens for template in observed_templates]
+        matches: List[ScenarioMatch] = []
+        for scenario in self._scenarios:
+            matched: List[str] = []
+            for signature in scenario.signature_templates:
+                signature_tokens = tuple(signature.split())
+                hit = any(
+                    template_similarity(signature_tokens, tokens) >= similarity_threshold
+                    for tokens in observed_token_lists
+                )
+                if hit:
+                    matched.append(signature)
+            coverage = len(matched) / len(scenario.signature_templates)
+            if coverage >= scenario.min_coverage:
+                matches.append(
+                    ScenarioMatch(scenario=scenario, coverage=coverage, matched_templates=matched)
+                )
+        return sorted(matches, key=lambda m: -m.coverage)

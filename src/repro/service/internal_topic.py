@@ -1,0 +1,114 @@
+"""Internal topic holding template metadata (paper §3 offline training).
+
+"Each node stores its metadata including template text, saturation score and
+parent-child relationships in an internal topic.  This enables efficient
+navigation across precision levels while reducing reliance on external
+databases."  The internal topic is itself append-only: every training round
+appends the current snapshot of the model's templates, and readers see the
+latest entry per template id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.model import ParserModel, Template
+
+__all__ = ["TemplateMetadataEntry", "InternalTemplateTopic"]
+
+
+@dataclass
+class TemplateMetadataEntry:
+    """One appended metadata row."""
+
+    sequence: int
+    training_round: int
+    template_id: int
+    template_text: str
+    saturation: float
+    parent_id: Optional[int]
+    depth: int
+    is_temporary: bool
+
+
+class InternalTemplateTopic:
+    """Append-only metadata store for a topic's templates."""
+
+    def __init__(self, topic_name: str) -> None:
+        self.topic_name = topic_name
+        self._entries: List[TemplateMetadataEntry] = []
+        self._rounds: int = 0
+
+    def publish_model(self, model: ParserModel) -> int:
+        """Append a snapshot of every template in the model.
+
+        Returns the training-round number assigned to the snapshot.
+        """
+        self._rounds += 1
+        for template in model.templates():
+            self._entries.append(
+                TemplateMetadataEntry(
+                    sequence=len(self._entries),
+                    training_round=self._rounds,
+                    template_id=template.template_id,
+                    template_text=template.text,
+                    saturation=template.saturation,
+                    parent_id=template.parent_id,
+                    depth=template.depth,
+                    is_temporary=template.is_temporary,
+                )
+            )
+        return self._rounds
+
+    def publish_template(self, template: Template) -> None:
+        """Append a single template row (used for temporary templates)."""
+        self._entries.append(
+            TemplateMetadataEntry(
+                sequence=len(self._entries),
+                training_round=self._rounds,
+                template_id=template.template_id,
+                template_text=template.text,
+                saturation=template.saturation,
+                parent_id=template.parent_id,
+                depth=template.depth,
+                is_temporary=template.is_temporary,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def training_rounds(self) -> int:
+        """Number of published training rounds."""
+        return self._rounds
+
+    def entries(self) -> List[TemplateMetadataEntry]:
+        """All appended rows."""
+        return list(self._entries)
+
+    def latest(self) -> Dict[int, TemplateMetadataEntry]:
+        """Latest row per template id (what a reader reconstructs)."""
+        latest: Dict[int, TemplateMetadataEntry] = {}
+        for entry in self._entries:
+            latest[entry.template_id] = entry
+        return latest
+
+    def lineage(self, template_id: int) -> List[TemplateMetadataEntry]:
+        """Ancestor chain of a template, reconstructed from the latest rows."""
+        latest = self.latest()
+        chain: List[TemplateMetadataEntry] = []
+        current = latest.get(template_id)
+        seen = set()
+        while current is not None and current.parent_id is not None:
+            if current.parent_id in seen:
+                break
+            seen.add(current.parent_id)
+            current = latest.get(current.parent_id)
+            if current is not None:
+                chain.append(current)
+        return chain

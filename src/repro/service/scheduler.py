@@ -1,0 +1,88 @@
+"""Training scheduler (paper §3: "Training is triggered upon reaching either
+a volume threshold or a time interval after last execution").
+
+The scheduler is deliberately clock-agnostic: callers pass the current
+(simulated or real) time, which keeps the service fully deterministic in
+tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["SchedulerPolicy", "TrainingScheduler"]
+
+
+@dataclass
+class SchedulerPolicy:
+    """When to trigger a training round."""
+
+    #: Trigger once this many new records accumulated since the last round.
+    volume_threshold: int = 10_000
+    #: Trigger once this many seconds elapsed since the last round.
+    time_interval_seconds: float = 300.0
+    #: Records required before the very first round may run (a tiny first
+    #: model is better than none; the paper notes first training finishes
+    #: within five minutes of topic creation).
+    initial_volume_threshold: int = 100
+
+
+class TrainingScheduler:
+    """Decides when a topic needs (re)training."""
+
+    def __init__(self, policy: Optional[SchedulerPolicy] = None) -> None:
+        self.policy = policy or SchedulerPolicy()
+        self._records_since_training = 0
+        self._last_training_time: Optional[float] = None
+        self._training_rounds = 0
+
+    # ------------------------------------------------------------------ #
+    # event feed
+    # ------------------------------------------------------------------ #
+    def record_ingested(self, count: int = 1) -> None:
+        """Tell the scheduler ``count`` new records arrived."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._records_since_training += count
+
+    def training_completed(self, now: float) -> None:
+        """Tell the scheduler a training round just finished."""
+        self._records_since_training = 0
+        self._last_training_time = now
+        self._training_rounds += 1
+
+    # ------------------------------------------------------------------ #
+    # decision
+    # ------------------------------------------------------------------ #
+    def should_train(self, now: float) -> bool:
+        """True when a training round should run at time ``now``."""
+        if self._training_rounds == 0:
+            return self._records_since_training >= self.policy.initial_volume_threshold
+        if self._records_since_training >= self.policy.volume_threshold:
+            return True
+        if (
+            self._last_training_time is not None
+            and now - self._last_training_time >= self.policy.time_interval_seconds
+            and self._records_since_training > 0
+        ):
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def training_rounds(self) -> int:
+        """Number of completed training rounds."""
+        return self._training_rounds
+
+    @property
+    def pending_records(self) -> int:
+        """Records ingested since the last training round."""
+        return self._records_since_training
+
+    @property
+    def last_training_time(self) -> Optional[float]:
+        """Timestamp of the last completed round (None before the first)."""
+        return self._last_training_time

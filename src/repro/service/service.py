@@ -1,0 +1,276 @@
+"""Tenant-facing log parsing service (paper §3 system design, §6 deployment).
+
+:class:`LogParsingService` ties everything together per topic:
+
+* an append-only :class:`~repro.service.topic.LogTopic` holding records and
+  their template ids,
+* a :class:`~repro.core.parser.ByteBrainParser` trained periodically by a
+  :class:`~repro.service.scheduler.TrainingScheduler`,
+* an :class:`~repro.service.internal_topic.InternalTemplateTopic` recording
+  template metadata after every round,
+* query-time precision adjustment (the web UI's "precision slider"),
+* a per-topic template library usable for alerting, and
+* the analytics features of §6 (anomaly detection, period comparison,
+  failure-scenario matching).
+
+Time is always passed in explicitly so the service is deterministic in tests
+and benchmarks; production would pass wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import ByteBrainConfig
+from repro.core.parser import ByteBrainParser
+from repro.core.query import TemplateGroup
+from repro.core.model import Template
+from repro.service.analytics import (
+    FailureScenarioLibrary,
+    TemplateAnomaly,
+    TemplateAnomalyDetector,
+    compare_template_distributions,
+)
+from repro.service.indexer import IndexingPipeline, IngestionOutcome
+from repro.service.internal_topic import InternalTemplateTopic
+from repro.service.scheduler import SchedulerPolicy, TrainingScheduler
+from repro.service.topic import LogTopic
+
+__all__ = ["TopicState", "LogParsingService"]
+
+
+@dataclass
+class TopicState:
+    """Everything the service keeps per log topic."""
+
+    topic: LogTopic
+    parser: ByteBrainParser
+    scheduler: TrainingScheduler
+    pipeline: IndexingPipeline
+    internal_topic: InternalTemplateTopic
+    template_library: Dict[str, int] = field(default_factory=dict)
+    pending_training: List[str] = field(default_factory=list)
+
+
+class LogParsingService:
+    """Multi-topic, multi-tenant log parsing service (in-process simulation)."""
+
+    def __init__(
+        self,
+        config: Optional[ByteBrainConfig] = None,
+        scheduler_policy: Optional[SchedulerPolicy] = None,
+    ) -> None:
+        self.config = config or ByteBrainConfig()
+        self.scheduler_policy = scheduler_policy or SchedulerPolicy()
+        self._topics: Dict[str, TopicState] = {}
+        self.failure_library = FailureScenarioLibrary()
+        self.anomaly_detector = TemplateAnomalyDetector()
+
+    # ------------------------------------------------------------------ #
+    # topic lifecycle
+    # ------------------------------------------------------------------ #
+    def create_topic(self, name: str, config: Optional[ByteBrainConfig] = None) -> TopicState:
+        """Create a log topic (errors if it already exists)."""
+        if name in self._topics:
+            raise ValueError(f"topic {name!r} already exists")
+        topic = LogTopic(name)
+        parser = ByteBrainParser(config or self.config)
+        scheduler = TrainingScheduler(SchedulerPolicy(**vars(self.scheduler_policy)))
+        pipeline = IndexingPipeline(topic, scheduler)
+        state = TopicState(
+            topic=topic,
+            parser=parser,
+            scheduler=scheduler,
+            pipeline=pipeline,
+            internal_topic=InternalTemplateTopic(name),
+        )
+        self._topics[name] = state
+        return state
+
+    def topic_names(self) -> List[str]:
+        """Names of all existing topics."""
+        return list(self._topics)
+
+    def topic(self, name: str) -> TopicState:
+        """Fetch a topic's state (KeyError if unknown)."""
+        return self._topics[name]
+
+    def drop_topic(self, name: str) -> None:
+        """Delete a topic and everything associated with it."""
+        del self._topics[name]
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def ingest(self, topic_name: str, raw: str, now: float) -> IngestionOutcomeWithTraining:
+        """Ingest one record; runs a training round first if the scheduler says so."""
+        state = self._topics[topic_name]
+        trained = self.maybe_train(topic_name, now)
+        outcome = state.pipeline.ingest(raw, timestamp=now)
+        state.pending_training.append(raw)
+        if outcome.is_new_template and outcome.template_id is not None:
+            state.internal_topic.publish_template(state.parser.model.get(outcome.template_id))
+        return IngestionOutcomeWithTraining(outcome=outcome, trained=trained)
+
+    def ingest_batch(self, topic_name: str, raws: Sequence[str], now: float) -> int:
+        """Ingest a batch of records at one timestamp; returns count stored."""
+        for raw in raws:
+            self.ingest(topic_name, raw, now)
+        return len(raws)
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def maybe_train(self, topic_name: str, now: float) -> bool:
+        """Run a training round if the scheduler's trigger condition holds."""
+        state = self._topics[topic_name]
+        if not state.scheduler.should_train(now):
+            return False
+        self.train_now(topic_name, now)
+        return True
+
+    def train_now(self, topic_name: str, now: float) -> None:
+        """Force a training round on whatever has accumulated."""
+        state = self._topics[topic_name]
+        batch = state.pending_training or [record.raw for record in state.topic.records()]
+        if not batch:
+            return
+        state.parser.train(batch)
+        state.pending_training = []
+        state.scheduler.training_completed(now)
+        state.internal_topic.publish_model(state.parser.model)
+        state.pipeline.attach_matcher(state.parser.matcher)
+        state.pipeline.backfill_templates(state.parser.matcher)
+
+    # ------------------------------------------------------------------ #
+    # query
+    # ------------------------------------------------------------------ #
+    def query_templates(
+        self,
+        topic_name: str,
+        threshold: float,
+        text_filter: Optional[str] = None,
+        merge_wildcards: bool = True,
+    ) -> List[TemplateGroup]:
+        """Group the topic's records by template at a precision threshold.
+
+        This is the paper's query path: records already carry the most
+        precise template id, the threshold walks ancestors upward, and
+        consecutive wildcards are merged for presentation.
+        """
+        state = self._topics[topic_name]
+        if text_filter:
+            records = state.topic.search_text(text_filter)
+        else:
+            records = state.topic.records()
+        template_ids = [r.template_id for r in records if r.template_id is not None]
+        return state.parser.query_engine.group_records(
+            template_ids, threshold, merge_wildcards=merge_wildcards
+        )
+
+    def template_count(self, topic_name: str, threshold: float) -> int:
+        """Number of distinct templates visible at a precision threshold."""
+        state = self._topics[topic_name]
+        return len(state.parser.model.templates_at_threshold(threshold))
+
+    # ------------------------------------------------------------------ #
+    # template library and alerting
+    # ------------------------------------------------------------------ #
+    def save_template_to_library(self, topic_name: str, label: str, template_id: int) -> None:
+        """Save a template under a user-chosen label (§6 template library)."""
+        state = self._topics[topic_name]
+        if template_id not in state.parser.model:
+            raise KeyError(f"template {template_id} does not exist in topic {topic_name!r}")
+        state.template_library[label] = template_id
+
+    def library_counts(self, topic_name: str) -> Dict[str, int]:
+        """Record counts of every library template (alerting input)."""
+        state = self._topics[topic_name]
+        counts = state.topic.template_counts()
+        result: Dict[str, int] = {}
+        for label, template_id in state.template_library.items():
+            total = counts.get(template_id, 0)
+            for descendant in state.parser.model.descendants(template_id):
+                total += counts.get(descendant.template_id, 0)
+            result[label] = total
+        return result
+
+    # ------------------------------------------------------------------ #
+    # analytics (§6)
+    # ------------------------------------------------------------------ #
+    def detect_anomalies(
+        self,
+        topic_name: str,
+        baseline_window: Tuple[float, float],
+        current_window: Tuple[float, float],
+    ) -> List[TemplateAnomaly]:
+        """Template-count anomaly detection between two time windows."""
+        state = self._topics[topic_name]
+        baseline_ids = [
+            r.template_id
+            for r in state.topic.records_between(*baseline_window)
+            if r.template_id is not None
+        ]
+        current_ids = [
+            r.template_id
+            for r in state.topic.records_between(*current_window)
+            if r.template_id is not None
+        ]
+        return self.anomaly_detector.detect(baseline_ids, current_ids)
+
+    def compare_periods(
+        self,
+        topic_name: str,
+        period_a: Tuple[float, float],
+        period_b: Tuple[float, float],
+    ):
+        """Template-distribution comparison across two time periods."""
+        state = self._topics[topic_name]
+        ids_a = [
+            r.template_id
+            for r in state.topic.records_between(*period_a)
+            if r.template_id is not None
+        ]
+        ids_b = [
+            r.template_id
+            for r in state.topic.records_between(*period_b)
+            if r.template_id is not None
+        ]
+        return compare_template_distributions(ids_a, ids_b)
+
+    def match_failure_scenarios(self, topic_name: str, window: Tuple[float, float]):
+        """Match the window's templates against the known-failure library."""
+        state = self._topics[topic_name]
+        template_ids = {
+            r.template_id
+            for r in state.topic.records_between(*window)
+            if r.template_id is not None
+        }
+        templates: List[Template] = [
+            state.parser.model.get(tid) for tid in template_ids if tid in state.parser.model
+        ]
+        return self.failure_library.match(templates)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def topic_stats(self, topic_name: str) -> Dict[str, float]:
+        """Operational statistics for one topic (Table 5-style reporting)."""
+        state = self._topics[topic_name]
+        model_stats = state.parser.model.stats()
+        return {
+            "n_records": float(len(state.topic)),
+            "raw_bytes": float(state.topic.size_bytes()),
+            "n_templates": float(model_stats["n_templates"]),
+            "model_size_bytes": float(model_stats["size_bytes"]),
+            "training_rounds": float(state.scheduler.training_rounds),
+        }
+
+
+@dataclass
+class IngestionOutcomeWithTraining:
+    """Ingestion outcome plus whether a training round was triggered."""
+
+    outcome: IngestionOutcome
+    trained: bool

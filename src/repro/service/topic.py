@@ -1,0 +1,114 @@
+"""Append-only log topics (paper §3: "A log topic ... serves as the
+fundamental unit of our log service, where records are indexed, stored, and
+made available for analysis").
+
+A :class:`LogTopic` stores records append-only together with the template id
+computed at ingestion time (the paper: "template IDs must be computed along
+with other traditional text indices before logs can be written to the
+append-only log topic storage") and maintains a minimal inverted token index
+so text queries and template queries compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["LogRecord", "LogTopic"]
+
+
+@dataclass
+class LogRecord:
+    """One stored log record."""
+
+    record_id: int
+    timestamp: float
+    raw: str
+    template_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.record_id < 0:
+            raise ValueError("record_id must be non-negative")
+
+
+class LogTopic:
+    """Append-only storage for one log stream."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("topic name must be non-empty")
+        self.name = name
+        self._records: List[LogRecord] = []
+        self._token_index: Dict[str, Set[int]] = {}
+        self._template_index: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    def append(self, raw: str, timestamp: float, template_id: Optional[int] = None) -> LogRecord:
+        """Append one record; returns the stored record."""
+        record = LogRecord(
+            record_id=len(self._records),
+            timestamp=timestamp,
+            raw=raw,
+            template_id=template_id,
+        )
+        self._records.append(record)
+        for token in set(raw.split()):
+            self._token_index.setdefault(token, set()).add(record.record_id)
+        if template_id is not None:
+            self._template_index.setdefault(template_id, []).append(record.record_id)
+        return record
+
+    def set_template(self, record_id: int, template_id: int) -> None:
+        """Attach / update the template id of an existing record."""
+        record = self._records[record_id]
+        if record.template_id is not None:
+            previous = self._template_index.get(record.template_id)
+            if previous is not None and record_id in previous:
+                previous.remove(record_id)
+        record.template_id = template_id
+        self._template_index.setdefault(template_id, []).append(record_id)
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> List[LogRecord]:
+        """All records in append order."""
+        return list(self._records)
+
+    def record(self, record_id: int) -> LogRecord:
+        """Fetch one record by id."""
+        return self._records[record_id]
+
+    def slice(self, start: int = 0, end: Optional[int] = None) -> List[LogRecord]:
+        """Records in the half-open id range ``[start, end)``."""
+        return self._records[start:end]
+
+    def records_between(self, start_time: float, end_time: float) -> List[LogRecord]:
+        """Records whose timestamp falls in ``[start_time, end_time)``."""
+        return [r for r in self._records if start_time <= r.timestamp < end_time]
+
+    def search_text(self, token: str) -> List[LogRecord]:
+        """Records whose raw text contains ``token`` (inverted-index lookup)."""
+        ids = self._token_index.get(token, set())
+        return [self._records[record_id] for record_id in sorted(ids)]
+
+    def records_for_template(self, template_id: int) -> List[LogRecord]:
+        """Records matched to a given template id at ingestion time."""
+        return [self._records[rid] for rid in self._template_index.get(template_id, [])]
+
+    def template_ids(self) -> List[Optional[int]]:
+        """Per-record template id, in append order."""
+        return [record.template_id for record in self._records]
+
+    def template_counts(self) -> Dict[int, int]:
+        """Occurrence count per template id."""
+        return {tid: len(ids) for tid, ids in self._template_index.items()}
+
+    def size_bytes(self) -> int:
+        """Raw size of the stored log text."""
+        return sum(len(record.raw.encode("utf-8")) + 1 for record in self._records)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ByteBrainConfig
+from repro.core.parser import ByteBrainParser
+from repro.datasets.registry import generate_dataset
+
+
+@pytest.fixture(scope="session")
+def hdfs_dataset():
+    """Small HDFS-style corpus with ground truth (2,000 lines)."""
+    return generate_dataset("HDFS", variant="loghub")
+
+
+@pytest.fixture(scope="session")
+def openssh_dataset():
+    """Small OpenSSH-style corpus with ground truth (2,000 lines)."""
+    return generate_dataset("OpenSSH", variant="loghub")
+
+
+@pytest.fixture(scope="session")
+def trained_hdfs_parser(hdfs_dataset):
+    """A ByteBrain parser trained on the HDFS corpus (shared, read-mostly)."""
+    parser = ByteBrainParser(ByteBrainConfig())
+    parser.train(hdfs_dataset.lines)
+    return parser
+
+
+@pytest.fixture()
+def default_config():
+    """A fresh default configuration."""
+    return ByteBrainConfig()
+
+
+@pytest.fixture()
+def wakelock_lines():
+    """A handful of Android wakelock logs (the paper's running example)."""
+    return [
+        'release lock=2337 flg=0x0 tag="View Lock" name=systemui ws=null uid=1000 pid=2227',
+        'release lock=187 flg=0x0 tag="*launch*" name=android ws=WS{10113} uid=1000 pid=881',
+        'release lock=62 flg=0x0 tag="WindowManager" name=android ws=WS{1013} uid=1000 pid=881',
+        'acquire lock=23 flags=0x1 tag="View Lock" name=systemui ws=null uid=1000 pid=2227',
+        'acquire lock=1661 flags=0x1 tag="RILJ_ACK_WL" name=phone ws=null uid=1001 pid=2626',
+    ]

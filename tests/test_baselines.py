@@ -1,0 +1,101 @@
+"""Tests covering every baseline parser through the common interface."""
+
+import pytest
+
+from repro.baselines import BASELINE_REGISTRY, make_baseline
+from repro.baselines.base import BaselineParser
+from repro.datasets.registry import generate_dataset
+from repro.evaluation.metrics import grouping_accuracy
+
+
+#: A tiny corpus with clearly separable structures.
+SIMPLE_LINES = (
+    ["Accepted password for root from 10.0.0.%d port %d ssh2" % (i, 3000 + i) for i in range(30)]
+    + ["Failed password for guest from 10.0.0.%d port %d ssh2" % (i, 4000 + i) for i in range(30)]
+    + ["Connection closed by 10.0.0.%d" % i for i in range(30)]
+)
+SIMPLE_TRUTH = [0] * 30 + [1] * 30 + [2] * 30
+
+
+class TestRegistry:
+    def test_all_paper_baselines_registered(self):
+        expected = {
+            "AEL", "Drain", "IPLoM", "LenMa", "LFA", "LogCluster", "LogMine", "Logram",
+            "LogSig", "MoLFI", "SHISO", "SLCT", "Spell", "UniParser", "LogPPT", "LILAC",
+        }
+        assert expected == set(BASELINE_REGISTRY)
+
+    def test_make_baseline_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_baseline("GPT5Parser")
+
+    def test_names_match_registry_keys(self):
+        for name in BASELINE_REGISTRY:
+            assert make_baseline(name).name == name
+
+
+@pytest.mark.parametrize("name", sorted(BASELINE_REGISTRY))
+class TestEveryBaseline:
+    def test_assigns_a_group_to_every_line(self, name):
+        parser = make_baseline(name)
+        assignments = parser.parse(SIMPLE_LINES)
+        assert len(assignments) == len(SIMPLE_LINES)
+
+    def test_is_deterministic(self, name):
+        first = make_baseline(name).parse(SIMPLE_LINES)
+        second = make_baseline(name).parse(SIMPLE_LINES)
+        assert first == second
+
+    def test_identical_lines_share_a_group(self, name):
+        parser = make_baseline(name)
+        lines = ["disk full on /dev/sda1"] * 5 + ["disk full on /dev/sdb2"] * 5
+        assignments = parser.parse(lines)
+        assert assignments[0] == assignments[1] == assignments[4]
+
+    def test_reasonable_accuracy_on_separable_corpus(self, name):
+        parser = make_baseline(name)
+        assignments = parser.parse(SIMPLE_LINES)
+        accuracy = grouping_accuracy(assignments, SIMPLE_TRUTH)
+        # Every baseline should at least separate the three obvious structures
+        # most of the time; weak baselines (LogSig, MoLFI, ...) get a low bar.
+        assert accuracy >= 0.3, f"{name} accuracy {accuracy}"
+
+    def test_handles_empty_and_whitespace_lines(self, name):
+        parser = make_baseline(name)
+        assignments = parser.parse(["", "   ", "a normal line 42"])
+        assert len(assignments) == 3
+
+
+class TestPreprocessing:
+    def test_base_preprocess_masks_numbers_and_ips(self):
+        class Dummy(BaselineParser):
+            name = "dummy"
+
+            def parse(self, lines):
+                return [0] * len(lines)
+
+        tokens = Dummy().preprocess("retry 17 from 10.0.0.1:8080")
+        assert tokens[0] == "retry"
+        assert tokens[1] == "<*>"
+        assert tokens[3] == "<*>"
+
+
+class TestStrongBaselinesAccuracy:
+    @pytest.mark.parametrize("name", ["Drain", "AEL", "Spell", "IPLoM"])
+    def test_classic_parsers_do_well_on_hdfs(self, name, hdfs_dataset):
+        parser = make_baseline(name)
+        assignments = parser.parse(hdfs_dataset.lines)
+        assert grouping_accuracy(assignments, hdfs_dataset.ground_truth) >= 0.6
+
+    def test_lilac_proxy_is_accurate_but_slow_per_miss(self, hdfs_dataset):
+        from repro.baselines.semantic import LILACProxy
+
+        fast = LILACProxy(llm_call_cost_ms=0.0)
+        assignments = fast.parse(hdfs_dataset.lines[:500])
+        assert grouping_accuracy(assignments, hdfs_dataset.ground_truth[:500]) >= 0.7
+
+    def test_semantic_proxy_cost_can_be_disabled(self):
+        from repro.baselines.semantic import UniParserProxy
+
+        parser = UniParserProxy(per_token_cost_us=0.0)
+        assert len(parser.parse(SIMPLE_LINES)) == len(SIMPLE_LINES)

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def log_file(tmp_path):
+    lines = [f"worker {i} finished job {i * 7} in {i % 50} ms" for i in range(200)]
+    lines += [f"worker {i} failed job {i * 3} with code {i % 5}" for i in range(100)]
+    path = tmp_path / "app.log"
+    path.write_text("\n".join(lines), encoding="utf-8")
+    return path
+
+
+class TestArgumentParsing:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_requires_input_and_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--input", "x.log"])
+
+    def test_evaluate_defaults(self):
+        args = build_parser().parse_args(["evaluate"])
+        assert args.dataset == "HDFS"
+        assert args.variant == "loghub"
+        assert args.baselines == []
+
+
+class TestTrainAndMatch:
+    def test_train_writes_a_loadable_model(self, log_file, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        exit_code = main(["train", "--input", str(log_file), "--model", str(model_path)])
+        assert exit_code == 0
+        payload = json.loads(model_path.read_text(encoding="utf-8"))
+        assert payload["templates"]
+        out = capsys.readouterr().out
+        assert "templates" in out
+
+    def test_train_on_empty_file_fails_cleanly(self, tmp_path):
+        empty = tmp_path / "empty.log"
+        empty.write_text("\n", encoding="utf-8")
+        exit_code = main(["train", "--input", str(empty), "--model", str(tmp_path / "m.json")])
+        assert exit_code == 2
+
+    def test_match_emits_one_template_per_line(self, log_file, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        main(["train", "--input", str(log_file), "--model", str(model_path)])
+        capsys.readouterr()
+        exit_code = main(
+            ["match", "--input", str(log_file), "--model", str(model_path), "--threshold", "0.6"]
+        )
+        assert exit_code == 0
+        out_lines = [line for line in capsys.readouterr().out.splitlines() if line.strip()]
+        assert len(out_lines) == 300
+        assert all("\t" in line for line in out_lines)
+
+    def test_match_threshold_controls_granularity(self, log_file, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        main(["train", "--input", str(log_file), "--model", str(model_path)])
+        capsys.readouterr()
+        main(["match", "--input", str(log_file), "--model", str(model_path), "--threshold", "0.9"])
+        fine = {line.split("\t")[1] for line in capsys.readouterr().out.splitlines() if "\t" in line}
+        main(["match", "--input", str(log_file), "--model", str(model_path), "--threshold", "0.1"])
+        coarse = {line.split("\t")[1] for line in capsys.readouterr().out.splitlines() if "\t" in line}
+        assert len(coarse) <= len(fine)
+
+
+class TestEvaluateAndDatasets:
+    def test_evaluate_bytebrain_only(self, capsys):
+        exit_code = main(["evaluate", "--dataset", "Apache", "--variant", "loghub"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "ByteBrain" in out and "Apache" in out
+
+    def test_evaluate_with_baseline(self, capsys):
+        exit_code = main(["evaluate", "--dataset", "Apache", "--baselines", "Drain"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Drain" in out
+
+    def test_evaluate_unknown_baseline_fails(self):
+        assert main(["evaluate", "--dataset", "Apache", "--baselines", "NotAParser"]) == 2
+
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "loghub2" in out and "HDFS" in out

@@ -1,0 +1,123 @@
+"""Unit tests for §4.4/§4.6/§4.7 — the single clustering process."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import split_node
+from repro.core.config import ByteBrainConfig
+from repro.core.encoding import HashEncoder
+
+
+def encode(rows):
+    encoder = HashEncoder()
+    return np.stack([encoder.encode_tokens(row) for row in rows])
+
+
+def make_inputs(rows, counts=None):
+    codes = encode(rows)
+    weights = np.asarray(counts, dtype=float) if counts is not None else np.ones(len(rows))
+    return codes, weights
+
+
+@pytest.fixture()
+def config():
+    return ByteBrainConfig()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestEarlyStop:
+    def test_single_member_is_leaf(self, config, rng):
+        codes, weights = make_inputs([["a", "b"]])
+        outcome = split_node(codes, weights, [0], config, rng)
+        assert outcome.is_leaf
+
+    def test_two_members_become_singletons(self, config, rng):
+        codes, weights = make_inputs([["a", "b"], ["a", "c"]])
+        outcome = split_node(codes, weights, [0, 1], config, rng)
+        assert sorted(map(len, outcome.children)) == [1, 1]
+        assert outcome.reason == "singletons:few-logs"
+
+    def test_single_variable_position_stays_leaf(self, config, rng):
+        rows = [["request", "id", str(i), "done"] for i in range(6)]
+        codes, weights = make_inputs(rows)
+        outcome = split_node(codes, weights, list(range(6)), config, rng)
+        assert outcome.is_leaf
+        assert outcome.reason == "leaf:single-unresolved"
+
+    def test_single_categorical_position_still_splits(self, config, rng):
+        # Two verbs over many occurrences: splitting by the verb is meaningful.
+        rows = [["job", "started", "ok"], ["job", "stopped", "ok"]] * 3
+        codes, weights = make_inputs(rows, counts=[100] * 6)
+        outcome = split_node(codes, weights, list(range(6)), config, rng)
+        assert not outcome.is_leaf
+
+    def test_fully_distinct_positions_become_singletons(self, config, rng):
+        rows = [["alpha", "x1", "y1"], ["beta", "x2", "y2"], ["gamma", "x3", "y3"]]
+        codes, weights = make_inputs(rows)
+        outcome = split_node(codes, weights, [0, 1, 2], config, rng)
+        assert len(outcome.children) == 3
+        assert outcome.reason == "singletons:fully-distinct"
+
+    def test_early_stop_can_be_disabled(self, rng):
+        config = ByteBrainConfig(early_stop_enabled=False)
+        rows = [["alpha", "x1"], ["beta", "x2"], ["gamma", "x3"]]
+        codes, weights = make_inputs(rows)
+        outcome = split_node(codes, weights, [0, 1, 2], config, rng)
+        # The iterative process still partitions the node, just without the
+        # shortcut reason codes.
+        assert not outcome.reason.startswith("singletons:")
+
+
+class TestSplitQuality:
+    def test_two_template_mixture_separates_by_structure(self, config, rng):
+        acquire = [["acquire", "lock", str(i), "flag", "on"] for i in range(4)]
+        release = [["release", "lock", str(i), "flag", "off"] for i in range(4)]
+        rows = acquire + release
+        codes, weights = make_inputs(rows)
+        outcome = split_node(codes, weights, list(range(8)), config, rng)
+        assert not outcome.is_leaf
+        # No child may mix acquire rows (0-3) with release rows (4-7).
+        for child in outcome.children:
+            kinds = {0 if row < 4 else 1 for row in child}
+            assert len(kinds) == 1
+
+    def test_children_partition_the_parent(self, config, rng):
+        rows = [["svc", "a", str(i % 3), "x" if i % 2 else "y"] for i in range(9)]
+        codes, weights = make_inputs(rows)
+        outcome = split_node(codes, weights, list(range(9)), config, rng)
+        if not outcome.is_leaf:
+            covered = sorted(row for child in outcome.children for row in child)
+            assert covered == list(range(9))
+
+    def test_deterministic_given_seeded_rng(self, config):
+        rows = [["svc", "verb" + str(i % 2), str(i), "t"] for i in range(8)]
+        codes, weights = make_inputs(rows)
+        first = split_node(codes, weights, list(range(8)), config, np.random.default_rng(42))
+        second = split_node(codes, weights, list(range(8)), config, np.random.default_rng(42))
+        assert [sorted(c) for c in first.children] == [sorted(c) for c in second.children]
+
+    def test_random_centroid_ablation_still_partitions(self, rng):
+        config = ByteBrainConfig(use_kmeanspp_seeding=False)
+        rows = [["a", "b", str(i % 4), "k"] for i in range(8)]
+        codes, weights = make_inputs(rows, counts=[50] * 8)
+        outcome = split_node(codes, weights, list(range(8)), config, rng)
+        if not outcome.is_leaf:
+            covered = sorted(row for child in outcome.children for row in child)
+            assert covered == list(range(8))
+
+    def test_without_balanced_grouping_partition_is_seed_independent(self):
+        # With tie-breaking disabled the resulting *partition* no longer
+        # depends on the random seed (only the cluster ordering may differ,
+        # since K-Means++ still picks its first centre at random).
+        config = ByteBrainConfig(balanced_grouping_enabled=False)
+        rows = [["x", "p" + str(i % 2), str(i)] for i in range(6)]
+        codes, weights = make_inputs(rows, counts=[10] * 6)
+        results = [
+            {frozenset(c) for c in split_node(codes, weights, list(range(6)), config, np.random.default_rng(seed)).children}
+            for seed in (1, 2, 3)
+        ]
+        assert results[0] == results[1] == results[2]

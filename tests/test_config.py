@@ -1,0 +1,93 @@
+"""Unit tests for the configuration / ablation switches."""
+
+import pytest
+
+from repro.core.config import (
+    ABLATION_VARIANTS,
+    ByteBrainConfig,
+    ablation_config,
+    list_ablation_variants,
+)
+
+
+class TestValidation:
+    def test_default_config_is_valid(self):
+        ByteBrainConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"encoding": "onehot"},
+            {"matching_strategy": "semantic"},
+            {"prefix_group_tokens": -1},
+            {"saturation_target": 0.0},
+            {"saturation_target": 1.5},
+            {"parallelism": 0},
+            {"max_tree_depth": 0},
+            {"max_clusters_per_split": 1},
+            {"model_merge_similarity": 1.5},
+            {"training_sample_size": 0},
+        ],
+    )
+    def test_invalid_settings_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ByteBrainConfig(**kwargs)
+
+    def test_replace_returns_new_config(self):
+        config = ByteBrainConfig()
+        changed = config.replace(parallelism=4)
+        assert changed.parallelism == 4
+        assert config.parallelism == 1
+
+    def test_round_trip_dict(self):
+        config = ByteBrainConfig(parallelism=3, extra_masking_rules=(("r", r"\d+"),))
+        clone = ByteBrainConfig.from_dict(config.to_dict())
+        assert clone == config
+
+
+class TestAblationVariants:
+    def test_all_paper_variants_present(self):
+        names = set(list_ablation_variants())
+        expected = {
+            "ByteBrain",
+            "w/ naive match",
+            "w/o variable in saturation",
+            "w/o position importance",
+            "w/o confidence factor",
+            "random centroid selection",
+            "w/o ensure saturation increase",
+            "w/o balanced group",
+            "w/o early stopping",
+            "w/o deduplication&related techs",
+            "ordinal encoding",
+        }
+        assert expected.issubset(names)
+
+    def test_base_variant_is_default_config(self):
+        assert ablation_config("ByteBrain") == ByteBrainConfig()
+
+    def test_naive_match_variant(self):
+        assert ablation_config("w/ naive match").matching_strategy == "naive"
+
+    def test_dedup_variant_disables_related_techniques(self):
+        config = ablation_config("w/o deduplication&related techs")
+        assert not config.deduplication_enabled
+        assert not config.balanced_grouping_enabled
+        assert not config.early_stop_enabled
+
+    def test_ordinal_encoding_variant(self):
+        assert ablation_config("ordinal encoding").encoding == "ordinal"
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(KeyError):
+            ablation_config("w/o everything")
+
+    def test_variant_derives_from_custom_base(self):
+        base = ByteBrainConfig(parallelism=4)
+        config = ablation_config("w/o early stopping", base)
+        assert config.parallelism == 4
+        assert not config.early_stop_enabled
+
+    def test_every_variant_builds_a_valid_config(self):
+        for name in ABLATION_VARIANTS:
+            ablation_config(name).validate()

@@ -1,0 +1,163 @@
+"""Unit tests for the synthetic LogHub-style dataset generators."""
+
+import pytest
+
+from repro.datasets.catalog import ANDROID_WAKELOCK_TEMPLATES, SYSTEM_SPECS, system_names
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    LOGHUB2_NAMES,
+    generate_dataset,
+    list_datasets,
+    loghub2_log_count,
+)
+from repro.datasets.synthetic import SyntheticLogGenerator, generate_android_wakelock, render_template
+from repro.datasets.variables import VARIABLE_KINDS, render_variable
+
+import numpy as np
+
+
+class TestCatalog:
+    def test_sixteen_systems(self):
+        assert len(DATASET_NAMES) == 16
+
+    def test_fourteen_loghub2_systems(self):
+        assert len(LOGHUB2_NAMES) == 14
+        assert "Android" not in LOGHUB2_NAMES
+        assert "Windows" not in LOGHUB2_NAMES
+
+    def test_template_counts_match_table1(self):
+        assert SYSTEM_SPECS["HDFS"].loghub_templates == 14
+        assert SYSTEM_SPECS["Apache"].loghub_templates == 6
+        assert SYSTEM_SPECS["Mac"].loghub_templates == 341
+        assert SYSTEM_SPECS["Thunderbird"].loghub2_templates == 1241
+
+    def test_curated_templates_have_known_placeholders(self):
+        import re
+
+        placeholder = re.compile(r"\{([a-z_]+)\}")
+        for spec in SYSTEM_SPECS.values():
+            for template in spec.curated_templates:
+                for kind in placeholder.findall(template):
+                    assert kind in VARIABLE_KINDS, (spec.name, template, kind)
+
+    def test_system_names_filter(self):
+        assert set(system_names(loghub2_only=True)) == set(LOGHUB2_NAMES)
+
+
+class TestVariables:
+    def test_every_kind_renders_nonempty_string(self):
+        rng = np.random.default_rng(0)
+        for kind in VARIABLE_KINDS:
+            value = render_variable(kind, rng)
+            assert isinstance(value, str) and value
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            render_variable("nope", np.random.default_rng(0))
+
+    def test_ip_shape(self):
+        rng = np.random.default_rng(1)
+        value = render_variable("ip", rng)
+        assert value.count(".") == 3
+
+    def test_uuid_shape(self):
+        rng = np.random.default_rng(1)
+        assert len(render_variable("uuid", rng).split("-")) == 5
+
+
+class TestRenderTemplate:
+    def test_placeholders_replaced(self):
+        rng = np.random.default_rng(2)
+        line = render_template("job {int} took {duration}", rng)
+        assert "{int}" not in line and "{duration}" not in line
+
+    def test_literal_braces_escaped(self):
+        rng = np.random.default_rng(2)
+        line = render_template("ws=WS{{{int}}}", rng)
+        assert line.startswith("ws=WS{") and line.endswith("}")
+
+    def test_constant_text_preserved(self):
+        rng = np.random.default_rng(2)
+        assert render_template("nothing to fill", rng) == "nothing to fill"
+
+
+class TestGenerateDataset:
+    def test_loghub_variant_size_and_labels(self, hdfs_dataset):
+        assert hdfs_dataset.n_logs == 2000
+        assert len(hdfs_dataset.ground_truth) == 2000
+        assert hdfs_dataset.n_templates <= SYSTEM_SPECS["HDFS"].loghub_templates
+
+    def test_every_template_appears(self, hdfs_dataset):
+        assert hdfs_dataset.n_templates == SYSTEM_SPECS["HDFS"].loghub_templates
+
+    def test_deterministic_generation(self):
+        first = generate_dataset("Apache", variant="loghub")
+        second = generate_dataset("Apache", variant="loghub")
+        assert first.lines == second.lines
+        assert first.ground_truth == second.ground_truth
+
+    def test_different_seed_changes_corpus(self):
+        assert (
+            generate_dataset("Apache", seed=1).lines != generate_dataset("Apache", seed=2).lines
+        )
+
+    def test_loghub2_variant_is_larger(self):
+        small = generate_dataset("Zookeeper", variant="loghub")
+        large = generate_dataset("Zookeeper", variant="loghub2")
+        assert large.n_logs > small.n_logs
+
+    def test_loghub2_size_ordering_follows_paper(self):
+        assert loghub2_log_count("Thunderbird") >= loghub2_log_count("Proxifier")
+        assert loghub2_log_count("HDFS") >= loghub2_log_count("Linux")
+
+    def test_scale_parameter(self):
+        scaled = generate_dataset("Apache", variant="loghub2", scale=0.5)
+        full = generate_dataset("Apache", variant="loghub2")
+        assert scaled.n_logs == pytest.approx(full.n_logs * 0.5, rel=0.01)
+
+    def test_explicit_log_count(self):
+        assert generate_dataset("HPC", n_logs=500).n_logs == 500
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            generate_dataset("NotADataset")
+
+    def test_android_has_no_loghub2_variant(self):
+        with pytest.raises(ValueError):
+            generate_dataset("Android", variant="loghub2")
+
+    def test_list_datasets(self):
+        assert list_datasets("loghub") == DATASET_NAMES
+        assert list_datasets("loghub2") == LOGHUB2_NAMES
+        with pytest.raises(ValueError):
+            list_datasets("loghub3")
+
+    def test_prefix_slicing(self, hdfs_dataset):
+        prefix = hdfs_dataset.prefix(100)
+        assert prefix.n_logs == 100
+        assert prefix.lines == hdfs_dataset.lines[:100]
+
+    def test_size_bytes_positive(self, hdfs_dataset):
+        assert hdfs_dataset.size_bytes > 0
+
+
+class TestDuplication:
+    def test_loghub2_is_more_duplicated_than_loghub(self):
+        small = generate_dataset("Spark", variant="loghub")
+        large = generate_dataset("Spark", variant="loghub2")
+        small_ratio = len(set(small.lines)) / small.n_logs
+        large_ratio = len(set(large.lines)) / large.n_logs
+        assert large_ratio < small_ratio
+
+    def test_uniqueness_exponent_one_gives_mostly_unique_lines(self):
+        generator = SyntheticLogGenerator(SYSTEM_SPECS["HDFS"], seed=5)
+        corpus = generator.generate(n_logs=1000, variant="loghub", uniqueness_exponent=1.0)
+        assert len(set(corpus.lines)) > 0.7 * corpus.n_logs
+
+
+class TestAndroidWakelock:
+    def test_generation(self):
+        corpus = generate_android_wakelock(n_logs=500)
+        assert corpus.n_logs == 500
+        assert corpus.n_templates <= len(ANDROID_WAKELOCK_TEMPLATES)
+        assert all(("acquire" in line) or ("release" in line) for line in corpus.lines)

@@ -1,0 +1,43 @@
+"""Unit tests for the Table 5 production-scenario generators."""
+
+import pytest
+
+from repro.datasets.production import PRODUCTION_SCENARIOS, generate_production_topic
+
+
+class TestProductionScenarios:
+    def test_five_scenarios_match_table5(self):
+        assert len(PRODUCTION_SCENARIOS) == 5
+        descriptions = [s.description for s in PRODUCTION_SCENARIOS.values()]
+        assert "Text stream processing" in descriptions
+        assert descriptions.count("Webserver access log") == 2
+        assert "Go HTTP API server" in descriptions
+        assert "Go search server" in descriptions
+
+    def test_paper_reference_numbers_recorded(self):
+        scenario = PRODUCTION_SCENARIOS["text_stream"]
+        assert scenario.paper_volume_mb_per_s == pytest.approx(189.0)
+        assert scenario.paper_training_seconds == pytest.approx(0.91)
+
+    def test_generation_produces_labelled_corpus(self):
+        corpus = generate_production_topic("go_http_api", n_logs=2000)
+        assert corpus.n_logs == 2000
+        assert len(corpus.ground_truth) == 2000
+        assert corpus.n_templates <= len(PRODUCTION_SCENARIOS["go_http_api"].templates)
+
+    def test_default_volume_used_when_unspecified(self):
+        corpus = generate_production_topic("text_stream")
+        assert corpus.n_logs == PRODUCTION_SCENARIOS["text_stream"].default_logs
+
+    def test_deterministic(self):
+        a = generate_production_topic("go_search", n_logs=500)
+        b = generate_production_topic("go_search", n_logs=500)
+        assert a.lines == b.lines
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            generate_production_topic("mainframe")
+
+    def test_access_log_lines_look_like_access_logs(self):
+        corpus = generate_production_topic("webserver_access_small", n_logs=200)
+        assert all("HTTP/1.1" in line for line in corpus.lines)

@@ -1,0 +1,65 @@
+"""Unit tests for §4.1.3 deduplication."""
+
+from repro.core.dedup import deduplicate, deduplicate_raw, duplication_histogram
+
+
+class TestDeduplicate:
+    def test_collapses_duplicates_with_counts(self):
+        result = deduplicate([["a", "b"], ["a", "b"], ["c"]])
+        assert result.unique_tokens == [("a", "b"), ("c",)]
+        assert result.counts == [2, 1]
+
+    def test_inverse_maps_back_to_unique(self):
+        rows = [["a"], ["b"], ["a"], ["a"]]
+        result = deduplicate(rows)
+        assert [result.unique_tokens[i] for i in result.inverse] == [tuple(r) for r in rows]
+
+    def test_counts_sum_to_total(self):
+        rows = [["x"], ["y"], ["x"], ["z"], ["x"]]
+        result = deduplicate(rows)
+        assert sum(result.counts) == result.total == len(rows)
+
+    def test_preserves_first_seen_order(self):
+        result = deduplicate([["b"], ["a"], ["b"]])
+        assert result.unique_tokens == [("b",), ("a",)]
+
+    def test_empty_input(self):
+        result = deduplicate([])
+        assert result.n_unique == 0
+        assert result.total == 0
+        assert result.reduction_ratio == 1.0
+
+    def test_reduction_ratio(self):
+        result = deduplicate([["a"]] * 10 + [["b"]] * 10)
+        assert result.reduction_ratio == 10.0
+
+    def test_occurrence_counts_respected(self):
+        result = deduplicate([["a"], ["b"], ["a"]], occurrence_counts=[5, 2, 3])
+        assert result.counts == [8, 2]
+
+    def test_distinguishes_different_orders(self):
+        result = deduplicate([["a", "b"], ["b", "a"]])
+        assert result.n_unique == 2
+
+
+class TestDeduplicateRaw:
+    def test_collapses_identical_lines(self):
+        unique, counts, inverse = deduplicate_raw(["x y", "x y", "z"])
+        assert unique == ["x y", "z"]
+        assert counts == [2, 1]
+        assert inverse == [0, 0, 1]
+
+    def test_counts_sum_to_total(self):
+        unique, counts, _ = deduplicate_raw(["a"] * 7 + ["b"] * 3)
+        assert sum(counts) == 10
+        assert len(unique) == 2
+
+
+class TestDuplicationHistogram:
+    def test_histogram_counts(self):
+        histogram = duplication_histogram([["a"], ["a"], ["b"]])
+        assert sorted(histogram) == [1, 2]
+
+    def test_histogram_total(self):
+        rows = [["a"]] * 4 + [["b"]] * 6
+        assert sum(duplication_histogram(rows)) == 10

@@ -1,0 +1,95 @@
+"""Unit tests for §4.4 positional similarity distance (Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import cluster_similarities, position_weights
+from repro.core.encoding import HashEncoder
+
+
+def encode(rows):
+    encoder = HashEncoder()
+    return np.stack([encoder.encode_tokens(row) for row in rows])
+
+
+@pytest.fixture()
+def simple_group():
+    rows = [
+        ["login", "user", "alice", "ok"],
+        ["login", "user", "bob", "ok"],
+        ["login", "user", "carol", "ok"],
+        ["logout", "user", "dave", "failed"],
+    ]
+    codes = encode(rows)
+    weights = np.ones(len(rows))
+    return codes, weights
+
+
+class TestPositionWeights:
+    def test_constant_positions_get_max_weight(self):
+        weights = position_weights(np.array([1, 2, 5]), use_position_importance=True)
+        assert weights[0] == pytest.approx(1.0)
+        assert weights[0] >= weights[1] >= weights[2]
+
+    def test_weights_decrease_with_variability(self):
+        weights = position_weights(np.array([2, 3, 10]), use_position_importance=True)
+        assert weights[2] == pytest.approx(1.0 / 9.0)
+
+    def test_disabled_importance_gives_uniform_weights(self):
+        weights = position_weights(np.array([1, 5, 50]), use_position_importance=False)
+        assert np.allclose(weights, 1.0)
+
+
+class TestClusterSimilarities:
+    def test_member_of_homogeneous_cluster_has_similarity_one(self, simple_group):
+        codes, weights = simple_group
+        similarities = cluster_similarities(codes, weights, [0], [0])
+        assert similarities[0] == pytest.approx(1.0)
+
+    def test_similar_log_scores_higher_than_dissimilar(self, simple_group):
+        codes, weights = simple_group
+        similarities = cluster_similarities(codes, weights, [0, 1, 2], [1, 3])
+        assert similarities[0] > similarities[1]
+
+    def test_similarity_bounded_in_unit_interval(self, simple_group):
+        codes, weights = simple_group
+        similarities = cluster_similarities(codes, weights, [0, 1], [0, 1, 2, 3])
+        assert np.all(similarities >= 0.0)
+        assert np.all(similarities <= 1.0 + 1e-12)
+
+    def test_python_and_vectorized_paths_agree(self, simple_group):
+        codes, weights = simple_group
+        fast = cluster_similarities(codes, weights, [0, 1, 2], [0, 1, 2, 3], jit_enabled=True)
+        slow = cluster_similarities(codes, weights, [0, 1, 2], [0, 1, 2, 3], jit_enabled=False)
+        assert np.allclose(fast, slow)
+
+    def test_paths_agree_without_position_importance(self, simple_group):
+        codes, weights = simple_group
+        fast = cluster_similarities(
+            codes, weights, [1, 2, 3], [0, 1, 2, 3], use_position_importance=False, jit_enabled=True
+        )
+        slow = cluster_similarities(
+            codes, weights, [1, 2, 3], [0, 1, 2, 3], use_position_importance=False, jit_enabled=False
+        )
+        assert np.allclose(fast, slow)
+
+    def test_weights_influence_frequencies(self):
+        rows = [["a", "x"], ["a", "y"], ["b", "x"]]
+        codes = encode(rows)
+        # Heavy weight on row 0 makes ("a", "x") dominate the cluster.
+        weights = np.array([10.0, 1.0, 1.0])
+        similarities = cluster_similarities(codes, weights, [0, 1, 2], [0, 1])
+        assert similarities[0] > similarities[1]
+
+    def test_empty_cluster_or_candidates(self, simple_group):
+        codes, weights = simple_group
+        assert cluster_similarities(codes, weights, [], [0]).tolist() == [0.0]
+        assert cluster_similarities(codes, weights, [0], []).size == 0
+
+    def test_candidate_absent_tokens_score_low(self, simple_group):
+        codes, weights = simple_group
+        outsider = encode([["reboot", "node", "xyz", "now"]])
+        combined = np.vstack([codes, outsider])
+        weights = np.ones(len(combined))
+        similarities = cluster_similarities(combined, weights, [0, 1, 2], [4])
+        assert similarities[0] < 0.1

@@ -1,0 +1,97 @@
+"""Unit tests for §4.1.4 hash / ordinal encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import (
+    HashEncoder,
+    OrdinalEncoder,
+    collision_probability,
+    hash_token,
+    make_encoder,
+)
+
+
+class TestHashToken:
+    def test_deterministic(self):
+        assert hash_token("DataNode") == hash_token("DataNode")
+
+    def test_distinct_tokens_differ(self):
+        assert hash_token("alpha") != hash_token("beta")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= hash_token("x" * 500) < 2**64
+
+    def test_unicode_tokens_supported(self):
+        assert isinstance(hash_token("日志解析"), int)
+
+
+class TestCollisionProbability:
+    def test_zero_for_single_token(self):
+        assert collision_probability(1) == 0.0
+
+    def test_paper_example_ten_million_tokens(self):
+        # §4.1.4: ~0.000271% for 10 million distinct tokens.
+        probability = collision_probability(10_000_000)
+        assert probability == pytest.approx(2.71e-6, rel=0.05)
+
+    def test_monotonic_in_token_count(self):
+        assert collision_probability(10**6) < collision_probability(10**7)
+
+    def test_smaller_hash_space_collides_more(self):
+        assert collision_probability(1000, bits=32) > collision_probability(1000, bits=64)
+
+
+class TestHashEncoder:
+    def test_shape_and_dtype(self):
+        encoded = HashEncoder().encode_tokens(["a", "b", "c"])
+        assert encoded.shape == (3,)
+        assert encoded.dtype == np.uint64
+
+    def test_matches_hash_token(self):
+        encoded = HashEncoder().encode_tokens(["alpha"])
+        assert int(encoded[0]) == hash_token("alpha")
+
+    def test_no_dictionary_storage(self):
+        encoder = HashEncoder()
+        encoder.encode_batch([["a", "b"], ["c"]])
+        assert encoder.dictionary_size_bytes() == 0
+
+    def test_stateless_across_instances(self):
+        a = HashEncoder().encode_tokens(["x", "y"])
+        b = HashEncoder().encode_tokens(["x", "y"])
+        assert np.array_equal(a, b)
+
+
+class TestOrdinalEncoder:
+    def test_assigns_consecutive_ids(self):
+        encoder = OrdinalEncoder()
+        encoded = encoder.encode_tokens(["a", "b", "a", "c"])
+        assert encoded.tolist() == [0, 1, 0, 2]
+
+    def test_dictionary_grows_with_vocabulary(self):
+        encoder = OrdinalEncoder()
+        encoder.encode_tokens(["a", "b"])
+        small = encoder.dictionary_size_bytes()
+        encoder.encode_tokens([f"token{i}" for i in range(100)])
+        assert encoder.dictionary_size_bytes() > small
+        assert encoder.vocabulary_size() == 102
+
+    def test_hash_encoder_dictionary_smaller_than_ordinal(self):
+        tokens = [f"token{i}" for i in range(1000)]
+        hash_encoder, ordinal_encoder = HashEncoder(), OrdinalEncoder()
+        hash_encoder.encode_tokens(tokens)
+        ordinal_encoder.encode_tokens(tokens)
+        assert hash_encoder.dictionary_size_bytes() < ordinal_encoder.dictionary_size_bytes()
+
+
+class TestFactory:
+    def test_make_hash(self):
+        assert isinstance(make_encoder("hash"), HashEncoder)
+
+    def test_make_ordinal(self):
+        assert isinstance(make_encoder("ordinal"), OrdinalEncoder)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_encoder("onehot")

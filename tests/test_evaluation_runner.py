@@ -1,0 +1,87 @@
+"""Unit tests for the evaluation runners, ablation harness and reporting."""
+
+import pytest
+
+from repro.baselines.drain import DrainParser
+from repro.core.config import ByteBrainConfig
+from repro.evaluation.ablation import ablation_runners, run_ablation
+from repro.evaluation.reporting import banner, format_matrix, format_series, format_table
+from repro.evaluation.runner import BaselineRunner, ByteBrainRunner, evaluate_parser
+from repro.datasets.registry import generate_dataset
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return generate_dataset("Apache", variant="loghub", n_logs=600)
+
+
+class TestByteBrainRunner:
+    def test_run_produces_complete_measurements(self, small_dataset):
+        run = ByteBrainRunner().run(small_dataset)
+        assert run.parser_name == "ByteBrain"
+        assert run.dataset_name == "Apache"
+        assert run.n_logs == small_dataset.n_logs
+        assert 0.0 <= run.grouping_accuracy <= 1.0
+        assert run.throughput > 0
+        assert run.extra["n_templates"] >= 1
+        assert run.extra["model_size_bytes"] > 0
+
+    def test_as_row_is_flat(self, small_dataset):
+        row = ByteBrainRunner().run(small_dataset).as_row()
+        assert row["parser"] == "ByteBrain"
+        assert isinstance(row["GA"], float)
+
+    def test_custom_config_and_name(self, small_dataset):
+        runner = ByteBrainRunner(ByteBrainConfig(parallelism=2), name="ByteBrain par2")
+        run = runner.run(small_dataset)
+        assert run.parser_name == "ByteBrain par2"
+
+
+class TestBaselineRunner:
+    def test_runs_a_baseline(self, small_dataset):
+        runner = BaselineRunner(DrainParser)
+        run = runner.run(small_dataset)
+        assert run.parser_name == "Drain"
+        assert 0.0 <= run.grouping_accuracy <= 1.0
+
+    def test_evaluate_parser_over_multiple_datasets(self, small_dataset):
+        other = generate_dataset("HPC", variant="loghub", n_logs=400)
+        runs = evaluate_parser(BaselineRunner(DrainParser), [small_dataset, other])
+        assert [run.dataset_name for run in runs] == ["Apache", "HPC"]
+
+
+class TestAblationHarness:
+    def test_runners_for_all_variants(self):
+        runners = ablation_runners()
+        assert "ByteBrain" in runners
+        assert "w/o early stopping" in runners
+        assert runners["ordinal encoding"].config.encoding == "ordinal"
+
+    def test_run_ablation_subset(self, small_dataset):
+        results = run_ablation([small_dataset], variants=["ByteBrain", "w/ naive match"])
+        assert set(results) == {"ByteBrain", "w/ naive match"}
+        for runs in results.values():
+            assert len(runs) == 1
+            assert 0.0 <= runs[0].grouping_accuracy <= 1.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"name": "a", "value": 1.0}, {"name": "bbbb", "value": 123456.0}]
+        text = format_table(rows)
+        assert "name" in text and "bbbb" in text
+        assert len(text.splitlines()) == 4
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_matrix(self):
+        text = format_matrix({"ByteBrain": {"HDFS": 1.0, "BGL": 0.9}}, row_label="method")
+        assert "method" in text and "HDFS" in text
+
+    def test_format_series(self):
+        text = format_series("throughput", [1, 2], [10.0, 20.0])
+        assert "throughput" in text and "->" in text
+
+    def test_banner_contains_title(self):
+        assert "Table 2" in banner("Table 2")

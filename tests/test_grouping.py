@@ -1,0 +1,49 @@
+"""Unit tests for §4.2 initial grouping."""
+
+from repro.core.grouping import group_key, initial_grouping
+
+
+class TestGroupKey:
+    def test_length_only_by_default(self):
+        assert group_key(["a", "b", "c"]) == (3, ())
+
+    def test_prefix_tokens_included(self):
+        assert group_key(["a", "b", "c"], prefix_tokens=2) == (3, ("a", "b"))
+
+    def test_prefix_longer_than_tokens(self):
+        assert group_key(["a"], prefix_tokens=4) == (1, ("a",))
+
+
+class TestInitialGrouping:
+    def test_groups_by_token_count(self):
+        groups = initial_grouping([["a", "b"], ["c", "d"], ["e"]])
+        sizes = sorted(len(g) for g in groups)
+        assert sizes == [1, 2]
+
+    def test_groups_by_prefix_when_requested(self):
+        rows = [["GET", "x"], ["GET", "y"], ["POST", "z"]]
+        groups = initial_grouping(rows, prefix_tokens=1)
+        assert len(groups) == 2
+
+    def test_member_indices_cover_all_rows(self):
+        rows = [["a"], ["b", "c"], ["d"], ["e", "f"]]
+        groups = initial_grouping(rows)
+        all_indices = sorted(i for g in groups for i in g.member_indices)
+        assert all_indices == list(range(len(rows)))
+
+    def test_group_metadata(self):
+        groups = initial_grouping([["a", "b"], ["a", "c"]], prefix_tokens=1)
+        assert len(groups) == 1
+        group = groups[0]
+        assert group.token_count == 2
+        assert group.prefix == ("a",)
+        assert len(group) == 2
+
+    def test_empty_input(self):
+        assert initial_grouping([]) == []
+
+    def test_first_seen_order(self):
+        rows = [["x", "y", "z"], ["a"], ["b", "c", "d"]]
+        groups = initial_grouping(rows)
+        assert groups[0].token_count == 3
+        assert groups[1].token_count == 1

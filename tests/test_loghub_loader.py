@@ -1,0 +1,52 @@
+"""Unit tests for the real-LogHub CSV loader."""
+
+import pytest
+
+from repro.datasets.loghub import find_loghub_dataset, load_structured_csv
+
+
+@pytest.fixture()
+def structured_csv(tmp_path):
+    path = tmp_path / "HDFS_2k.log_structured.csv"
+    path.write_text(
+        "LineId,Content,EventId,EventTemplate\n"
+        '1,"Receiving block blk_1 src: /10.0.0.1:50010",E1,"Receiving block <*> src: /<*>"\n'
+        '2,"Receiving block blk_2 src: /10.0.0.2:50010",E1,"Receiving block <*> src: /<*>"\n'
+        '3,"PacketResponder 1 for block blk_1 terminating",E2,"PacketResponder <*> for block <*> terminating"\n',
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestLoadStructuredCsv:
+    def test_loads_lines_and_ground_truth(self, structured_csv):
+        dataset = load_structured_csv(structured_csv)
+        assert dataset.n_logs == 3
+        assert dataset.ground_truth == [0, 0, 1]
+        assert dataset.name == "HDFS"
+        assert dataset.source == "loghub"
+
+    def test_templates_taken_from_event_template_column(self, structured_csv):
+        dataset = load_structured_csv(structured_csv)
+        assert dataset.templates[0] == "Receiving block <*> src: /<*>"
+
+    def test_explicit_name_overrides_filename(self, structured_csv):
+        assert load_structured_csv(structured_csv, name="CustomName").name == "CustomName"
+
+    def test_rejects_non_loghub_csv(self, tmp_path):
+        bad = tmp_path / "other.csv"
+        bad.write_text("a,b\n1,2\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_structured_csv(bad)
+
+
+class TestFindLoghubDataset:
+    def test_finds_nested_layout(self, structured_csv, tmp_path):
+        root = tmp_path
+        assert find_loghub_dataset(root, "HDFS") == structured_csv
+
+    def test_returns_none_when_missing(self, tmp_path):
+        assert find_loghub_dataset(tmp_path, "BGL") is None
+
+    def test_returns_none_for_missing_root(self, tmp_path):
+        assert find_loghub_dataset(tmp_path / "nope", "HDFS") is None

@@ -1,0 +1,87 @@
+"""Unit tests for §4.1.2 common variable replacement."""
+
+import pytest
+
+from repro.core.config import WILDCARD
+from repro.core.masking import DEFAULT_MASKING_RULES, MaskingRule, VariableMasker
+
+
+@pytest.fixture()
+def masker():
+    return VariableMasker()
+
+
+class TestBuiltinRules:
+    def test_ipv4_masked(self, masker):
+        assert masker.mask("from 10.0.12.7 port") == f"from {WILDCARD} port"
+
+    def test_ipv4_with_port_masked_as_one_variable(self, masker):
+        assert masker.mask("dest 10.0.12.7:50010 ok") == f"dest {WILDCARD} ok"
+
+    def test_uuid_masked(self, masker):
+        text = "req 123e4567-e89b-42d3-a456-426614174000 done"
+        assert masker.mask(text) == f"req {WILDCARD} done"
+
+    def test_md5_masked(self, masker):
+        assert masker.mask("hash d41d8cd98f00b204e9800998ecf8427e end") == f"hash {WILDCARD} end"
+
+    def test_iso_timestamp_masked(self, masker):
+        assert masker.mask("at 2024-05-06 12:13:14 started") == f"at {WILDCARD} started"
+
+    def test_hex_literal_masked(self, masker):
+        assert masker.mask("flags 0x1f set") == f"flags {WILDCARD} set"
+
+    def test_plain_number_masked(self, masker):
+        assert masker.mask("retried 17 times") == f"retried {WILDCARD} times"
+
+    def test_number_attached_to_word_not_masked(self, masker):
+        # "node07" is an identifier, not a standalone number.
+        assert masker.mask("host node07 up") == "host node07 up"
+
+    def test_block_id_masked(self, masker):
+        assert masker.mask("blk_9082931 deleted") == f"{WILDCARD} deleted"
+
+    def test_size_with_unit_masked(self, masker):
+        assert masker.mask("read 512MB done") == f"read {WILDCARD} done"
+
+    def test_constant_text_unchanged(self, masker):
+        assert masker.mask("session opened for user root") == "session opened for user root"
+
+    def test_mixed_date_like_number_run_not_collapsed(self, masker):
+        # Regression guard: "1234-56/78" must not be treated as a date.
+        masked = masker.mask("app-1234-56/78 running")
+        assert masked == f"app-{WILDCARD}-{WILDCARD}/{WILDCARD} running"
+
+    def test_mask_many_matches_mask(self, masker):
+        lines = ["from 10.0.0.1", "retried 3 times", "no variables here"]
+        assert masker.mask_many(lines) == [masker.mask(line) for line in lines]
+
+
+class TestCustomRules:
+    def test_user_rule_applied(self):
+        masker = VariableMasker(extra_rules=[("session", r"session-[a-z0-9]+")])
+        assert masker.mask("open session-ab12f now") == f"open {WILDCARD} now"
+
+    def test_user_rules_take_precedence(self):
+        masker = VariableMasker(extra_rules=[("port", r"port \d+")])
+        # The whole "port 8080" phrase is replaced before the number rule sees it.
+        assert masker.mask("on port 8080 ok") == f"on {WILDCARD} ok"
+
+    def test_builtin_rules_can_be_disabled(self):
+        masker = VariableMasker(include_builtin=False)
+        assert masker.mask("retried 17 times from 10.0.0.1") == "retried 17 times from 10.0.0.1"
+        assert masker.rule_names() == []
+
+    def test_rule_names_in_order(self):
+        masker = VariableMasker(extra_rules=[("custom", r"zzz")])
+        names = masker.rule_names()
+        assert names[0] == "custom"
+        assert set(name for name, _ in DEFAULT_MASKING_RULES).issubset(set(names[1:]))
+
+    def test_single_rule_apply(self):
+        rule = MaskingRule("digits", r"\d+")
+        assert rule.apply("a 12 b 345") == f"a {WILDCARD} b {WILDCARD}"
+
+    def test_custom_wildcard_token(self):
+        masker = VariableMasker(wildcard="<VAR>")
+        assert masker.mask("retried 17 times") == "retried <VAR> times"

@@ -1,0 +1,156 @@
+"""Unit tests for §4.8 online matching."""
+
+import pytest
+
+from repro.core.config import ByteBrainConfig
+from repro.core.matcher import OnlineMatcher, TemplateMatchIndex
+from repro.core.model import ParserModel, Template
+from repro.core.trainer import OfflineTrainer
+
+
+WILD = "<*>"
+
+
+@pytest.fixture()
+def trained():
+    lines = []
+    for i in range(50):
+        lines.append(f"Accepted password for user{i % 7} from 10.0.0.{i % 250} port {3000 + i} ssh2")
+        lines.append(f"Failed password for user{i % 7} from 10.0.0.{i % 250} port {4000 + i} ssh2")
+        lines.append(f"Connection closed by 10.0.0.{i % 250}")
+    trainer = OfflineTrainer()
+    result = trainer.train(lines)
+    return trainer, result
+
+
+class TestTemplateMatchIndex:
+    def test_matches_exact_template(self):
+        model = ParserModel()
+        model.add_template(Template(0, ("a", WILD, "c"), 1.0, None, 0))
+        index = TemplateMatchIndex(model)
+        assert index.match(("a", "value", "c")) == 0
+
+    def test_prefers_higher_saturation(self):
+        model = ParserModel()
+        model.add_template(Template(0, ("a", WILD), 0.4, None, 0))
+        model.add_template(Template(1, ("a", "b"), 1.0, 0, 1))
+        index = TemplateMatchIndex(model)
+        assert index.match(("a", "b")) == 1
+        assert index.match(("a", "z")) == 0
+
+    def test_no_match_for_unknown_length(self):
+        model = ParserModel()
+        model.add_template(Template(0, ("a", "b"), 1.0, None, 0))
+        index = TemplateMatchIndex(model)
+        assert index.match(("a", "b", "c")) is None
+
+    def test_no_match_for_different_constants(self):
+        model = ParserModel()
+        model.add_template(Template(0, ("a", "b"), 1.0, None, 0))
+        index = TemplateMatchIndex(model)
+        assert index.match(("x", "y")) is None
+
+
+class TestOnlineMatcher:
+    def test_matches_trained_log(self, trained):
+        trainer, result = trained
+        matcher = OnlineMatcher(result.model, preprocessor=trainer.preprocessor)
+        outcome = matcher.match("Accepted password for user3 from 10.0.0.9 port 3111 ssh2")
+        assert not outcome.is_new_template
+        assert "Accepted password for" in outcome.template_text
+
+    def test_acquire_release_distinguished(self, trained):
+        trainer, result = trained
+        matcher = OnlineMatcher(result.model, preprocessor=trainer.preprocessor)
+        accepted = matcher.match("Accepted password for user1 from 10.0.0.2 port 3500 ssh2")
+        failed = matcher.match("Failed password for user1 from 10.0.0.2 port 3500 ssh2")
+        assert accepted.template_id != failed.template_id
+
+    def test_unseen_log_becomes_temporary_template(self, trained):
+        trainer, result = trained
+        matcher = OnlineMatcher(result.model, preprocessor=trainer.preprocessor)
+        before = len(result.model)
+        outcome = matcher.match("kernel panic: unable to mount root filesystem on vda1")
+        assert outcome.is_new_template
+        assert outcome.template.is_temporary
+        assert len(result.model) == before + 1
+        # The same unseen log now matches its temporary template.
+        again = matcher.match("kernel panic: unable to mount root filesystem on vda1")
+        assert not again.is_new_template
+        assert again.template_id == outcome.template_id
+
+    def test_temporary_insertion_can_be_disabled(self, trained):
+        trainer, result = trained
+        config = ByteBrainConfig(insert_unmatched_as_temporary=False)
+        matcher = OnlineMatcher(result.model, config=config, preprocessor=trainer.preprocessor)
+        before = len(result.model)
+        outcome = matcher.match("completely novel structure never seen before at all")
+        assert outcome.template_id == -1
+        assert len(result.model) == before
+
+    def test_match_many_agrees_with_match(self, trained):
+        trainer, result = trained
+        lines = [
+            "Accepted password for user5 from 10.0.0.77 port 3999 ssh2",
+            "Connection closed by 10.0.0.8",
+            "Failed password for user2 from 10.0.0.14 port 4020 ssh2",
+            "Accepted password for user5 from 10.0.0.77 port 3999 ssh2",
+        ]
+        matcher_a = OnlineMatcher(result.model, preprocessor=trainer.preprocessor)
+        batch = [r.template_id for r in matcher_a.match_many(lines)]
+        matcher_b = OnlineMatcher(result.model, preprocessor=trainer.preprocessor)
+        single = [matcher_b.match(line).template_id for line in lines]
+        assert batch == single
+
+    def test_match_many_duplicates_share_template(self, trained):
+        trainer, result = trained
+        matcher = OnlineMatcher(result.model, preprocessor=trainer.preprocessor)
+        lines = ["Connection closed by 10.0.0.99"] * 5
+        ids = {r.template_id for r in matcher.match_many(lines)}
+        assert len(ids) == 1
+
+    def test_parallel_matching_matches_sequential(self, trained):
+        trainer, result = trained
+        lines = [
+            f"Accepted password for user{i % 7} from 10.0.0.{i % 100} port {5000 + i} ssh2"
+            for i in range(200)
+        ]
+        sequential = OnlineMatcher(result.model, preprocessor=trainer.preprocessor).match_many(lines)
+        parallel_matcher = OnlineMatcher(
+            result.model,
+            config=ByteBrainConfig(parallelism=4),
+            preprocessor=trainer.preprocessor,
+        )
+        parallel = parallel_matcher.match_many(lines)
+        assert [r.template_id for r in sequential] == [r.template_id for r in parallel]
+
+    def test_naive_matching_uses_training_assignments(self, trained):
+        trainer, result = trained
+        config = ByteBrainConfig(matching_strategy="naive")
+        matcher = OnlineMatcher(
+            result.model,
+            config=config,
+            preprocessor=trainer.preprocessor,
+            training_assignments=result.training_assignments,
+        )
+        line = "Accepted password for user3 from 10.0.0.9 port 3111 ssh2"
+        tokens = trainer.preprocessor.process(line)
+        expected = result.training_assignments.get(tokens)
+        if expected is not None:
+            assert matcher.match(line).template_id == expected
+
+    def test_matching_without_jit_agrees_with_index(self, trained):
+        trainer, result = trained
+        lines = [
+            "Failed password for user6 from 10.0.0.3 port 4100 ssh2",
+            "Connection closed by 10.0.0.200",
+        ]
+        with_index = OnlineMatcher(result.model, preprocessor=trainer.preprocessor)
+        without_jit = OnlineMatcher(
+            result.model,
+            config=ByteBrainConfig(jit_enabled=False),
+            preprocessor=trainer.preprocessor,
+        )
+        assert [with_index.match(l).template_id for l in lines] == [
+            without_jit.match(l).template_id for l in lines
+        ]

@@ -1,0 +1,79 @@
+"""Unit tests for the evaluation metrics (§5.1.3)."""
+
+import pytest
+
+from repro.evaluation.metrics import (
+    f1_grouping_accuracy,
+    grouping_accuracy,
+    parsing_accuracy,
+    throughput,
+)
+
+
+class TestGroupingAccuracy:
+    def test_perfect_grouping(self):
+        assert grouping_accuracy([0, 0, 1, 1], ["a", "a", "b", "b"]) == 1.0
+
+    def test_label_names_do_not_matter(self):
+        assert grouping_accuracy([5, 5, 9], ["x", "x", "y"]) == 1.0
+
+    def test_merging_two_truth_groups_fails_both(self):
+        assert grouping_accuracy([0, 0, 0, 0], ["a", "a", "b", "b"]) == 0.0
+
+    def test_splitting_a_truth_group_fails_all_its_logs(self):
+        assert grouping_accuracy([0, 1, 2, 2], ["a", "a", "b", "b"]) == pytest.approx(0.5)
+
+    def test_partial_credit_for_untouched_groups(self):
+        predicted = [0, 0, 1, 2, 2]
+        truth = ["a", "a", "b", "b", "b"]
+        # group "a" intact (2 logs correct), group "b" split (3 logs wrong).
+        assert grouping_accuracy(predicted, truth) == pytest.approx(0.4)
+
+    def test_empty_inputs(self):
+        assert grouping_accuracy([], []) == 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            grouping_accuracy([0], [0, 1])
+
+
+class TestParsingAccuracy:
+    def test_pure_groups_count(self):
+        assert parsing_accuracy([0, 1, 2, 2], ["a", "a", "b", "b"]) == 1.0
+
+    def test_mixed_group_fails_its_logs(self):
+        assert parsing_accuracy([0, 0, 0], ["a", "a", "b"]) == 0.0
+
+    def test_at_least_as_lenient_as_grouping_accuracy(self):
+        predicted = [0, 1, 2, 2, 3]
+        truth = ["a", "a", "b", "b", "b"]
+        assert parsing_accuracy(predicted, truth) >= grouping_accuracy(predicted, truth)
+
+
+class TestF1GroupingAccuracy:
+    def test_perfect(self):
+        assert f1_grouping_accuracy([0, 0, 1], ["a", "a", "b"]) == 1.0
+
+    def test_all_singletons_vs_one_group(self):
+        assert f1_grouping_accuracy([0, 1, 2], ["a", "a", "a"]) == 0.0
+
+    def test_between_zero_and_one(self):
+        score = f1_grouping_accuracy([0, 0, 1, 1, 1], ["a", "a", "a", "b", "b"])
+        assert 0.0 < score < 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            f1_grouping_accuracy([0], [0, 1])
+
+
+class TestThroughput:
+    def test_simple_division(self):
+        assert throughput(1000, 2.0) == 500.0
+
+    def test_zero_time(self):
+        assert throughput(10, 0.0) == float("inf")
+        assert throughput(0, 0.0) == 0.0
+
+    def test_negative_logs_rejected(self):
+        with pytest.raises(ValueError):
+            throughput(-1, 1.0)

@@ -1,0 +1,166 @@
+"""Unit tests for the template model (templates, matching index, merging)."""
+
+import pytest
+
+from repro.core.config import WILDCARD
+from repro.core.model import ParserModel, Template, merge_consecutive_wildcards, template_similarity
+
+
+def make_template(template_id, tokens, saturation, parent=None, depth=0):
+    return Template(
+        template_id=template_id,
+        tokens=tuple(tokens),
+        saturation=saturation,
+        parent_id=parent,
+        depth=depth,
+    )
+
+
+@pytest.fixture()
+def chain_model():
+    """root(0, sat 0.3) -> mid(1, sat 0.7) -> leaf(2, sat 1.0)."""
+    model = ParserModel()
+    model.add_template(make_template(0, ["users", WILDCARD, WILDCARD], 0.3))
+    model.add_template(make_template(1, ["users", "added", WILDCARD], 0.7, parent=0, depth=1))
+    model.add_template(make_template(2, ["users", "added", "alice"], 1.0, parent=1, depth=2))
+    return model
+
+
+class TestTemplate:
+    def test_text_and_counts(self):
+        template = make_template(0, ["a", WILDCARD, "c"], 0.5)
+        assert template.text == f"a {WILDCARD} c"
+        assert template.n_tokens == 3
+        assert template.n_wildcards == 1
+
+    def test_matches_exact_and_wildcard(self):
+        template = make_template(0, ["get", WILDCARD, "ok"], 1.0)
+        assert template.matches(("get", "item42", "ok"))
+        assert not template.matches(("put", "item42", "ok"))
+        assert not template.matches(("get", "item42", "ok", "extra"))
+
+    def test_round_trip_dict(self):
+        template = make_template(3, ["x", WILDCARD], 0.8, parent=1, depth=2)
+        assert Template.from_dict(template.to_dict()) == template
+
+    def test_merge_consecutive_wildcards(self):
+        merged = merge_consecutive_wildcards(["users", WILDCARD, WILDCARD, WILDCARD, "end"])
+        assert merged == ("users", WILDCARD, "end")
+
+    def test_merged_text_property(self):
+        template = make_template(0, ["users", WILDCARD, WILDCARD], 0.5)
+        assert template.merged_text == f"users {WILDCARD}"
+
+
+class TestTemplateSimilarity:
+    def test_identical_templates(self):
+        assert template_similarity(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_different_lengths_are_zero(self):
+        assert template_similarity(["a"], ["a", "b"]) == 0.0
+
+    def test_wildcard_counts_half(self):
+        assert template_similarity(["a", WILDCARD], ["a", "b"]) == pytest.approx(0.75)
+
+    def test_disjoint_templates(self):
+        assert template_similarity(["a", "b"], ["c", "d"]) == 0.0
+
+
+class TestParserModel:
+    def test_add_and_get(self, chain_model):
+        assert len(chain_model) == 3
+        assert chain_model.get(1).tokens == ("users", "added", WILDCARD)
+
+    def test_duplicate_id_rejected(self, chain_model):
+        with pytest.raises(ValueError):
+            chain_model.add_template(make_template(0, ["dup"], 1.0))
+
+    def test_match_prefers_most_saturated(self, chain_model):
+        matched = chain_model.match_tokens(("users", "added", "alice"))
+        assert matched.template_id == 2
+
+    def test_match_falls_back_to_wildcards(self, chain_model):
+        matched = chain_model.match_tokens(("users", "added", "bob"))
+        assert matched.template_id == 1
+
+    def test_match_none_for_unknown_shape(self, chain_model):
+        assert chain_model.match_tokens(("completely", "different", "longer", "line")) is None
+
+    def test_ancestors(self, chain_model):
+        ancestors = [t.template_id for t in chain_model.ancestors(2)]
+        assert ancestors == [1, 0]
+
+    def test_resolve_threshold_walks_to_coarsest(self, chain_model):
+        assert chain_model.resolve_threshold(2, 0.5).template_id == 1
+        assert chain_model.resolve_threshold(2, 0.9).template_id == 2
+        assert chain_model.resolve_threshold(2, 0.1).template_id == 0
+
+    def test_resolve_threshold_below_node_returns_node(self, chain_model):
+        assert chain_model.resolve_threshold(0, 0.99).template_id == 0
+
+    def test_templates_at_threshold(self, chain_model):
+        visible = {t.template_id for t in chain_model.templates_at_threshold(0.6)}
+        assert visible == {1}
+        visible_high = {t.template_id for t in chain_model.templates_at_threshold(0.95)}
+        assert visible_high == {2}
+
+    def test_descendants(self, chain_model):
+        assert {t.template_id for t in chain_model.descendants(0)} == {1, 2}
+
+    def test_temporary_template_insertion(self, chain_model):
+        before = len(chain_model)
+        template = chain_model.new_temporary_template(("new", "shape"))
+        assert template.is_temporary
+        assert len(chain_model) == before + 1
+        assert chain_model.match_tokens(("new", "shape")).template_id == template.template_id
+
+    def test_json_round_trip(self, chain_model):
+        clone = ParserModel.from_json(chain_model.to_json())
+        assert len(clone) == len(chain_model)
+        assert clone.get(2).tokens == chain_model.get(2).tokens
+        assert clone.resolve_threshold(2, 0.5).template_id == 1
+
+    def test_size_bytes_positive_and_grows(self, chain_model):
+        size = chain_model.size_bytes()
+        chain_model.new_temporary_template(("extra", "template", "tokens"))
+        assert chain_model.size_bytes() > size > 0
+
+    def test_stats(self, chain_model):
+        stats = chain_model.stats()
+        assert stats["n_templates"] == 3
+        assert stats["n_leaves"] == 1
+        assert stats["max_depth"] == 2
+
+
+class TestModelMerging:
+    def test_similar_templates_merge(self, chain_model):
+        other = ParserModel()
+        other.add_template(make_template(0, ["users", "added", WILDCARD], 0.7))
+        mapping = chain_model.merge_from(other, similarity_threshold=0.8)
+        assert mapping[0] == 1
+        assert len(chain_model) == 3
+
+    def test_dissimilar_templates_inserted(self, chain_model):
+        other = ParserModel()
+        other.add_template(make_template(0, ["disk", "full", "alert"], 1.0))
+        before = len(chain_model)
+        mapping = chain_model.merge_from(other)
+        assert len(chain_model) == before + 1
+        assert chain_model.get(mapping[0]).tokens == ("disk", "full", "alert")
+
+    def test_merge_preserves_parent_links_of_inserted_chain(self):
+        target = ParserModel()
+        other = ParserModel()
+        other.add_template(make_template(0, ["a", WILDCARD], 0.4))
+        other.add_template(make_template(1, ["a", "b"], 1.0, parent=0, depth=1))
+        mapping = target.merge_from(other)
+        child = target.get(mapping[1])
+        assert child.parent_id == mapping[0]
+
+    def test_merge_accumulates_weight(self):
+        target = ParserModel()
+        target.add_template(Template(0, ("x", "y"), 1.0, None, 0, weight=5.0))
+        other = ParserModel()
+        other.add_template(Template(0, ("x", "y"), 1.0, None, 0, weight=3.0))
+        target.merge_from(other)
+        assert target.get(0).weight == pytest.approx(8.0)

@@ -1,0 +1,57 @@
+"""Package-surface tests: imports, public API exports, example scripts."""
+
+import importlib
+import pkgutil
+import py_compile
+from pathlib import Path
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.endswith("__main__")
+)
+
+
+class TestImports:
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_every_module_imports(self, module_name):
+        importlib.import_module(module_name)
+
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_exported_names_exist(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.__all__ lists missing name {name}"
+
+    def test_top_level_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestPublicDocstrings:
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_every_module_has_a_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip()
+
+    def test_key_classes_have_docstrings(self):
+        from repro import ByteBrainConfig, ByteBrainParser, LogParsingService, ParserModel
+
+        for obj in (ByteBrainParser, ByteBrainConfig, LogParsingService, ParserModel):
+            assert obj.__doc__ and obj.__doc__.strip()
+
+
+class TestExamples:
+    def test_example_scripts_compile(self):
+        examples_dir = Path(__file__).resolve().parent.parent / "examples"
+        scripts = sorted(examples_dir.glob("*.py"))
+        assert len(scripts) >= 4
+        for script in scripts:
+            py_compile.compile(str(script), doraise=True)

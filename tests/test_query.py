@@ -1,0 +1,82 @@
+"""Unit tests for query-time precision adjustment (§3 "Query", §7)."""
+
+import pytest
+
+from repro.core.model import ParserModel, Template
+from repro.core.query import QueryEngine
+
+WILD = "<*>"
+
+
+@pytest.fixture()
+def model():
+    """Two template chains mirroring the paper's lock example."""
+    model = ParserModel()
+    # chain A: <*> lock <*>  ->  release lock <*>  ->  release lock systemui
+    model.add_template(Template(0, (WILD, "lock", WILD), 0.2, None, 0))
+    model.add_template(Template(1, ("release", "lock", WILD), 0.7, 0, 1))
+    model.add_template(Template(2, ("release", "lock", "systemui"), 1.0, 1, 2))
+    model.add_template(Template(3, ("acquire", "lock", WILD), 0.7, 0, 1))
+    model.add_template(Template(4, ("acquire", "lock", "phone"), 1.0, 3, 2))
+    # variable-length list templates for wildcard merging (§7)
+    model.add_template(Template(5, ("users", WILD, WILD), 1.0, None, 0))
+    model.add_template(Template(6, ("users", WILD, WILD, WILD), 1.0, None, 0))
+    return model
+
+
+@pytest.fixture()
+def engine(model):
+    return QueryEngine(model)
+
+
+class TestResolve:
+    def test_high_threshold_returns_precise_template(self, engine):
+        assert engine.resolve(2, 0.95).template_id == 2
+
+    def test_mid_threshold_returns_intermediate(self, engine):
+        assert engine.resolve(2, 0.6).template_id == 1
+
+    def test_low_threshold_returns_root(self, engine):
+        assert engine.resolve(2, 0.1).template_id == 0
+
+    def test_threshold_below_every_ancestor_uses_coarsest(self, engine):
+        assert engine.resolve(4, 0.0).template_id == 0
+
+    def test_node_below_threshold_returns_itself(self, engine):
+        assert engine.resolve(0, 0.9).template_id == 0
+
+
+class TestGrouping:
+    def test_groups_by_resolved_template(self, engine):
+        ids = [2, 2, 4, 4, 4]
+        groups = engine.group_records(ids, threshold=0.95)
+        assert len(groups) == 2
+        assert groups[0].count == 3  # acquire group is larger
+
+    def test_low_threshold_merges_acquire_and_release(self, engine):
+        ids = [2, 4, 2, 4]
+        groups = engine.group_records(ids, threshold=0.1)
+        assert len(groups) == 1
+        assert groups[0].count == 4
+
+    def test_record_indices_partition_inputs(self, engine):
+        ids = [2, 4, 2, 4, 2]
+        groups = engine.group_records(ids, threshold=0.95)
+        covered = sorted(i for g in groups for i in g.record_indices)
+        assert covered == list(range(5))
+
+    def test_wildcard_merging_collapses_variable_length_lists(self, engine):
+        ids = [5, 6, 5, 6]
+        merged = engine.group_records(ids, threshold=0.9, merge_wildcards=True)
+        assert len(merged) == 1
+        assert merged[0].display_text == f"users {WILD}"
+        unmerged = engine.group_records(ids, threshold=0.9, merge_wildcards=False)
+        assert len(unmerged) == 2
+
+    def test_template_counts_convenience(self, engine):
+        counts = engine.template_counts([2, 2, 4], threshold=0.95)
+        assert counts == {"release lock systemui": 2, "acquire lock phone": 1}
+
+    def test_templates_at_threshold(self, engine):
+        visible = {t.template_id for t in engine.templates_at(0.6)}
+        assert visible == {1, 3, 5, 6}

@@ -1,0 +1,112 @@
+"""Unit tests for §4.5 saturation (Eq. 3), including the Fig. 5 worked example."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import HashEncoder
+from repro.core.saturation import profile_positions, saturation_from_profile, saturation_score
+
+
+def encode(rows):
+    encoder = HashEncoder()
+    return np.stack([encoder.encode_tokens(row) for row in rows])
+
+
+#: Fig. 5, Set 1: identical except the token value, which differs in every log.
+SET1 = [
+    ["UserService", "createUser", "token", "abc123", "success"],
+    ["UserService", "createUser", "token", "xyz789", "success"],
+    ["UserService", "createUser", "token", "def456", "success"],
+]
+
+#: Fig. 5, Set 2: action and status vary too.
+SET2 = [
+    ["UserService", "createUser", "token", "abc123", "success"],
+    ["UserService", "deleteUser", "token", "xyz789", "failed"],
+    ["UserService", "queryUser", "token", "def456", "success"],
+]
+
+
+class TestProfile:
+    def test_counts_constants_and_unresolved(self):
+        profile = profile_positions(encode(SET2))
+        assert profile.n_positions == 5
+        assert profile.n_constants == 2
+        assert sorted(profile.unresolved_counts) == [2, 3, 3]
+
+    def test_weighted_log_count(self):
+        codes = encode([["a", "x"], ["a", "y"]])
+        profile = profile_positions(codes, weights=np.array([10.0, 5.0]))
+        assert profile.n_logs == 15.0
+        assert profile.n_unique == 2
+
+    def test_subset_of_rows(self):
+        profile = profile_positions(encode(SET2), member_indices=[0, 2])
+        assert profile.n_unique == 2
+        assert profile.n_constants == 3
+
+    def test_empty_group(self):
+        profile = profile_positions(encode(SET1), member_indices=[])
+        assert profile.n_positions == 0
+        assert saturation_from_profile(profile) == 1.0
+
+
+class TestFig5Example:
+    def test_set1_is_fully_saturated(self):
+        # The lone unresolved position holds a distinct token per log, so the
+        # group is fully resolved (saturation 1.0 in Fig. 5).
+        assert saturation_score(encode(SET1)) == pytest.approx(1.0)
+
+    def test_set2_root_saturation_matches_figure(self):
+        # Fig. 5 annotates the {4,5,6} node with ~0.4.
+        score = saturation_score(encode(SET2))
+        assert 0.3 <= score <= 0.45
+
+    def test_set2_intermediate_node_is_06(self):
+        # The {4,6} node (rows 0 and 2) is annotated 0.6.
+        score = saturation_score(encode(SET2), member_indices=[0, 2])
+        assert score == pytest.approx(0.6, abs=0.01)
+
+    def test_leaves_are_fully_saturated(self):
+        for row in range(3):
+            assert saturation_score(encode(SET2), member_indices=[row]) == 1.0
+
+    def test_saturation_increases_with_refinement(self):
+        root = saturation_score(encode(SET2))
+        child = saturation_score(encode(SET2), member_indices=[0, 2])
+        assert child > root
+
+
+class TestSaturationProperties:
+    def test_all_constant_group_is_one(self):
+        codes = encode([["a", "b"], ["a", "b"], ["a", "b"]])
+        assert saturation_score(codes) == 1.0
+
+    def test_single_log_is_one(self):
+        assert saturation_score(encode([["a", "b", "c"]])) == 1.0
+
+    def test_score_in_unit_interval(self):
+        codes = encode([["a", str(i), "x" if i % 2 else "y"] for i in range(10)])
+        score = saturation_score(codes)
+        assert 0.0 <= score <= 1.0
+
+    def test_duplication_weights_lower_variability(self):
+        # Two distinct verbs over many occurrences: a near-constant split
+        # position, so weighted saturation is much lower than unweighted.
+        codes = encode([["job", "started", "x"], ["job", "stopped", "x"]])
+        unweighted = saturation_score(codes)
+        weighted = saturation_score(codes, weights=np.array([500.0, 500.0]))
+        assert weighted <= unweighted
+
+    def test_ablation_without_variable_factor_is_fc(self):
+        codes = encode(SET2)
+        score = saturation_score(codes, use_variable_saturation=False)
+        assert score == pytest.approx(2 / 5)
+
+    def test_ablation_without_confidence_factor(self):
+        codes = encode(SET2)
+        profile = profile_positions(codes)
+        score = saturation_from_profile(profile, use_confidence_factor=False)
+        full = saturation_from_profile(profile)
+        assert score != full
+        assert 0.0 <= score <= 1.0

@@ -1,0 +1,174 @@
+"""Integration tests for the LogParsingService (topics, training, queries, analytics)."""
+
+import pytest
+
+from repro.core.config import ByteBrainConfig
+from repro.service.analytics import FailureScenario
+from repro.service.scheduler import SchedulerPolicy
+from repro.service.service import LogParsingService
+
+
+def make_service(volume_threshold=500, initial=50):
+    return LogParsingService(
+        config=ByteBrainConfig(),
+        scheduler_policy=SchedulerPolicy(
+            volume_threshold=volume_threshold,
+            time_interval_seconds=600,
+            initial_volume_threshold=initial,
+        ),
+    )
+
+
+def order_lines(start, count):
+    return [f"order {start + i} created for customer {i % 17} amount {i * 3} cents" for i in range(count)]
+
+
+def error_lines(count):
+    return [f"payment gateway timeout after {1000 + i} ms for order {i}" for i in range(count)]
+
+
+class TestTopicLifecycle:
+    def test_create_and_list_topics(self):
+        service = make_service()
+        service.create_topic("checkout")
+        service.create_topic("payments")
+        assert set(service.topic_names()) == {"checkout", "payments"}
+
+    def test_duplicate_topic_rejected(self):
+        service = make_service()
+        service.create_topic("checkout")
+        with pytest.raises(ValueError):
+            service.create_topic("checkout")
+
+    def test_drop_topic(self):
+        service = make_service()
+        service.create_topic("checkout")
+        service.drop_topic("checkout")
+        assert service.topic_names() == []
+
+
+class TestIngestionAndTraining:
+    def test_first_training_triggered_by_initial_volume(self):
+        service = make_service(initial=50)
+        service.create_topic("checkout")
+        for i, line in enumerate(order_lines(0, 60)):
+            service.ingest("checkout", line, now=float(i))
+        state = service.topic("checkout")
+        assert state.scheduler.training_rounds >= 1
+        assert len(state.parser.model) > 0
+
+    def test_records_before_first_training_are_backfilled(self):
+        service = make_service(initial=50)
+        service.create_topic("checkout")
+        for i, line in enumerate(order_lines(0, 80)):
+            service.ingest("checkout", line, now=float(i))
+        state = service.topic("checkout")
+        assert all(record.template_id is not None for record in state.topic.records())
+
+    def test_internal_topic_receives_model_snapshots(self):
+        service = make_service(initial=20)
+        service.create_topic("checkout")
+        service.ingest_batch("checkout", order_lines(0, 40), now=0.0)
+        state = service.topic("checkout")
+        assert state.internal_topic.training_rounds >= 1
+        assert len(state.internal_topic) >= len(state.parser.model)
+
+    def test_volume_threshold_triggers_retraining(self):
+        service = make_service(volume_threshold=200, initial=50)
+        service.create_topic("checkout")
+        service.ingest_batch("checkout", order_lines(0, 60), now=0.0)
+        rounds_after_first = service.topic("checkout").scheduler.training_rounds
+        service.ingest_batch("checkout", order_lines(60, 250), now=1.0)
+        assert service.topic("checkout").scheduler.training_rounds > rounds_after_first
+
+    def test_train_now_forces_training(self):
+        service = make_service(initial=10_000)
+        service.create_topic("checkout")
+        service.ingest_batch("checkout", order_lines(0, 30), now=0.0)
+        assert service.topic("checkout").scheduler.training_rounds == 0
+        service.train_now("checkout", now=1.0)
+        assert service.topic("checkout").scheduler.training_rounds == 1
+
+
+class TestQueries:
+    @pytest.fixture()
+    def populated(self):
+        service = make_service(initial=50)
+        service.create_topic("checkout")
+        service.ingest_batch("checkout", order_lines(0, 150) + error_lines(40), now=0.0)
+        service.train_now("checkout", now=1.0)
+        return service
+
+    def test_query_groups_by_template(self, populated):
+        groups = populated.query_templates("checkout", threshold=0.6)
+        assert sum(group.count for group in groups) == 190
+        assert len(groups) >= 2
+
+    def test_precision_slider_changes_group_count(self, populated):
+        fine = populated.query_templates("checkout", threshold=0.95)
+        coarse = populated.query_templates("checkout", threshold=0.2)
+        assert len(coarse) <= len(fine)
+
+    def test_text_filter(self, populated):
+        groups = populated.query_templates("checkout", threshold=0.6, text_filter="timeout")
+        assert sum(group.count for group in groups) == 40
+
+    def test_template_count_at_threshold(self, populated):
+        assert populated.template_count("checkout", threshold=0.6) >= 2
+
+
+class TestTemplateLibraryAndAnalytics:
+    @pytest.fixture()
+    def service(self):
+        service = make_service(initial=40)
+        service.create_topic("checkout")
+        service.ingest_batch("checkout", order_lines(0, 100), now=0.0)
+        service.train_now("checkout", now=10.0)
+        return service
+
+    def test_save_and_count_library_templates(self, service):
+        groups = service.query_templates("checkout", threshold=0.6)
+        template_id = groups[0].template_ids[0]
+        service.save_template_to_library("checkout", "orders-created", template_id)
+        counts = service.library_counts("checkout")
+        assert counts["orders-created"] > 0
+
+    def test_save_unknown_template_rejected(self, service):
+        with pytest.raises(KeyError):
+            service.save_template_to_library("checkout", "nope", 999_999)
+
+    def test_anomaly_detection_flags_new_template(self, service):
+        # A new failure pattern floods in during the second window.
+        service.ingest_batch("checkout", error_lines(60), now=100.0)
+        anomalies = service.detect_anomalies(
+            "checkout", baseline_window=(0.0, 50.0), current_window=(50.0, 200.0)
+        )
+        assert any(a.kind in ("new_template", "count_spike") for a in anomalies)
+
+    def test_period_comparison_reports_divergence(self, service):
+        service.ingest_batch("checkout", error_lines(60), now=100.0)
+        comparison = service.compare_periods("checkout", (0.0, 50.0), (50.0, 200.0))
+        assert comparison.jensen_shannon_divergence > 0.0
+
+    def test_failure_scenario_matching(self, service):
+        service.failure_library.add(
+            FailureScenario(
+                name="gateway-timeouts",
+                description="payment gateway timing out",
+                # "1042 ms" is masked as a single duration variable, so the
+                # signature mirrors the parser's template text.
+                signature_templates=["payment gateway timeout after <*> for order <*>"],
+                min_coverage=1.0,
+            )
+        )
+        service.ingest_batch("checkout", error_lines(30), now=200.0)
+        service.train_now("checkout", now=201.0)
+        matches = service.match_failure_scenarios("checkout", window=(190.0, 300.0))
+        assert matches and matches[0].scenario.name == "gateway-timeouts"
+
+    def test_topic_stats(self, service):
+        stats = service.topic_stats("checkout")
+        assert stats["n_records"] == 100
+        assert stats["n_templates"] >= 1
+        assert stats["model_size_bytes"] > 0
+        assert stats["training_rounds"] >= 1

@@ -1,0 +1,111 @@
+"""Unit tests for the template-based analytics (§6)."""
+
+import pytest
+
+from repro.core.model import Template
+from repro.service.analytics import (
+    FailureScenario,
+    FailureScenarioLibrary,
+    TemplateAnomalyDetector,
+    compare_template_distributions,
+)
+
+WILD = "<*>"
+
+
+class TestAnomalyDetector:
+    @pytest.fixture()
+    def detector(self):
+        return TemplateAnomalyDetector(spike_ratio=3.0, drop_ratio=3.0, min_count=5)
+
+    def test_new_template_detected(self, detector):
+        anomalies = detector.detect([1] * 50, [1] * 45 + [9] * 6)
+        kinds = {(a.kind, a.template_id) for a in anomalies}
+        assert ("new_template", 9) in kinds
+
+    def test_rare_new_template_ignored(self, detector):
+        anomalies = detector.detect([1] * 50, [1] * 49 + [9])
+        assert all(a.template_id != 9 for a in anomalies)
+
+    def test_count_spike_detected(self, detector):
+        baseline = [1] * 90 + [2] * 10
+        current = [1] * 50 + [2] * 50
+        anomalies = detector.detect(baseline, current)
+        assert any(a.kind == "count_spike" and a.template_id == 2 for a in anomalies)
+
+    def test_count_drop_detected(self, detector):
+        baseline = [1] * 50 + [2] * 50
+        current = [1] * 99 + [2] * 1
+        anomalies = detector.detect(baseline, current)
+        assert any(a.kind == "count_drop" and a.template_id == 2 for a in anomalies)
+
+    def test_stable_distribution_has_no_anomalies(self, detector):
+        window = [1] * 60 + [2] * 40
+        assert detector.detect(window, list(window)) == []
+
+    def test_invalid_ratios_rejected(self):
+        with pytest.raises(ValueError):
+            TemplateAnomalyDetector(spike_ratio=1.0)
+
+
+class TestDistributionComparison:
+    def test_identical_periods_have_zero_divergence(self):
+        result = compare_template_distributions([1, 1, 2], [1, 1, 2])
+        assert result.jensen_shannon_divergence == pytest.approx(0.0, abs=1e-9)
+        assert result.added_templates == []
+        assert result.removed_templates == []
+
+    def test_divergence_grows_with_shift(self):
+        mild = compare_template_distributions([1] * 90 + [2] * 10, [1] * 80 + [2] * 20)
+        strong = compare_template_distributions([1] * 90 + [2] * 10, [1] * 10 + [2] * 90)
+        assert strong.jensen_shannon_divergence > mild.jensen_shannon_divergence
+
+    def test_added_and_removed_templates(self):
+        result = compare_template_distributions([1, 1, 2], [1, 1, 3])
+        assert result.added_templates == [3]
+        assert result.removed_templates == [2]
+
+    def test_largest_shifts_ranked(self):
+        result = compare_template_distributions([1] * 50 + [2] * 50, [1] * 90 + [2] * 10)
+        assert abs(result.largest_shifts[0][1]) >= abs(result.largest_shifts[-1][1])
+
+
+class TestFailureScenarioLibrary:
+    @pytest.fixture()
+    def library(self):
+        library = FailureScenarioLibrary()
+        library.add(
+            FailureScenario(
+                name="disk-pressure",
+                description="Datanode under disk pressure",
+                signature_templates=[
+                    f"Deleting block {WILD} file {WILD}",
+                    f"No space left on device {WILD}",
+                ],
+                min_coverage=0.5,
+            )
+        )
+        return library
+
+    def test_scenario_matches_when_signature_present(self, library):
+        observed = [
+            Template(0, ("Deleting", "block", WILD, "file", WILD), 1.0, None, 0),
+            Template(1, ("Verification", "succeeded", "for", WILD), 1.0, None, 0),
+        ]
+        matches = library.match(observed)
+        assert len(matches) == 1
+        assert matches[0].scenario.name == "disk-pressure"
+        assert matches[0].coverage == pytest.approx(0.5)
+
+    def test_no_match_without_signatures(self, library):
+        observed = [Template(0, ("all", "systems", "nominal"), 1.0, None, 0)]
+        assert library.match(observed) == []
+
+    def test_empty_scenario_rejected(self):
+        library = FailureScenarioLibrary()
+        with pytest.raises(ValueError):
+            library.add(FailureScenario(name="x", description="", signature_templates=[]))
+
+    def test_library_listing(self, library):
+        assert len(library) == 1
+        assert library.scenarios()[0].name == "disk-pressure"

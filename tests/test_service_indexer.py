@@ -1,0 +1,59 @@
+"""Unit tests for the indexing pipeline that embeds online matching."""
+
+import pytest
+
+from repro.core.config import ByteBrainConfig
+from repro.core.matcher import OnlineMatcher
+from repro.core.trainer import OfflineTrainer
+from repro.service.indexer import IndexingPipeline
+from repro.service.scheduler import SchedulerPolicy, TrainingScheduler
+from repro.service.topic import LogTopic
+
+
+@pytest.fixture()
+def trained_matcher():
+    lines = [f"request {i} served in {i % 90} ms" for i in range(200)]
+    trainer = OfflineTrainer(ByteBrainConfig())
+    result = trainer.train(lines)
+    return OnlineMatcher(result.model, preprocessor=trainer.preprocessor)
+
+
+@pytest.fixture()
+def pipeline():
+    return IndexingPipeline(LogTopic("requests"), TrainingScheduler(SchedulerPolicy()))
+
+
+class TestIngestion:
+    def test_ingest_without_model_stores_untemplated_record(self, pipeline):
+        outcome = pipeline.ingest("request 1 served in 5 ms", timestamp=0.0)
+        assert outcome.template_id is None
+        assert len(pipeline.topic) == 1
+        assert pipeline.scheduler.pending_records == 1
+
+    def test_ingest_with_model_attaches_template(self, pipeline, trained_matcher):
+        pipeline.attach_matcher(trained_matcher)
+        outcome = pipeline.ingest("request 9 served in 12 ms", timestamp=1.0)
+        assert outcome.template_id is not None
+        assert not outcome.is_new_template
+        assert outcome.total_seconds >= 0.0
+
+    def test_unseen_pattern_creates_temporary_template(self, pipeline, trained_matcher):
+        pipeline.attach_matcher(trained_matcher)
+        outcome = pipeline.ingest("kernel oops at address deadbeef", timestamp=2.0)
+        assert outcome.is_new_template
+
+    def test_backfill_assigns_templates_to_old_records(self, pipeline, trained_matcher):
+        pipeline.ingest("request 1 served in 5 ms", timestamp=0.0)
+        pipeline.ingest("request 2 served in 6 ms", timestamp=0.5)
+        updated = pipeline.backfill_templates(trained_matcher)
+        assert updated == 2
+        assert all(r.template_id is not None for r in pipeline.topic.records())
+
+    def test_latency_breakdown_reported(self, pipeline, trained_matcher):
+        pipeline.attach_matcher(trained_matcher)
+        outcome = pipeline.ingest("request 3 served in 7 ms", timestamp=3.0)
+        assert outcome.parse_seconds >= 0.0
+        assert outcome.index_seconds >= 0.0
+        assert outcome.total_seconds == pytest.approx(
+            outcome.parse_seconds + outcome.index_seconds
+        )

@@ -1,0 +1,52 @@
+"""Unit tests for the internal template-metadata topic."""
+
+from repro.core.model import ParserModel, Template
+from repro.service.internal_topic import InternalTemplateTopic
+
+WILD = "<*>"
+
+
+def build_model():
+    model = ParserModel()
+    model.add_template(Template(0, ("job", WILD), 0.5, None, 0))
+    model.add_template(Template(1, ("job", "started"), 1.0, 0, 1))
+    return model
+
+
+class TestInternalTemplateTopic:
+    def test_publish_model_appends_every_template(self):
+        topic = InternalTemplateTopic("jobs")
+        round_number = topic.publish_model(build_model())
+        assert round_number == 1
+        assert len(topic) == 2
+        assert topic.training_rounds == 1
+
+    def test_latest_reflects_most_recent_round(self):
+        topic = InternalTemplateTopic("jobs")
+        model = build_model()
+        topic.publish_model(model)
+        # Second round: saturation of template 0 changes.
+        model.get(0).saturation = 0.6
+        topic.publish_model(model)
+        latest = topic.latest()
+        assert latest[0].saturation == 0.6
+        assert latest[0].training_round == 2
+        assert len(topic) == 4
+
+    def test_publish_single_template(self):
+        topic = InternalTemplateTopic("jobs")
+        topic.publish_model(build_model())
+        temporary = Template(7, ("brand", "new", "shape"), 1.0, None, 0, is_temporary=True)
+        topic.publish_template(temporary)
+        assert topic.latest()[7].is_temporary
+
+    def test_lineage_follows_parent_links(self):
+        topic = InternalTemplateTopic("jobs")
+        topic.publish_model(build_model())
+        lineage = topic.lineage(1)
+        assert [entry.template_id for entry in lineage] == [0]
+
+    def test_lineage_of_root_is_empty(self):
+        topic = InternalTemplateTopic("jobs")
+        topic.publish_model(build_model())
+        assert topic.lineage(0) == []

@@ -1,0 +1,57 @@
+"""Unit tests for the training scheduler (volume / time triggers, §3)."""
+
+import pytest
+
+from repro.service.scheduler import SchedulerPolicy, TrainingScheduler
+
+
+class TestInitialTraining:
+    def test_no_training_before_initial_volume(self):
+        scheduler = TrainingScheduler(SchedulerPolicy(initial_volume_threshold=100))
+        scheduler.record_ingested(99)
+        assert not scheduler.should_train(now=0.0)
+
+    def test_initial_volume_triggers_first_round(self):
+        scheduler = TrainingScheduler(SchedulerPolicy(initial_volume_threshold=100))
+        scheduler.record_ingested(100)
+        assert scheduler.should_train(now=0.0)
+
+
+class TestSteadyState:
+    @pytest.fixture()
+    def scheduler(self):
+        scheduler = TrainingScheduler(
+            SchedulerPolicy(volume_threshold=1000, time_interval_seconds=300, initial_volume_threshold=10)
+        )
+        scheduler.record_ingested(10)
+        assert scheduler.should_train(0.0)
+        scheduler.training_completed(now=0.0)
+        return scheduler
+
+    def test_volume_trigger(self, scheduler):
+        scheduler.record_ingested(999)
+        assert not scheduler.should_train(now=10.0)
+        scheduler.record_ingested(1)
+        assert scheduler.should_train(now=10.0)
+
+    def test_time_trigger_requires_new_records(self, scheduler):
+        assert not scheduler.should_train(now=10_000.0)
+        scheduler.record_ingested(1)
+        assert scheduler.should_train(now=10_000.0)
+
+    def test_time_trigger_requires_elapsed_interval(self, scheduler):
+        scheduler.record_ingested(5)
+        assert not scheduler.should_train(now=100.0)
+        assert scheduler.should_train(now=400.0)
+
+    def test_training_completed_resets_counters(self, scheduler):
+        scheduler.record_ingested(5000)
+        scheduler.training_completed(now=50.0)
+        assert scheduler.pending_records == 0
+        assert scheduler.last_training_time == 50.0
+        assert scheduler.training_rounds == 2
+        assert not scheduler.should_train(now=60.0)
+
+    def test_negative_ingest_count_rejected(self, scheduler):
+        with pytest.raises(ValueError):
+            scheduler.record_ingested(-1)

@@ -1,0 +1,71 @@
+"""Unit tests for the append-only log topic storage."""
+
+import pytest
+
+from repro.service.topic import LogRecord, LogTopic
+
+
+@pytest.fixture()
+def topic():
+    topic = LogTopic("orders")
+    topic.append("order 1 created", timestamp=1.0, template_id=10)
+    topic.append("order 2 created", timestamp=2.0, template_id=10)
+    topic.append("payment failed for order 2", timestamp=3.0, template_id=20)
+    return topic
+
+
+class TestLogTopic:
+    def test_requires_a_name(self):
+        with pytest.raises(ValueError):
+            LogTopic("")
+
+    def test_append_assigns_sequential_ids(self, topic):
+        assert [r.record_id for r in topic.records()] == [0, 1, 2]
+        assert len(topic) == 3
+
+    def test_record_lookup(self, topic):
+        record = topic.record(1)
+        assert record.raw == "order 2 created"
+        assert record.template_id == 10
+
+    def test_negative_record_id_rejected(self):
+        with pytest.raises(ValueError):
+            LogRecord(record_id=-1, timestamp=0.0, raw="x")
+
+    def test_slice(self, topic):
+        assert [r.record_id for r in topic.slice(1)] == [1, 2]
+        assert [r.record_id for r in topic.slice(0, 2)] == [0, 1]
+
+    def test_records_between_timestamps(self, topic):
+        records = topic.records_between(1.5, 3.0)
+        assert [r.record_id for r in records] == [1]
+
+    def test_text_search(self, topic):
+        hits = topic.search_text("payment")
+        assert len(hits) == 1
+        assert hits[0].record_id == 2
+        assert topic.search_text("nonexistent") == []
+
+    def test_records_for_template(self, topic):
+        assert [r.record_id for r in topic.records_for_template(10)] == [0, 1]
+
+    def test_template_counts(self, topic):
+        assert topic.template_counts() == {10: 2, 20: 1}
+
+    def test_set_template_updates_index(self, topic):
+        topic.set_template(2, 30)
+        assert topic.record(2).template_id == 30
+        assert [r.record_id for r in topic.records_for_template(30)] == [2]
+        assert topic.records_for_template(20) == []
+
+    def test_template_ids_in_append_order(self, topic):
+        assert topic.template_ids() == [10, 10, 20]
+
+    def test_size_bytes(self, topic):
+        assert topic.size_bytes() >= sum(len(r.raw) for r in topic.records())
+
+    def test_append_without_template(self):
+        topic = LogTopic("raw")
+        record = topic.append("no template yet", timestamp=0.0)
+        assert record.template_id is None
+        assert topic.template_counts() == {}

@@ -1,0 +1,89 @@
+"""Unit tests for §4.1.1 tokenization."""
+
+import re
+
+import pytest
+
+from repro.core.config import WILDCARD
+from repro.core.tokenizer import (
+    DEFAULT_TOKENIZER_PATTERN,
+    Tokenizer,
+    UnsafePatternError,
+    tokenize,
+    validate_user_pattern,
+)
+
+
+class TestDefaultTokenizer:
+    def test_splits_on_whitespace(self):
+        assert tokenize("alpha bravo charlie") == ["alpha", "bravo", "charlie"]
+
+    def test_splits_on_equals_and_commas(self):
+        assert tokenize("lock=23, flg=0x1") == ["lock", "23", "flg", "0x1"]
+
+    def test_splits_on_brackets_and_quotes(self):
+        assert tokenize('tag="View Lock" ws=[WS]') == ["tag", "View", "Lock", "ws", "WS"]
+
+    def test_url_protocol_separator_is_a_delimiter(self):
+        assert tokenize("fetch http://example.com/page") == ["fetch", "http", "example.com/page"]
+
+    def test_sentence_ending_period_is_split(self):
+        assert tokenize("done. next step") == ["done", "next", "step"]
+
+    def test_period_inside_number_is_preserved(self):
+        assert tokenize("latency 3.14 seconds") == ["latency", "3.14", "seconds"]
+
+    def test_period_inside_hostname_is_preserved(self):
+        assert tokenize("host db01.example.com up") == ["host", "db01.example.com", "up"]
+
+    def test_slash_is_not_a_delimiter(self):
+        assert tokenize("path /var/log/syslog found") == ["path", "/var/log/syslog", "found"]
+
+    def test_empty_string_yields_no_tokens(self):
+        assert tokenize("") == []
+
+    def test_only_delimiters_yields_no_tokens(self):
+        assert tokenize("  ,;=()  ") == []
+
+    def test_wildcard_survives_tokenization_as_single_token(self):
+        assert tokenize(f"block {WILDCARD} deleted") == ["block", WILDCARD, "deleted"]
+
+    def test_wildcard_attached_to_text_stays_one_token(self):
+        assert tokenize(f"part-{WILDCARD} removed") == [f"part-{WILDCARD}", "removed"]
+
+    def test_no_whitespace_only_tokens(self):
+        tokens = tokenize("stage finished. elapsed 12 ms.")
+        assert all(token.strip() for token in tokens)
+
+    def test_tokenize_many_matches_tokenize(self):
+        lines = ["a=1 b=2", "done. ok", ""]
+        tokenizer = Tokenizer()
+        assert tokenizer.tokenize_many(lines) == [tokenizer.tokenize(line) for line in lines]
+
+
+class TestCustomPatterns:
+    def test_custom_pattern_is_used(self):
+        tokenizer = Tokenizer(r"[|]+")
+        assert tokenizer.tokenize("a|b||c d") == ["a", "b", "c d"]
+
+    def test_default_pattern_exposed(self):
+        assert Tokenizer().pattern == DEFAULT_TOKENIZER_PATTERN
+
+    @pytest.mark.parametrize(
+        "pattern",
+        [r"(?=foo)bar", r"(?!foo)bar", r"(?<=foo)bar", r"(?<!foo)bar", r"(a)\1", r"(?P<x>a)(?P=x)"],
+    )
+    def test_forbidden_constructs_rejected(self, pattern):
+        with pytest.raises(UnsafePatternError):
+            validate_user_pattern(pattern)
+
+    def test_forbidden_construct_rejected_at_construction(self):
+        with pytest.raises(UnsafePatternError):
+            Tokenizer(r"(?=lookahead)")
+
+    def test_invalid_regex_raises_re_error(self):
+        with pytest.raises(re.error):
+            validate_user_pattern(r"[unclosed")
+
+    def test_safe_pattern_passes_validation(self):
+        validate_user_pattern(r"[\s,;]+")

@@ -1,0 +1,113 @@
+"""Unit tests for the offline training phase (§3, §4.1-§4.7)."""
+
+import pytest
+
+from repro.core.config import WILDCARD, ByteBrainConfig
+from repro.core.trainer import OfflineTrainer, Preprocessor
+
+
+@pytest.fixture()
+def wakelock_corpus(wakelock_lines):
+    # Repeat the paper's wakelock lines with small variations so the trainer
+    # has enough volume to cluster.
+    lines = []
+    for i in range(40):
+        for line in wakelock_lines:
+            lines.append(line.replace("2337", str(1000 + i)).replace("1661", str(2000 + i)))
+    return lines
+
+
+class TestPreprocessor:
+    def test_masks_then_tokenizes(self):
+        preprocessor = Preprocessor(ByteBrainConfig())
+        tokens = preprocessor.process("Served block blk_123 to /10.0.0.1")
+        assert tokens == ("Served", "block", WILDCARD, "to", f"/{WILDCARD}")
+
+    def test_process_many_matches_process(self):
+        preprocessor = Preprocessor(ByteBrainConfig())
+        lines = ["a=1 b=2", "request 7 failed"]
+        assert preprocessor.process_many(lines) == [preprocessor.process(line) for line in lines]
+
+    def test_user_masking_rules_applied(self):
+        config = ByteBrainConfig(extra_masking_rules=(("sess", r"session-[a-z]+"),))
+        preprocessor = Preprocessor(config)
+        assert preprocessor.process("open session-abc now") == ("open", WILDCARD, "now")
+
+    def test_builtin_masking_can_be_disabled(self):
+        config = ByteBrainConfig(builtin_masking_enabled=False)
+        preprocessor = Preprocessor(config)
+        assert preprocessor.process("retried 17 times") == ("retried", "17", "times")
+
+
+class TestOfflineTrainer:
+    def test_training_produces_templates(self, wakelock_corpus):
+        result = OfflineTrainer().train(wakelock_corpus)
+        assert len(result.model) > 0
+        assert result.n_logs == len(wakelock_corpus)
+        assert result.n_unique <= result.n_logs
+        assert result.duration_seconds > 0
+
+    def test_acquire_and_release_get_distinct_templates(self, wakelock_corpus):
+        result = OfflineTrainer().train(wakelock_corpus)
+        texts = [t.text for t in result.model.templates()]
+        assert any(text.startswith("acquire") for text in texts)
+        assert any(text.startswith("release") for text in texts)
+        assert not any(text.startswith(WILDCARD) and "lock" not in text for text in texts)
+
+    def test_training_assignments_cover_every_unique_record(self, wakelock_corpus):
+        trainer = OfflineTrainer()
+        result = trainer.train(wakelock_corpus)
+        preprocessor = trainer.preprocessor
+        for line in wakelock_corpus[:20]:
+            tokens = preprocessor.process(line)
+            assert tokens in result.training_assignments
+            assert result.training_assignments[tokens] in result.model
+
+    def test_assigned_templates_match_their_records(self, wakelock_corpus):
+        trainer = OfflineTrainer()
+        result = trainer.train(wakelock_corpus)
+        for tokens, template_id in list(result.training_assignments.items())[:50]:
+            template = result.model.get(template_id)
+            assert template.matches(tokens)
+
+    def test_template_tree_structure_recorded(self, wakelock_corpus):
+        result = OfflineTrainer().train(wakelock_corpus)
+        roots = [t for t in result.model.templates() if t.parent_id is None]
+        children = [t for t in result.model.templates() if t.parent_id is not None]
+        assert roots
+        assert children
+        for template in children:
+            assert template.parent_id in result.model
+
+    def test_sampling_limits_training_volume(self):
+        config = ByteBrainConfig(training_sample_size=50)
+        lines = [f"job {i} finished in {i * 3} ms" for i in range(500)]
+        result = OfflineTrainer(config).train(lines)
+        assert result.n_logs == 50
+
+    def test_dedup_disabled_still_trains(self, wakelock_corpus):
+        config = ByteBrainConfig(deduplication_enabled=False)
+        result = OfflineTrainer(config).train(wakelock_corpus[:100])
+        assert len(result.model) > 0
+        assert result.n_unique == 100
+
+    def test_ordinal_encoding_records_dictionary_size(self, wakelock_corpus):
+        config = ByteBrainConfig(encoding="ordinal")
+        result = OfflineTrainer(config).train(wakelock_corpus)
+        assert result.model.dictionary_bytes > 0
+
+    def test_hash_encoding_has_no_dictionary(self, wakelock_corpus):
+        result = OfflineTrainer().train(wakelock_corpus)
+        assert result.model.dictionary_bytes == 0
+
+    def test_parallel_training_matches_sequential(self, wakelock_corpus):
+        sequential = OfflineTrainer(ByteBrainConfig(parallelism=1)).train(wakelock_corpus)
+        parallel = OfflineTrainer(ByteBrainConfig(parallelism=4)).train(wakelock_corpus)
+        assert {t.text for t in sequential.model.templates()} == {
+            t.text for t in parallel.model.templates()
+        }
+
+    def test_prefix_grouping_creates_more_groups(self, wakelock_corpus):
+        base = OfflineTrainer(ByteBrainConfig()).train(wakelock_corpus)
+        prefixed = OfflineTrainer(ByteBrainConfig(prefix_group_tokens=1)).train(wakelock_corpus)
+        assert prefixed.n_groups >= base.n_groups
