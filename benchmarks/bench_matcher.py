@@ -1,0 +1,250 @@
+"""Matching-engine throughput benchmark (machine-readable).
+
+Measures the online match phase (§4.8, the Fig. 6/7 hot path) on a
+fig06-style synthetic LogHub-2.0 corpus and emits ``BENCH_matcher.json``.
+
+Two sections are reported:
+
+* ``match_phase`` — pure matching throughput: every preprocessed token tuple
+  of the corpus (duplicates included, no dedup cache) is resolved to a
+  template id.  This isolates the engine itself and includes
+  ``seed_scalar``, a faithful re-implementation of the seed repository's
+  per-log path (uncached blake2b hashing + dense comparison against every
+  same-length template), which is the "before" number.
+* ``end_to_end`` — ``OnlineMatcher.match_many`` over raw lines, i.e.
+  preprocessing + two-level dedup + matching, per engine knob: batch
+  (default), 4-thread shards, pruning off, scalar, and jit off
+  (*ByteBrain w/o JIT*, pure-Python probing).
+
+Every engine is cross-checked to return identical template ids.  Run from
+the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_matcher.py [--n-logs 120000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import hashing
+from repro.core.config import WILDCARD, ByteBrainConfig
+from repro.core.matcher import TemplateMatchIndex, OnlineMatcher
+from repro.core.model import ParserModel
+from repro.core.parallel import chunk_ranges, map_parallel
+from repro.core.trainer import OfflineTrainer
+from repro.datasets.catalog import SYSTEM_SPECS
+from repro.datasets.synthetic import SyntheticLogGenerator
+
+DEFAULT_N_LOGS = 120_000
+
+
+class SeedScalarIndex:
+    """The seed repository's match path, reproduced for the "before" number.
+
+    One ``np.fromiter`` of *uncached* blake2b hashes per log, then a dense
+    vectorised comparison against every template of that length — no shared
+    hash cache, no candidate pruning, no batching.
+    """
+
+    def __init__(self, model: ParserModel) -> None:
+        self._by_length: Dict[int, Tuple[np.ndarray, np.ndarray, List[int]]] = {}
+        per_length: Dict[int, List] = {}
+        for template in model.templates():
+            per_length.setdefault(template.n_tokens, []).append(template)
+        for length, templates in per_length.items():
+            if length == 0:
+                continue
+            templates.sort(key=lambda t: (-t.saturation, t.template_id))
+            codes = np.zeros((len(templates), length), dtype=np.uint64)
+            wildcard_mask = np.zeros((len(templates), length), dtype=bool)
+            ids: List[int] = []
+            for row, template in enumerate(templates):
+                ids.append(template.template_id)
+                for pos, token in enumerate(template.tokens):
+                    if token == WILDCARD:
+                        wildcard_mask[row, pos] = True
+                    else:
+                        codes[row, pos] = hashing.hash_token_uncached(token)
+            self._by_length[length] = (codes, wildcard_mask, ids)
+
+    def match(self, tokens: Sequence[str]) -> Optional[int]:
+        entry = self._by_length.get(len(tokens))
+        if entry is None:
+            return None
+        codes, wildcard_mask, ids = entry
+        encoded = np.fromiter(
+            (hashing.hash_token_uncached(token) for token in tokens),
+            dtype=np.uint64,
+            count=len(tokens),
+        )
+        hits = ((codes == encoded) | wildcard_mask).all(axis=1)
+        index = int(np.argmax(hits))
+        if not hits[index]:
+            return None
+        return ids[index]
+
+
+def build_corpus(n_logs: int, system: str = "Spark") -> List[str]:
+    """Fig. 6-style synthetic LogHub-2.0 corpus (heavy Zipf duplication)."""
+    generator = SyntheticLogGenerator(SYSTEM_SPECS[system])
+    return generator.generate(n_logs=n_logs, variant="loghub2").lines
+
+
+def _timed(fn) -> Tuple[float, object]:
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+def measure_match_phase(
+    model: ParserModel, tuples: List[Tuple[str, ...]], block_bytes: int
+) -> Tuple[Dict[str, Dict[str, object]], Dict[str, List[Optional[int]]]]:
+    """Pure matching throughput over every token tuple of the corpus."""
+    index = TemplateMatchIndex(model)
+    seed_index = SeedScalarIndex(model)
+    n = len(tuples)
+
+    def batch_parallel(parallelism: int) -> List[Optional[int]]:
+        shards = chunk_ranges(n, parallelism)
+        parts = map_parallel(
+            lambda bounds: index.match_batch(
+                tuples[bounds[0] : bounds[1]], block_bytes=block_bytes
+            ),
+            shards,
+            parallelism,
+        )
+        return [tid for part in parts for tid in part]
+
+    engines = {
+        "seed_scalar": lambda: [seed_index.match(t) for t in tuples],
+        "scalar": lambda: [index.match(t) for t in tuples],
+        "batch": lambda: index.match_batch(tuples, block_bytes=block_bytes),
+        "batch_no_pruning": lambda: index.match_batch(
+            tuples, block_bytes=block_bytes, prune=False
+        ),
+        "batch_parallel4": lambda: batch_parallel(4),
+    }
+    results: Dict[str, Dict[str, object]] = {}
+    ids_by_engine: Dict[str, List[Optional[int]]] = {}
+    for name, engine in engines.items():
+        seconds, ids = _timed(engine)
+        ids_by_engine[name] = ids
+        results[name] = {
+            "seconds": round(seconds, 4),
+            "logs_per_second": round(n / seconds) if seconds > 0 else None,
+        }
+    return results, ids_by_engine
+
+
+def measure_end_to_end(
+    model_json: str, preprocessor, lines: List[str]
+) -> Tuple[Dict[str, Dict[str, object]], Dict[str, List[int]]]:
+    """Full ``match_many`` (preprocess + dedup + match) per engine knob."""
+    modes = {
+        "batch": {},
+        "batch_parallel4": {"parallelism": 4},
+        "batch_no_pruning": {"candidate_pruning_enabled": False},
+        "scalar": {"batch_matching_enabled": False},
+        # Pure-Python template probing (*ByteBrain w/o JIT*); viable here
+        # because dedup collapses the corpus before matching.
+        "scalar_no_jit": {"batch_matching_enabled": False, "jit_enabled": False},
+    }
+    results: Dict[str, Dict[str, object]] = {}
+    ids_by_mode: Dict[str, List[int]] = {}
+    for mode, overrides in modes.items():
+        # A fresh model per mode keeps temporary-template ids comparable.
+        model = ParserModel.from_json(model_json)
+        matcher = OnlineMatcher(
+            model, config=ByteBrainConfig(**overrides), preprocessor=preprocessor
+        )
+        seconds, matched = _timed(lambda: matcher.match_many(lines))
+        ids_by_mode[mode] = [r.template_id for r in matched]
+        results[mode] = {
+            "seconds": round(seconds, 4),
+            "logs_per_second": round(len(lines) / seconds) if seconds > 0 else None,
+        }
+    return results, ids_by_mode
+
+
+def run(n_logs: int = DEFAULT_N_LOGS, output: Optional[Path] = None) -> Dict[str, object]:
+    lines = build_corpus(n_logs)
+    config = ByteBrainConfig()
+    trainer = OfflineTrainer(config)
+    training = trainer.train(lines)
+    model_json = training.model.to_json()
+
+    tuples = [
+        tokens if tokens else ("<empty>",)
+        for tokens in trainer.preprocessor.process_many(lines)
+    ]
+
+    match_phase, ids_by_engine = measure_match_phase(
+        ParserModel.from_json(model_json), tuples, config.match_block_bytes
+    )
+    reference = ids_by_engine["seed_scalar"]
+    for name, ids in ids_by_engine.items():
+        if ids != reference:
+            raise AssertionError(f"engine {name!r} diverged from the seed scalar path")
+
+    end_to_end, ids_by_mode = measure_end_to_end(model_json, trainer.preprocessor, lines)
+    mode_reference = ids_by_mode["batch"]
+    for name, ids in ids_by_mode.items():
+        if ids != mode_reference:
+            raise AssertionError(f"mode {name!r} diverged from the batch engine")
+
+    batch_tp = match_phase["batch"]["logs_per_second"]
+    speedups = {
+        f"batch_vs_{name}": round(batch_tp / data["logs_per_second"], 2)
+        for name, data in match_phase.items()
+        if name != "batch" and data["logs_per_second"]
+    }
+
+    report: Dict[str, object] = {
+        "benchmark": "bench_matcher",
+        "corpus": {
+            "system": "Spark",
+            "variant": "loghub2",
+            "n_logs": len(lines),
+            "n_unique_tuples": len(set(tuples)),
+            "n_templates_trained": len(training.model),
+        },
+        "train_seconds": round(training.duration_seconds, 2),
+        "hash_cache_tokens": hashing.cache_info()["n_tokens"],
+        "match_phase": match_phase,
+        "match_phase_speedups": speedups,
+        "end_to_end": end_to_end,
+    }
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-logs", type=int, default=DEFAULT_N_LOGS)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent / "BENCH_matcher.json",
+    )
+    args = parser.parse_args()
+    report = run(n_logs=args.n_logs, output=args.output)
+    print(f"corpus: {report['corpus']}")
+    print("match phase (tuples -> template ids):")
+    for name, data in report["match_phase"].items():
+        print(f"  {name:>18}: {data['logs_per_second']:>10} logs/s")
+    print(f"speedups: {report['match_phase_speedups']}")
+    print("end to end (match_many):")
+    for name, data in report["end_to_end"].items():
+        print(f"  {name:>18}: {data['logs_per_second']:>10} logs/s")
+    print(f"written: {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -106,6 +106,19 @@ class ByteBrainConfig:
     #: Insert unmatched online logs as temporary templates (§3 online
     #: matching) so the next training round can learn them.
     insert_unmatched_as_temporary: bool = True
+    #: Resolve whole batches with length-bucketed broadcast comparisons
+    #: instead of one vectorised comparison per log.  Disabling reproduces
+    #: the scalar per-record match path (benchmark knob).
+    batch_matching_enabled: bool = True
+    #: Prune match candidates with the per-length first-constant-token
+    #: inverted index; templates whose first position is a wildcard form a
+    #: small always-checked residue.  Disabling compares every log against
+    #: every same-length template (benchmark knob).
+    candidate_pruning_enabled: bool = True
+    #: Upper bound (bytes) on the boolean intermediate of one broadcast
+    #: comparison block; batches larger than this are processed in chunks so
+    #: memory stays flat regardless of batch size.
+    match_block_bytes: int = 32 * 1024 * 1024
 
     # ------------------------------------------------------------------ #
     # Execution model (§3 "Parallel", §5.3)
@@ -150,6 +163,8 @@ class ByteBrainConfig:
             raise ValueError("model_merge_similarity must be in [0, 1]")
         if self.training_sample_size is not None and self.training_sample_size < 1:
             raise ValueError("training_sample_size must be >= 1 or None")
+        if self.match_block_bytes < 4096:
+            raise ValueError("match_block_bytes must be >= 4096")
 
     def replace(self, **changes) -> "ByteBrainConfig":
         """Return a copy of the config with ``changes`` applied."""

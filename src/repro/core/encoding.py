@@ -15,13 +15,13 @@ operate on integers instead of strings.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import math
-import struct
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
+
+from repro.core.hashing import encode_unique_batch, hash_token, hash_tokens
 
 __all__ = [
     "TokenEncoder",
@@ -31,20 +31,6 @@ __all__ = [
     "collision_probability",
     "make_encoder",
 ]
-
-_UINT64_MASK = (1 << 64) - 1
-
-
-def hash_token(token: str) -> int:
-    """Deterministic 64-bit hash of a token.
-
-    Uses the first 8 bytes of blake2b, which is stable across processes and
-    Python versions (unlike the built-in ``hash``), exactly the property the
-    paper needs so that offline training and online matching agree without a
-    shared dictionary.
-    """
-    digest = hashlib.blake2b(token.encode("utf-8", "surrogatepass"), digest_size=8).digest()
-    return struct.unpack("<Q", digest)[0] & _UINT64_MASK
 
 
 def collision_probability(n_distinct_tokens: int, bits: int = 64) -> float:
@@ -76,23 +62,21 @@ class TokenEncoder:
 
 
 class HashEncoder(TokenEncoder):
-    """Stateless 64-bit hash encoding (the paper's method)."""
+    """Stateless 64-bit hash encoding (the paper's method).
+
+    All instances share the process-wide token-hash cache of
+    :mod:`repro.core.hashing`, so training, re-training and online matching
+    each pay blake2b at most once per distinct token.
+    """
 
     name = "hash"
 
-    def __init__(self) -> None:
-        self._cache: Dict[str, int] = {}
-
     def encode_tokens(self, tokens: Sequence[str]) -> np.ndarray:
-        cache = self._cache
-        values = np.empty(len(tokens), dtype=np.uint64)
-        for i, token in enumerate(tokens):
-            value = cache.get(token)
-            if value is None:
-                value = hash_token(token)
-                cache[token] = value
-            values[i] = value
-        return values
+        return hash_tokens(tokens)
+
+    def encode_batch(self, token_lists: Sequence[Sequence[str]]) -> List[np.ndarray]:
+        """Encode a corpus, hashing each distinct token exactly once."""
+        return encode_unique_batch(token_lists)
 
     def dictionary_size_bytes(self) -> int:
         """Hash encoding stores no dictionary at all."""

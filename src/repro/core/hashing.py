@@ -1,0 +1,125 @@
+"""Shared token-hash cache used by every layer that hashes tokens (§4.1.4).
+
+Hash encoding maps each token to a deterministic 64-bit blake2b prefix.  The
+hash of a token never changes, so there is no reason for the trainer, the
+:class:`~repro.core.encoding.HashEncoder` and the online match index to each
+re-hash the same tokens: this module holds ONE process-wide ``str -> uint64``
+memo shared by all of them.  On real log streams the distinct-token count is
+tiny compared to the token count (Fig. 4 duplication), so after warm-up the
+hot matching path never touches blake2b at all.
+
+The cache is append-only and unsynchronised by design: concurrent writers can
+only ever race to store the *same* value under the same key, which is safe
+under the GIL, and readers see either a hit or recompute the identical value.
+A soft cap bounds memory on pathological vocabularies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "hash_token_uncached",
+    "hash_token",
+    "hash_tokens",
+    "encode_unique_batch",
+    "pack_hash_matrix",
+    "cache_info",
+    "clear_cache",
+]
+
+_UINT64_MASK = (1 << 64) - 1
+
+#: Soft cap on memoised tokens; when exceeded the cache is reset wholesale.
+#: 4M entries is roughly 500 MB worst case — far beyond any vocabulary the
+#: paper's corpora produce (§4.1.4 sizes collision risk at 10M tokens).
+_MAX_CACHE_TOKENS = 4_000_000
+
+_CACHE: Dict[str, int] = {}
+
+
+def hash_token_uncached(token: str) -> int:
+    """Deterministic 64-bit hash of a token (no memoisation).
+
+    Uses the first 8 bytes of blake2b, which is stable across processes and
+    Python versions (unlike the built-in ``hash``), exactly the property the
+    paper needs so that offline training and online matching agree without a
+    shared dictionary.
+    """
+    digest = hashlib.blake2b(token.encode("utf-8", "surrogatepass"), digest_size=8).digest()
+    return struct.unpack("<Q", digest)[0] & _UINT64_MASK
+
+
+def hash_token(token: str) -> int:
+    """Memoised :func:`hash_token_uncached` backed by the shared cache."""
+    value = _CACHE.get(token)
+    if value is None:
+        if len(_CACHE) >= _MAX_CACHE_TOKENS:
+            _CACHE.clear()
+        value = hash_token_uncached(token)
+        _CACHE[token] = value
+    return value
+
+
+def hash_tokens(tokens: Sequence[str]) -> np.ndarray:
+    """Hash one token sequence into a 1-D ``uint64`` array via the cache."""
+    values = np.empty(len(tokens), dtype=np.uint64)
+    cache = _CACHE
+    for i, token in enumerate(tokens):
+        value = cache.get(token)
+        if value is None:
+            value = hash_token(token)
+        values[i] = value
+    return values
+
+
+def encode_unique_batch(token_lists: Sequence[Sequence[str]]) -> List[np.ndarray]:
+    """Hash a whole corpus, touching blake2b once per *distinct* token.
+
+    One cache-mediated pass: the first occurrence of a token hashes and
+    memoises it, every later occurrence is a dict hit.  The cap is applied
+    once up front so the cache cannot be reset mid-batch (the cap is soft —
+    a single batch with more distinct tokens than the cap may overshoot it).
+    This is the batch counterpart of :func:`hash_tokens` and the encoding
+    primitive of the vectorised match engine.
+    """
+    if len(_CACHE) >= _MAX_CACHE_TOKENS:
+        _CACHE.clear()
+    return [hash_tokens(tokens) for tokens in token_lists]
+
+
+def pack_hash_matrix(token_lists: Sequence[Sequence[str]], length: int) -> np.ndarray:
+    """Pack equal-length token sequences into one ``(n, length)`` matrix.
+
+    All sequences must have exactly ``length`` tokens; the result is the
+    dense operand of the batched broadcast comparison in
+    :meth:`~repro.core.matcher.TemplateMatchIndex.match_batch`.
+    """
+    n = len(token_lists)
+    cache = _CACHE
+    flat = np.empty(n * length, dtype=np.uint64)
+    pos = 0
+    for tokens in token_lists:
+        if len(tokens) != length:
+            raise ValueError(f"expected {length} tokens, got {len(tokens)}")
+        for token in tokens:
+            value = cache.get(token)
+            if value is None:
+                value = hash_token(token)
+            flat[pos] = value
+            pos += 1
+    return flat.reshape(n, length)
+
+
+def cache_info() -> Dict[str, int]:
+    """Size statistics of the shared cache (benchmarks / debugging)."""
+    return {"n_tokens": len(_CACHE), "max_tokens": _MAX_CACHE_TOKENS}
+
+
+def clear_cache() -> None:
+    """Reset the shared cache (tests and cold-start benchmarking)."""
+    _CACHE.clear()

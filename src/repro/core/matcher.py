@@ -6,6 +6,18 @@ first — rather than by re-computing clustering distances.  Logs that match
 no template become temporary single-log templates so they are queryable
 immediately and get folded into the model at the next training cycle.
 
+The hot path is a **batched vectorised engine**:
+
+* token hashes come from the process-wide cache in :mod:`repro.core.hashing`
+  (each distinct token is hashed once per process, shared with training),
+* :meth:`TemplateMatchIndex.match_batch` buckets logs by token count, packs
+  each bucket into one ``(n_logs, length)`` ``uint64`` matrix and resolves
+  it with blocked broadcast comparisons against the template code matrix,
+* a per-length **first-constant-token inverted index** prunes the candidate
+  templates for each log to those sharing its leading token (templates whose
+  first position is a wildcard form a small always-checked residue), turning
+  the O(templates) scan into a near-O(candidates) probe.
+
 The ablation variant *w/ naive match* instead reuses the template assignment
 the log received during training clustering (falling back to text matching
 only for unseen logs).
@@ -19,26 +31,106 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.config import WILDCARD, ByteBrainConfig
-from repro.core.encoding import hash_token
+from repro.core.hashing import hash_tokens, pack_hash_matrix
 from repro.core.model import ParserModel, Template
-from repro.core.parallel import chunk, map_parallel
+from repro.core.parallel import chunk_ranges, map_parallel
 from repro.core.trainer import Preprocessor
 
 __all__ = ["MatchResult", "OnlineMatcher", "TemplateMatchIndex"]
+
+#: Default bound on the boolean intermediate of one broadcast block; kept in
+#: sync with :attr:`ByteBrainConfig.match_block_bytes`.
+DEFAULT_MATCH_BLOCK_BYTES = 32 * 1024 * 1024
+
+
+class _LengthBucket:
+    """Packed templates of one token count plus the anchor inverted index.
+
+    ``codes``/``wildcard_mask`` rows are ordered by descending saturation
+    (ties broken by template id), so the *first* matching row is always the
+    answer — both the scalar and the batched path exploit that by taking the
+    lowest matching row index.
+    """
+
+    __slots__ = (
+        "codes",
+        "wildcard_mask",
+        "ids",
+        "anchor_rows",
+        "residue_rows",
+        "n_rows",
+        "_residue_premerged",
+    )
+
+    #: Above this many precomputed (anchor, residue-copy) entries the residue
+    #: is merged lazily per lookup instead, bounding index build memory.
+    _MAX_PREMERGED_ENTRIES = 4_000_000
+
+    def __init__(self, templates: List[Template]) -> None:
+        length = templates[0].n_tokens
+        self.n_rows = len(templates)
+        self.codes = np.zeros((self.n_rows, length), dtype=np.uint64)
+        self.wildcard_mask = np.zeros((self.n_rows, length), dtype=bool)
+        self.ids = np.empty(self.n_rows, dtype=np.int64)
+        residue: List[int] = []
+        by_anchor: Dict[int, List[int]] = {}
+        for row, template in enumerate(templates):
+            self.ids[row] = template.template_id
+            encoded = hash_tokens(template.tokens)
+            wild = np.fromiter(
+                (token == WILDCARD for token in template.tokens), dtype=bool, count=length
+            )
+            encoded[wild] = 0
+            self.codes[row] = encoded
+            self.wildcard_mask[row] = wild
+            if wild[0]:
+                residue.append(row)
+            else:
+                by_anchor.setdefault(int(encoded[0]), []).append(row)
+        self.residue_rows = np.asarray(residue, dtype=np.intp)
+        # Merge the residue into every anchor's candidate list up front so a
+        # lookup is a single dict probe returning saturation-ordered rows —
+        # unless that would copy a large residue under many anchors, in
+        # which case the merge happens lazily per lookup.
+        self._residue_premerged = (
+            len(by_anchor) * self.residue_rows.size <= self._MAX_PREMERGED_ENTRIES
+        )
+        if self._residue_premerged and self.residue_rows.size:
+            self.anchor_rows: Dict[int, np.ndarray] = {
+                anchor: np.sort(
+                    np.concatenate([np.asarray(rows, dtype=np.intp), self.residue_rows])
+                )
+                for anchor, rows in by_anchor.items()
+            }
+        else:
+            self.anchor_rows = {
+                anchor: np.asarray(rows, dtype=np.intp) for anchor, rows in by_anchor.items()
+            }
+
+    def candidates(self, anchor_hash: int, prune: bool) -> np.ndarray:
+        """Saturation-ordered candidate rows for one leading-token hash."""
+        if not prune:
+            return np.arange(self.n_rows, dtype=np.intp)
+        rows = self.anchor_rows.get(anchor_hash)
+        if rows is None:
+            return self.residue_rows
+        if self._residue_premerged or not self.residue_rows.size:
+            return rows
+        return np.sort(np.concatenate([rows, self.residue_rows]))
 
 
 class TemplateMatchIndex:
     """Vectorised position-based template matching (§4.8).
 
     For every token count the index holds a matrix of the templates' hashed
-    constant tokens plus a wildcard mask, ordered by descending saturation.
-    Matching one log is then a single vectorised comparison instead of a
-    Python loop over templates — the same trick the paper attributes to its
-    JIT-compiled matcher.
+    constant tokens plus a wildcard mask, ordered by descending saturation,
+    and an inverted index from first-constant-token hash to candidate rows.
+    Single logs resolve with one vectorised comparison; whole batches with
+    :meth:`match_batch`'s blocked broadcasting.
     """
 
     def __init__(self, model: ParserModel) -> None:
-        self._by_length: Dict[int, Tuple[np.ndarray, np.ndarray, List[int]]] = {}
+        self._by_length: Dict[int, _LengthBucket] = {}
         self._build(model)
 
     def _build(self, model: ParserModel) -> None:
@@ -46,33 +138,120 @@ class TemplateMatchIndex:
         for template in model.templates():
             per_length.setdefault(template.n_tokens, []).append(template)
         for length, templates in per_length.items():
-            templates.sort(key=lambda t: (-t.saturation, t.template_id))
             if length == 0:
                 continue
-            codes = np.zeros((len(templates), length), dtype=np.uint64)
-            wildcard_mask = np.zeros((len(templates), length), dtype=bool)
-            ids: List[int] = []
-            for row, template in enumerate(templates):
-                ids.append(template.template_id)
-                for pos, token in enumerate(template.tokens):
-                    if token == WILDCARD:
-                        wildcard_mask[row, pos] = True
-                    else:
-                        codes[row, pos] = hash_token(token)
-            self._by_length[length] = (codes, wildcard_mask, ids)
+            templates.sort(key=lambda t: (-t.saturation, t.template_id))
+            self._by_length[length] = _LengthBucket(templates)
 
-    def match(self, tokens: Sequence[str]) -> Optional[int]:
+    # ------------------------------------------------------------------ #
+    # scalar path
+    # ------------------------------------------------------------------ #
+    def match(self, tokens: Sequence[str], prune: bool = True) -> Optional[int]:
         """Template id of the most saturated matching template, or ``None``."""
-        entry = self._by_length.get(len(tokens))
-        if entry is None:
+        bucket = self._by_length.get(len(tokens))
+        if bucket is None:
             return None
-        codes, wildcard_mask, ids = entry
-        encoded = np.fromiter((hash_token(token) for token in tokens), dtype=np.uint64, count=len(tokens))
-        hits = ((codes == encoded) | wildcard_mask).all(axis=1)
+        encoded = hash_tokens(tokens)
+        rows = bucket.candidates(int(encoded[0]), prune)
+        if rows.size == 0:
+            return None
+        hits = ((bucket.codes[rows] == encoded) | bucket.wildcard_mask[rows]).all(axis=1)
         index = int(np.argmax(hits))
         if not hits[index]:
             return None
-        return ids[index]
+        return int(bucket.ids[rows[index]])
+
+    # ------------------------------------------------------------------ #
+    # batched path
+    # ------------------------------------------------------------------ #
+    def match_batch(
+        self,
+        token_tuples: Sequence[Tuple[str, ...]],
+        block_bytes: int = DEFAULT_MATCH_BLOCK_BYTES,
+        prune: bool = True,
+    ) -> List[Optional[int]]:
+        """Match a batch of token tuples; returns one template id (or
+        ``None``) per input, in input order.
+
+        Tuples are bucketed by token count, packed into dense ``uint64``
+        matrices, grouped by their leading-token hash against the inverted
+        index, and each candidate set is resolved with a broadcast comparison
+        processed in blocks of at most ``block_bytes`` of boolean
+        intermediate, so memory stays flat for arbitrarily large batches.
+        """
+        results: List[Optional[int]] = [None] * len(token_tuples)
+        by_length: Dict[int, List[int]] = {}
+        for position, tokens in enumerate(token_tuples):
+            by_length.setdefault(len(tokens), []).append(position)
+
+        for length, positions in by_length.items():
+            bucket = self._by_length.get(length)
+            if bucket is None:
+                continue
+            logs = pack_hash_matrix([token_tuples[p] for p in positions], length)
+            if prune:
+                self._resolve_pruned(bucket, logs, positions, results, block_bytes)
+            else:
+                rows = np.arange(bucket.n_rows, dtype=np.intp)
+                log_indices = np.arange(len(positions), dtype=np.intp)
+                self._resolve_rows(bucket, rows, logs, log_indices, positions, results, block_bytes)
+        return results
+
+    def _resolve_pruned(
+        self,
+        bucket: _LengthBucket,
+        logs: np.ndarray,
+        positions: List[int],
+        results: List[Optional[int]],
+        block_bytes: int,
+    ) -> None:
+        """Group a packed log matrix by leading-token hash and resolve each
+        group against only its candidate template rows."""
+        anchors, inverse = np.unique(logs[:, 0], return_inverse=True)
+        order = np.argsort(inverse, kind="stable")
+        starts = np.searchsorted(inverse[order], np.arange(anchors.size))
+        ends = np.append(starts[1:], order.size)
+        for group in range(anchors.size):
+            rows = bucket.candidates(int(anchors[group]), prune=True)
+            if rows.size == 0:
+                continue
+            log_indices = order[starts[group] : ends[group]]
+            self._resolve_rows(bucket, rows, logs, log_indices, positions, results, block_bytes)
+
+    @staticmethod
+    def _resolve_rows(
+        bucket: _LengthBucket,
+        rows: np.ndarray,
+        logs: np.ndarray,
+        log_indices: np.ndarray,
+        positions: List[int],
+        results: List[Optional[int]],
+        block_bytes: int,
+    ) -> None:
+        """Broadcast-compare ``logs[log_indices]`` against template ``rows``.
+
+        The comparison materialises a ``(block, n_rows, length)`` boolean
+        intermediate, so the log axis is processed in blocks sized to keep
+        that intermediate under ``block_bytes``.
+        """
+        length = logs.shape[1]
+        codes = bucket.codes[rows][None, :, :]
+        mask = bucket.wildcard_mask[rows][None, :, :]
+        per_log_bytes = max(1, rows.size * length)
+        block = max(1, block_bytes // per_log_bytes)
+        for start in range(0, log_indices.size, block):
+            chunk_indices = log_indices[start : start + block]
+            block_logs = logs[chunk_indices][:, None, :]
+            # In-place OR keeps the peak at one boolean intermediate, so the
+            # configured block_bytes really is the transient memory bound.
+            eq = codes == block_logs
+            eq |= mask
+            hits = eq.all(axis=2)
+            first = hits.argmax(axis=1)
+            matched = hits[np.arange(first.size), first]
+            for local, log_index in enumerate(chunk_indices):
+                if matched[local]:
+                    results[positions[int(log_index)]] = int(bucket.ids[rows[first[local]]])
 
 
 @dataclass
@@ -133,8 +312,10 @@ class OnlineMatcher:
             cached = self._cache.get(tokens)
             if cached is not None:
                 return MatchResult(template_id=cached, template=self.model.get(cached))
+        return self._finish(tokens, self._lookup(tokens))
 
-        template = self._lookup(tokens)
+    def _finish(self, tokens: Tuple[str, ...], template: Optional[Template]) -> MatchResult:
+        """Turn a lookup outcome into a result, inserting a temporary on miss."""
         is_new = False
         if template is None:
             if self.config.insert_unmatched_as_temporary:
@@ -162,7 +343,7 @@ class OnlineMatcher:
             if assigned is not None and assigned in self.model:
                 return self.model.get(assigned)
         if self._index is not None:
-            template_id = self._index.match(tokens)
+            template_id = self._index.match(tokens, prune=self.config.candidate_pruning_enabled)
             if template_id is not None:
                 return self.model.get(template_id)
             temporary_id = self._temporary.get(tokens)
@@ -179,17 +360,24 @@ class OnlineMatcher:
 
         The batch is preprocessed, deduplicated (the online counterpart of
         §4.1.3 — duplicate records are matched once) and the distinct token
-        tuples are matched, optionally sharded across ``parallelism`` worker
-        threads since template-id computation is independent per log (§3
-        "Online Matching").  Temporary-template insertion stays
-        single-threaded to avoid concurrent model mutation.
+        tuples are resolved through the batched index engine, optionally
+        sharded across ``parallelism`` worker threads — the shards are NumPy
+        broadcast blocks that release the GIL, so threads scale (§3 "Online
+        Matching").  Temporary-template insertion stays single-threaded to
+        avoid concurrent model mutation.
         """
         if not raw_logs:
             return []
         if not self.config.deduplication_enabled:
             token_lists = self.preprocessor.process_many(raw_logs)
             token_lists = [tokens if tokens else ("<empty>",) for tokens in token_lists]
-            return [self.match_tokens(tokens) for tokens in token_lists]
+            lookups = self._lookup_pending(token_lists, list(range(len(token_lists))))
+            return [
+                self.match_tokens(tokens)
+                if lookups[idx] is None
+                else MatchResult(template_id=lookups[idx], template=self.model.get(lookups[idx]))
+                for idx, tokens in enumerate(token_lists)
+            ]
 
         # Raw-level deduplication first: identical raw records (bursts,
         # health checks, retries) skip preprocessing entirely.
@@ -221,11 +409,27 @@ class OnlineMatcher:
             token_inverse.append(idx)
 
         unique_results = self._match_unique(unique_order)
-        return [unique_results[token_inverse[raw_idx]] for raw_idx in raw_inverse]
+        # Expand unique results back to records.  A newly created temporary
+        # template is "new" only for the first record that produced it —
+        # duplicates must report is_new_template=False, exactly like the
+        # per-record path (where they hit the dedup cache).
+        emitted: set = set()
+        expanded: List[MatchResult] = []
+        for raw_idx in raw_inverse:
+            unique_idx = token_inverse[raw_idx]
+            result = unique_results[unique_idx]
+            if result.is_new_template:
+                if unique_idx in emitted:
+                    result = MatchResult(
+                        template_id=result.template_id, template=result.template
+                    )
+                else:
+                    emitted.add(unique_idx)
+            expanded.append(result)
+        return expanded
 
     def _match_unique(self, unique_tokens: List[Tuple[str, ...]]) -> List[MatchResult]:
         """Match each distinct token tuple exactly once."""
-        parallelism = self.config.parallelism
         results: List[Optional[MatchResult]] = [None] * len(unique_tokens)
 
         pending: List[int] = []
@@ -236,29 +440,85 @@ class OnlineMatcher:
             else:
                 pending.append(idx)
 
-        if parallelism > 1 and len(pending) >= 2 * parallelism:
-            shards = chunk(pending, parallelism)
+        lookups = self._lookup_pending(unique_tokens, pending)
 
-            def match_shard(indices: List[int]) -> List[Tuple[int, Optional[int]]]:
-                return [
-                    (idx, self._lookup_id(unique_tokens[idx]))
-                    for idx in indices
-                ]
-
-            shard_results = map_parallel(match_shard, shards, parallelism)
-            lookups = {idx: template_id for shard in shard_results for idx, template_id in shard}
-        else:
-            lookups = {idx: self._lookup_id(unique_tokens[idx]) for idx in pending}
-
+        batch_resolved = (
+            self._index is not None
+            and self.config.batch_matching_enabled
+            and self.config.matching_strategy != "naive"
+        )
         for idx in pending:
             template_id = lookups[idx]
             tokens = unique_tokens[idx]
             if template_id is None:
-                results[idx] = self.match_tokens(tokens)
+                if batch_resolved:
+                    # The batch engine already probed the trained index; only
+                    # the temporary side dictionary and temporary insertion
+                    # remain (single-threaded model mutation).
+                    temporary_id = self._temporary.get(tokens)
+                    template = self.model.get(temporary_id) if temporary_id is not None else None
+                    results[idx] = self._finish(tokens, template)
+                else:
+                    results[idx] = self.match_tokens(tokens)
             else:
                 self._cache[tokens] = template_id
                 results[idx] = MatchResult(template_id=template_id, template=self.model.get(template_id))
-        return [result for result in results if result is not None]
+        # Every slot is filled above (cached or pending); a None would mean
+        # the result/position alignment is corrupt, which match_many would
+        # silently propagate into wrong per-record template ids.
+        if any(result is None for result in results):
+            raise RuntimeError("internal error: unmatched slot in _match_unique results")
+        return results  # type: ignore[return-value]
+
+    def _lookup_pending(
+        self, unique_tokens: List[Tuple[str, ...]], pending: List[int]
+    ) -> Dict[int, Optional[int]]:
+        """Resolve pending tuples to trained template ids (or ``None``).
+
+        Uses the batched engine when enabled; shards are contiguous blocks
+        handed to :meth:`TemplateMatchIndex.match_batch`, whose broadcast
+        kernels release the GIL, so thread-parallelism operates on NumPy
+        blocks instead of per-tuple Python calls.
+        """
+        if not pending:
+            return {}
+        parallelism = self.config.parallelism
+        use_batch = (
+            self._index is not None
+            and self.config.batch_matching_enabled
+            and self.config.matching_strategy != "naive"
+        )
+        if use_batch:
+            pending_tokens = [unique_tokens[idx] for idx in pending]
+            prune = self.config.candidate_pruning_enabled
+            block_bytes = self.config.match_block_bytes
+            if parallelism > 1 and len(pending) >= 2 * parallelism:
+                shards = chunk_ranges(len(pending_tokens), parallelism)
+
+                def match_shard(bounds: Tuple[int, int]) -> List[Optional[int]]:
+                    start, end = bounds
+                    return self._index.match_batch(
+                        pending_tokens[start:end], block_bytes=block_bytes, prune=prune
+                    )
+
+                shard_ids = map_parallel(match_shard, shards, parallelism)
+                ids: List[Optional[int]] = [tid for shard in shard_ids for tid in shard]
+            else:
+                ids = self._index.match_batch(pending_tokens, block_bytes=block_bytes, prune=prune)
+            return dict(zip(pending, ids))
+
+        if parallelism > 1 and len(pending) >= 2 * parallelism:
+            shards = chunk_ranges(len(pending), parallelism)
+
+            def match_scalar_shard(bounds: Tuple[int, int]) -> List[Tuple[int, Optional[int]]]:
+                start, end = bounds
+                return [
+                    (idx, self._lookup_id(unique_tokens[idx])) for idx in pending[start:end]
+                ]
+
+            shard_results = map_parallel(match_scalar_shard, shards, parallelism)
+            return {idx: template_id for shard in shard_results for idx, template_id in shard}
+        return {idx: self._lookup_id(unique_tokens[idx]) for idx in pending}
 
     def _lookup_id(self, tokens: Tuple[str, ...]) -> Optional[int]:
         template = self._lookup(tokens)

@@ -10,9 +10,9 @@ simple.  ``parallelism == 1`` reproduces *ByteBrain Sequential*.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, List, Sequence, TypeVar
+from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
 
-__all__ = ["map_parallel", "chunk"]
+__all__ = ["map_parallel", "chunk", "chunk_ranges"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -32,14 +32,28 @@ def map_parallel(fn: Callable[[T], R], items: Sequence[T], parallelism: int = 1)
 
 def chunk(items: Sequence[T], n_chunks: int) -> List[List[T]]:
     """Split ``items`` into at most ``n_chunks`` contiguous, near-equal parts."""
-    if n_chunks <= 1 or len(items) <= 1:
-        return [list(items)]
-    n_chunks = min(n_chunks, len(items))
-    size, remainder = divmod(len(items), n_chunks)
-    chunks: List[List[T]] = []
+    if not items:
+        return [[]]
+    return [list(items[start:end]) for start, end in chunk_ranges(len(items), n_chunks)]
+
+
+def chunk_ranges(n_items: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """``[start, end)`` bounds splitting ``n_items`` into near-equal shards.
+
+    The range-based twin of :func:`chunk` for sharding array-shaped work
+    (e.g. packed hash matrices) without materialising per-shard item lists —
+    each worker slices its block directly.
+    """
+    if n_items <= 0:
+        return []
+    if n_chunks <= 1 or n_items == 1:
+        return [(0, n_items)]
+    n_chunks = min(n_chunks, n_items)
+    size, remainder = divmod(n_items, n_chunks)
+    ranges: List[Tuple[int, int]] = []
     start = 0
     for index in range(n_chunks):
         end = start + size + (1 if index < remainder else 0)
-        chunks.append(list(items[start:end]))
+        ranges.append((start, end))
         start = end
-    return chunks
+    return ranges

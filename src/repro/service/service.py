@@ -114,9 +114,25 @@ class LogParsingService:
         return IngestionOutcomeWithTraining(outcome=outcome, trained=trained)
 
     def ingest_batch(self, topic_name: str, raws: Sequence[str], now: float) -> int:
-        """Ingest a batch of records at one timestamp; returns count stored."""
-        for raw in raws:
-            self.ingest(topic_name, raw, now)
+        """Ingest a batch of records at one timestamp; returns count stored.
+
+        The whole batch flows through the pipeline's batched match engine
+        (one deduplicated, length-bucketed broadcast match call) instead of
+        per-record ingestion.  Scheduler triggers are checked before and
+        after the batch, so volume thresholds crossed mid-batch still fire
+        at batch granularity — the same behaviour the paper's ingestion
+        buffers exhibit.
+        """
+        if not raws:
+            return 0
+        state = self._topics[topic_name]
+        self.maybe_train(topic_name, now)
+        outcomes = state.pipeline.ingest_batch(raws, timestamp=now)
+        state.pending_training.extend(raws)
+        for outcome in outcomes:
+            if outcome.is_new_template and outcome.template_id is not None:
+                state.internal_topic.publish_template(state.parser.model.get(outcome.template_id))
+        self.maybe_train(topic_name, now)
         return len(raws)
 
     # ------------------------------------------------------------------ #

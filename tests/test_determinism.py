@@ -1,0 +1,62 @@
+"""Parallelism must not change results (paper §3 "Parallel", §5.5.2).
+
+The trainer seeds one RNG per initial group from a process-stable hash of
+the group key, and matching shards are pure functions of the model, so
+``parallelism=1`` and ``parallelism=4`` must produce byte-identical models
+and template assignments.  Nothing verified this claim before.
+"""
+
+from repro.core.config import ByteBrainConfig
+from repro.core.matcher import OnlineMatcher
+from repro.core.trainer import OfflineTrainer
+from repro.datasets.catalog import SYSTEM_SPECS
+from repro.datasets.synthetic import SyntheticLogGenerator
+
+
+def _corpus(n_logs=3000):
+    generator = SyntheticLogGenerator(SYSTEM_SPECS["HDFS"])
+    return generator.generate(n_logs=n_logs, variant="loghub2").lines
+
+
+def _model_fingerprint(model):
+    return [
+        (t.template_id, t.tokens, t.saturation, t.parent_id, t.depth, t.weight)
+        for t in model.templates()
+    ]
+
+
+class TestTrainingDeterminism:
+    def test_parallel_training_is_byte_identical_to_sequential(self):
+        lines = _corpus()
+        sequential = OfflineTrainer(ByteBrainConfig(parallelism=1)).train(lines)
+        parallel = OfflineTrainer(ByteBrainConfig(parallelism=4)).train(lines)
+        assert sequential.model.to_json() == parallel.model.to_json()
+        assert _model_fingerprint(sequential.model) == _model_fingerprint(parallel.model)
+        assert sequential.training_assignments == parallel.training_assignments
+
+    def test_repeated_training_is_deterministic(self):
+        lines = _corpus(1500)
+        first = OfflineTrainer(ByteBrainConfig(parallelism=4)).train(lines)
+        second = OfflineTrainer(ByteBrainConfig(parallelism=4)).train(lines)
+        assert first.model.to_json() == second.model.to_json()
+
+
+class TestMatchingDeterminism:
+    def test_parallel_matching_ids_and_saturations_identical(self):
+        lines = _corpus()
+        training = OfflineTrainer(ByteBrainConfig(parallelism=1)).train(lines)
+        model_json = training.model.to_json()
+
+        outcomes = {}
+        for parallelism in (1, 4):
+            from repro.core.model import ParserModel
+
+            trainer = OfflineTrainer(ByteBrainConfig(parallelism=parallelism))
+            matcher = OnlineMatcher(
+                ParserModel.from_json(model_json),
+                config=ByteBrainConfig(parallelism=parallelism),
+                preprocessor=trainer.preprocessor,
+            )
+            results = matcher.match_many(lines)
+            outcomes[parallelism] = [(r.template_id, r.saturation) for r in results]
+        assert outcomes[1] == outcomes[4]

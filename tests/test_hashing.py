@@ -1,0 +1,96 @@
+"""Unit tests for the shared token-hash cache (§4.1.4 hot-path support)."""
+
+import numpy as np
+import pytest
+
+from repro.core import hashing
+from repro.core.encoding import HashEncoder, hash_token
+
+
+class TestHashToken:
+    def test_cached_matches_uncached(self):
+        for token in ("DataNode", "<*>", "", "日志解析", "x" * 300):
+            assert hashing.hash_token(token) == hashing.hash_token_uncached(token)
+
+    def test_cache_is_populated(self):
+        hashing.clear_cache()
+        hashing.hash_token("warm-token")
+        assert hashing.cache_info()["n_tokens"] == 1
+
+    def test_encoding_reexport_is_the_shared_function(self):
+        assert hash_token is hashing.hash_token
+
+
+class TestHashTokens:
+    def test_matches_per_token_hashing(self):
+        tokens = ["alpha", "beta", "alpha", "gamma"]
+        values = hashing.hash_tokens(tokens)
+        assert values.dtype == np.uint64
+        assert values.tolist() == [hashing.hash_token_uncached(t) for t in tokens]
+
+    def test_empty_sequence(self):
+        assert hashing.hash_tokens([]).shape == (0,)
+
+
+class TestEncodeUniqueBatch:
+    def test_matches_per_token_hashing(self):
+        lists = [("a", "b"), ("b", "c", "a"), ()]
+        encoded = hashing.encode_unique_batch(lists)
+        assert [arr.tolist() for arr in encoded] == [
+            [hashing.hash_token_uncached(t) for t in tokens] for tokens in lists
+        ]
+
+    def test_hashes_each_distinct_token_once(self, monkeypatch):
+        hashing.clear_cache()
+        calls = []
+        real = hashing.hash_token_uncached
+
+        def counting(token):
+            calls.append(token)
+            return real(token)
+
+        monkeypatch.setattr(hashing, "hash_token_uncached", counting)
+        hashing.encode_unique_batch([("a", "b", "a")] * 50 + [("b", "c")] * 50)
+        assert sorted(calls) == ["a", "b", "c"]
+
+    def test_hash_encoder_batch_uses_shared_cache(self):
+        hashing.clear_cache()
+        HashEncoder().encode_batch([["a", "b"], ["c"]])
+        assert hashing.cache_info()["n_tokens"] == 3
+
+
+class TestPackHashMatrix:
+    def test_shape_and_values(self):
+        matrix = hashing.pack_hash_matrix([("a", "b"), ("c", "a")], length=2)
+        assert matrix.shape == (2, 2)
+        assert matrix.dtype == np.uint64
+        assert matrix[0, 0] == hashing.hash_token_uncached("a")
+        assert matrix[1, 1] == hashing.hash_token_uncached("a")
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hashing.pack_hash_matrix([("a", "b"), ("c",)], length=2)
+
+    def test_empty_batch(self):
+        assert hashing.pack_hash_matrix([], length=3).shape == (0, 3)
+
+
+class TestCacheCap:
+    def test_encode_unique_batch_survives_cap_reset(self, monkeypatch):
+        # Regression: a cap reset mid-batch used to drop already-inserted
+        # tokens between the two passes and raise KeyError.
+        hashing.clear_cache()
+        monkeypatch.setattr(hashing, "_MAX_CACHE_TOKENS", 4)
+        lists = [("a", "b", "c"), ("d", "e", "f"), ("a", "f")]
+        encoded = hashing.encode_unique_batch(lists)
+        assert [arr.tolist() for arr in encoded] == [
+            [hashing.hash_token_uncached(t) for t in tokens] for tokens in lists
+        ]
+        hashing.clear_cache()
+
+    def test_hash_token_survives_cap_reset(self, monkeypatch):
+        hashing.clear_cache()
+        monkeypatch.setattr(hashing, "_MAX_CACHE_TOKENS", 2)
+        values = [hashing.hash_token(t) for t in ("a", "b", "c", "d", "a")]
+        assert values == [hashing.hash_token_uncached(t) for t in ("a", "b", "c", "d", "a")]
+        hashing.clear_cache()

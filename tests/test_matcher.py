@@ -154,3 +154,170 @@ class TestOnlineMatcher:
         assert [with_index.match(l).template_id for l in lines] == [
             without_jit.match(l).template_id for l in lines
         ]
+
+
+class TestMatchBatch:
+    """Batched engine vs the scalar path (they must be indistinguishable)."""
+
+    def _trained_model(self, system, n_logs=4000):
+        from repro.datasets.catalog import SYSTEM_SPECS
+        from repro.datasets.synthetic import SyntheticLogGenerator
+
+        generator = SyntheticLogGenerator(SYSTEM_SPECS[system])
+        dataset = generator.generate(n_logs=n_logs, variant="loghub2")
+        trainer = OfflineTrainer()
+        result = trainer.train(dataset.lines)
+        tuples = [
+            tokens if tokens else ("<empty>",)
+            for tokens in trainer.preprocessor.process_many(dataset.lines)
+        ]
+        return result.model, tuples
+
+    @pytest.mark.parametrize("system", ["HDFS", "BGL", "Spark"])
+    def test_batch_equals_scalar_on_benchmark_datasets(self, system):
+        model, tuples = self._trained_model(system)
+        index = TemplateMatchIndex(model)
+        scalar = [index.match(tokens) for tokens in tuples]
+        assert index.match_batch(tuples) == scalar
+        assert index.match_batch(tuples, prune=False) == scalar
+        assert [index.match(tokens, prune=False) for tokens in tuples] == scalar
+
+    def test_tiny_block_size_is_equivalent(self):
+        model, tuples = self._trained_model("HDFS", n_logs=1500)
+        index = TemplateMatchIndex(model)
+        scalar = [index.match(tokens) for tokens in tuples]
+        # 4096 bytes forces many blocks per candidate group.
+        assert index.match_batch(tuples, block_bytes=4096) == scalar
+
+    def test_wildcard_anchored_templates_survive_pruning(self):
+        model = ParserModel()
+        model.add_template(Template(0, (WILD, "error", "code"), 0.9, None, 0))
+        model.add_template(Template(1, ("disk", "error", "code"), 1.0, None, 0))
+        index = TemplateMatchIndex(model)
+        batch = [
+            ("disk", "error", "code"),   # anchor hit, most saturated wins
+            ("net", "error", "code"),    # unknown anchor -> wildcard residue
+            ("net", "warn", "code"),     # residue probe misses
+            ("a", "b"),                  # unknown length
+        ]
+        assert index.match_batch(batch) == [1, 0, None, None]
+        assert [index.match(t) for t in batch] == [1, 0, None, None]
+
+    def test_mixed_lengths_keep_input_order(self):
+        model = ParserModel()
+        model.add_template(Template(0, ("a", WILD), 1.0, None, 0))
+        model.add_template(Template(1, ("a", WILD, "c"), 1.0, None, 0))
+        index = TemplateMatchIndex(model)
+        batch = [("a", "x", "c"), ("a", "y"), ("zzz",), ("a", "z", "c")]
+        assert index.match_batch(batch) == [1, 0, None, 1]
+
+    def test_empty_batch(self):
+        model = ParserModel()
+        model.add_template(Template(0, ("a",), 1.0, None, 0))
+        assert TemplateMatchIndex(model).match_batch([]) == []
+
+
+class TestMatchUniqueAlignment:
+    """Regression: _match_unique slots must stay aligned with its input.
+
+    The seed filtered ``None`` slots out of the result list, which would
+    silently shift every later index and corrupt the unique->record mapping
+    in match_many; now every slot must be filled and misalignment raises.
+    """
+
+    def test_interleaved_unmatched_logs_stay_aligned(self, trained):
+        trainer, result = trained
+        lines = [
+            "Accepted password for user5 from 10.0.0.77 port 3999 ssh2",
+            "totally novel structure one alpha",
+            "Connection closed by 10.0.0.8",
+            "totally novel structure two beta",
+            "Accepted password for user5 from 10.0.0.77 port 3999 ssh2",
+            "totally novel structure one alpha",
+        ]
+        batch_matcher = OnlineMatcher(result.model, preprocessor=trainer.preprocessor)
+        batch = [r.template_id for r in batch_matcher.match_many(lines)]
+        single_matcher = OnlineMatcher(result.model, preprocessor=trainer.preprocessor)
+        single = [single_matcher.match(line).template_id for line in lines]
+        assert batch == single
+        assert batch[0] == batch[4]
+        assert batch[1] == batch[5]
+        assert batch[1] != batch[3]
+
+    def test_match_unique_returns_one_result_per_tuple(self, trained):
+        trainer, result = trained
+        matcher = OnlineMatcher(result.model, preprocessor=trainer.preprocessor)
+        tuples = [
+            trainer.preprocessor.process("Connection closed by 10.0.0.8"),
+            ("never", "seen", "tuple", "alpha"),
+            trainer.preprocessor.process(
+                "Failed password for user2 from 10.0.0.14 port 4020 ssh2"
+            ),
+        ]
+        results = matcher._match_unique(list(tuples))
+        assert len(results) == len(tuples)
+        assert all(r is not None for r in results)
+        assert results[1].is_new_template
+
+    def test_batch_and_scalar_modes_agree_end_to_end(self, trained):
+        trainer, result = trained
+        lines = [
+            f"Accepted password for user{i % 7} from 10.0.0.{i % 100} port {5000 + i} ssh2"
+            for i in range(300)
+        ] + ["unseen pattern %d omega" % (i % 3) for i in range(30)]
+        ids = {}
+        for label, overrides in {
+            "batch": {},
+            "scalar": {"batch_matching_enabled": False},
+            "no_pruning": {"candidate_pruning_enabled": False},
+            "parallel": {"parallelism": 4},
+        }.items():
+            from repro.core.model import ParserModel as _PM
+
+            model = _PM.from_json(result.model.to_json())
+            matcher = OnlineMatcher(
+                model,
+                config=ByteBrainConfig(**overrides),
+                preprocessor=trainer.preprocessor,
+            )
+            ids[label] = [r.template_id for r in matcher.match_many(lines)]
+        assert ids["batch"] == ids["scalar"] == ids["no_pruning"] == ids["parallel"]
+
+
+class TestDuplicateNewTemplates:
+    def test_only_first_duplicate_reports_is_new(self, trained):
+        # Regression: duplicates of an unmatched record shared one
+        # MatchResult, so every copy claimed is_new_template=True and the
+        # service published the temporary template once per duplicate.
+        trainer, result = trained
+        matcher = OnlineMatcher(result.model, preprocessor=trainer.preprocessor)
+        lines = ["burst of a brand new pattern omega"] * 5 + [
+            "Connection closed by 10.0.0.8",
+            "burst of a brand new pattern omega",
+        ]
+        results = matcher.match_many(lines)
+        assert [r.is_new_template for r in results] == [True] + [False] * 6
+        assert len({r.template_id for r in results[:5]}) == 1
+
+
+class TestLazyResidueMerge:
+    def test_lazy_merge_equals_premerged(self, monkeypatch):
+        from repro.core import matcher as matcher_mod
+
+        model = ParserModel()
+        model.add_template(Template(0, (WILD, "error", "x"), 0.9, None, 0))
+        model.add_template(Template(1, (WILD, "warn", "x"), 0.8, None, 0))
+        for i in range(6):
+            model.add_template(Template(2 + i, (f"svc{i}", "error", "x"), 1.0, None, 0))
+        batch = [("svc3", "error", "x"), ("svc3", "warn", "x"), ("other", "error", "x")]
+
+        eager_index = TemplateMatchIndex(model)
+        assert all(b._residue_premerged for b in eager_index._by_length.values())
+        eager = eager_index.match_batch(batch)
+
+        monkeypatch.setattr(matcher_mod._LengthBucket, "_MAX_PREMERGED_ENTRIES", 0)
+        lazy_index = TemplateMatchIndex(model)
+        assert not any(b._residue_premerged for b in lazy_index._by_length.values())
+        assert lazy_index.match_batch(batch) == eager
+        assert [lazy_index.match(t) for t in batch] == eager
+        assert eager == [2 + 3, 1, 0]
