@@ -1,0 +1,217 @@
+"""Incremental-vs-full training round benchmark (machine-readable).
+
+Simulates the production retraining story (paper §3/§6): a topic trains a
+base model on the first half of a corpus, the corpus then grows 2x under
+ingest (the second half, which includes templates never seen in the base
+half), and a new training round must fold the growth into the model.
+
+Two round implementations are timed over the *same* live model and delta:
+
+* ``full_retrain`` — the seed behaviour: re-cluster the whole 2x corpus
+  with :class:`OfflineTrainer` and merge the result into the live model
+  (``IncrementalTrainer`` with ``force_full=True``).
+* ``incremental`` — :class:`IncrementalTrainer`: reuse the ingest-time
+  template assignments (the indexing pipeline matched every record when it
+  arrived), cluster only the unexplained residue, and fold it in via the
+  saturation-weighted ``merge_from``.
+
+Ingest-time matching of the delta is timed separately (``ingest_match``):
+both architectures pay it on the ingest path, so it is not part of either
+round's latency — exactly the paper's accounting, where template ids are
+computed alongside the text index before records hit topic storage.
+
+Template quality is compared by matching the full 2x corpus with each
+round's model and scoring Grouping Accuracy against the synthetic ground
+truth; the benchmark asserts GA parity within one point and a >= 3x round
+latency advantage, and writes ``BENCH_incremental.json``.  Run from the
+repo root::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py [--n-base 60000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import ByteBrainConfig
+from repro.core.incremental import IncrementalRound, IncrementalTrainer
+from repro.core.matcher import OnlineMatcher
+from repro.core.model import ParserModel
+from repro.core.trainer import OfflineTrainer
+from repro.datasets.catalog import SYSTEM_SPECS
+from repro.datasets.synthetic import SyntheticLogGenerator
+from repro.evaluation.metrics import grouping_accuracy
+
+DEFAULT_N_BASE = 60_000
+#: Number of ground-truth templates withheld from the base half — the
+#: delta is mostly known traffic plus a batch of genuinely novel log
+#: statements shipping mid-stream (the §6 production scenario).
+NOVEL_TEMPLATE_COUNT = 24
+#: Frequency rank (descending) at which the withheld templates start; the
+#: heaviest hitters stay in the base half so it still covers the bulk.
+NOVEL_RANK_START = 40
+
+
+def build_split_corpus(
+    n_base: int, system: str = "Spark"
+) -> Tuple[List[str], List[int], List[str], List[str], List[int]]:
+    """A 2x corpus split so some templates appear only in the delta half.
+
+    ``NOVEL_TEMPLATE_COUNT`` mid-frequency ground-truth templates are
+    withheld from the base half entirely.  Returns ``(all_lines,
+    all_truth, base_lines, delta_lines, delta_truth)`` where ``all_lines =
+    base_lines + delta_lines`` (the benchmark's "2x-grown corpus") and the
+    base half contains no line of the withheld templates.
+    """
+    generator = SyntheticLogGenerator(SYSTEM_SPECS[system])
+    dataset = generator.generate(n_logs=2 * n_base, variant="loghub2")
+
+    frequency: Dict[int, int] = {}
+    for label in dataset.ground_truth:
+        frequency[label] = frequency.get(label, 0) + 1
+    by_rank = sorted(frequency, key=lambda l: (-frequency[l], l))
+    novel = set(by_rank[NOVEL_RANK_START : NOVEL_RANK_START + NOVEL_TEMPLATE_COUNT])
+
+    base_lines: List[str] = []
+    base_truth: List[int] = []
+    overflow: List[Tuple[str, int]] = []
+    for line, label in zip(dataset.lines, dataset.ground_truth):
+        if label not in novel and len(base_lines) < n_base:
+            base_lines.append(line)
+            base_truth.append(label)
+        else:
+            overflow.append((line, label))
+    delta_lines = [line for line, _ in overflow]
+    delta_truth = [label for _, label in overflow]
+
+    all_lines = base_lines + delta_lines
+    all_truth = base_truth + delta_truth
+    return all_lines, all_truth, base_lines, delta_lines, delta_truth
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+def model_grouping_accuracy(
+    model: ParserModel, config: ByteBrainConfig, lines: List[str], truth: List[int]
+) -> float:
+    """GA of matching the whole corpus against (a clone of) ``model``."""
+    matcher = OnlineMatcher(model.clone(), config=config)
+    predicted = [result.template_id for result in matcher.match_many(lines)]
+    return grouping_accuracy(predicted, truth)
+
+
+def run(n_base: int = DEFAULT_N_BASE, output: Optional[Path] = None) -> Dict[str, object]:
+    config = ByteBrainConfig()
+    all_lines, all_truth, base_lines, delta_lines, _ = build_split_corpus(n_base)
+
+    base_seconds, base_training = _timed(lambda: OfflineTrainer(config).train(base_lines))
+
+    # Ingest path: the pipeline matches every delta record as it arrives
+    # (unmatched records become temporary templates on the live model).
+    live_matcher = OnlineMatcher(base_training.model.clone(), config=config)
+    ingest_seconds, delta_results = _timed(lambda: live_matcher.match_many(delta_lines))
+    delta_ids = [result.template_id for result in delta_results]
+    live_model = live_matcher.model
+
+    def incremental_round() -> IncrementalRound:
+        return IncrementalTrainer(config).round(
+            live_model,
+            delta_lines,
+            delta_template_ids=delta_ids,
+            full_corpus=lambda: all_lines,
+        )
+
+    def full_round() -> IncrementalRound:
+        return IncrementalTrainer(config).round(
+            live_model,
+            delta_lines,
+            full_corpus=lambda: all_lines,
+            force_full=True,
+        )
+
+    incremental_seconds, incremental = _timed(incremental_round)
+    full_seconds, full = _timed(full_round)
+    if incremental.mode != "incremental":
+        raise AssertionError(f"expected an incremental round, got {incremental.mode!r}")
+
+    speedup = full_seconds / incremental_seconds if incremental_seconds > 0 else float("inf")
+    ga = {
+        "base_model": model_grouping_accuracy(base_training.model, config, all_lines, all_truth),
+        "incremental": model_grouping_accuracy(incremental.model, config, all_lines, all_truth),
+        "full_retrain": model_grouping_accuracy(full.model, config, all_lines, all_truth),
+    }
+    parity_points = abs(ga["incremental"] - ga["full_retrain"]) * 100.0
+
+    report: Dict[str, object] = {
+        "benchmark": "bench_incremental",
+        "corpus": {
+            "system": "Spark",
+            "variant": "loghub2",
+            "n_base": len(base_lines),
+            "n_delta": len(delta_lines),
+            "n_total": len(all_lines),
+            "novel_templates": NOVEL_TEMPLATE_COUNT,
+        },
+        "base_train_seconds": round(base_seconds, 4),
+        "ingest_match_seconds": round(ingest_seconds, 4),
+        "rounds": {
+            "incremental": {
+                "seconds": round(incremental_seconds, 4),
+                "mode": incremental.mode,
+                "reason": incremental.reason,
+                "n_reused": incremental.n_reused,
+                "n_clustered": incremental.n_clustered,
+                "n_templates_merged": incremental.n_templates_merged,
+                "n_templates_inserted": incremental.n_templates_inserted,
+                "n_templates_after": len(incremental.model),
+            },
+            "full_retrain": {
+                "seconds": round(full_seconds, 4),
+                "mode": full.mode,
+                "n_clustered": full.n_clustered,
+                "n_templates_after": len(full.model),
+            },
+        },
+        "speedup_incremental_vs_full": round(speedup, 2),
+        "grouping_accuracy": {name: round(value, 4) for name, value in ga.items()},
+        "ga_parity_points": round(parity_points, 3),
+        "meets_3x_speedup": speedup >= 3.0,
+        "meets_ga_parity_1pct": parity_points <= 1.0,
+    }
+    if not report["meets_3x_speedup"]:
+        raise AssertionError(f"incremental round only {speedup:.2f}x faster than full retrain")
+    if not report["meets_ga_parity_1pct"]:
+        raise AssertionError(f"GA parity violated: {parity_points:.2f} points apart")
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-base", type=int, default=DEFAULT_N_BASE)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent / "BENCH_incremental.json",
+    )
+    args = parser.parse_args()
+    report = run(n_base=args.n_base, output=args.output)
+    print(f"corpus: {report['corpus']}")
+    for name, data in report["rounds"].items():
+        print(f"  {name:>14}: {data['seconds']:.3f}s  ({data})")
+    print(f"speedup: {report['speedup_incremental_vs_full']}x")
+    print(f"grouping accuracy: {report['grouping_accuracy']}")
+    print(f"written: {args.output}")
+
+
+if __name__ == "__main__":
+    main()

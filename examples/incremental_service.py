@@ -1,0 +1,106 @@
+"""Incremental training walkthrough: ingest, scheduled incremental rounds,
+zero-downtime hot swap, model versioning and rollback.
+
+The scenario mirrors the paper's §6 production story: a topic trains a
+first model, traffic keeps flowing (including genuinely new log
+statements shipped mid-stream), and periodic rounds fold the growth into
+the live model incrementally — queries keep hitting the old version while
+each round computes, and every round's model lands in a versioned on-disk
+store that supports rollback.
+
+Run with:  PYTHONPATH=src python examples/incremental_service.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro import LogParsingService
+from repro.service.scheduler import SchedulerPolicy
+
+
+def order_lines(start: int, count: int) -> list:
+    return [
+        f"order {start + i} created for customer {i % 17} amount {i * 3} cents"
+        for i in range(count)
+    ]
+
+
+def timeout_lines(count: int) -> list:
+    return [f"payment gateway timeout after {1000 + i} ms for order {i}" for i in range(count)]
+
+
+def show(service: LogParsingService, topic: str, label: str) -> None:
+    stats = service.topic_stats(topic)
+    last = service.topic(topic).last_round
+    mode = last.mode if last is not None else "-"
+    print(
+        f"[{label}] records={stats['n_records']:.0f} templates={stats['n_templates']:.0f} "
+        f"rounds={stats['training_rounds']:.0f} "
+        f"(incremental={stats['incremental_rounds']:.0f}, full={stats['full_rounds']:.0f}) "
+        f"last_mode={mode} model_version={stats['model_version']:.0f}"
+    )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="bytebrain-models-") as store_root:
+        service = LogParsingService(
+            scheduler_policy=SchedulerPolicy(
+                volume_threshold=100_000,  # we trigger rounds explicitly below
+                time_interval_seconds=1e9,
+                initial_volume_threshold=100_000,
+            ),
+            store_root=store_root,
+        )
+        service.create_topic("checkout")
+
+        # --- round 1: initial training over everything accumulated ------- #
+        service.ingest_batch("checkout", order_lines(0, 400), now=0.0)
+        service.train_now("checkout", now=1.0)
+        show(service, "checkout", "after initial round")
+
+        # --- round 2: known traffic only => pure reuse, nothing clustered - #
+        service.ingest_batch("checkout", order_lines(400, 300), now=10.0)
+        service.train_now("checkout", now=11.0)
+        last = service.topic("checkout").last_round
+        print(
+            f"  round 2: reused={last.n_reused} clustered={last.n_clustered} "
+            f"({last.reason})"
+        )
+        show(service, "checkout", "after incremental round")
+
+        # --- round 3: a new log statement ships mid-stream ---------------- #
+        # The ingest path matches what it can and falls back to temporary
+        # templates for the novel lines; the next round clusters only that
+        # residue and folds the learned templates into the live model.
+        service.ingest_batch("checkout", timeout_lines(150), now=20.0)
+        service.train_now("checkout", now=21.0)
+        last = service.topic("checkout").last_round
+        print(
+            f"  round 3: reused={last.n_reused} clustered={last.n_clustered} "
+            f"merged={last.n_templates_merged} inserted={last.n_templates_inserted}"
+        )
+        show(service, "checkout", "after novelty round")
+
+        # The new structure is now a first-class template (not a temporary).
+        probe = service.match("checkout", "payment gateway timeout after 9999 ms for order 42")
+        print(f"  probe match: '{probe.template.merged_text}' (temporary={probe.template.is_temporary})")
+
+        # --- version history and rollback -------------------------------- #
+        print("\nmodel versions:")
+        for version in service.model_versions("checkout"):
+            print(
+                f"  v{version.version}: mode={version.mode} templates={version.n_templates} "
+                f"round={version.metadata.get('round')}"
+            )
+        rolled = service.rollback_model("checkout")
+        show(service, "checkout", f"after rollback to v{rolled.version}")
+
+        # Queries still work across the rollback (records matched by the
+        # newer model simply drop out of grouping until retrained).
+        groups = service.query_templates("checkout", threshold=0.6)
+        print(f"  query after rollback: {len(groups)} groups, top: '{groups[0].display_text}'")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,12 @@ Python:
     and print grouping accuracy / throughput.
 ``datasets``
     List the available benchmark corpora.
+``save-model``
+    Save a model (trained from a log file, or an existing model JSON) as a
+    new version in an on-disk :class:`~repro.core.modelstore.ModelStore`.
+``load-model``
+    Load a version from a model store (latest by default), print its
+    manifest metadata and optionally export the model JSON.
 
 Examples
 --------
@@ -22,6 +28,8 @@ Examples
     python -m repro.cli match --input new.log --model model.json --threshold 0.6
     python -m repro.cli evaluate --dataset HDFS --variant loghub2 --baselines Drain AEL
     python -m repro.cli datasets
+    python -m repro.cli save-model --store models/app --input app.log
+    python -m repro.cli load-model --store models/app --output model.json
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from typing import List, Optional, Sequence
 from repro.baselines import BASELINE_REGISTRY, make_baseline
 from repro.core.config import ByteBrainConfig
 from repro.core.model import ParserModel
+from repro.core.modelstore import ModelStore
 from repro.core.parser import ByteBrainParser
 from repro.core.trainer import OfflineTrainer
 from repro.datasets.registry import generate_dataset, list_datasets
@@ -94,6 +103,52 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_save_model(args: argparse.Namespace) -> int:
+    if (args.input is None) == (args.model is None):
+        print("error: provide exactly one of --input (train) or --model (snapshot)", file=sys.stderr)
+        return 2
+    if args.input is not None:
+        lines = _read_lines(args.input)
+        if not lines:
+            print("error: input file contains no log lines", file=sys.stderr)
+            return 2
+        trainer = OfflineTrainer(ByteBrainConfig(parallelism=args.parallelism))
+        model = trainer.train(lines).model
+        source = f"trained from {args.input} ({len(lines)} lines)"
+    else:
+        model = ParserModel.from_json(Path(args.model).read_text(encoding="utf-8"))
+        source = f"snapshot of {args.model}"
+    store = ModelStore(Path(args.store))
+    version = store.save(model, mode="cli", metadata={"source": source, "tag": args.tag})
+    print(
+        f"saved version {version.version} ({version.n_templates} templates, "
+        f"{version.size_bytes / 1024:.1f} KiB) to {args.store} [{source}]"
+    )
+    return 0
+
+
+def _cmd_load_model(args: argparse.Namespace) -> int:
+    store = ModelStore(Path(args.store))
+    try:
+        if args.version is None:
+            model = store.load_latest()
+            version = store.current_version()
+        else:
+            model = store.load(args.version)
+            version = next(v for v in store.versions() if v.version == args.version)
+    except LookupError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"version {version.version} ({version.mode}): {version.n_templates} templates, "
+        f"{version.size_bytes / 1024:.1f} KiB, metadata={version.metadata}"
+    )
+    if args.output is not None:
+        Path(args.output).write_text(model.to_json(), encoding="utf-8")
+        print(f"model JSON written to {args.output}")
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     rows = []
     for variant in ("loghub", "loghub2"):
@@ -131,6 +186,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--baselines", nargs="*", default=[], help="baseline parsers to compare against"
     )
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    save_model = subparsers.add_parser(
+        "save-model", help="save a model as a new version in a model store"
+    )
+    save_model.add_argument("--store", required=True, help="model store directory")
+    save_model.add_argument("--input", help="log file to train a fresh model from")
+    save_model.add_argument("--model", help="existing model JSON to snapshot instead")
+    save_model.add_argument("--tag", default="", help="free-form label stored in the manifest")
+    save_model.add_argument("--parallelism", type=int, default=1)
+    save_model.set_defaults(func=_cmd_save_model)
+
+    load_model = subparsers.add_parser(
+        "load-model", help="load a version from a model store (latest by default)"
+    )
+    load_model.add_argument("--store", required=True, help="model store directory")
+    load_model.add_argument("--version", type=int, help="specific version (default: current)")
+    load_model.add_argument("--output", help="optional path to export the model JSON")
+    load_model.set_defaults(func=_cmd_load_model)
 
     datasets = subparsers.add_parser("datasets", help="list available benchmark corpora")
     datasets.set_defaults(func=_cmd_datasets)

@@ -16,9 +16,21 @@ Sub-modules map one-to-one onto the paper's algorithm sections:
 - :mod:`repro.core.query` — §3 query-time precision adjustment
 - :mod:`repro.core.model` — template model, persistence, merging
 - :mod:`repro.core.parser` — the public ``ByteBrainParser`` façade
+- :mod:`repro.core.incremental` — §3/§6 incremental rounds (cluster only
+  new records, fold into the live model, drift-escalate to full retrain)
+- :mod:`repro.core.modelstore` — versioned on-disk model snapshots with
+  manifest, ``load_latest`` and rollback
 """
 
 from repro.core.config import ByteBrainConfig
+from repro.core.incremental import DriftPolicy, IncrementalTrainer
+from repro.core.modelstore import ModelStore
 from repro.core.parser import ByteBrainParser
 
-__all__ = ["ByteBrainConfig", "ByteBrainParser"]
+__all__ = [
+    "ByteBrainConfig",
+    "ByteBrainParser",
+    "DriftPolicy",
+    "IncrementalTrainer",
+    "ModelStore",
+]

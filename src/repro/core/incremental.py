@@ -1,0 +1,350 @@
+"""Incremental training: maintain the model under updates instead of
+recomputing it (paper §3, §6 production story).
+
+The offline round of the paper re-clusters the whole corpus; under heavy
+ingest that makes training cost O(corpus) per round.  The
+:class:`IncrementalTrainer` instead runs each round over only the records
+ingested *since the last round*:
+
+1. **novelty filter** — the delta is deduplicated and matched against a
+   clone of the live model with the vectorised
+   :class:`~repro.core.matcher.TemplateMatchIndex`; records the model
+   already explains just bump the weight of their template (no clustering),
+2. **residual clustering** — only the unexplained residue goes through the
+   full :class:`~repro.core.trainer.OfflineTrainer` pipeline,
+3. **saturation-weighted merge** — the residue's templates are folded into
+   the clone via :meth:`ParserModel.merge_from` (weighted saturation, tree
+   re-linking, stable ids),
+4. **drift policy** — when merge quality degrades (too many residue
+   templates insert instead of merging, or the model ballooned since the
+   last full round) the round escalates to a full retrain over the whole
+   corpus, still merged into the clone so template ids stay stable.
+
+Every round returns a *new* :class:`ParserModel`; the live model is never
+mutated, which is what lets the service hot-swap the result atomically
+while queries keep hitting the old version (zero-downtime rounds).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import ByteBrainConfig
+from repro.core.dedup import deduplicate_raw
+from repro.core.matcher import TemplateMatchIndex
+from repro.core.model import ParserModel
+from repro.core.trainer import OfflineTrainer, Preprocessor, TrainingResult
+
+__all__ = ["DriftPolicy", "IncrementalRound", "IncrementalTrainer"]
+
+#: A provider of the full raw corpus, called only when a round escalates to
+#: a full retrain (so the caller never materialises the corpus otherwise).
+CorpusProvider = Callable[[], Sequence[str]]
+
+
+@dataclass
+class DriftPolicy:
+    """When an incremental round must escalate to a full retrain."""
+
+    #: Escalate when more than this fraction of the residue's templates
+    #: insert as new instead of merging into existing ones (the merge is no
+    #: longer absorbing drift).
+    max_insert_ratio: float = 0.75
+    #: Escalate when the model holds more than ``max_growth_factor`` times
+    #: the templates it had after the last full round.  Note the escalated
+    #: round merges the retrain into the live model (stable ids), so it
+    #: re-consolidates structure but never evicts templates — the check
+    #: re-baselines at the post-round count; actual eviction of dead
+    #: templates would require re-mapping stored records and is future work.
+    max_growth_factor: float = 4.0
+    #: Force a full retrain every N incremental rounds (0 disables the
+    #: periodic escalation).
+    full_retrain_every: int = 0
+    #: Residue templates below this count never trigger the insert-ratio
+    #: escalation (tiny residues are statistically meaningless).
+    min_residue_templates: int = 8
+    #: A delta record only counts as *explained* when its matched template's
+    #: saturation reaches this value.  Coarse wildcard-heavy internal nodes
+    #: absorb genuinely novel lines of the same token count; records they
+    #: caught are re-clustered so the round actually learns the new
+    #: structure (leaves sit near saturation 1.0, absorbing internal nodes
+    #: well below it).
+    min_reuse_saturation: float = 0.9
+
+
+@dataclass
+class IncrementalRound:
+    """Outcome of one training round (incremental or escalated)."""
+
+    #: The new model — a merged clone; the previous live model is untouched.
+    model: ParserModel
+    #: ``"initial"`` (first round), ``"incremental"`` or ``"full"``.
+    mode: str
+    #: Why the round ran in this mode (e.g. ``"drift: insert ratio 0.82"``).
+    reason: str
+    n_delta_records: int
+    #: Delta records the live model already explained (novelty filter hits).
+    n_reused: int
+    #: Delta records that went through clustering.
+    n_clustered: int
+    n_templates_merged: int
+    n_templates_inserted: int
+    #: Mapping from the round-local template ids to ids in ``model``.
+    id_map: Dict[int, int] = field(default_factory=dict)
+    #: Token tuple -> template id in ``model`` for newly clustered records
+    #: (delta additions to the parser's training assignments).
+    training_assignments: Dict[Tuple[str, ...], int] = field(default_factory=dict)
+    duration_seconds: float = 0.0
+    #: The underlying offline training result (residue or full corpus);
+    #: ``None`` when the whole delta was explained by the live model.
+    training: Optional[TrainingResult] = None
+
+
+class IncrementalTrainer:
+    """Maintains a :class:`ParserModel` under a stream of new records."""
+
+    def __init__(
+        self,
+        config: Optional[ByteBrainConfig] = None,
+        drift_policy: Optional[DriftPolicy] = None,
+    ) -> None:
+        self.config = config or ByteBrainConfig()
+        self.drift_policy = drift_policy or DriftPolicy()
+        self.preprocessor = Preprocessor(self.config)
+        self._rounds_since_full = 0
+        self._templates_at_last_full = 0
+
+    # ------------------------------------------------------------------ #
+    # the round
+    # ------------------------------------------------------------------ #
+    def round(
+        self,
+        live_model: Optional[ParserModel],
+        delta_logs: Sequence[str],
+        delta_template_ids: Optional[Sequence[Optional[int]]] = None,
+        full_corpus: Optional[CorpusProvider] = None,
+        force_full: bool = False,
+    ) -> IncrementalRound:
+        """Run one training round and return the new model.
+
+        Parameters
+        ----------
+        live_model:
+            The currently served model, or ``None``/empty before the first
+            round.  Never mutated.
+        delta_logs:
+            Raw records ingested since the last round.
+        delta_template_ids:
+            Per-delta-record template id assigned at ingestion time, when
+            the caller (the indexing pipeline) already matched each record
+            on the ingest path.  Records resolved to a trained template are
+            reused without touching them again; only records that were
+            unmatched (``None``) or fell back to a temporary template form
+            the clustering residue.  Without it the round matches the delta
+            itself through the vectorised index.
+        full_corpus:
+            Callable returning the whole corpus; required for drift
+            escalation and forced full rounds (falls back to the delta when
+            absent).
+        force_full:
+            Skip the incremental path entirely (caller-driven escalation,
+            e.g. a scheduler's periodic full round).
+        """
+        start = time.perf_counter()
+        if live_model is None or len(live_model) == 0:
+            return self._full_round(live_model, delta_logs, full_corpus, start, mode="initial", reason="first round")
+        if force_full:
+            return self._full_round(live_model, delta_logs, full_corpus, start, mode="full", reason="forced by caller")
+        if (
+            self.drift_policy.full_retrain_every > 0
+            and self._rounds_since_full >= self.drift_policy.full_retrain_every
+        ):
+            return self._full_round(
+                live_model, delta_logs, full_corpus, start,
+                mode="full", reason=f"periodic: every {self.drift_policy.full_retrain_every} rounds",
+            )
+
+        model = live_model.clone()
+        reused_raws, residue_raws = self._split_by_novelty(
+            model, delta_logs, delta_template_ids
+        )
+
+        if not residue_raws:
+            self._rounds_since_full += 1
+            return IncrementalRound(
+                model=model,
+                mode="incremental",
+                reason="delta fully explained by live model",
+                n_delta_records=len(delta_logs),
+                n_reused=len(reused_raws),
+                n_clustered=0,
+                n_templates_merged=0,
+                n_templates_inserted=0,
+                duration_seconds=time.perf_counter() - start,
+            )
+
+        result = OfflineTrainer(self.config).train(residue_raws)
+        id_map, merged, inserted, assignments = self._merge_training_result(model, result)
+        insert_ratio = inserted / max(1, len(result.model))
+
+        escalation = self._drift_reason(model, result, insert_ratio)
+        if escalation is not None:
+            if full_corpus is not None:
+                return self._full_round(
+                    live_model, delta_logs, full_corpus, start, mode="full", reason=escalation
+                )
+            # No corpus provider: the incremental result stands, but the
+            # round must report the detected drift, not claim health.
+            reason = f"{escalation} — no corpus provider, staying incremental"
+        else:
+            reason = "merge quality within drift policy"
+
+        self._rounds_since_full += 1
+        return IncrementalRound(
+            model=model,
+            mode="incremental",
+            reason=reason,
+            n_delta_records=len(delta_logs),
+            n_reused=len(reused_raws),
+            n_clustered=len(residue_raws),
+            n_templates_merged=merged,
+            n_templates_inserted=inserted,
+            id_map=id_map,
+            training_assignments=assignments,
+            duration_seconds=time.perf_counter() - start,
+            training=result,
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _split_by_novelty(
+        self,
+        model: ParserModel,
+        delta_logs: Sequence[str],
+        delta_template_ids: Optional[Sequence[Optional[int]]] = None,
+    ) -> Tuple[List[str], List[str]]:
+        """Partition the delta into (explained, residue) raw records.
+
+        Explained records bump their matched template's weight on ``model``
+        (the clone), which feeds the saturation-weighted merge.  With
+        ingest-time assignments the split is a pure id lookup — the round
+        never re-preprocesses records the pipeline already matched, which
+        is where the O(delta-novelty) round cost comes from.
+        """
+        min_saturation = self.drift_policy.min_reuse_saturation
+        if delta_template_ids is not None:
+            reused: List[str] = []
+            residue: List[str] = []
+            for raw, template_id in zip(delta_logs, delta_template_ids):
+                if template_id is not None and template_id in model:
+                    template = model.get(template_id)
+                    if not template.is_temporary and template.saturation >= min_saturation:
+                        template.weight += 1
+                        reused.append(raw)
+                        continue
+                residue.append(raw)
+            return reused, residue
+
+        unique_raw, counts, _ = deduplicate_raw(delta_logs)
+        tuples = [
+            tokens if tokens else ("<empty>",)
+            for tokens in self.preprocessor.process_many(unique_raw)
+        ]
+        index = TemplateMatchIndex(model)
+        ids = index.match_batch(
+            tuples,
+            block_bytes=self.config.match_block_bytes,
+            prune=self.config.candidate_pruning_enabled,
+        )
+
+        reused = []
+        residue = []
+        for raw, count, template_id in zip(unique_raw, counts, ids):
+            template = model.get(template_id) if template_id is not None else None
+            if template is None or template.is_temporary or template.saturation < min_saturation:
+                residue.extend([raw] * count)
+            else:
+                template.weight += count
+                reused.extend([raw] * count)
+        return reused, residue
+
+    def _merge_training_result(
+        self, model: ParserModel, result: TrainingResult
+    ) -> Tuple[Dict[int, int], int, int, Dict[Tuple[str, ...], int]]:
+        """Fold a training result into ``model`` (saturation-weighted).
+
+        Returns ``(id_map, n_merged, n_inserted, remapped_assignments)`` —
+        the one place the merge bookkeeping lives, shared by the
+        incremental and full round paths.
+        """
+        before = len(model)
+        id_map = model.merge_from(
+            result.model, self.config.model_merge_similarity, weighted_saturation=True
+        )
+        inserted = len(model) - before
+        merged = len(result.model) - inserted
+        assignments = {
+            tokens: id_map[tid] for tokens, tid in result.training_assignments.items()
+        }
+        return id_map, merged, inserted, assignments
+
+    def _drift_reason(
+        self, model: ParserModel, result: TrainingResult, insert_ratio: float
+    ) -> Optional[str]:
+        policy = self.drift_policy
+        if (
+            len(result.model) >= policy.min_residue_templates
+            and insert_ratio > policy.max_insert_ratio
+        ):
+            return f"drift: insert ratio {insert_ratio:.2f} > {policy.max_insert_ratio}"
+        if (
+            self._templates_at_last_full > 0
+            and len(model) > policy.max_growth_factor * self._templates_at_last_full
+        ):
+            return (
+                f"drift: model grew to {len(model)} templates "
+                f"(> {policy.max_growth_factor}x the last full round)"
+            )
+        return None
+
+    def _full_round(
+        self,
+        live_model: Optional[ParserModel],
+        delta_logs: Sequence[str],
+        full_corpus: Optional[CorpusProvider],
+        start: float,
+        mode: str,
+        reason: str,
+    ) -> IncrementalRound:
+        """Cluster the whole corpus; merge into a clone so ids stay stable."""
+        corpus = list(full_corpus()) if full_corpus is not None else list(delta_logs)
+        if not corpus:
+            corpus = list(delta_logs)
+        result = OfflineTrainer(self.config).train(corpus)
+        if live_model is None or len(live_model) == 0:
+            model = result.model
+            id_map = {t.template_id: t.template_id for t in model.templates()}
+            merged, inserted = 0, len(model)
+            assignments = dict(result.training_assignments)
+        else:
+            model = live_model.clone()
+            id_map, merged, inserted, assignments = self._merge_training_result(model, result)
+        self._rounds_since_full = 0
+        self._templates_at_last_full = len(model)
+        return IncrementalRound(
+            model=model,
+            mode=mode,
+            reason=reason,
+            n_delta_records=len(delta_logs),
+            n_reused=0,
+            n_clustered=len(corpus),
+            n_templates_merged=merged,
+            n_templates_inserted=inserted,
+            id_map=id_map,
+            training_assignments=assignments,
+            duration_seconds=time.perf_counter() - start,
+            training=result,
+        )

@@ -299,32 +299,44 @@ class OnlineMatcher:
     # ------------------------------------------------------------------ #
     # single record
     # ------------------------------------------------------------------ #
-    def match(self, raw_log: str) -> MatchResult:
-        """Preprocess and match a single raw log record."""
+    def match(self, raw_log: str, register_misses: bool = True) -> MatchResult:
+        """Preprocess and match a single raw log record.
+
+        With ``register_misses=False`` the call is strictly read-only: an
+        unmatched record is reported as a degenerate ``template_id == -1``
+        result instead of inserting a temporary template into the (shared)
+        model — the mode used for probe matches concurrent with hot swaps.
+        """
         tokens = self.preprocessor.process(raw_log)
         if not tokens:
             tokens = ("<empty>",)
-        return self.match_tokens(tokens)
+        return self.match_tokens(tokens, register_misses=register_misses)
 
-    def match_tokens(self, tokens: Tuple[str, ...]) -> MatchResult:
+    def match_tokens(self, tokens: Tuple[str, ...], register_misses: bool = True) -> MatchResult:
         """Match an already-preprocessed token tuple."""
         if self.config.deduplication_enabled:
             cached = self._cache.get(tokens)
             if cached is not None:
                 return MatchResult(template_id=cached, template=self.model.get(cached))
-        return self._finish(tokens, self._lookup(tokens))
+        return self._finish(tokens, self._lookup(tokens), register_misses=register_misses)
 
-    def _finish(self, tokens: Tuple[str, ...], template: Optional[Template]) -> MatchResult:
+    def _finish(
+        self,
+        tokens: Tuple[str, ...],
+        template: Optional[Template],
+        register_misses: bool = True,
+    ) -> MatchResult:
         """Turn a lookup outcome into a result, inserting a temporary on miss."""
         is_new = False
         if template is None:
-            if self.config.insert_unmatched_as_temporary:
+            if self.config.insert_unmatched_as_temporary and register_misses:
                 template = self.model.new_temporary_template(tokens)
                 self._temporary[tokens] = template.template_id
                 is_new = True
             else:
                 # Degenerate fallback: report the log itself without
-                # registering it (used only when temporary insertion is off).
+                # registering it (temporary insertion off, or a read-only
+                # probe match).
                 template = Template(
                     template_id=-1,
                     tokens=tokens,
@@ -333,7 +345,10 @@ class OnlineMatcher:
                     depth=0,
                     is_temporary=True,
                 )
-        if self.config.deduplication_enabled and template.template_id >= 0:
+        if self.config.deduplication_enabled and template.template_id >= 0 and register_misses:
+            # Read-only probe matches skip the cache write too: the dedup
+            # cache is shared with the ingest path, and the read-only
+            # contract promises no mutation of shared state at all.
             self._cache[tokens] = template.template_id
         return MatchResult(template_id=template.template_id, template=template, is_new_template=is_new)
 

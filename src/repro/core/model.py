@@ -147,6 +147,21 @@ class ParserModel:
         self._next_id += 1
         return allocated
 
+    @property
+    def next_template_id(self) -> int:
+        """The id the next :meth:`allocate_id` call would return."""
+        return self._next_id
+
+    def reserve_ids(self, next_id: int) -> None:
+        """Raise the id allocator so ids below ``next_id`` are never minted.
+
+        Used when an older model snapshot is restored (rollback): ids the
+        newer, rolled-back-away versions handed out are still referenced by
+        stored records, so the restored model must not reallocate them to
+        unrelated templates.
+        """
+        self._next_id = max(self._next_id, next_id)
+
     def add_template(self, template: Template) -> Template:
         """Insert a template (id must be unique) and index it for matching."""
         if template.template_id in self._templates:
@@ -274,12 +289,34 @@ class ParserModel:
     # ------------------------------------------------------------------ #
     # merging (§3: the newly trained model is merged with the previous one)
     # ------------------------------------------------------------------ #
-    def merge_from(self, other: "ParserModel", similarity_threshold: float = 0.8) -> Dict[int, int]:
+    def merge_from(
+        self,
+        other: "ParserModel",
+        similarity_threshold: float = 0.8,
+        weighted_saturation: bool = False,
+    ) -> Dict[int, int]:
         """Merge another model's templates into this one.
 
         Templates of ``other`` that are sufficiently similar to an existing
         template are folded into it (their weight accumulates); dissimilar
-        ones are inserted with fresh ids, preserving their parent structure.
+        ones are inserted with fresh ids, re-linked into this model's tree:
+        an inserted template whose parent merged into an existing template
+        becomes a child of that template, and its depth is recomputed from
+        the mapped parent so ancestor walks stay consistent.  Existing
+        template ids are never reassigned (stable ids — stored records keep
+        referring to the same templates across rounds).
+
+        Parameters
+        ----------
+        similarity_threshold:
+            Minimum :func:`template_similarity` for folding a template into
+            an existing one.  Templates of different token counts are never
+            merged regardless of threshold.
+        weighted_saturation:
+            When true, a merged target's saturation becomes the
+            weight-weighted mean of both sides (used by incremental rounds,
+            where weights are occurrence counts); by default the target's
+            saturation is kept unchanged.
 
         Returns
         -------
@@ -287,33 +324,58 @@ class ParserModel:
             Mapping from ``other``'s template ids to ids in this model.
         """
         id_map: Dict[int, int] = {}
+        resort_lengths: set = set()
         # First pass: decide merge-vs-insert per template (parents first so
         # the parent links of inserted templates can be remapped).
         for template in sorted(other.templates(), key=lambda t: t.depth):
             target = self._find_similar(template, similarity_threshold)
             if target is not None:
+                if weighted_saturation:
+                    total = target.weight + template.weight
+                    if total > 0:
+                        target.saturation = (
+                            target.saturation * target.weight
+                            + template.saturation * template.weight
+                        ) / total
+                        resort_lengths.add(target.n_tokens)
                 target.weight += template.weight
+                # A properly-trained template folding into a temporary one
+                # confirms it: promote the target so later rounds treat the
+                # structure as learned rather than a stopgap.
+                target.is_temporary = target.is_temporary and template.is_temporary
                 id_map[template.template_id] = target.template_id
                 continue
             new_id = self.allocate_id()
             parent_id = template.parent_id
             mapped_parent = id_map.get(parent_id) if parent_id is not None else None
+            depth = (
+                self._templates[mapped_parent].depth + 1
+                if mapped_parent is not None
+                else template.depth
+            )
             clone = Template(
                 template_id=new_id,
                 tokens=template.tokens,
                 saturation=template.saturation,
                 parent_id=mapped_parent,
-                depth=template.depth,
+                depth=depth,
                 weight=template.weight,
                 is_temporary=template.is_temporary,
             )
             self.add_template(clone)
             id_map[template.template_id] = new_id
+        for length in resort_lengths:
+            self._by_length[length].sort(
+                key=lambda tid: (-self._templates[tid].saturation, tid)
+            )
         return id_map
 
     def _find_similar(self, template: Template, threshold: float) -> Optional[Template]:
         best: Optional[Template] = None
         best_score = threshold
+        # Candidates come from the same-length bucket and template_similarity
+        # scores length mismatches 0.0, so templates of different token
+        # counts can never merge, however wildcard-heavy.
         for candidate_id in self._by_length.get(template.n_tokens, []):
             candidate = self._templates[candidate_id]
             score = template_similarity(candidate.tokens, template.tokens)
@@ -322,6 +384,29 @@ class ParserModel:
                     best = candidate
                     best_score = score
         return best
+
+    def clone(self) -> "ParserModel":
+        """Deep copy of the model (templates are value objects, so a field
+        copy per template suffices).
+
+        Incremental rounds merge into a clone and hot-swap it in, so readers
+        of the live model never observe a half-merged state.
+        """
+        copy = ParserModel(
+            Template(
+                template_id=t.template_id,
+                tokens=t.tokens,
+                saturation=t.saturation,
+                parent_id=t.parent_id,
+                depth=t.depth,
+                weight=t.weight,
+                is_temporary=t.is_temporary,
+            )
+            for t in self.templates()
+        )
+        copy._next_id = self._next_id
+        copy.dictionary_bytes = self.dictionary_bytes
+        return copy
 
     # ------------------------------------------------------------------ #
     # persistence and accounting

@@ -1,0 +1,206 @@
+"""Versioned on-disk model store (paper §3: the trained model is shipped
+from the training tier to the matching tier; §6: rounds run continuously in
+production, so deploys need history and rollback).
+
+Layout of a store directory::
+
+    <root>/
+      manifest.json       # {"current": 3, "versions": [ ...metadata... ]}
+      v000001.json        # ParserModel.to_json() snapshot
+      v000002.json
+      v000003.json
+
+Every snapshot is immutable once written; ``manifest.json`` carries one
+metadata row per version (round mode, template count, caller-supplied
+metadata such as the training-round number) plus a *current* pointer.
+``rollback`` only moves the pointer, so rolling forward again is the same
+cheap operation.  All writes go through a temp file + ``os.replace`` so a
+crash mid-save never corrupts the store.
+
+Concurrency contract: one writer per store directory.  ``save`` and
+``rollback`` are read-modify-write cycles over the manifest with no file
+locking, so concurrent writers (e.g. a service round and a ``save-model``
+CLI invocation pointed at the same directory) can assign the same version
+number and drop each other's manifest rows.  The service enforces this by
+giving every topic its own subdirectory; point external tools at their own
+stores.  Readers are always safe thanks to the atomic replaces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.model import ParserModel
+
+__all__ = ["ModelVersion", "ModelStore"]
+
+_MANIFEST = "manifest.json"
+
+
+@dataclass
+class ModelVersion:
+    """Metadata row for one persisted model snapshot."""
+
+    version: int
+    filename: str
+    created_at: float
+    mode: str
+    n_templates: int
+    size_bytes: int
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ModelVersion":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            version=int(data["version"]),
+            filename=str(data["filename"]),
+            created_at=float(data["created_at"]),
+            mode=str(data["mode"]),
+            n_templates=int(data["n_templates"]),
+            size_bytes=int(data["size_bytes"]),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+
+class ModelStore:
+    """Versioned snapshots of a :class:`ParserModel` under one directory."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        # The directory is created lazily on first save, so read-only
+        # operations (load, versions) on a wrong path stay side-effect free.
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    # manifest
+    # ------------------------------------------------------------------ #
+    def _manifest_path(self) -> Path:
+        return self.root / _MANIFEST
+
+    def _read_manifest(self) -> Dict[str, object]:
+        path = self._manifest_path()
+        if not path.exists():
+            return {"current": None, "versions": []}
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def _write_manifest(self, manifest: Dict[str, object]) -> None:
+        self._atomic_write(self._manifest_path(), json.dumps(manifest, indent=2) + "\n")
+
+    @staticmethod
+    def _atomic_write(path: Path, text: str) -> None:
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    def save(
+        self,
+        model: ParserModel,
+        created_at: float = 0.0,
+        mode: str = "manual",
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> ModelVersion:
+        """Persist a new snapshot and point *current* at it.
+
+        Saving after a :meth:`rollback` supersedes the rolled-back-from
+        versions (they stay on disk and loadable by explicit version).
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        manifest = self._read_manifest()
+        versions = manifest["versions"]
+        next_version = (max(v["version"] for v in versions) + 1) if versions else 1
+        payload = model.to_json()
+        entry = ModelVersion(
+            version=next_version,
+            filename=f"v{next_version:06d}.json",
+            created_at=created_at,
+            mode=mode,
+            n_templates=len(model),
+            size_bytes=len(payload.encode("utf-8")),
+            metadata=dict(metadata or {}),
+        )
+        # Snapshot first, manifest second: a crash in between leaves an
+        # orphaned snapshot file, never a manifest row without its file.
+        self._atomic_write(self.root / entry.filename, payload)
+        versions.append(entry.to_dict())
+        manifest["current"] = next_version
+        self._write_manifest(manifest)
+        return entry
+
+    def rollback(self, to_version: Optional[int] = None) -> ModelVersion:
+        """Move the *current* pointer back (default: one version earlier).
+
+        Returns the metadata of the version now current.  Raises
+        ``LookupError`` when the store is empty or the target is unknown.
+        """
+        manifest = self._read_manifest()
+        versions = [ModelVersion.from_dict(v) for v in manifest["versions"]]
+        if not versions:
+            raise LookupError("model store is empty; nothing to roll back to")
+        current = manifest.get("current")
+        if to_version is None:
+            earlier = [v.version for v in versions if current is None or v.version < current]
+            if not earlier:
+                raise LookupError(f"no version earlier than current ({current})")
+            to_version = max(earlier)
+        if all(v.version != to_version for v in versions):
+            raise LookupError(f"unknown model version {to_version}")
+        manifest["current"] = to_version
+        self._write_manifest(manifest)
+        return next(v for v in versions if v.version == to_version)
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def versions(self) -> List[ModelVersion]:
+        """All persisted versions, oldest first."""
+        return [ModelVersion.from_dict(v) for v in self._read_manifest()["versions"]]
+
+    def current_version(self) -> Optional[ModelVersion]:
+        """Metadata of the version *current* points at (None when empty)."""
+        return self.summary()[1]
+
+    def summary(self) -> Tuple[int, Optional[ModelVersion]]:
+        """``(version count, current version)`` from one manifest read.
+
+        Stat endpoints poll this; a single read keeps them O(1) file I/O
+        instead of one read per reported field.
+        """
+        manifest = self._read_manifest()
+        current = manifest.get("current")
+        entries = manifest["versions"]
+        if current is None:
+            return len(entries), None
+        for entry in entries:
+            if entry["version"] == current:
+                return len(entries), ModelVersion.from_dict(entry)
+        return len(entries), None
+
+    def load(self, version: int) -> ParserModel:
+        """Load a specific snapshot (LookupError if unknown)."""
+        for entry in self.versions():
+            if entry.version == version:
+                payload = (self.root / entry.filename).read_text(encoding="utf-8")
+                return ParserModel.from_json(payload)
+        raise LookupError(f"unknown model version {version}")
+
+    def load_latest(self) -> ParserModel:
+        """Load the snapshot *current* points at (LookupError when empty)."""
+        entry = self.current_version()
+        if entry is None:
+            raise LookupError(f"model store at {self.root} is empty")
+        payload = (self.root / entry.filename).read_text(encoding="utf-8")
+        return ParserModel.from_json(payload)
+
+    def __len__(self) -> int:
+        return len(self._read_manifest()["versions"])

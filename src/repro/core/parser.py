@@ -90,11 +90,51 @@ class ByteBrainParser:
         parser.install_model(model)
         return parser
 
-    def install_model(self, model: ParserModel) -> None:
-        """Replace the live model (rebinds the query engine and matcher)."""
+    def install_model(
+        self,
+        model: ParserModel,
+        matcher: Optional[OnlineMatcher] = None,
+        training_assignments: Optional[Dict[Tuple[str, ...], int]] = None,
+    ) -> None:
+        """Replace the live model (rebinds the query engine and matcher).
+
+        Passing a pre-built ``matcher`` makes the call a pure pointer swap —
+        the service layer builds the matcher (and its match index) off to
+        the side and installs both atomically so no caller ever observes a
+        model without its index (zero-downtime hot swap).  Without it the
+        matcher is rebuilt lazily on first use.
+        """
+        if training_assignments is not None:
+            self._training_assignments = dict(training_assignments)
         self.model = model
         self.query_engine = QueryEngine(model)
-        self._matcher = None
+        self._matcher = matcher
+
+    @property
+    def training_assignments(self) -> Dict[Tuple[str, ...], int]:
+        """Token tuple -> template id assignments recorded during training."""
+        return dict(self._training_assignments)
+
+    def build_matcher(
+        self,
+        model: Optional[ParserModel] = None,
+        training_assignments: Optional[Dict[Tuple[str, ...], int]] = None,
+    ) -> OnlineMatcher:
+        """Construct an :class:`OnlineMatcher` (and its index) for a model.
+
+        Used by the hot-swap path: the matcher for the *next* model is built
+        here, off the serving path, before :meth:`install_model` swaps it in.
+        """
+        return OnlineMatcher(
+            model if model is not None else self.model,
+            config=self.config,
+            preprocessor=self.preprocessor,
+            training_assignments=(
+                training_assignments
+                if training_assignments is not None
+                else self._training_assignments
+            ),
+        )
 
     # ------------------------------------------------------------------ #
     # training

@@ -70,6 +70,11 @@ class QueryEngine:
         groups: Dict[str, TemplateGroup] = {}
         resolve_cache: Dict[int, Template] = {}
         for record_index, template_id in enumerate(template_ids):
+            if template_id not in self.model:
+                # Records matched by a newer model version than the one
+                # currently serving (e.g. after a rollback) are skipped
+                # rather than crashing the whole query.
+                continue
             resolved = resolve_cache.get(template_id)
             if resolved is None:
                 resolved = self.resolve(template_id, threshold)

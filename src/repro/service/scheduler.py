@@ -36,6 +36,9 @@ class TrainingScheduler:
         self._records_since_training = 0
         self._last_training_time: Optional[float] = None
         self._training_rounds = 0
+        self._incremental_rounds = 0
+        self._full_rounds = 0
+        self._last_mode: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # event feed
@@ -46,11 +49,21 @@ class TrainingScheduler:
             raise ValueError("count must be non-negative")
         self._records_since_training += count
 
-    def training_completed(self, now: float) -> None:
-        """Tell the scheduler a training round just finished."""
+    def training_completed(self, now: float, mode: str = "full") -> None:
+        """Tell the scheduler a training round just finished.
+
+        ``mode`` records how the round ran (``"initial"``, ``"incremental"``
+        or ``"full"``) so operational stats can report the incremental /
+        full split per topic.
+        """
         self._records_since_training = 0
         self._last_training_time = now
         self._training_rounds += 1
+        if mode == "incremental":
+            self._incremental_rounds += 1
+        else:
+            self._full_rounds += 1
+        self._last_mode = mode
 
     # ------------------------------------------------------------------ #
     # decision
@@ -76,6 +89,21 @@ class TrainingScheduler:
     def training_rounds(self) -> int:
         """Number of completed training rounds."""
         return self._training_rounds
+
+    @property
+    def incremental_rounds(self) -> int:
+        """Number of completed incremental rounds."""
+        return self._incremental_rounds
+
+    @property
+    def full_rounds(self) -> int:
+        """Number of completed full (or initial) rounds."""
+        return self._full_rounds
+
+    @property
+    def last_mode(self) -> Optional[str]:
+        """Mode of the most recent round (None before the first)."""
+        return self._last_mode
 
     @property
     def pending_records(self) -> int:

@@ -19,10 +19,16 @@ and benchmarks; production would pass wall-clock time.
 
 from __future__ import annotations
 
+import os
+import threading
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import ByteBrainConfig
+from repro.core.incremental import DriftPolicy, IncrementalRound, IncrementalTrainer
+from repro.core.matcher import MatchResult
+from repro.core.modelstore import ModelStore, ModelVersion
 from repro.core.parser import ByteBrainParser
 from repro.core.query import TemplateGroup
 from repro.core.model import Template
@@ -49,8 +55,17 @@ class TopicState:
     scheduler: TrainingScheduler
     pipeline: IndexingPipeline
     internal_topic: InternalTemplateTopic
+    trainer: IncrementalTrainer
+    store: Optional[ModelStore] = None
     template_library: Dict[str, int] = field(default_factory=dict)
-    pending_training: List[str] = field(default_factory=list)
+    #: Record id up to which the model has been trained; the topic itself is
+    #: the delta buffer (``topic.records_since(trained_watermark)``).
+    trained_watermark: int = 0
+    #: Serialises model swaps against readers that snapshot the parser.
+    #: Rounds compute the next model + matcher entirely outside this lock;
+    #: only the pointer swap holds it, so queries never wait on training.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    last_round: Optional[IncrementalRound] = None
 
 
 class LogParsingService:
@@ -60,9 +75,15 @@ class LogParsingService:
         self,
         config: Optional[ByteBrainConfig] = None,
         scheduler_policy: Optional[SchedulerPolicy] = None,
+        drift_policy: Optional[DriftPolicy] = None,
+        store_root: Optional[os.PathLike] = None,
     ) -> None:
         self.config = config or ByteBrainConfig()
         self.scheduler_policy = scheduler_policy or SchedulerPolicy()
+        self.drift_policy = drift_policy or DriftPolicy()
+        #: Directory under which each topic gets a versioned model store
+        #: (``<store_root>/<topic>``); ``None`` disables persistence.
+        self.store_root = Path(store_root) if store_root is not None else None
         self._topics: Dict[str, TopicState] = {}
         self.failure_library = FailureScenarioLibrary()
         self.anomaly_detector = TemplateAnomalyDetector()
@@ -75,7 +96,8 @@ class LogParsingService:
         if name in self._topics:
             raise ValueError(f"topic {name!r} already exists")
         topic = LogTopic(name)
-        parser = ByteBrainParser(config or self.config)
+        topic_config = config or self.config
+        parser = ByteBrainParser(topic_config)
         scheduler = TrainingScheduler(SchedulerPolicy(**vars(self.scheduler_policy)))
         pipeline = IndexingPipeline(topic, scheduler)
         state = TopicState(
@@ -84,6 +106,8 @@ class LogParsingService:
             scheduler=scheduler,
             pipeline=pipeline,
             internal_topic=InternalTemplateTopic(name),
+            trainer=IncrementalTrainer(topic_config, DriftPolicy(**vars(self.drift_policy))),
+            store=ModelStore(self.store_root / name) if self.store_root is not None else None,
         )
         self._topics[name] = state
         return state
@@ -108,7 +132,6 @@ class LogParsingService:
         state = self._topics[topic_name]
         trained = self.maybe_train(topic_name, now)
         outcome = state.pipeline.ingest(raw, timestamp=now)
-        state.pending_training.append(raw)
         if outcome.is_new_template and outcome.template_id is not None:
             state.internal_topic.publish_template(state.parser.model.get(outcome.template_id))
         return IngestionOutcomeWithTraining(outcome=outcome, trained=trained)
@@ -128,7 +151,6 @@ class LogParsingService:
         state = self._topics[topic_name]
         self.maybe_train(topic_name, now)
         outcomes = state.pipeline.ingest_batch(raws, timestamp=now)
-        state.pending_training.extend(raws)
         for outcome in outcomes:
             if outcome.is_new_template and outcome.template_id is not None:
                 state.internal_topic.publish_template(state.parser.model.get(outcome.template_id))
@@ -146,18 +168,147 @@ class LogParsingService:
         self.train_now(topic_name, now)
         return True
 
-    def train_now(self, topic_name: str, now: float) -> None:
-        """Force a training round on whatever has accumulated."""
+    def train_now(self, topic_name: str, now: float, force_full: bool = False) -> None:
+        """Run one training round on the records ingested since the last one.
+
+        The first round clusters everything accumulated; later rounds run
+        incrementally (novelty filter + residual clustering + weighted
+        merge, escalating to a full retrain per the drift policy).  The
+        round computes a *new* model and a fully-built matcher off to the
+        side, then swaps both in atomically under the topic lock — queries
+        and matches issued mid-round keep hitting the previous version
+        (zero-downtime).  When the service has a ``store_root``, every
+        round's model is persisted as a new :class:`ModelStore` version.
+        """
         state = self._topics[topic_name]
-        batch = state.pending_training or [record.raw for record in state.topic.records()]
-        if not batch:
+        watermark = state.topic.high_watermark
+        delta_records = state.topic.records_since(state.trained_watermark)
+        if not delta_records and not force_full:
             return
-        state.parser.train(batch)
-        state.pending_training = []
-        state.scheduler.training_completed(now)
-        state.internal_topic.publish_model(state.parser.model)
-        state.pipeline.attach_matcher(state.parser.matcher)
-        state.pipeline.backfill_templates(state.parser.matcher)
+        round_result = state.trainer.round(
+            state.parser.model if state.parser.is_trained else None,
+            [r.raw for r in delta_records],
+            # The pipeline matched every delta record at ingestion, so the
+            # round reuses those assignments and clusters only the records
+            # that were unmatched or fell back to temporary templates.
+            delta_template_ids=[r.template_id for r in delta_records],
+            full_corpus=lambda: [r.raw for r in state.topic.records()],
+            force_full=force_full,
+        )
+        model_changed = round_result.mode != "incremental" or round_result.n_clustered > 0
+        if not model_changed:
+            # No-op round: the delta was fully explained, so the only
+            # difference between the round's model and the live one is the
+            # reused templates' weights.  Apply those in place (weights are
+            # not read by concurrent matching) instead of paying a model
+            # swap, matcher/index rebuild, internal-topic snapshot and
+            # store version for a model with no new structure.
+            live = state.parser.model
+            with state.lock:
+                for template in round_result.model.templates():
+                    if template.template_id in live:
+                        live.get(template.template_id).weight = template.weight
+                state.trained_watermark = watermark
+            state.last_round = round_result
+            state.scheduler.training_completed(now, mode=round_result.mode)
+            return
+        # Build the next matcher (including its vectorised match index)
+        # against the new model entirely outside the lock.  The training
+        # assignments map is only consulted by the "naive" matching
+        # strategy; skip maintaining (and copying) it otherwise — it grows
+        # with every unique clustered tuple.
+        if state.parser.config.matching_strategy == "naive":
+            assignments = state.parser.training_assignments
+            assignments.update(round_result.training_assignments)
+        else:
+            assignments = None
+        matcher = state.parser.build_matcher(round_result.model, assignments)
+        with state.lock:
+            state.parser.install_model(
+                round_result.model, matcher=matcher, training_assignments=assignments
+            )
+            state.pipeline.attach_matcher(matcher)
+            state.trained_watermark = watermark
+        state.last_round = round_result
+        state.scheduler.training_completed(now, mode=round_result.mode)
+        state.internal_topic.publish_model(round_result.model)
+        state.pipeline.backfill_templates(matcher)
+        if state.store is not None:
+            state.store.save(
+                round_result.model,
+                created_at=now,
+                mode=round_result.mode,
+                metadata={
+                    "round": state.scheduler.training_rounds,
+                    "reason": round_result.reason,
+                    "n_delta_records": round_result.n_delta_records,
+                    "n_reused": round_result.n_reused,
+                    "n_clustered": round_result.n_clustered,
+                    # Restored by rollback_model so the next round's delta
+                    # re-covers everything this version never saw.
+                    "trained_watermark": watermark,
+                },
+            )
+
+    # ------------------------------------------------------------------ #
+    # model versioning
+    # ------------------------------------------------------------------ #
+    def model_versions(self, topic_name: str) -> List[ModelVersion]:
+        """Version history of the topic's persisted models (oldest first)."""
+        state = self._topics[topic_name]
+        if state.store is None:
+            return []
+        return state.store.versions()
+
+    def rollback_model(self, topic_name: str) -> ModelVersion:
+        """Hot-swap the topic back to the previous persisted model version.
+
+        Moves the store's *current* pointer one version back, reloads that
+        snapshot and installs it atomically (same swap discipline as a
+        training round).  The training watermark rewinds to the point the
+        restored version was trained at, so the next round re-covers every
+        record the rolled-back-away versions had learned (their template
+        knowledge would otherwise be lost for good).  Raises
+        ``RuntimeError`` without a ``store_root``.
+        """
+        state = self._topics[topic_name]
+        if state.store is None:
+            raise RuntimeError(f"topic {topic_name!r} has no model store configured")
+        version = state.store.rollback()
+        model = state.store.load(version.version)
+        # Ids handed out by the newer (rolled-back-away) versions are still
+        # referenced by stored records; the restored model must never mint
+        # them again for unrelated templates.
+        model.reserve_ids(state.parser.model.next_template_id)
+        matcher = state.parser.build_matcher(model)
+        with state.lock:
+            state.parser.install_model(model, matcher=matcher)
+            state.pipeline.attach_matcher(matcher)
+            state.trained_watermark = int(version.metadata.get("trained_watermark", 0))
+        # Metadata readers must see the restored model, same as after any
+        # other swap.
+        state.internal_topic.publish_model(model)
+        return version
+
+    # ------------------------------------------------------------------ #
+    # matching
+    # ------------------------------------------------------------------ #
+    def match(self, topic_name: str, raw: str) -> MatchResult:
+        """Match one record against the topic's live model without storing it.
+
+        Snapshots the parser's matcher under the topic lock (a pointer
+        read), then matches outside it — concurrent hot swaps never leave
+        this call holding a half-built index.  The match is strictly
+        read-only (``register_misses=False``): a record the model cannot
+        explain comes back with ``template_id == -1`` instead of mutating
+        the shared model from a reader thread.
+        """
+        state = self._topics[topic_name]
+        with state.lock:
+            if not state.parser.is_trained:
+                raise RuntimeError(f"topic {topic_name!r} has no trained model yet")
+            matcher = state.parser.matcher
+        return matcher.match(raw, register_misses=False)
 
     # ------------------------------------------------------------------ #
     # query
@@ -181,7 +332,11 @@ class LogParsingService:
         else:
             records = state.topic.records()
         template_ids = [r.template_id for r in records if r.template_id is not None]
-        return state.parser.query_engine.group_records(
+        with state.lock:
+            # Snapshot the engine so a concurrent hot swap cannot hand this
+            # query a model mid-installation.
+            query_engine = state.parser.query_engine
+        return query_engine.group_records(
             template_ids, threshold, merge_wildcards=merge_wildcards
         )
 
@@ -275,12 +430,18 @@ class LogParsingService:
         """Operational statistics for one topic (Table 5-style reporting)."""
         state = self._topics[topic_name]
         model_stats = state.parser.model.stats()
+        n_versions, current = state.store.summary() if state.store is not None else (0, None)
         return {
             "n_records": float(len(state.topic)),
             "raw_bytes": float(state.topic.size_bytes()),
             "n_templates": float(model_stats["n_templates"]),
             "model_size_bytes": float(model_stats["size_bytes"]),
             "training_rounds": float(state.scheduler.training_rounds),
+            "incremental_rounds": float(state.scheduler.incremental_rounds),
+            "full_rounds": float(state.scheduler.full_rounds),
+            "pending_records": float(state.topic.high_watermark - state.trained_watermark),
+            "n_model_versions": float(n_versions),
+            "model_version": float(current.version) if current is not None else 0.0,
         }
 
 

@@ -88,6 +88,21 @@ class LogTopic:
         """Records in the half-open id range ``[start, end)``."""
         return self._records[start:end]
 
+    def records_since(self, start_record_id: int) -> List[LogRecord]:
+        """Records appended at or after ``start_record_id``.
+
+        Record ids are densely increasing, so ``records_since(watermark)``
+        is the ingest delta since a training round captured ``watermark``
+        (see :class:`~repro.core.incremental.IncrementalTrainer`) — the
+        topic itself is the delta buffer, no second copy of the raw text.
+        """
+        return self._records[start_record_id:]
+
+    @property
+    def high_watermark(self) -> int:
+        """Id the next appended record will receive (== record count)."""
+        return len(self._records)
+
     def records_between(self, start_time: float, end_time: float) -> List[LogRecord]:
         """Records whose timestamp falls in ``[start_time, end_time)``."""
         return [r for r in self._records if start_time <= r.timestamp < end_time]

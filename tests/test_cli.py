@@ -71,6 +71,74 @@ class TestTrainAndMatch:
         assert len(coarse) <= len(fine)
 
 
+class TestModelStoreCommands:
+    def test_save_model_then_load_latest_matches_identically(self, log_file, tmp_path, capsys):
+        """Acceptance: a model saved with save-model, reloaded via
+        ModelStore.load_latest, produces identical match results on a
+        held-out batch."""
+        from repro.core.config import ByteBrainConfig
+        from repro.core.matcher import OnlineMatcher
+        from repro.core.modelstore import ModelStore
+        from repro.core.trainer import OfflineTrainer
+
+        store_dir = tmp_path / "store"
+        exit_code = main(["save-model", "--store", str(store_dir), "--input", str(log_file)])
+        assert exit_code == 0
+        assert "saved version 1" in capsys.readouterr().out
+
+        config = ByteBrainConfig()
+        lines = log_file.read_text(encoding="utf-8").splitlines()
+        direct = OfflineTrainer(config).train(lines).model
+        reloaded = ModelStore(store_dir).load_latest()
+
+        held_out = [f"worker {500 + i} finished job {i * 11} in {i % 7} ms" for i in range(50)]
+        held_out += [f"worker {500 + i} failed job {i} with code {i % 4}" for i in range(30)]
+        direct_ids = [r.template_id for r in OnlineMatcher(direct, config=config).match_many(held_out)]
+        reloaded_ids = [
+            r.template_id for r in OnlineMatcher(reloaded, config=config).match_many(held_out)
+        ]
+        assert direct_ids == reloaded_ids
+
+    def test_save_model_snapshot_of_existing_json(self, log_file, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        main(["train", "--input", str(log_file), "--model", str(model_path)])
+        capsys.readouterr()
+        store_dir = tmp_path / "store"
+        assert main(["save-model", "--store", str(store_dir), "--model", str(model_path)]) == 0
+        assert main(["save-model", "--store", str(store_dir), "--model", str(model_path)]) == 0
+        out = capsys.readouterr().out
+        assert "saved version 2" in out
+
+    def test_save_model_requires_exactly_one_source(self, log_file, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["save-model", "--store", store]) == 2
+        assert (
+            main(
+                [
+                    "save-model", "--store", store,
+                    "--input", str(log_file), "--model", str(log_file),
+                ]
+            )
+            == 2
+        )
+
+    def test_load_model_prints_metadata_and_exports(self, log_file, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        main(["save-model", "--store", str(store_dir), "--input", str(log_file), "--tag", "demo"])
+        capsys.readouterr()
+        out_path = tmp_path / "exported.json"
+        exit_code = main(
+            ["load-model", "--store", str(store_dir), "--output", str(out_path)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "version 1" in out and "demo" in out
+        assert json.loads(out_path.read_text(encoding="utf-8"))["templates"]
+
+    def test_load_model_from_empty_store_fails_cleanly(self, tmp_path):
+        assert main(["load-model", "--store", str(tmp_path / "nothing")]) == 2
+
+
 class TestEvaluateAndDatasets:
     def test_evaluate_bytebrain_only(self, capsys):
         exit_code = main(["evaluate", "--dataset", "Apache", "--variant", "loghub"])

@@ -1,0 +1,203 @@
+"""Tests for the incremental training subsystem (core/incremental.py)."""
+
+import pytest
+
+from repro.core.config import WILDCARD, ByteBrainConfig
+from repro.core.incremental import DriftPolicy, IncrementalTrainer
+from repro.core.matcher import OnlineMatcher
+from repro.core.model import ParserModel, Template
+from repro.core.trainer import OfflineTrainer
+
+
+def order_lines(start, count):
+    return [f"order {start + i} created for customer {i % 17} amount {i * 3} cents" for i in range(count)]
+
+
+def error_lines(count):
+    return [f"payment gateway timeout after {1000 + i} ms for order {i}" for i in range(count)]
+
+
+def disk_lines(count):
+    return [f"disk volume {i % 7} usage at {50 + i % 40} percent on host {i}" for i in range(count)]
+
+
+@pytest.fixture()
+def config():
+    return ByteBrainConfig()
+
+
+@pytest.fixture()
+def base_model(config):
+    return OfflineTrainer(config).train(order_lines(0, 200)).model
+
+
+class TestFirstRound:
+    def test_no_live_model_runs_initial_full_round(self, config):
+        trainer = IncrementalTrainer(config)
+        result = trainer.round(None, order_lines(0, 100))
+        assert result.mode == "initial"
+        assert len(result.model) > 0
+        assert result.n_clustered == 100
+
+    def test_empty_live_model_also_counts_as_first_round(self, config):
+        trainer = IncrementalTrainer(config)
+        result = trainer.round(ParserModel(), order_lines(0, 100))
+        assert result.mode == "initial"
+
+    def test_initial_round_assignments_cover_training_tuples(self, config):
+        trainer = IncrementalTrainer(config)
+        result = trainer.round(None, order_lines(0, 100))
+        assert result.training_assignments
+        for template_id in result.training_assignments.values():
+            assert template_id in result.model
+
+
+class TestIncrementalRound:
+    def test_live_model_is_never_mutated(self, config, base_model):
+        snapshot = base_model.to_json()
+        trainer = IncrementalTrainer(config)
+        trainer.round(base_model, order_lines(200, 100) + error_lines(50))
+        assert base_model.to_json() == snapshot
+
+    def test_known_delta_is_fully_reused(self, config, base_model):
+        trainer = IncrementalTrainer(config)
+        result = trainer.round(base_model, order_lines(500, 120))
+        assert result.mode == "incremental"
+        assert result.n_reused == 120
+        assert result.n_clustered == 0
+
+    def test_reused_records_accumulate_weight_on_the_new_model(self, config, base_model):
+        total_before = sum(t.weight for t in base_model.templates())
+        trainer = IncrementalTrainer(config)
+        result = trainer.round(base_model, order_lines(500, 120))
+        total_after = sum(t.weight for t in result.model.templates())
+        assert total_after == pytest.approx(total_before + 120)
+
+    def test_novel_templates_are_learned_incrementally(self, config, base_model):
+        trainer = IncrementalTrainer(config)
+        result = trainer.round(base_model, order_lines(500, 60) + error_lines(80))
+        assert result.mode == "incremental"
+        assert result.n_clustered >= 80
+        matcher = OnlineMatcher(result.model.clone(), config=config)
+        matched = matcher.match("payment gateway timeout after 9999 ms for order 4")
+        assert not matched.is_new_template
+
+    def test_existing_template_ids_stay_stable(self, config, base_model):
+        before = {t.template_id: t.tokens for t in base_model.templates()}
+        trainer = IncrementalTrainer(config)
+        result = trainer.round(base_model, order_lines(500, 60) + error_lines(80))
+        for template_id, tokens in before.items():
+            assert result.model.get(template_id).tokens == tokens
+
+    def test_ingest_time_assignments_skip_matching(self, config, base_model):
+        # All delta records were matched at ingest to high-saturation
+        # templates; the round must not re-cluster anything.
+        matcher = OnlineMatcher(base_model.clone(), config=config)
+        delta = order_lines(700, 50)
+        ids = [matcher.match(raw).template_id for raw in delta]
+        trainer = IncrementalTrainer(config)
+        result = trainer.round(matcher.model, delta, delta_template_ids=ids)
+        assert result.n_clustered + result.n_reused == 50
+        # Every record the ingest path resolved to a precise (>= reuse
+        # saturation) trained template must be reused, not re-clustered.
+        precise = sum(
+            1
+            for tid in ids
+            if not matcher.model.get(tid).is_temporary
+            and matcher.model.get(tid).saturation >= trainer.drift_policy.min_reuse_saturation
+        )
+        assert result.n_reused == precise
+
+    def test_temporary_assignments_go_to_the_residue(self, config, base_model):
+        # Records that fell back to a temporary template at ingest must be
+        # re-clustered so the round learns them properly.
+        matcher = OnlineMatcher(base_model.clone(), config=config)
+        delta = error_lines(40)
+        results = [matcher.match(raw) for raw in delta]
+        assert any(matcher.model.get(r.template_id).is_temporary for r in results)
+        trainer = IncrementalTrainer(config)
+        round_result = trainer.round(
+            matcher.model, delta, delta_template_ids=[r.template_id for r in results]
+        )
+        assert round_result.n_clustered == 40
+
+
+class TestDriftPolicy:
+    def test_forced_full_round(self, config, base_model):
+        trainer = IncrementalTrainer(config)
+        result = trainer.round(
+            base_model,
+            error_lines(50),
+            full_corpus=lambda: order_lines(0, 200) + error_lines(50),
+            force_full=True,
+        )
+        assert result.mode == "full"
+        assert result.n_clustered == 250
+
+    def test_periodic_full_retrain(self, config, base_model):
+        trainer = IncrementalTrainer(config, DriftPolicy(full_retrain_every=2))
+        corpus = list(order_lines(0, 200))
+
+        def full():
+            return corpus
+
+        model = base_model
+        modes = []
+        for start in (300, 400, 500):
+            batch = order_lines(start, 30)
+            corpus.extend(batch)
+            result = trainer.round(model, batch, full_corpus=full)
+            model = result.model
+            modes.append(result.mode)
+        assert modes == ["incremental", "incremental", "full"]
+
+    def test_insert_ratio_escalates_to_full(self, config, base_model):
+        # A delta of entirely new structure (high insert ratio) must trigger
+        # a full retrain when the policy allows none of it.
+        policy = DriftPolicy(max_insert_ratio=0.0, min_residue_templates=1)
+        trainer = IncrementalTrainer(config, policy)
+        corpus = order_lines(0, 200) + disk_lines(120)
+        result = trainer.round(base_model, disk_lines(120), full_corpus=lambda: corpus)
+        assert result.mode == "full"
+        assert "drift" in result.reason
+
+    def test_escalation_without_corpus_provider_stays_incremental(self, config, base_model):
+        policy = DriftPolicy(max_insert_ratio=0.0, min_residue_templates=1)
+        trainer = IncrementalTrainer(config, policy)
+        result = trainer.round(base_model, disk_lines(120))
+        assert result.mode == "incremental"
+        # The detected drift must still be reported, not papered over.
+        assert "drift" in result.reason
+
+
+class TestWeightedMerge:
+    def test_weighted_saturation_blends_by_weight(self):
+        target = ParserModel()
+        target.add_template(Template(0, ("a", "b"), saturation=1.0, parent_id=None, depth=0, weight=3.0))
+        other = ParserModel()
+        other.add_template(Template(0, ("a", "b"), saturation=0.8, parent_id=None, depth=0, weight=1.0))
+        target.merge_from(other, weighted_saturation=True)
+        assert target.get(0).saturation == pytest.approx((1.0 * 3 + 0.8 * 1) / 4)
+        assert target.get(0).weight == pytest.approx(4.0)
+
+    def test_weighted_merge_keeps_length_buckets_sorted(self):
+        target = ParserModel()
+        target.add_template(Template(0, ("a", WILDCARD), saturation=0.9, parent_id=None, depth=0, weight=1.0))
+        target.add_template(Template(1, ("b", WILDCARD), saturation=0.85, parent_id=None, depth=0, weight=1.0))
+        other = ParserModel()
+        # Merging drags template 0's saturation below template 1's (the
+        # incoming saturation stays within the 0.25 merge-distance guard).
+        other.add_template(Template(0, ("a", WILDCARD), saturation=0.7, parent_id=None, depth=0, weight=20.0))
+        target.merge_from(other, weighted_saturation=True)
+        ordered = target.templates_of_length(2)
+        saturations = [t.saturation for t in ordered]
+        assert saturations == sorted(saturations, reverse=True)
+        assert ordered[0].template_id == 1
+
+    def test_default_merge_keeps_target_saturation(self):
+        target = ParserModel()
+        target.add_template(Template(0, ("a", "b"), saturation=1.0, parent_id=None, depth=0, weight=3.0))
+        other = ParserModel()
+        other.add_template(Template(0, ("a", "b"), saturation=0.8, parent_id=None, depth=0, weight=1.0))
+        target.merge_from(other)
+        assert target.get(0).saturation == 1.0

@@ -164,3 +164,50 @@ class TestModelMerging:
         other.add_template(Template(0, ("x", "y"), 1.0, None, 0, weight=3.0))
         target.merge_from(other)
         assert target.get(0).weight == pytest.approx(8.0)
+
+    def test_similarity_is_zero_for_different_lengths_even_when_wildcard_heavy(self):
+        # Regression: a zip-based score would rate these 1.0 over the shared
+        # prefix; templates of different token counts must never look alike.
+        short = (WILDCARD, WILDCARD, "commit")
+        long = (WILDCARD, WILDCARD, "commit", WILDCARD, "done")
+        assert template_similarity(short, long) == 0.0
+        assert template_similarity(long, short) == 0.0
+
+    def test_wildcard_heavy_templates_of_different_lengths_never_merge(self):
+        # Regression: even at similarity threshold 0, merge_from must not
+        # fold a 5-token wildcard-heavy template into a 3-token one.
+        target = ParserModel()
+        target.add_template(make_template(0, [WILDCARD, WILDCARD, "commit"], 0.9))
+        other = ParserModel()
+        other.add_template(
+            make_template(0, [WILDCARD, WILDCARD, "commit", WILDCARD, "done"], 0.9)
+        )
+        mapping = target.merge_from(other, similarity_threshold=0.0)
+        assert len(target) == 2
+        assert target.get(mapping[0]).n_tokens == 5
+
+    def test_merge_relinks_depth_of_inserted_children(self):
+        # An inserted template whose parent merged into an existing deep
+        # template is re-linked with its depth recomputed from that parent.
+        target = ParserModel()
+        target.add_template(make_template(0, ["jobs", WILDCARD], 0.4))
+        target.add_template(make_template(1, ["jobs", "queued"], 0.9, parent=0, depth=1))
+        other = ParserModel()
+        other.add_template(make_template(0, ["jobs", "queued"], 0.9))
+        other.add_template(make_template(1, ["jobs", "failed"], 1.0, parent=0, depth=1))
+        mapping = target.merge_from(other)
+        assert mapping[0] == 1  # parent merged into the existing deep node
+        inserted = target.get(mapping[1])
+        assert inserted.parent_id == 1
+        assert inserted.depth == 2
+
+    def test_clone_is_deep_and_preserves_next_id(self, chain_model):
+        clone = chain_model.clone()
+        assert clone.to_json() == chain_model.to_json()
+        # Same id allocator position, but independent counters afterwards.
+        assert clone.allocate_id() == chain_model.allocate_id()
+        # Mutating the clone's templates must not touch the original.
+        clone.get(0).weight += 99
+        assert chain_model.get(0).weight != clone.get(0).weight
+        clone.new_temporary_template(("only", "in", "clone"))
+        assert len(clone) == len(chain_model) + 1

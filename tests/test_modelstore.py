@@ -1,0 +1,133 @@
+"""Tests for the versioned on-disk model store (core/modelstore.py)."""
+
+import json
+
+import pytest
+
+from repro.core.config import ByteBrainConfig
+from repro.core.matcher import OnlineMatcher
+from repro.core.modelstore import ModelStore
+from repro.core.trainer import OfflineTrainer
+
+
+def training_lines():
+    lines = [f"worker {i} finished job {i * 7} in {i % 50} ms" for i in range(150)]
+    lines += [f"worker {i} failed job {i * 3} with code {i % 5}" for i in range(80)]
+    return lines
+
+
+def held_out_lines():
+    return [f"worker {900 + i} finished job {i} in {i % 9} ms" for i in range(40)]
+
+
+@pytest.fixture()
+def config():
+    return ByteBrainConfig()
+
+
+@pytest.fixture()
+def model(config):
+    return OfflineTrainer(config).train(training_lines()).model
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ModelStore(tmp_path / "store")
+
+
+class TestSaveAndLoad:
+    def test_round_trip_produces_identical_match_results(self, store, model, config):
+        store.save(model)
+        reloaded = store.load_latest()
+        original = OnlineMatcher(model.clone(), config=config)
+        restored = OnlineMatcher(reloaded, config=config)
+        batch = held_out_lines()
+        assert [r.template_id for r in original.match_many(batch)] == [
+            r.template_id for r in restored.match_many(batch)
+        ]
+
+    def test_versions_are_monotonic(self, store, model):
+        first = store.save(model, created_at=1.0, mode="initial")
+        second = store.save(model, created_at=2.0, mode="incremental")
+        assert (first.version, second.version) == (1, 2)
+        assert [v.version for v in store.versions()] == [1, 2]
+        assert len(store) == 2
+
+    def test_metadata_is_persisted(self, store, model):
+        store.save(model, created_at=3.5, mode="incremental", metadata={"round": 7})
+        version = store.current_version()
+        assert version.mode == "incremental"
+        assert version.created_at == 3.5
+        assert version.metadata["round"] == 7
+        assert version.n_templates == len(model)
+
+    def test_load_specific_version(self, store, model, config):
+        store.save(model)
+        grown = model.clone()
+        grown.new_temporary_template(("extra", "template"))
+        store.save(grown)
+        assert len(store.load(1)) == len(model)
+        assert len(store.load(2)) == len(model) + 1
+
+    def test_empty_store_raises(self, store):
+        with pytest.raises(LookupError):
+            store.load_latest()
+        with pytest.raises(LookupError):
+            store.rollback()
+
+    def test_unknown_version_raises(self, store, model):
+        store.save(model)
+        with pytest.raises(LookupError):
+            store.load(99)
+
+
+class TestRollback:
+    def test_rollback_moves_current_pointer(self, store, model):
+        store.save(model, mode="initial")
+        grown = model.clone()
+        grown.new_temporary_template(("extra", "template"))
+        store.save(grown, mode="incremental")
+        rolled = store.rollback()
+        assert rolled.version == 1
+        assert len(store.load_latest()) == len(model)
+        # Snapshots stay on disk; rolling forward is another pointer move.
+        assert [v.version for v in store.versions()] == [1, 2]
+
+    def test_rollback_to_explicit_version(self, store, model):
+        for _ in range(3):
+            store.save(model)
+        rolled = store.rollback(to_version=1)
+        assert rolled.version == 1
+        assert store.current_version().version == 1
+
+    def test_rollback_past_first_version_raises(self, store, model):
+        store.save(model)
+        with pytest.raises(LookupError):
+            store.rollback()
+
+    def test_save_after_rollback_supersedes(self, store, model):
+        store.save(model)
+        store.save(model)
+        store.rollback()
+        version = store.save(model)
+        assert version.version == 3
+        assert store.current_version().version == 3
+
+
+class TestDurability:
+    def test_manifest_is_valid_json_on_disk(self, store, model, tmp_path):
+        store.save(model, metadata={"round": 1})
+        manifest = json.loads((store.root / "manifest.json").read_text(encoding="utf-8"))
+        assert manifest["current"] == 1
+        assert manifest["versions"][0]["filename"] == "v000001.json"
+        assert (store.root / "v000001.json").exists()
+
+    def test_reopening_the_store_sees_existing_versions(self, store, model):
+        store.save(model)
+        reopened = ModelStore(store.root)
+        assert len(reopened) == 1
+        assert len(reopened.load_latest()) == len(model)
+
+    def test_no_temp_files_left_behind(self, store, model):
+        store.save(model)
+        assert not list(store.root.glob("*.tmp"))

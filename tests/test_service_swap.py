@@ -1,0 +1,295 @@
+"""Service-level tests for incremental rounds, zero-downtime hot swap and
+the versioned model store integration."""
+
+import threading
+
+import pytest
+
+from repro.core.config import ByteBrainConfig
+from repro.service.scheduler import SchedulerPolicy
+from repro.service.service import LogParsingService
+
+
+def make_service(tmp_path=None, volume_threshold=10_000, initial=10_000):
+    return LogParsingService(
+        config=ByteBrainConfig(),
+        scheduler_policy=SchedulerPolicy(
+            volume_threshold=volume_threshold,
+            time_interval_seconds=600,
+            initial_volume_threshold=initial,
+        ),
+        store_root=tmp_path,
+    )
+
+
+def order_lines(start, count):
+    return [f"order {start + i} created for customer {i % 17} amount {i * 3} cents" for i in range(count)]
+
+
+def error_lines(count):
+    return [f"payment gateway timeout after {1000 + i} ms for order {i}" for i in range(count)]
+
+
+class TestIncrementalRounds:
+    def test_first_round_is_initial_then_incremental(self):
+        service = make_service()
+        service.create_topic("checkout")
+        service.ingest_batch("checkout", order_lines(0, 100), now=0.0)
+        service.train_now("checkout", now=1.0)
+        assert service.topic("checkout").last_round.mode == "initial"
+        service.ingest_batch("checkout", order_lines(100, 80), now=2.0)
+        service.train_now("checkout", now=3.0)
+        assert service.topic("checkout").last_round.mode == "incremental"
+        stats = service.topic_stats("checkout")
+        assert stats["incremental_rounds"] == 1
+        assert stats["full_rounds"] == 1
+
+    def test_incremental_round_reuses_ingest_assignments(self):
+        service = make_service()
+        service.create_topic("checkout")
+        service.ingest_batch("checkout", order_lines(0, 100), now=0.0)
+        service.train_now("checkout", now=1.0)
+        service.ingest_batch("checkout", order_lines(100, 80), now=2.0)
+        service.train_now("checkout", now=3.0)
+        last = service.topic("checkout").last_round
+        assert last.n_reused == 80
+        assert last.n_clustered == 0
+
+    def test_novel_traffic_is_learned_by_the_next_round(self):
+        service = make_service()
+        service.create_topic("checkout")
+        service.ingest_batch("checkout", order_lines(0, 100), now=0.0)
+        service.train_now("checkout", now=1.0)
+        service.ingest_batch("checkout", error_lines(60), now=2.0)
+        service.train_now("checkout", now=3.0)
+        result = service.match("checkout", "payment gateway timeout after 777 ms for order 9")
+        assert not result.is_new_template
+
+    def test_force_full_round(self):
+        service = make_service()
+        service.create_topic("checkout")
+        service.ingest_batch("checkout", order_lines(0, 100), now=0.0)
+        service.train_now("checkout", now=1.0)
+        service.ingest_batch("checkout", order_lines(100, 50), now=2.0)
+        service.train_now("checkout", now=3.0, force_full=True)
+        assert service.topic("checkout").last_round.mode == "full"
+
+    def test_no_new_records_means_no_round(self):
+        service = make_service()
+        service.create_topic("checkout")
+        service.ingest_batch("checkout", order_lines(0, 100), now=0.0)
+        service.train_now("checkout", now=1.0)
+        rounds = service.topic("checkout").scheduler.training_rounds
+        service.train_now("checkout", now=2.0)
+        assert service.topic("checkout").scheduler.training_rounds == rounds
+
+    def test_records_keep_valid_template_ids_across_rounds(self):
+        service = make_service()
+        service.create_topic("checkout")
+        service.ingest_batch("checkout", order_lines(0, 100), now=0.0)
+        service.train_now("checkout", now=1.0)
+        service.ingest_batch("checkout", error_lines(60), now=2.0)
+        service.train_now("checkout", now=3.0)
+        state = service.topic("checkout")
+        for record in state.topic.records():
+            assert record.template_id in state.parser.model
+
+
+class TestModelStoreIntegration:
+    def test_model_changing_rounds_persist_versions(self, tmp_path):
+        service = make_service(tmp_path)
+        service.create_topic("checkout")
+        service.ingest_batch("checkout", order_lines(0, 100), now=0.0)
+        service.train_now("checkout", now=1.0)
+        service.ingest_batch("checkout", error_lines(60), now=2.0)
+        service.train_now("checkout", now=3.0)
+        versions = service.model_versions("checkout")
+        assert [v.version for v in versions] == [1, 2]
+        assert versions[0].mode == "initial"
+        assert versions[1].mode == "incremental"
+        assert versions[1].metadata["n_clustered"] == 60
+        stats = service.topic_stats("checkout")
+        assert stats["n_model_versions"] == 2
+        assert stats["model_version"] == 2
+
+    def test_no_op_rounds_do_not_persist_versions(self, tmp_path):
+        # A round whose delta the live model fully explains bumps weights
+        # only; snapshotting it per round would grow the store without new
+        # information on stable traffic.
+        service = make_service(tmp_path)
+        service.create_topic("checkout")
+        service.ingest_batch("checkout", order_lines(0, 100), now=0.0)
+        service.train_now("checkout", now=1.0)
+        service.ingest_batch("checkout", order_lines(100, 50), now=2.0)
+        service.train_now("checkout", now=3.0)
+        assert service.topic("checkout").last_round.n_clustered == 0
+        assert len(service.model_versions("checkout")) == 1
+        assert service.topic_stats("checkout")["training_rounds"] == 2
+
+    def test_rollback_swaps_the_previous_version_in(self, tmp_path):
+        service = make_service(tmp_path)
+        service.create_topic("checkout")
+        service.ingest_batch("checkout", order_lines(0, 100), now=0.0)
+        service.train_now("checkout", now=1.0)
+        templates_v1 = len(service.topic("checkout").parser.model)
+        service.ingest_batch("checkout", error_lines(60), now=2.0)
+        service.train_now("checkout", now=3.0)
+        assert len(service.topic("checkout").parser.model) > templates_v1
+        rounds_published = service.topic("checkout").internal_topic.training_rounds
+        version = service.rollback_model("checkout")
+        assert version.version == 1
+        assert len(service.topic("checkout").parser.model) == templates_v1
+        # The restored model is published to the internal template topic so
+        # metadata readers see the same model queries are served from.
+        assert service.topic("checkout").internal_topic.training_rounds == rounds_published + 1
+        # Queries over records matched by the newer model must not crash.
+        groups = service.query_templates("checkout", threshold=0.6)
+        assert groups
+
+    def test_rollback_rewinds_watermark_so_retraining_recovers_lost_templates(self, tmp_path):
+        # Regression: rolling back must not permanently orphan the records
+        # that only the rolled-back-away versions had learned.
+        service = make_service(tmp_path)
+        service.create_topic("checkout")
+        service.ingest_batch("checkout", order_lines(0, 100), now=0.0)
+        service.train_now("checkout", now=1.0)
+        service.ingest_batch("checkout", error_lines(60), now=2.0)
+        service.train_now("checkout", now=3.0)
+        service.rollback_model("checkout")
+        probe = "payment gateway timeout after 555 ms for order 7"
+        assert service.match("checkout", probe).template_id == -1
+        # The next round re-covers the 60 timeout records and learns them.
+        service.train_now("checkout", now=4.0)
+        result = service.match("checkout", probe)
+        assert result.template_id != -1
+        assert not result.template.is_temporary
+
+    def test_rollback_never_reallocates_ids_of_newer_versions(self, tmp_path):
+        # Regression: the restored snapshot's id allocator must be bumped
+        # past every id the rolled-back-away versions handed out, or new
+        # templates alias ids that stored records still reference.
+        service = make_service(tmp_path)
+        service.create_topic("checkout")
+        service.ingest_batch("checkout", order_lines(0, 100), now=0.0)
+        service.train_now("checkout", now=1.0)
+        service.ingest_batch("checkout", error_lines(60), now=2.0)
+        service.train_now("checkout", now=3.0)
+        state = service.topic("checkout")
+        timeout_ids = {
+            r.template_id for r in state.topic.records() if "timeout" in r.raw
+        }
+        service.rollback_model("checkout")
+        # New structure ingested after the rollback must get fresh ids.
+        service.ingest_batch(
+            "checkout",
+            [f"disk volume {i} failed with error {i % 5}" for i in range(30)],
+            now=4.0,
+        )
+        disk_ids = {
+            r.template_id
+            for r in state.topic.records()
+            if "disk" in r.raw and r.template_id is not None
+        }
+        assert not (disk_ids & timeout_ids)
+
+    def test_match_is_read_only(self):
+        # Regression: probe matches must never mutate the shared live model
+        # (reader threads calling match would race on template insertion).
+        service = make_service()
+        service.create_topic("checkout")
+        service.ingest_batch("checkout", order_lines(0, 100), now=0.0)
+        service.train_now("checkout", now=1.0)
+        before = len(service.topic("checkout").parser.model)
+        result = service.match("checkout", "a structure this model has never seen at all")
+        assert result.template_id == -1
+        assert len(service.topic("checkout").parser.model) == before
+
+    def test_rollback_without_store_raises(self):
+        service = make_service()
+        service.create_topic("checkout")
+        with pytest.raises(RuntimeError):
+            service.rollback_model("checkout")
+
+    def test_match_on_untrained_topic_raises(self):
+        service = make_service()
+        service.create_topic("checkout")
+        with pytest.raises(RuntimeError):
+            service.match("checkout", "order 1 created")
+
+
+class TestZeroDowntimeSwap:
+    def test_queries_during_swaps_never_see_a_partial_index(self):
+        """Readers matching concurrently with many hot swaps must always get
+        a complete, internally-consistent result from some model version."""
+        service = make_service()
+        service.create_topic("checkout")
+        service.ingest_batch("checkout", order_lines(0, 100), now=0.0)
+        service.train_now("checkout", now=1.0)
+
+        stop = threading.Event()
+        errors = []
+        observed = []
+
+        def reader():
+            probe = "order 123456 created for customer 3 amount 99 cents"
+            while not stop.is_set():
+                try:
+                    result = service.match("checkout", probe)
+                    # A completely-built index always resolves the probe to a
+                    # trained (non-temporary) template of the right length.
+                    if result.template.is_temporary:
+                        errors.append(f"probe fell back to temporary {result.template_id}")
+                    if len(result.template.tokens) != len(probe.split()):
+                        errors.append("matched template of the wrong length")
+                    observed.append(result.template_id)
+                except Exception as error:  # noqa: BLE001 - the assertion target
+                    errors.append(repr(error))
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            now = 2.0
+            for round_index in range(10):
+                service.ingest_batch("checkout", order_lines(1000 * (round_index + 1), 40), now=now)
+                service.train_now("checkout", now=now + 1)
+                now += 2.0
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+        assert not errors, errors[:5]
+        assert observed
+
+    def test_query_templates_during_swaps_stays_consistent(self):
+        service = make_service()
+        service.create_topic("checkout")
+        service.ingest_batch("checkout", order_lines(0, 120), now=0.0)
+        service.train_now("checkout", now=1.0)
+
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    groups = service.query_templates("checkout", threshold=0.6)
+                    if not groups:
+                        errors.append("query returned no groups")
+                except Exception as error:  # noqa: BLE001
+                    errors.append(repr(error))
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        try:
+            now = 2.0
+            for round_index in range(6):
+                service.ingest_batch("checkout", error_lines(30), now=now)
+                service.train_now("checkout", now=now + 1)
+                now += 2.0
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+        assert not errors, errors[:5]

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation tree.
+
+Verifies that every *relative* link and file reference in README.md,
+docs/*.md and CHANGES/ROADMAP/PAPER front-matter resolves to a real file,
+and that the example scripts referenced from the docs exist.  External
+(http/https/mailto) links are ignored — CI must not depend on the network.
+
+Exit code 0 when everything resolves, 1 otherwise (with one line per
+broken reference).  Run from anywhere:
+
+    python tools/check_markdown_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose links are checked.
+DOC_FILES = ["README.md", "ROADMAP.md", "PAPER.md", "CHANGES.md", *sorted(
+    str(p.relative_to(REPO_ROOT)) for p in (REPO_ROOT / "docs").glob("*.md")
+)]
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
+#: Inline-code path references like `examples/incremental_service.py` or
+#: `benchmarks/BENCH_matcher.json` — checked when they look like repo paths.
+_CODE_PATH_RE = re.compile(r"`((?:docs|examples|benchmarks|tools|src|tests)/[A-Za-z0-9_./-]+)`")
+
+
+def check_file(markdown_path: Path) -> list:
+    errors = []
+    text = markdown_path.read_text(encoding="utf-8")
+    references = []
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1).strip()
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        references.append(target.split("#")[0])
+    references.extend(match.group(1) for match in _CODE_PATH_RE.finditer(text))
+    for target in references:
+        if not target:
+            continue
+        resolved = (markdown_path.parent / target).resolve()
+        in_repo = (REPO_ROOT / target).resolve()
+        if not resolved.exists() and not in_repo.exists():
+            errors.append(f"{markdown_path.relative_to(REPO_ROOT)}: broken reference '{target}'")
+    return errors
+
+
+def main() -> int:
+    errors = []
+    checked = 0
+    for name in DOC_FILES:
+        path = REPO_ROOT / name
+        if not path.exists():
+            errors.append(f"expected documentation file missing: {name}")
+            continue
+        checked += 1
+        errors.extend(check_file(path))
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"FAIL: {len(errors)} broken reference(s) across {checked} files", file=sys.stderr)
+        return 1
+    print(f"OK: all relative links resolve across {checked} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
