@@ -73,7 +73,7 @@ def build_split_corpus(
     frequency: Dict[int, int] = {}
     for label in dataset.ground_truth:
         frequency[label] = frequency.get(label, 0) + 1
-    by_rank = sorted(frequency, key=lambda l: (-frequency[l], l))
+    by_rank = sorted(frequency, key=lambda label: (-frequency[label], label))
     novel = set(by_rank[NOVEL_RANK_START : NOVEL_RANK_START + NOVEL_TEMPLATE_COUNT])
 
     base_lines: List[str] = []

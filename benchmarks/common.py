@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import List, Optional
 
 from repro.baselines import BASELINE_REGISTRY, make_baseline
 from repro.core.config import ByteBrainConfig

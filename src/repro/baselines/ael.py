@@ -9,7 +9,7 @@ tokens are identical.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.baselines.base import WILDCARD, BaselineParser
 

@@ -9,7 +9,7 @@ leaf if the token-level similarity exceeds ``similarity_threshold``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.base import WILDCARD, BaselineParser

@@ -12,10 +12,10 @@ Partitioning* (KDD 2009).  Three partitioning steps are applied in sequence:
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import defaultdict
 from typing import Dict, List, Sequence, Tuple
 
-from repro.baselines.base import WILDCARD, BaselineParser
+from repro.baselines.base import BaselineParser
 
 __all__ = ["IPLoMParser"]
 

@@ -10,7 +10,7 @@ remaining constant signature identifies the event type.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.baselines.base import WILDCARD, BaselineParser
 

@@ -11,7 +11,7 @@ practical weakness — so ``k`` defaults to a heuristic estimate.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np

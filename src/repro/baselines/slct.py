@@ -11,7 +11,7 @@ the outlier group (one group per token count to avoid degenerate merging).
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.baselines.base import WILDCARD, BaselineParser
 

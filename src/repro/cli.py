@@ -13,6 +13,10 @@ Python:
     and print grouping accuracy / throughput.
 ``datasets``
     List the available benchmark corpora.
+``serve-bench``
+    Drive a multi-topic ingest workload through the synchronous service
+    façade and the sharded async runtime at one or more shard counts,
+    printing throughput, producer stalls and training-round counts.
 ``save-model``
     Save a model (trained from a log file, or an existing model JSON) as a
     new version in an on-disk :class:`~repro.core.modelstore.ModelStore`.
@@ -28,6 +32,7 @@ Examples
     python -m repro.cli match --input new.log --model model.json --threshold 0.6
     python -m repro.cli evaluate --dataset HDFS --variant loghub2 --baselines Drain AEL
     python -m repro.cli datasets
+    python -m repro.cli serve-bench --topics 4 --records 8000 --shards 1 2 4
     python -m repro.cli save-model --store models/app --input app.log
     python -m repro.cli load-model --store models/app --output model.json
 """
@@ -149,6 +154,59 @@ def _cmd_load_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.service.bench import run_serve_bench
+
+    if args.paced_rate is not None and args.volume_threshold <= 0:
+        print(
+            "error: --paced-rate requires --volume-threshold > 0 "
+            "(without training rounds there is nothing to stall on)",
+            file=sys.stderr,
+        )
+        return 2
+    config = ByteBrainConfig(
+        parallelism=args.parallelism,
+        train_volume_threshold=args.volume_threshold if args.volume_threshold > 0 else None,
+    )
+    report = run_serve_bench(
+        n_topics=args.topics,
+        records_per_topic=args.records,
+        train_records_per_topic=args.train_records,
+        shard_counts=args.shards,
+        micro_batch_size=args.micro_batch_size,
+        max_batch_delay=args.max_batch_delay,
+        volume_threshold=args.volume_threshold,
+        repetitions=args.repetitions,
+        paced_rate=args.paced_rate,
+        config=config,
+    )
+    workload = report["workload"]
+    print(
+        f"workload: {workload['n_topics']} topics x {workload['records_per_topic']} records "
+        f"(volume_threshold={workload['volume_threshold'] or 'off'})"
+    )
+    rows = [
+        {
+            "mode": mode["mode"],
+            "logs/s": f"{mode['throughput']:,.0f}",
+            "vs sync": f"{mode['speedup_vs_sync']:.3f}x",
+            "rounds": mode["training_rounds"],
+        }
+        for mode in report["modes"]
+    ]
+    print(format_table(rows, ["mode", "logs/s", "vs sync", "rounds"]))
+    if report.get("paced_latency"):
+        paced = report["paced_latency"]
+        stalls = ", ".join(f"{k}: {v:.1f} ms" for k, v in paced["max_stall_ms"].items())
+        print(f"paced @ {paced['rate']:,.0f} rec/s — worst producer stall: {stalls}")
+    if args.output is not None:
+        import json
+
+        Path(args.output).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"report written to {args.output}")
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     rows = []
     for variant in ("loghub", "loghub2"):
@@ -204,6 +262,43 @@ def build_parser() -> argparse.ArgumentParser:
     load_model.add_argument("--version", type=int, help="specific version (default: current)")
     load_model.add_argument("--output", help="optional path to export the model JSON")
     load_model.set_defaults(func=_cmd_load_model)
+
+    serve_bench = subparsers.add_parser(
+        "serve-bench",
+        help="benchmark multi-topic ingest: sync façade vs the sharded async runtime",
+    )
+    serve_bench.add_argument("--topics", type=int, default=4, help="number of log topics")
+    serve_bench.add_argument(
+        "--records", type=int, default=8000, help="measured records per topic"
+    )
+    serve_bench.add_argument(
+        "--train-records", type=int, default=2000, help="pre-training records per topic (untimed)"
+    )
+    serve_bench.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4], help="shard counts to measure"
+    )
+    serve_bench.add_argument(
+        "--micro-batch-size", type=int, default=None, help="runtime micro-batch size"
+    )
+    serve_bench.add_argument(
+        "--max-batch-delay", type=float, default=None, help="runtime flush latency bound (s)"
+    )
+    serve_bench.add_argument(
+        "--volume-threshold",
+        type=int,
+        default=0,
+        help="per-topic training trigger during the measured phase (0 = training off)",
+    )
+    serve_bench.add_argument("--repetitions", type=int, default=3)
+    serve_bench.add_argument(
+        "--paced-rate",
+        type=float,
+        default=None,
+        help="records/s for the paced producer-stall phase (needs --volume-threshold)",
+    )
+    serve_bench.add_argument("--parallelism", type=int, default=1)
+    serve_bench.add_argument("--output", help="optional path for the JSON report")
+    serve_bench.set_defaults(func=_cmd_serve_bench)
 
     datasets = subparsers.add_parser("datasets", help="list available benchmark corpora")
     datasets.set_defaults(func=_cmd_datasets)

@@ -9,7 +9,7 @@ techniques on and off.  Every one of those toggles is a field on
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 
@@ -131,6 +131,32 @@ class ByteBrainConfig:
     jit_enabled: bool = True
 
     # ------------------------------------------------------------------ #
+    # Sharded service runtime (service/runtime.py)
+    # ------------------------------------------------------------------ #
+    #: Number of ingest shards; topics are hash-partitioned across them and
+    #: each shard drains its own bounded queue on a dedicated worker.
+    n_shards: int = 2
+    #: Maximum records a shard worker coalesces into one micro-batch before
+    #: handing them to the batched match engine.
+    micro_batch_size: int = 256
+    #: Maximum seconds a shard worker waits to fill a micro-batch once its
+    #: first record arrived (flush-on-latency bound).
+    max_batch_delay: float = 0.02
+    #: Bounded capacity of each shard's ingest queue; producers block once
+    #: it fills (backpressure instead of unbounded memory growth).
+    ingest_queue_capacity: int = 8192
+
+    # ------------------------------------------------------------------ #
+    # Per-topic training schedule (service/scheduler.py)
+    # ------------------------------------------------------------------ #
+    #: Per-topic overrides of the service's default
+    #: :class:`~repro.service.scheduler.SchedulerPolicy`; ``None`` defers to
+    #: the service-wide default for that field.
+    train_volume_threshold: Optional[int] = None
+    train_time_interval_seconds: Optional[float] = None
+    train_initial_volume_threshold: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
     # Reproducibility
     # ------------------------------------------------------------------ #
     #: Seed for every stochastic choice (centroid seeding, balanced-group
@@ -165,6 +191,22 @@ class ByteBrainConfig:
             raise ValueError("training_sample_size must be >= 1 or None")
         if self.match_block_bytes < 4096:
             raise ValueError("match_block_bytes must be >= 4096")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.micro_batch_size < 1:
+            raise ValueError("micro_batch_size must be >= 1")
+        if self.max_batch_delay < 0.0:
+            raise ValueError("max_batch_delay must be >= 0")
+        if self.ingest_queue_capacity < 1:
+            raise ValueError("ingest_queue_capacity must be >= 1")
+        for name in (
+            "train_volume_threshold",
+            "train_time_interval_seconds",
+            "train_initial_volume_threshold",
+        ):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive or None")
 
     def replace(self, **changes) -> "ByteBrainConfig":
         """Return a copy of the config with ``changes`` applied."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -290,6 +290,14 @@ class OnlineMatcher:
         #: Memoised token-tuple -> template id map.  This is the online
         #: counterpart of deduplication: duplicate records skip matching.
         self._cache: Dict[Tuple[str, ...], int] = {}
+        #: Memoised raw line -> preprocessed token tuple.  Batch dedup only
+        #: collapses repeats *within* one call; the runtime's micro-batches
+        #: are small (dozens to hundreds of records), so on skewed streams
+        #: the same raw lines recur across calls and preprocessing (masking
+        #: regexes + tokenization) would dominate the batch path without a
+        #: cross-call memo.  Entries are deterministic pure functions of the
+        #: raw string, so racy duplicate writes under the GIL are benign.
+        self._raw_tokens: Dict[str, Tuple[str, ...]] = {}
         #: Vectorised index over the trained templates.  Temporary templates
         #: created online are exact token tuples, so they live in a side
         #: dictionary instead of forcing index rebuilds.
@@ -307,10 +315,55 @@ class OnlineMatcher:
         result instead of inserting a temporary template into the (shared)
         model — the mode used for probe matches concurrent with hot swaps.
         """
-        tokens = self.preprocessor.process(raw_log)
-        if not tokens:
-            tokens = ("<empty>",)
+        tokens = self._raw_tokens.get(raw_log)
+        if tokens is None:
+            tokens = self.preprocessor.process(raw_log)
+            if not tokens:
+                tokens = ("<empty>",)
+            if register_misses:
+                self._memoise_raw(raw_log, tokens)
         return self.match_tokens(tokens, register_misses=register_misses)
+
+    def register_temporary(self, tokens: Tuple[str, ...], template_id: int) -> None:
+        """Adopt an externally created temporary template.
+
+        Used by the hot-swap carry-over: temporaries minted on the *old*
+        model while a training round ran are re-minted on the new model,
+        and registering them here lets the next occurrence of the same
+        token tuple resolve to that template instead of inserting a
+        duplicate.
+        """
+        self._temporary[tuple(tokens)] = template_id
+
+    #: Soft cap on the raw-line memo; reset wholesale when exceeded (the
+    #: same discipline as the shared token-hash cache).
+    _MAX_RAW_MEMO = 262_144
+
+    def _memoise_raw(self, raw: str, tokens: Tuple[str, ...]) -> None:
+        if len(self._raw_tokens) >= self._MAX_RAW_MEMO:
+            self._raw_tokens.clear()
+        self._raw_tokens[raw] = tokens
+
+    def _preprocess_unique(self, unique_raw: Sequence[str]) -> List[Tuple[str, ...]]:
+        """Preprocess distinct raw lines through the cross-call memo."""
+        memo = self._raw_tokens
+        token_lists: List[Optional[Tuple[str, ...]]] = [None] * len(unique_raw)
+        miss_positions: List[int] = []
+        miss_raws: List[str] = []
+        for position, raw in enumerate(unique_raw):
+            tokens = memo.get(raw)
+            if tokens is None:
+                miss_positions.append(position)
+                miss_raws.append(raw)
+            else:
+                token_lists[position] = tokens
+        if miss_raws:
+            processed = self.preprocessor.process_many(miss_raws)
+            for position, tokens in zip(miss_positions, processed):
+                tokens = tokens if tokens else ("<empty>",)
+                token_lists[position] = tokens
+                self._memoise_raw(unique_raw[position], tokens)
+        return token_lists  # type: ignore[return-value]
 
     def match_tokens(self, tokens: Tuple[str, ...], register_misses: bool = True) -> MatchResult:
         """Match an already-preprocessed token tuple."""
@@ -407,8 +460,7 @@ class OnlineMatcher:
                 unique_raw.append(raw)
             raw_inverse.append(idx)
 
-        token_lists = self.preprocessor.process_many(unique_raw)
-        token_lists = [tokens if tokens else ("<empty>",) for tokens in token_lists]
+        token_lists = self._preprocess_unique(unique_raw)
 
         # Token-level deduplication second: distinct raw records frequently
         # collapse after variable replacement (§4.1.3, Fig. 4).

@@ -5,35 +5,111 @@ small number of cores (1–5 in production).  Here the unit of parallelism is
 a thread pool: the heavy inner loops are NumPy kernels that release the GIL,
 so threads give a realistic speedup while keeping the in-process service
 simple.  ``parallelism == 1`` reproduces *ByteBrain Sequential*.
+
+All helpers share one persistent process-wide :class:`ThreadPoolExecutor`
+(:func:`shared_executor`) instead of constructing a fresh pool per call —
+thread startup is far from free at the call rates the sharded runtime
+(:mod:`repro.service.runtime`) drives, and a single pool keeps the total
+thread count bounded across training rounds, matcher shards and runtime
+training dispatch.  ``map_parallel`` still caps *its own* concurrency at
+the requested ``parallelism`` by submitting that many strided sub-tasks.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
-__all__ = ["map_parallel", "chunk", "chunk_ranges"]
+__all__ = [
+    "map_parallel",
+    "chunk",
+    "chunk_ranges",
+    "shared_executor",
+    "shutdown_shared_executor",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
+_executor_lock = threading.Lock()
+_executor: Optional[ThreadPoolExecutor] = None
 
-def map_parallel(fn: Callable[[T], R], items: Sequence[T], parallelism: int = 1) -> List[R]:
-    """Apply ``fn`` to every item, optionally across a thread pool.
+
+def _default_pool_size() -> int:
+    # Large enough that a handful of off-path training rounds (one per
+    # runtime shard) can block on nested map_parallel sub-tasks without
+    # starving them of workers.
+    return max(8, (os.cpu_count() or 4) + 4)
+
+
+def shared_executor() -> ThreadPoolExecutor:
+    """The process-wide persistent executor (created lazily, reused forever).
+
+    Shared by :func:`map_parallel` (training groups, matcher shards) and the
+    sharded runtime's off-path training dispatch.  ``concurrent.futures``
+    installs an atexit hook, so the pool never blocks interpreter shutdown.
+    """
+    global _executor
+    with _executor_lock:
+        if _executor is None or _executor._shutdown:  # recreate after tests shut it down
+            _executor = ThreadPoolExecutor(
+                max_workers=_default_pool_size(), thread_name_prefix="repro-shared"
+            )
+        return _executor
+
+
+def shutdown_shared_executor(wait: bool = True) -> None:
+    """Tear down the shared pool (tests / embedders); recreated on next use."""
+    global _executor
+    with _executor_lock:
+        if _executor is not None:
+            _executor.shutdown(wait=wait)
+            _executor = None
+
+
+def map_parallel(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    parallelism: int = 1,
+    executor: Optional[ThreadPoolExecutor] = None,
+) -> List[R]:
+    """Apply ``fn`` to every item, optionally across the shared thread pool.
 
     Results are returned in input order regardless of completion order.
+    Concurrency is capped at ``parallelism`` by splitting the items into
+    that many strided sub-sequences (``items[i::parallelism]``) and running
+    each as one task — striding load-balances skewed inputs (e.g. training
+    groups of very different sizes) better than contiguous chunks.  Pass
+    ``executor`` to run on a caller-owned pool instead of the shared one.
     """
     if parallelism <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    workers = min(parallelism, len(items))
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items))
+    if executor is None and threading.current_thread().name.startswith("repro-shared"):
+        # Nested call from a shared-pool worker (e.g. an off-path training
+        # round's own map_parallel): run inline instead of submitting to
+        # the same pool — a pool saturated with blocked parents would
+        # deadlock waiting on its own children.
+        return [fn(item) for item in items]
+    n_tasks = min(parallelism, len(items))
+    pool = executor if executor is not None else shared_executor()
+
+    def run_stride(offset: int) -> List[R]:
+        return [fn(item) for item in items[offset::n_tasks]]
+
+    stride_results = list(pool.map(run_stride, range(n_tasks)))
+    results: List[Optional[R]] = [None] * len(items)
+    for offset, values in enumerate(stride_results):
+        results[offset::n_tasks] = values
+    return results  # type: ignore[return-value]
 
 
 def chunk(items: Sequence[T], n_chunks: int) -> List[List[T]]:
-    """Split ``items`` into at most ``n_chunks`` contiguous, near-equal parts."""
-    if not items:
-        return [[]]
+    """Split ``items`` into at most ``n_chunks`` contiguous, near-equal parts.
+
+    Empty input yields ``[]`` (no chunks), never a phantom empty shard.
+    """
     return [list(items[start:end]) for start, end in chunk_ranges(len(items), n_chunks)]
 
 

@@ -11,7 +11,7 @@ variable-length lists present as a single intuitive template.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.core.model import ParserModel, Template, merge_consecutive_wildcards
 

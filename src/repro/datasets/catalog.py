@@ -14,8 +14,8 @@ placeholders is constant text, which is exactly the ground-truth template.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, List
 
 __all__ = ["SystemSpec", "SYSTEM_SPECS", "ANDROID_WAKELOCK_TEMPLATES", "system_names"]
 

@@ -15,7 +15,7 @@ whose template population and message shape mirror the scenario:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 import numpy as np
 

@@ -9,7 +9,7 @@ needs to reproduce the orderings).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.datasets.catalog import SYSTEM_SPECS, system_names
 from repro.datasets.synthetic import LogDataset, SyntheticLogGenerator

@@ -16,12 +16,12 @@ from __future__ import annotations
 
 import re
 import zlib
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.datasets.catalog import ANDROID_WAKELOCK_TEMPLATES, SYSTEM_SPECS, SystemSpec
+from repro.datasets.catalog import ANDROID_WAKELOCK_TEMPLATES, SystemSpec
 from repro.datasets.variables import VARIABLE_KINDS, render_variable
 
 __all__ = ["LogDataset", "SyntheticLogGenerator", "render_template", "generate_android_wakelock"]

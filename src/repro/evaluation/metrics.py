@@ -14,7 +14,7 @@
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Sequence
 
 __all__ = ["grouping_accuracy", "f1_grouping_accuracy", "parsing_accuracy", "throughput"]
 

@@ -8,7 +8,7 @@ where the paper states them.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 __all__ = ["format_table", "format_matrix", "format_series", "banner"]
 

@@ -12,11 +12,28 @@ This package reproduces the service surface the algorithm interacts with:
   embedded in,
 - :mod:`repro.service.analytics` — template-based anomaly detection,
   period-over-period comparison and known-failure matching,
-- :mod:`repro.service.service` — the tenant-facing :class:`LogParsingService`.
+- :mod:`repro.service.engine` — the pure per-topic
+  :class:`~repro.service.engine.TopicEngine` (ingest / train-round / swap /
+  query logic, no threading),
+- :mod:`repro.service.runtime` — the shard-partitioned async
+  :class:`~repro.service.runtime.ShardedRuntime` (bounded queues,
+  micro-batching, off-path training),
+- :mod:`repro.service.service` — the tenant-facing :class:`LogParsingService`
+  façade.
 """
 
+from repro.service.engine import TopicEngine
+from repro.service.runtime import ShardedRuntime
 from repro.service.service import LogParsingService
 from repro.service.topic import LogRecord, LogTopic
-from repro.service.scheduler import TrainingScheduler
+from repro.service.scheduler import SchedulerPolicy, TrainingScheduler
 
-__all__ = ["LogParsingService", "LogRecord", "LogTopic", "TrainingScheduler"]
+__all__ = [
+    "LogParsingService",
+    "LogRecord",
+    "LogTopic",
+    "SchedulerPolicy",
+    "ShardedRuntime",
+    "TopicEngine",
+    "TrainingScheduler",
+]

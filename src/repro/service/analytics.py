@@ -12,10 +12,10 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
-from repro.core.model import ParserModel, Template, template_similarity
+from repro.core.model import Template, template_similarity
 
 __all__ = [
     "TemplateAnomaly",

@@ -1,0 +1,407 @@
+"""Multi-topic ingest workload driver for the sharded runtime.
+
+Shared by the ``serve-bench`` CLI subcommand and
+``benchmarks/bench_sharded.py``: builds a multi-topic synthetic workload
+(one LogHub-style system per topic), pre-trains every topic identically
+(untimed), then measures the same interleaved record stream through
+
+* ``sync_per_record`` — the synchronous façade, one ``service.ingest``
+  call per record with scheduler-triggered training rounds running
+  *inline* (the pre-PR caller experience),
+* ``sharded_<N>`` — a :class:`~repro.service.runtime.ShardedRuntime` with
+  ``N`` shards; records are submitted one at a time from the driver
+  thread, shard workers coalesce them into micro-batches feeding the
+  vectorised ``match_batch`` engine, and training rounds run off-path on
+  the shared executor.
+
+Two throughputs are reported per sharded mode: ``throughput`` is
+end-to-end wall clock until ``drain()`` returns (all records stored, all
+rounds committed — directly comparable to the sync mode), and
+``accept_throughput`` is the producer-side submission rate (how fast the
+caller's thread is released — the latency-hiding the async runtime buys).
+
+The driver submits from a single thread, like one gateway fanning a
+multiplexed stream into the service.  Modes run ``repetitions`` times on
+fresh services; the median wall clock is reported.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import ByteBrainConfig
+from repro.datasets.catalog import SYSTEM_SPECS
+from repro.datasets.synthetic import SyntheticLogGenerator
+from repro.service.runtime import ShardedRuntime
+from repro.service.scheduler import SchedulerPolicy
+from repro.service.service import LogParsingService
+
+__all__ = [
+    "WorkloadSpec",
+    "ModeResult",
+    "build_workload",
+    "run_mode",
+    "measure_paced_stalls",
+    "run_serve_bench",
+]
+
+#: Topics cycle through these systems (distinct template universes, so the
+#: per-topic models genuinely differ).
+DEFAULT_SYSTEMS = ("Spark", "HDFS", "BGL", "Apache", "Zookeeper", "Linux", "Hadoop", "OpenSSH")
+
+
+@dataclass
+class WorkloadSpec:
+    """A reproducible multi-topic workload."""
+
+    #: Topic name -> lines used to pre-train that topic (untimed).
+    train_lines: Dict[str, List[str]]
+    #: The measured stream: ``(topic, raw)`` interleaved round-robin.
+    stream: List[Tuple[str, str]]
+    #: Scheduler volume threshold active during the measured phase
+    #: (0 disables training during measurement).
+    volume_threshold: int = 0
+
+    @property
+    def n_topics(self) -> int:
+        return len(self.train_lines)
+
+    @property
+    def n_records(self) -> int:
+        return len(self.stream)
+
+
+@dataclass
+class ModeResult:
+    """Throughput measurement of one ingest mode (median of repetitions)."""
+
+    mode: str
+    n_records: int
+    seconds: float
+    throughput: float
+    #: Producer-side submission rate (sharded modes only): records/s until
+    #: the last ``submit`` returned, before ``drain``.  Bounded by queue
+    #: backpressure once the shard queues fill.
+    accept_throughput: Optional[float] = None
+    training_rounds: int = 0
+    runtime_stats: Optional[Dict[str, object]] = None
+
+
+def build_workload(
+    n_topics: int = 4,
+    records_per_topic: int = 10_000,
+    train_records_per_topic: int = 2_000,
+    variant: str = "loghub2",
+    systems: Sequence[str] = DEFAULT_SYSTEMS,
+    uniqueness_exponent: float = 1.0,
+    volume_threshold: int = 0,
+    novel_templates: int = 12,
+    novel_rank_start: int = 20,
+) -> WorkloadSpec:
+    """Generate the workload: per-topic corpora + an interleaved stream.
+
+    ``uniqueness_exponent=1.0`` renders almost every raw line distinct
+    (embedded ids / durations / addresses), the realistic shape of a
+    production stream — on heavily duplicated streams the matcher's raw
+    memo short-circuits both paths and the comparison measures queues,
+    not matching.  ``volume_threshold > 0`` lets training rounds trigger
+    during the measured phase (the continuous-serving story: the sync
+    façade pays them inline, the runtime off-path).  ``novel_templates``
+    mid-frequency ground-truth templates per topic are withheld from the
+    pre-training half (the bench_incremental split): new log statements
+    shipping mid-stream, so the measured rounds do real residue
+    clustering instead of pure weight bumps.
+    """
+    if n_topics < 1:
+        raise ValueError("n_topics must be >= 1")
+    train_lines: Dict[str, List[str]] = {}
+    measured: Dict[str, List[str]] = {}
+    for index in range(n_topics):
+        system = systems[index % len(systems)]
+        topic = f"topic-{index:02d}-{system.lower()}"
+        generator = SyntheticLogGenerator(SYSTEM_SPECS[system], seed=1000 + index)
+        dataset = generator.generate(
+            n_logs=train_records_per_topic + records_per_topic,
+            variant=variant,
+            uniqueness_exponent=uniqueness_exponent,
+        )
+        frequency: Dict[int, int] = {}
+        for label in dataset.ground_truth:
+            frequency[label] = frequency.get(label, 0) + 1
+        by_rank = sorted(frequency, key=lambda label: (-frequency[label], label))
+        novel = set(by_rank[novel_rank_start : novel_rank_start + novel_templates])
+        train: List[str] = []
+        rest: List[str] = []
+        for line, label in zip(dataset.lines, dataset.ground_truth):
+            if label not in novel and len(train) < train_records_per_topic:
+                train.append(line)
+            else:
+                rest.append(line)
+        if len(rest) < records_per_topic:
+            raise ValueError(
+                f"topic {topic}: only {len(rest)} measured lines for {records_per_topic} requested"
+            )
+        train_lines[topic] = train
+        measured[topic] = rest[:records_per_topic]
+    # Interleave round-robin: the stream hops topics on every record, the
+    # worst case for any per-topic batching a caller could do manually.
+    stream: List[Tuple[str, str]] = []
+    topics = list(measured)
+    for position in range(records_per_topic):
+        for topic in topics:
+            stream.append((topic, measured[topic][position]))
+    return WorkloadSpec(
+        train_lines=train_lines, stream=stream, volume_threshold=volume_threshold
+    )
+
+
+def _fresh_service(workload: WorkloadSpec, config: Optional[ByteBrainConfig]) -> LogParsingService:
+    """A service with every topic created and pre-trained (untimed)."""
+    out_of_reach = 10**12
+    volume = workload.volume_threshold if workload.volume_threshold > 0 else out_of_reach
+    service = LogParsingService(
+        config=config or ByteBrainConfig(),
+        scheduler_policy=SchedulerPolicy(
+            volume_threshold=volume,
+            time_interval_seconds=out_of_reach,
+            initial_volume_threshold=out_of_reach,
+        ),
+    )
+    for topic, lines in workload.train_lines.items():
+        service.create_topic(topic)
+        service.ingest_batch(topic, lines, now=0.0)
+        service.train_now(topic, now=0.0)
+    return service
+
+
+def _total_rounds(service: LogParsingService) -> int:
+    # Minus the one pre-training round per topic.
+    return sum(
+        service.topic(name).scheduler.training_rounds - 1 for name in service.topic_names()
+    )
+
+
+def run_mode(
+    workload: WorkloadSpec,
+    mode: str,
+    config: Optional[ByteBrainConfig] = None,
+    n_shards: int = 1,
+    micro_batch_size: Optional[int] = None,
+    max_batch_delay: Optional[float] = None,
+    repetitions: int = 3,
+) -> ModeResult:
+    """Measure one ingest mode over fresh, identically pre-trained services.
+
+    ``mode`` is ``"sync_per_record"`` or ``"sharded"`` (with ``n_shards``).
+    Reports the median wall clock over ``repetitions`` runs.
+    """
+    seconds_seen: List[float] = []
+    accept_seen: List[float] = []
+    stall_seen: List[float] = []
+    rounds = 0
+    stats: Optional[Dict[str, object]] = None
+    expected = sum(len(lines) for lines in workload.train_lines.values()) + workload.n_records
+    for _ in range(max(1, repetitions)):
+        service = _fresh_service(workload, config)
+        if mode == "sync_per_record":
+            ingest = service.ingest
+            start = time.perf_counter()
+            for position, (topic, raw) in enumerate(workload.stream):
+                ingest(topic, raw, now=float(position))
+            seconds_seen.append(time.perf_counter() - start)
+        elif mode == "sharded":
+            runtime = ShardedRuntime(
+                service,
+                n_shards=n_shards,
+                micro_batch_size=micro_batch_size,
+                max_batch_delay=max_batch_delay,
+            )
+            submit = runtime.submit
+            start = time.perf_counter()
+            for position, (topic, raw) in enumerate(workload.stream):
+                submit(topic, raw, timestamp=float(position))
+            accepted = time.perf_counter() - start
+            runtime.drain()
+            seconds_seen.append(time.perf_counter() - start)
+            accept_seen.append(accepted)
+            if runtime.errors:
+                raise RuntimeError(f"runtime reported errors: {runtime.errors[:3]}")
+            stats = runtime.stats()
+            runtime.shutdown()
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+        stored = sum(len(service.topic(name).topic) for name in service.topic_names())
+        if stored != expected:
+            raise RuntimeError(f"lost records: stored {stored}, expected {expected}")
+        rounds = _total_rounds(service)
+    seconds = statistics.median(seconds_seen)
+    label = mode if mode == "sync_per_record" else f"sharded_{n_shards}"
+    return ModeResult(
+        mode=label,
+        n_records=workload.n_records,
+        seconds=seconds,
+        throughput=workload.n_records / seconds if seconds > 0 else float("inf"),
+        accept_throughput=(
+            workload.n_records / statistics.median(accept_seen) if accept_seen else None
+        ),
+        training_rounds=rounds,
+        runtime_stats=stats,
+    )
+
+
+def measure_paced_stalls(
+    workload: WorkloadSpec,
+    rate: float,
+    config: Optional[ByteBrainConfig] = None,
+    n_shards: int = 2,
+    micro_batch_size: Optional[int] = None,
+    repetitions: int = 3,
+) -> Dict[str, float]:
+    """Max single-call producer stall (ms) at a sustainable offered rate.
+
+    The open-loop throughput modes saturate the service, where *some*
+    producer waiting is exactly what bounded-queue backpressure is for.
+    The latency question is different: at an offered load below capacity,
+    how long can one ``ingest``/``submit`` call freeze the producer?  The
+    sync façade runs training rounds inline — its callers stall for whole
+    rounds; the runtime's ``submit`` hands the record to a shard queue
+    with headroom and returns.  Requires ``workload.volume_threshold > 0``
+    (otherwise no rounds trigger and both stalls are trivial).  Reports
+    the median-over-repetitions of each run's worst stall (a single run's
+    maximum is a fragile statistic under thread scheduling jitter).
+
+    Runs with a 1 ms interpreter switch interval (restored afterwards):
+    the default 5 ms quantum lets a CPU-bound worker thread convoy the
+    producer for tens of milliseconds per reacquisition, which measures
+    CPython's scheduler, not the runtime — a latency-sensitive deployment
+    would tune this exactly the same way.  Applied symmetrically; the
+    sync mode has no competing threads, so it is unaffected.
+    """
+    period = 1.0 / rate
+    stalls: Dict[str, float] = {}
+    previous_switch_interval = sys.getswitchinterval()
+    sys.setswitchinterval(0.001)
+    try:
+        for mode in ("sync_per_record", "sharded"):
+            worst_per_run: List[float] = []
+            for _ in range(max(1, repetitions)):
+                service = _fresh_service(workload, config)
+                runtime = None
+                if mode == "sharded":
+                    runtime = ShardedRuntime(
+                        service, n_shards=n_shards, micro_batch_size=micro_batch_size
+                    )
+                clock = time.perf_counter
+                max_stall = 0.0
+                start = clock()
+                for position, (topic, raw) in enumerate(workload.stream):
+                    target = start + position * period
+                    delay = target - clock()
+                    if delay > 0:
+                        time.sleep(delay)
+                    before = clock()
+                    if runtime is None:
+                        service.ingest(topic, raw, now=float(position))
+                    else:
+                        runtime.submit(topic, raw, timestamp=float(position))
+                    stall = clock() - before
+                    if stall > max_stall:
+                        max_stall = stall
+                if runtime is not None:
+                    runtime.drain()
+                    runtime.shutdown()
+                worst_per_run.append(max_stall * 1000.0)
+            label = mode if mode == "sync_per_record" else f"sharded_{n_shards}"
+            stalls[label] = statistics.median(worst_per_run)
+    finally:
+        sys.setswitchinterval(previous_switch_interval)
+    return stalls
+
+
+def run_serve_bench(
+    n_topics: int = 4,
+    records_per_topic: int = 10_000,
+    train_records_per_topic: int = 2_000,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    micro_batch_size: Optional[int] = None,
+    max_batch_delay: Optional[float] = None,
+    volume_threshold: int = 0,
+    repetitions: int = 3,
+    paced_rate: Optional[float] = None,
+    config: Optional[ByteBrainConfig] = None,
+) -> Dict[str, object]:
+    """Run the full serve benchmark: sync façade vs runtime at each shard count.
+
+    ``paced_rate`` (records/s, requires ``volume_threshold > 0``) adds a
+    paced latency phase comparing worst-case producer stalls at an offered
+    load below capacity.
+    """
+    workload = build_workload(
+        n_topics=n_topics,
+        records_per_topic=records_per_topic,
+        train_records_per_topic=train_records_per_topic,
+        volume_threshold=volume_threshold,
+    )
+    results = [
+        run_mode(workload, "sync_per_record", config=config, repetitions=repetitions)
+    ]
+    for n_shards in shard_counts:
+        results.append(
+            run_mode(
+                workload,
+                "sharded",
+                config=config,
+                n_shards=n_shards,
+                micro_batch_size=micro_batch_size,
+                max_batch_delay=max_batch_delay,
+                repetitions=repetitions,
+            )
+        )
+    paced = None
+    if paced_rate is not None:
+        paced = {
+            "rate": paced_rate,
+            "max_stall_ms": {
+                label: round(value, 2)
+                for label, value in measure_paced_stalls(
+                    workload,
+                    paced_rate,
+                    config=config,
+                    n_shards=max(shard_counts),
+                    micro_batch_size=micro_batch_size,
+                ).items()
+            },
+        }
+    sync = results[0].throughput
+    return {
+        "workload": {
+            "n_topics": workload.n_topics,
+            "records_per_topic": records_per_topic,
+            "n_records": workload.n_records,
+            "train_records_per_topic": train_records_per_topic,
+            "volume_threshold": volume_threshold,
+            "uniqueness": "~all raw lines distinct (uniqueness_exponent=1.0)",
+        },
+        "modes": [
+            {
+                "mode": result.mode,
+                "n_records": result.n_records,
+                "seconds": round(result.seconds, 4),
+                "throughput": round(result.throughput, 1),
+                "speedup_vs_sync": round(result.throughput / sync, 3) if sync > 0 else None,
+                "accept_throughput": (
+                    round(result.accept_throughput, 1)
+                    if result.accept_throughput is not None
+                    else None
+                ),
+                "training_rounds": result.training_rounds,
+                "runtime_stats": result.runtime_stats,
+            }
+            for result in results
+        ],
+        "paced_latency": paced,
+    }

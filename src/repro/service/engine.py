@@ -1,0 +1,513 @@
+"""Single-topic engine: the pure core of the log parsing service.
+
+:class:`TopicEngine` owns everything one topic needs — append-only storage,
+the live parser, the training scheduler, the indexing pipeline, the internal
+template topic, the incremental trainer and an optional versioned model
+store — and implements the full ingest / train-round / hot-swap / query
+logic **without any threading**.  The engine is deliberately lock-free and
+single-threaded so it can be unit-tested in isolation; concurrency is
+layered on top of it:
+
+* :class:`~repro.service.service.LogParsingService` (the synchronous
+  façade) gives each engine a real ``threading.Lock`` as ``swap_guard`` so
+  model swaps stay atomic against concurrent readers, exactly as before
+  the engine/runtime split;
+* :class:`~repro.service.runtime.ShardedRuntime` owns each engine on one
+  shard worker and serialises mutations with its own per-topic lock.
+
+Training rounds are split into three phases so the runtime can run the
+expensive middle phase off the ingest path:
+
+1. :meth:`plan_round` — snapshot the delta, the corpus bound and a clone of
+   the live model (cheap; runs wherever ingestion runs),
+2. :meth:`execute_round` — cluster the residue and build the next matcher
+   against the snapshot (expensive; touches no live state, safe on any
+   thread),
+3. :meth:`commit_round` — install model + matcher + watermark under the
+   ``swap_guard`` (a pointer swap; readers see old-complete or
+   new-complete, never half of each).
+
+:meth:`train_now` chains the three synchronously, which is byte-for-byte
+the behaviour the monolithic service had.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import nullcontext
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, ContextManager, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import ByteBrainConfig
+from repro.core.incremental import DriftPolicy, IncrementalRound, IncrementalTrainer
+from repro.core.matcher import MatchResult, OnlineMatcher
+from repro.core.model import ParserModel
+from repro.core.modelstore import ModelStore, ModelVersion
+from repro.core.parser import ByteBrainParser
+from repro.core.query import TemplateGroup
+from repro.service.indexer import IndexingPipeline, IngestionOutcome
+from repro.service.internal_topic import InternalTemplateTopic
+from repro.service.scheduler import SchedulerPolicy, TrainingScheduler
+from repro.service.topic import LogTopic
+
+__all__ = ["RoundPlan", "PreparedRound", "TopicEngine"]
+
+
+@dataclass
+class RoundPlan:
+    """Everything a training round needs, snapshotted on the ingest side.
+
+    The plan covers exactly the records in ``[trained_watermark,
+    watermark)``; records ingested after planning are untouched and roll
+    into the next round (``scheduler.training_completed`` is told about
+    them via its ``pending`` argument at commit time).
+    """
+
+    now: float
+    #: Topic high-watermark at plan time — the round's coverage bound.
+    watermark: int
+    trained_watermark: int
+    delta_raws: List[str]
+    delta_template_ids: List[Optional[int]]
+    #: Clone of the live model at plan time (``None`` before the first
+    #: round).  Cloned here, not inside the round, so the expensive
+    #: clustering phase never touches a model that concurrent ingestion
+    #: may be inserting temporary templates into.
+    base_model: Optional[ParserModel]
+    #: The live model's id allocator position at plan time.  Live
+    #: templates with ids at or above this are temporaries minted by
+    #: ingestion *during* the round; commit re-mints them in the new
+    #: model (their ids may have been reallocated by the round).
+    base_next_id: int
+    full_corpus: Callable[[], List[str]]
+    force_full: bool = False
+
+
+@dataclass
+class PreparedRound:
+    """A fully-computed round waiting for its pointer-swap commit."""
+
+    plan: RoundPlan
+    round: IncrementalRound
+    #: Matcher built against the round's model; ``None`` for no-op rounds
+    #: (delta fully explained — only reused-template weights changed).
+    matcher: Optional[OnlineMatcher]
+    assignments: Optional[Dict[Tuple[str, ...], int]]
+    model_changed: bool
+
+
+class TopicEngine:
+    """Ingest / train / swap / query logic for one log topic (no threading)."""
+
+    def __init__(
+        self,
+        name: str,
+        config: Optional[ByteBrainConfig] = None,
+        scheduler_policy: Optional[SchedulerPolicy] = None,
+        drift_policy: Optional[DriftPolicy] = None,
+        store_dir: Optional[os.PathLike] = None,
+        swap_guard: Optional[ContextManager] = None,
+    ) -> None:
+        self.name = name
+        self.config = config or ByteBrainConfig()
+        policy = scheduler_policy or SchedulerPolicy.from_config(self.config)
+        self.topic = LogTopic(name)
+        self.parser = ByteBrainParser(self.config)
+        self.scheduler = TrainingScheduler(policy)
+        self.pipeline = IndexingPipeline(self.topic, self.scheduler)
+        self.internal_topic = InternalTemplateTopic(name)
+        self.trainer = IncrementalTrainer(self.config, drift_policy or DriftPolicy())
+        self.store: Optional[ModelStore] = (
+            ModelStore(Path(store_dir)) if store_dir is not None else None
+        )
+        self.template_library: Dict[str, int] = {}
+        #: Record id up to which the model has been trained; the topic
+        #: itself is the delta buffer (``topic.slice(trained_watermark, ...)``).
+        self.trained_watermark = 0
+        self.last_round: Optional[IncrementalRound] = None
+        #: Context manager entered around model swaps and reader snapshots.
+        #: Defaults to a no-op; the service façade injects a real lock.
+        self.swap_guard: ContextManager = swap_guard if swap_guard is not None else nullcontext()
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def ingest(self, raw: str, now: float) -> IngestionOutcome:
+        """Ingest one record through the indexing pipeline."""
+        outcome = self.pipeline.ingest(raw, timestamp=now)
+        if outcome.is_new_template and outcome.template_id is not None:
+            self.internal_topic.publish_template(self.parser.model.get(outcome.template_id))
+        return outcome
+
+    def ingest_batch(
+        self,
+        raws: Sequence[str],
+        now: float,
+        timestamps: Optional[Sequence[float]] = None,
+    ) -> List[IngestionOutcome]:
+        """Ingest a micro-batch through the batched match engine.
+
+        ``timestamps`` optionally stamps each record individually (the
+        sharded runtime coalesces records submitted at different times).
+        """
+        outcomes = self.pipeline.ingest_batch(raws, timestamp=now, timestamps=timestamps)
+        for outcome in outcomes:
+            if outcome.is_new_template and outcome.template_id is not None:
+                self.internal_topic.publish_template(self.parser.model.get(outcome.template_id))
+        return outcomes
+
+    def ingest_batch_fast(
+        self,
+        raws: Sequence[str],
+        now: float,
+        timestamps: Optional[Sequence[float]] = None,
+    ) -> int:
+        """Lean micro-batch ingest (no per-record outcome objects).
+
+        The sharded runtime's hot path: same stored records, template
+        assignments and internal-topic publications as
+        :meth:`ingest_batch`, without materialising per-record latency
+        accounting.  Returns the number of records ingested.
+        """
+        new_template_ids = self.pipeline.ingest_batch_fast(
+            raws, timestamp=now, timestamps=timestamps
+        )
+        for template_id in new_template_ids:
+            self.internal_topic.publish_template(self.parser.model.get(template_id))
+        return len(raws)
+
+    @property
+    def pending_records(self) -> int:
+        """Records ingested but not yet covered by a training round."""
+        return self.topic.high_watermark - self.trained_watermark
+
+    # ------------------------------------------------------------------ #
+    # training rounds (plan → execute → commit)
+    # ------------------------------------------------------------------ #
+    def should_train(self, now: float) -> bool:
+        """True when the scheduler's trigger condition holds at ``now``."""
+        return self.scheduler.should_train(now)
+
+    def plan_round(self, now: float, force_full: bool = False) -> Optional[RoundPlan]:
+        """Snapshot a round's inputs; ``None`` when there is nothing to do.
+
+        Must run where ingestion runs (or under the same serialisation):
+        it clones the live model and fixes the coverage watermark.
+        """
+        watermark = self.topic.high_watermark
+        delta = self.topic.slice(self.trained_watermark, watermark)
+        if not delta and not force_full:
+            return None
+        return RoundPlan(
+            now=now,
+            watermark=watermark,
+            trained_watermark=self.trained_watermark,
+            delta_raws=[r.raw for r in delta],
+            # The pipeline matched every delta record at ingestion, so the
+            # round reuses those assignments and clusters only the records
+            # that were unmatched or fell back to temporary templates.
+            delta_template_ids=[r.template_id for r in delta],
+            base_model=self.parser.model.clone() if self.parser.is_trained else None,
+            base_next_id=self.parser.model.next_template_id,
+            full_corpus=lambda: [r.raw for r in self.topic.slice(0, watermark)],
+            force_full=force_full,
+        )
+
+    def execute_round(self, plan: RoundPlan) -> PreparedRound:
+        """Run the expensive round phase against the plan's snapshot.
+
+        Touches no live engine state — the trainer works on the plan's
+        model clone and the matcher (including its vectorised match index)
+        is built against the round's *new* model — so this phase is safe to
+        run on any thread while ingestion continues.
+        """
+        round_result = self.trainer.round(
+            plan.base_model,
+            plan.delta_raws,
+            delta_template_ids=plan.delta_template_ids,
+            full_corpus=plan.full_corpus,
+            force_full=plan.force_full,
+        )
+        model_changed = round_result.mode != "incremental" or round_result.n_clustered > 0
+        if not model_changed:
+            return PreparedRound(
+                plan=plan, round=round_result, matcher=None, assignments=None, model_changed=False
+            )
+        # The training assignments map is only consulted by the "naive"
+        # matching strategy; skip maintaining (and copying) it otherwise —
+        # it grows with every unique clustered tuple.
+        if self.parser.config.matching_strategy == "naive":
+            assignments = self.parser.training_assignments
+            assignments.update(round_result.training_assignments)
+        else:
+            assignments = None
+        matcher = self.parser.build_matcher(round_result.model, assignments)
+        return PreparedRound(
+            plan=plan,
+            round=round_result,
+            matcher=matcher,
+            assignments=assignments,
+            model_changed=True,
+        )
+
+    def commit_round(self, prepared: PreparedRound, persist: bool = True) -> IncrementalRound:
+        """Install a prepared round: the only phase that mutates live state.
+
+        The pointer swap itself runs under ``swap_guard`` so readers that
+        snapshot the parser under the same guard never observe a
+        half-swapped model.  ``persist=False`` defers the store snapshot
+        to an explicit :meth:`persist_round` call (the runtime writes it
+        outside its ingest lock).
+        """
+        plan, round_result = prepared.plan, prepared.round
+        if not prepared.model_changed:
+            # No-op round: the delta was fully explained, so the only
+            # difference between the round's model and the live one is the
+            # reused templates' weights.  Apply those in place (weights are
+            # not read by concurrent matching) instead of paying a model
+            # swap, matcher/index rebuild, internal-topic snapshot and
+            # store version for a model with no new structure.
+            live = self.parser.model
+            with self.swap_guard:
+                for template in round_result.model.templates():
+                    if template.template_id in live:
+                        live.get(template.template_id).weight = template.weight
+                self.trained_watermark = plan.watermark
+            self.last_round = round_result
+            self.scheduler.training_completed(
+                plan.now, mode=round_result.mode, pending=self.pending_records
+            )
+            return round_result
+        with self.swap_guard:
+            self._carry_over_late_temporaries(prepared)
+            self.parser.install_model(
+                round_result.model,
+                matcher=prepared.matcher,
+                training_assignments=prepared.assignments,
+            )
+            self.pipeline.attach_matcher(prepared.matcher)
+            self.trained_watermark = plan.watermark
+        self.last_round = round_result
+        self.scheduler.training_completed(
+            plan.now, mode=round_result.mode, pending=self.pending_records
+        )
+        self.internal_topic.publish_model(round_result.model)
+        if plan.base_model is None:
+            # Records without a template id exist only before the first
+            # model (no matcher yet); later rounds would pay an O(records)
+            # scan for nothing.
+            self.pipeline.backfill_templates(prepared.matcher)
+        if persist:
+            self.persist_round(prepared)
+        return round_result
+
+    def persist_round(self, prepared: PreparedRound) -> None:
+        """Persist a committed round's model as a new store version.
+
+        Split out of :meth:`commit_round` (``persist=False``) so the
+        sharded runtime can write the snapshot *outside* its per-topic
+        ingest lock — the disk write reads only the immutable round model.
+        """
+        if self.store is None or not prepared.model_changed:
+            return
+        plan, round_result = prepared.plan, prepared.round
+        self.store.save(
+            round_result.model,
+            created_at=plan.now,
+            mode=round_result.mode,
+            metadata={
+                "round": self.scheduler.training_rounds,
+                "reason": round_result.reason,
+                "n_delta_records": round_result.n_delta_records,
+                "n_reused": round_result.n_reused,
+                "n_clustered": round_result.n_clustered,
+                # Restored by rollback so the next round's delta
+                # re-covers everything this version never saw.
+                "trained_watermark": plan.watermark,
+            },
+        )
+
+    def _carry_over_late_temporaries(self, prepared: PreparedRound) -> None:
+        """Re-home temporaries minted by ingestion while the round ran.
+
+        Between ``plan_round`` (which cloned the live model) and this
+        commit, concurrent ingestion may have inserted temporary templates
+        into the *live* model and stamped records with their ids — ids the
+        round's model may have independently reallocated to unrelated
+        clusters.  Installing the round's model as-is would silently
+        re-attribute those records (or dangle them).  Re-mint each late
+        temporary in the new model under a fresh id, register it with the
+        new matcher so the next occurrence of the same line reuses it, and
+        re-stamp the affected records.  They all sit at or past
+        ``plan.watermark``, so the next round still re-covers them.
+        """
+        plan = prepared.plan
+        if plan.base_model is None:
+            return
+        live = self.parser.model
+        late = [t for t in live.templates() if t.template_id >= plan.base_next_id]
+        if not late:
+            return
+        # Capture record ids per late temporary *before* any re-stamping:
+        # replacement ids can coincide with other not-yet-processed late
+        # ids, and re-stamping as we go would mix their record sets.
+        records_by_old_id = {
+            template.template_id: [
+                record.record_id
+                for record in self.topic.records_for_template(template.template_id)
+            ]
+            for template in late
+        }
+        new_model = prepared.round.model
+        replacement_ids = {}
+        for template in late:
+            resolved = None
+            if prepared.matcher is not None:
+                # If the new model already explains the structure (it can,
+                # when the delta contained similar lines), re-attribute the
+                # records to the trained template instead of duplicating it.
+                result = prepared.matcher.match_tokens(template.tokens, register_misses=False)
+                if result.template_id >= 0:
+                    resolved = result.template_id
+            if resolved is None:
+                resolved = new_model.new_temporary_template(template.tokens).template_id
+                if prepared.matcher is not None:
+                    prepared.matcher.register_temporary(template.tokens, resolved)
+            replacement_ids[template.template_id] = resolved
+        for old_id, record_ids in records_by_old_id.items():
+            for record_id in record_ids:
+                self.topic.set_template(record_id, replacement_ids[old_id])
+
+    def train_now(self, now: float, force_full: bool = False) -> Optional[IncrementalRound]:
+        """Plan, execute and commit one round synchronously (or ``None``)."""
+        plan = self.plan_round(now, force_full=force_full)
+        if plan is None:
+            return None
+        return self.commit_round(self.execute_round(plan))
+
+    def maybe_train(self, now: float) -> bool:
+        """Run a synchronous round if the scheduler's trigger holds."""
+        if not self.scheduler.should_train(now):
+            return False
+        self.train_now(now)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # model versioning
+    # ------------------------------------------------------------------ #
+    def model_versions(self) -> List[ModelVersion]:
+        """Version history of the persisted models (oldest first)."""
+        if self.store is None:
+            return []
+        return self.store.versions()
+
+    def rollback(self) -> ModelVersion:
+        """Hot-swap back to the previous persisted model version.
+
+        Moves the store's *current* pointer one version back, reloads that
+        snapshot and installs it atomically (same swap discipline as a
+        training round).  The training watermark rewinds to the point the
+        restored version was trained at, so the next round re-covers every
+        record the rolled-back-away versions had learned (their template
+        knowledge would otherwise be lost for good).  Raises
+        ``RuntimeError`` without a store.
+        """
+        if self.store is None:
+            raise RuntimeError(f"topic {self.name!r} has no model store configured")
+        version = self.store.rollback()
+        model = self.store.load(version.version)
+        # Ids handed out by the newer (rolled-back-away) versions are still
+        # referenced by stored records; the restored model must never mint
+        # them again for unrelated templates.
+        model.reserve_ids(self.parser.model.next_template_id)
+        matcher = self.parser.build_matcher(model)
+        with self.swap_guard:
+            self.parser.install_model(model, matcher=matcher)
+            self.pipeline.attach_matcher(matcher)
+            self.trained_watermark = int(version.metadata.get("trained_watermark", 0))
+        # Metadata readers must see the restored model, same as after any
+        # other swap.
+        self.internal_topic.publish_model(model)
+        return version
+
+    # ------------------------------------------------------------------ #
+    # matching and queries
+    # ------------------------------------------------------------------ #
+    def match(self, raw: str) -> MatchResult:
+        """Match one record against the live model without storing it.
+
+        Snapshots the parser's matcher under ``swap_guard`` (a pointer
+        read), then matches outside it — concurrent hot swaps never leave
+        this call holding a half-built index.  The match is strictly
+        read-only (``register_misses=False``): a record the model cannot
+        explain comes back with ``template_id == -1`` instead of mutating
+        the shared model from a reader thread.
+        """
+        with self.swap_guard:
+            if not self.parser.is_trained:
+                raise RuntimeError(f"topic {self.name!r} has no trained model yet")
+            matcher = self.parser.matcher
+        return matcher.match(raw, register_misses=False)
+
+    def query_templates(
+        self,
+        threshold: float,
+        text_filter: Optional[str] = None,
+        merge_wildcards: bool = True,
+    ) -> List[TemplateGroup]:
+        """Group the topic's records by template at a precision threshold."""
+        if text_filter:
+            records = self.topic.search_text(text_filter)
+        else:
+            records = self.topic.records()
+        template_ids = [r.template_id for r in records if r.template_id is not None]
+        with self.swap_guard:
+            # Snapshot the engine so a concurrent hot swap cannot hand this
+            # query a model mid-installation.
+            query_engine = self.parser.query_engine
+        return query_engine.group_records(template_ids, threshold, merge_wildcards=merge_wildcards)
+
+    def template_count(self, threshold: float) -> int:
+        """Number of distinct templates visible at a precision threshold."""
+        return len(self.parser.model.templates_at_threshold(threshold))
+
+    # ------------------------------------------------------------------ #
+    # template library
+    # ------------------------------------------------------------------ #
+    def save_template_to_library(self, label: str, template_id: int) -> None:
+        """Save a template under a user-chosen label (§6 template library)."""
+        if template_id not in self.parser.model:
+            raise KeyError(f"template {template_id} does not exist in topic {self.name!r}")
+        self.template_library[label] = template_id
+
+    def library_counts(self) -> Dict[str, int]:
+        """Record counts of every library template (alerting input)."""
+        counts = self.topic.template_counts()
+        result: Dict[str, int] = {}
+        for label, template_id in self.template_library.items():
+            total = counts.get(template_id, 0)
+            for descendant in self.parser.model.descendants(template_id):
+                total += counts.get(descendant.template_id, 0)
+            result[label] = total
+        return result
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, float]:
+        """Operational statistics (Table 5-style reporting)."""
+        model_stats = self.parser.model.stats()
+        n_versions, current = self.store.summary() if self.store is not None else (0, None)
+        return {
+            "n_records": float(len(self.topic)),
+            "raw_bytes": float(self.topic.size_bytes()),
+            "n_templates": float(model_stats["n_templates"]),
+            "model_size_bytes": float(model_stats["size_bytes"]),
+            "training_rounds": float(self.scheduler.training_rounds),
+            "incremental_rounds": float(self.scheduler.incremental_rounds),
+            "full_rounds": float(self.scheduler.full_rounds),
+            "pending_records": float(self.pending_records),
+            "n_model_versions": float(n_versions),
+            "model_version": float(current.version) if current is not None else 0.0,
+        }

@@ -74,16 +74,26 @@ class IndexingPipeline:
             index_seconds=index_seconds,
         )
 
-    def ingest_batch(self, raws: Sequence[str], timestamp: float) -> List[IngestionOutcome]:
-        """Parse, index and store a batch of records at one timestamp.
+    def ingest_batch(
+        self,
+        raws: Sequence[str],
+        timestamp: float,
+        timestamps: Optional[Sequence[float]] = None,
+    ) -> List[IngestionOutcome]:
+        """Parse, index and store a batch of records.
 
         The whole batch goes through the matcher's batched engine in one
         call (dedup + length-bucketed broadcast matching), so per-record
         parse latency is the amortised batch cost — the same shape the
-        production indexing pipeline uses for its ingestion buffers.
+        production indexing pipeline uses for its ingestion buffers.  Every
+        record is stamped ``timestamp`` unless ``timestamps`` supplies a
+        per-record value (the sharded runtime's micro-batches coalesce
+        records submitted at different times).
         """
         if not raws:
             return []
+        if timestamps is not None and len(timestamps) != len(raws):
+            raise ValueError("timestamps must align one-to-one with raws")
         parse_start = time.perf_counter()
         match_results = self.matcher.match_many(raws) if self.matcher is not None else None
         parse_seconds = (time.perf_counter() - parse_start) / len(raws)
@@ -97,7 +107,11 @@ class IndexingPipeline:
                 template_id = result.template_id
                 is_new = result.is_new_template
             index_start = time.perf_counter()
-            record = self.topic.append(raw, timestamp=timestamp, template_id=template_id)
+            record = self.topic.append(
+                raw,
+                timestamp=timestamps[position] if timestamps is not None else timestamp,
+                template_id=template_id,
+            )
             index_seconds = time.perf_counter() - index_start
             self.scheduler.record_ingested()
             outcomes.append(
@@ -110,6 +124,39 @@ class IndexingPipeline:
                 )
             )
         return outcomes
+
+    def ingest_batch_fast(
+        self,
+        raws: Sequence[str],
+        timestamp: float,
+        timestamps: Optional[Sequence[float]] = None,
+    ) -> List[int]:
+        """Lean batch ingest for the runtime hot path.
+
+        Same work as :meth:`ingest_batch` minus the per-record latency
+        accounting and :class:`IngestionOutcome` materialisation — at
+        micro-batch rates those cost more than the index write itself.
+        Returns the ids of templates newly created by this batch (the
+        caller publishes them to the internal topic).
+        """
+        if not raws:
+            return []
+        if timestamps is not None and len(timestamps) != len(raws):
+            raise ValueError("timestamps must align one-to-one with raws")
+        match_results = self.matcher.match_many(raws) if self.matcher is not None else None
+        append = self.topic.append
+        new_template_ids: List[int] = []
+        for position, raw in enumerate(raws):
+            when = timestamps[position] if timestamps is not None else timestamp
+            if match_results is None:
+                append(raw, timestamp=when, template_id=None)
+            else:
+                result = match_results[position]
+                append(raw, timestamp=when, template_id=result.template_id)
+                if result.is_new_template and result.template_id is not None:
+                    new_template_ids.append(result.template_id)
+        self.scheduler.record_ingested(len(raws))
+        return new_template_ids
 
     def backfill_templates(self, matcher: OnlineMatcher) -> int:
         """Re-match records stored before the first model existed.

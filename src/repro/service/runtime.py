@@ -1,0 +1,448 @@
+"""Shard-partitioned asynchronous ingest runtime.
+
+The synchronous :class:`~repro.service.service.LogParsingService` façade
+processes one call at a time; every caller that ingests record-by-record
+pays the scalar match path, and training rounds run inline, stalling the
+caller for the whole round.  :class:`ShardedRuntime` wraps a service with
+the production shape from the paper's deployment (§3/§6): topics are
+hash-partitioned across ``n_shards`` shards, each shard drains its own
+bounded ingest queue on a dedicated worker thread, and workers coalesce
+queued records into micro-batches (flush on ``micro_batch_size`` or
+``max_batch_delay``, whichever comes first) that flow through the
+vectorised batch match engine — so *every* producer gets batched-match
+throughput even when it submits one record at a time — while training
+rounds are planned on the shard worker but executed on the shared
+persistent executor, off the ingest path.
+
+Threading model (one line per lock/queue, see docs/ARCHITECTURE.md):
+
+* producers → per-shard :class:`_ShardQueue` (a lock-free ``deque`` with a
+  soft capacity bound; ``put`` spins/sleeps while full — backpressure
+  instead of unbounded memory growth),
+* one worker thread per shard owns ingestion for its topics; per-topic
+  mutations are serialised by a runtime-owned per-topic lock,
+* training rounds are dispatched off-path: the worker plans the round
+  (cheap snapshot, under the topic lock), the shared executor executes it
+  (expensive clustering; the NumPy kernels release the GIL, so rounds for
+  different topics overlap each other *and* ingestion), and the commit
+  re-acquires the topic lock for the pointer swap,
+* readers (``service.match`` / ``query_templates``) snapshot the parser
+  under the engine's ``swap_guard`` and never touch the queues.
+
+``drain()`` blocks until every accepted record is ingested and every
+dispatched round committed — call it only after producers have quiesced
+(it is a flush barrier, not a synchronisation point for concurrent
+submitters).  ``shutdown()`` drains and stops the workers.  The runtime is
+also a context manager (``with ShardedRuntime(service) as rt: ...``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from collections import deque
+from concurrent.futures import Executor, Future
+from concurrent.futures import wait as wait_futures
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.parallel import shared_executor
+from repro.service.engine import TopicEngine
+
+__all__ = ["ShardStats", "ShardedRuntime"]
+
+#: Queue sentinel telling a shard worker to exit after the current batch.
+_STOP = object()
+
+
+class _ShardQueue:
+    """Single-consumer bounded-ish queue tuned for the ingest hot path.
+
+    ``queue.Queue`` costs two mutex acquisitions per record; at micro-batch
+    rates that overhead rivals the matching work itself.  This queue leans
+    on the GIL-atomicity of ``deque.append`` / ``popleft`` instead: the
+    producer appends and (rarely) sets an event, the single consumer pops
+    in a tight loop and only parks on the event when it observed the queue
+    empty.  The capacity bound is soft — producers sleep-poll while the
+    queue is over capacity, which bounds memory without a lock handshake
+    on every put.
+    """
+
+    __slots__ = ("_items", "_capacity", "_not_empty", "idle", "closed")
+
+    def __init__(self, capacity: int) -> None:
+        self._items: deque = deque()
+        self._capacity = capacity
+        self._not_empty = threading.Event()
+        #: Set while the consumer holds no items and observed the queue
+        #: empty — with quiesced producers, ``empty() and idle.is_set()``
+        #: means the shard is fully drained.
+        self.idle = threading.Event()
+        self.idle.set()
+        #: Set by shutdown so producers blocked on backpressure error out
+        #: instead of spinning forever against a stopped worker.
+        self.closed = False
+
+    def put(self, item) -> None:
+        """Append one item, sleep-polling while over capacity (backpressure)."""
+        items = self._items
+        while len(items) >= self._capacity:
+            if self.closed:
+                raise RuntimeError("runtime is shut down")
+            time.sleep(0.0002)
+        items.append(item)
+        if not self._not_empty.is_set():
+            self._not_empty.set()
+
+    def put_urgent(self, item) -> None:
+        """Append ignoring the capacity bound (shutdown sentinel)."""
+        self._items.append(item)
+        self._not_empty.set()
+
+    def empty(self) -> bool:
+        return not self._items
+
+    def qsize(self) -> int:
+        return len(self._items)
+
+    def take(self, max_items: int, max_delay: float) -> List[object]:
+        """Block for the first item, then coalesce up to ``max_items``,
+        waiting at most ``max_delay`` seconds past the first item."""
+        items: List[object] = []
+        pop = self._items.popleft
+        while True:
+            # Clear idle *before* popping: a drainer observing the queue
+            # empty with idle set can be sure the consumer holds nothing.
+            self.idle.clear()
+            try:
+                items.append(pop())
+                break
+            except IndexError:
+                # Mark idle *before* clearing the wake-up event, and
+                # re-check afterwards: a producer appending between the
+                # two either makes the re-check see its item or leaves
+                # the event set for the wait below (no lost wake-ups).
+                self.idle.set()
+                self._not_empty.clear()
+                if self._items:
+                    continue
+                self._not_empty.wait(0.05)
+        deadline = time.monotonic() + max_delay
+        while len(items) < max_items:
+            try:
+                items.append(pop())
+            except IndexError:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._not_empty.clear()
+                if self._items:
+                    continue
+                self._not_empty.wait(min(remaining, 0.05))
+        return items
+
+
+@dataclass
+class _IngestItem:
+    __slots__ = ("topic", "raw", "timestamp")
+    topic: str
+    raw: str
+    timestamp: float
+
+
+@dataclass
+class ShardStats:
+    """Counters one shard worker maintains (reads are approximate)."""
+
+    shard: int
+    ingested: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+    rounds_dispatched: int = 0
+    topics: List[str] = field(default_factory=list)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.ingested / self.batches if self.batches else 0.0
+
+
+class ShardedRuntime:
+    """Hash-partitioned async micro-batching front end over a service.
+
+    Parameters default to the service config's ``n_shards`` /
+    ``micro_batch_size`` / ``max_batch_delay`` / ``ingest_queue_capacity``
+    knobs.  ``executor`` is where off-path training rounds run; by default
+    the process-wide :func:`~repro.core.parallel.shared_executor`.
+
+    A topic driven through the runtime must not also be ingested or
+    trained through the synchronous façade concurrently — reads
+    (``match``, ``query_templates``, analytics) are safe at any time, but
+    the façade's write paths do not take the runtime's per-topic lock.
+    """
+
+    def __init__(
+        self,
+        service,
+        n_shards: Optional[int] = None,
+        micro_batch_size: Optional[int] = None,
+        max_batch_delay: Optional[float] = None,
+        queue_capacity: Optional[int] = None,
+        executor: Optional[Executor] = None,
+    ) -> None:
+        config = service.config
+        self.service = service
+        self.n_shards = n_shards if n_shards is not None else config.n_shards
+        self.micro_batch_size = (
+            micro_batch_size if micro_batch_size is not None else config.micro_batch_size
+        )
+        self.max_batch_delay = (
+            max_batch_delay if max_batch_delay is not None else config.max_batch_delay
+        )
+        capacity = queue_capacity if queue_capacity is not None else config.ingest_queue_capacity
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.micro_batch_size < 1:
+            raise ValueError("micro_batch_size must be >= 1")
+        if capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        self._executor = executor if executor is not None else shared_executor()
+        self._queues: List[_ShardQueue] = [_ShardQueue(capacity) for _ in range(self.n_shards)]
+        self._shard_stats = [ShardStats(shard=index) for index in range(self.n_shards)]
+        self._engine_locks: Dict[str, threading.Lock] = {}
+        #: Topic -> (shard, latest ingested timestamp); feeds drain()'s
+        #: final trigger pass.  Written only by the topic's shard worker.
+        self._last_seen: Dict[str, tuple] = {}
+        self._rounds_lock = threading.Lock()
+        self._rounds_in_flight: Dict[str, Future] = {}
+        self._errors: List[str] = []
+        self._errors_lock = threading.Lock()
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(index,),
+                name=f"repro-shard-{index}",
+                daemon=True,
+            )
+            for index in range(self.n_shards)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------ #
+    # producer side
+    # ------------------------------------------------------------------ #
+    def shard_of(self, topic_name: str) -> int:
+        """Stable hash partition of a topic onto a shard."""
+        return zlib.crc32(topic_name.encode("utf-8")) % self.n_shards
+
+    def submit(self, topic_name: str, raw: str, timestamp: float) -> int:
+        """Enqueue one record for async ingestion; returns the shard index.
+
+        Blocks while the shard's queue is over capacity (backpressure).
+        Raises ``KeyError`` for unknown topics and ``RuntimeError`` after
+        :meth:`shutdown`.
+        """
+        if self._closed:
+            raise RuntimeError("runtime is shut down")
+        self.service.topic(topic_name)  # fail fast on unknown topics
+        shard = self.shard_of(topic_name)
+        self._queues[shard].put(_IngestItem(topic_name, raw, timestamp))
+        return shard
+
+    def submit_many(self, topic_name: str, raws: Sequence[str], timestamp: float) -> int:
+        """Enqueue a sequence of records for one topic; returns the count."""
+        if self._closed:
+            raise RuntimeError("runtime is shut down")
+        self.service.topic(topic_name)
+        shard_queue = self._queues[self.shard_of(topic_name)]
+        for raw in raws:
+            shard_queue.put(_IngestItem(topic_name, raw, timestamp))
+        return len(raws)
+
+    def drain(self) -> None:
+        """Block until all accepted records are ingested, every dispatched
+        round committed, and no armed training trigger is left unfired.
+
+        Producers must have quiesced: records submitted concurrently with
+        ``drain`` may or may not be covered by it.  The final scheduler
+        pass matters because triggers are only checked on ingest — a burst
+        that ends right after crossing a volume threshold would otherwise
+        leave its round pending until the next burst.
+        """
+        while True:
+            if not all(q.empty() and q.idle.is_set() for q in self._queues):
+                time.sleep(0.001)
+                continue
+            with self._rounds_lock:
+                futures = list(self._rounds_in_flight.values())
+            if futures:
+                wait_futures(futures)
+                continue
+            # Queues empty, workers idle, no rounds in flight: fire any
+            # trigger the last micro-batches armed.  Each dispatched round
+            # resets its topic's trigger at commit, so this converges.
+            dispatched = False
+            for topic_name, (shard_index, last_ts) in list(self._last_seen.items()):
+                try:
+                    engine = self.service.topic(topic_name)
+                except KeyError:
+                    continue
+                if self._maybe_dispatch_round(shard_index, topic_name, engine, last_ts):
+                    dispatched = True
+            if not dispatched:
+                return
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting records, optionally drain, and stop the workers."""
+        if self._closed:
+            return
+        self._closed = True
+        if drain:
+            self.drain()
+        for shard_queue in self._queues:
+            shard_queue.closed = True
+            shard_queue.put_urgent(_STOP)
+        for worker in self._workers:
+            worker.join(timeout=30.0)
+
+    def __enter__(self) -> "ShardedRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    # ------------------------------------------------------------------ #
+    # worker side
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self, shard_index: int) -> None:
+        shard_queue = self._queues[shard_index]
+        while True:
+            batch = shard_queue.take(self.micro_batch_size, self.max_batch_delay)
+            saw_stop = False
+            if batch and batch[-1] is _STOP:
+                saw_stop = True
+                batch = batch[:-1]
+            elif _STOP in batch:  # sentinel raced ahead of late records
+                position = batch.index(_STOP)
+                batch = batch[:position] + batch[position + 1 :]
+                saw_stop = True
+            if batch:
+                self._process_batch(shard_index, batch)
+            shard_queue.idle.set()
+            if saw_stop:
+                return
+
+    def _process_batch(self, shard_index: int, batch: List[_IngestItem]) -> None:
+        stats = self._shard_stats[shard_index]
+        stats.batches += 1
+        if len(batch) > stats.largest_batch:
+            stats.largest_batch = len(batch)
+        # Group by topic, preserving per-topic submission order (items of
+        # one topic always land on one shard, so order is total per topic).
+        groups: Dict[str, List[_IngestItem]] = {}
+        for item in batch:
+            groups.setdefault(item.topic, []).append(item)
+        for topic_name, items in groups.items():
+            try:
+                engine = self.service.topic(topic_name)
+            except KeyError:
+                self._record_error(f"topic {topic_name!r} dropped with records in flight")
+                continue
+            if topic_name not in stats.topics:
+                stats.topics.append(topic_name)
+            now = items[-1].timestamp
+            try:
+                with self._engine_lock(topic_name):
+                    engine.ingest_batch_fast(
+                        [item.raw for item in items],
+                        now=now,
+                        timestamps=[item.timestamp for item in items],
+                    )
+                stats.ingested += len(items)
+                self._last_seen[topic_name] = (shard_index, now)
+                self._maybe_dispatch_round(shard_index, topic_name, engine, now)
+            except Exception as error:  # pragma: no cover - defensive
+                self._record_error(f"ingest batch for {topic_name!r}: {error!r}")
+
+    # ------------------------------------------------------------------ #
+    # off-path training
+    # ------------------------------------------------------------------ #
+    def _maybe_dispatch_round(
+        self, shard_index: int, topic_name: str, engine: TopicEngine, now: float
+    ) -> bool:
+        """Dispatch an off-path round if due; True only when one was launched."""
+        if not engine.scheduler.should_train(now):
+            return False
+        with self._rounds_lock:
+            if topic_name in self._rounds_in_flight:
+                return False  # one round per topic at a time
+            with self._engine_lock(topic_name):
+                plan = engine.plan_round(now)
+            if plan is None:
+                return False
+            future = self._executor.submit(self._run_round, topic_name, engine, plan)
+            self._rounds_in_flight[topic_name] = future
+            self._shard_stats[shard_index].rounds_dispatched += 1
+            return True
+
+    def _run_round(self, topic_name: str, engine: TopicEngine, plan) -> None:
+        try:
+            prepared = engine.execute_round(plan)
+            with self._engine_lock(topic_name):
+                engine.commit_round(prepared, persist=False)
+            # The store snapshot reads only the committed round's immutable
+            # model — writing it outside the lock keeps disk I/O off the
+            # shard's ingest path.
+            engine.persist_round(prepared)
+        except Exception as error:
+            self._record_error(f"training round for {topic_name!r}: {error!r}")
+        finally:
+            with self._rounds_lock:
+                self._rounds_in_flight.pop(topic_name, None)
+
+    # ------------------------------------------------------------------ #
+    # internals / reporting
+    # ------------------------------------------------------------------ #
+    def _engine_lock(self, topic_name: str) -> threading.Lock:
+        # dict.setdefault is atomic under the GIL; a lost racey extra Lock
+        # is discarded, the winning one is shared by all callers.
+        return self._engine_locks.setdefault(topic_name, threading.Lock())
+
+    def _record_error(self, message: str) -> None:
+        with self._errors_lock:
+            self._errors.append(message)
+
+    @property
+    def errors(self) -> List[str]:
+        """Errors recorded by workers and training rounds (empty when healthy)."""
+        with self._errors_lock:
+            return list(self._errors)
+
+    def stats(self) -> Dict[str, object]:
+        """Runtime-wide and per-shard operational counters."""
+        shards = []
+        for index, shard in enumerate(self._shard_stats):
+            shards.append(
+                {
+                    "shard": shard.shard,
+                    "ingested": shard.ingested,
+                    "batches": shard.batches,
+                    "largest_batch": shard.largest_batch,
+                    "mean_batch_size": round(shard.mean_batch_size, 2),
+                    "rounds_dispatched": shard.rounds_dispatched,
+                    "queue_depth": self._queues[index].qsize(),
+                    "topics": list(shard.topics),
+                }
+            )
+        return {
+            "n_shards": self.n_shards,
+            "micro_batch_size": self.micro_batch_size,
+            "max_batch_delay": self.max_batch_delay,
+            "ingested": sum(s.ingested for s in self._shard_stats),
+            "batches": sum(s.batches for s in self._shard_stats),
+            "rounds_dispatched": sum(s.rounds_dispatched for s in self._shard_stats),
+            "n_errors": len(self.errors),
+            "shards": shards,
+        }

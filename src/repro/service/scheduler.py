@@ -27,6 +27,37 @@ class SchedulerPolicy:
     #: within five minutes of topic creation).
     initial_volume_threshold: int = 100
 
+    @classmethod
+    def from_config(
+        cls, config, default: Optional["SchedulerPolicy"] = None
+    ) -> "SchedulerPolicy":
+        """Per-topic policy: the topic config's ``train_*`` overrides applied
+        on top of ``default`` (or the dataclass defaults).
+
+        ``config`` is a :class:`~repro.core.config.ByteBrainConfig` (typed
+        loosely to keep this module free of a core->service import cycle);
+        ``None``-valued overrides defer to the default policy, so a config
+        with no ``train_*`` fields set reproduces the service-wide policy.
+        """
+        base = default if default is not None else cls()
+        return cls(
+            volume_threshold=(
+                config.train_volume_threshold
+                if getattr(config, "train_volume_threshold", None) is not None
+                else base.volume_threshold
+            ),
+            time_interval_seconds=(
+                config.train_time_interval_seconds
+                if getattr(config, "train_time_interval_seconds", None) is not None
+                else base.time_interval_seconds
+            ),
+            initial_volume_threshold=(
+                config.train_initial_volume_threshold
+                if getattr(config, "train_initial_volume_threshold", None) is not None
+                else base.initial_volume_threshold
+            ),
+        )
+
 
 class TrainingScheduler:
     """Decides when a topic needs (re)training."""
@@ -49,14 +80,20 @@ class TrainingScheduler:
             raise ValueError("count must be non-negative")
         self._records_since_training += count
 
-    def training_completed(self, now: float, mode: str = "full") -> None:
+    def training_completed(self, now: float, mode: str = "full", pending: int = 0) -> None:
         """Tell the scheduler a training round just finished.
 
         ``mode`` records how the round ran (``"initial"``, ``"incremental"``
         or ``"full"``) so operational stats can report the incremental /
-        full split per topic.
+        full split per topic.  ``pending`` is the number of records the
+        round did *not* cover — with the sharded runtime's off-path rounds,
+        records keep arriving between a round's planning watermark and its
+        commit, and resetting the counter to zero would silently delay the
+        next volume trigger by exactly that many records.
         """
-        self._records_since_training = 0
+        if pending < 0:
+            raise ValueError("pending must be non-negative")
+        self._records_since_training = pending
         self._last_training_time = now
         self._training_rounds += 1
         if mode == "incremental":

@@ -1,71 +1,61 @@
 """Tenant-facing log parsing service (paper §3 system design, §6 deployment).
 
-:class:`LogParsingService` ties everything together per topic:
+:class:`LogParsingService` is a thin, backwards-compatible synchronous
+façade over per-topic :class:`~repro.service.engine.TopicEngine` instances.
+All topic logic — ingest through the indexing pipeline, scheduler-triggered
+incremental training rounds, zero-downtime hot swap, precision-slider
+queries, model versioning/rollback, the template library — lives in the
+engine; the façade adds:
 
-* an append-only :class:`~repro.service.topic.LogTopic` holding records and
-  their template ids,
-* a :class:`~repro.core.parser.ByteBrainParser` trained periodically by a
-  :class:`~repro.service.scheduler.TrainingScheduler`,
-* an :class:`~repro.service.internal_topic.InternalTemplateTopic` recording
-  template metadata after every round,
-* query-time precision adjustment (the web UI's "precision slider"),
-* a per-topic template library usable for alerting, and
-* the analytics features of §6 (anomaly detection, period comparison,
-  failure-scenario matching).
+* the topic registry (create / drop / lookup),
+* a real per-topic ``threading.Lock`` installed as each engine's
+  ``swap_guard`` so model swaps stay atomic against concurrent readers,
+* the service-wide analytics of §6 (anomaly detection, period comparison,
+  failure-scenario matching) which read across engines, and
+* synchronous scheduler checks around ``ingest`` / ``ingest_batch``.
 
-Time is always passed in explicitly so the service is deterministic in tests
-and benchmarks; production would pass wall-clock time.
+For high-throughput multi-topic ingestion use
+:class:`~repro.service.runtime.ShardedRuntime` (or the
+:meth:`LogParsingService.sharded_runtime` convenience), which partitions
+the same engines across shard workers and micro-batches every producer's
+records through the vectorised match engine.
+
+Time is always passed in explicitly so the service is deterministic in
+tests and benchmarks; production would pass wall-clock time.
 """
 
 from __future__ import annotations
 
 import os
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import ByteBrainConfig
-from repro.core.incremental import DriftPolicy, IncrementalRound, IncrementalTrainer
+from repro.core.incremental import DriftPolicy
 from repro.core.matcher import MatchResult
-from repro.core.modelstore import ModelStore, ModelVersion
-from repro.core.parser import ByteBrainParser
-from repro.core.query import TemplateGroup
 from repro.core.model import Template
+from repro.core.modelstore import ModelVersion
+from repro.core.query import TemplateGroup
 from repro.service.analytics import (
     FailureScenarioLibrary,
     TemplateAnomaly,
     TemplateAnomalyDetector,
     compare_template_distributions,
 )
-from repro.service.indexer import IndexingPipeline, IngestionOutcome
-from repro.service.internal_topic import InternalTemplateTopic
-from repro.service.scheduler import SchedulerPolicy, TrainingScheduler
-from repro.service.topic import LogTopic
+from repro.service.engine import TopicEngine
+from repro.service.indexer import IngestionOutcome
+from repro.service.scheduler import SchedulerPolicy
 
-__all__ = ["TopicState", "LogParsingService"]
+__all__ = ["TopicState", "LogParsingService", "IngestionOutcomeWithTraining"]
 
-
-@dataclass
-class TopicState:
-    """Everything the service keeps per log topic."""
-
-    topic: LogTopic
-    parser: ByteBrainParser
-    scheduler: TrainingScheduler
-    pipeline: IndexingPipeline
-    internal_topic: InternalTemplateTopic
-    trainer: IncrementalTrainer
-    store: Optional[ModelStore] = None
-    template_library: Dict[str, int] = field(default_factory=dict)
-    #: Record id up to which the model has been trained; the topic itself is
-    #: the delta buffer (``topic.records_since(trained_watermark)``).
-    trained_watermark: int = 0
-    #: Serialises model swaps against readers that snapshot the parser.
-    #: Rounds compute the next model + matcher entirely outside this lock;
-    #: only the pointer swap holds it, so queries never wait on training.
-    lock: threading.Lock = field(default_factory=threading.Lock)
-    last_round: Optional[IncrementalRound] = None
+#: Backwards-compatible alias: what the service keeps per topic *is* the
+#: engine now (``service.topic(name)`` exposes the same attributes the old
+#: ``TopicState`` dataclass had: ``topic``, ``parser``, ``scheduler``,
+#: ``pipeline``, ``internal_topic``, ``trainer``, ``store``,
+#: ``template_library``, ``trained_watermark``, ``last_round``).
+TopicState = TopicEngine
 
 
 class LogParsingService:
@@ -84,56 +74,73 @@ class LogParsingService:
         #: Directory under which each topic gets a versioned model store
         #: (``<store_root>/<topic>``); ``None`` disables persistence.
         self.store_root = Path(store_root) if store_root is not None else None
-        self._topics: Dict[str, TopicState] = {}
+        self._topics: Dict[str, TopicEngine] = {}
         self.failure_library = FailureScenarioLibrary()
         self.anomaly_detector = TemplateAnomalyDetector()
 
     # ------------------------------------------------------------------ #
     # topic lifecycle
     # ------------------------------------------------------------------ #
-    def create_topic(self, name: str, config: Optional[ByteBrainConfig] = None) -> TopicState:
-        """Create a log topic (errors if it already exists)."""
+    def create_topic(
+        self,
+        name: str,
+        config: Optional[ByteBrainConfig] = None,
+        scheduler_policy: Optional[SchedulerPolicy] = None,
+    ) -> TopicEngine:
+        """Create a log topic (errors if it already exists).
+
+        The training schedule resolves per topic: an explicit
+        ``scheduler_policy`` wins, else the topic config's ``train_*``
+        overrides applied on top of the service-wide default policy.
+        """
         if name in self._topics:
             raise ValueError(f"topic {name!r} already exists")
-        topic = LogTopic(name)
         topic_config = config or self.config
-        parser = ByteBrainParser(topic_config)
-        scheduler = TrainingScheduler(SchedulerPolicy(**vars(self.scheduler_policy)))
-        pipeline = IndexingPipeline(topic, scheduler)
-        state = TopicState(
-            topic=topic,
-            parser=parser,
-            scheduler=scheduler,
-            pipeline=pipeline,
-            internal_topic=InternalTemplateTopic(name),
-            trainer=IncrementalTrainer(topic_config, DriftPolicy(**vars(self.drift_policy))),
-            store=ModelStore(self.store_root / name) if self.store_root is not None else None,
+        policy = scheduler_policy or SchedulerPolicy.from_config(
+            topic_config, default=self.scheduler_policy
         )
-        self._topics[name] = state
-        return state
+        engine = TopicEngine(
+            name,
+            config=topic_config,
+            scheduler_policy=SchedulerPolicy(**vars(policy)),
+            drift_policy=DriftPolicy(**vars(self.drift_policy)),
+            store_dir=self.store_root / name if self.store_root is not None else None,
+            #: Serialises model swaps against readers that snapshot the
+            #: parser.  Rounds compute the next model + matcher entirely
+            #: outside this lock; only the pointer swap holds it, so
+            #: queries never wait on training.
+            swap_guard=threading.Lock(),
+        )
+        self._topics[name] = engine
+        return engine
 
     def topic_names(self) -> List[str]:
         """Names of all existing topics."""
         return list(self._topics)
 
-    def topic(self, name: str) -> TopicState:
-        """Fetch a topic's state (KeyError if unknown)."""
+    def topic(self, name: str) -> TopicEngine:
+        """Fetch a topic's engine (KeyError if unknown)."""
         return self._topics[name]
 
     def drop_topic(self, name: str) -> None:
         """Delete a topic and everything associated with it."""
         del self._topics[name]
 
+    def sharded_runtime(self, **kwargs) -> "ShardedRuntime":
+        """Build a :class:`~repro.service.runtime.ShardedRuntime` over this
+        service (keyword arguments override the config's runtime knobs)."""
+        from repro.service.runtime import ShardedRuntime
+
+        return ShardedRuntime(self, **kwargs)
+
     # ------------------------------------------------------------------ #
     # ingestion
     # ------------------------------------------------------------------ #
-    def ingest(self, topic_name: str, raw: str, now: float) -> IngestionOutcomeWithTraining:
+    def ingest(self, topic_name: str, raw: str, now: float) -> "IngestionOutcomeWithTraining":
         """Ingest one record; runs a training round first if the scheduler says so."""
-        state = self._topics[topic_name]
-        trained = self.maybe_train(topic_name, now)
-        outcome = state.pipeline.ingest(raw, timestamp=now)
-        if outcome.is_new_template and outcome.template_id is not None:
-            state.internal_topic.publish_template(state.parser.model.get(outcome.template_id))
+        engine = self._topics[topic_name]
+        trained = engine.maybe_train(now)
+        outcome = engine.ingest(raw, now)
         return IngestionOutcomeWithTraining(outcome=outcome, trained=trained)
 
     def ingest_batch(self, topic_name: str, raws: Sequence[str], now: float) -> int:
@@ -148,13 +155,10 @@ class LogParsingService:
         """
         if not raws:
             return 0
-        state = self._topics[topic_name]
-        self.maybe_train(topic_name, now)
-        outcomes = state.pipeline.ingest_batch(raws, timestamp=now)
-        for outcome in outcomes:
-            if outcome.is_new_template and outcome.template_id is not None:
-                state.internal_topic.publish_template(state.parser.model.get(outcome.template_id))
-        self.maybe_train(topic_name, now)
+        engine = self._topics[topic_name]
+        engine.maybe_train(now)
+        engine.ingest_batch(raws, now)
+        engine.maybe_train(now)
         return len(raws)
 
     # ------------------------------------------------------------------ #
@@ -162,153 +166,37 @@ class LogParsingService:
     # ------------------------------------------------------------------ #
     def maybe_train(self, topic_name: str, now: float) -> bool:
         """Run a training round if the scheduler's trigger condition holds."""
-        state = self._topics[topic_name]
-        if not state.scheduler.should_train(now):
-            return False
-        self.train_now(topic_name, now)
-        return True
+        return self._topics[topic_name].maybe_train(now)
 
     def train_now(self, topic_name: str, now: float, force_full: bool = False) -> None:
         """Run one training round on the records ingested since the last one.
 
         The first round clusters everything accumulated; later rounds run
         incrementally (novelty filter + residual clustering + weighted
-        merge, escalating to a full retrain per the drift policy).  The
-        round computes a *new* model and a fully-built matcher off to the
-        side, then swaps both in atomically under the topic lock — queries
-        and matches issued mid-round keep hitting the previous version
-        (zero-downtime).  When the service has a ``store_root``, every
-        round's model is persisted as a new :class:`ModelStore` version.
+        merge, escalating to a full retrain per the drift policy).  See
+        :meth:`TopicEngine.train_now` — the round computes a *new* model
+        and matcher off to the side, then swaps both in atomically under
+        the topic's swap guard (zero-downtime).
         """
-        state = self._topics[topic_name]
-        watermark = state.topic.high_watermark
-        delta_records = state.topic.records_since(state.trained_watermark)
-        if not delta_records and not force_full:
-            return
-        round_result = state.trainer.round(
-            state.parser.model if state.parser.is_trained else None,
-            [r.raw for r in delta_records],
-            # The pipeline matched every delta record at ingestion, so the
-            # round reuses those assignments and clusters only the records
-            # that were unmatched or fell back to temporary templates.
-            delta_template_ids=[r.template_id for r in delta_records],
-            full_corpus=lambda: [r.raw for r in state.topic.records()],
-            force_full=force_full,
-        )
-        model_changed = round_result.mode != "incremental" or round_result.n_clustered > 0
-        if not model_changed:
-            # No-op round: the delta was fully explained, so the only
-            # difference between the round's model and the live one is the
-            # reused templates' weights.  Apply those in place (weights are
-            # not read by concurrent matching) instead of paying a model
-            # swap, matcher/index rebuild, internal-topic snapshot and
-            # store version for a model with no new structure.
-            live = state.parser.model
-            with state.lock:
-                for template in round_result.model.templates():
-                    if template.template_id in live:
-                        live.get(template.template_id).weight = template.weight
-                state.trained_watermark = watermark
-            state.last_round = round_result
-            state.scheduler.training_completed(now, mode=round_result.mode)
-            return
-        # Build the next matcher (including its vectorised match index)
-        # against the new model entirely outside the lock.  The training
-        # assignments map is only consulted by the "naive" matching
-        # strategy; skip maintaining (and copying) it otherwise — it grows
-        # with every unique clustered tuple.
-        if state.parser.config.matching_strategy == "naive":
-            assignments = state.parser.training_assignments
-            assignments.update(round_result.training_assignments)
-        else:
-            assignments = None
-        matcher = state.parser.build_matcher(round_result.model, assignments)
-        with state.lock:
-            state.parser.install_model(
-                round_result.model, matcher=matcher, training_assignments=assignments
-            )
-            state.pipeline.attach_matcher(matcher)
-            state.trained_watermark = watermark
-        state.last_round = round_result
-        state.scheduler.training_completed(now, mode=round_result.mode)
-        state.internal_topic.publish_model(round_result.model)
-        state.pipeline.backfill_templates(matcher)
-        if state.store is not None:
-            state.store.save(
-                round_result.model,
-                created_at=now,
-                mode=round_result.mode,
-                metadata={
-                    "round": state.scheduler.training_rounds,
-                    "reason": round_result.reason,
-                    "n_delta_records": round_result.n_delta_records,
-                    "n_reused": round_result.n_reused,
-                    "n_clustered": round_result.n_clustered,
-                    # Restored by rollback_model so the next round's delta
-                    # re-covers everything this version never saw.
-                    "trained_watermark": watermark,
-                },
-            )
+        self._topics[topic_name].train_now(now, force_full=force_full)
 
     # ------------------------------------------------------------------ #
     # model versioning
     # ------------------------------------------------------------------ #
     def model_versions(self, topic_name: str) -> List[ModelVersion]:
         """Version history of the topic's persisted models (oldest first)."""
-        state = self._topics[topic_name]
-        if state.store is None:
-            return []
-        return state.store.versions()
+        return self._topics[topic_name].model_versions()
 
     def rollback_model(self, topic_name: str) -> ModelVersion:
-        """Hot-swap the topic back to the previous persisted model version.
-
-        Moves the store's *current* pointer one version back, reloads that
-        snapshot and installs it atomically (same swap discipline as a
-        training round).  The training watermark rewinds to the point the
-        restored version was trained at, so the next round re-covers every
-        record the rolled-back-away versions had learned (their template
-        knowledge would otherwise be lost for good).  Raises
-        ``RuntimeError`` without a ``store_root``.
-        """
-        state = self._topics[topic_name]
-        if state.store is None:
-            raise RuntimeError(f"topic {topic_name!r} has no model store configured")
-        version = state.store.rollback()
-        model = state.store.load(version.version)
-        # Ids handed out by the newer (rolled-back-away) versions are still
-        # referenced by stored records; the restored model must never mint
-        # them again for unrelated templates.
-        model.reserve_ids(state.parser.model.next_template_id)
-        matcher = state.parser.build_matcher(model)
-        with state.lock:
-            state.parser.install_model(model, matcher=matcher)
-            state.pipeline.attach_matcher(matcher)
-            state.trained_watermark = int(version.metadata.get("trained_watermark", 0))
-        # Metadata readers must see the restored model, same as after any
-        # other swap.
-        state.internal_topic.publish_model(model)
-        return version
+        """Hot-swap the topic back to the previous persisted model version."""
+        return self._topics[topic_name].rollback()
 
     # ------------------------------------------------------------------ #
     # matching
     # ------------------------------------------------------------------ #
     def match(self, topic_name: str, raw: str) -> MatchResult:
-        """Match one record against the topic's live model without storing it.
-
-        Snapshots the parser's matcher under the topic lock (a pointer
-        read), then matches outside it — concurrent hot swaps never leave
-        this call holding a half-built index.  The match is strictly
-        read-only (``register_misses=False``): a record the model cannot
-        explain comes back with ``template_id == -1`` instead of mutating
-        the shared model from a reader thread.
-        """
-        state = self._topics[topic_name]
-        with state.lock:
-            if not state.parser.is_trained:
-                raise RuntimeError(f"topic {topic_name!r} has no trained model yet")
-            matcher = state.parser.matcher
-        return matcher.match(raw, register_misses=False)
+        """Match one record against the topic's live model without storing it."""
+        return self._topics[topic_name].match(raw)
 
     # ------------------------------------------------------------------ #
     # query
@@ -326,46 +214,24 @@ class LogParsingService:
         precise template id, the threshold walks ancestors upward, and
         consecutive wildcards are merged for presentation.
         """
-        state = self._topics[topic_name]
-        if text_filter:
-            records = state.topic.search_text(text_filter)
-        else:
-            records = state.topic.records()
-        template_ids = [r.template_id for r in records if r.template_id is not None]
-        with state.lock:
-            # Snapshot the engine so a concurrent hot swap cannot hand this
-            # query a model mid-installation.
-            query_engine = state.parser.query_engine
-        return query_engine.group_records(
-            template_ids, threshold, merge_wildcards=merge_wildcards
+        return self._topics[topic_name].query_templates(
+            threshold, text_filter=text_filter, merge_wildcards=merge_wildcards
         )
 
     def template_count(self, topic_name: str, threshold: float) -> int:
         """Number of distinct templates visible at a precision threshold."""
-        state = self._topics[topic_name]
-        return len(state.parser.model.templates_at_threshold(threshold))
+        return self._topics[topic_name].template_count(threshold)
 
     # ------------------------------------------------------------------ #
     # template library and alerting
     # ------------------------------------------------------------------ #
     def save_template_to_library(self, topic_name: str, label: str, template_id: int) -> None:
         """Save a template under a user-chosen label (§6 template library)."""
-        state = self._topics[topic_name]
-        if template_id not in state.parser.model:
-            raise KeyError(f"template {template_id} does not exist in topic {topic_name!r}")
-        state.template_library[label] = template_id
+        self._topics[topic_name].save_template_to_library(label, template_id)
 
     def library_counts(self, topic_name: str) -> Dict[str, int]:
         """Record counts of every library template (alerting input)."""
-        state = self._topics[topic_name]
-        counts = state.topic.template_counts()
-        result: Dict[str, int] = {}
-        for label, template_id in state.template_library.items():
-            total = counts.get(template_id, 0)
-            for descendant in state.parser.model.descendants(template_id):
-                total += counts.get(descendant.template_id, 0)
-            result[label] = total
-        return result
+        return self._topics[topic_name].library_counts()
 
     # ------------------------------------------------------------------ #
     # analytics (§6)
@@ -377,15 +243,15 @@ class LogParsingService:
         current_window: Tuple[float, float],
     ) -> List[TemplateAnomaly]:
         """Template-count anomaly detection between two time windows."""
-        state = self._topics[topic_name]
+        engine = self._topics[topic_name]
         baseline_ids = [
             r.template_id
-            for r in state.topic.records_between(*baseline_window)
+            for r in engine.topic.records_between(*baseline_window)
             if r.template_id is not None
         ]
         current_ids = [
             r.template_id
-            for r in state.topic.records_between(*current_window)
+            for r in engine.topic.records_between(*current_window)
             if r.template_id is not None
         ]
         return self.anomaly_detector.detect(baseline_ids, current_ids)
@@ -397,29 +263,29 @@ class LogParsingService:
         period_b: Tuple[float, float],
     ):
         """Template-distribution comparison across two time periods."""
-        state = self._topics[topic_name]
+        engine = self._topics[topic_name]
         ids_a = [
             r.template_id
-            for r in state.topic.records_between(*period_a)
+            for r in engine.topic.records_between(*period_a)
             if r.template_id is not None
         ]
         ids_b = [
             r.template_id
-            for r in state.topic.records_between(*period_b)
+            for r in engine.topic.records_between(*period_b)
             if r.template_id is not None
         ]
         return compare_template_distributions(ids_a, ids_b)
 
     def match_failure_scenarios(self, topic_name: str, window: Tuple[float, float]):
         """Match the window's templates against the known-failure library."""
-        state = self._topics[topic_name]
+        engine = self._topics[topic_name]
         template_ids = {
             r.template_id
-            for r in state.topic.records_between(*window)
+            for r in engine.topic.records_between(*window)
             if r.template_id is not None
         }
         templates: List[Template] = [
-            state.parser.model.get(tid) for tid in template_ids if tid in state.parser.model
+            engine.parser.model.get(tid) for tid in template_ids if tid in engine.parser.model
         ]
         return self.failure_library.match(templates)
 
@@ -428,21 +294,7 @@ class LogParsingService:
     # ------------------------------------------------------------------ #
     def topic_stats(self, topic_name: str) -> Dict[str, float]:
         """Operational statistics for one topic (Table 5-style reporting)."""
-        state = self._topics[topic_name]
-        model_stats = state.parser.model.stats()
-        n_versions, current = state.store.summary() if state.store is not None else (0, None)
-        return {
-            "n_records": float(len(state.topic)),
-            "raw_bytes": float(state.topic.size_bytes()),
-            "n_templates": float(model_stats["n_templates"]),
-            "model_size_bytes": float(model_stats["size_bytes"]),
-            "training_rounds": float(state.scheduler.training_rounds),
-            "incremental_rounds": float(state.scheduler.incremental_rounds),
-            "full_rounds": float(state.scheduler.full_rounds),
-            "pending_records": float(state.topic.high_watermark - state.trained_watermark),
-            "n_model_versions": float(n_versions),
-            "model_version": float(current.version) if current is not None else 0.0,
-        }
+        return self._topics[topic_name].stats()
 
 
 @dataclass

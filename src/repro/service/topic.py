@@ -7,12 +7,20 @@ computed at ingestion time (the paper: "template IDs must be computed along
 with other traditional text indices before logs can be written to the
 append-only log topic storage") and maintains a minimal inverted token index
 so text queries and template queries compose.
+
+The token index is built *lazily*: ``append`` is on the ingest hot path
+(the sharded runtime drives it at micro-batch rate), so it only stores the
+record, and the first ``search_text`` after new appends catches the index
+up over the appended suffix.  Catch-up runs under a small internal lock so
+concurrent readers never iterate a token set mid-mutation; writers never
+take the lock.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
 
 __all__ = ["LogRecord", "LogTopic"]
 
@@ -40,13 +48,21 @@ class LogTopic:
         self.name = name
         self._records: List[LogRecord] = []
         self._token_index: Dict[str, Set[int]] = {}
+        #: Records below this id are in the token index; the suffix is
+        #: indexed lazily by the next ``search_text`` call.
+        self._token_indexed_upto = 0
+        self._token_index_lock = threading.Lock()
         self._template_index: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------ #
     # writes
     # ------------------------------------------------------------------ #
     def append(self, raw: str, timestamp: float, template_id: Optional[int] = None) -> LogRecord:
-        """Append one record; returns the stored record."""
+        """Append one record; returns the stored record.
+
+        Deliberately does *not* update the token index (ingest hot path):
+        text search catches the index up over the appended suffix on demand.
+        """
         record = LogRecord(
             record_id=len(self._records),
             timestamp=timestamp,
@@ -54,8 +70,6 @@ class LogTopic:
             template_id=template_id,
         )
         self._records.append(record)
-        for token in set(raw.split()):
-            self._token_index.setdefault(token, set()).add(record.record_id)
         if template_id is not None:
             self._template_index.setdefault(template_id, []).append(record.record_id)
         return record
@@ -108,9 +122,20 @@ class LogTopic:
         return [r for r in self._records if start_time <= r.timestamp < end_time]
 
     def search_text(self, token: str) -> List[LogRecord]:
-        """Records whose raw text contains ``token`` (inverted-index lookup)."""
-        ids = self._token_index.get(token, set())
-        return [self._records[record_id] for record_id in sorted(ids)]
+        """Records whose raw text contains ``token`` (inverted-index lookup).
+
+        Catches the lazy token index up over records appended since the
+        last search.  The lock serialises catch-up against other readers;
+        appends are never blocked by it (they do not touch the index).
+        """
+        with self._token_index_lock:
+            n_visible = len(self._records)
+            for record in self._records[self._token_indexed_upto : n_visible]:
+                for token_text in set(record.raw.split()):
+                    self._token_index.setdefault(token_text, set()).add(record.record_id)
+            self._token_indexed_upto = n_visible
+            ids = sorted(self._token_index.get(token, ()))
+        return [self._records[record_id] for record_id in ids]
 
     def records_for_template(self, template_id: int) -> List[LogRecord]:
         """Records matched to a given template id at ingestion time."""

@@ -4,7 +4,6 @@ import pytest
 
 from repro.baselines import BASELINE_REGISTRY, make_baseline
 from repro.baselines.base import BaselineParser
-from repro.datasets.registry import generate_dataset
 from repro.evaluation.metrics import grouping_accuracy
 
 

@@ -159,3 +159,30 @@ class TestEvaluateAndDatasets:
         assert main(["datasets"]) == 0
         out = capsys.readouterr().out
         assert "loghub2" in out and "HDFS" in out
+
+    def test_serve_bench_tiny_workload(self, capsys, tmp_path):
+        report_path = tmp_path / "serve.json"
+        exit_code = main(
+            [
+                "serve-bench",
+                "--topics", "2",
+                "--records", "250",
+                "--train-records", "150",
+                "--shards", "1",
+                "--repetitions", "1",
+                "--output", str(report_path),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "sync_per_record" in out and "sharded_1" in out
+        import json
+
+        report = json.loads(report_path.read_text())
+        modes = {mode["mode"] for mode in report["modes"]}
+        assert modes == {"sync_per_record", "sharded_1"}
+        assert all(mode["throughput"] > 0 for mode in report["modes"])
+
+    def test_serve_bench_paced_rate_requires_training(self, capsys):
+        assert main(["serve-bench", "--paced-rate", "100"]) == 2
+        assert "--volume-threshold" in capsys.readouterr().err

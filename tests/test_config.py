@@ -27,11 +27,32 @@ class TestValidation:
             {"max_clusters_per_split": 1},
             {"model_merge_similarity": 1.5},
             {"training_sample_size": 0},
+            {"n_shards": 0},
+            {"micro_batch_size": 0},
+            {"max_batch_delay": -0.1},
+            {"ingest_queue_capacity": 0},
+            {"train_volume_threshold": 0},
+            {"train_time_interval_seconds": -1.0},
+            {"train_initial_volume_threshold": -5},
         ],
     )
     def test_invalid_settings_rejected(self, kwargs):
         with pytest.raises(ValueError):
             ByteBrainConfig(**kwargs)
+
+    def test_runtime_knobs_default_and_round_trip(self):
+        config = ByteBrainConfig(
+            n_shards=4,
+            micro_batch_size=512,
+            max_batch_delay=0.1,
+            train_volume_threshold=5000,
+        )
+        restored = ByteBrainConfig.from_dict(config.to_dict())
+        assert restored.n_shards == 4
+        assert restored.micro_batch_size == 512
+        assert restored.max_batch_delay == 0.1
+        assert restored.train_volume_threshold == 5000
+        assert restored.train_time_interval_seconds is None
 
     def test_replace_returns_new_config(self):
         config = ByteBrainConfig()

@@ -151,8 +151,8 @@ class TestOnlineMatcher:
             config=ByteBrainConfig(jit_enabled=False),
             preprocessor=trainer.preprocessor,
         )
-        assert [with_index.match(l).template_id for l in lines] == [
-            without_jit.match(l).template_id for l in lines
+        assert [with_index.match(line).template_id for line in lines] == [
+            without_jit.match(line).template_id for line in lines
         ]
 
 

@@ -1,8 +1,15 @@
 """Unit tests for the parallel execution helpers."""
 
 import threading
+from concurrent.futures import ThreadPoolExecutor
 
-from repro.core.parallel import chunk, map_parallel
+from repro.core.parallel import (
+    chunk,
+    chunk_ranges,
+    map_parallel,
+    shared_executor,
+    shutdown_shared_executor,
+)
 
 
 class TestMapParallel:
@@ -12,6 +19,10 @@ class TestMapParallel:
     def test_parallel_path_preserves_order(self):
         items = list(range(50))
         assert map_parallel(lambda x: x * x, items, parallelism=4) == [x * x for x in items]
+
+    def test_parallel_path_preserves_order_for_uneven_strides(self):
+        items = list(range(23))
+        assert map_parallel(lambda x: x + 1, items, parallelism=5) == [x + 1 for x in items]
 
     def test_parallel_actually_uses_multiple_threads(self):
         seen = set()
@@ -29,6 +40,40 @@ class TestMapParallel:
     def test_single_item_short_circuits(self):
         assert map_parallel(lambda x: x + 1, [41], parallelism=8) == [42]
 
+    def test_caller_supplied_executor(self):
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            result = map_parallel(lambda x: x * 3, [1, 2, 3, 4], parallelism=2, executor=pool)
+        assert result == [3, 6, 9, 12]
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise ValueError(f"boom {x}")
+
+        try:
+            map_parallel(boom, [1, 2, 3], parallelism=2)
+        except ValueError as error:
+            assert "boom" in str(error)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+
+class TestSharedExecutor:
+    def test_same_pool_is_reused_across_calls(self):
+        assert shared_executor() is shared_executor()
+
+    def test_map_parallel_does_not_shut_the_shared_pool_down(self):
+        pool = shared_executor()
+        map_parallel(lambda x: x, [1, 2, 3, 4], parallelism=2)
+        assert pool is shared_executor()
+        assert pool.submit(lambda: 42).result() == 42
+
+    def test_shutdown_then_lazy_recreation(self):
+        first = shared_executor()
+        shutdown_shared_executor()
+        second = shared_executor()
+        assert second is not first
+        assert second.submit(lambda: 1).result() == 1
+
 
 class TestChunk:
     def test_single_chunk(self):
@@ -45,3 +90,9 @@ class TestChunk:
     def test_more_chunks_than_items(self):
         chunks = chunk([1, 2], 5)
         assert chunks == [[1], [2]]
+
+    def test_empty_input_yields_no_chunks(self):
+        # Regression: used to return [[]] — one phantom empty shard that
+        # every consumer had to special-case.
+        assert chunk([], 3) == []
+        assert chunk_ranges(0, 3) == []

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.config import ByteBrainConfig
 from repro.core.parser import ByteBrainParser
 from repro.evaluation.metrics import grouping_accuracy
 

@@ -1,0 +1,239 @@
+"""Unit tests for the pure per-topic TopicEngine (no service, no threads)."""
+
+import pytest
+
+from repro.core.config import ByteBrainConfig
+from repro.service.engine import TopicEngine
+from repro.service.scheduler import SchedulerPolicy
+
+
+def order_lines(start, count):
+    return [f"order {start + i} created for customer {i % 17} amount {i * 3} cents" for i in range(count)]
+
+
+def error_lines(count):
+    return [f"payment gateway timeout after {1000 + i} ms for order {i}" for i in range(count)]
+
+
+def make_engine(**policy_kwargs):
+    policy = SchedulerPolicy(
+        volume_threshold=policy_kwargs.pop("volume_threshold", 10_000),
+        time_interval_seconds=600,
+        initial_volume_threshold=policy_kwargs.pop("initial", 10_000),
+    )
+    return TopicEngine("checkout", scheduler_policy=policy, **policy_kwargs)
+
+
+class TestEngineStandalone:
+    def test_engine_needs_no_service_or_lock(self):
+        engine = make_engine()
+        engine.ingest_batch(order_lines(0, 60), now=0.0)
+        engine.train_now(1.0)
+        assert engine.scheduler.training_rounds == 1
+        assert engine.match("order 9 created for customer 3 amount 1 cents").template_id != -1
+
+    def test_ingest_single_publishes_temporaries(self):
+        engine = make_engine()
+        engine.ingest_batch(order_lines(0, 40), now=0.0)
+        engine.train_now(1.0)
+        published = len(engine.internal_topic)
+        engine.ingest("something utterly novel shaped like nothing else", now=2.0)
+        assert len(engine.internal_topic) == published + 1
+
+    def test_per_record_timestamps(self):
+        engine = make_engine()
+        engine.ingest_batch(order_lines(0, 3), now=9.0, timestamps=[1.0, 2.0, 3.0])
+        assert [r.timestamp for r in engine.topic.records()] == [1.0, 2.0, 3.0]
+
+    def test_timestamps_must_align(self):
+        engine = make_engine()
+        with pytest.raises(ValueError):
+            engine.ingest_batch(order_lines(0, 3), now=0.0, timestamps=[1.0])
+
+    def test_ingest_batch_fast_equivalent_to_slow_path(self):
+        fast, slow = make_engine(), make_engine()
+        for engine in (fast, slow):
+            engine.ingest_batch(order_lines(0, 80), now=0.0)
+            engine.train_now(1.0)
+        batch = error_lines(30)
+        slow.ingest_batch(batch, now=2.0)
+        fast.ingest_batch_fast(batch, now=2.0)
+        assert [r.template_id for r in fast.topic.records()] == [
+            r.template_id for r in slow.topic.records()
+        ]
+        assert len(fast.internal_topic) == len(slow.internal_topic)
+
+    def test_pending_records(self):
+        engine = make_engine()
+        engine.ingest_batch(order_lines(0, 50), now=0.0)
+        assert engine.pending_records == 50
+        engine.train_now(1.0)
+        assert engine.pending_records == 0
+
+    def test_stats_shape(self):
+        engine = make_engine()
+        engine.ingest_batch(order_lines(0, 50), now=0.0)
+        engine.train_now(1.0)
+        stats = engine.stats()
+        assert stats["n_records"] == 50
+        assert stats["training_rounds"] == 1
+        assert stats["pending_records"] == 0
+
+
+class TestRoundPhases:
+    """plan_round / execute_round / commit_round compose into train_now."""
+
+    def test_plan_none_when_no_delta(self):
+        engine = make_engine()
+        assert engine.plan_round(0.0) is None
+
+    def test_phased_round_equals_synchronous_round(self):
+        phased, sync = make_engine(), make_engine()
+        for engine in (phased, sync):
+            engine.ingest_batch(order_lines(0, 100), now=0.0)
+        sync.train_now(1.0)
+        plan = phased.plan_round(1.0)
+        prepared = phased.execute_round(plan)
+        phased.commit_round(prepared)
+        assert len(phased.parser.model) == len(sync.parser.model)
+        assert phased.trained_watermark == sync.trained_watermark
+        assert phased.last_round.mode == sync.last_round.mode == "initial"
+
+    def test_execute_does_not_touch_live_state(self):
+        engine = make_engine()
+        engine.ingest_batch(order_lines(0, 100), now=0.0)
+        engine.train_now(1.0)
+        engine.ingest_batch(error_lines(40), now=2.0)
+        live_model = engine.parser.model
+        n_templates = len(live_model)
+        plan = engine.plan_round(3.0)
+        prepared = engine.execute_round(plan)
+        # Live pointers and counters untouched until commit.
+        assert engine.parser.model is live_model
+        assert len(engine.parser.model) == n_templates
+        assert engine.trained_watermark == plan.trained_watermark
+        assert engine.scheduler.training_rounds == 1
+        engine.commit_round(prepared)
+        assert engine.parser.model is prepared.round.model
+        assert engine.scheduler.training_rounds == 2
+
+    def test_records_ingested_after_plan_roll_into_next_round(self):
+        engine = make_engine()
+        engine.ingest_batch(order_lines(0, 100), now=0.0)
+        engine.train_now(1.0)
+        engine.ingest_batch(error_lines(30), now=2.0)
+        plan = engine.plan_round(3.0)
+        # Simulate concurrent ingest between plan and commit.
+        engine.ingest_batch(order_lines(100, 25), now=3.5)
+        prepared = engine.execute_round(plan)
+        engine.commit_round(prepared)
+        assert engine.trained_watermark == plan.watermark
+        assert engine.pending_records == 25
+        # The scheduler still counts the uncovered records toward the next
+        # volume trigger instead of resetting to zero.
+        assert engine.scheduler.pending_records == 25
+        follow_up = engine.plan_round(4.0)
+        assert follow_up is not None
+        assert len(follow_up.delta_raws) == 25
+
+    def test_mid_round_temporaries_survive_the_commit(self):
+        # Regression: between plan and commit, ingestion mints temporary
+        # templates on the *live* model; the round's model may reallocate
+        # those ids to unrelated clusters.  The commit must re-home the
+        # temporaries (fresh ids in the new model, records re-stamped)
+        # instead of silently re-attributing or dangling the records.
+        engine = make_engine()
+        engine.ingest_batch(order_lines(0, 100), now=0.0)
+        engine.train_now(1.0)
+        # The round will cluster this novel traffic into NEW template ids.
+        engine.ingest_batch(error_lines(40), now=2.0)
+        plan = engine.plan_round(3.0)
+        # Concurrent ingest during the round: a second kind of novel line
+        # becomes a temporary on the live model (competing for the same
+        # id range the round is about to allocate from).
+        disk_lines = [f"disk volume {i} failed with error {i % 5}" for i in range(10)]
+        engine.ingest_batch(disk_lines, now=3.5)
+        late_ids = {
+            r.template_id for r in engine.topic.records() if "disk" in r.raw
+        }
+        assert late_ids and all(tid >= plan.base_next_id for tid in late_ids)
+        engine.commit_round(engine.execute_round(plan))
+        model = engine.parser.model
+        for record in engine.topic.records():
+            if "disk" not in record.raw:
+                continue
+            # Still resolvable, still a disk template (not re-attributed
+            # to whatever cluster the round put at the colliding id).
+            assert record.template_id in model
+            template = model.get(record.template_id)
+            assert template.is_temporary
+            assert template.tokens[0] == "disk"
+        # The carried-over temporary is registered with the new matcher:
+        # the same line matches it instead of minting a duplicate.
+        before = len(model)
+        result = engine.match("disk volume 3 failed with error 3")
+        assert result.template_id in {r.template_id for r in engine.topic.records() if "disk" in r.raw}
+        assert len(engine.parser.model) == before
+
+    def test_no_op_round_applies_weights_without_swap(self):
+        engine = make_engine()
+        engine.ingest_batch(order_lines(0, 100), now=0.0)
+        engine.train_now(1.0)
+        live_model = engine.parser.model
+        engine.ingest_batch(order_lines(100, 40), now=2.0)
+        plan = engine.plan_round(3.0)
+        prepared = engine.execute_round(plan)
+        assert not prepared.model_changed
+        engine.commit_round(prepared)
+        # No pointer swap for a no-op round, but the watermark advanced.
+        assert engine.parser.model is live_model
+        assert engine.trained_watermark == plan.watermark
+
+
+class TestPerTopicSchedulerPolicy:
+    def test_policy_from_config_overrides(self):
+        config = ByteBrainConfig(
+            train_volume_threshold=7,
+            train_initial_volume_threshold=5,
+        )
+        engine = TopicEngine("checkout", config=config)
+        assert engine.scheduler.policy.volume_threshold == 7
+        assert engine.scheduler.policy.initial_volume_threshold == 5
+        # Unset fields fall back to the SchedulerPolicy defaults.
+        assert engine.scheduler.policy.time_interval_seconds == SchedulerPolicy().time_interval_seconds
+
+    def test_policy_defaults_without_overrides(self):
+        engine = TopicEngine("checkout")
+        assert vars(engine.scheduler.policy) == vars(SchedulerPolicy())
+
+    def test_config_driven_training_trigger(self):
+        config = ByteBrainConfig(train_initial_volume_threshold=10)
+        engine = TopicEngine("checkout", config=config)
+        engine.ingest_batch(order_lines(0, 9), now=0.0)
+        assert not engine.should_train(0.0)
+        engine.ingest_batch(order_lines(9, 1), now=0.0)
+        assert engine.should_train(0.0)
+
+
+class TestEngineStoreAndRollback:
+    def test_rollback_without_store_raises(self):
+        engine = make_engine()
+        with pytest.raises(RuntimeError):
+            engine.rollback()
+
+    def test_versions_and_rollback(self, tmp_path):
+        engine = TopicEngine(
+            "checkout",
+            scheduler_policy=SchedulerPolicy(
+                volume_threshold=10_000, time_interval_seconds=600, initial_volume_threshold=10_000
+            ),
+            store_dir=tmp_path / "checkout",
+        )
+        engine.ingest_batch(order_lines(0, 100), now=0.0)
+        engine.train_now(1.0)
+        engine.ingest_batch(error_lines(40), now=2.0)
+        engine.train_now(3.0)
+        assert [v.version for v in engine.model_versions()] == [1, 2]
+        version = engine.rollback()
+        assert version.version == 1
+        assert engine.trained_watermark == 100

@@ -1,0 +1,206 @@
+"""Concurrency tests for the ShardedRuntime: no lost records, monotonic
+watermarks, consistent reads during off-path training, backpressure and
+graceful shutdown."""
+
+import threading
+
+import pytest
+
+from repro.core.config import ByteBrainConfig
+from repro.service.runtime import ShardedRuntime
+from repro.service.scheduler import SchedulerPolicy
+from repro.service.service import LogParsingService
+
+TOPICS = ("checkout", "payments", "auth")
+
+
+def make_service(volume_threshold=400, initial=100):
+    return LogParsingService(
+        config=ByteBrainConfig(),
+        scheduler_policy=SchedulerPolicy(
+            volume_threshold=volume_threshold,
+            time_interval_seconds=10**9,
+            initial_volume_threshold=initial,
+        ),
+    )
+
+
+def line_for(topic, i):
+    # Every variable is a bare number, so masking preserves token count
+    # (the reader asserts matched templates have the probe's length).
+    return f"{topic} request {i} served for user {i % 13} with latency {i % 450}"
+
+
+class TestIngestionCorrectness:
+    def test_no_lost_records_across_topics_and_shards(self):
+        service = make_service()
+        for topic in TOPICS:
+            service.create_topic(topic)
+        n_per_topic = 800
+        with ShardedRuntime(service, n_shards=2, micro_batch_size=64, max_batch_delay=0.005) as runtime:
+            for i in range(n_per_topic):
+                for topic in TOPICS:
+                    runtime.submit(topic, line_for(topic, i), timestamp=float(i))
+            runtime.drain()
+            assert runtime.errors == []
+            for topic in TOPICS:
+                assert len(service.topic(topic).topic) == n_per_topic
+
+    def test_per_topic_order_and_timestamps_preserved(self):
+        service = make_service(volume_threshold=10**9, initial=10**9)
+        service.create_topic("checkout")
+        with ShardedRuntime(service, n_shards=2, micro_batch_size=32) as runtime:
+            for i in range(500):
+                runtime.submit("checkout", f"record {i}", timestamp=float(i))
+            runtime.drain()
+        records = service.topic("checkout").topic.records()
+        assert [r.raw for r in records] == [f"record {i}" for i in range(500)]
+        assert [r.timestamp for r in records] == [float(i) for i in range(500)]
+
+    def test_training_rounds_run_off_path(self):
+        service = make_service(volume_threshold=300, initial=100)
+        for topic in TOPICS:
+            service.create_topic(topic)
+        with ShardedRuntime(service, n_shards=2, micro_batch_size=64) as runtime:
+            for i in range(1200):
+                for topic in TOPICS:
+                    runtime.submit(topic, line_for(topic, i), timestamp=float(i))
+            runtime.drain()
+            assert runtime.errors == []
+            stats = runtime.stats()
+        assert stats["rounds_dispatched"] >= len(TOPICS)
+        for topic in TOPICS:
+            engine = service.topic(topic)
+            assert engine.scheduler.training_rounds >= 1
+            assert len(engine.parser.model) > 0
+
+    def test_unknown_topic_rejected_at_submit(self):
+        service = make_service()
+        with ShardedRuntime(service, n_shards=1) as runtime:
+            with pytest.raises(KeyError):
+                runtime.submit("nope", "a record", timestamp=0.0)
+
+    def test_submit_after_shutdown_raises(self):
+        service = make_service()
+        service.create_topic("checkout")
+        runtime = ShardedRuntime(service, n_shards=1)
+        runtime.shutdown()
+        with pytest.raises(RuntimeError):
+            runtime.submit("checkout", "a record", timestamp=0.0)
+
+    def test_backpressure_with_tiny_queue(self):
+        service = make_service(volume_threshold=10**9, initial=10**9)
+        service.create_topic("checkout")
+        with ShardedRuntime(
+            service, n_shards=1, micro_batch_size=8, max_batch_delay=0.0, queue_capacity=4
+        ) as runtime:
+            for i in range(400):
+                runtime.submit("checkout", f"record number {i} of many", timestamp=float(i))
+            runtime.drain()
+        assert len(service.topic("checkout").topic) == 400
+
+    def test_topic_to_shard_assignment_is_stable(self):
+        service = make_service()
+        runtime = ShardedRuntime(service, n_shards=4)
+        try:
+            assert runtime.shard_of("checkout") == runtime.shard_of("checkout")
+            assert 0 <= runtime.shard_of("anything") < 4
+        finally:
+            runtime.shutdown()
+
+
+class TestConcurrentStress:
+    def test_concurrent_producers_training_and_queries(self):
+        """Multiple producers + off-path rounds + concurrent readers: no lost
+        records, monotonically increasing watermarks, and queries/matches
+        never observe a half-swapped model."""
+        service = make_service(volume_threshold=250, initial=100)
+        for topic in TOPICS:
+            service.create_topic(topic)
+        # Seed a first model per topic so readers can match immediately.
+        for topic in TOPICS:
+            service.ingest_batch(topic, [line_for(topic, i) for i in range(150)], now=0.0)
+            service.train_now(topic, now=0.0)
+        seeded = {topic: len(service.topic(topic).topic) for topic in TOPICS}
+
+        runtime = ShardedRuntime(service, n_shards=2, micro_batch_size=64, max_batch_delay=0.002)
+        n_per_producer = 600
+        errors = []
+        watermarks = {topic: [] for topic in TOPICS}
+        stop = threading.Event()
+
+        def producer(topic):
+            try:
+                for i in range(n_per_producer):
+                    runtime.submit(topic, line_for(topic, 1000 + i), timestamp=float(i))
+            except Exception as error:  # noqa: BLE001 - the assertion target
+                errors.append(f"producer: {error!r}")
+
+        def reader():
+            probe = {topic: line_for(topic, 55) for topic in TOPICS}
+            while not stop.is_set():
+                for topic in TOPICS:
+                    try:
+                        result = service.match(topic, probe[topic])
+                        if result.template_id != -1 and len(result.template.tokens) != len(
+                            probe[topic].split()
+                        ):
+                            errors.append("matched template of the wrong length")
+                        groups = service.query_templates(topic, threshold=0.6)
+                        if not groups:
+                            errors.append("query returned no groups")
+                        watermarks[topic].append(service.topic(topic).trained_watermark)
+                    except Exception as error:  # noqa: BLE001 - the assertion target
+                        errors.append(f"reader: {error!r}")
+                        stop.set()
+
+        producers = [threading.Thread(target=producer, args=(topic,)) for topic in TOPICS]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in readers + producers:
+            thread.start()
+        for thread in producers:
+            thread.join(timeout=60)
+        runtime.drain()
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=10)
+        runtime.shutdown()
+
+        assert not errors, errors[:5]
+        assert runtime.errors == []
+        for topic in TOPICS:
+            engine = service.topic(topic)
+            # No lost records.
+            assert len(engine.topic) == seeded[topic] + n_per_producer
+            # Watermarks only ever move forward.
+            observed = watermarks[topic]
+            assert observed == sorted(observed)
+            # The engine's invariant holds after the dust settles.
+            assert 0 <= engine.trained_watermark <= engine.topic.high_watermark
+
+    def test_drain_then_more_traffic_then_drain(self):
+        service = make_service(volume_threshold=200, initial=100)
+        service.create_topic("checkout")
+        with ShardedRuntime(service, n_shards=1, micro_batch_size=32) as runtime:
+            for round_index in range(3):
+                for i in range(300):
+                    runtime.submit(
+                        "checkout", line_for("checkout", round_index * 1000 + i), timestamp=float(i)
+                    )
+                runtime.drain()
+                assert len(service.topic("checkout").topic) == (round_index + 1) * 300
+            assert runtime.errors == []
+
+
+class TestShardQueueGuards:
+    def test_put_raises_when_closed_and_full(self):
+        # Regression: a producer blocked on backpressure must error out
+        # after shutdown instead of spinning forever against a stopped
+        # worker.
+        from repro.service.runtime import _ShardQueue
+
+        q = _ShardQueue(capacity=1)
+        q.put("a")
+        q.closed = True
+        with pytest.raises(RuntimeError):
+            q.put("b")

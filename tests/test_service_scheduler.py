@@ -55,3 +55,39 @@ class TestSteadyState:
     def test_negative_ingest_count_rejected(self, scheduler):
         with pytest.raises(ValueError):
             scheduler.record_ingested(-1)
+
+
+class TestPolicyFromConfig:
+    def test_no_overrides_reproduces_default(self):
+        from repro.core.config import ByteBrainConfig
+
+        policy = SchedulerPolicy.from_config(ByteBrainConfig())
+        assert vars(policy) == vars(SchedulerPolicy())
+
+    def test_overrides_apply_on_top_of_service_default(self):
+        from repro.core.config import ByteBrainConfig
+
+        default = SchedulerPolicy(
+            volume_threshold=777, time_interval_seconds=60.0, initial_volume_threshold=11
+        )
+        config = ByteBrainConfig(train_volume_threshold=42)
+        policy = SchedulerPolicy.from_config(config, default=default)
+        assert policy.volume_threshold == 42
+        assert policy.time_interval_seconds == 60.0
+        assert policy.initial_volume_threshold == 11
+
+
+class TestAsyncCompletion:
+    def test_training_completed_keeps_pending_uncovered_records(self):
+        scheduler = TrainingScheduler(
+            SchedulerPolicy(volume_threshold=100, initial_volume_threshold=10)
+        )
+        scheduler.record_ingested(150)
+        # An off-path round planned at watermark covers only 120 of them.
+        scheduler.training_completed(now=5.0, mode="incremental", pending=30)
+        assert scheduler.pending_records == 30
+
+    def test_negative_pending_rejected(self):
+        scheduler = TrainingScheduler()
+        with pytest.raises(ValueError):
+            scheduler.training_completed(now=1.0, pending=-1)
