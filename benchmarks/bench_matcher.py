@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -225,16 +226,72 @@ def run(n_logs: int = DEFAULT_N_LOGS, output: Optional[Path] = None) -> Dict[str
     return report
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--n-logs", type=int, default=DEFAULT_N_LOGS)
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=Path(__file__).resolve().parent / "BENCH_matcher.json",
+#: CI floor derivation for ``--check-floor``: the measured batch-vs-scalar
+#: speedup must stay above this fraction of the checked-in reference run.
+#: Deliberately conservative — CI runners are noisy, shared and slower
+#: than the machine that produced the reference; the job exists to catch
+#: "the batch engine stopped being meaningfully faster", not 10% drift.
+FLOOR_FRACTION = 0.3
+#: The floor never drops below this absolute speedup: batch matching that
+#: is not even 1.2x the scalar path is a regression on any hardware.
+FLOOR_MINIMUM = 1.2
+#: Corpus size for ``--smoke`` (CI PR gate): tiny corpus, single repeat,
+#: runs in seconds instead of minutes.
+SMOKE_N_LOGS = 8_000
+
+
+def check_floor(report: Dict[str, object], reference_path: Path) -> int:
+    """Compare this run's batch-vs-scalar speedup against the reference.
+
+    Returns a process exit code: 0 when the measured speedup clears the
+    conservative floor derived from the checked-in reference artifact,
+    1 when it regressed below it.
+    """
+    reference = json.loads(reference_path.read_text())
+    reference_speedup = float(reference["match_phase_speedups"]["batch_vs_scalar"])
+    floor = max(FLOOR_MINIMUM, reference_speedup * FLOOR_FRACTION)
+    measured = float(report["match_phase_speedups"]["batch_vs_scalar"])
+    print(
+        f"floor check: measured batch_vs_scalar {measured:.2f}x, reference "
+        f"{reference_speedup:.2f}x, floor {floor:.2f}x "
+        f"(= max({FLOOR_MINIMUM}, {FLOOR_FRACTION} * reference))"
     )
+    if measured < floor:
+        print(
+            f"FAIL: batch matching speedup {measured:.2f}x fell below the "
+            f"floor {floor:.2f}x — the vectorised engine regressed",
+            file=sys.stderr,
+        )
+        return 1
+    print("floor check passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-logs", type=int, default=None)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"CI smoke mode: {SMOKE_N_LOGS}-log corpus, one repeat, no "
+             "artifact written unless --output is given explicitly",
+    )
+    parser.add_argument(
+        "--check-floor",
+        type=Path,
+        metavar="REFERENCE_JSON",
+        help="compare batch-vs-scalar speedup against a checked-in "
+             "BENCH_matcher.json and exit 1 below the conservative floor",
+    )
+    parser.add_argument("--output", type=Path, default=None)
     args = parser.parse_args()
-    report = run(n_logs=args.n_logs, output=args.output)
+    n_logs = args.n_logs if args.n_logs is not None else (
+        SMOKE_N_LOGS if args.smoke else DEFAULT_N_LOGS
+    )
+    output = args.output
+    if output is None and not args.smoke:
+        output = Path(__file__).resolve().parent / "BENCH_matcher.json"
+    report = run(n_logs=n_logs, output=output)
     print(f"corpus: {report['corpus']}")
     print("match phase (tuples -> template ids):")
     for name, data in report["match_phase"].items():
@@ -243,8 +300,12 @@ def main() -> None:
     print("end to end (match_many):")
     for name, data in report["end_to_end"].items():
         print(f"  {name:>18}: {data['logs_per_second']:>10} logs/s")
-    print(f"written: {args.output}")
+    if output is not None:
+        print(f"written: {output}")
+    if args.check_floor is not None:
+        return check_floor(report, args.check_floor)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

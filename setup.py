@@ -1,9 +1,10 @@
 """Setuptools shim.
 
-The canonical project metadata lives in ``pyproject.toml``; this file exists
-so the package can be installed in environments without the ``wheel``
-package (offline/dev containers) via ``pip install -e . --no-use-pep517`` or
-``python setup.py develop``.
+The canonical project metadata lives in ``pyproject.toml`` (name, version,
+dependencies, the src-layout package mapping the CI ``package`` job relies
+on); this file exists so the package can be installed in environments
+without the ``wheel`` package (offline/dev containers) via
+``pip install -e . --no-use-pep517`` or ``python setup.py develop``.
 """
 
 from setuptools import setup

@@ -23,6 +23,14 @@ Python:
 ``load-model``
     Load a version from a model store (latest by default), print its
     manifest metadata and optionally export the model JSON.
+``wal-inspect``
+    Walk a runtime's write-ahead-log directory: per-shard segments, frame
+    and record counts, per-topic sequence ranges, torn tails, and the
+    persisted low-water marks.
+``recover``
+    Rebuild service state from a model-store root plus a WAL directory
+    (load the current snapshot per topic, replay uncaptured records) and
+    print what was restored.
 
 Examples
 --------
@@ -35,6 +43,8 @@ Examples
     python -m repro.cli serve-bench --topics 4 --records 8000 --shards 1 2 4
     python -m repro.cli save-model --store models/app --input app.log
     python -m repro.cli load-model --store models/app --output model.json
+    python -m repro.cli wal-inspect --wal-dir state/wal
+    python -m repro.cli recover --store state/models --wal-dir state/wal
 """
 
 from __future__ import annotations
@@ -140,7 +150,7 @@ def _cmd_load_model(args: argparse.Namespace) -> int:
             version = store.current_version()
         else:
             model = store.load(args.version)
-            version = next(v for v in store.versions() if v.version == args.version)
+            version = store.version(args.version)
     except LookupError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -151,6 +161,116 @@ def _cmd_load_model(args: argparse.Namespace) -> int:
     if args.output is not None:
         Path(args.output).write_text(model.to_json(), encoding="utf-8")
         print(f"model JSON written to {args.output}")
+    return 0
+
+
+def _cmd_wal_inspect(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.wal import WalCorruptionError, WriteAheadLog
+
+    wal_root = Path(args.wal_dir)
+    if not wal_root.is_dir():
+        print(f"error: {args.wal_dir} is not a directory", file=sys.stderr)
+        return 2
+    wal = WriteAheadLog(wal_root)
+    shards = []
+    topics: dict = {}
+    try:
+        for path, _, info in wal.iter_segments():
+            shards.append(
+                {
+                    "shard": path.parent.name,
+                    "segment": path.name,
+                    "bytes": path.stat().st_size,
+                    "frames": info.n_frames,
+                    "records": info.n_records,
+                    "torn_tail": info.torn_tail,
+                }
+            )
+            for topic, (lo, hi) in info.topic_seqs.items():
+                seen_lo, seen_hi = topics.get(topic, (lo, hi))
+                topics[topic] = (min(seen_lo, lo), max(seen_hi, hi))
+    except WalCorruptionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    captured = wal.captured()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "segments": shards,
+                    "topics": {
+                        t: {"min_seq": lo, "max_seq": hi} for t, (lo, hi) in topics.items()
+                    },
+                    "captured": captured,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    if shards:
+        print(format_table(shards, ["shard", "segment", "bytes", "frames", "records", "torn_tail"]))
+    else:
+        print("no WAL segments found")
+    for topic, (lo, hi) in sorted(topics.items()):
+        mark = captured.get(topic, 0)
+        print(f"topic {topic}: seq {lo}..{hi}, captured through {mark} ({max(hi - mark, 0)} replayable)")
+    # Topics fully truncated out of the segments still have a low-water
+    # mark worth showing (the --json path always reports `captured`).
+    for topic in sorted(set(captured) - set(topics)):
+        print(f"topic {topic}: no logged records retained, captured through {captured[topic]}")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.recovery import RecoveredRuntime
+    from repro.service.wal import WalCorruptionError
+
+    if not Path(args.wal_dir).is_dir():
+        # Guard against typos: RecoveredRuntime.open would silently
+        # create the directory tree and report "nothing to recover".
+        print(f"error: {args.wal_dir} is not a directory", file=sys.stderr)
+        return 2
+    try:
+        recovered = RecoveredRuntime.open(
+            Path(args.store), Path(args.wal_dir), start_runtime=False
+        )
+    except WalCorruptionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    report = recovered.report
+    rows = [
+        {
+            "topic": t.topic,
+            "model_version": t.model_version if t.model_version is not None else "-",
+            "captured_seq": t.captured_seq,
+            "replayed": t.replayed_records,
+            "last_seq": t.last_seq,
+        }
+        for t in report.topics
+    ]
+    if rows:
+        print(format_table(rows, ["topic", "model_version", "captured_seq", "replayed", "last_seq"]))
+    else:
+        print("nothing to recover (no snapshots, empty WAL)")
+    print(
+        f"# {report.segments_read} segments, {report.frames_read} frames, "
+        f"{report.torn_segments} torn tails, {report.replayed_records} records replayed"
+    )
+    for warning in report.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if args.output is not None:
+        Path(args.output).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"report written to {args.output}")
+    if report.warnings:
+        # A degraded restore (sequence gaps: records that were never
+        # logged) must be visible to scripted callers, not just stderr.
+        return 1
     return 0
 
 
@@ -262,6 +382,21 @@ def build_parser() -> argparse.ArgumentParser:
     load_model.add_argument("--version", type=int, help="specific version (default: current)")
     load_model.add_argument("--output", help="optional path to export the model JSON")
     load_model.set_defaults(func=_cmd_load_model)
+
+    wal_inspect = subparsers.add_parser(
+        "wal-inspect", help="inspect a runtime write-ahead-log directory"
+    )
+    wal_inspect.add_argument("--wal-dir", required=True, help="WAL root directory")
+    wal_inspect.add_argument("--json", action="store_true", help="emit a JSON report")
+    wal_inspect.set_defaults(func=_cmd_wal_inspect)
+
+    recover = subparsers.add_parser(
+        "recover", help="restore service state from model store + WAL and report it"
+    )
+    recover.add_argument("--store", required=True, help="model store root (one dir per topic)")
+    recover.add_argument("--wal-dir", required=True, help="WAL root directory")
+    recover.add_argument("--output", help="optional path for the JSON recovery report")
+    recover.set_defaults(func=_cmd_recover)
 
     serve_bench = subparsers.add_parser(
         "serve-bench",

@@ -147,6 +147,29 @@ class ByteBrainConfig:
     ingest_queue_capacity: int = 8192
 
     # ------------------------------------------------------------------ #
+    # Durable ingest: per-shard write-ahead log (service/wal.py)
+    # ------------------------------------------------------------------ #
+    #: When the WAL fsyncs appended frames to stable storage.  ``"off"``
+    #: never calls fsync (data still reaches the OS page cache on every
+    #: append, so a *process* crash loses nothing — only a kernel/power
+    #: failure can), ``"batch"`` fsyncs at micro-batch and drain barriers
+    #: (group commit: an OS crash can lose at most the records accepted
+    #: since the last barrier), ``"always"`` fsyncs every append before it
+    #: is acknowledged.
+    wal_sync_mode: str = "batch"
+    #: Size at which a WAL segment file is rotated; smaller segments
+    #: truncate sooner after snapshots capture their records, larger ones
+    #: amortise file creation.
+    wal_segment_bytes: int = 4 * 1024 * 1024
+    #: How many trailing model-store versions must stay replayable from the
+    #: WAL: segments are only truncated below the *minimum* snapshot
+    #: watermark of the last ``wal_retain_versions`` versions, so rolling
+    #: back that far never strands records the rolled-back-to version has
+    #: not captured.  ``1`` truncates aggressively (rollback may lose
+    #: replayability), larger values keep more log.
+    wal_retain_versions: int = 2
+
+    # ------------------------------------------------------------------ #
     # Per-topic training schedule (service/scheduler.py)
     # ------------------------------------------------------------------ #
     #: Per-topic overrides of the service's default
@@ -199,6 +222,14 @@ class ByteBrainConfig:
             raise ValueError("max_batch_delay must be >= 0")
         if self.ingest_queue_capacity < 1:
             raise ValueError("ingest_queue_capacity must be >= 1")
+        if self.wal_sync_mode not in ("off", "batch", "always"):
+            raise ValueError(
+                f"wal_sync_mode must be 'off', 'batch' or 'always', got {self.wal_sync_mode!r}"
+            )
+        if self.wal_segment_bytes < 4096:
+            raise ValueError("wal_segment_bytes must be >= 4096")
+        if self.wal_retain_versions < 1:
+            raise ValueError("wal_retain_versions must be >= 1")
         for name in (
             "train_volume_threshold",
             "train_time_interval_seconds",

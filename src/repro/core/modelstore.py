@@ -170,6 +170,27 @@ class ModelStore:
         """Metadata of the version *current* points at (None when empty)."""
         return self.summary()[1]
 
+    def version(self, number: int) -> ModelVersion:
+        """Metadata of one specific version (LookupError if unknown)."""
+        for entry in self._read_manifest()["versions"]:
+            if entry["version"] == number:
+                return ModelVersion.from_dict(entry)
+        raise LookupError(f"unknown model version {number}")
+
+    def current_and_versions(self) -> Tuple[Optional[int], List[ModelVersion]]:
+        """``(current version number, all versions oldest first)`` from a
+        single manifest read.
+
+        The WAL truncation-floor pass consults both per topic on every
+        round persist; one read instead of two halves its file I/O.
+        """
+        manifest = self._read_manifest()
+        current = manifest.get("current")
+        return (
+            None if current is None else int(current),
+            [ModelVersion.from_dict(v) for v in manifest["versions"]],
+        )
+
     def summary(self) -> Tuple[int, Optional[ModelVersion]]:
         """``(version count, current version)`` from one manifest read.
 

@@ -302,30 +302,38 @@ class TopicEngine:
             self.persist_round(prepared)
         return round_result
 
-    def persist_round(self, prepared: PreparedRound) -> None:
+    def persist_round(
+        self, prepared: PreparedRound, extra_metadata: Optional[Dict[str, object]] = None
+    ) -> None:
         """Persist a committed round's model as a new store version.
 
         Split out of :meth:`commit_round` (``persist=False``) so the
         sharded runtime can write the snapshot *outside* its per-topic
         ingest lock — the disk write reads only the immutable round model.
+        ``extra_metadata`` rows are merged into the version's manifest
+        metadata (the runtime records ``wal_seq``, the WAL sequence number
+        this snapshot captures, for crash recovery and log truncation).
         """
         if self.store is None or not prepared.model_changed:
             return
         plan, round_result = prepared.plan, prepared.round
+        metadata: Dict[str, object] = {
+            "round": self.scheduler.training_rounds,
+            "reason": round_result.reason,
+            "n_delta_records": round_result.n_delta_records,
+            "n_reused": round_result.n_reused,
+            "n_clustered": round_result.n_clustered,
+            # Restored by rollback so the next round's delta
+            # re-covers everything this version never saw.
+            "trained_watermark": plan.watermark,
+        }
+        if extra_metadata:
+            metadata.update(extra_metadata)
         self.store.save(
             round_result.model,
             created_at=plan.now,
             mode=round_result.mode,
-            metadata={
-                "round": self.scheduler.training_rounds,
-                "reason": round_result.reason,
-                "n_delta_records": round_result.n_delta_records,
-                "n_reused": round_result.n_reused,
-                "n_clustered": round_result.n_clustered,
-                # Restored by rollback so the next round's delta
-                # re-covers everything this version never saw.
-                "trained_watermark": plan.watermark,
-            },
+            metadata=metadata,
         )
 
     def _carry_over_late_temporaries(self, prepared: PreparedRound) -> None:
@@ -430,6 +438,24 @@ class TopicEngine:
         # other swap.
         self.internal_topic.publish_model(model)
         return version
+
+    def restore_snapshot(self, model: ParserModel) -> None:
+        """Install a persisted model into a *fresh* engine (crash recovery).
+
+        Unlike :meth:`rollback`, the engine has no live state to preserve:
+        topic storage starts empty, so ``trained_watermark`` resets to 0 and
+        every record the WAL replays afterwards becomes the pending delta
+        the next training round covers.  The restored model's id allocator
+        already sits past every persisted template id, and replayed
+        records are re-stamped from scratch, so template-id allocation
+        cannot collide with anything the restored state references.
+        """
+        matcher = self.parser.build_matcher(model)
+        with self.swap_guard:
+            self.parser.install_model(model, matcher=matcher)
+            self.pipeline.attach_matcher(matcher)
+            self.trained_watermark = 0
+        self.internal_topic.publish_model(model)
 
     # ------------------------------------------------------------------ #
     # matching and queries

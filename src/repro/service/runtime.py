@@ -34,26 +34,46 @@ dispatched round committed — call it only after producers have quiesced
 (it is a flush barrier, not a synchronisation point for concurrent
 submitters).  ``shutdown()`` drains and stops the workers.  The runtime is
 also a context manager (``with ShardedRuntime(service) as rt: ...``).
+
+Durability (``wal_dir=...``): every accepted record is appended to a
+per-shard :class:`~repro.service.wal.WriteAheadLog` *before* it is
+enqueued, stamped with a per-topic sequence number (topic seq ``s``
+corresponds to topic record id ``s - seq_base - 1``; the base is 0 for a
+fresh runtime and the replay start for a recovered one).  When a training
+round persists a model snapshot, the runtime records the round's covering
+sequence number in the snapshot metadata (``wal_seq``), advances the WAL's
+persisted low-water mark, and truncates segments every retained snapshot
+has captured (``wal_retain_versions`` keeps rollback targets replayable).
+After a crash, :func:`repro.service.recovery.RecoveredRuntime.open`
+rebuilds the service from the snapshots plus a WAL replay.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import traceback
 import zlib
 from collections import deque
 from concurrent.futures import Executor, Future
 from concurrent.futures import wait as wait_futures
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.parallel import shared_executor
 from repro.service.engine import TopicEngine
+from repro.service.wal import WriteAheadLog
 
 __all__ = ["ShardStats", "ShardedRuntime"]
 
 #: Queue sentinel telling a shard worker to exit after the current batch.
 _STOP = object()
+
+#: Group-commit rate limit for ``wal_sync_mode="batch"``: a shard fsyncs
+#: at micro-batch boundaries, but at most once per this many seconds —
+#: bounding both the fsync overhead under load and the window a *kernel*
+#: crash can lose (a process crash loses nothing either way).
+_BATCH_SYNC_INTERVAL = 0.005
 
 
 class _ShardQueue:
@@ -85,11 +105,16 @@ class _ShardQueue:
         self.closed = False
 
     def put(self, item) -> None:
-        """Append one item, sleep-polling while over capacity (backpressure)."""
+        """Append one item, sleep-polling while over capacity (backpressure).
+
+        Raises once the queue is closed (shutdown, or its worker died) —
+        whether immediately or while blocked on backpressure."""
         items = self._items
+        if self.closed:
+            raise RuntimeError("shard queue is closed (shutdown or dead worker)")
         while len(items) >= self._capacity:
             if self.closed:
-                raise RuntimeError("runtime is shut down")
+                raise RuntimeError("shard queue is closed (shutdown or dead worker)")
             time.sleep(0.0002)
         items.append(item)
         if not self._not_empty.is_set():
@@ -179,6 +204,18 @@ class ShardedRuntime:
     trained through the synchronous façade concurrently — reads
     (``match``, ``query_templates``, analytics) are safe at any time, but
     the façade's write paths do not take the runtime's per-topic lock.
+    With a WAL the rule is strict even without concurrency: façade writes
+    *while the runtime exists* bypass the log, so their records are
+    unrecoverable and they shift the topic's record-id ↔ WAL-seq mapping
+    (snapshot coverage is clamped to the log, so logged records are never
+    lost — but the bypassing records are).  Records ingested *before* the
+    runtime is constructed (bootstrap training) are fine: the constructor
+    folds them into the seq mapping as never-logged.  Without a
+    ``store_root`` on the service nothing ever captures the log, so it is
+    retained indefinitely and recovery replays all of it (AOF-style
+    durability) — configure a store for bounded logs.  Roll back through
+    :meth:`rollback_model`, not ``service.rollback_model``, so the WAL
+    low-water mark rewinds with the store pointer.
     """
 
     def __init__(
@@ -189,6 +226,9 @@ class ShardedRuntime:
         max_batch_delay: Optional[float] = None,
         queue_capacity: Optional[int] = None,
         executor: Optional[Executor] = None,
+        wal: Optional[WriteAheadLog] = None,
+        wal_dir=None,
+        wal_positions: Optional[Dict[str, Tuple[int, int]]] = None,
     ) -> None:
         config = service.config
         self.service = service
@@ -206,6 +246,59 @@ class ShardedRuntime:
             raise ValueError("micro_batch_size must be >= 1")
         if capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
+        if wal is not None and wal_dir is not None:
+            raise ValueError("pass either wal or wal_dir, not both")
+        #: Write-ahead log: accepted records are appended (and sequence-
+        #: stamped) before they are enqueued, so acknowledgement implies
+        #: recoverability.  ``None`` keeps the pre-WAL in-memory behaviour.
+        self.wal = wal if wal is not None else (
+            WriteAheadLog(
+                wal_dir,
+                sync_mode=config.wal_sync_mode,
+                segment_bytes=config.wal_segment_bytes,
+            )
+            if wal_dir is not None
+            else None
+        )
+        #: Per-topic ``(seq_base, next_seq)``: topic record id ``i`` holds
+        #: seq ``seq_base + i + 1``.  Recovery seeds non-trivial positions
+        #: via ``wal_positions``; fresh topics start at ``(0, 1)`` lazily.
+        self._wal_positions: Dict[str, Tuple[int, int]] = dict(wal_positions or {})
+        if self.wal is not None and wal_positions is None:
+            if self.wal.has_state():
+                # Restarting sequences at 1 over an existing log mints
+                # duplicate seqs; replay keeps the *first* occurrence, so a
+                # later recovery would silently drop this run's acknowledged
+                # records in favour of the old ones.
+                raise RuntimeError(
+                    f"WAL at {self.wal.root} already contains state; open it through "
+                    "RecoveredRuntime.open(...) (which replays it and carries the "
+                    "sequence positions over) instead of a fresh ShardedRuntime"
+                )
+            # Topics that already hold records (e.g. bootstrap training
+            # through the façade before attaching the durable runtime)
+            # shift the record-id ↔ seq mapping: the first logged record
+            # lands at record id ``high_watermark`` with seq 1, so the
+            # base is negative.  Snapshot coverage then converts exactly
+            # — pre-WAL records count as never-captured-by-the-log, and
+            # recovery replays only what was actually logged.  (Topics
+            # must be quiescent while this constructor runs, per the
+            # façade-concurrency contract above.)
+            for name in service.topic_names():
+                pre_existing = service.topic(name).topic.high_watermark
+                if pre_existing:
+                    self._wal_positions[name] = (-pre_existing, 1)
+        #: One lock per shard serialises (seq allocation, WAL append) so a
+        #: torn tail can only ever lose a *suffix* of a topic's sequence —
+        #: replay relies on per-topic seqs being gap-free.
+        self._wal_locks = [threading.Lock() for _ in range(self.n_shards)]
+        #: Shard index -> ShardWal, resolved once: the submit hot path must
+        #: not pay the WriteAheadLog's registry lock per record.
+        self._shard_wals = (
+            [self.wal.shard(index) for index in range(self.n_shards)]
+            if self.wal is not None
+            else []
+        )
         self._executor = executor if executor is not None else shared_executor()
         self._queues: List[_ShardQueue] = [_ShardQueue(capacity) for _ in range(self.n_shards)]
         self._shard_stats = [ShardStats(shard=index) for index in range(self.n_shards)]
@@ -217,6 +310,10 @@ class ShardedRuntime:
         self._rounds_in_flight: Dict[str, Future] = {}
         self._errors: List[str] = []
         self._errors_lock = threading.Lock()
+        #: Shard index -> traceback of the exception that killed its
+        #: worker.  ``drain()`` raises these instead of spinning on a queue
+        #: nobody is draining.
+        self._worker_failures: Dict[int, str] = {}
         self._closed = False
         self._workers = [
             threading.Thread(
@@ -237,28 +334,73 @@ class ShardedRuntime:
         """Stable hash partition of a topic onto a shard."""
         return zlib.crc32(topic_name.encode("utf-8")) % self.n_shards
 
+    def _log_and_enqueue(self, shard: int, topic_name: str, raws: Sequence[str],
+                         timestamp: float) -> None:
+        """Sequence-stamp, append ``raws`` to the shard's WAL (one frame)
+        and enqueue them — all under the shard's WAL lock.
+
+        The lock covers seq allocation, the append *and* the enqueue:
+        records must reach both the log and the queue in per-topic seq
+        order, or a concurrent producer could interleave (its seq N+1
+        stored at a lower record id than this seq N), breaking the
+        ``seq = base + record_id + 1`` mapping that snapshot coverage and
+        recovery replay are built on.  A crash can therefore only ever
+        tear off a *suffix* of a topic's sequence.  The WAL append is the
+        durability point: the frame is in the OS page cache (``always``
+        mode: on stable storage) before the queue accepts the record.
+        """
+        shard_queue = self._queues[shard]
+        with self._wal_locks[shard]:
+            if shard_queue.closed:
+                # Fail before the durable append: a record logged but
+                # rejected would be replayed at recovery even though the
+                # caller saw an error.  (The inverse window — the queue
+                # closing between this check and the put — remains: a
+                # raising submit is indeterminate, like any timed-out
+                # commit, and recovery may restore it.)
+                raise RuntimeError("shard queue is closed (shutdown or dead worker)")
+            base, next_seq = self._wal_positions.get(topic_name, (0, 1))
+            self._shard_wals[shard].append_batch(topic_name, next_seq, timestamp, raws)
+            self._wal_positions[topic_name] = (base, next_seq + len(raws))
+            for raw in raws:
+                shard_queue.put(_IngestItem(topic_name, raw, timestamp))
+
     def submit(self, topic_name: str, raw: str, timestamp: float) -> int:
         """Enqueue one record for async ingestion; returns the shard index.
 
         Blocks while the shard's queue is over capacity (backpressure).
         Raises ``KeyError`` for unknown topics and ``RuntimeError`` after
-        :meth:`shutdown`.
+        :meth:`shutdown`.  With a WAL, the record is durably logged before
+        it is enqueued — when ``submit`` returns, the record survives a
+        process crash.
         """
         if self._closed:
             raise RuntimeError("runtime is shut down")
         self.service.topic(topic_name)  # fail fast on unknown topics
         shard = self.shard_of(topic_name)
-        self._queues[shard].put(_IngestItem(topic_name, raw, timestamp))
+        if self.wal is not None:
+            self._log_and_enqueue(shard, topic_name, (raw,), timestamp)
+        else:
+            self._queues[shard].put(_IngestItem(topic_name, raw, timestamp))
         return shard
 
     def submit_many(self, topic_name: str, raws: Sequence[str], timestamp: float) -> int:
-        """Enqueue a sequence of records for one topic; returns the count."""
+        """Enqueue a sequence of records for one topic; returns the count.
+
+        With a WAL the whole sequence is logged as one CRC-framed record
+        batch (the cheap way to sustain durable throughput: one frame, one
+        optional fsync, N records)."""
         if self._closed:
             raise RuntimeError("runtime is shut down")
         self.service.topic(topic_name)
-        shard_queue = self._queues[self.shard_of(topic_name)]
-        for raw in raws:
-            shard_queue.put(_IngestItem(topic_name, raw, timestamp))
+        shard = self.shard_of(topic_name)
+        if self.wal is not None:
+            if raws:
+                self._log_and_enqueue(shard, topic_name, raws, timestamp)
+        else:
+            shard_queue = self._queues[shard]
+            for raw in raws:
+                shard_queue.put(_IngestItem(topic_name, raw, timestamp))
         return len(raws)
 
     def drain(self) -> None:
@@ -270,8 +412,12 @@ class ShardedRuntime:
         pass matters because triggers are only checked on ingest — a burst
         that ends right after crossing a volume threshold would otherwise
         leave its round pending until the next burst.
+
+        Raises ``RuntimeError`` when a shard worker has died: its queue
+        would otherwise sit undrained forever while this call spins.
         """
         while True:
+            self._raise_on_dead_workers()
             if not all(q.empty() and q.idle.is_set() for q in self._queues):
                 time.sleep(0.001)
                 continue
@@ -292,20 +438,42 @@ class ShardedRuntime:
                 if self._maybe_dispatch_round(shard_index, topic_name, engine, last_ts):
                     dispatched = True
             if not dispatched:
+                if self.wal is not None:
+                    # Drain is a durability barrier too: everything
+                    # accepted so far is fsynced, and segments every
+                    # retained snapshot has captured are reclaimed.
+                    self.wal.sync_all()
+                    self.wal.truncate(self._wal_floors())
                 return
+
+    def _raise_on_dead_workers(self) -> None:
+        with self._errors_lock:
+            failures = dict(self._worker_failures)
+        if failures:
+            details = "; ".join(
+                f"shard {index}: {text.strip().splitlines()[-1]}"
+                for index, text in sorted(failures.items())
+            )
+            raise RuntimeError(f"shard worker died ({details}); see runtime.errors")
 
     def shutdown(self, drain: bool = True) -> None:
         """Stop accepting records, optionally drain, and stop the workers."""
         if self._closed:
             return
         self._closed = True
-        if drain:
-            self.drain()
-        for shard_queue in self._queues:
-            shard_queue.closed = True
-            shard_queue.put_urgent(_STOP)
-        for worker in self._workers:
-            worker.join(timeout=30.0)
+        try:
+            if drain:
+                self.drain()
+        finally:
+            # A failed drain (dead worker) must still stop the healthy
+            # workers and close the log before the error propagates.
+            for shard_queue in self._queues:
+                shard_queue.closed = True
+                shard_queue.put_urgent(_STOP)
+            for worker in self._workers:
+                worker.join(timeout=30.0)
+            if self.wal is not None:
+                self.wal.close()
 
     def __enter__(self) -> "ShardedRuntime":
         return self
@@ -318,21 +486,34 @@ class ShardedRuntime:
     # ------------------------------------------------------------------ #
     def _worker_loop(self, shard_index: int) -> None:
         shard_queue = self._queues[shard_index]
-        while True:
-            batch = shard_queue.take(self.micro_batch_size, self.max_batch_delay)
-            saw_stop = False
-            if batch and batch[-1] is _STOP:
-                saw_stop = True
-                batch = batch[:-1]
-            elif _STOP in batch:  # sentinel raced ahead of late records
-                position = batch.index(_STOP)
-                batch = batch[:position] + batch[position + 1 :]
-                saw_stop = True
-            if batch:
-                self._process_batch(shard_index, batch)
+        try:
+            while True:
+                batch = shard_queue.take(self.micro_batch_size, self.max_batch_delay)
+                saw_stop = False
+                if batch and batch[-1] is _STOP:
+                    saw_stop = True
+                    batch = batch[:-1]
+                elif _STOP in batch:  # sentinel raced ahead of late records
+                    position = batch.index(_STOP)
+                    batch = batch[:position] + batch[position + 1 :]
+                    saw_stop = True
+                if batch:
+                    self._process_batch(shard_index, batch)
+                shard_queue.idle.set()
+                if saw_stop:
+                    return
+        except Exception:
+            # A dead worker must not fail silently: producers blocked on
+            # this queue's backpressure would spin forever and drain()
+            # would never converge.  Record the failure (drain raises it),
+            # close the queue so blocked producers error out, and mark the
+            # shard idle so drain reaches its failure check.
+            failure = traceback.format_exc()
+            with self._errors_lock:
+                self._worker_failures[shard_index] = failure
+                self._errors.append(f"shard {shard_index} worker died: {failure}")
+            shard_queue.closed = True
             shard_queue.idle.set()
-            if saw_stop:
-                return
 
     def _process_batch(self, shard_index: int, batch: List[_IngestItem]) -> None:
         stats = self._shard_stats[shard_index]
@@ -365,6 +546,10 @@ class ShardedRuntime:
                 self._maybe_dispatch_round(shard_index, topic_name, engine, now)
             except Exception as error:  # pragma: no cover - defensive
                 self._record_error(f"ingest batch for {topic_name!r}: {error!r}")
+        if self.wal is not None and self.wal.sync_mode == "batch":
+            # Group commit: fsync at micro-batch boundaries, rate-limited
+            # so a hot shard is not fsync-bound (see _BATCH_SYNC_INTERVAL).
+            self._shard_wals[shard_index].sync(min_interval=_BATCH_SYNC_INTERVAL)
 
     # ------------------------------------------------------------------ #
     # off-path training
@@ -395,12 +580,157 @@ class ShardedRuntime:
             # The store snapshot reads only the committed round's immutable
             # model — writing it outside the lock keeps disk I/O off the
             # shard's ingest path.
-            engine.persist_round(prepared)
+            if self.wal is not None:
+                captured_seq = self._seq_of_watermark(topic_name, plan.watermark)
+                engine.persist_round(prepared, extra_metadata={"wal_seq": captured_seq})
+                if prepared.model_changed and engine.store is not None:
+                    # Low-water-mark protocol: snapshot first (durable
+                    # evidence of coverage, carries wal_seq), watermark
+                    # second, truncation last.  A crash between any two
+                    # steps only leaves *extra* log to replay, never too
+                    # little.
+                    self.wal.set_captured(topic_name, captured_seq)
+                    self.wal.truncate(self._wal_floors())
+            else:
+                engine.persist_round(prepared)
         except Exception as error:
             self._record_error(f"training round for {topic_name!r}: {error!r}")
         finally:
             with self._rounds_lock:
                 self._rounds_in_flight.pop(topic_name, None)
+
+    # ------------------------------------------------------------------ #
+    # durability protocol (WAL low-water mark, truncation, rollback)
+    # ------------------------------------------------------------------ #
+    def _seq_of_watermark(self, topic_name: str, watermark: int) -> int:
+        """WAL seq of the last record below a topic record watermark.
+
+        Clamped to the highest seq actually logged: if un-logged records
+        slipped into the topic (the façade's write path bypasses the WAL
+        and is forbidden while a runtime drives the topic), the snapshot
+        must never claim coverage past the log — over-claiming makes
+        recovery *skip* durable acknowledged records, whereas under-
+        claiming merely replays a few records the snapshot already knows.
+        """
+        base, next_seq = self._wal_positions.get(topic_name, (0, 1))
+        # The lower clamp covers negative bases (pre-WAL bootstrap
+        # records): a watermark entirely below the first logged record
+        # captures nothing from the log's point of view.
+        return max(0, min(base + watermark, next_seq - 1))
+
+    def _wal_floors(self) -> Dict[str, int]:
+        """Per-topic highest seq safe to truncate from the WAL.
+
+        The floor is the *minimum* ``wal_seq`` over the store's last
+        ``wal_retain_versions`` versions (and the persisted low-water
+        mark), so every retained rollback target stays replayable: rolling
+        back to version N needs the records past N's snapshot watermark,
+        which a floor taken only at the newest version would discard.
+        Topics without snapshot evidence floor at 0 (keep everything).
+        """
+        floors: Dict[str, int] = {}
+        retain = self.service.config.wal_retain_versions
+        captured = self.wal.captured()
+        for topic_name in self.service.topic_names():
+            engine = self.service.topic(topic_name)
+            floor = captured.get(topic_name, 0)
+            if engine.store is None:
+                floors[topic_name] = 0
+                continue
+            current, versions = engine.store.current_and_versions()
+            if current is None:
+                floors[topic_name] = 0
+                continue
+            for entry in versions:
+                if current - retain < entry.version <= current:
+                    floor = min(floor, int(entry.metadata.get("wal_seq", 0)))
+            floors[topic_name] = floor
+        return floors
+
+    def rollback_model(self, topic_name: str):
+        """WAL-aware hot rollback to the previous persisted model version.
+
+        Rewinds the WAL low-water mark to the target version's snapshot
+        watermark *before* moving the store pointer: records the newer
+        versions had captured become un-captured again, so a crash right
+        after the rollback still replays them.  (The reverse order would
+        open a window where a crash recovers the old model but believes
+        the newer version's records are captured — losing them.)
+
+        Excludes in-flight training rounds for the topic first: a round
+        persisting between the target prediction and the pointer move
+        would advance the low-water mark past the version the rollback
+        lands on, and a later crash would skip replaying records only
+        that (rolled-back-away) version had captured.
+
+        Returns the restored :class:`~repro.core.modelstore.ModelVersion`.
+        """
+        engine = self.service.topic(topic_name)
+        # Park a placeholder in the in-flight map: waits out any running
+        # round and blocks new dispatches for the topic until the
+        # rollback's watermark rewind and pointer move are both done.
+        placeholder: Future = Future()
+        while True:
+            with self._rounds_lock:
+                in_flight = self._rounds_in_flight.get(topic_name)
+                if in_flight is None:
+                    self._rounds_in_flight[topic_name] = placeholder
+                    break
+            wait_futures([in_flight])
+        try:
+            if self.wal is not None and engine.store is not None:
+                current = engine.store.current_version()
+                if current is not None:
+                    # Predict the default rollback target (one version
+                    # back) the same way ModelStore.rollback resolves it.
+                    earlier = [
+                        v for v in engine.store.versions() if v.version < current.version
+                    ]
+                    if earlier:
+                        target = max(earlier, key=lambda v: v.version)
+                        base, _ = self._wal_positions.get(topic_name, (0, 1))
+                        # Never rewind below this runtime's recovery point:
+                        # seqs at or below ``base`` have no records in live
+                        # topic storage (recovery only replays past the
+                        # snapshot it loaded), so un-capturing them would
+                        # make the next round's snapshot claim coverage of
+                        # records it never saw — and a later crash would
+                        # skip replaying them.  Rolling back past the
+                        # recovery point therefore keeps those seqs marked
+                        # captured; their template knowledge stays in the
+                        # rolled-back-away version, which remains on disk.
+                        rewind = max(int(target.metadata.get("wal_seq", 0)), base)
+                        self.wal.set_captured(topic_name, rewind)
+            with self._engine_lock(topic_name):
+                version = engine.rollback()
+                if self.wal is not None:
+                    self._rebase_watermark_after_rollback(engine, topic_name, version)
+            return version
+        finally:
+            with self._rounds_lock:
+                if self._rounds_in_flight.get(topic_name) is placeholder:
+                    del self._rounds_in_flight[topic_name]
+            # drain() may have captured the placeholder in its wait list.
+            placeholder.set_result(None)
+
+    def _rebase_watermark_after_rollback(self, engine: TopicEngine, topic_name: str,
+                                         version) -> None:
+        """Translate a restored version's training watermark into the
+        current record-id epoch.
+
+        ``ModelVersion.metadata["trained_watermark"]`` is a record id of
+        the epoch that persisted it.  After a crash recovery, record ids
+        restart at 0 while seqs continue — restoring the raw value would
+        point past (or before) the live records and permanently exclude
+        them from training deltas.  The version's ``wal_seq`` is
+        epoch-independent: it covers record ids below ``wal_seq - base``.
+        """
+        wal_seq = version.metadata.get("wal_seq")
+        if wal_seq is None:
+            return  # version predates the WAL; keep the engine's value
+        base, _ = self._wal_positions.get(topic_name, (0, 1))
+        rebased = min(max(0, int(wal_seq) - base), engine.topic.high_watermark)
+        engine.trained_watermark = rebased
 
     # ------------------------------------------------------------------ #
     # internals / reporting
@@ -444,5 +774,14 @@ class ShardedRuntime:
             "batches": sum(s.batches for s in self._shard_stats),
             "rounds_dispatched": sum(s.rounds_dispatched for s in self._shard_stats),
             "n_errors": len(self.errors),
+            "wal": (
+                {
+                    "sync_mode": self.wal.sync_mode,
+                    "segment_bytes": self.wal.segment_bytes,
+                    "captured": self.wal.captured(),
+                }
+                if self.wal is not None
+                else None
+            ),
             "shards": shards,
         }

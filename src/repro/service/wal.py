@@ -1,0 +1,645 @@
+"""Per-shard write-ahead log for the sharded ingest runtime.
+
+Every record the runtime acknowledges lives only in memory until a
+training round persists a :class:`~repro.core.modelstore.ModelStore`
+snapshot — a crash between the two loses data.  The WAL closes that gap:
+:meth:`ShardedRuntime.submit` appends the record to its shard's log
+*before* enqueueing it, so an acknowledged record is always recoverable
+(:mod:`repro.service.recovery` replays the log through the batched ingest
+path on restart).
+
+On-disk layout (one directory per runtime)::
+
+    <wal_root>/
+      watermark.json            # {"captured": {topic: seq}} — low-water mark
+      shard-00/
+        segment-00000001.wal    # length-prefixed CRC32 frames
+        segment-00000002.wal
+      shard-01/
+        ...
+
+Segment format: an 8-byte magic header, then frames.  Each frame is one
+*record batch*::
+
+    u32 payload_length | u32 crc32(payload) | payload
+    payload := u32 n_records, then per record:
+        u16 len(topic) | topic utf-8 | u64 seq | f64 timestamp
+        | u32 len(raw) | raw utf-8
+
+``seq`` is a per-topic sequence number assigned at append time, starting
+at 1 and contiguous — replay and snapshot watermarks are expressed in it.
+A crash can tear the final frame of the final segment (partial header,
+short payload, CRC mismatch); readers detect that, drop the torn frame and
+report it.  A bad frame anywhere *else* is corruption and raises
+:class:`WalCorruptionError` — data loss must be loud, not silent.
+
+Durability semantics are set by ``wal_sync_mode`` (see
+:class:`~repro.core.config.ByteBrainConfig`): every append always reaches
+the OS page cache (``write`` + ``flush``), which survives a process kill;
+fsync policy only decides the exposure window to a kernel/power failure.
+
+Truncation: a *closed* segment is deleted once every record in it has
+``seq <= floor(topic)`` for the caller-supplied per-topic floors (the
+runtime computes floors from persisted snapshot watermarks; see
+``ShardedRuntime``'s low-water-mark protocol).  The active segment is
+never truncated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "WalRecord",
+    "WalCorruptionError",
+    "SegmentInfo",
+    "ShardWal",
+    "WriteAheadLog",
+    "read_segment",
+]
+
+_MAGIC = b"BBWAL001"
+_FRAME_HEADER = struct.Struct("<II")  # payload length, crc32(payload)
+_RECORD_HEAD = struct.Struct("<H")  # len(topic)
+_RECORD_BODY = struct.Struct("<Qd")  # seq, timestamp
+_RECORD_RAW = struct.Struct("<I")  # len(raw)
+_COUNT = struct.Struct("<I")  # records per frame
+
+_WATERMARK_FILE = "watermark.json"
+_SHARD_PREFIX = "shard-"
+_SEGMENT_PREFIX = "segment-"
+_SEGMENT_SUFFIX = ".wal"
+
+
+class WalCorruptionError(RuntimeError):
+    """A WAL frame failed its CRC/framing check outside the torn tail."""
+
+
+@dataclass
+class WalRecord:
+    """One durably logged ingest record."""
+
+    topic: str
+    seq: int
+    timestamp: float
+    raw: str
+
+
+@dataclass
+class SegmentInfo:
+    """Reader-side summary of one segment file."""
+
+    path: Path
+    n_frames: int = 0
+    n_records: int = 0
+    #: Per-topic ``(min_seq, max_seq)`` of the records in this segment.
+    topic_seqs: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: True when the segment ends in a torn (partially written) frame.
+    torn_tail: bool = False
+
+
+def _encode_frame(records: Sequence[WalRecord]) -> bytes:
+    parts: List[bytes] = [_COUNT.pack(len(records))]
+    for record in records:
+        topic_bytes = record.topic.encode("utf-8")
+        raw_bytes = record.raw.encode("utf-8")
+        parts.append(_RECORD_HEAD.pack(len(topic_bytes)))
+        parts.append(topic_bytes)
+        parts.append(_RECORD_BODY.pack(record.seq, record.timestamp))
+        parts.append(_RECORD_RAW.pack(len(raw_bytes)))
+        parts.append(raw_bytes)
+    payload = b"".join(parts)
+    return _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+#: Compiled per-record header structs keyed by topic-name byte length
+#: (struct's internal cache only covers the module-level pack functions,
+#: not explicit Struct construction — without this, every single-record
+#: submit would recompile the format string).
+_TOPIC_HEAD_STRUCTS: Dict[int, struct.Struct] = {}
+
+
+def _encode_topic_frame(topic: str, first_seq: int, timestamp: float,
+                        raws: Sequence[str]) -> bytes:
+    """Encode one frame of seq-contiguous records for a single topic.
+
+    The ingest hot path: identical wire format to :func:`_encode_frame`,
+    but the per-record topic/seq/timestamp prefix collapses into one
+    precompiled struct pack — an acknowledged durable append must stay
+    within a microsecond or two of the in-memory deque push it guards.
+    """
+    topic_bytes = topic.encode("utf-8")
+    topic_len = len(topic_bytes)
+    head = _TOPIC_HEAD_STRUCTS.get(topic_len)
+    if head is None:
+        head = _TOPIC_HEAD_STRUCTS.setdefault(
+            topic_len, struct.Struct(f"<H{topic_len}sQdI")
+        )
+    parts: List[bytes] = [_COUNT.pack(len(raws))]
+    append = parts.append
+    pack = head.pack
+    seq = first_seq
+    for raw in raws:
+        raw_bytes = raw.encode("utf-8")
+        append(pack(topic_len, topic_bytes, seq, timestamp, len(raw_bytes)))
+        append(raw_bytes)
+        seq += 1
+    payload = b"".join(parts)
+    return _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> List[WalRecord]:
+    (n_records,) = _COUNT.unpack_from(payload, 0)
+    offset = _COUNT.size
+    records: List[WalRecord] = []
+    for _ in range(n_records):
+        (topic_len,) = _RECORD_HEAD.unpack_from(payload, offset)
+        offset += _RECORD_HEAD.size
+        topic = payload[offset : offset + topic_len].decode("utf-8")
+        offset += topic_len
+        seq, timestamp = _RECORD_BODY.unpack_from(payload, offset)
+        offset += _RECORD_BODY.size
+        (raw_len,) = _RECORD_RAW.unpack_from(payload, offset)
+        offset += _RECORD_RAW.size
+        raw = payload[offset : offset + raw_len].decode("utf-8")
+        offset += raw_len
+        records.append(WalRecord(topic=topic, seq=seq, timestamp=timestamp, raw=raw))
+    if offset != len(payload):
+        raise ValueError("frame payload has trailing bytes")
+    return records
+
+
+def read_segment(path: Path) -> Tuple[List[List[WalRecord]], SegmentInfo]:
+    """Read one segment: ``(frames, info)``.
+
+    A torn tail (short header, short payload or CRC mismatch at the very
+    end of the file) is dropped and flagged in ``info.torn_tail``; the
+    frames before it are returned intact.  A zero-length or header-only
+    file (a crash during rotation) reads as an empty segment.
+    """
+    info = SegmentInfo(path=path)
+    data = path.read_bytes()
+    if len(data) < len(_MAGIC):
+        # A crash during segment creation: empty file or partial header.
+        info.torn_tail = len(data) > 0
+        return [], info
+    if not data.startswith(_MAGIC):
+        # A full-size header that is not the magic is never a crash
+        # artifact — treating it as torn would silently drop every frame
+        # in the segment.
+        raise WalCorruptionError(f"bad segment magic in {path}")
+    frames: List[List[WalRecord]] = []
+    offset = len(_MAGIC)
+    total = len(data)
+    while offset < total:
+        if offset + _FRAME_HEADER.size > total:
+            info.torn_tail = True  # partial frame header: crash mid-append
+            break
+        length, crc = _FRAME_HEADER.unpack_from(data, offset)
+        payload_start = offset + _FRAME_HEADER.size
+        payload_end = payload_start + length
+        if payload_end > total:
+            info.torn_tail = True  # declared payload extends past EOF
+            break
+        payload = data[payload_start:payload_end]
+        bad = zlib.crc32(payload) != crc
+        if not bad:
+            try:
+                records = _decode_payload(payload)
+            except Exception:
+                bad = True
+        if bad:
+            if payload_end == total:
+                # A full-length final frame with a bad CRC: the tail of an
+                # append that never finished — drop it like any torn tail.
+                info.torn_tail = True
+                break
+            # Bad frame with more data after it: never a crash artifact.
+            raise WalCorruptionError(f"corrupt frame at byte {offset} of {path}")
+        frames.append(records)
+        info.n_frames += 1
+        info.n_records += len(records)
+        for record in records:
+            lo, hi = info.topic_seqs.get(record.topic, (record.seq, record.seq))
+            info.topic_seqs[record.topic] = (min(lo, record.seq), max(hi, record.seq))
+        offset = payload_end
+    return frames, info
+
+
+def _segment_index(path: Path) -> int:
+    stem = path.name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+    return int(stem)
+
+
+def _delete_if_captured(path: Path, stats: Dict[str, int], floors: Dict[str, int]) -> bool:
+    """Delete a segment if every record in it is below its topic's floor.
+
+    The single retention predicate shared by shard-owned and orphan-
+    directory truncation: a segment survives if any topic in it is above
+    its floor — or absent from ``floors`` entirely.
+    """
+    if not all(max_seq <= floors.get(topic, -1) for topic, max_seq in stats.items()):
+        return False
+    try:
+        path.unlink()
+    except FileNotFoundError:
+        pass
+    return True
+
+
+def _segment_paths(directory: Path) -> List[Path]:
+    """Segment files of one shard directory, oldest first.
+
+    The single definition of "what is a segment file" — listing, replay
+    and truncation must all agree on it or they silently diverge.
+    """
+    return sorted(
+        (
+            p
+            for p in directory.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}")
+            if p.name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)].isdigit()
+        ),
+        key=_segment_index,
+    )
+
+
+class ShardWal:
+    """Append-only segmented log for one shard (thread-safe appends)."""
+
+    def __init__(self, directory: os.PathLike, sync_mode: str = "batch",
+                 segment_bytes: int = 4 * 1024 * 1024,
+                 known_stats: Optional[Dict[Path, Dict[str, int]]] = None) -> None:
+        if sync_mode not in ("off", "batch", "always"):
+            raise ValueError(f"unknown wal sync mode {sync_mode!r}")
+        self.directory = Path(directory)
+        self.sync_mode = sync_mode
+        self.segment_bytes = segment_bytes
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._file = None
+        self._size = 0
+        self._last_sync = 0.0
+        #: Per *closed* segment: per-topic max seq (feeds truncation).
+        self._closed_stats: Dict[Path, Dict[str, int]] = {}
+        self._active_stats: Dict[str, int] = {}
+        self._active_path: Optional[Path] = None
+        existing = self.segments()
+        for path in existing:
+            # Truncation needs per-topic max seqs for pre-existing
+            # segments.  ``known_stats`` (a recovery replay already read
+            # every segment) avoids paying a second full scan; anything
+            # not covered is scanned here once.  Torn-tail segments are
+            # never registered for truncation — they hold evidence of
+            # un-acknowledged records, preserved for inspection (same
+            # rule as orphan-directory truncation).
+            stats = None if known_stats is None else known_stats.get(path)
+            if stats is None:
+                _, info = read_segment(path)
+                if info.torn_tail:
+                    continue
+                stats = {t: hi for t, (_, hi) in info.topic_seqs.items()}
+            self._closed_stats[path] = stats
+        next_index = _segment_index(existing[-1]) + 1 if existing else 1
+        # Always start a fresh segment: never append after a possibly-torn
+        # tail left by a previous crash.
+        self._start_segment(next_index)
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def _start_segment(self, index: int) -> None:
+        """Open segment ``index`` for appending (crash-test hook point)."""
+        path = self.directory / f"{_SEGMENT_PREFIX}{index:08d}{_SEGMENT_SUFFIX}"
+        # Unbuffered: every write is one syscall straight into the page
+        # cache, which is the per-append durability point (a process kill
+        # cannot lose it) — no userspace buffer to flush, no double copy.
+        self._file = open(path, "ab", buffering=0)
+        self._file.write(_MAGIC)
+        self._size = len(_MAGIC)
+        self._active_path = path
+        self._active_stats = {}
+
+    def _rotate(self) -> None:
+        assert self._file is not None and self._active_path is not None
+        if self.sync_mode != "off":
+            os.fsync(self._file.fileno())
+        self._file.close()
+        self._closed_stats[self._active_path] = self._active_stats
+        self._start_segment(_segment_index(self._active_path) + 1)
+
+    def append(self, records: Sequence[WalRecord]) -> None:
+        """Durably append one frame holding ``records`` (a record batch)."""
+        if not records:
+            return
+        frame = _encode_frame(records)
+        with self._lock:
+            self._write_frame(frame)
+            for record in records:
+                previous = self._active_stats.get(record.topic, 0)
+                if record.seq > previous:
+                    self._active_stats[record.topic] = record.seq
+            if self.sync_mode == "always":
+                os.fsync(self._file.fileno())
+
+    def append_batch(self, topic: str, first_seq: int, timestamp: float,
+                     raws: Sequence[str]) -> None:
+        """Hot-path append: one frame of contiguous records for one topic.
+
+        Same durability and framing as :meth:`append`; skips the
+        per-record :class:`WalRecord` materialisation the generic path
+        pays (the runtime always logs one topic per frame).
+        """
+        if not raws:
+            return
+        frame = _encode_topic_frame(topic, first_seq, timestamp, raws)
+        last_seq = first_seq + len(raws) - 1
+        with self._lock:
+            self._write_frame(frame)
+            if last_seq > self._active_stats.get(topic, 0):
+                self._active_stats[topic] = last_seq
+            if self.sync_mode == "always":
+                os.fsync(self._file.fileno())
+
+    def _write_frame(self, frame: bytes) -> None:
+        """Write one encoded frame (caller holds the lock)."""
+        if self._file is None:
+            raise RuntimeError("write-ahead log is closed")
+        if self._size > len(_MAGIC) and self._size + len(frame) > self.segment_bytes:
+            self._rotate()
+        self._file.write(frame)
+        self._size += len(frame)
+
+    def sync(self, min_interval: float = 0.0) -> None:
+        """fsync the active segment (micro-batch / drain barrier).
+
+        ``min_interval`` rate-limits group commit: the call is a no-op if
+        the last fsync happened less than that many seconds ago (the
+        classic commit-delay trade — a crash of the *kernel* can lose at
+        most one interval's worth of acknowledged records; a process
+        crash still loses nothing).  ``0.0`` forces the fsync.
+        """
+        with self._lock:
+            if self._file is None or self.sync_mode == "off":
+                return
+            now = time.monotonic()
+            if min_interval > 0.0 and now - self._last_sync < min_interval:
+                return
+            os.fsync(self._file.fileno())
+            self._last_sync = now
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                if self.sync_mode != "off":
+                    os.fsync(self._file.fileno())
+                self._file.close()
+                self._file = None
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def segments(self) -> List[Path]:
+        """All segment files of this shard, oldest first."""
+        return _segment_paths(self.directory)
+
+    def truncate(self, floors: Dict[str, int]) -> List[Path]:
+        """Delete closed segments whose every record is below its topic floor.
+
+        ``floors`` maps topic -> highest seq safe to discard.  A segment
+        containing any record above its topic's floor — or any topic absent
+        from ``floors`` — is kept.  Returns the deleted paths.
+        """
+        deleted: List[Path] = []
+        with self._lock:
+            for path, stats in list(self._closed_stats.items()):
+                if path == self._active_path:
+                    continue
+                if _delete_if_captured(path, stats, floors):
+                    del self._closed_stats[path]
+                    deleted.append(path)
+        return deleted
+
+
+class WriteAheadLog:
+    """Per-shard WALs plus the persisted low-water mark, under one root."""
+
+    def __init__(
+        self,
+        root: os.PathLike,
+        sync_mode: str = "batch",
+        segment_bytes: int = 4 * 1024 * 1024,
+    ) -> None:
+        self.root = Path(root)
+        self.sync_mode = sync_mode
+        self.segment_bytes = segment_bytes
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._shards: Dict[int, ShardWal] = {}
+        self._shards_lock = threading.Lock()
+        self._watermark_lock = threading.Lock()
+        self._captured_cache: Optional[Dict[str, int]] = None
+        #: Segment -> per-topic max seq for shard dirs this process does
+        #: not write to (scanned once per segment, see truncate()).
+        self._orphan_stats: Dict[Path, Dict[str, int]] = {}
+        #: Segment -> (size at scan time, per-topic max seq), filled by
+        #: iter_segments so a runtime opened right after a recovery replay
+        #: does not re-read every segment just to rebuild stats.
+        self._scan_cache: Dict[Path, Tuple[int, Dict[str, int]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # shard access
+    # ------------------------------------------------------------------ #
+    def shard(self, index: int) -> ShardWal:
+        """The shard's log, opened lazily (a fresh segment per process)."""
+        with self._shards_lock:
+            wal = self._shards.get(index)
+            if wal is None:
+                directory = self.root / f"{_SHARD_PREFIX}{index:02d}"
+                known = {
+                    path: stats
+                    for path, (size, stats) in self._scan_cache.items()
+                    if path.parent == directory
+                    and path.exists()
+                    and path.stat().st_size == size
+                }
+                wal = ShardWal(
+                    directory,
+                    sync_mode=self.sync_mode,
+                    segment_bytes=self.segment_bytes,
+                    known_stats=known,
+                )
+                self._shards[index] = wal
+            return wal
+
+    def shard_dirs(self) -> List[Path]:
+        """Every shard directory on disk (crash-time shard count may differ
+        from the current runtime's)."""
+        return sorted(p for p in self.root.glob(f"{_SHARD_PREFIX}*") if p.is_dir())
+
+    def has_state(self) -> bool:
+        """True when the log holds records or low-water marks from a
+        previous run (a fresh runtime must not restart sequences over
+        them — see ``ShardedRuntime``'s constructor guard).  Magic-only
+        segments (a runtime that opened shards but never logged a record)
+        do not count as state."""
+        if self.captured():
+            return True
+        return any(
+            path.stat().st_size > len(_MAGIC)
+            for shard_dir in self.shard_dirs()
+            for path in _segment_paths(shard_dir)
+        )
+
+    def sync_all(self) -> None:
+        with self._shards_lock:
+            shards = list(self._shards.values())
+        for wal in shards:
+            wal.sync()
+
+    def close(self) -> None:
+        with self._shards_lock:
+            shards = list(self._shards.values())
+            self._shards.clear()
+        for wal in shards:
+            wal.close()
+
+    # ------------------------------------------------------------------ #
+    # low-water mark
+    # ------------------------------------------------------------------ #
+    def _watermark_path(self) -> Path:
+        return self.root / _WATERMARK_FILE
+
+    def captured(self) -> Dict[str, int]:
+        """Per-topic seq up to which records are snapshot-captured.
+
+        Served from an in-memory copy after the first read — this process
+        is the file's only writer, and every training-round persist,
+        drain and stats poll consults it.
+        """
+        with self._watermark_lock:
+            return dict(self._captured_locked())
+
+    def _captured_locked(self) -> Dict[str, int]:
+        if self._captured_cache is None:
+            path = self._watermark_path()
+            if not path.exists():
+                self._captured_cache = {}
+            else:
+                data = json.loads(path.read_text(encoding="utf-8"))
+                self._captured_cache = {
+                    str(topic): int(seq) for topic, seq in data.get("captured", {}).items()
+                }
+        return self._captured_cache
+
+    def set_captured(self, topic: str, seq: int) -> None:
+        """Persist the low-water mark for one topic (atomic replace).
+
+        Moves both forward (training commit) and *backward* (rollback: the
+        rolled-back-to version has captured less, so more log must be
+        retained and replayed).
+        """
+        with self._watermark_lock:
+            captured = self._captured_locked()
+            captured[topic] = seq
+            tmp = self._watermark_path().with_name(_WATERMARK_FILE + ".tmp")
+            tmp.write_text(
+                json.dumps({"captured": captured}, indent=2) + "\n", encoding="utf-8"
+            )
+            os.replace(tmp, self._watermark_path())
+
+    # ------------------------------------------------------------------ #
+    # maintenance / reading
+    # ------------------------------------------------------------------ #
+    def truncate(self, floors: Dict[str, int]) -> List[Path]:
+        """Truncate every shard directory below the per-topic floors.
+
+        Covers both shards opened for writing in this process and
+        *orphaned* shard directories a previous run left behind (a
+        recovered runtime may use fewer shards than the crashed one) —
+        without reclaiming those, every snapshot-captured record in them
+        would survive forever and every future recovery would re-read it.
+        Orphan directories have no active segment, so all of their fully
+        captured segments are deletable; their stats are scanned once and
+        cached.  A segment that fails its CRC scan is kept (recovery is
+        the place to surface corruption, not truncation).
+        """
+        with self._shards_lock:
+            shards = dict(self._shards)
+        deleted: List[Path] = []
+        for wal in shards.values():
+            deleted.extend(wal.truncate(floors))
+        open_dirs = {wal.directory for wal in shards.values()}
+        for shard_dir in self.shard_dirs():
+            if shard_dir in open_dirs:
+                continue
+            deleted.extend(self._truncate_orphan_dir(shard_dir, floors))
+        return deleted
+
+    def _truncate_orphan_dir(self, shard_dir: Path, floors: Dict[str, int]) -> List[Path]:
+        deleted: List[Path] = []
+        for path in _segment_paths(shard_dir):
+            stats = self._orphan_stats.get(path)
+            if stats is None:
+                try:
+                    _, info = read_segment(path)
+                except (WalCorruptionError, OSError):
+                    continue
+                if info.torn_tail:
+                    # A torn tail means un-acknowledged records; keep the
+                    # segment so inspection can still see them.
+                    continue
+                stats = {topic: hi for topic, (_, hi) in info.topic_seqs.items()}
+                self._orphan_stats[path] = stats
+            if _delete_if_captured(path, stats, floors):
+                self._orphan_stats.pop(path, None)
+                deleted.append(path)
+        return deleted
+
+    def iter_segments(self) -> Iterator[Tuple[Path, List[List[WalRecord]], SegmentInfo]]:
+        """Yield ``(path, frames, info)`` for every segment of every shard,
+        shard by shard, oldest segment first."""
+        for shard_dir in self.shard_dirs():
+            for path in _segment_paths(shard_dir):
+                frames, info = read_segment(path)
+                if not info.torn_tail:
+                    # Torn segments are never cached: truncation paths
+                    # treat them as non-truncatable evidence, so their
+                    # stats must not flow into a ShardWal's closed set.
+                    self._scan_cache[path] = (
+                        path.stat().st_size,
+                        {t: hi for t, (_, hi) in info.topic_seqs.items()},
+                    )
+                yield path, frames, info
+
+    def replay_records(self) -> Tuple[Dict[str, List[WalRecord]], List[SegmentInfo]]:
+        """All logged records grouped per topic and sorted by seq.
+
+        Returns ``(records_by_topic, segment_infos)``.  Torn tails are
+        dropped (and flagged on their ``SegmentInfo``); duplicate seqs —
+        possible only if a caller re-appended after reading a torn tail —
+        keep the first occurrence.
+        """
+        by_topic: Dict[str, List[WalRecord]] = {}
+        infos: List[SegmentInfo] = []
+        for _, frames, info in self.iter_segments():
+            infos.append(info)
+            for frame in frames:
+                for record in frame:
+                    by_topic.setdefault(record.topic, []).append(record)
+        for topic, records in by_topic.items():
+            records.sort(key=lambda r: r.seq)
+            deduped: List[WalRecord] = []
+            last_seq = -1
+            for record in records:
+                if record.seq != last_seq:
+                    deduped.append(record)
+                    last_seq = record.seq
+            by_topic[topic] = deduped
+        return by_topic, infos

@@ -1,0 +1,123 @@
+"""Crash-injection workload child (driven by test_crash_recovery.py).
+
+Runs a small sharded-runtime ingest workload with the WAL enabled and
+SIGKILLs *itself* at an instrumented point, so the parent test gets a
+deterministic crash exactly where the durability protocol is most
+vulnerable:
+
+* ``mid_round``    — inside ``TopicEngine.commit_round``: the round has
+  executed but neither the swap nor the snapshot happened.
+* ``mid_swap``     — right after ``ModelStore.save`` returned: the
+  snapshot (with its ``wal_seq``) is durable, but the WAL low-water mark
+  was never advanced and no truncation ran.
+* ``mid_rotation`` — right after the WAL opened a fresh segment file:
+  the old segment is closed, the new one holds only its magic header.
+* ``none``         — control: run to completion and exit 0.
+
+After every acknowledged ``submit`` the child appends ``"topic\\ti\\n"``
+to the ack file with an O_APPEND ``os.write`` — a SIGKILL cannot lose
+page-cache writes, so the parent knows exactly which records were
+acknowledged before death.
+
+Not a test module (pytest only collects ``test_*.py``); invoked as::
+
+    python tests/crash_child.py --store S --wal-dir W --ack-file A \
+        --kill-at mid_round --records 400
+"""
+
+import argparse
+import os
+import signal
+import sys
+
+
+def _die() -> None:
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def install_kill_point(point: str) -> None:
+    if point == "none":
+        return
+    if point == "mid_round":
+        from repro.service.engine import TopicEngine
+
+        def mid_round(self, prepared, persist=True):
+            _die()
+
+        TopicEngine.commit_round = mid_round
+    elif point == "mid_swap":
+        from repro.core.modelstore import ModelStore
+
+        original_save = ModelStore.save
+
+        def mid_swap(self, *args, **kwargs):
+            original_save(self, *args, **kwargs)
+            _die()
+
+        ModelStore.save = mid_swap
+    elif point == "mid_rotation":
+        from repro.service.wal import ShardWal
+
+        original = ShardWal._start_segment
+
+        def mid_rotation(self, index):
+            original(self, index)
+            if index >= 2:  # index 1 is the initial open, 2 the first rotation
+                _die()
+
+        ShardWal._start_segment = mid_rotation
+    else:
+        raise SystemExit(f"unknown kill point {point!r}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--store", required=True)
+    parser.add_argument("--wal-dir", required=True)
+    parser.add_argument("--ack-file", required=True)
+    parser.add_argument("--kill-at", required=True,
+                        choices=["mid_round", "mid_swap", "mid_rotation", "none"])
+    parser.add_argument("--records", type=int, default=400)
+    parser.add_argument("--volume-threshold", type=int, default=10**9)
+    parser.add_argument("--initial-threshold", type=int, default=150)
+    parser.add_argument("--segment-bytes", type=int, default=256 * 1024)
+    args = parser.parse_args()
+
+    install_kill_point(args.kill_at)
+
+    from repro.core.config import ByteBrainConfig
+    from repro.service.runtime import ShardedRuntime
+    from repro.service.scheduler import SchedulerPolicy
+    from repro.service.service import LogParsingService
+
+    topics = ("checkout", "payments")
+    service = LogParsingService(
+        config=ByteBrainConfig(wal_segment_bytes=args.segment_bytes),
+        scheduler_policy=SchedulerPolicy(
+            volume_threshold=args.volume_threshold,
+            time_interval_seconds=10**9,
+            initial_volume_threshold=args.initial_threshold,
+        ),
+        store_root=args.store,
+    )
+    for topic in topics:
+        service.create_topic(topic)
+    ack_fd = os.open(args.ack_file, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    runtime = ShardedRuntime(
+        service, n_shards=2, micro_batch_size=32, max_batch_delay=0.002, wal_dir=args.wal_dir
+    )
+    for i in range(args.records):
+        for topic in topics:
+            runtime.submit(
+                topic,
+                f"{topic} request {i} served for user {i % 13} with latency {i % 450}",
+                timestamp=float(i),
+            )
+            os.write(ack_fd, f"{topic}\t{i}\n".encode("utf-8"))
+    runtime.drain()
+    runtime.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

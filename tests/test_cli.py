@@ -139,6 +139,91 @@ class TestModelStoreCommands:
         assert main(["load-model", "--store", str(tmp_path / "nothing")]) == 2
 
 
+class TestWalCommands:
+    @pytest.fixture()
+    def crashed_state(self, tmp_path):
+        """A store + WAL left behind by a drained runtime (as if crashed)."""
+        from repro.core.config import ByteBrainConfig
+        from repro.service.runtime import ShardedRuntime
+        from repro.service.scheduler import SchedulerPolicy
+        from repro.service.service import LogParsingService
+
+        store, wal_dir = tmp_path / "store", tmp_path / "wal"
+        service = LogParsingService(
+            config=ByteBrainConfig(),
+            scheduler_policy=SchedulerPolicy(
+                volume_threshold=10**9, time_interval_seconds=10**9,
+                initial_volume_threshold=100,
+            ),
+            store_root=store,
+        )
+        service.create_topic("checkout")
+        with ShardedRuntime(service, n_shards=1, wal_dir=wal_dir) as runtime:
+            for i in range(200):
+                runtime.submit("checkout", f"checkout request {i} took {i % 9} ms", float(i))
+            runtime.drain()
+        return store, wal_dir
+
+    def test_wal_inspect_reports_segments_and_watermarks(self, crashed_state, capsys):
+        _, wal_dir = crashed_state
+        assert main(["wal-inspect", "--wal-dir", str(wal_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "shard-00" in out
+        assert "topic checkout" in out
+
+    def test_wal_inspect_json_output(self, crashed_state, capsys):
+        _, wal_dir = crashed_state
+        assert main(["wal-inspect", "--wal-dir", str(wal_dir), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["topics"]["checkout"]["min_seq"] >= 1
+        assert report["topics"]["checkout"]["max_seq"] == 200
+        assert "captured" in report
+
+    def test_wal_inspect_rejects_missing_directory(self, tmp_path, capsys):
+        assert main(["wal-inspect", "--wal-dir", str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_recover_prints_and_writes_report(self, crashed_state, tmp_path, capsys):
+        store, wal_dir = crashed_state
+        report_path = tmp_path / "recovery.json"
+        exit_code = main(
+            ["recover", "--store", str(store), "--wal-dir", str(wal_dir),
+             "--output", str(report_path)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "checkout" in out and "replayed" in out
+        report = json.loads(report_path.read_text())
+        entry = report["topics"][0]
+        assert entry["topic"] == "checkout"
+        assert entry["captured_seq"] + entry["replayed_records"] == 200
+
+    def test_recover_fails_cleanly_on_corrupt_wal(self, crashed_state, capsys):
+        store, wal_dir = crashed_state
+        segment = next(iter(sorted((wal_dir / "shard-00").glob("segment-*.wal"))))
+        data = bytearray(segment.read_bytes())
+        data[40] ^= 0xFF  # corrupt an early frame with frames after it
+        segment.write_bytes(bytes(data))
+        assert main(["recover", "--store", str(store), "--wal-dir", str(wal_dir)]) == 1
+        assert "corrupt frame" in capsys.readouterr().err
+
+    def test_recover_on_empty_state(self, tmp_path, capsys):
+        (tmp_path / "w").mkdir()  # an existing but empty WAL directory
+        exit_code = main(
+            ["recover", "--store", str(tmp_path / "s"), "--wal-dir", str(tmp_path / "w")]
+        )
+        assert exit_code == 0
+        assert "nothing to recover" in capsys.readouterr().out
+
+    def test_recover_rejects_missing_wal_dir(self, tmp_path, capsys):
+        exit_code = main(
+            ["recover", "--store", str(tmp_path / "s"), "--wal-dir", str(tmp_path / "typo")]
+        )
+        assert exit_code == 2
+        assert "not a directory" in capsys.readouterr().err
+        assert not (tmp_path / "typo").exists()  # no stray directories
+
+
 class TestEvaluateAndDatasets:
     def test_evaluate_bytebrain_only(self, capsys):
         exit_code = main(["evaluate", "--dataset", "Apache", "--variant", "loghub"])

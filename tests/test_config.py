@@ -34,6 +34,9 @@ class TestValidation:
             {"train_volume_threshold": 0},
             {"train_time_interval_seconds": -1.0},
             {"train_initial_volume_threshold": -5},
+            {"wal_sync_mode": "fsync"},
+            {"wal_segment_bytes": 1024},
+            {"wal_retain_versions": 0},
         ],
     )
     def test_invalid_settings_rejected(self, kwargs):

@@ -1,0 +1,351 @@
+"""Tests for crash recovery (service/recovery.py) and the WAL low-water
+mark / truncation / rollback protocol in the sharded runtime."""
+
+from repro.core.config import ByteBrainConfig
+from repro.service.recovery import RecoveredRuntime
+from repro.service.runtime import ShardedRuntime
+from repro.service.scheduler import SchedulerPolicy
+from repro.service.service import LogParsingService
+from repro.service.wal import WriteAheadLog
+
+TOPIC = "checkout"
+
+
+def make_service(tmp_path, config=None, volume_threshold=10**9, initial=10**9):
+    return LogParsingService(
+        config=config or ByteBrainConfig(),
+        scheduler_policy=SchedulerPolicy(
+            volume_threshold=volume_threshold,
+            time_interval_seconds=10**9,
+            initial_volume_threshold=initial,
+        ),
+        store_root=tmp_path / "store",
+    )
+
+
+def phase_line(phase, i):
+    # Structurally distinct per phase so every phase's round clusters new
+    # templates (model_changed=True -> a persisted store version).
+    shapes = {
+        1: f"alpha request {i} served for user {i % 7}",
+        2: f"beta disk error {i} on volume {i % 5} retrying",
+        3: f"gamma cache miss {i} for key {i % 11} backend {i % 3}",
+    }
+    return shapes[phase]
+
+
+class TestRecoveredRuntimeOpen:
+    def test_replay_without_any_snapshot(self, tmp_path):
+        service = make_service(tmp_path)
+        service.create_topic(TOPIC)
+        with ShardedRuntime(service, n_shards=2, wal_dir=tmp_path / "wal") as runtime:
+            for i in range(150):
+                runtime.submit(TOPIC, phase_line(1, i), timestamp=float(i))
+            runtime.drain()
+        recovered = RecoveredRuntime.open(
+            tmp_path / "store", tmp_path / "wal", config=ByteBrainConfig(),
+            start_runtime=False,
+        )
+        entry = recovered.report.topics[0]
+        assert entry.model_version is None
+        assert entry.captured_seq == 0
+        assert entry.replayed_records == 150
+        records = recovered.service.topic(TOPIC).topic.records()
+        assert [r.raw for r in records] == [phase_line(1, i) for i in range(150)]
+        assert [r.timestamp for r in records] == [float(i) for i in range(150)]
+
+    def test_replay_skips_snapshot_captured_records(self, tmp_path):
+        service = make_service(tmp_path, volume_threshold=10**9, initial=100)
+        service.create_topic(TOPIC)
+        with ShardedRuntime(service, n_shards=1, wal_dir=tmp_path / "wal") as runtime:
+            for i in range(300):
+                runtime.submit(TOPIC, phase_line(1, i), timestamp=float(i))
+            runtime.drain()
+        versions = service.topic(TOPIC).model_versions()
+        assert versions, "workload should have persisted at least one version"
+        wal_seq = int(versions[-1].metadata["wal_seq"])
+        assert wal_seq > 0
+
+        recovered = RecoveredRuntime.open(
+            tmp_path / "store", tmp_path / "wal", config=ByteBrainConfig(),
+            start_runtime=False,
+        )
+        entry = recovered.report.topics[0]
+        assert entry.captured_seq == int(
+            service.topic(TOPIC).store.current_version().metadata["wal_seq"]
+        )
+        engine = recovered.service.topic(TOPIC)
+        assert len(engine.topic) == 300 - entry.captured_seq
+        # The restored model answers reads immediately.
+        assert engine.parser.is_trained
+        assert engine.match(phase_line(1, 3)).template_id >= 0
+        # Replayed records are the pending delta for the next round.
+        assert engine.trained_watermark == 0
+        assert engine.pending_records == len(engine.topic)
+
+    def test_empty_directories_recover_to_empty_service(self, tmp_path):
+        recovered = RecoveredRuntime.open(
+            tmp_path / "store", tmp_path / "wal", start_runtime=False
+        )
+        assert recovered.report.topics == []
+        assert recovered.service.topic_names() == []
+
+    def test_topics_only_in_wal_are_recreated(self, tmp_path):
+        service = make_service(tmp_path)
+        service.create_topic("never-trained")
+        with ShardedRuntime(service, n_shards=1, wal_dir=tmp_path / "wal") as runtime:
+            runtime.submit("never-trained", "one lonely record", timestamp=0.0)
+            runtime.drain()
+        recovered = RecoveredRuntime.open(
+            tmp_path / "store", tmp_path / "wal", start_runtime=False
+        )
+        assert recovered.service.topic_names() == ["never-trained"]
+        assert len(recovered.service.topic("never-trained").topic) == 1
+
+    def test_recovered_runtime_continues_sequences(self, tmp_path):
+        service = make_service(tmp_path, initial=60)
+        service.create_topic(TOPIC)
+        with ShardedRuntime(service, n_shards=1, wal_dir=tmp_path / "wal") as runtime:
+            for i in range(100):
+                runtime.submit(TOPIC, phase_line(1, i), timestamp=float(i))
+            runtime.drain()
+        with RecoveredRuntime.open(
+            tmp_path / "store", tmp_path / "wal", config=ByteBrainConfig(),
+            n_shards=1,
+        ) as recovered:
+            base, next_seq = recovered.runtime._wal_positions[TOPIC]
+            assert next_seq == 101  # continues after the crashed run's last seq
+            recovered.runtime.submit(TOPIC, phase_line(1, 100), timestamp=100.0)
+            recovered.runtime.drain()
+        # A second recovery sees the continued sequence, no duplicates.
+        second = RecoveredRuntime.open(
+            tmp_path / "store", tmp_path / "wal", config=ByteBrainConfig(),
+            start_runtime=False,
+        )
+        entry = second.report.topics[0]
+        assert entry.last_seq == 101
+        assert second.report.warnings == []
+
+
+class TestRollbackTruncationInteraction:
+    def run_three_phases(self, tmp_path, config):
+        """Three bursts with drains: each persists one model version."""
+        service = make_service(tmp_path, config=config, volume_threshold=150, initial=100)
+        service.create_topic(TOPIC)
+        runtime = ShardedRuntime(service, n_shards=1, wal_dir=tmp_path / "wal")
+        n = 0
+        for phase in (1, 2, 3):
+            for i in range(150):
+                runtime.submit(TOPIC, phase_line(phase, i), timestamp=float(n))
+                n += 1
+            runtime.drain()
+        return service, runtime, n
+
+    def test_truncation_retains_rollback_window(self, tmp_path):
+        config = ByteBrainConfig(wal_segment_bytes=4096, wal_retain_versions=2)
+        service, runtime, total = self.run_three_phases(tmp_path, config)
+        store = service.topic(TOPIC).store
+        versions = store.versions()
+        assert len(versions) >= 2
+        current = store.current_version()
+        previous = max(v.version for v in versions if v.version < current.version)
+        previous_seq = int(store.version(previous).metadata["wal_seq"])
+        current_seq = int(current.metadata["wal_seq"])
+        assert previous_seq < current_seq
+
+        # Truncation ran (drain barrier), but every record past the
+        # *previous* version's watermark must still be in the log: that
+        # version is a retained rollback target.
+        by_topic, _ = WriteAheadLog(tmp_path / "wal").replay_records()
+        remaining = {r.seq for r in by_topic[TOPIC]}
+        needed = set(range(previous_seq + 1, total + 1))
+        assert needed.issubset(remaining), "rollback window was truncated away"
+
+        runtime.shutdown()
+
+    def test_rollback_then_crash_recovers_past_target_watermark(self, tmp_path):
+        config = ByteBrainConfig(wal_segment_bytes=4096, wal_retain_versions=2)
+        service, runtime, total = self.run_three_phases(tmp_path, config)
+        store = service.topic(TOPIC).store
+        restored = runtime.rollback_model(TOPIC)
+        rolled_back_seq = int(restored.metadata["wal_seq"])
+        # The low-water mark rewound with the pointer.
+        assert runtime.wal.captured()[TOPIC] == rolled_back_seq
+        runtime.shutdown(drain=False)  # simulate dying right after rollback
+
+        recovered = RecoveredRuntime.open(
+            tmp_path / "store", tmp_path / "wal", config=config, start_runtime=False
+        )
+        entry = recovered.report.topics[0]
+        assert entry.model_version == restored.version
+        assert entry.captured_seq == rolled_back_seq
+        # Every record the rolled-back-away version had captured is
+        # replayed — nothing fell into the gap between rollback and crash.
+        assert len(recovered.service.topic(TOPIC).topic) == total - rolled_back_seq
+        assert recovered.report.warnings == []
+
+    def test_rollback_waits_for_in_flight_round(self, tmp_path):
+        # A round persisting mid-rollback would advance the low-water mark
+        # past the version the rollback lands on; rollback must exclude it.
+        import time as time_module
+
+        config = ByteBrainConfig(wal_retain_versions=2)
+        service = make_service(tmp_path, config=config, volume_threshold=150, initial=100)
+        service.create_topic(TOPIC)
+        runtime = ShardedRuntime(service, n_shards=1, wal_dir=tmp_path / "wal")
+        for i in range(150):
+            runtime.submit(TOPIC, phase_line(1, i), timestamp=float(i))
+        runtime.drain()  # version 1
+        engine = service.topic(TOPIC)
+        original_execute = engine.execute_round
+
+        def slow_execute(plan):
+            time_module.sleep(0.3)
+            return original_execute(plan)
+
+        engine.execute_round = slow_execute
+        for i in range(150):
+            runtime.submit(TOPIC, phase_line(2, i), timestamp=float(200 + i))
+        # Wait until the phase-2 round is actually executing off-path (the
+        # slow execute_round holds it in flight for ~0.3 s).
+        deadline = time_module.monotonic() + 10.0
+        while TOPIC not in runtime._rounds_in_flight:
+            assert time_module.monotonic() < deadline, "round never dispatched"
+            time_module.sleep(0.005)
+        restored = runtime.rollback_model(TOPIC)
+        engine.execute_round = original_execute
+        store = engine.store
+        current = store.current_version()
+        assert current.version == restored.version
+        # The low-water mark matches the version rollback landed on — the
+        # racing round either committed before the rollback (and was the
+        # one rolled back) or after it; it never left the mark past the
+        # current version's coverage.
+        assert runtime.wal.captured()[TOPIC] <= int(current.metadata.get("wal_seq", 0))
+        runtime.shutdown(drain=False)
+
+    def test_rollback_after_recovery_rebases_trained_watermark(self, tmp_path):
+        # metadata["trained_watermark"] is a record id of the epoch that
+        # persisted it; after recovery record ids restart at 0 and the raw
+        # value would exclude live records from training forever.
+        config = ByteBrainConfig(wal_retain_versions=3)
+        service = make_service(tmp_path, config=config, volume_threshold=150, initial=100)
+        service.create_topic(TOPIC)
+        with ShardedRuntime(service, n_shards=1, wal_dir=tmp_path / "wal") as runtime:
+            for i in range(150):
+                runtime.submit(TOPIC, phase_line(1, i), timestamp=float(i))
+            runtime.drain()  # version 1 persists (old epoch)
+        with RecoveredRuntime.open(
+            tmp_path / "store", tmp_path / "wal", config=config, n_shards=1,
+        ) as recovered:
+            engine = recovered.service.topic(TOPIC)
+            for i in range(150):
+                recovered.runtime.submit(TOPIC, phase_line(2, i), timestamp=float(300 + i))
+            recovered.runtime.drain()  # version 2 persists (new epoch)
+            assert len(engine.model_versions()) >= 2
+            restored = recovered.runtime.rollback_model(TOPIC)
+            # Rebased into the live epoch: within storage bounds, and the
+            # records version N never saw are pending again.
+            assert 0 <= engine.trained_watermark <= engine.topic.high_watermark
+            base, _ = recovered.runtime._wal_positions[TOPIC]
+            expected = max(0, int(restored.metadata["wal_seq"]) - base)
+            assert engine.trained_watermark == min(expected, engine.topic.high_watermark)
+            assert engine.pending_records >= 0
+            # And training still covers the live delta.
+            engine.train_now(now=10**6)
+            assert engine.trained_watermark == engine.topic.high_watermark
+
+    def test_rollback_past_recovery_point_clamps_low_water_mark(self, tmp_path):
+        # After a crash recovery, seqs at or below the recovery base have
+        # no records in live storage.  Rolling back to a version older
+        # than the recovery point must NOT rewind the low-water mark
+        # below the base: the next round's snapshot would then claim
+        # coverage of records it never saw, and a second crash would skip
+        # replaying them.
+        config = ByteBrainConfig(wal_segment_bytes=4096, wal_retain_versions=4)
+        service, runtime, total = self.run_three_phases(tmp_path, config)
+        runtime.shutdown()
+        with RecoveredRuntime.open(
+            tmp_path / "store", tmp_path / "wal", config=config, n_shards=1,
+        ) as recovered:
+            engine = recovered.service.topic(TOPIC)
+            base, _ = recovered.runtime._wal_positions[TOPIC]
+            restored = recovered.runtime.rollback_model(TOPIC)
+            assert int(restored.metadata["wal_seq"]) < base  # past the recovery point
+            # Clamped: never below the base of the live epoch.
+            assert recovered.runtime.wal.captured()[TOPIC] == base
+            # The live records (all past the base) are pending again.
+            assert engine.trained_watermark == 0
+            assert engine.pending_records == len(engine.topic)
+            # Ingest + round + clean shutdown: accounting stays exact.
+            for i in range(150):
+                recovered.runtime.submit(TOPIC, phase_line(2, i), timestamp=float(900 + i))
+            recovered.runtime.drain()
+        second = RecoveredRuntime.open(
+            tmp_path / "store", tmp_path / "wal", config=config, start_runtime=False
+        )
+        entry = second.report.topics[0]
+        assert second.report.warnings == []
+        assert entry.captured_seq + entry.replayed_records == entry.last_seq
+        raws = [r.raw for r in second.service.topic(TOPIC).topic.records()]
+        assert len(raws) == len(set(raws))
+
+    def test_retain_one_floors_at_current_version(self, tmp_path):
+        # With wal_retain_versions=1 the floor tracks the newest snapshot:
+        # aggressive truncation, documented rollback replayability loss.
+        config = ByteBrainConfig(wal_segment_bytes=4096, wal_retain_versions=1)
+        service, runtime, _ = self.run_three_phases(tmp_path, config)
+        store = service.topic(TOPIC).store
+        current_seq = int(store.current_version().metadata["wal_seq"])
+        assert runtime._wal_floors()[TOPIC] == current_seq
+        runtime.shutdown()
+
+    def test_bootstrap_records_before_wal_are_not_claimed_captured(self, tmp_path):
+        # Training through the facade *before* attaching the durable
+        # runtime is supported: those records are never-logged, so the
+        # seq base goes negative and snapshot coverage converts exactly —
+        # a crash must replay every logged record the snapshot did not
+        # actually cover.
+        config = ByteBrainConfig()
+        service = make_service(tmp_path, config=config, volume_threshold=150, initial=10**9)
+        service.create_topic(TOPIC)
+        service.ingest_batch(TOPIC, [phase_line(1, i) for i in range(100)], now=0.0)
+        service.train_now(TOPIC, now=0.0)  # bootstrap model (no wal_seq metadata)
+        runtime = ShardedRuntime(service, n_shards=1, wal_dir=tmp_path / "wal")
+        assert runtime._wal_positions[TOPIC] == (-100, 1)
+        # A watermark entirely inside the bootstrap records captures
+        # nothing from the log's point of view.
+        assert runtime._seq_of_watermark(TOPIC, 100) == 0
+        for i in range(200):
+            runtime.submit(TOPIC, phase_line(2, i), timestamp=float(i))
+        runtime.drain()  # a round fires and persists with a wal_seq
+        store = service.topic(TOPIC).store
+        current = store.current_version()
+        logged_covered = int(current.metadata["wal_seq"])
+        # Coverage counts only logged records: watermark - bootstrap.
+        assert 0 < logged_covered <= 200
+        assert logged_covered == int(current.metadata["trained_watermark"]) - 100
+        runtime.shutdown(drain=False)  # crash
+
+        recovered = RecoveredRuntime.open(
+            tmp_path / "store", tmp_path / "wal", config=config, start_runtime=False
+        )
+        entry = recovered.report.topics[0]
+        assert entry.captured_seq == logged_covered
+        # Every logged record the snapshot did not cover is replayed.
+        assert entry.replayed_records == 200 - logged_covered
+        assert recovered.report.warnings == []
+
+    def test_retain_two_floors_at_previous_version(self, tmp_path):
+        config = ByteBrainConfig(wal_segment_bytes=4096, wal_retain_versions=2)
+        service, runtime, _ = self.run_three_phases(tmp_path, config)
+        store = service.topic(TOPIC).store
+        versions = store.versions()
+        current = store.current_version()
+        window = [
+            int(v.metadata.get("wal_seq", 0))
+            for v in versions
+            if current.version - 2 < v.version <= current.version
+        ]
+        assert runtime._wal_floors()[TOPIC] == min(window)
+        runtime.shutdown()

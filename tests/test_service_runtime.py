@@ -192,6 +192,171 @@ class TestConcurrentStress:
             assert runtime.errors == []
 
 
+class TestWorkerFailurePropagation:
+    def test_dead_worker_raises_on_next_drain(self):
+        # Regression: a shard worker dying mid-batch used to leave its
+        # queue undrained silently — drain() would spin forever.
+        service = make_service(volume_threshold=10**9, initial=10**9)
+        service.create_topic("checkout")
+        runtime = ShardedRuntime(service, n_shards=1, micro_batch_size=8)
+
+        def explode(shard_index, batch):
+            raise ValueError("worker exploded mid-batch")
+
+        runtime._process_batch = explode
+        runtime.submit("checkout", "a record", timestamp=0.0)
+        with pytest.raises(RuntimeError, match="shard worker died"):
+            runtime.drain()
+        assert any("worker died" in error for error in runtime.errors)
+        runtime.shutdown(drain=False)
+
+    def test_producers_error_out_after_worker_death(self):
+        service = make_service(volume_threshold=10**9, initial=10**9)
+        service.create_topic("checkout")
+        runtime = ShardedRuntime(service, n_shards=1, micro_batch_size=8)
+
+        def explode(shard_index, batch):
+            raise ValueError("boom")
+
+        runtime._process_batch = explode
+        runtime.submit("checkout", "a record", timestamp=0.0)
+        with pytest.raises(RuntimeError):
+            runtime.drain()
+        # The dead shard's queue is closed: producers fail fast instead of
+        # blocking on backpressure against a worker that will never drain.
+        with pytest.raises(RuntimeError):
+            runtime.submit("checkout", "another record", timestamp=1.0)
+        runtime.shutdown(drain=False)
+
+    def test_shutdown_with_drain_still_stops_workers_on_failure(self):
+        service = make_service(volume_threshold=10**9, initial=10**9)
+        service.create_topic("checkout")
+        runtime = ShardedRuntime(service, n_shards=2, micro_batch_size=8)
+
+        def explode(shard_index, batch):
+            raise ValueError("boom")
+
+        runtime._process_batch = explode
+        runtime.submit("checkout", "a record", timestamp=0.0)
+        with pytest.raises(RuntimeError, match="shard worker died"):
+            runtime.shutdown()  # drain raises, but workers must still stop
+        for worker in runtime._workers:
+            worker.join(timeout=5.0)
+            assert not worker.is_alive()
+
+
+class TestWalIntegration:
+    def test_submit_many_logs_one_frame_per_batch(self, tmp_path):
+        from repro.service.wal import read_segment
+
+        service = make_service(volume_threshold=10**9, initial=10**9)
+        service.create_topic("checkout")
+        with ShardedRuntime(service, n_shards=1, wal_dir=tmp_path / "wal") as runtime:
+            runtime.submit_many(
+                "checkout", [f"record {i}" for i in range(64)], timestamp=1.0
+            )
+            runtime.drain()
+            shard = runtime.wal.shard(runtime.shard_of("checkout"))
+            frames, info = read_segment(shard.segments()[-1])
+        assert info.n_frames == 1  # one CRC-framed batch, not 64 frames
+        assert info.n_records == 64
+        assert [r.seq for r in frames[0]] == list(range(1, 65))
+
+    def test_reopening_existing_wal_without_recovery_refused(self, tmp_path):
+        # Regression: a fresh runtime over an old log would restart seqs
+        # at 1, and replay's first-occurrence dedup would then drop the
+        # new run's acknowledged records in favour of the old ones.
+        service = make_service(volume_threshold=10**9, initial=10**9)
+        service.create_topic("checkout")
+        with ShardedRuntime(service, n_shards=1, wal_dir=tmp_path / "wal") as runtime:
+            runtime.submit("checkout", "a record", timestamp=0.0)
+            runtime.drain()
+        with pytest.raises(RuntimeError, match="RecoveredRuntime"):
+            ShardedRuntime(service, n_shards=1, wal_dir=tmp_path / "wal")
+
+    def test_reopening_wal_that_never_logged_is_fine(self, tmp_path):
+        # Magic-only segments (opened shards, zero records) are not state:
+        # a plain reopen must not be forced through recovery.
+        service = make_service(volume_threshold=10**9, initial=10**9)
+        service.create_topic("checkout")
+        with ShardedRuntime(service, n_shards=2, wal_dir=tmp_path / "wal"):
+            pass
+        with ShardedRuntime(service, n_shards=2, wal_dir=tmp_path / "wal") as runtime:
+            runtime.submit("checkout", "a record", timestamp=0.0)
+            runtime.drain()
+        assert len(service.topic("checkout").topic) == 1
+
+    def test_wal_and_wal_dir_are_mutually_exclusive(self, tmp_path):
+        from repro.service.wal import WriteAheadLog
+
+        service = make_service()
+        with pytest.raises(ValueError):
+            ShardedRuntime(
+                service,
+                wal=WriteAheadLog(tmp_path / "a"),
+                wal_dir=tmp_path / "b",
+            )
+
+    def test_concurrent_producers_keep_seq_record_id_mapping(self, tmp_path):
+        # Regression: seq allocation, WAL append and enqueue must be one
+        # atomic step — otherwise two producers to the same topic can
+        # interleave (seq N+1 stored at a lower record id than seq N),
+        # and recovery would restore records against the wrong coverage.
+        from repro.service.wal import WriteAheadLog
+
+        service = make_service(volume_threshold=10**9, initial=10**9)
+        service.create_topic("checkout")
+        n_threads, per_thread = 4, 400
+        with ShardedRuntime(
+            service, n_shards=1, micro_batch_size=64, wal_dir=tmp_path / "wal"
+        ) as runtime:
+            def produce(worker):
+                for i in range(per_thread):
+                    runtime.submit("checkout", f"w{worker} record {i}", timestamp=float(i))
+
+            producers = [threading.Thread(target=produce, args=(w,)) for w in range(n_threads)]
+            for thread in producers:
+                thread.start()
+            for thread in producers:
+                thread.join(timeout=60)
+            runtime.drain()
+            assert runtime.errors == []
+        stored = [r.raw for r in service.topic("checkout").topic.records()]
+        assert len(stored) == n_threads * per_thread
+        by_topic, _ = WriteAheadLog(tmp_path / "wal").replay_records()
+        logged = by_topic["checkout"]
+        assert [r.seq for r in logged] == list(range(1, len(stored) + 1))
+        # seq = record_id + 1: the log and storage agree record by record.
+        assert [r.raw for r in logged] == stored
+
+    def test_snapshot_coverage_never_claims_unlogged_records(self, tmp_path):
+        # Facade writes bypass the WAL (forbidden but possible); the
+        # snapshot watermark must clamp to what was actually logged, or
+        # recovery would skip durable acknowledged records.
+        service = make_service(volume_threshold=10**9, initial=10**9)
+        service.create_topic("checkout")
+        with ShardedRuntime(service, n_shards=1, wal_dir=tmp_path / "wal") as runtime:
+            for i in range(10):
+                runtime.submit("checkout", f"record {i}", timestamp=float(i))
+            runtime.drain()
+            assert runtime._seq_of_watermark("checkout", 10) == 10
+            # A watermark counting un-logged (facade-ingested) records
+            # clamps to the highest logged seq.
+            assert runtime._seq_of_watermark("checkout", 50) == 10
+
+    def test_stats_report_wal_state(self, tmp_path):
+        service = make_service(volume_threshold=10**9, initial=10**9)
+        service.create_topic("checkout")
+        with ShardedRuntime(service, n_shards=1, wal_dir=tmp_path / "wal") as runtime:
+            runtime.submit("checkout", "a record", timestamp=0.0)
+            runtime.drain()
+            stats = runtime.stats()
+        assert stats["wal"]["sync_mode"] == "batch"
+        assert stats["wal"]["captured"] == {}
+        with ShardedRuntime(service, n_shards=1) as wal_free:
+            assert wal_free.stats()["wal"] is None
+
+
 class TestShardQueueGuards:
     def test_put_raises_when_closed_and_full(self):
         # Regression: a producer blocked on backpressure must error out

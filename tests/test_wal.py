@@ -1,0 +1,344 @@
+"""Unit tests for the per-shard write-ahead log (service/wal.py)."""
+
+import zlib
+
+import pytest
+
+from repro.service.wal import (
+    ShardWal,
+    WalCorruptionError,
+    WalRecord,
+    WriteAheadLog,
+    read_segment,
+)
+
+
+def records_for(topic, start, count, prefix="record"):
+    return [
+        WalRecord(topic=topic, seq=start + i, timestamp=float(start + i),
+                  raw=f"{topic} {prefix} {start + i}")
+        for i in range(count)
+    ]
+
+
+class TestFrameRoundTrip:
+    def test_single_record_frames(self, tmp_path):
+        wal = ShardWal(tmp_path / "s0", sync_mode="off")
+        for record in records_for("checkout", 1, 50):
+            wal.append([record])
+        wal.close()
+        frames, info = read_segment(wal.segments()[0])
+        assert info.n_frames == 50
+        assert info.n_records == 50
+        assert not info.torn_tail
+        flat = [r for frame in frames for r in frame]
+        assert [r.seq for r in flat] == list(range(1, 51))
+        assert flat[0].raw == "checkout record 1"
+        assert flat[0].timestamp == 1.0
+
+    def test_batch_frame_keeps_order_and_topics(self, tmp_path):
+        wal = ShardWal(tmp_path / "s0", sync_mode="off")
+        wal.append(records_for("a", 1, 10) + records_for("b", 1, 5))
+        wal.close()
+        frames, info = read_segment(wal.segments()[0])
+        assert info.n_frames == 1
+        assert info.topic_seqs == {"a": (1, 10), "b": (1, 5)}
+        assert [r.topic for r in frames[0]] == ["a"] * 10 + ["b"] * 5
+
+    def test_unicode_payloads_survive(self, tmp_path):
+        wal = ShardWal(tmp_path / "s0", sync_mode="off")
+        wal.append([WalRecord("tøpic", 1, 0.5, "vålue — ünïcode ✓")])
+        wal.close()
+        frames, _ = read_segment(wal.segments()[0])
+        assert frames[0][0].topic == "tøpic"
+        assert frames[0][0].raw == "vålue — ünïcode ✓"
+
+    def test_empty_append_is_a_no_op(self, tmp_path):
+        wal = ShardWal(tmp_path / "s0", sync_mode="off")
+        wal.append([])
+        wal.close()
+        _, info = read_segment(wal.segments()[0])
+        assert info.n_frames == 0
+
+    def test_append_after_close_raises(self, tmp_path):
+        wal = ShardWal(tmp_path / "s0", sync_mode="off")
+        wal.close()
+        with pytest.raises(RuntimeError):
+            wal.append(records_for("t", 1, 1))
+
+    def test_sync_mode_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardWal(tmp_path / "s0", sync_mode="sometimes")
+
+
+class TestRotation:
+    def test_segments_rotate_at_size_bound(self, tmp_path):
+        wal = ShardWal(tmp_path / "s0", sync_mode="off", segment_bytes=2048)
+        for record in records_for("checkout", 1, 200):
+            wal.append([record])
+        wal.close()
+        segments = wal.segments()
+        assert len(segments) > 1
+        # Every record readable across segments, in order.
+        seqs = []
+        for path in segments:
+            frames, info = read_segment(path)
+            assert not info.torn_tail
+            seqs.extend(r.seq for frame in frames for r in frame)
+        assert seqs == list(range(1, 201))
+
+    def test_oversized_frame_still_lands_in_one_segment(self, tmp_path):
+        wal = ShardWal(tmp_path / "s0", sync_mode="off", segment_bytes=4096)
+        big = [WalRecord("t", 1, 0.0, "x" * 10_000)]
+        wal.append(big)
+        wal.close()
+        frames, info = read_segment(wal.segments()[-1])
+        assert info.n_records == 1
+        assert frames[0][0].raw == "x" * 10_000
+
+    def test_reopen_starts_a_fresh_segment(self, tmp_path):
+        wal = ShardWal(tmp_path / "s0", sync_mode="off")
+        wal.append(records_for("t", 1, 3))
+        wal.close()
+        reopened = ShardWal(tmp_path / "s0", sync_mode="off")
+        reopened.append(records_for("t", 4, 2))
+        reopened.close()
+        assert len(reopened.segments()) == 2
+
+
+class TestTornTails:
+    def write_then_tear(self, tmp_path, tear):
+        wal = ShardWal(tmp_path / "s0", sync_mode="off")
+        for record in records_for("t", 1, 20):
+            wal.append([record])
+        wal.close()
+        path = wal.segments()[0]
+        tear(path)
+        return path
+
+    def test_partial_frame_header(self, tmp_path):
+        path = self.write_then_tear(tmp_path, lambda p: p.write_bytes(p.read_bytes() + b"\x05\x00"))
+        frames, info = read_segment(path)
+        assert info.torn_tail
+        assert info.n_records == 20  # everything before the tear intact
+
+    def test_partial_payload(self, tmp_path):
+        path = self.write_then_tear(tmp_path, lambda p: p.write_bytes(p.read_bytes()[:-3]))
+        frames, info = read_segment(path)
+        assert info.torn_tail
+        assert info.n_records == 19
+
+    def test_corrupt_final_full_frame(self, tmp_path):
+        def flip_last_byte(p):
+            data = bytearray(p.read_bytes())
+            data[-1] ^= 0xFF
+            p.write_bytes(bytes(data))
+
+        path = self.write_then_tear(tmp_path, flip_last_byte)
+        frames, info = read_segment(path)
+        assert info.torn_tail
+        assert info.n_records == 19
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        def flip_early_byte(p):
+            data = bytearray(p.read_bytes())
+            data[40] ^= 0xFF  # inside an early frame, with frames after it
+            p.write_bytes(bytes(data))
+
+        path = self.write_then_tear(tmp_path, flip_early_byte)
+        with pytest.raises(WalCorruptionError):
+            read_segment(path)
+
+    def test_partial_magic_reads_as_torn_empty(self, tmp_path):
+        # A crash during segment creation: fewer bytes than the header.
+        path = tmp_path / "segment-00000001.wal"
+        path.write_bytes(b"garbage")  # 7 bytes < len(magic)
+        frames, info = read_segment(path)
+        assert frames == []
+        assert info.torn_tail
+
+    def test_wrong_magic_on_full_header_raises(self, tmp_path):
+        # A corrupted header on a segment full of frames must be loud —
+        # reading it as "torn empty" would silently drop every record.
+        wal = ShardWal(tmp_path / "s0", sync_mode="off")
+        wal.append(records_for("t", 1, 20))
+        wal.close()
+        path = wal.segments()[0]
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(WalCorruptionError):
+            read_segment(path)
+
+    def test_header_only_file_reads_empty(self, tmp_path):
+        # A crash during rotation leaves exactly the magic header.
+        wal = ShardWal(tmp_path / "s0", sync_mode="off")
+        wal.close()
+        frames, info = read_segment(wal.segments()[0])
+        assert frames == [] and not info.torn_tail
+
+    def test_crc_catches_bit_flips_anywhere_in_payload(self, tmp_path):
+        wal = ShardWal(tmp_path / "s0", sync_mode="off")
+        wal.append(records_for("t", 1, 1))
+        wal.close()
+        path = wal.segments()[0]
+        data = path.read_bytes()
+        # Flip one payload byte and fix nothing: CRC must notice.
+        corrupted = bytearray(data)
+        corrupted[len(data) - 5] ^= 0x01
+        path.write_bytes(bytes(corrupted))
+        _, info = read_segment(path)
+        assert info.torn_tail and info.n_records == 0
+        assert zlib.crc32(b"") == 0  # sanity: crc32 import used
+
+
+class TestTruncation:
+    def test_closed_segments_below_floor_are_deleted(self, tmp_path):
+        wal = ShardWal(tmp_path / "s0", sync_mode="off", segment_bytes=1024)
+        for record in records_for("t", 1, 120):
+            wal.append([record])
+        closed = wal.segments()[:-1]
+        assert len(closed) >= 2
+        deleted = wal.truncate({"t": 120})
+        assert set(deleted) == set(closed)
+        # Active segment always survives.
+        assert wal.segments() != []
+        wal.close()
+
+    def test_segment_with_records_above_floor_survives(self, tmp_path):
+        wal = ShardWal(tmp_path / "s0", sync_mode="off", segment_bytes=1024)
+        for record in records_for("t", 1, 120):
+            wal.append([record])
+        wal.truncate({"t": 10})
+        remaining = []
+        for path in wal.segments():
+            frames, _ = read_segment(path)
+            remaining.extend(r.seq for frame in frames for r in frame)
+        # Every record above the floor must still be present (a straddling
+        # segment is kept whole, so some below-floor records may survive).
+        assert set(range(11, 121)).issubset(set(remaining))
+        wal.close()
+
+    def test_unknown_topic_blocks_truncation(self, tmp_path):
+        wal = ShardWal(tmp_path / "s0", sync_mode="off", segment_bytes=1024)
+        for record in records_for("a", 1, 60):
+            wal.append([record])
+        for record in records_for("b", 1, 60):
+            wal.append([record])
+        # Floors only name topic "a": any segment containing "b" stays.
+        deleted = wal.truncate({"a": 60})
+        for path in deleted:
+            assert not path.exists()
+        remaining_seqs = set()
+        for path in wal.segments():
+            frames, _ = read_segment(path)
+            remaining_seqs.update((r.topic, r.seq) for frame in frames for r in frame)
+        assert {("b", s) for s in range(1, 61)}.issubset(remaining_seqs)
+        wal.close()
+
+    def test_reopened_torn_segment_is_never_truncated(self, tmp_path):
+        # Both truncation paths must preserve torn-tail segments: they
+        # hold the evidence of un-acknowledged records.
+        wal = ShardWal(tmp_path / "s0", sync_mode="off")
+        for record in records_for("t", 1, 20):
+            wal.append([record])
+        wal.close()
+        torn_path = wal.segments()[0]
+        torn_path.write_bytes(torn_path.read_bytes()[:-3])
+        reopened = ShardWal(tmp_path / "s0", sync_mode="off")
+        deleted = reopened.truncate({"t": 100})
+        assert torn_path not in deleted
+        assert torn_path.exists()
+        reopened.close()
+
+    def test_truncation_state_survives_reopen(self, tmp_path):
+        wal = ShardWal(tmp_path / "s0", sync_mode="off", segment_bytes=1024)
+        for record in records_for("t", 1, 120):
+            wal.append([record])
+        wal.close()
+        reopened = ShardWal(tmp_path / "s0", sync_mode="off", segment_bytes=1024)
+        deleted = reopened.truncate({"t": 120})
+        assert deleted  # stats were rebuilt by scanning, not lost
+        reopened.close()
+
+
+class TestWriteAheadLog:
+    def test_watermarks_persist_and_rewind(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        assert wal.captured() == {}
+        wal.set_captured("checkout", 128)
+        wal.set_captured("payments", 64)
+        assert WriteAheadLog(tmp_path / "wal").captured() == {"checkout": 128, "payments": 64}
+        wal.set_captured("checkout", 32)  # rollback rewinds
+        assert wal.captured()["checkout"] == 32
+        wal.close()
+
+    def test_replay_merges_shards_and_sorts_by_seq(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", sync_mode="off")
+        wal.shard(0).append(records_for("a", 1, 10))
+        wal.shard(1).append(records_for("b", 1, 7))
+        wal.shard(0).append(records_for("a", 11, 5))
+        wal.close()
+        by_topic, infos = WriteAheadLog(tmp_path / "wal", sync_mode="off").replay_records()
+        assert [r.seq for r in by_topic["a"]] == list(range(1, 16))
+        assert [r.seq for r in by_topic["b"]] == list(range(1, 8))
+        assert len(infos) == 2
+
+    def test_truncate_covers_orphan_shard_dirs(self, tmp_path):
+        # A recovered runtime may run with fewer shards than the crashed
+        # one; captured records in the extra (never reopened) shard dirs
+        # must still be reclaimed.
+        wal = WriteAheadLog(tmp_path / "wal", sync_mode="off", segment_bytes=1024)
+        wal.shard(1).append(records_for("t", 1, 60))
+        wal.close()
+        reopened = WriteAheadLog(tmp_path / "wal", sync_mode="off")
+        reopened.shard(0)  # only shard 0 is open for writing now
+        deleted = reopened.truncate({"t": 60})
+        assert any(p.parent.name == "shard-01" for p in deleted)
+        by_topic, _ = reopened.replay_records()
+        assert by_topic.get("t", []) == []
+        # Records above the floor in an orphan dir survive.
+        wal2 = WriteAheadLog(tmp_path / "wal2", sync_mode="off", segment_bytes=1024)
+        wal2.shard(3).append(records_for("t", 1, 60))
+        wal2.close()
+        reopened2 = WriteAheadLog(tmp_path / "wal2", sync_mode="off")
+        reopened2.truncate({"t": 30})
+        by_topic, _ = reopened2.replay_records()
+        assert set(range(31, 61)).issubset({r.seq for r in by_topic["t"]})
+        reopened.close()
+        reopened2.close()
+
+    def test_reopen_reuses_replay_scan_stats(self, tmp_path):
+        # iter_segments fills the scan cache; a shard opened right after
+        # must not re-read its segments to rebuild truncation stats.
+        wal = WriteAheadLog(tmp_path / "wal", sync_mode="off", segment_bytes=1024)
+        wal.shard(0).append(records_for("t", 1, 120))
+        wal.close()
+        reopened = WriteAheadLog(tmp_path / "wal", sync_mode="off", segment_bytes=1024)
+        reopened.replay_records()  # the recovery pass
+        import repro.service.wal as wal_module
+
+        original = wal_module.read_segment
+        calls = []
+
+        def counting(path):
+            calls.append(path)
+            return original(path)
+
+        wal_module.read_segment = counting
+        try:
+            shard = reopened.shard(0)
+        finally:
+            wal_module.read_segment = original
+        assert calls == []  # stats came from the scan cache
+        assert shard.truncate({"t": 120})  # and they still drive truncation
+        reopened.close()
+
+    def test_replay_drops_duplicate_seqs(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", sync_mode="off")
+        wal.shard(0).append(records_for("a", 1, 3))
+        wal.shard(0).append(records_for("a", 3, 2, prefix="dup"))  # seq 3 again
+        wal.close()
+        by_topic, _ = WriteAheadLog(tmp_path / "wal", sync_mode="off").replay_records()
+        assert [r.seq for r in by_topic["a"]] == [1, 2, 3, 4]
+        assert by_topic["a"][2].raw == "a record 3"  # first occurrence wins
