@@ -1,0 +1,315 @@
+"""Replication benchmark: shipping overhead, lag and failover time.
+
+Quantifies what the warm standby costs and buys (``BENCH_replication.json``):
+
+* ``ingest`` — acknowledged ingest throughput of a WAL-backed primary
+  running **alone** vs with a live :class:`~repro.service.replication.WalShipper`
+  tailing its segments from the same machine.  The shipper never touches
+  the primary's locks (it reads segment files), so the overhead is disk
+  and CPU contention only; the ``with_shipper_vs_alone`` ratio is the
+  number the CI floor guards.
+* ``replication`` — how the standby keeps up: records shipped, the lag
+  (``records_behind``) observed at primary drain time, and how long the
+  tailing standby needs to converge to zero lag afterwards.
+* ``failover`` — the kill-the-primary drill, timed: final ``catch_up``
+  over the dead primary's WAL, ``promote()`` returning a live runtime,
+  and the first acknowledged post-failover submit.  Correctness is
+  asserted (applied seqs match the primary's acks exactly) — a fast
+  failover onto a hole-riddled follower would not be a result.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_replication.py [--records 20000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.core.config import ByteBrainConfig
+from repro.service.replication import StandbyRuntime, WalShipper
+from repro.service.runtime import ShardedRuntime
+from repro.service.scheduler import SchedulerPolicy
+from repro.service.service import LogParsingService
+
+DEFAULT_RECORDS_PER_TOPIC = 20_000
+DEFAULT_REPETITIONS = 3
+PRODUCER_BATCH = 64
+POLL_INTERVAL = 0.01
+TOPICS = ("checkout", "payments")
+
+#: CI floor derivation for ``--check-floor``: the measured
+#: with-shipper-vs-alone ingest ratio must stay above this fraction of
+#: the checked-in reference run's ratio.  Conservative on purpose: CI
+#: runners are noisy and share disk; the job catches "tailing the WAL
+#: started strangling the primary", not single-digit drift.
+FLOOR_FRACTION = 0.6
+#: The floor never drops below this absolute ratio: a shipper that costs
+#: the primary more than half its ingest throughput is a regression on
+#: any hardware.
+FLOOR_MINIMUM = 0.5
+SMOKE_RECORDS_PER_TOPIC = 4_000
+
+
+def build_lines(records_per_topic: int, offset: int = 0) -> Dict[str, list]:
+    return {
+        topic: [
+            f"{topic} request {offset + i} served for user {i % 13} with latency {i % 450}"
+            for i in range(records_per_topic)
+        ]
+        for topic in TOPICS
+    }
+
+
+def make_service(train_lines: Dict[str, list], store_root: Optional[Path] = None) -> LogParsingService:
+    """Pre-trained service, no further rounds during measurement (same
+    discipline as bench_wal: the measured phase pays real template
+    matching, not training)."""
+    policy = SchedulerPolicy(
+        volume_threshold=10**9, time_interval_seconds=10**9, initial_volume_threshold=10**9
+    )
+    service = LogParsingService(
+        config=ByteBrainConfig(), scheduler_policy=policy, store_root=store_root
+    )
+    for topic in TOPICS:
+        service.create_topic(topic)
+        service.ingest_batch(topic, train_lines[topic], now=0.0)
+        service.train_now(topic, now=0.0)
+    return service
+
+
+def ingest(runtime: ShardedRuntime, lines: Dict[str, list]) -> float:
+    records_per_topic = len(lines[TOPICS[0]])
+    start = time.perf_counter()
+    for position in range(0, records_per_topic, PRODUCER_BATCH):
+        for topic in TOPICS:
+            runtime.submit_many(
+                topic,
+                lines[topic][position : position + PRODUCER_BATCH],
+                timestamp=float(position),
+            )
+    runtime.drain()
+    seconds = time.perf_counter() - start
+    assert runtime.errors == [], runtime.errors
+    return seconds
+
+
+def run_alone(lines: Dict[str, list], train_lines: Dict[str, list],
+              state_root: Path, repetition: int) -> float:
+    wal_dir = state_root / f"alone-rep{repetition}" / "wal"
+    service = make_service(train_lines)
+    runtime = ShardedRuntime(
+        service, n_shards=2, micro_batch_size=256, max_batch_delay=0.005, wal_dir=wal_dir
+    )
+    try:
+        seconds = ingest(runtime, lines)
+    finally:
+        runtime.shutdown()
+        shutil.rmtree(wal_dir.parent, ignore_errors=True)
+    return seconds
+
+
+def run_with_shipper(lines: Dict[str, list], train_lines: Dict[str, list],
+                     state_root: Path, repetition: int) -> Dict[str, object]:
+    root = state_root / f"shipped-rep{repetition}"
+    wal_dir = root / "primary-wal"
+    n_records = sum(len(v) for v in lines.values())
+    service = make_service(train_lines)
+    runtime = ShardedRuntime(
+        service, n_shards=2, micro_batch_size=256, max_batch_delay=0.005, wal_dir=wal_dir
+    )
+    standby = StandbyRuntime(root / "standby", config=ByteBrainConfig())
+    shipper = WalShipper(wal_dir, standby, poll_interval=POLL_INTERVAL)
+    shipper.start()
+    try:
+        seconds = ingest(runtime, lines)
+        lag_at_drain = shipper.lag()
+        converge_start = time.perf_counter()
+        expected = {topic: len(lines[topic]) for topic in TOPICS}
+        deadline = converge_start + 300.0
+        while standby.applied_seqs() != expected:
+            if time.perf_counter() > deadline:
+                raise RuntimeError(
+                    f"standby never converged: {standby.applied_seqs()} != {expected}"
+                )
+            time.sleep(POLL_INTERVAL / 2)
+        converge_seconds = time.perf_counter() - converge_start
+    finally:
+        shipper.stop()
+        runtime.shutdown()
+    # ---------------- failover drill (primary is now gone) -------------- #
+    catch_start = time.perf_counter()
+    shipper.catch_up()
+    catch_seconds = time.perf_counter() - catch_start
+    promote_start = time.perf_counter()
+    promoted = standby.promote(n_shards=2, micro_batch_size=256, max_batch_delay=0.005)
+    promote_seconds = time.perf_counter() - promote_start
+    try:
+        first_start = time.perf_counter()
+        promoted.submit(TOPICS[0], "post failover liveness probe", timestamp=0.0)
+        promoted.drain()
+        first_ack_seconds = time.perf_counter() - first_start
+        applied = standby.applied_seqs()
+        assert applied == {topic: len(lines[topic]) for topic in TOPICS}, applied
+    finally:
+        promoted.shutdown()
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "seconds": seconds,
+        "records_behind_at_drain": sum(
+            lag_at_drain["records_behind"].values()
+        ),
+        "converge_seconds": converge_seconds,
+        "records_shipped": shipper.stats.records_shipped,
+        "n_records": n_records,
+        "catch_up_seconds": catch_seconds,
+        "promote_seconds": promote_seconds,
+        "first_ack_seconds": first_ack_seconds,
+    }
+
+
+def run(records_per_topic: int = DEFAULT_RECORDS_PER_TOPIC,
+        repetitions: int = DEFAULT_REPETITIONS,
+        output: Optional[Path] = None) -> Dict[str, object]:
+    train_lines = build_lines(2_000, offset=10**6)
+    lines = build_lines(records_per_topic)
+    n_records = records_per_topic * len(TOPICS)
+    state_root = Path(tempfile.mkdtemp(prefix="bench_replication_"))
+    alone_tps, shipped_runs = [], []
+    try:
+        # Untimed warmup (interpreter/allocator noise).
+        run_alone(lines, train_lines, state_root, repetition=-1)
+        for repetition in range(repetitions):
+            alone_tps.append(n_records / run_alone(lines, train_lines, state_root, repetition))
+            shipped_runs.append(run_with_shipper(lines, train_lines, state_root, repetition))
+    finally:
+        shutil.rmtree(state_root, ignore_errors=True)
+
+    shipped_tps = [n_records / r["seconds"] for r in shipped_runs]
+    alone = statistics.median(alone_tps)
+    with_shipper = statistics.median(shipped_tps)
+    report: Dict[str, object] = {
+        "benchmark": "bench_replication",
+        "workload": {
+            "n_topics": len(TOPICS),
+            "records_per_topic": records_per_topic,
+            "n_records": n_records,
+            "producer_batch": PRODUCER_BATCH,
+            "poll_interval": POLL_INTERVAL,
+            "repetitions": repetitions,
+            "training": "model pre-trained per topic (untimed); no rounds "
+                        "during measurement",
+        },
+        "ingest": {
+            "alone": {"throughput": round(alone, 1), "runs": [round(t, 1) for t in alone_tps]},
+            "with_shipper": {
+                "throughput": round(with_shipper, 1),
+                "runs": [round(t, 1) for t in shipped_tps],
+            },
+            "with_shipper_vs_alone": round(with_shipper / alone, 3),
+        },
+        "replication": {
+            "records_shipped": shipped_runs[-1]["records_shipped"],
+            "records_behind_at_drain": statistics.median(
+                r["records_behind_at_drain"] for r in shipped_runs
+            ),
+            "converge_seconds": round(
+                statistics.median(r["converge_seconds"] for r in shipped_runs), 4
+            ),
+        },
+        "failover": {
+            "catch_up_seconds": round(
+                statistics.median(r["catch_up_seconds"] for r in shipped_runs), 4
+            ),
+            "promote_seconds": round(
+                statistics.median(r["promote_seconds"] for r in shipped_runs), 4
+            ),
+            "first_ack_seconds": round(
+                statistics.median(r["first_ack_seconds"] for r in shipped_runs), 4
+            ),
+        },
+        "floor": {
+            "with_shipper_vs_alone_fraction": FLOOR_FRACTION,
+            "with_shipper_vs_alone_minimum": FLOOR_MINIMUM,
+        },
+    }
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def check_floor(report: Dict[str, object], reference_path: Path) -> int:
+    """Exit code 0 when the shipping-overhead ratio clears the floor."""
+    reference = json.loads(reference_path.read_text())
+    reference_ratio = float(reference["ingest"]["with_shipper_vs_alone"])
+    floor = max(FLOOR_MINIMUM, reference_ratio * FLOOR_FRACTION)
+    measured = float(report["ingest"]["with_shipper_vs_alone"])
+    print(
+        f"floor check: measured with_shipper_vs_alone {measured:.3f}, reference "
+        f"{reference_ratio:.3f}, floor {floor:.3f} "
+        f"(= max({FLOOR_MINIMUM}, {FLOOR_FRACTION} * reference))"
+    )
+    if measured < floor:
+        print(
+            f"FAIL: live WAL shipping cost the primary too much ingest "
+            f"throughput ({measured:.3f} < floor {floor:.3f})",
+            file=sys.stderr,
+        )
+        return 1
+    print("floor check passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=None, help="records per topic")
+    parser.add_argument("--repetitions", type=int, default=None)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"CI smoke mode: {SMOKE_RECORDS_PER_TOPIC} records/topic, one "
+             "repeat, no artifact written unless --output is given explicitly",
+    )
+    parser.add_argument(
+        "--check-floor",
+        type=Path,
+        metavar="REFERENCE_JSON",
+        help="compare the shipping-overhead ratio against a checked-in "
+             "BENCH_replication.json and exit 1 below the conservative floor",
+    )
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args()
+    records = args.records if args.records is not None else (
+        SMOKE_RECORDS_PER_TOPIC if args.smoke else DEFAULT_RECORDS_PER_TOPIC
+    )
+    repetitions = args.repetitions if args.repetitions is not None else (
+        1 if args.smoke else DEFAULT_REPETITIONS
+    )
+    output = args.output
+    if output is None and not args.smoke:
+        output = Path(__file__).resolve().parent / "BENCH_replication.json"
+    report = run(records_per_topic=records, repetitions=repetitions, output=output)
+    ingest_section = report["ingest"]
+    print(f"workload: {report['workload']}")
+    print(f"ingest alone:        {ingest_section['alone']['throughput']:>12,.0f} records/s")
+    print(f"ingest with shipper: {ingest_section['with_shipper']['throughput']:>12,.0f} records/s")
+    print(f"overhead ratio:      {ingest_section['with_shipper_vs_alone']:>12}")
+    print(f"replication: {report['replication']}")
+    print(f"failover:    {report['failover']}")
+    if output is not None:
+        print(f"written: {output}")
+    if args.check_floor is not None:
+        return check_floor(report, args.check_floor)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,19 @@ Python:
     Rebuild service state from a model-store root plus a WAL directory
     (load the current snapshot per topic, replay uncaptured records) and
     print what was restored.
+``standby``
+    Tail a primary runtime's WAL directory and maintain a warm standby
+    (replica WAL + live follower state) under a standby directory —
+    continuously, for a bounded duration, or as a single catch-up pass.
+``promote``
+    Fail over to a standby directory: replay its replica WAL into a
+    fresh follower, print the promoted per-topic sequence watermarks and
+    exit (the directory is then a valid ``recover`` target).
+
+Fault injection: ``standby``, ``promote`` and ``serve-bench`` accept
+``--failpoint NAME:ACTION[:OPTS]`` (repeatable), and every command arms
+specs from the ``REPRO_FAILPOINTS`` environment variable — see
+:mod:`repro.core.failpoints`.
 
 Examples
 --------
@@ -45,6 +58,8 @@ Examples
     python -m repro.cli load-model --store models/app --output model.json
     python -m repro.cli wal-inspect --wal-dir state/wal
     python -m repro.cli recover --store state/models --wal-dir state/wal
+    python -m repro.cli standby --primary-wal state/wal --standby-dir standby --once
+    python -m repro.cli promote --standby-dir standby
 """
 
 from __future__ import annotations
@@ -274,9 +289,116 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _arm_failpoints(args: argparse.Namespace) -> int:
+    """Arm any ``--failpoint`` specs; returns 0 or an error exit code."""
+    from repro.core import failpoints
+
+    for spec in getattr(args, "failpoint", None) or []:
+        try:
+            failpoints.configure_from_spec(spec)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    return 0
+
+
+def _cmd_standby(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.service.replication import StandbyRuntime, WalShipper
+
+    if (code := _arm_failpoints(args)) != 0:
+        return code
+    if not Path(args.primary_wal).is_dir():
+        print(f"error: {args.primary_wal} is not a directory", file=sys.stderr)
+        return 2
+    standby = StandbyRuntime(Path(args.standby_dir))
+    shipper = WalShipper(
+        Path(args.primary_wal),
+        standby,
+        poll_interval=args.interval,
+        ship_active=not args.closed_only,
+    )
+    try:
+        if args.once:
+            shipper.catch_up()
+        else:
+            shipper.start()
+            deadline = time.monotonic() + args.duration if args.duration else None
+            try:
+                while deadline is None or time.monotonic() < deadline:
+                    time.sleep(min(args.interval, 0.5))
+            except KeyboardInterrupt:
+                pass
+            shipper.stop()
+            shipper.catch_up()
+    finally:
+        standby.close()
+    report = {
+        "standby": standby.stats(),
+        "shipper": shipper.stats.to_dict(),
+        "lag": shipper.lag(),
+    }
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        applied = standby.applied_seqs()
+        for topic in sorted(applied):
+            print(f"topic {topic}: applied through seq {applied[topic]}")
+        lag = report["lag"]
+        print(
+            f"# {shipper.stats.frames_shipped} frames / "
+            f"{shipper.stats.records_shipped} records shipped, "
+            f"{lag['bytes_behind']} bytes behind"
+        )
+    for warning in standby.warnings + shipper.stats.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    return 0
+
+
+def _cmd_promote(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.replication import StandbyRuntime
+    from repro.service.wal import WalCorruptionError
+
+    if (code := _arm_failpoints(args)) != 0:
+        return code
+    root = Path(args.standby_dir)
+    if not (root / "wal").is_dir():
+        print(f"error: {args.standby_dir} has no replica WAL", file=sys.stderr)
+        return 2
+    try:
+        standby = StandbyRuntime(root)
+    except WalCorruptionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    applied = standby.applied_seqs()
+    runtime = standby.promote()
+    try:
+        runtime.drain()
+    finally:
+        runtime.shutdown()
+    if args.json:
+        print(json.dumps({"promoted": True, "applied_seqs": applied}, indent=2))
+    else:
+        if applied:
+            for topic in sorted(applied):
+                print(f"topic {topic}: promoted at seq {applied[topic]}")
+        else:
+            print("standby holds no shipped records (empty replica WAL)")
+        print(f"# promoted: {root} is now a primary state directory")
+    for warning in standby.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.service.bench import run_serve_bench
 
+    if (code := _arm_failpoints(args)) != 0:
+        return code
     if args.paced_rate is not None and args.volume_threshold <= 0:
         print(
             "error: --paced-rate requires --volume-threshold > 0 "
@@ -398,6 +520,47 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--output", help="optional path for the JSON recovery report")
     recover.set_defaults(func=_cmd_recover)
 
+    standby = subparsers.add_parser(
+        "standby", help="tail a primary WAL and maintain a warm standby directory"
+    )
+    standby.add_argument("--primary-wal", required=True, help="primary runtime's WAL root")
+    standby.add_argument("--standby-dir", required=True, help="standby state directory")
+    standby.add_argument(
+        "--interval", type=float, default=0.05, help="poll interval between ship rounds (s)"
+    )
+    standby.add_argument(
+        "--once", action="store_true", help="one catch-up pass instead of tailing"
+    )
+    standby.add_argument(
+        "--duration", type=float, default=None, help="tail for this many seconds, then exit"
+    )
+    standby.add_argument(
+        "--closed-only",
+        action="store_true",
+        help="ship only closed segments (skip the active one)",
+    )
+    standby.add_argument("--json", action="store_true", help="emit a JSON report")
+    standby.add_argument(
+        "--failpoint",
+        action="append",
+        metavar="SPEC",
+        help="arm a failpoint (name:action[:opts]); repeatable",
+    )
+    standby.set_defaults(func=_cmd_standby)
+
+    promote = subparsers.add_parser(
+        "promote", help="fail over: promote a standby directory to primary state"
+    )
+    promote.add_argument("--standby-dir", required=True, help="standby state directory")
+    promote.add_argument("--json", action="store_true", help="emit a JSON report")
+    promote.add_argument(
+        "--failpoint",
+        action="append",
+        metavar="SPEC",
+        help="arm a failpoint (name:action[:opts]); repeatable",
+    )
+    promote.set_defaults(func=_cmd_promote)
+
     serve_bench = subparsers.add_parser(
         "serve-bench",
         help="benchmark multi-topic ingest: sync façade vs the sharded async runtime",
@@ -433,6 +596,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_bench.add_argument("--parallelism", type=int, default=1)
     serve_bench.add_argument("--output", help="optional path for the JSON report")
+    serve_bench.add_argument(
+        "--failpoint",
+        action="append",
+        metavar="SPEC",
+        help="arm a failpoint (name:action[:opts]); repeatable",
+    )
     serve_bench.set_defaults(func=_cmd_serve_bench)
 
     datasets = subparsers.add_parser("datasets", help="list available benchmark corpora")
@@ -442,6 +611,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.core import failpoints
+
+    failpoints.install_from_env()
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -20,12 +20,15 @@ Sub-modules map one-to-one onto the paper's algorithm sections:
   new records, fold into the live model, drift-escalate to full retrain)
 - :mod:`repro.core.modelstore` — versioned on-disk model snapshots with
   manifest, ``load_latest`` and rollback
+- :mod:`repro.core.retry` — accounted retry policies with jittered backoff
+- :mod:`repro.core.failpoints` — deterministic fault-injection harness
 """
 
 from repro.core.config import ByteBrainConfig
 from repro.core.incremental import DriftPolicy, IncrementalTrainer
 from repro.core.modelstore import ModelStore
 from repro.core.parser import ByteBrainParser
+from repro.core.retry import RetryPolicy
 
 __all__ = [
     "ByteBrainConfig",
@@ -33,4 +36,5 @@ __all__ = [
     "DriftPolicy",
     "IncrementalTrainer",
     "ModelStore",
+    "RetryPolicy",
 ]

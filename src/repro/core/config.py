@@ -170,6 +170,33 @@ class ByteBrainConfig:
     wal_retain_versions: int = 2
 
     # ------------------------------------------------------------------ #
+    # Shard-worker supervision (service/runtime.py)
+    # ------------------------------------------------------------------ #
+    #: How many times the runtime restarts a crashed shard worker before
+    #: quarantining the shard into an explicit degraded state (``0``
+    #: quarantines on the first death — the pre-supervision behaviour).
+    worker_restart_max_attempts: int = 3
+    #: First restart backoff in seconds; subsequent restarts double it
+    #: (jittered) up to ``worker_restart_backoff_max``.
+    worker_restart_backoff: float = 0.05
+    worker_restart_backoff_max: float = 2.0
+    #: Total wall-clock budget (seconds) one restart sequence may spend
+    #: before the shard is quarantined regardless of attempts left;
+    #: ``None`` leaves only the attempt bound.
+    worker_restart_deadline_seconds: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # WAL segment shipping to a warm standby (service/replication.py)
+    # ------------------------------------------------------------------ #
+    #: How often (seconds) a :class:`~repro.service.replication.WalShipper`
+    #: polls the primary's WAL directories for newly appended frames.
+    replication_poll_interval: float = 0.05
+    #: Ship frames from the *active* (still-appended-to) segment of each
+    #: shard as they appear.  Disabling ships only closed segments —
+    #: cheaper tailing, but replication lag then grows with segment size.
+    replication_ship_active: bool = True
+
+    # ------------------------------------------------------------------ #
     # Per-topic training schedule (service/scheduler.py)
     # ------------------------------------------------------------------ #
     #: Per-topic overrides of the service's default
@@ -230,6 +257,19 @@ class ByteBrainConfig:
             raise ValueError("wal_segment_bytes must be >= 4096")
         if self.wal_retain_versions < 1:
             raise ValueError("wal_retain_versions must be >= 1")
+        if self.worker_restart_max_attempts < 0:
+            raise ValueError("worker_restart_max_attempts must be >= 0")
+        if self.worker_restart_backoff < 0.0:
+            raise ValueError("worker_restart_backoff must be >= 0")
+        if self.worker_restart_backoff_max < self.worker_restart_backoff:
+            raise ValueError("worker_restart_backoff_max must be >= worker_restart_backoff")
+        if (
+            self.worker_restart_deadline_seconds is not None
+            and self.worker_restart_deadline_seconds <= 0.0
+        ):
+            raise ValueError("worker_restart_deadline_seconds must be positive or None")
+        if self.replication_poll_interval <= 0.0:
+            raise ValueError("replication_poll_interval must be positive")
         for name in (
             "train_volume_threshold",
             "train_time_interval_seconds",

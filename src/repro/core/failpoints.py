@@ -1,0 +1,243 @@
+"""Deterministic fault injection: named failpoints with trigger policies.
+
+Reliability claims are only as good as the faults they were tested
+under.  This module gives the codebase *failpoints* — named hooks
+compiled into the hot paths that are free when disarmed (one module
+attribute read) and, when armed, inject a failure with a deterministic
+trigger policy:
+
+* **nth-call** — fire on exactly the N-th evaluation (and optionally the
+  ones after it, bounded by ``times``),
+* **probability-with-seed** — fire on each evaluation with probability
+  ``p`` drawn from a ``random.Random(seed)``, so a "random" fault run is
+  exactly replayable.
+
+Three actions cover the crash matrix the WAL and runtime care about:
+
+* ``raise`` — raise :class:`FailpointError` (a disk error, a poisoned
+  batch, a dead dependency),
+* ``delay`` — sleep ``seconds`` (a slow disk, a GC pause) and continue,
+* ``torn``  — instruct the *site* to perform a torn write: the site
+  receives the injection object and writes only ``bytes_written`` bytes
+  of its payload before raising (only sites that write framed payloads
+  honour this; everywhere else ``torn`` degrades to ``raise``).
+
+Instrumented sites (grep for ``failpoints.hit``): WAL append / fsync /
+segment rotation (:mod:`repro.service.wal`), the shard-worker batch loop
+(:mod:`repro.service.runtime`), and standby replay
+(:mod:`repro.service.replication`).
+
+Specs: ``name:action[:key=value,...]`` — e.g. ``wal.append:torn:nth=3,bytes=9``,
+``wal.sync:raise:prob=0.2,seed=7,times=2``, ``worker.batch:raise:nth=1``.
+Parsed by :func:`configure_from_spec` (the CLI's ``--failpoint`` flag) and
+:func:`install_from_env` (the ``REPRO_FAILPOINTS`` variable, read by child
+processes in the crash-test matrix).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "FailpointError",
+    "Failpoint",
+    "Injection",
+    "configure",
+    "configure_from_spec",
+    "install_from_env",
+    "clear",
+    "clear_all",
+    "hit",
+    "state",
+    "ENV_VAR",
+]
+
+ENV_VAR = "REPRO_FAILPOINTS"
+
+_ACTIONS = ("raise", "delay", "torn")
+
+
+class FailpointError(RuntimeError):
+    """The failure a ``raise`` (or degraded ``torn``) failpoint injects."""
+
+
+@dataclass
+class Injection:
+    """Handed to a cooperating site when a ``torn`` failpoint fires."""
+
+    name: str
+    #: How many bytes of its framed payload the site should write before
+    #: raising (clamped by the site to stay strictly short of a full frame).
+    bytes_written: int
+
+
+@dataclass
+class Failpoint:
+    """One armed failpoint (internal; use :func:`configure`)."""
+
+    name: str
+    action: str
+    #: Fire on the nth evaluation (1-based) and later ones, ``times`` permitting.
+    nth: Optional[int] = None
+    #: Fire each evaluation with this probability (seeded, replayable).
+    probability: Optional[float] = None
+    seed: int = 0
+    #: Maximum number of firings (``None`` = unlimited).
+    times: Optional[int] = None
+    seconds: float = 0.01
+    bytes_written: int = 8
+    calls: int = 0
+    fired: int = 0
+    _rng: random.Random = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown failpoint action {self.action!r}; known: {_ACTIONS}")
+        if self.nth is not None and self.nth < 1:
+            raise ValueError("nth is 1-based")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.nth is None and self.probability is None:
+            self.nth = 1  # default: fire from the first evaluation
+        if self.times is not None and self.times < 1:
+            raise ValueError("times must be >= 1 or None")
+        self._rng = random.Random(self.seed)
+
+    def should_fire(self) -> bool:
+        """Account one evaluation; True when the trigger policy fires."""
+        self.calls += 1
+        if self.times is not None and self.fired >= self.times:
+            return False
+        fire = False
+        if self.nth is not None and self.calls >= self.nth:
+            fire = True
+        if self.probability is not None and self._rng.random() < self.probability:
+            fire = True
+        if fire:
+            self.fired += 1
+        return fire
+
+
+_lock = threading.Lock()
+_registry: Dict[str, Failpoint] = {}
+#: Fast-path guard: ``hit`` reads this plain bool before touching the
+#: lock or the registry, so disarmed failpoints cost one attribute read
+#: on the ingest hot path.
+_armed = False
+
+
+def configure(name: str, action: str, **kwargs) -> Failpoint:
+    """Arm (or re-arm) a failpoint; see :class:`Failpoint` for kwargs."""
+    global _armed
+    point = Failpoint(name=name, action=action, **kwargs)
+    with _lock:
+        _registry[name] = point
+        _armed = True
+    return point
+
+
+def clear(name: str) -> None:
+    """Disarm one failpoint (no-op when not armed)."""
+    global _armed
+    with _lock:
+        _registry.pop(name, None)
+        _armed = bool(_registry)
+
+
+def clear_all() -> None:
+    """Disarm every failpoint (test teardown)."""
+    global _armed
+    with _lock:
+        _registry.clear()
+        _armed = False
+
+
+def state() -> Dict[str, Dict[str, object]]:
+    """Introspection: per-failpoint call/fire counters and settings."""
+    with _lock:
+        return {
+            name: {
+                "action": p.action,
+                "nth": p.nth,
+                "probability": p.probability,
+                "times": p.times,
+                "calls": p.calls,
+                "fired": p.fired,
+            }
+            for name, p in _registry.items()
+        }
+
+
+def hit(name: str) -> Optional[Injection]:
+    """Evaluate a failpoint site.
+
+    Returns ``None`` when disarmed or not firing.  A firing ``raise``
+    failpoint raises :class:`FailpointError` here; ``delay`` sleeps here
+    and returns ``None``; ``torn`` returns an :class:`Injection` the
+    site must honour (write a short prefix, then raise).
+    """
+    if not _armed:
+        return None
+    with _lock:
+        point = _registry.get(name)
+        if point is None or not point.should_fire():
+            return None
+        action, seconds = point.action, point.seconds
+        injection = Injection(name=name, bytes_written=point.bytes_written)
+    if action == "raise":
+        raise FailpointError(f"failpoint {name!r} injected failure")
+    if action == "delay":
+        time.sleep(seconds)
+        return None
+    return injection
+
+
+def configure_from_spec(spec: str) -> Failpoint:
+    """Arm a failpoint from a compact spec string.
+
+    Grammar: ``name:action[:key=value[,key=value...]]`` with keys
+    ``nth``, ``prob``, ``seed``, ``times``, ``seconds``, ``bytes``.
+    """
+    parts = spec.split(":", 2)
+    if len(parts) < 2:
+        raise ValueError(f"bad failpoint spec {spec!r}: expected name:action[:options]")
+    name, action = parts[0].strip(), parts[1].strip()
+    kwargs: Dict[str, object] = {}
+    if len(parts) == 3 and parts[2].strip():
+        for pair in parts[2].split(","):
+            if "=" not in pair:
+                raise ValueError(f"bad failpoint option {pair!r} in {spec!r}")
+            key, value = (s.strip() for s in pair.split("=", 1))
+            if key == "nth":
+                kwargs["nth"] = int(value)
+            elif key == "prob":
+                kwargs["probability"] = float(value)
+            elif key == "seed":
+                kwargs["seed"] = int(value)
+            elif key == "times":
+                kwargs["times"] = int(value)
+            elif key == "seconds":
+                kwargs["seconds"] = float(value)
+            elif key == "bytes":
+                kwargs["bytes_written"] = int(value)
+            else:
+                raise ValueError(f"unknown failpoint option {key!r} in {spec!r}")
+    return configure(name, action, **kwargs)
+
+
+def install_from_env(variable: str = ENV_VAR) -> List[Failpoint]:
+    """Arm every ``;``-separated spec in an environment variable.
+
+    Child processes in the crash matrix arm their failpoints this way —
+    the parent sets ``REPRO_FAILPOINTS`` and the child calls this before
+    building its runtime.
+    """
+    raw = os.environ.get(variable, "").strip()
+    if not raw:
+        return []
+    return [configure_from_spec(spec) for spec in raw.split(";") if spec.strip()]

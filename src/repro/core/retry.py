@@ -1,0 +1,163 @@
+"""Retry policies with jittered exponential backoff and deadlines.
+
+Restarting a failed component is only safe when the retry loop is
+*accounted*: a bounded number of attempts, delays that grow (so a
+persistently failing component does not busy-spin), jitter (so many
+failing components do not retry in lockstep) and an optional wall-clock
+deadline.  :class:`RetryPolicy` is the immutable description of such a
+loop; :class:`RetryState` is one live run of it.
+
+The shard-worker supervisor in :mod:`repro.service.runtime` is the main
+consumer: a dead worker is restarted under a ``RetryPolicy`` and
+quarantined once the policy is exhausted.  The policy is deliberately
+generic — :func:`retry_call` wraps any callable in the same accounting.
+
+Determinism: jitter draws from a ``random.Random`` seeded per state
+(never the process-global generator), so tests and the fault-injection
+harness can replay exact backoff sequences.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, TypeVar
+
+__all__ = ["RetryPolicy", "RetryState", "RetryExhaustedError", "retry_call"]
+
+T = TypeVar("T")
+
+
+class RetryExhaustedError(RuntimeError):
+    """Raised by :func:`retry_call` when the policy gives up.
+
+    The final underlying failure is chained as ``__cause__``.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Immutable description of a bounded, jittered backoff loop.
+
+    ``max_attempts`` counts *retries* (restarts), not total tries: a
+    policy with ``max_attempts=3`` allows one initial run plus up to
+    three retries.  ``0`` disables retrying entirely.  ``deadline``
+    bounds the total elapsed time a state may spend across all attempts
+    (including the backoff sleeps); a retry whose delay would cross the
+    deadline is refused.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    #: Fraction of each delay randomised: the actual sleep is drawn
+    #: uniformly from ``[delay * (1 - jitter), delay * (1 + jitter)]``.
+    jitter: float = 0.1
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 0:
+            raise ValueError("max_attempts must be >= 0")
+        if self.base_delay < 0.0:
+            raise ValueError("base_delay must be >= 0")
+        if self.max_delay < self.base_delay:
+            raise ValueError("max_delay must be >= base_delay")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.deadline is not None and self.deadline <= 0.0:
+            raise ValueError("deadline must be positive or None")
+
+    def delay_for(self, attempt: int) -> float:
+        """Pre-jitter delay before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(self.base_delay * (self.multiplier ** (attempt - 1)), self.max_delay)
+
+    def start(self, seed: int = 0, clock: Callable[[], float] = time.monotonic) -> "RetryState":
+        """Begin one accounted run of this policy."""
+        return RetryState(self, seed=seed, clock=clock)
+
+
+class RetryState:
+    """One live run of a :class:`RetryPolicy` (not thread-safe).
+
+    Call :meth:`record_failure` after each failure: it returns the
+    jittered delay to sleep before the next attempt, or ``None`` when
+    the policy is exhausted (max attempts reached, or the deadline would
+    be crossed) and the caller must give up.
+    """
+
+    def __init__(self, policy: RetryPolicy, seed: int = 0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.policy = policy
+        self.attempts = 0
+        self._clock = clock
+        self._started_at = clock()
+        self._rng = random.Random(seed)
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since this state started."""
+        return self._clock() - self._started_at
+
+    @property
+    def exhausted(self) -> bool:
+        return self.attempts >= self.policy.max_attempts
+
+    def record_failure(self) -> Optional[float]:
+        """Account one failure; return the backoff delay or ``None``.
+
+        ``None`` means the policy refuses another attempt — either the
+        attempt budget is spent or the (jittered) delay would land past
+        the deadline.  A refused retry does not consume an attempt.
+        """
+        if self.attempts >= self.policy.max_attempts:
+            return None
+        delay = self.policy.delay_for(self.attempts + 1)
+        if self.policy.jitter > 0.0 and delay > 0.0:
+            spread = delay * self.policy.jitter
+            delay = delay + self._rng.uniform(-spread, spread)
+        if self.policy.deadline is not None and self.elapsed + delay > self.policy.deadline:
+            return None
+        self.attempts += 1
+        return delay
+
+    def reset(self) -> None:
+        """Forget past failures (the component ran healthy long enough)."""
+        self.attempts = 0
+        self._started_at = self._clock()
+
+
+def retry_call(
+    fn: Callable[[], T],
+    policy: Optional[RetryPolicy] = None,
+    retry_on: Tuple[type, ...] = (Exception,),
+    seed: int = 0,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+) -> T:
+    """Call ``fn`` under a retry policy; return its first successful result.
+
+    ``on_retry(attempt, error, delay)`` is invoked before each backoff
+    sleep.  Exceptions outside ``retry_on`` propagate immediately; when
+    the policy is exhausted, :class:`RetryExhaustedError` is raised from
+    the final failure.
+    """
+    state = (policy or RetryPolicy()).start(seed=seed)
+    while True:
+        try:
+            return fn()
+        except retry_on as error:
+            delay = state.record_failure()
+            if delay is None:
+                raise RetryExhaustedError(
+                    f"gave up after {state.attempts} retries ({error!r})"
+                ) from error
+            if on_retry is not None:
+                on_retry(state.attempts, error, delay)
+            if delay > 0.0:
+                sleep(delay)

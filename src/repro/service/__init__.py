@@ -19,10 +19,16 @@ This package reproduces the service surface the algorithm interacts with:
   :class:`~repro.service.runtime.ShardedRuntime` (bounded queues,
   micro-batching, off-path training),
 - :mod:`repro.service.service` — the tenant-facing :class:`LogParsingService`
-  façade.
+  façade,
+- :mod:`repro.service.wal` — per-shard write-ahead log (durable ingest),
+- :mod:`repro.service.recovery` — crash recovery from snapshots + WAL replay,
+- :mod:`repro.service.replication` — WAL segment shipping to a warm standby
+  (:class:`~repro.service.replication.WalShipper` /
+  :class:`~repro.service.replication.StandbyRuntime`) and promotion.
 """
 
 from repro.service.engine import TopicEngine
+from repro.service.replication import StandbyRuntime, WalShipper
 from repro.service.runtime import ShardedRuntime
 from repro.service.service import LogParsingService
 from repro.service.topic import LogRecord, LogTopic
@@ -34,6 +40,8 @@ __all__ = [
     "LogTopic",
     "SchedulerPolicy",
     "ShardedRuntime",
+    "StandbyRuntime",
     "TopicEngine",
     "TrainingScheduler",
+    "WalShipper",
 ]

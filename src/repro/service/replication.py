@@ -1,0 +1,508 @@
+"""WAL segment shipping to a warm standby, and standby promotion.
+
+PR 4 made every acked record durable on the primary's disk; this module
+makes it survive the *machine*.  A :class:`WalShipper` tails the
+primary's per-shard WAL segments — closed ones fully, the active one
+incrementally (``replication_ship_active``) — and streams CRC-verified
+frames to a :class:`StandbyRuntime`, which does two things with each
+frame:
+
+1. **mirror** — the frame bytes are appended verbatim to a replica WAL
+   under the standby's root (same shard/segment layout, same wire
+   format), so the standby's disk is a valid WAL in its own right, and
+2. **replay** — the decoded records are pushed through the batched
+   ingest path into warm follower engines (the same replay discipline as
+   :mod:`repro.service.recovery`: seq-sorted, applied-watermark
+   filtered, gap-warned), so the follower's parser state tracks the
+   primary continuously instead of being rebuilt at failover time.
+
+Failover: ``shipper.stop(); shipper.catch_up(); standby.promote()``.
+``promote()`` seals the standby and returns a live
+:class:`~repro.service.runtime.ShardedRuntime` over the replica WAL with
+the per-topic sequence positions carried over — new appends continue the
+primary's sequences, snapshots line up, and a later crash of the
+*promoted* node recovers through the ordinary
+:class:`~repro.service.recovery.RecoveredRuntime` path.  The guarantee
+is *zero acked-record loss up to the shipped watermark*: every record
+the shipper delivered before the kill is present exactly once on the
+promoted standby.  Records acked on the primary but not yet shipped are
+lost at failover — that is the asynchronous-replication contract;
+:meth:`WalShipper.lag` quantifies the exposure.
+
+Known limitation (asynchronous shipping, ``wal_sync_mode="always"``): a
+primary ack-path fsync failure discards a fully written frame whose seq
+is re-minted for the next record.  A shipper that polled inside that
+window has applied the discarded payload; the rewind is detected and
+surfaced as a warning (``cursor rewound``) rather than silently
+diverging.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core import failpoints
+from repro.core.config import ByteBrainConfig
+from repro.service.service import LogParsingService
+from repro.service.wal import (
+    _FRAME_HEADER,
+    _MAGIC,
+    WalCorruptionError,
+    WalRecord,
+    WriteAheadLog,
+    _decode_payload,
+    _segment_paths,
+)
+
+__all__ = ["ShipperStats", "WalShipper", "StandbyRuntime"]
+
+#: Standby replay chunk size (same reasoning as recovery's replay batch).
+_APPLY_BATCH = 1024
+
+
+@dataclass
+class ShipperStats:
+    """Counters one :class:`WalShipper` maintains (reads are approximate)."""
+
+    ship_rounds: int = 0
+    frames_shipped: int = 0
+    records_shipped: int = 0
+    bytes_shipped: int = 0
+    #: Incomplete or CRC-bad *tail* reads (an append in flight on the
+    #: primary; retried next round — not an error).
+    partial_reads: int = 0
+    #: Primary segments observed shorter than our cursor (a discarded
+    #: ack-path frame; see the module docstring's known limitation).
+    cursor_rewinds: int = 0
+    warnings: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ship_rounds": self.ship_rounds,
+            "frames_shipped": self.frames_shipped,
+            "records_shipped": self.records_shipped,
+            "bytes_shipped": self.bytes_shipped,
+            "partial_reads": self.partial_reads,
+            "cursor_rewinds": self.cursor_rewinds,
+            "warnings": list(self.warnings),
+        }
+
+
+class WalShipper:
+    """Tail a primary WAL root and stream its frames to a standby.
+
+    Pull-based and single-threaded: :meth:`ship_once` scans every shard
+    directory, reads newly appended bytes past each segment's cursor,
+    verifies frame CRCs, hands complete frames to the standby and
+    advances the cursor (always to a frame boundary — a torn or
+    in-flight tail is left for the next round).  :meth:`start` runs that
+    loop on a daemon thread every ``poll_interval`` seconds;
+    :meth:`catch_up` loops inline until a full scan ships nothing.
+
+    The shipper never *writes* to the primary: it is safe to run against
+    the WAL of a live :class:`~repro.service.runtime.ShardedRuntime` in
+    another thread or (via the ``standby`` CLI command) another process.
+    """
+
+    def __init__(
+        self,
+        primary_wal: os.PathLike,
+        standby: "StandbyRuntime",
+        poll_interval: Optional[float] = None,
+        ship_active: Optional[bool] = None,
+    ) -> None:
+        self.primary_root = Path(primary_wal)
+        self.standby = standby
+        config = standby.service.config
+        self.poll_interval = (
+            poll_interval if poll_interval is not None else config.replication_poll_interval
+        )
+        self.ship_active = (
+            ship_active if ship_active is not None else config.replication_ship_active
+        )
+        self.stats = ShipperStats()
+        #: Primary segment path -> bytes consumed (frame-aligned).
+        #: Seeded from the standby's replica files: a mirror segment is a
+        #: byte-for-byte prefix of its primary counterpart, so its size
+        #: *is* the shipped cursor — a restarted shipper resumes instead
+        #: of appending every frame to the mirror a second time.
+        self._cursors: Dict[Path, int] = {}
+        for replica in standby.replica_segments():
+            primary = self.primary_root / replica.parent.name / replica.name
+            try:
+                self._cursors[primary] = replica.stat().st_size
+            except OSError:
+                continue
+        #: Highest seq seen per topic in shipped frames (feeds lag()).
+        self._shipped_seqs: Dict[str, int] = {}
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._ship_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # shipping
+    # ------------------------------------------------------------------ #
+    def ship_once(self) -> int:
+        """One full scan of the primary; returns the frames shipped."""
+        with self._ship_lock:
+            self.stats.ship_rounds += 1
+            shipped = 0
+            for shard_dir in sorted(
+                p for p in self.primary_root.glob("shard-*") if p.is_dir()
+            ):
+                segments = _segment_paths(shard_dir)
+                for position, path in enumerate(segments):
+                    active = position == len(segments) - 1
+                    if active and not self.ship_active:
+                        continue
+                    shipped += self._ship_segment(shard_dir.name, path)
+            # Forget cursors of segments the primary truncated away.
+            for path in [p for p in self._cursors if not p.exists()]:
+                del self._cursors[path]
+            return shipped
+
+    def _ship_segment(self, shard_name: str, path: Path) -> int:
+        offset = self._cursors.get(path, len(_MAGIC))
+        try:
+            size = path.stat().st_size
+            if size < offset:
+                # The primary discarded a tail we already consumed (failed
+                # ack-path fsync).  Surface it; resume from the new end.
+                self.stats.cursor_rewinds += 1
+                self.stats.warnings.append(
+                    f"cursor rewound on {path.name}: primary truncated "
+                    f"{offset - size} shipped byte(s)"
+                )
+                self._cursors[path] = size
+                return 0
+            if size <= offset:
+                return 0
+            with open(path, "rb") as handle:
+                if offset == len(_MAGIC):
+                    magic = handle.read(len(_MAGIC))
+                    if len(magic) < len(_MAGIC):
+                        return 0  # segment still being created
+                    if magic != _MAGIC:
+                        raise WalCorruptionError(f"bad segment magic in {path}")
+                else:
+                    handle.seek(offset)
+                data = handle.read()
+        except OSError:
+            return 0  # truncated away between listing and reading
+        frames, records, consumed = self._parse_frames(path, data)
+        if consumed == 0:
+            return 0
+        self.standby._receive(shard_name, path.name, b"".join(frames), records)
+        for record in records:
+            if record.seq > self._shipped_seqs.get(record.topic, 0):
+                self._shipped_seqs[record.topic] = record.seq
+        self._cursors[path] = offset + consumed
+        self.stats.frames_shipped += len(frames)
+        self.stats.records_shipped += len(records)
+        self.stats.bytes_shipped += consumed
+        return len(frames)
+
+    def _parse_frames(self, path, data: bytes):
+        """Split ``data`` into complete CRC-valid frames.
+
+        Returns ``(frame_bytes, records, bytes_consumed)``.  An
+        incomplete or CRC-bad suffix at the very end is an append in
+        flight (or a crash's torn tail) — left unconsumed for the next
+        round.  A bad frame with more data after it is corruption.
+        """
+        frames: List[bytes] = []
+        records: List[WalRecord] = []
+        position = 0
+        total = len(data)
+        while position + _FRAME_HEADER.size <= total:
+            length, crc = _FRAME_HEADER.unpack_from(data, position)
+            end = position + _FRAME_HEADER.size + length
+            if end > total:
+                self.stats.partial_reads += 1
+                break
+            payload = data[position + _FRAME_HEADER.size : end]
+            bad = zlib.crc32(payload) != crc
+            if not bad:
+                try:
+                    decoded = _decode_payload(payload)
+                except Exception:
+                    bad = True
+            if bad:
+                if end == total:
+                    self.stats.partial_reads += 1
+                    break
+                raise WalCorruptionError(
+                    f"corrupt frame at byte {position} of {path} while shipping"
+                )
+            frames.append(data[position:end])
+            records.extend(decoded)
+            position = end
+        return frames, records, position
+
+    def catch_up(self, max_rounds: int = 1000) -> int:
+        """Ship inline until a full scan finds nothing new; returns the
+        total frames shipped.  Call after stopping the primary (or the
+        shipper thread) to reach the shipped watermark before promoting."""
+        total = 0
+        for _ in range(max_rounds):
+            shipped = self.ship_once()
+            total += shipped
+            if shipped == 0:
+                return total
+        return total
+
+    # ------------------------------------------------------------------ #
+    # background tailing
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Tail the primary on a daemon thread every ``poll_interval``."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._tail_loop, name="repro-wal-shipper", daemon=True
+        )
+        self._thread.start()
+
+    def _tail_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.ship_once()
+            except Exception as error:
+                self.stats.warnings.append(f"ship round failed: {error!r}")
+            self._stop.wait(self.poll_interval)
+
+    def stop(self) -> None:
+        """Stop the tailing thread (the cursors keep their positions —
+        ``catch_up`` or a later ``start`` resumes where it left off)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+            self._thread = None
+
+    # ------------------------------------------------------------------ #
+    # lag
+    # ------------------------------------------------------------------ #
+    def lag(self) -> Dict[str, object]:
+        """Replication lag: bytes behind on disk, records behind per topic.
+
+        ``bytes_behind`` compares primary segment sizes against shipped
+        cursors (cheap stats, no reads).  ``records_behind`` compares the
+        highest seq *shipped* per topic against the highest seq *applied*
+        by the standby — with a healthy standby both gaps sit at zero
+        between bursts.
+        """
+        bytes_behind = 0
+        for shard_dir in (p for p in self.primary_root.glob("shard-*") if p.is_dir()):
+            for path in _segment_paths(shard_dir):
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    continue
+                bytes_behind += max(0, size - self._cursors.get(path, len(_MAGIC)))
+        applied = self.standby.applied_seqs()
+        records_behind = {
+            topic: max(0, seq - applied.get(topic, 0))
+            for topic, seq in self._shipped_seqs.items()
+        }
+        return {"bytes_behind": bytes_behind, "records_behind": records_behind}
+
+
+class StandbyRuntime:
+    """A warm follower: replica WAL on disk, live parser state in memory.
+
+    ``root_dir`` gets the standby's replica WAL (``<root>/wal``, same
+    layout as the primary's) and model store (``<root>/store``, used once
+    promoted).  Frames arrive through a :class:`WalShipper`; reads
+    (``service.match(...)``, analytics) are live at any time — the whole
+    point of a *warm* standby is serving the moment the primary dies.
+
+    :meth:`promote` ends followership: the standby stops accepting
+    shipped frames and becomes a fully fledged
+    :class:`~repro.service.runtime.ShardedRuntime` over the replica WAL.
+    """
+
+    def __init__(
+        self,
+        root_dir: os.PathLike,
+        config: Optional[ByteBrainConfig] = None,
+        scheduler_policy=None,
+    ) -> None:
+        self.root = Path(root_dir)
+        self.wal_root = self.root / "wal"
+        self.wal_root.mkdir(parents=True, exist_ok=True)
+        self.config = config or ByteBrainConfig()
+        self.service = LogParsingService(
+            config=self.config,
+            scheduler_policy=scheduler_policy,
+            store_root=self.root / "store",
+        )
+        #: Per-topic highest applied seq (the standby's replay watermark).
+        self._applied: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._promoted = False
+        self.warnings: List[str] = []
+        #: Replica segment files currently open for appending.
+        self._mirror_files: Dict[Path, object] = {}
+        self._resume_from_replica()
+
+    def _resume_from_replica(self) -> None:
+        """Warm the follower from replica segments left by a previous run.
+
+        A standby process that restarts (or a ``promote`` run in a fresh
+        process) rebuilds its engines and applied watermarks by replaying
+        the mirrored WAL — the same dedup/seq-sort discipline as crash
+        recovery, because the mirror *is* a WAL.
+        """
+        if not any(self.replica_segments()):
+            return
+        replica = WriteAheadLog(
+            self.wal_root,
+            sync_mode=self.config.wal_sync_mode,
+            segment_bytes=self.config.wal_segment_bytes,
+        )
+        records_by_topic, _ = replica.replay_records()
+        for topic_name in sorted(records_by_topic):
+            self.apply_records(records_by_topic[topic_name])
+
+    def replica_segments(self) -> List[Path]:
+        """Every mirrored segment file under the replica WAL root."""
+        return [
+            path
+            for shard_dir in sorted(self.wal_root.glob("shard-*"))
+            if shard_dir.is_dir()
+            for path in _segment_paths(shard_dir)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # receiving (called by the shipper)
+    # ------------------------------------------------------------------ #
+    def _receive(self, shard_name: str, segment_name: str, frame_bytes: bytes,
+                 records: List[WalRecord]) -> None:
+        """Mirror one batch of frames to disk, then replay its records."""
+        with self._lock:
+            if self._promoted:
+                raise RuntimeError("standby was promoted; no longer accepting frames")
+            self._mirror(shard_name, segment_name, frame_bytes)
+            self.apply_records(records)
+
+    def _mirror(self, shard_name: str, segment_name: str, frame_bytes: bytes) -> None:
+        directory = self.wal_root / shard_name
+        path = directory / segment_name
+        handle = self._mirror_files.get(path)
+        if handle is None:
+            directory.mkdir(parents=True, exist_ok=True)
+            fresh = not path.exists() or path.stat().st_size == 0
+            handle = open(path, "ab", buffering=0)
+            if fresh:
+                handle.write(_MAGIC)
+            self._mirror_files[path] = handle
+        handle.write(frame_bytes)
+
+    def apply_records(self, records: List[WalRecord]) -> int:
+        """Replay shipped records into the follower engines.
+
+        Same discipline as recovery replay: per-topic seq order, records
+        at or below the applied watermark dropped (redelivery safe),
+        sequence gaps recorded as warnings (the primary truncated
+        segments faster than we shipped them — the gap records' template
+        knowledge is only in the primary's snapshots).  Returns the
+        number of records applied.  Caller holds no engine locks; the
+        standby is single-writer by construction (one shipper).
+        """
+        failpoints.hit("standby.apply")
+        by_topic: Dict[str, List[WalRecord]] = {}
+        for record in records:
+            by_topic.setdefault(record.topic, []).append(record)
+        applied_total = 0
+        for topic_name in sorted(by_topic):
+            batch = sorted(by_topic[topic_name], key=lambda r: r.seq)
+            watermark = self._applied.get(topic_name, 0)
+            fresh = [r for r in batch if r.seq > watermark]
+            if not fresh:
+                continue
+            try:
+                engine = self.service.topic(topic_name)
+            except KeyError:
+                engine = self.service.create_topic(topic_name)
+            expected = watermark + 1 if watermark else fresh[0].seq
+            for record in fresh:
+                if record.seq > expected:
+                    self.warnings.append(
+                        f"topic {topic_name!r}: shipped sequence gap — expected "
+                        f"seq {expected}, got {record.seq}"
+                    )
+                expected = record.seq + 1
+            for start in range(0, len(fresh), _APPLY_BATCH):
+                chunk = fresh[start : start + _APPLY_BATCH]
+                engine.ingest_batch_fast(
+                    [r.raw for r in chunk],
+                    now=chunk[-1].timestamp,
+                    timestamps=[r.timestamp for r in chunk],
+                )
+            self._applied[topic_name] = fresh[-1].seq
+            applied_total += len(fresh)
+        return applied_total
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def applied_seqs(self) -> Dict[str, int]:
+        """Per-topic highest seq replayed into the follower engines."""
+        return dict(self._applied)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "promoted": self._promoted,
+            "topics": sorted(self._applied),
+            "applied_seqs": self.applied_seqs(),
+            "applied_records": sum(self._applied.values()),
+            "n_warnings": len(self.warnings),
+        }
+
+    # ------------------------------------------------------------------ #
+    # failover
+    # ------------------------------------------------------------------ #
+    def promote(self, **runtime_kwargs):
+        """Fail over: seal the standby and return a live runtime.
+
+        Call :meth:`WalShipper.stop` and :meth:`WalShipper.catch_up`
+        first so the shipped watermark is as close to the primary's ack
+        watermark as the wreckage allows.  The returned
+        :class:`~repro.service.runtime.ShardedRuntime` appends to the
+        replica WAL with the per-topic sequence positions carried over
+        (``seq_base = 0`` — the standby applied every shipped record from
+        seq 1, so record id ``i`` holds seq ``i + 1``), making the
+        promotion indistinguishable from a recovery to every layer above.
+        Extra keyword arguments go to the runtime constructor.
+        """
+        with self._lock:
+            if self._promoted:
+                raise RuntimeError("standby already promoted")
+            self._promoted = True
+            for handle in self._mirror_files.values():
+                handle.close()
+            self._mirror_files.clear()
+        wal = WriteAheadLog(
+            self.wal_root,
+            sync_mode=self.config.wal_sync_mode,
+            segment_bytes=self.config.wal_segment_bytes,
+        )
+        wal_positions = {
+            topic: (0, applied + 1) for topic, applied in self._applied.items()
+        }
+        return self.service.sharded_runtime(
+            wal=wal, wal_positions=wal_positions, **runtime_kwargs
+        )
+
+    def close(self) -> None:
+        """Release mirror file handles (idempotent; promote also closes)."""
+        with self._lock:
+            for handle in self._mirror_files.values():
+                handle.close()
+            self._mirror_files.clear()

@@ -46,6 +46,23 @@ persisted low-water mark, and truncates segments every retained snapshot
 has captured (``wal_retain_versions`` keeps rollback targets replayable).
 After a crash, :func:`repro.service.recovery.RecoveredRuntime.open`
 rebuilds the service from the snapshots plus a WAL replay.
+
+Supervision: a shard worker that dies no longer poisons the runtime.
+Each shard is owned by a *supervisor* thread that runs worker
+incarnations in a loop: when an incarnation fails, the supervisor
+requeues the failed batch's unapplied suffix at the head of the queue,
+waits out a jittered exponential backoff
+(:class:`~repro.core.retry.RetryPolicy`, ``worker_restart_*`` config
+knobs), re-syncs the shard against the WAL (replaying acked records the
+dead incarnation never applied) and starts a fresh incarnation.  Queue
+items are sequence-stamped and filtered against the engine's applied
+watermark at delivery, so a record acked before the crash is applied
+*exactly once* no matter how the requeue and the WAL resync interleave.
+A shard whose worker keeps dying is **quarantined**: its queue is closed
+(producers get load shed as immediate errors instead of indefinite
+backpressure), the degraded state is surfaced via :meth:`stats` /
+:attr:`errors`, and ``drain()`` / ``shutdown()`` raise with the shard
+index and the original worker exception.
 """
 
 from __future__ import annotations
@@ -60,7 +77,9 @@ from concurrent.futures import wait as wait_futures
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core import failpoints
 from repro.core.parallel import shared_executor
+from repro.core.retry import RetryPolicy
 from repro.service.engine import TopicEngine
 from repro.service.wal import WriteAheadLog
 
@@ -68,6 +87,14 @@ __all__ = ["ShardStats", "ShardedRuntime"]
 
 #: Queue sentinel telling a shard worker to exit after the current batch.
 _STOP = object()
+
+#: A worker incarnation that ran failure-free this long earns its shard a
+#: fresh restart budget (transient faults hours apart must not pool into
+#: a quarantine).
+_HEALTHY_RESET_SECONDS = 30.0
+
+#: Chunk size for WAL resync replay after a worker restart.
+_RESYNC_BATCH = 1024
 
 #: Group-commit rate limit for ``wal_sync_mode="batch"``: a shard fsyncs
 #: at micro-batch boundaries, but at most once per this many seconds —
@@ -125,6 +152,17 @@ class _ShardQueue:
         self._items.append(item)
         self._not_empty.set()
 
+    def requeue(self, items: Sequence[object]) -> None:
+        """Put items back at the *head*, ahead of everything queued since.
+
+        Supervisor restart path: a failed batch's unapplied suffix must be
+        redelivered before later submissions of the same topics, or
+        per-topic order (and the seq ↔ record-id mapping) would break.
+        Ignores the capacity bound — these items were already accepted.
+        """
+        self._items.extendleft(reversed(items))
+        self._not_empty.set()
+
     def empty(self) -> bool:
         return not self._items
 
@@ -170,10 +208,39 @@ class _ShardQueue:
 
 @dataclass
 class _IngestItem:
-    __slots__ = ("topic", "raw", "timestamp")
+    __slots__ = ("topic", "raw", "timestamp", "seq")
     topic: str
     raw: str
     timestamp: float
+    #: WAL sequence number of this record (0 when running without a WAL).
+    #: Lets a restarted worker drop redelivered items the engine already
+    #: holds (``seq <= base + high_watermark``) — the exactly-once filter.
+    seq: int
+
+
+class _BatchFailure(Exception):
+    """Raised by ``_process_batch``: a batch stage failed.
+
+    ``pending`` is the precise not-yet-applied suffix of the batch (empty
+    when the failure struck after every record was applied, e.g. a
+    group-commit fsync) so the supervisor requeues exactly the records
+    that still need applying.
+    """
+
+    def __init__(self, cause: BaseException, pending: List["_IngestItem"]) -> None:
+        super().__init__(repr(cause))
+        self.cause = cause
+        self.pending = pending
+
+
+@dataclass
+class _ShardFailure:
+    """One worker-incarnation death, as seen by its supervisor."""
+
+    error: BaseException
+    traceback_text: str
+    pending: List[_IngestItem]
+    saw_stop: bool
 
 
 @dataclass
@@ -185,6 +252,8 @@ class ShardStats:
     batches: int = 0
     largest_batch: int = 0
     rounds_dispatched: int = 0
+    #: Worker incarnations restarted by the supervisor after a failure.
+    restarts: int = 0
     topics: List[str] = field(default_factory=list)
 
     @property
@@ -310,14 +379,27 @@ class ShardedRuntime:
         self._rounds_in_flight: Dict[str, Future] = {}
         self._errors: List[str] = []
         self._errors_lock = threading.Lock()
-        #: Shard index -> traceback of the exception that killed its
-        #: worker.  ``drain()`` raises these instead of spinning on a queue
-        #: nobody is draining.
-        self._worker_failures: Dict[int, str] = {}
+        #: Shard index -> the :class:`_ShardFailure` that exhausted its
+        #: restart budget and quarantined the shard.  ``drain()`` raises
+        #: these instead of spinning on a queue nobody is draining.
+        self._worker_failures: Dict[int, _ShardFailure] = {}
+        #: Per-shard supervisor state: ``running`` / ``restarting`` /
+        #: ``quarantined``.  Written only by the shard's supervisor thread.
+        self._shard_states: List[str] = ["running"] * self.n_shards
+        #: Restart policy shared by every shard supervisor (each runs its
+        #: own independently-seeded RetryState).
+        self._restart_policy = RetryPolicy(
+            max_attempts=config.worker_restart_max_attempts,
+            base_delay=config.worker_restart_backoff,
+            max_delay=config.worker_restart_backoff_max,
+            deadline=config.worker_restart_deadline_seconds,
+        )
+        #: Set at shutdown: interrupts supervisor backoff sleeps.
+        self._stop_event = threading.Event()
         self._closed = False
         self._workers = [
             threading.Thread(
-                target=self._worker_loop,
+                target=self._supervisor_loop,
                 args=(index,),
                 name=f"repro-shard-{index}",
                 daemon=True,
@@ -362,8 +444,8 @@ class ShardedRuntime:
             base, next_seq = self._wal_positions.get(topic_name, (0, 1))
             self._shard_wals[shard].append_batch(topic_name, next_seq, timestamp, raws)
             self._wal_positions[topic_name] = (base, next_seq + len(raws))
-            for raw in raws:
-                shard_queue.put(_IngestItem(topic_name, raw, timestamp))
+            for offset, raw in enumerate(raws):
+                shard_queue.put(_IngestItem(topic_name, raw, timestamp, next_seq + offset))
 
     def submit(self, topic_name: str, raw: str, timestamp: float) -> int:
         """Enqueue one record for async ingestion; returns the shard index.
@@ -381,7 +463,7 @@ class ShardedRuntime:
         if self.wal is not None:
             self._log_and_enqueue(shard, topic_name, (raw,), timestamp)
         else:
-            self._queues[shard].put(_IngestItem(topic_name, raw, timestamp))
+            self._queues[shard].put(_IngestItem(topic_name, raw, timestamp, 0))
         return shard
 
     def submit_many(self, topic_name: str, raws: Sequence[str], timestamp: float) -> int:
@@ -400,7 +482,7 @@ class ShardedRuntime:
         else:
             shard_queue = self._queues[shard]
             for raw in raws:
-                shard_queue.put(_IngestItem(topic_name, raw, timestamp))
+                shard_queue.put(_IngestItem(topic_name, raw, timestamp, 0))
         return len(raws)
 
     def drain(self) -> None:
@@ -413,11 +495,17 @@ class ShardedRuntime:
         that ends right after crossing a volume threshold would otherwise
         leave its round pending until the next burst.
 
-        Raises ``RuntimeError`` when a shard worker has died: its queue
-        would otherwise sit undrained forever while this call spins.
+        Raises ``RuntimeError`` when a shard is quarantined (its worker
+        exhausted the restart budget): the queue would otherwise sit
+        undrained forever while this call spins.  A shard merely
+        *restarting* is waited out — supervised recovery is invisible here
+        beyond latency.
         """
         while True:
             self._raise_on_dead_workers()
+            if any(state == "restarting" for state in self._shard_states):
+                time.sleep(0.001)
+                continue
             if not all(q.empty() and q.idle.is_set() for q in self._queues):
                 time.sleep(0.001)
                 continue
@@ -451,10 +539,12 @@ class ShardedRuntime:
             failures = dict(self._worker_failures)
         if failures:
             details = "; ".join(
-                f"shard {index}: {text.strip().splitlines()[-1]}"
-                for index, text in sorted(failures.items())
+                f"shard {index}: {info.error!r}" for index, info in sorted(failures.items())
             )
-            raise RuntimeError(f"shard worker died ({details}); see runtime.errors")
+            first = failures[min(failures)]
+            raise RuntimeError(
+                f"shard worker died ({details}); full tracebacks in runtime.errors"
+            ) from first.error
 
     def shutdown(self, drain: bool = True) -> None:
         """Stop accepting records, optionally drain, and stop the workers."""
@@ -467,6 +557,7 @@ class ShardedRuntime:
         finally:
             # A failed drain (dead worker) must still stop the healthy
             # workers and close the log before the error propagates.
+            self._stop_event.set()  # cut supervisor backoff sleeps short
             for shard_queue in self._queues:
                 shard_queue.closed = True
                 shard_queue.put_urgent(_STOP)
@@ -484,38 +575,174 @@ class ShardedRuntime:
     # ------------------------------------------------------------------ #
     # worker side
     # ------------------------------------------------------------------ #
-    def _worker_loop(self, shard_index: int) -> None:
+    def _supervisor_loop(self, shard_index: int) -> None:
+        """Own one shard: run worker incarnations, restart on failure.
+
+        Restart protocol, in order:
+
+        1. requeue the failed batch's unapplied suffix at the queue head
+           (preserves per-topic order ahead of later submissions),
+        2. back off under the restart policy (jittered exponential;
+           interruptible by shutdown),
+        3. re-sync against the WAL — replay acked records the engine never
+           applied (covers records lost in the dead incarnation's hands
+           *and* anything producers appended while the shard was down),
+        4. start the next incarnation.  The seq filter in
+           ``_process_batch`` makes step 1 and step 3 idempotent against
+           each other — redelivered items the resync already applied are
+           dropped at delivery.
+
+        When the policy refuses another restart the shard is quarantined:
+        failure recorded (``drain`` raises it), queue closed (producers
+        shed load as immediate errors).  Exiting on ``_STOP`` is the clean
+        shutdown path.
+        """
         shard_queue = self._queues[shard_index]
-        try:
-            while True:
-                batch = shard_queue.take(self.micro_batch_size, self.max_batch_delay)
-                saw_stop = False
-                if batch and batch[-1] is _STOP:
-                    saw_stop = True
-                    batch = batch[:-1]
-                elif _STOP in batch:  # sentinel raced ahead of late records
-                    position = batch.index(_STOP)
-                    batch = batch[:position] + batch[position + 1 :]
-                    saw_stop = True
-                if batch:
+        state = self._restart_policy.start(seed=shard_index)
+        needs_resync = False
+        while True:
+            started_at = time.monotonic()
+            failure: Optional[_ShardFailure] = None
+            try:
+                if needs_resync and self.wal is not None:
+                    self._resync_shard_from_wal(shard_index)
+                needs_resync = False
+                self._shard_states[shard_index] = "running"
+                failure = self._worker_incarnation(shard_index)
+            except Exception as error:  # the resync itself failed
+                failure = _ShardFailure(error, traceback.format_exc(), [], False)
+            if failure is None:
+                return  # clean _STOP exit
+            self._shard_states[shard_index] = "restarting"
+            if failure.pending:
+                shard_queue.requeue(failure.pending)
+            if failure.saw_stop:
+                # The dead incarnation consumed the shutdown sentinel; the
+                # next one still needs it to exit.
+                shard_queue.put_urgent(_STOP)
+            if time.monotonic() - started_at >= _HEALTHY_RESET_SECONDS:
+                state.reset()
+            delay = state.record_failure()
+            if delay is None:
+                self._quarantine(shard_index, failure, state.attempts)
+                return
+            self._shard_stats[shard_index].restarts += 1
+            self._record_error(
+                f"shard {shard_index} worker crashed ({failure.error!r}); "
+                f"restart {state.attempts}/{self._restart_policy.max_attempts} "
+                f"in {delay * 1000:.0f} ms"
+            )
+            if not self._closed:
+                self._stop_event.wait(delay)
+            needs_resync = True
+
+    def _worker_incarnation(self, shard_index: int) -> Optional[_ShardFailure]:
+        """Drain the shard queue until ``_STOP`` (returns ``None``) or a
+        failure (returns it, with the precise unapplied suffix)."""
+        shard_queue = self._queues[shard_index]
+        while True:
+            batch = shard_queue.take(self.micro_batch_size, self.max_batch_delay)
+            saw_stop = False
+            if batch and batch[-1] is _STOP:
+                saw_stop = True
+                batch = batch[:-1]
+            elif _STOP in batch:  # sentinel raced ahead of late records
+                position = batch.index(_STOP)
+                batch = batch[:position] + batch[position + 1 :]
+                saw_stop = True
+            if batch:
+                try:
                     self._process_batch(shard_index, batch)
-                shard_queue.idle.set()
-                if saw_stop:
-                    return
-        except Exception:
-            # A dead worker must not fail silently: producers blocked on
-            # this queue's backpressure would spin forever and drain()
-            # would never converge.  Record the failure (drain raises it),
-            # close the queue so blocked producers error out, and mark the
-            # shard idle so drain reaches its failure check.
-            failure = traceback.format_exc()
-            with self._errors_lock:
-                self._worker_failures[shard_index] = failure
-                self._errors.append(f"shard {shard_index} worker died: {failure}")
-            shard_queue.closed = True
+                except _BatchFailure as error:
+                    return _ShardFailure(
+                        error.cause, traceback.format_exc(), error.pending, saw_stop
+                    )
+                except Exception as error:
+                    # Failure outside the accounted stages (or an
+                    # instrumented override in tests): assume nothing in
+                    # the batch was applied.  The seq filter drops any
+                    # half-applied prefix on redelivery.
+                    return _ShardFailure(
+                        error, traceback.format_exc(), list(batch), saw_stop
+                    )
             shard_queue.idle.set()
+            if saw_stop:
+                return None
+
+    def _quarantine(self, shard_index: int, failure: _ShardFailure, attempts: int) -> None:
+        """Give up on a shard: record the failure, shed its load.
+
+        Order matters for ``drain()``: the failure must be visible before
+        the state flips to ``quarantined``, or a drainer could observe the
+        shard past ``restarting`` with nothing to raise yet.
+        """
+        with self._errors_lock:
+            self._worker_failures[shard_index] = failure
+            self._errors.append(
+                f"shard {shard_index} worker died after {attempts} restart(s), "
+                f"shard quarantined: {failure.traceback_text}"
+            )
+        self._shard_states[shard_index] = "quarantined"
+        # Load shed: producers hitting this shard fail fast instead of
+        # blocking on backpressure against a queue nobody will drain.
+        # (With a WAL their queued records stay durable and replayable.)
+        shard_queue = self._queues[shard_index]
+        shard_queue.closed = True
+        shard_queue.idle.set()
+
+    def _resync_shard_from_wal(self, shard_index: int) -> None:
+        """Replay acked-but-unapplied WAL records for this shard's topics.
+
+        Deliberately lock-free with respect to ``_wal_locks[shard]``: a
+        producer blocked on backpressure *holds* that lock, so taking it
+        here would deadlock (the queue only drains once the worker is
+        back).  Instead, read the log as-of-now and replay records past
+        each engine's applied watermark under the per-topic engine lock;
+        records appended concurrently are either caught by this read or
+        are sitting in the queue, where the delivery-time seq filter
+        resolves any overlap.
+        """
+        # Plain dict copy (C-level, atomic under the GIL) — producers may
+        # be inserting new topics concurrently.
+        positions = dict(self._wal_positions)
+        floors: Dict[str, int] = {}
+        for topic_name, (base, _next) in positions.items():
+            if self.shard_of(topic_name) != shard_index:
+                continue
+            try:
+                engine = self.service.topic(topic_name)
+            except KeyError:
+                continue
+            floors[topic_name] = base + engine.topic.high_watermark
+        if not floors:
+            return
+        pending = self._shard_wals[shard_index].pending_records(floors)
+        stats = self._shard_stats[shard_index]
+        for topic_name in sorted(pending):
+            records = pending[topic_name]
+            if not records:
+                continue
+            engine = self.service.topic(topic_name)
+            with self._engine_lock(topic_name):
+                for start in range(0, len(records), _RESYNC_BATCH):
+                    chunk = records[start : start + _RESYNC_BATCH]
+                    engine.ingest_batch_fast(
+                        [record.raw for record in chunk],
+                        now=chunk[-1].timestamp,
+                        timestamps=[record.timestamp for record in chunk],
+                    )
+            stats.ingested += len(records)
+            if topic_name not in stats.topics:
+                stats.topics.append(topic_name)
+            self._last_seen[topic_name] = (shard_index, records[-1].timestamp)
 
     def _process_batch(self, shard_index: int, batch: List[_IngestItem]) -> None:
+        """Apply one micro-batch; raises :class:`_BatchFailure` carrying
+        the not-yet-applied suffix when any stage fails."""
+        try:
+            failpoints.hit("worker.batch")
+        except Exception as error:
+            raise _BatchFailure(error, list(batch)) from error
         stats = self._shard_stats[shard_index]
         stats.batches += 1
         if len(batch) > stats.largest_batch:
@@ -525,31 +752,53 @@ class ShardedRuntime:
         groups: Dict[str, List[_IngestItem]] = {}
         for item in batch:
             groups.setdefault(item.topic, []).append(item)
-        for topic_name, items in groups.items():
+        group_list = list(groups.items())
+        for position, (topic_name, items) in enumerate(group_list):
             try:
                 engine = self.service.topic(topic_name)
             except KeyError:
+                # Not retryable — a restart cannot resurrect the topic.
                 self._record_error(f"topic {topic_name!r} dropped with records in flight")
                 continue
             if topic_name not in stats.topics:
                 stats.topics.append(topic_name)
-            now = items[-1].timestamp
             try:
                 with self._engine_lock(topic_name):
-                    engine.ingest_batch_fast(
-                        [item.raw for item in items],
-                        now=now,
-                        timestamps=[item.timestamp for item in items],
-                    )
-                stats.ingested += len(items)
-                self._last_seen[topic_name] = (shard_index, now)
+                    if self.wal is not None:
+                        # Exactly-once across restarts: drop items whose
+                        # seq the engine already holds (redelivered after
+                        # a WAL resync replayed them).
+                        base, _ = self._wal_positions.get(topic_name, (0, 1))
+                        applied_seq = base + engine.topic.high_watermark
+                        items = [item for item in items if item.seq > applied_seq]
+                    if items:
+                        engine.ingest_batch_fast(
+                            [item.raw for item in items],
+                            now=items[-1].timestamp,
+                            timestamps=[item.timestamp for item in items],
+                        )
+            except Exception as error:
+                later = [item for _, rest in group_list[position + 1 :] for item in rest]
+                raise _BatchFailure(error, list(items) + later) from error
+            if not items:
+                continue
+            now = items[-1].timestamp
+            stats.ingested += len(items)
+            self._last_seen[topic_name] = (shard_index, now)
+            try:
                 self._maybe_dispatch_round(shard_index, topic_name, engine, now)
-            except Exception as error:  # pragma: no cover - defensive
-                self._record_error(f"ingest batch for {topic_name!r}: {error!r}")
+            except Exception as error:
+                # The group itself is applied — only later groups pend.
+                later = [item for _, rest in group_list[position + 1 :] for item in rest]
+                raise _BatchFailure(error, later) from error
         if self.wal is not None and self.wal.sync_mode == "batch":
             # Group commit: fsync at micro-batch boundaries, rate-limited
             # so a hot shard is not fsync-bound (see _BATCH_SYNC_INTERVAL).
-            self._shard_wals[shard_index].sync(min_interval=_BATCH_SYNC_INTERVAL)
+            try:
+                self._shard_wals[shard_index].sync(min_interval=_BATCH_SYNC_INTERVAL)
+            except Exception as error:
+                # Every record is applied; nothing to redeliver.
+                raise _BatchFailure(error, []) from error
 
     # ------------------------------------------------------------------ #
     # off-path training
@@ -752,16 +1001,23 @@ class ShardedRuntime:
 
     def stats(self) -> Dict[str, object]:
         """Runtime-wide and per-shard operational counters."""
+        with self._errors_lock:
+            failures = {
+                index: repr(info.error) for index, info in self._worker_failures.items()
+            }
         shards = []
         for index, shard in enumerate(self._shard_stats):
             shards.append(
                 {
                     "shard": shard.shard,
+                    "state": self._shard_states[index],
                     "ingested": shard.ingested,
                     "batches": shard.batches,
                     "largest_batch": shard.largest_batch,
                     "mean_batch_size": round(shard.mean_batch_size, 2),
                     "rounds_dispatched": shard.rounds_dispatched,
+                    "restarts": shard.restarts,
+                    "last_failure": failures.get(index),
                     "queue_depth": self._queues[index].qsize(),
                     "topics": list(shard.topics),
                 }
@@ -773,6 +1029,18 @@ class ShardedRuntime:
             "ingested": sum(s.ingested for s in self._shard_stats),
             "batches": sum(s.batches for s in self._shard_stats),
             "rounds_dispatched": sum(s.rounds_dispatched for s in self._shard_stats),
+            "restarts": sum(s.restarts for s in self._shard_stats),
+            "degraded_shards": [
+                index
+                for index, state in enumerate(self._shard_states)
+                if state == "quarantined"
+            ],
+            "supervisor": {
+                "max_attempts": self._restart_policy.max_attempts,
+                "backoff": self._restart_policy.base_delay,
+                "backoff_max": self._restart_policy.max_delay,
+                "deadline": self._restart_policy.deadline,
+            },
             "n_errors": len(self.errors),
             "wal": (
                 {

@@ -57,6 +57,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core import failpoints
+from repro.core.failpoints import FailpointError
+
 __all__ = [
     "WalRecord",
     "WalCorruptionError",
@@ -287,6 +290,11 @@ class ShardWal:
         self._file = None
         self._size = 0
         self._last_sync = 0.0
+        #: Set when a failed append left a tail this process could not
+        #: truncate away — the next append rotates to a fresh segment so
+        #: the torn bytes end a *closed* segment (readers drop a torn
+        #: tail; torn bytes mid-file would read as corruption).
+        self._force_rotate = False
         #: Per *closed* segment: per-topic max seq (feeds truncation).
         self._closed_stats: Dict[Path, Dict[str, int]] = {}
         self._active_stats: Dict[str, int] = {}
@@ -326,11 +334,13 @@ class ShardWal:
         self._size = len(_MAGIC)
         self._active_path = path
         self._active_stats = {}
+        self._force_rotate = False
 
     def _rotate(self) -> None:
         assert self._file is not None and self._active_path is not None
+        failpoints.hit("wal.rotate")
         if self.sync_mode != "off":
-            os.fsync(self._file.fileno())
+            self._fsync()
         self._file.close()
         self._closed_stats[self._active_path] = self._active_stats
         self._start_segment(_segment_index(self._active_path) + 1)
@@ -341,13 +351,13 @@ class ShardWal:
             return
         frame = _encode_frame(records)
         with self._lock:
-            self._write_frame(frame)
+            start = self._write_frame(frame)
+            if self.sync_mode == "always":
+                self._fsync_or_discard(start)
             for record in records:
                 previous = self._active_stats.get(record.topic, 0)
                 if record.seq > previous:
                     self._active_stats[record.topic] = record.seq
-            if self.sync_mode == "always":
-                os.fsync(self._file.fileno())
 
     def append_batch(self, topic: str, first_seq: int, timestamp: float,
                      raws: Sequence[str]) -> None:
@@ -362,20 +372,76 @@ class ShardWal:
         frame = _encode_topic_frame(topic, first_seq, timestamp, raws)
         last_seq = first_seq + len(raws) - 1
         with self._lock:
-            self._write_frame(frame)
+            start = self._write_frame(frame)
+            if self.sync_mode == "always":
+                self._fsync_or_discard(start)
             if last_seq > self._active_stats.get(topic, 0):
                 self._active_stats[topic] = last_seq
-            if self.sync_mode == "always":
-                os.fsync(self._file.fileno())
 
-    def _write_frame(self, frame: bytes) -> None:
-        """Write one encoded frame (caller holds the lock)."""
+    def _write_frame(self, frame: bytes) -> int:
+        """Write one encoded frame (caller holds the lock).
+
+        Returns the frame's start offset.  A write that fails midway —
+        a real short write (disk full, I/O error) or an injected
+        ``wal.append`` torn-write failpoint — is *repaired*: the file is
+        truncated back to the frame boundary, so the failed append can
+        neither corrupt later appends nor leave a frame whose seq the
+        caller will re-mint for a different record (the raising submit
+        was never acknowledged; replay must not prefer its payload).
+        """
         if self._file is None:
             raise RuntimeError("write-ahead log is closed")
-        if self._size > len(_MAGIC) and self._size + len(frame) > self.segment_bytes:
+        if self._force_rotate or (
+            self._size > len(_MAGIC) and self._size + len(frame) > self.segment_bytes
+        ):
             self._rotate()
-        self._file.write(frame)
+        start = self._size
+        try:
+            torn = failpoints.hit("wal.append")
+            if torn is not None:
+                # Cooperating torn write: a strict prefix of the frame,
+                # then the injected failure — exactly what a crash or
+                # ENOSPC mid-write leaves behind.
+                prefix = frame[: max(1, min(torn.bytes_written, len(frame) - 1))]
+                self._file.write(prefix)
+                raise FailpointError(
+                    f"failpoint 'wal.append' tore the frame after {len(prefix)} bytes"
+                )
+            self._file.write(frame)
+        except BaseException:
+            self._discard_tail(start)
+            raise
         self._size += len(frame)
+        return start
+
+    def _discard_tail(self, size: int) -> None:
+        """Truncate the active segment back to ``size`` (a frame boundary).
+
+        Best-effort repair after a failed append or ack-path fsync.  If
+        even the truncate fails, the torn bytes stay — the next append
+        then rotates first, so they end a closed segment whose torn tail
+        readers drop, instead of corrupting the middle of a live one.
+        """
+        try:
+            self._file.truncate(size)
+            self._size = size
+        except OSError:
+            self._force_rotate = True
+
+    def _fsync(self) -> None:
+        failpoints.hit("wal.sync")
+        os.fsync(self._file.fileno())
+
+    def _fsync_or_discard(self, start: int) -> None:
+        """``always``-mode ack fsync: on failure, drop the just-written
+        frame before re-raising.  The submit is about to raise, so its
+        seq will be re-minted for the *next* record — a surviving frame
+        with the old payload would make replay keep the wrong record."""
+        try:
+            self._fsync()
+        except BaseException:
+            self._discard_tail(start)
+            raise
 
     def sync(self, min_interval: float = 0.0) -> None:
         """fsync the active segment (micro-batch / drain barrier).
@@ -392,7 +458,7 @@ class ShardWal:
             now = time.monotonic()
             if min_interval > 0.0 and now - self._last_sync < min_interval:
                 return
-            os.fsync(self._file.fileno())
+            self._fsync()
             self._last_sync = now
 
     def close(self) -> None:
@@ -409,6 +475,42 @@ class ShardWal:
     def segments(self) -> List[Path]:
         """All segment files of this shard, oldest first."""
         return _segment_paths(self.directory)
+
+    def pending_records(self, floors: Dict[str, int]) -> Dict[str, List[WalRecord]]:
+        """Logged-but-unapplied records, for supervisor restart resync.
+
+        ``floors`` maps topic -> last *applied* seq; every logged record
+        with a higher seq is returned, per topic, seq-sorted and deduped
+        (topics absent from ``floors`` are skipped — the caller only
+        resyncs topics it owns).  Safe to call while producers append
+        concurrently: frames are written whole under the append lock, so
+        a read can at worst see a torn-looking final frame, which is
+        skipped here — its record still sits in the ingest queue, and
+        the applied-seq filter makes replay-then-queue-delivery land it
+        exactly once.
+        """
+        pending: Dict[str, List[WalRecord]] = {}
+        for path in self.segments():
+            try:
+                frames, _ = read_segment(path)
+            except OSError:
+                continue  # truncated away between listing and reading
+            for frame in frames:
+                for record in frame:
+                    floor = floors.get(record.topic)
+                    if floor is None or record.seq <= floor:
+                        continue
+                    pending.setdefault(record.topic, []).append(record)
+        for topic, records in pending.items():
+            records.sort(key=lambda r: r.seq)
+            deduped: List[WalRecord] = []
+            last_seq = -1
+            for record in records:
+                if record.seq != last_seq:
+                    deduped.append(record)
+                    last_seq = record.seq
+            pending[topic] = deduped
+        return pending
 
     def truncate(self, floors: Dict[str, int]) -> List[Path]:
         """Delete closed segments whose every record is below its topic floor.
@@ -539,20 +641,44 @@ class WriteAheadLog:
         return self._captured_cache
 
     def set_captured(self, topic: str, seq: int) -> None:
-        """Persist the low-water mark for one topic (atomic replace).
+        """Persist the low-water mark for one topic (crash-atomic).
 
         Moves both forward (training commit) and *backward* (rollback: the
         rolled-back-to version has captured less, so more log must be
         retained and replayed).
+
+        Write protocol: temp file, fsync, ``os.replace``, then a
+        best-effort directory fsync.  A crash at any point leaves either
+        the old complete file or the new complete file — a torn
+        ``watermark.json`` would otherwise block every future recovery
+        with a JSON parse error.  The in-memory cache is updated only
+        after the replace, so a failed write never makes this process
+        believe a mark it did not persist.
         """
         with self._watermark_lock:
-            captured = self._captured_locked()
+            captured = dict(self._captured_locked())
             captured[topic] = seq
-            tmp = self._watermark_path().with_name(_WATERMARK_FILE + ".tmp")
-            tmp.write_text(
-                json.dumps({"captured": captured}, indent=2) + "\n", encoding="utf-8"
-            )
-            os.replace(tmp, self._watermark_path())
+            payload = (json.dumps({"captured": captured}, indent=2) + "\n").encode("utf-8")
+            target = self._watermark_path()
+            tmp = target.with_name(_WATERMARK_FILE + ".tmp")
+            fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+            try:
+                os.write(fd, payload)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            os.replace(tmp, target)
+            self._captured_cache = captured
+            try:
+                dir_fd = os.open(self.root, os.O_RDONLY)
+            except OSError:
+                return  # directory fds unsupported (non-POSIX): replace is enough
+            try:
+                os.fsync(dir_fd)
+            except OSError:
+                pass
+            finally:
+                os.close(dir_fd)
 
     # ------------------------------------------------------------------ #
     # maintenance / reading

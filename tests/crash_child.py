@@ -12,7 +12,15 @@ vulnerable:
   was never advanced and no truncation ran.
 * ``mid_rotation`` — right after the WAL opened a fresh segment file:
   the old segment is closed, the new one holds only its magic header.
+* ``after_acks``   — SIGKILL after ``--kill-after`` acknowledged submits
+  (the kill-the-primary scenario: a concurrent shipper has been tailing
+  the WAL; the parent promotes the standby and checks every acked record
+  survived exactly once).
 * ``none``         — control: run to completion and exit 0.
+
+Failpoints: specs in the ``REPRO_FAILPOINTS`` environment variable are
+armed before the workload starts (``repro.core.failpoints``), so the
+parent can combine a SIGKILL with injected WAL IO faults.
 
 After every acknowledged ``submit`` the child appends ``"topic\\ti\\n"``
 to the ack file with an O_APPEND ``os.write`` — a SIGKILL cannot lose
@@ -36,8 +44,8 @@ def _die() -> None:
 
 
 def install_kill_point(point: str) -> None:
-    if point == "none":
-        return
+    if point in ("none", "after_acks"):
+        return  # after_acks kills from the submit loop, not a patch point
     if point == "mid_round":
         from repro.service.engine import TopicEngine
 
@@ -76,7 +84,9 @@ def main() -> int:
     parser.add_argument("--wal-dir", required=True)
     parser.add_argument("--ack-file", required=True)
     parser.add_argument("--kill-at", required=True,
-                        choices=["mid_round", "mid_swap", "mid_rotation", "none"])
+                        choices=["mid_round", "mid_swap", "mid_rotation", "after_acks", "none"])
+    parser.add_argument("--kill-after", type=int, default=200,
+                        help="acked submits before the after_acks SIGKILL")
     parser.add_argument("--records", type=int, default=400)
     parser.add_argument("--volume-threshold", type=int, default=10**9)
     parser.add_argument("--initial-threshold", type=int, default=150)
@@ -84,6 +94,10 @@ def main() -> int:
     args = parser.parse_args()
 
     install_kill_point(args.kill_at)
+
+    from repro.core import failpoints
+
+    failpoints.install_from_env()
 
     from repro.core.config import ByteBrainConfig
     from repro.service.runtime import ShardedRuntime
@@ -106,6 +120,7 @@ def main() -> int:
     runtime = ShardedRuntime(
         service, n_shards=2, micro_batch_size=32, max_batch_delay=0.002, wal_dir=args.wal_dir
     )
+    acked = 0
     for i in range(args.records):
         for topic in topics:
             runtime.submit(
@@ -114,6 +129,11 @@ def main() -> int:
                 timestamp=float(i),
             )
             os.write(ack_fd, f"{topic}\t{i}\n".encode("utf-8"))
+            acked += 1
+            if args.kill_at == "after_acks" and acked >= args.kill_after:
+                # Give the page cache its dues (O_APPEND writes are
+                # already there) and die without warning.
+                _die()
     runtime.drain()
     runtime.shutdown()
     return 0

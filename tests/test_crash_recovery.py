@@ -22,6 +22,8 @@ import pytest
 from repro.core.config import ByteBrainConfig
 from repro.service.recovery import RecoveredRuntime
 
+pytestmark = pytest.mark.slow
+
 TOPICS = ("checkout", "payments")
 CHILD = Path(__file__).resolve().parent / "crash_child.py"
 REPO_SRC = Path(__file__).resolve().parents[1] / "src"
@@ -151,6 +153,27 @@ def test_clean_shutdown_control_case(tmp_path):
         # rest replays; nothing is torn.
         assert entry.captured_seq + entry.replayed_records == 250
     assert recovered.report.torn_segments == 0
+
+
+def test_disk_error_mid_append_keeps_acked_records(tmp_path, monkeypatch):
+    """Crash-matrix extension: a WAL disk error mid-append (injected via
+    the failpoint harness, armed in the child through the environment)
+    fails the in-flight submit; the child dies on the unhandled error and
+    recovery restores exactly the acknowledged prefix."""
+    monkeypatch.setenv("REPRO_FAILPOINTS", "wal.append:raise:nth=137")
+    store, wal_dir, ack_file, result = run_child(tmp_path, "none", records=400)
+    assert result.returncode == 1, (result.returncode, result.stderr[-500:])
+    assert "FailpointError" in result.stderr
+    acks = read_acks(ack_file)
+    assert any(acks.values()), "child died before acknowledging anything"
+    assert sum(len(v) for v in acks.values()) < 800  # it did die mid-run
+
+    recovered = RecoveredRuntime.open(
+        store, wal_dir, config=ByteBrainConfig(), start_runtime=False
+    )
+    assert recovered.report.warnings == []
+    assert_exactly_once(recovered.service, recovered.report, acks)
+    assert_template_ids_consistent(recovered.service)
 
 
 def test_recovered_runtime_resumes_and_rounds_keep_training(tmp_path):

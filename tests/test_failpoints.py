@@ -1,0 +1,124 @@
+"""Unit tests for the fault-injection harness (core/failpoints.py)."""
+
+import pytest
+
+from repro.core import failpoints
+from repro.core.failpoints import FailpointError, Injection
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    failpoints.clear_all()
+    yield
+    failpoints.clear_all()
+
+
+class TestTriggerPolicies:
+    def test_disarmed_hit_is_a_noop(self):
+        assert failpoints.hit("anything") is None
+
+    def test_default_fires_from_first_call(self):
+        failpoints.configure("p", "raise")
+        with pytest.raises(FailpointError):
+            failpoints.hit("p")
+
+    def test_nth_call_fires_from_the_nth(self):
+        failpoints.configure("p", "raise", nth=3)
+        assert failpoints.hit("p") is None
+        assert failpoints.hit("p") is None
+        with pytest.raises(FailpointError):
+            failpoints.hit("p")
+        with pytest.raises(FailpointError):  # and keeps firing
+            failpoints.hit("p")
+
+    def test_times_bounds_firings(self):
+        failpoints.configure("p", "raise", nth=1, times=2)
+        for _ in range(2):
+            with pytest.raises(FailpointError):
+                failpoints.hit("p")
+        assert failpoints.hit("p") is None
+
+    def test_probability_is_seeded_and_replayable(self):
+        def run():
+            failpoints.configure("p", "raise", probability=0.5, seed=42)
+            fired = []
+            for _ in range(50):
+                try:
+                    failpoints.hit("p")
+                    fired.append(False)
+                except FailpointError:
+                    fired.append(True)
+            return fired
+
+        first, second = run(), run()
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_delay_action_returns_none(self):
+        failpoints.configure("p", "delay", seconds=0.0)
+        assert failpoints.hit("p") is None
+
+    def test_torn_action_returns_injection(self):
+        failpoints.configure("p", "torn", bytes_written=5)
+        injection = failpoints.hit("p")
+        assert isinstance(injection, Injection)
+        assert injection.bytes_written == 5
+
+    def test_state_reports_counters(self):
+        failpoints.configure("p", "raise", nth=2)
+        failpoints.hit("p")
+        with pytest.raises(FailpointError):
+            failpoints.hit("p")
+        snapshot = failpoints.state()["p"]
+        assert snapshot["calls"] == 2
+        assert snapshot["fired"] == 1
+
+    def test_clear_disarms_one(self):
+        failpoints.configure("p", "raise")
+        failpoints.configure("q", "raise")
+        failpoints.clear("p")
+        assert failpoints.hit("p") is None
+        with pytest.raises(FailpointError):
+            failpoints.hit("q")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            failpoints.configure("p", "explode")
+        with pytest.raises(ValueError):
+            failpoints.configure("p", "raise", nth=0)
+        with pytest.raises(ValueError):
+            failpoints.configure("p", "raise", probability=1.5)
+        with pytest.raises(ValueError):
+            failpoints.configure("p", "raise", times=0)
+
+
+class TestSpecs:
+    def test_spec_round_trip(self):
+        point = failpoints.configure_from_spec("wal.append:torn:nth=3,bytes=9")
+        assert point.name == "wal.append"
+        assert point.action == "torn"
+        assert point.nth == 3
+        assert point.bytes_written == 9
+
+    def test_spec_probability_options(self):
+        point = failpoints.configure_from_spec("wal.sync:raise:prob=0.2,seed=7,times=2")
+        assert point.probability == 0.2
+        assert point.seed == 7
+        assert point.times == 2
+
+    def test_bad_specs_raise(self):
+        for spec in ("nocolon", "p:raise:junk", "p:raise:what=1"):
+            with pytest.raises(ValueError):
+                failpoints.configure_from_spec(spec)
+
+    def test_install_from_env(self, monkeypatch):
+        monkeypatch.setenv(failpoints.ENV_VAR, "a:raise:nth=2; b:delay:seconds=0")
+        points = failpoints.install_from_env()
+        assert sorted(p.name for p in points) == ["a", "b"]
+        assert failpoints.hit("a") is None
+        with pytest.raises(FailpointError):
+            failpoints.hit("a")
+
+    def test_install_from_empty_env(self, monkeypatch):
+        monkeypatch.delenv(failpoints.ENV_VAR, raising=False)
+        assert failpoints.install_from_env() == []

@@ -1,0 +1,234 @@
+"""WAL shipping to a warm standby, failover, and the kill-the-primary drill.
+
+Failover suite (``slow`` marker): the CI ``reliability`` job runs it; the
+default unit step skips it.
+"""
+
+import time
+
+import pytest
+
+from repro.core import failpoints
+from repro.core.config import ByteBrainConfig
+from repro.service.replication import StandbyRuntime, WalShipper
+from repro.service.service import LogParsingService
+
+from test_crash_recovery import TOPICS, raw_line, read_acks, run_child
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    failpoints.clear_all()
+    yield
+    failpoints.clear_all()
+
+
+def make_primary(tmp_path, topics=("checkout", "payments"), **kwargs):
+    service = LogParsingService(
+        config=ByteBrainConfig(), store_root=tmp_path / "primary-store"
+    )
+    for topic in topics:
+        service.create_topic(topic)
+    kwargs.setdefault("n_shards", 2)
+    kwargs.setdefault("micro_batch_size", 16)
+    kwargs.setdefault("max_batch_delay", 0.002)
+    kwargs.setdefault("wal_dir", tmp_path / "primary-wal")
+    return service, service.sharded_runtime(**kwargs)
+
+
+def submit_burst(runtime, topics, start, count):
+    for i in range(start, start + count):
+        for topic in topics:
+            runtime.submit(topic, raw_line(topic, i), timestamp=float(i))
+
+
+def topic_counts(service, topic):
+    counts = {}
+    for record in service.topic(topic).topic.records():
+        counts[record.raw] = counts.get(record.raw, 0) + 1
+    return counts
+
+
+class TestShipping:
+    def test_catch_up_mirrors_and_applies_everything(self, tmp_path):
+        service, runtime = make_primary(tmp_path)
+        with runtime:
+            submit_burst(runtime, TOPICS, 0, 250)
+            runtime.drain()
+        standby = StandbyRuntime(tmp_path / "standby")
+        shipper = WalShipper(tmp_path / "primary-wal", standby)
+        shipped = shipper.catch_up()
+        assert shipped > 0
+        assert standby.applied_seqs() == {topic: 250 for topic in TOPICS}
+        # Content parity with the primary engines.
+        for topic in TOPICS:
+            assert topic_counts(standby.service, topic) == topic_counts(service, topic)
+        # Replica WAL is a byte-for-byte mirror of the primary's segments.
+        for replica in standby.replica_segments():
+            primary = tmp_path / "primary-wal" / replica.parent.name / replica.name
+            assert replica.read_bytes() == primary.read_bytes()
+        lag = shipper.lag()
+        assert lag["bytes_behind"] == 0
+        assert all(v == 0 for v in lag["records_behind"].values())
+        assert standby.warnings == []
+        standby.close()
+
+    def test_background_tailing_converges(self, tmp_path):
+        service, runtime = make_primary(tmp_path)
+        standby = StandbyRuntime(tmp_path / "standby")
+        shipper = WalShipper(tmp_path / "primary-wal", standby, poll_interval=0.01)
+        shipper.start()
+        try:
+            with runtime:
+                for burst in range(5):
+                    submit_burst(runtime, TOPICS, burst * 40, 40)
+                runtime.drain()
+            deadline = time.monotonic() + 30.0
+            want = {topic: 200 for topic in TOPICS}
+            while standby.applied_seqs() != want:
+                assert time.monotonic() < deadline, (
+                    f"standby never caught up: {standby.applied_seqs()}"
+                )
+                time.sleep(0.01)
+        finally:
+            shipper.stop()
+            standby.close()
+        assert shipper.stats.records_shipped >= 400
+        # The standby serves reads while following.
+        assert standby.service.topic("checkout").topic.high_watermark == 200
+
+    def test_restarted_shipper_resumes_from_replica(self, tmp_path):
+        service, runtime = make_primary(tmp_path)
+        with runtime:
+            submit_burst(runtime, TOPICS, 0, 100)
+            runtime.drain()
+        standby = StandbyRuntime(tmp_path / "standby")
+        WalShipper(tmp_path / "primary-wal", standby).catch_up()
+        first_bytes = [p.stat().st_size for p in sorted(standby.replica_segments())]
+        standby.close()
+        # Fresh process: new standby resumes from the replica, new shipper
+        # seeds its cursors from the replica file sizes — nothing re-ships.
+        resumed = StandbyRuntime(tmp_path / "standby")
+        assert resumed.applied_seqs() == {topic: 100 for topic in TOPICS}
+        shipper = WalShipper(tmp_path / "primary-wal", resumed)
+        assert shipper.catch_up() == 0
+        assert [p.stat().st_size for p in sorted(resumed.replica_segments())] == first_bytes
+        resumed.close()
+
+    def test_standby_apply_failure_is_surfaced_not_silent(self, tmp_path):
+        service, runtime = make_primary(tmp_path)
+        with runtime:
+            submit_burst(runtime, TOPICS, 0, 50)
+            runtime.drain()
+        standby = StandbyRuntime(tmp_path / "standby")
+        shipper = WalShipper(tmp_path / "primary-wal", standby, poll_interval=0.01)
+        failpoints.configure("standby.apply", "raise", nth=1, times=1)
+        shipper.start()
+        try:
+            deadline = time.monotonic() + 30.0
+            while standby.applied_seqs() != {topic: 50 for topic in TOPICS}:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+        finally:
+            shipper.stop()
+            standby.close()
+        assert any("ship round failed" in w for w in shipper.stats.warnings)
+
+
+class TestFailover:
+    def test_promote_continues_primary_sequences(self, tmp_path):
+        service, runtime = make_primary(tmp_path)
+        with runtime:
+            submit_burst(runtime, TOPICS, 0, 150)
+            runtime.drain()
+        standby = StandbyRuntime(tmp_path / "standby")
+        shipper = WalShipper(tmp_path / "primary-wal", standby)
+        shipper.stop()
+        shipper.catch_up()
+        promoted = standby.promote(n_shards=2, micro_batch_size=16, max_batch_delay=0.002)
+        with promoted:
+            # The standby is sealed the moment promote() returns.
+            with pytest.raises(RuntimeError, match="promoted"):
+                standby._receive("shard-000", "wal-000001.log", b"", [])
+            submit_burst(promoted, TOPICS, 150, 50)
+            promoted.drain()
+            for topic in TOPICS:
+                counts = topic_counts(standby.service, topic)
+                assert len(counts) == 200
+                assert all(n == 1 for n in counts.values())
+        # The promoted node's WAL recovers through the ordinary path:
+        # every record is either captured by a snapshot (seq <= the
+        # snapshot's watermark, its template knowledge in the model) or
+        # replayed into storage exactly once — across the *whole* history,
+        # shipped and post-promotion records alike.
+        from repro.service.recovery import RecoveredRuntime
+
+        recovered = RecoveredRuntime.open(
+            tmp_path / "standby" / "store", tmp_path / "standby" / "wal"
+        )
+        for topic in TOPICS:
+            info = next(t for t in recovered.report.topics if t.topic == topic)
+            counts = topic_counts(recovered.service, topic)
+            for i in range(200):
+                raw = raw_line(topic, i)
+                if i + 1 <= info.captured_seq:  # seq of record i is i + 1
+                    assert raw not in counts, f"captured record {i} also replayed"
+                else:
+                    assert counts.get(raw) == 1, f"record {i} lost in recovery"
+
+    def test_kill_primary_promote_follower_exactly_once(self, tmp_path):
+        """ISSUE acceptance: SIGKILL the primary mid-ingest, promote the
+        follower, and verify every record acked before the kill is present
+        exactly once on the promoted standby."""
+        store, wal_dir, ack_file, result = run_child(
+            tmp_path, "after_acks", records=400, kill_after=350
+        )
+        assert result.returncode == -9
+        acks = read_acks(ack_file)
+        assert sum(len(v) for v in acks.values()) >= 350
+        # The dead primary's disk is all that survives; ship it.
+        standby = StandbyRuntime(tmp_path / "standby")
+        shipper = WalShipper(wal_dir, standby)
+        shipper.catch_up()
+        promoted = standby.promote(n_shards=2)
+        with promoted:
+            promoted.drain()
+            for topic in TOPICS:
+                counts = topic_counts(standby.service, topic)
+                for i in sorted(acks.get(topic, ())):
+                    raw = raw_line(topic, i)
+                    assert counts.get(raw) == 1, (
+                        f"record acked before the kill lost or duplicated: {raw!r} "
+                        f"-> {counts.get(raw, 0)}"
+                    )
+                # Exactly-once also bounds the other direction: nothing
+                # beyond what the child could have submitted.
+                assert all(n == 1 for n in counts.values())
+
+    def test_kill_primary_with_live_tailing_shipper(self, tmp_path):
+        """Same drill with the shipper tailing *while* the primary dies —
+        the shipped watermark is whatever it is, but everything acked
+        survives because catch_up reads the dead primary's disk."""
+        standby = StandbyRuntime(tmp_path / "standby")
+        wal_dir = tmp_path / "wal"
+        wal_dir.mkdir()
+        shipper = WalShipper(wal_dir, standby, poll_interval=0.005)
+        shipper.start()
+        try:
+            store, wal_dir_out, ack_file, result = run_child(
+                tmp_path, "after_acks", records=400, kill_after=300
+            )
+        finally:
+            shipper.stop()
+        assert result.returncode == -9
+        shipper.catch_up()
+        acks = read_acks(ack_file)
+        promoted = standby.promote(n_shards=2)
+        with promoted:
+            promoted.drain()
+            for topic in TOPICS:
+                counts = topic_counts(standby.service, topic)
+                for i in sorted(acks.get(topic, ())):
+                    assert counts.get(raw_line(topic, i)) == 1

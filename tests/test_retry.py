@@ -1,0 +1,138 @@
+"""Unit tests for the retry policy (core/retry.py)."""
+
+import pytest
+
+from repro.core.retry import RetryExhaustedError, RetryPolicy, retry_call
+
+
+class TestRetryPolicy:
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(max_attempts=10, base_delay=0.1, max_delay=0.5, multiplier=2.0)
+        assert policy.delay_for(1) == pytest.approx(0.1)
+        assert policy.delay_for(2) == pytest.approx(0.2)
+        assert policy.delay_for(3) == pytest.approx(0.4)
+        assert policy.delay_for(4) == pytest.approx(0.5)  # capped
+        assert policy.delay_for(9) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=1.0, max_delay=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_for(0)
+
+    def test_zero_attempts_refuses_immediately(self):
+        state = RetryPolicy(max_attempts=0).start()
+        assert state.record_failure() is None
+        assert state.exhausted
+
+    def test_attempt_accounting(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0)
+        state = policy.start()
+        delays = []
+        while True:
+            delay = state.record_failure()
+            if delay is None:
+                break
+            delays.append(delay)
+        assert len(delays) == 3
+        assert delays == pytest.approx([0.01, 0.02, 0.04])
+        assert state.exhausted
+
+    def test_jitter_is_seeded_and_bounded(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, jitter=0.5)
+        first = [policy.start(seed=7).record_failure() for _ in range(3)]
+        # Same seed, same draw.
+        assert first[0] == first[1] == first[2]
+        delay = first[0]
+        assert 0.05 <= delay <= 0.15
+        # A different seed draws differently (overwhelmingly likely).
+        assert policy.start(seed=8).record_failure() != delay
+
+    def test_deadline_refuses_late_retries(self):
+        clock = {"now": 0.0}
+        policy = RetryPolicy(
+            max_attempts=100, base_delay=1.0, multiplier=1.0, jitter=0.0, deadline=2.5
+        )
+        state = policy.start(clock=lambda: clock["now"])
+        assert state.record_failure() == pytest.approx(1.0)
+        clock["now"] = 1.0
+        assert state.record_failure() == pytest.approx(1.0)
+        clock["now"] = 2.0
+        # 2.0 elapsed + 1.0 delay > 2.5 deadline: refused, attempt not spent.
+        attempts_before = state.attempts
+        assert state.record_failure() is None
+        assert state.attempts == attempts_before
+
+    def test_reset_restores_budget(self):
+        policy = RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0)
+        state = policy.start()
+        assert state.record_failure() == 0.0
+        assert state.record_failure() is None
+        state.reset()
+        assert state.record_failure() == 0.0
+
+
+class TestRetryCall:
+    def test_returns_first_success(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ValueError("transient")
+            return "ok"
+
+        slept = []
+        result = retry_call(
+            flaky,
+            RetryPolicy(max_attempts=5, base_delay=0.01, jitter=0.0),
+            sleep=slept.append,
+        )
+        assert result == "ok"
+        assert calls["n"] == 3
+        assert slept == pytest.approx([0.01, 0.02])
+
+    def test_exhaustion_chains_final_error(self):
+        def always():
+            raise ValueError("permanent")
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            retry_call(always, RetryPolicy(max_attempts=2, base_delay=0.0), sleep=lambda _: None)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def boom():
+            calls["n"] += 1
+            raise KeyError("not retryable")
+
+        with pytest.raises(KeyError):
+            retry_call(boom, retry_on=(ValueError,), sleep=lambda _: None)
+        assert calls["n"] == 1
+
+    def test_on_retry_callback_sees_attempts(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise ValueError("x")
+            return 1
+
+        retry_call(
+            flaky,
+            RetryPolicy(max_attempts=5, base_delay=0.0),
+            sleep=lambda _: None,
+            on_retry=lambda attempt, error, delay: seen.append((attempt, type(error))),
+        )
+        assert seen == [(1, ValueError), (2, ValueError)]

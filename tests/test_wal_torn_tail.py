@@ -1,0 +1,160 @@
+"""Torn-tail fuzz: truncate the last WAL segment at every byte offset.
+
+Satellite of the reliability PR: for a WAL whose final frame is cut at
+*every* possible byte offset, replay must either be clean (interior
+records all present, the torn final frame dropped and flagged) or raise
+:class:`WalCorruptionError` — it must never silently drop an interior
+record.  Corruption *before* the tail (a flipped byte with valid data
+after it) must raise, not truncate.
+"""
+
+import shutil
+
+import pytest
+
+from repro.core.config import ByteBrainConfig
+from repro.service.recovery import RecoveredRuntime
+from repro.service.service import LogParsingService
+from repro.service.wal import (
+    _FRAME_HEADER,
+    _MAGIC,
+    WalCorruptionError,
+    WriteAheadLog,
+)
+
+pytestmark = pytest.mark.slow
+
+TOPIC = "fuzz"
+N_RECORDS = 40  # below the initial training threshold: no snapshots, no truncation
+
+
+def raw_line(i: int) -> str:
+    return f"fuzz record {i} with payload {i % 11}"
+
+
+@pytest.fixture(scope="module")
+def pristine_wal(tmp_path_factory):
+    """One shard, one segment, every record in a clean frame sequence."""
+    root = tmp_path_factory.mktemp("pristine")
+    service = LogParsingService(config=ByteBrainConfig(), store_root=root / "store")
+    service.create_topic(TOPIC)
+    runtime = service.sharded_runtime(
+        n_shards=1, micro_batch_size=8, max_batch_delay=0.002, wal_dir=root / "wal"
+    )
+    with runtime:
+        for i in range(N_RECORDS):
+            runtime.submit(TOPIC, raw_line(i), timestamp=float(i))
+        runtime.drain()
+    segments = sorted((root / "wal" / "shard-00").glob("segment-*.wal"))
+    assert len(segments) == 1
+    return root, segments[0]
+
+
+def frame_offsets(data: bytes):
+    """Byte offset of every frame start, plus the end of the last frame."""
+    offsets = []
+    position = len(_MAGIC)
+    while position + _FRAME_HEADER.size <= len(data):
+        length, _ = _FRAME_HEADER.unpack_from(data, position)
+        offsets.append(position)
+        position += _FRAME_HEADER.size + length
+    assert position == len(data), "pristine segment must end on a frame boundary"
+    return offsets, position
+
+
+def replay_truncated(tmp_path, segment, cut: int):
+    clone = tmp_path / f"cut-{cut}"
+    target = clone / "shard-00" / segment.name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_bytes(segment.read_bytes()[:cut])
+    by_topic, infos = WriteAheadLog(clone).replay_records()
+    return by_topic.get(TOPIC, []), infos
+
+
+def test_truncation_at_every_offset_of_the_final_frame(pristine_wal, tmp_path):
+    root, segment = pristine_wal
+    data = segment.read_bytes()
+    offsets, end = frame_offsets(data)
+    last_start = offsets[-1]
+
+    # Which records live in the final frame?  Everything before it is
+    # "interior" and must survive every cut.
+    full_records, _ = WriteAheadLog(root / "wal").replay_records()
+    full_seqs = [r.seq for r in full_records[TOPIC]]
+    assert len(full_seqs) == N_RECORDS
+    interior, _ = replay_truncated(tmp_path, segment, last_start)
+    interior_seqs = [r.seq for r in interior]
+    assert interior_seqs == full_seqs[: len(interior_seqs)]
+    assert len(interior_seqs) < N_RECORDS
+
+    for cut in range(last_start, end):
+        records, infos = replay_truncated(tmp_path, segment, cut)
+        seqs = [r.seq for r in records]
+        # Never fewer (an interior record silently dropped) and never a
+        # resurrected partial frame.
+        assert seqs == interior_seqs, f"cut at byte {cut}: interior records lost"
+        if cut > last_start:
+            assert infos[0].torn_tail, f"cut at byte {cut}: torn tail not flagged"
+
+
+def test_truncation_inside_an_interior_frame_drops_only_the_tail(
+    pristine_wal, tmp_path
+):
+    """Cutting mid-segment (an interior frame's body) makes that frame the
+    new torn tail: every frame before it replays, nothing after it does —
+    still no *silent* interior gap, and the tail is flagged."""
+    root, segment = pristine_wal
+    data = segment.read_bytes()
+    offsets, _ = frame_offsets(data)
+    assert len(offsets) >= 3
+    victim = offsets[len(offsets) // 2]
+    keep, _ = replay_truncated(tmp_path, segment, victim)
+    keep_seqs = [r.seq for r in keep]
+    for cut in (victim + 1, victim + _FRAME_HEADER.size, victim + _FRAME_HEADER.size + 1):
+        records, infos = replay_truncated(tmp_path, segment, cut)
+        assert [r.seq for r in records] == keep_seqs
+        assert infos[0].torn_tail
+
+
+def test_corruption_before_valid_data_raises(pristine_wal, tmp_path):
+    """A flipped payload byte with intact frames *after* it is corruption,
+    not a torn tail — replay must raise, never skip the frame."""
+    root, segment = pristine_wal
+    data = bytearray(segment.read_bytes())
+    offsets, _ = frame_offsets(data)
+    victim = offsets[1] + _FRAME_HEADER.size  # first payload byte, frame 2
+    data[victim] ^= 0xFF
+    clone = tmp_path / "corrupt"
+    target = clone / "shard-00" / segment.name
+    target.parent.mkdir(parents=True)
+    target.write_bytes(bytes(data))
+    with pytest.raises(WalCorruptionError):
+        WriteAheadLog(clone).replay_records()
+
+
+def test_recovery_over_a_torn_tail_is_clean(pristine_wal, tmp_path):
+    """Full-stack sanity: RecoveredRuntime over a mid-frame truncation
+    restores every interior record exactly once and flags the torn tail."""
+    root, segment = pristine_wal
+    data = segment.read_bytes()
+    offsets, end = frame_offsets(data)
+    last_start = offsets[-1]
+    cut = last_start + (end - last_start) // 2
+    wal_clone = tmp_path / "wal"
+    target = wal_clone / "shard-00" / segment.name
+    target.parent.mkdir(parents=True)
+    target.write_bytes(data[:cut])
+    store_clone = tmp_path / "store"
+    if (root / "store").exists():
+        shutil.copytree(root / "store", store_clone)
+    else:  # no training round ran, so no snapshot was ever persisted
+        store_clone.mkdir()
+
+    interior, _ = replay_truncated(tmp_path, segment, last_start)
+    recovered = RecoveredRuntime.open(store_clone, wal_clone, config=ByteBrainConfig())
+    counts = {}
+    for record in recovered.service.topic(TOPIC).topic.records():
+        counts[record.raw] = counts.get(record.raw, 0) + 1
+    assert sorted(counts) == sorted({r.raw for r in interior})
+    assert all(n == 1 for n in counts.values())
+    assert recovered.report.torn_segments == 1
