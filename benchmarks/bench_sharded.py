@@ -36,6 +36,15 @@ slower than it, the highest shard count does not fall below the lowest
 is recorded in the summary), and the paced worst stall shrinks by
 >= 1.5x.  Run from the repo root::
 
+Both shard transports are on the axis: ``sharded_N`` drives the thread
+backend, ``process_N`` the worker-process backend
+(:mod:`repro.service.transport`), which escapes the GIL entirely — its
+gates are CPU-aware (see :func:`process_floor_ratio`): >= 2x the thread
+backend at the top shard count when >= 4 CPUs host the workers, a
+bounded IPC tax on a single CPU, and monotone 1 -> 2 -> 4 scaling
+within a per-step tolerance.  ``--smoke --check-floor
+BENCH_sharded.json`` is the CI gate form.  Run from the repo root::
+
     PYTHONPATH=src python benchmarks/bench_sharded.py [--records 8000]
 """
 
@@ -43,6 +52,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import sys
 from pathlib import Path
 from typing import Dict, Optional, Sequence
 
@@ -63,6 +74,47 @@ DEFAULT_MICRO_BATCH = 1_024
 #: logs/s single-process capacity so stalls measure rounds, not saturation.
 DEFAULT_PACED_RATE = 10_000.0
 
+#: Both shard transports are measured: ``sharded_N`` (threads, the
+#: differential baseline) and ``process_N`` (worker processes).
+DEFAULT_BACKENDS = ("thread", "process")
+#: Corpus size for ``--smoke`` (CI PR gate): small per-topic stream, one
+#: repetition, runs in well under a minute.
+SMOKE_RECORDS = 2_000
+SMOKE_TRAIN_RECORDS = 500
+SMOKE_VOLUME_THRESHOLD = 1_500
+
+
+def process_floor_ratio(n_cpus: int) -> float:
+    """CPU-aware floor for ``process_max / sharded_max`` throughput.
+
+    The process backend exists to escape the GIL, so its win scales with
+    the cores available to host workers.  With >= 4 CPUs the tentpole
+    target applies: the process backend must at least double the thread
+    backend on the matching-bound workload.  With 2-3 CPUs a real but
+    smaller win is required.  On a single CPU there is no parallelism to
+    buy — the gate bounds the IPC tax instead (the process backend must
+    keep >= 45% of thread throughput), and the artifact records
+    ``cpu_count`` so the ratio is read in context.
+    """
+    if n_cpus >= 4:
+        return 2.0
+    if n_cpus >= 2:
+        return 1.1
+    return 0.45
+
+
+def monotone_step_tolerance(n_cpus: int) -> float:
+    """Per-step tolerance for monotone 1 -> 2 -> 4 process scaling.
+
+    With enough cores each step must not lose more than 5%; with fewer
+    cores than shards the curve is flat within noise, so the tolerance
+    loosens to 10% per step.  Monotone scaling is a multi-core property
+    — on a single CPU every extra worker process is pure IPC and
+    context-switch overhead, the curve necessarily declines, and the
+    criterion is recorded but not enforced (see ``run``).
+    """
+    return 0.95 if n_cpus >= 4 else 0.90
+
 
 def run(
     n_topics: int = DEFAULT_TOPICS,
@@ -74,6 +126,8 @@ def run(
     paced_rate: float = DEFAULT_PACED_RATE,
     repetitions: int = 3,
     output: Optional[Path] = None,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    enforce: bool = True,
 ) -> Dict[str, object]:
     report = run_serve_bench(
         n_topics=n_topics,
@@ -84,16 +138,17 @@ def run(
         volume_threshold=volume_threshold,
         repetitions=repetitions,
         paced_rate=paced_rate,
+        backends=backends,
     )
     report["benchmark"] = "bench_sharded"
     modes = {mode["mode"]: mode for mode in report["modes"]}
     sync = modes["sync_per_record"]
     low = modes[f"sharded_{min(shard_counts)}"]
     high = modes[f"sharded_{max(shard_counts)}"]
-    best = max(
-        (mode for mode in report["modes"] if mode["mode"] != "sync_per_record"),
-        key=lambda mode: mode["throughput"],
-    )
+    thread_modes = [
+        mode for mode in report["modes"] if mode["mode"].startswith("sharded_")
+    ]
+    best = max(thread_modes, key=lambda mode: mode["throughput"])
     stalls = report["paced_latency"]["max_stall_ms"]
     stall_reduction = (
         stalls["sync_per_record"] / stalls[high["mode"]]
@@ -107,10 +162,12 @@ def run(
         "shard_scaling_low_to_high": round(high["throughput"] / low["throughput"], 3),
         "paced_producer_stall_reduction": round(stall_reduction, 1),
         "meets_best_sharded_beats_sync": best["throughput"] > sync["throughput"],
+        # Thread modes only: the process backend answers to its own
+        # CPU-aware floor below (on a single CPU it trades throughput
+        # for multicore headroom it cannot demonstrate there).
         "meets_no_sharded_mode_materially_slower": all(
             mode["throughput"] >= 0.95 * sync["throughput"]
-            for mode in report["modes"]
-            if mode["mode"] != "sync_per_record"
+            for mode in thread_modes
         ),
         # The scaling effect (purer per-topic micro-batches + GIL overlap
         # of off-path rounds) is a few percent on a GIL-bound process, so
@@ -119,45 +176,147 @@ def run(
         "meets_scaling_high_not_below_low": high["throughput"] >= 0.97 * low["throughput"],
         "meets_paced_stall_reduction_1_5x": stall_reduction >= 1.5,
     }
-    for criterion in (
+    criteria = [
         "meets_best_sharded_beats_sync",
         "meets_no_sharded_mode_materially_slower",
         "meets_scaling_high_not_below_low",
         "meets_paced_stall_reduction_1_5x",
-    ):
-        if not report["summary"][criterion]:
-            raise AssertionError(f"{criterion} failed: {report['summary']}")
+    ]
+    if "process" in backends:
+        n_cpus = os.cpu_count() or 1
+        ordered = sorted(shard_counts)
+        curve = {n: modes[f"process_{n}"]["throughput"] for n in ordered}
+        tolerance = monotone_step_tolerance(n_cpus)
+        process_high = curve[ordered[-1]]
+        floor = process_floor_ratio(n_cpus)
+        ratio = round(process_high / high["throughput"], 3)
+        report["summary"].update(
+            {
+                "cpu_count": n_cpus,
+                "process_vs_thread_at_max_shards": ratio,
+                "process_floor_ratio": floor,
+                "process_scaling_curve": {str(n): curve[n] for n in ordered},
+                "meets_process_floor_vs_thread": process_high >= floor * high["throughput"],
+                "meets_process_monotone_scaling": all(
+                    curve[b] >= tolerance * curve[a]
+                    for a, b in zip(ordered, ordered[1:])
+                ),
+            }
+        )
+        criteria.append("meets_process_floor_vs_thread")
+        if n_cpus >= 2:
+            # One core cannot demonstrate scaling: the curve declines by
+            # construction there, so only the floor gate is enforced and
+            # the curve is recorded for inspection.
+            criteria.append("meets_process_monotone_scaling")
+    # Smoke runs (--smoke) record the summary but skip the hard gates:
+    # the thread-mode advantages only amortise on the full workload, and
+    # the CI smoke gate is check_floor's process-vs-thread ratio.
+    if enforce:
+        for criterion in criteria:
+            if not report["summary"][criterion]:
+                raise AssertionError(f"{criterion} failed: {report['summary']}")
     if output is not None:
         output.write_text(json.dumps(report, indent=2) + "\n")
     return report
 
 
-def main() -> None:
+#: ``--check-floor``: the measured process-vs-thread ratio must keep this
+#: fraction of the checked-in reference run's ratio (CI runners are noisy
+#: and differently provisioned), and must always clear the CPU-aware
+#: absolute floor of :func:`process_floor_ratio`.
+FLOOR_FRACTION = 0.5
+
+
+def check_floor(report: Dict[str, object], reference_path: Path) -> int:
+    """Gate the process backend against the checked-in reference artifact.
+
+    Returns a process exit code: 0 when this run's
+    ``process_vs_thread_at_max_shards`` clears both the CPU-aware
+    absolute floor and ``FLOOR_FRACTION`` of the reference ratio.
+    """
+    summary = report["summary"]
+    if "process_vs_thread_at_max_shards" not in summary:
+        print("FAIL: run did not measure the process backend", file=sys.stderr)
+        return 1
+    reference = json.loads(reference_path.read_text())
+    reference_ratio = float(
+        reference["summary"].get("process_vs_thread_at_max_shards", 0.0)
+    )
+    measured = float(summary["process_vs_thread_at_max_shards"])
+    floor = max(process_floor_ratio(os.cpu_count() or 1), reference_ratio * FLOOR_FRACTION)
+    print(
+        f"floor check: measured process/thread {measured:.2f}x, reference "
+        f"{reference_ratio:.2f}x, floor {floor:.2f}x "
+        f"(= max(cpu floor, {FLOOR_FRACTION} * reference), cpus={os.cpu_count()})"
+    )
+    if measured < floor:
+        print(
+            f"FAIL: process backend at {measured:.2f}x of thread fell below "
+            f"the floor {floor:.2f}x — the process transport regressed",
+            file=sys.stderr,
+        )
+        return 1
+    print("floor check passed")
+    return 0
+
+
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--topics", type=int, default=DEFAULT_TOPICS)
-    parser.add_argument("--records", type=int, default=DEFAULT_RECORDS)
-    parser.add_argument("--train-records", type=int, default=DEFAULT_TRAIN_RECORDS)
+    parser.add_argument("--records", type=int, default=None)
+    parser.add_argument("--train-records", type=int, default=None)
     parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4])
-    parser.add_argument("--volume-threshold", type=int, default=DEFAULT_VOLUME_THRESHOLD)
+    parser.add_argument("--volume-threshold", type=int, default=None)
     parser.add_argument("--micro-batch-size", type=int, default=DEFAULT_MICRO_BATCH)
     parser.add_argument("--paced-rate", type=float, default=DEFAULT_PACED_RATE)
-    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument("--repetitions", type=int, default=None)
     parser.add_argument(
-        "--output",
-        type=Path,
-        default=Path(__file__).resolve().parent / "BENCH_sharded.json",
+        "--backends", nargs="+", choices=["thread", "process"],
+        default=list(DEFAULT_BACKENDS),
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"CI smoke mode: {SMOKE_RECORDS} records/topic, one repetition, "
+             "no artifact written unless --output is given explicitly",
+    )
+    parser.add_argument(
+        "--check-floor",
+        type=Path,
+        metavar="REFERENCE_JSON",
+        help="compare the process-vs-thread ratio against a checked-in "
+             "BENCH_sharded.json and exit 1 below the conservative floor",
+    )
+    parser.add_argument("--output", type=Path, default=None)
     args = parser.parse_args()
+    records = args.records if args.records is not None else (
+        SMOKE_RECORDS if args.smoke else DEFAULT_RECORDS
+    )
+    train_records = args.train_records if args.train_records is not None else (
+        SMOKE_TRAIN_RECORDS if args.smoke else DEFAULT_TRAIN_RECORDS
+    )
+    volume_threshold = args.volume_threshold if args.volume_threshold is not None else (
+        SMOKE_VOLUME_THRESHOLD if args.smoke else DEFAULT_VOLUME_THRESHOLD
+    )
+    repetitions = args.repetitions if args.repetitions is not None else (
+        1 if args.smoke else 3
+    )
+    output = args.output
+    if output is None and not args.smoke:
+        output = Path(__file__).resolve().parent / "BENCH_sharded.json"
     report = run(
         n_topics=args.topics,
-        records_per_topic=args.records,
-        train_records_per_topic=args.train_records,
+        records_per_topic=records,
+        train_records_per_topic=train_records,
         shard_counts=args.shards,
-        volume_threshold=args.volume_threshold,
+        volume_threshold=volume_threshold,
         micro_batch_size=args.micro_batch_size,
         paced_rate=args.paced_rate,
-        repetitions=args.repetitions,
-        output=args.output,
+        repetitions=repetitions,
+        output=output,
+        backends=args.backends,
+        enforce=not args.smoke,
     )
     for mode in report["modes"]:
         print(
@@ -168,8 +327,12 @@ def main() -> None:
     paced = report["paced_latency"]
     print(f"paced @ {paced['rate']:,.0f} rec/s, worst stall: {paced['max_stall_ms']}")
     print(f"summary: {report['summary']}")
-    print(f"written: {args.output}")
+    if output is not None:
+        print(f"written: {output}")
+    if args.check_floor is not None:
+        return check_floor(report, args.check_floor)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -421,6 +421,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         repetitions=args.repetitions,
         paced_rate=args.paced_rate,
         config=config,
+        backends=args.backends,
     )
     workload = report["workload"]
     print(
@@ -574,6 +575,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_bench.add_argument(
         "--shards", type=int, nargs="+", default=[1, 2, 4], help="shard counts to measure"
+    )
+    serve_bench.add_argument(
+        "--backends",
+        nargs="+",
+        choices=["thread", "process"],
+        default=["thread"],
+        help="shard transport backends to measure (process workers escape the GIL)",
     )
     serve_bench.add_argument(
         "--micro-batch-size", type=int, default=None, help="runtime micro-batch size"

@@ -133,6 +133,17 @@ class ByteBrainConfig:
     # ------------------------------------------------------------------ #
     # Sharded service runtime (service/runtime.py)
     # ------------------------------------------------------------------ #
+    #: Shard-worker transport: ``"thread"`` runs each shard worker as a
+    #: thread inside this interpreter (the fallback and differential
+    #: baseline — all workers share one GIL); ``"process"`` forks one
+    #: worker process per shard that owns its shard's WAL and topic
+    #: engines, with record batches crossing the boundary as framed
+    #: binary blocks (see :mod:`repro.service.transport`).  Selected by
+    #: :func:`repro.service.runtime.create_runtime`; the
+    #: ``REPRO_SHARD_BACKEND`` environment variable overrides this
+    #: default at the factory (direct ``ShardedRuntime(...)``
+    #: construction is always the thread backend).
+    shard_backend: str = "thread"
     #: Number of ingest shards; topics are hash-partitioned across them and
     #: each shard drains its own bounded queue on a dedicated worker.
     n_shards: int = 2
@@ -241,6 +252,10 @@ class ByteBrainConfig:
             raise ValueError("training_sample_size must be >= 1 or None")
         if self.match_block_bytes < 4096:
             raise ValueError("match_block_bytes must be >= 4096")
+        if self.shard_backend not in ("thread", "process"):
+            raise ValueError(
+                f"shard_backend must be 'thread' or 'process', got {self.shard_backend!r}"
+            )
         if self.n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         if self.micro_batch_size < 1:

@@ -54,6 +54,9 @@ __all__ = [
     "clear_all",
     "hit",
     "state",
+    "active_specs",
+    "absorb_child_state",
+    "reset_after_fork",
     "ENV_VAR",
 ]
 
@@ -171,6 +174,83 @@ def state() -> Dict[str, Dict[str, object]]:
             }
             for name, p in _registry.items()
         }
+
+
+def active_specs() -> List[str]:
+    """Spec strings re-arming the registry's *remaining* behaviour.
+
+    The propagation format for worker processes: the parent runtime
+    exports its armed failpoints with this and the child re-arms each
+    spec via :func:`configure_from_spec` (after :func:`reset_after_fork`)
+    — so ``REPRO_FAILPOINTS`` and programmatic ``configure`` calls bite
+    inside children exactly as they do inside thread workers.  A bounded
+    failpoint exports its *remaining* firing budget (``times`` minus
+    firings already accounted, including those
+    :func:`absorb_child_state` merged back from dead children); an
+    exhausted one is omitted, so a restarted child is not re-armed with a
+    fault that already spent itself — matching the thread backend, where
+    one registry spans worker incarnations.  Call counters (``nth``)
+    restart per child.
+    """
+    specs: List[str] = []
+    with _lock:
+        for point in _registry.values():
+            remaining = None
+            if point.times is not None:
+                remaining = point.times - point.fired
+                if remaining <= 0:
+                    continue
+            options = []
+            if point.nth is not None:
+                options.append(f"nth={point.nth}")
+            if point.probability is not None:
+                options.append(f"prob={point.probability}")
+                options.append(f"seed={point.seed}")
+            if remaining is not None:
+                options.append(f"times={remaining}")
+            if point.action == "delay":
+                options.append(f"seconds={point.seconds}")
+            if point.action == "torn":
+                options.append(f"bytes={point.bytes_written}")
+            spec = f"{point.name}:{point.action}"
+            if options:
+                spec += ":" + ",".join(options)
+            specs.append(spec)
+    return specs
+
+
+def absorb_child_state(child_state: Dict[str, Dict[str, object]]) -> None:
+    """Merge a dead worker process's failpoint counters into this registry.
+
+    The child armed fresh :class:`Failpoint` instances from
+    :func:`active_specs`, so its call/fire counts never reach the parent
+    on their own; its crash report carries :func:`state` and the parent
+    supervisor folds the counts back here.  Keeps bounded (``times``)
+    failpoints globally bounded across child restarts.
+    """
+    with _lock:
+        for name, counters in child_state.items():
+            point = _registry.get(name)
+            if point is None:
+                continue
+            point.calls += int(counters.get("calls", 0))
+            point.fired += int(counters.get("fired", 0))
+
+
+def reset_after_fork() -> None:
+    """Re-initialise this module in a freshly forked worker process.
+
+    The fork may have captured the registry lock mid-acquire (held by a
+    parent thread that does not exist in the child) and the inherited
+    :class:`Failpoint` objects carry the parent's live counters.  Child
+    bootstrap replaces the lock and clears the registry, then re-arms
+    from the specs the parent passed in (see
+    :mod:`repro.service.transport`).
+    """
+    global _lock, _armed
+    _lock = threading.Lock()
+    _registry.clear()
+    _armed = False
 
 
 def hit(name: str) -> Optional[Injection]:

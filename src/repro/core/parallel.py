@@ -28,6 +28,7 @@ __all__ = [
     "chunk_ranges",
     "shared_executor",
     "shutdown_shared_executor",
+    "reset_after_fork",
 ]
 
 T = TypeVar("T")
@@ -67,6 +68,24 @@ def shutdown_shared_executor(wait: bool = True) -> None:
         if _executor is not None:
             _executor.shutdown(wait=wait)
             _executor = None
+
+
+def reset_after_fork() -> None:
+    """Discard inherited executor state in a freshly forked child.
+
+    ``fork`` copies the parent's memory but none of its threads: an
+    inherited :class:`ThreadPoolExecutor` has live-looking bookkeeping
+    (queues, worker references) with no workers behind it, and its
+    internal locks may have been captured mid-acquire by a parent thread
+    that does not exist in the child — the first submit would hang
+    forever.  Process-backend shard workers
+    (:mod:`repro.service.transport`) call this first thing after the
+    fork; the next :func:`shared_executor` call then builds a pool of the
+    child's own threads.
+    """
+    global _executor, _executor_lock
+    _executor_lock = threading.Lock()
+    _executor = None
 
 
 def map_parallel(

@@ -36,7 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.config import ByteBrainConfig
 from repro.datasets.catalog import SYSTEM_SPECS
 from repro.datasets.synthetic import SyntheticLogGenerator
-from repro.service.runtime import ShardedRuntime
+from repro.service.runtime import ShardedRuntime, create_runtime
 from repro.service.scheduler import SchedulerPolicy
 from repro.service.service import LogParsingService
 
@@ -193,11 +193,15 @@ def run_mode(
     micro_batch_size: Optional[int] = None,
     max_batch_delay: Optional[float] = None,
     repetitions: int = 3,
+    backend: str = "thread",
 ) -> ModeResult:
     """Measure one ingest mode over fresh, identically pre-trained services.
 
-    ``mode`` is ``"sync_per_record"`` or ``"sharded"`` (with ``n_shards``).
-    Reports the median wall clock over ``repetitions`` runs.
+    ``mode`` is ``"sync_per_record"`` or ``"sharded"`` (with ``n_shards``
+    and a shard transport ``backend``: ``"thread"`` labels results
+    ``sharded_N`` for continuity, ``"process"`` labels them
+    ``process_N``).  Reports the median wall clock over ``repetitions``
+    runs.
     """
     seconds_seen: List[float] = []
     accept_seen: List[float] = []
@@ -214,8 +218,9 @@ def run_mode(
                 ingest(topic, raw, now=float(position))
             seconds_seen.append(time.perf_counter() - start)
         elif mode == "sharded":
-            runtime = ShardedRuntime(
+            runtime = create_runtime(
                 service,
+                backend=backend,
                 n_shards=n_shards,
                 micro_batch_size=micro_batch_size,
                 max_batch_delay=max_batch_delay,
@@ -239,7 +244,12 @@ def run_mode(
             raise RuntimeError(f"lost records: stored {stored}, expected {expected}")
         rounds = _total_rounds(service)
     seconds = statistics.median(seconds_seen)
-    label = mode if mode == "sync_per_record" else f"sharded_{n_shards}"
+    if mode == "sync_per_record":
+        label = mode
+    elif backend == "thread":
+        label = f"sharded_{n_shards}"
+    else:
+        label = f"{backend}_{n_shards}"
     return ModeResult(
         mode=label,
         n_records=workload.n_records,
@@ -333,9 +343,12 @@ def run_serve_bench(
     repetitions: int = 3,
     paced_rate: Optional[float] = None,
     config: Optional[ByteBrainConfig] = None,
+    backends: Sequence[str] = ("thread",),
 ) -> Dict[str, object]:
     """Run the full serve benchmark: sync façade vs runtime at each shard count.
 
+    ``backends`` selects the shard transports to measure (``"thread"``
+    modes report as ``sharded_N``, ``"process"`` as ``process_N``).
     ``paced_rate`` (records/s, requires ``volume_threshold > 0``) adds a
     paced latency phase comparing worst-case producer stalls at an offered
     load below capacity.
@@ -349,18 +362,20 @@ def run_serve_bench(
     results = [
         run_mode(workload, "sync_per_record", config=config, repetitions=repetitions)
     ]
-    for n_shards in shard_counts:
-        results.append(
-            run_mode(
-                workload,
-                "sharded",
-                config=config,
-                n_shards=n_shards,
-                micro_batch_size=micro_batch_size,
-                max_batch_delay=max_batch_delay,
-                repetitions=repetitions,
+    for backend in backends:
+        for n_shards in shard_counts:
+            results.append(
+                run_mode(
+                    workload,
+                    "sharded",
+                    config=config,
+                    n_shards=n_shards,
+                    micro_batch_size=micro_batch_size,
+                    max_batch_delay=max_batch_delay,
+                    repetitions=repetitions,
+                    backend=backend,
+                )
             )
-        )
     paced = None
     if paced_rate is not None:
         paced = {

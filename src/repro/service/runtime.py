@@ -67,6 +67,7 @@ index and the original worker exception.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import traceback
@@ -83,7 +84,13 @@ from repro.core.retry import RetryPolicy
 from repro.service.engine import TopicEngine
 from repro.service.wal import WriteAheadLog
 
-__all__ = ["ShardStats", "ShardedRuntime"]
+__all__ = ["ShardStats", "ShardTransport", "ShardedRuntime", "create_runtime"]
+
+#: Environment override for :func:`create_runtime`'s default backend.  Only
+#: the factory consults it — constructing :class:`ShardedRuntime` directly
+#: always yields the thread backend, so tests of thread-worker internals
+#: stay on it regardless of the environment.
+BACKEND_ENV_VAR = "REPRO_SHARD_BACKEND"
 
 #: Queue sentinel telling a shard worker to exit after the current batch.
 _STOP = object()
@@ -261,7 +268,65 @@ class ShardStats:
         return self.ingested / self.batches if self.batches else 0.0
 
 
-class ShardedRuntime:
+class ShardTransport:
+    """The shard-worker transport contract both runtime backends implement.
+
+    A *shard transport* moves accepted records from producers to the
+    worker that owns their topic's shard, and results (acks, stats,
+    training outcomes) back.  Two backends exist:
+
+    * ``"thread"`` — :class:`ShardedRuntime`: workers are threads in this
+      interpreter, records travel as queued Python objects.  The fallback
+      and the differential baseline.
+    * ``"process"`` — :class:`repro.service.transport.ProcessShardedRuntime`:
+      workers are forked processes that own their shard's WAL and topic
+      engines; record batches cross the boundary as framed binary blocks.
+
+    :func:`create_runtime` selects the backend from config /
+    ``REPRO_SHARD_BACKEND``.  Both backends expose the same surface —
+    ``submit`` / ``submit_many`` / ``drain`` / ``shutdown`` / ``stats`` /
+    ``errors`` / ``train_topic`` / ``rollback_model`` — with the same
+    durability and exactly-once semantics, which is what the differential
+    backend harness (``tests/test_differential_backends.py``) asserts.
+    """
+
+    #: Which backend this transport is (``"thread"`` / ``"process"``).
+    backend: str = "abstract"
+
+    def shard_of(self, topic_name: str) -> int:
+        """Stable hash partition of a topic onto a shard."""
+        return zlib.crc32(topic_name.encode("utf-8")) % self.n_shards
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+
+def create_runtime(service, backend: Optional[str] = None, **kwargs):
+    """Build a sharded runtime over ``service`` with the selected backend.
+
+    ``backend`` wins when given; otherwise the ``REPRO_SHARD_BACKEND``
+    environment variable, then the service config's ``shard_backend``
+    knob, then ``"thread"``.  Keyword arguments are the common runtime
+    knobs (``n_shards``, ``micro_batch_size``, ``max_batch_delay``,
+    ``queue_capacity``, ``wal`` / ``wal_dir`` / ``wal_positions``...).
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR, "").strip() or getattr(
+            service.config, "shard_backend", "thread"
+        )
+    if backend == "thread":
+        return ShardedRuntime(service, **kwargs)
+    if backend == "process":
+        from repro.service.transport import ProcessShardedRuntime
+
+        return ProcessShardedRuntime(service, **kwargs)
+    raise ValueError(f"unknown shard backend {backend!r}; known: 'thread', 'process'")
+
+
+class ShardedRuntime(ShardTransport):
     """Hash-partitioned async micro-batching front end over a service.
 
     Parameters default to the service config's ``n_shards`` /
@@ -286,6 +351,8 @@ class ShardedRuntime:
     :meth:`rollback_model`, not ``service.rollback_model``, so the WAL
     low-water mark rewinds with the store pointer.
     """
+
+    backend = "thread"
 
     def __init__(
         self,
@@ -412,10 +479,6 @@ class ShardedRuntime:
     # ------------------------------------------------------------------ #
     # producer side
     # ------------------------------------------------------------------ #
-    def shard_of(self, topic_name: str) -> int:
-        """Stable hash partition of a topic onto a shard."""
-        return zlib.crc32(topic_name.encode("utf-8")) % self.n_shards
-
     def _log_and_enqueue(self, shard: int, topic_name: str, raws: Sequence[str],
                          timestamp: float) -> None:
         """Sequence-stamp, append ``raws`` to the shard's WAL (one frame)
@@ -565,12 +628,6 @@ class ShardedRuntime:
                 worker.join(timeout=30.0)
             if self.wal is not None:
                 self.wal.close()
-
-    def __enter__(self) -> "ShardedRuntime":
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.shutdown(drain=exc_type is None)
 
     # ------------------------------------------------------------------ #
     # worker side
@@ -896,6 +953,64 @@ class ShardedRuntime:
             floors[topic_name] = floor
         return floors
 
+    def train_topic(
+        self, topic_name: str, now: float, force_full: bool = False
+    ) -> Optional[Dict[str, object]]:
+        """Run one synchronous, off-schedule training round for a topic.
+
+        The explicit-training entry point of the transport contract: the
+        differential backend harness disables automatic triggers and
+        trains both backends at identical barriers, so round coverage
+        (and therefore template assignment) is deterministic.  Call with
+        producers quiesced (ideally right after :meth:`drain`) — the
+        round covers exactly the records ingested so far.
+
+        Runs the same plan → execute → commit → persist pipeline as a
+        scheduler-triggered round, including ``wal_seq`` snapshot
+        stamping and WAL truncation.  Excludes in-flight rounds for the
+        topic the same way :meth:`rollback_model` does.  Returns a small
+        summary dict (``mode`` / ``reason`` / ``n_clustered`` /
+        ``n_reused`` / ``model_changed``) or ``None`` when there was
+        nothing to train on.
+        """
+        engine = self.service.topic(topic_name)
+        placeholder: Future = Future()
+        while True:
+            with self._rounds_lock:
+                in_flight = self._rounds_in_flight.get(topic_name)
+                if in_flight is None:
+                    self._rounds_in_flight[topic_name] = placeholder
+                    break
+            wait_futures([in_flight])
+        try:
+            with self._engine_lock(topic_name):
+                plan = engine.plan_round(now, force_full=force_full)
+            if plan is None:
+                return None
+            prepared = engine.execute_round(plan)
+            with self._engine_lock(topic_name):
+                engine.commit_round(prepared, persist=False)
+            if self.wal is not None:
+                captured_seq = self._seq_of_watermark(topic_name, plan.watermark)
+                engine.persist_round(prepared, extra_metadata={"wal_seq": captured_seq})
+                if prepared.model_changed and engine.store is not None:
+                    self.wal.set_captured(topic_name, captured_seq)
+                    self.wal.truncate(self._wal_floors())
+            else:
+                engine.persist_round(prepared)
+            return {
+                "mode": prepared.round.mode,
+                "reason": prepared.round.reason,
+                "n_clustered": prepared.round.n_clustered,
+                "n_reused": prepared.round.n_reused,
+                "model_changed": prepared.model_changed,
+            }
+        finally:
+            with self._rounds_lock:
+                if self._rounds_in_flight.get(topic_name) is placeholder:
+                    del self._rounds_in_flight[topic_name]
+            placeholder.set_result(None)
+
     def rollback_model(self, topic_name: str):
         """WAL-aware hot rollback to the previous persisted model version.
 
@@ -1023,6 +1138,7 @@ class ShardedRuntime:
                 }
             )
         return {
+            "backend": self.backend,
             "n_shards": self.n_shards,
             "micro_batch_size": self.micro_batch_size,
             "max_batch_delay": self.max_batch_delay,

@@ -126,12 +126,17 @@ class LogParsingService:
         """Delete a topic and everything associated with it."""
         del self._topics[name]
 
-    def sharded_runtime(self, **kwargs) -> "ShardedRuntime":
-        """Build a :class:`~repro.service.runtime.ShardedRuntime` over this
-        service (keyword arguments override the config's runtime knobs)."""
-        from repro.service.runtime import ShardedRuntime
+    def sharded_runtime(self, backend: Optional[str] = None, **kwargs):
+        """Build a sharded runtime over this service.
 
-        return ShardedRuntime(self, **kwargs)
+        ``backend`` selects the shard transport (``"thread"`` /
+        ``"process"``); when ``None``, :func:`~repro.service.runtime.create_runtime`
+        resolves it from ``REPRO_SHARD_BACKEND`` and the config's
+        ``shard_backend`` knob.  Keyword arguments override the config's
+        runtime knobs."""
+        from repro.service.runtime import create_runtime
+
+        return create_runtime(self, backend=backend, **kwargs)
 
     # ------------------------------------------------------------------ #
     # ingestion

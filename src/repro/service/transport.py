@@ -1,0 +1,1563 @@
+"""Process-backend shard transport: worker processes that escape the GIL.
+
+The thread backend (:class:`~repro.service.runtime.ShardedRuntime`) moves
+every record through the interpreter twice — once as a producer-side
+Python object, once on the consumer side — and every byte of that work
+contends on one GIL.  :class:`ProcessShardedRuntime` promotes shard
+workers to **forked worker processes**: each child owns its shard's topic
+engines, its shard's WAL directory, and its own training rounds; record
+batches cross the process boundary as framed binary blocks (topic +
+contiguous seq range + packed f64 timestamps + length-prefixed utf-8
+blobs, see :func:`encode_record_batch`) instead of per-record pickled
+objects.
+
+Process topology (see docs/ARCHITECTURE.md for the diagram)::
+
+    parent (producers, seq allocation, mirror engines, watermark.json)
+      │  cmd pipe:  B <batch frame> | C <control pickle>      (one per shard)
+      │  resp pipe: A acks | P captured | S/T/R control replies
+      │             | E soft error | X fatal crash report
+      └─ shard-worker process 0..N-1 (engines, ShardWal, rounds)
+
+Ownership rules, which every other design decision follows from:
+
+* **Seqs** — the parent allocates per-topic WAL sequence numbers at
+  submit time (even without a WAL): the exactly-once redelivery filter
+  needs them, and only one allocator can keep them gap-free.
+* **Shard WAL directory** — opened and appended by exactly one writer,
+  the shard's worker process (opening a :class:`ShardWal` starts a fresh
+  segment; two openers of one directory would collide).  The child also
+  truncates its own directory; the parent only ever reclaims *orphan*
+  directories left by a previous run with more shards
+  (:meth:`WriteAheadLog.truncate_orphans`).
+* **watermark.json** — single writer: the parent.  Children report
+  snapshot coverage over the resp pipe (``P``) and the parent persists
+  it.  Children persist each round's store snapshot (stamped with
+  ``wal_seq``) *before* sending ``P``, so a lagging watermark file only
+  ever under-claims — recovery treats the snapshot's own ``wal_seq`` as
+  authoritative.
+* **Mirror engines** — the parent keeps every engine too, frozen at the
+  last sync barrier.  ``drain()`` / ``train_topic`` / ``rollback_model``
+  ship a *sync payload* (new records with template ids, model JSON,
+  scheduler counters, backfill restamps) and the parent applies it, so
+  reads (``match`` / ``query_templates`` / ``topic_stats``) against the
+  parent service work exactly as with the thread backend — which is what
+  the differential harness (``tests/test_differential_backends.py``)
+  asserts.
+
+Supervision carries over from the thread backend: a dead child is
+detected by resp-pipe EOF, restarted under the shared
+:class:`~repro.core.retry.RetryPolicy` (fresh pipes, fork from the
+mirror, WAL resync past the mirror's watermark, redelivery of unacked
+frames), and the delivery-time seq filter makes acked records apply
+*exactly once* no matter how resync and redelivery interleave.  A shard
+that exhausts its restart budget is quarantined (producers shed load,
+``drain`` raises).  Armed failpoints propagate into children via
+:func:`repro.core.failpoints.active_specs` (remaining ``times`` budget)
+and dead children's counters fold back via ``absorb_child_state``, so a
+bounded fault stays bounded across incarnations.
+
+Restamp safety: sync barriers wait out in-flight rounds before building
+the payload, so any later round's plan watermark is at or past the
+synced watermark — late-temporary re-stamping never touches a record the
+mirror already holds.  The one exception is the first round's backfill
+(template ids for records ingested before any model existed); the child
+tracks it and ships explicit ``(record_id, template_id)`` restamps.
+
+Known limits: every topic must exist before the runtime is constructed
+(children cannot see topics created in the parent afterwards), and
+without a WAL a child crash loses acked-but-unsynced records (at-most-
+once degradation) — supervised durability requires ``wal_dir``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import struct
+import threading
+import time
+import traceback
+from collections import deque
+from concurrent.futures import Future
+from concurrent.futures import wait as wait_futures
+from dataclasses import dataclass, field
+from pathlib import Path
+from queue import Queue
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import failpoints, parallel
+from repro.core.model import ParserModel
+from repro.core.retry import RetryPolicy
+from repro.service.runtime import (
+    _BATCH_SYNC_INTERVAL,
+    _HEALTHY_RESET_SECONDS,
+    _RESYNC_BATCH,
+    ShardStats,
+    ShardTransport,
+)
+from repro.service.wal import ShardWal, WriteAheadLog
+
+__all__ = [
+    "BatchSection",
+    "encode_record_batch",
+    "decode_record_batch",
+    "ProcessShardedRuntime",
+]
+
+# --------------------------------------------------------------------- #
+# wire protocol
+# --------------------------------------------------------------------- #
+#: Parent -> child: a batch frame (body is :func:`encode_record_batch`).
+_TAG_BATCH = b"B"
+#: Parent -> child: a pickled control dict ({"op": ..., "token": ...}).
+_TAG_CONTROL = b"C"
+#: Child -> parent: pickled [(topic, through_seq, n_applied)] acks, one
+#: entry per batch-frame section.
+_TAG_ACK = b"A"
+#: Child -> parent: drain reply (pickled sync payload).
+_TAG_SYNC = b"S"
+#: Child -> parent: train reply (info + sync payload).
+_TAG_TRAIN = b"T"
+#: Child -> parent: rollback phase reply.
+_TAG_ROLLBACK = b"R"
+#: Child -> parent: (topic, captured_seq) — a round persisted a snapshot;
+#: the parent advances watermark.json.
+_TAG_CAPTURED = b"P"
+#: Child -> parent: a non-fatal error string (training round failure).
+_TAG_ERROR = b"E"
+#: Child -> parent: fatal crash report (message, traceback, failpoint
+#: state) sent immediately before the child exits non-zero.
+_TAG_FATAL = b"X"
+
+_FRAME_VERSION = 1
+_BATCH_HEADER = struct.Struct("<BI")  # version, n_sections
+_SECTION_HEAD = struct.Struct("<HQI")  # len(topic), first_seq, n_records
+
+
+@dataclass
+class BatchSection:
+    """One topic's seq-contiguous slice of a batch frame."""
+
+    topic: str
+    #: WAL seq of ``raws[0]``; record ``i`` holds ``first_seq + i``.
+    first_seq: int
+    timestamps: List[float]
+    raws: List[str]
+
+
+def encode_record_batch(sections: Sequence[BatchSection]) -> bytes:
+    """Encode sections into one binary batch frame.
+
+    Layout: ``u8 version | u32 n_sections``, then per section
+    ``u16 len(topic) | topic utf-8 | u64 first_seq | u32 n | f64[n]
+    timestamps | u32[n] raw byte lengths | concatenated raw utf-8``.
+    Timestamps and lengths travel as packed little-endian numpy arrays, so
+    a thousand-record section costs two array copies, not a thousand
+    object serialisations.  Exact inverse of :func:`decode_record_batch`
+    (byte-identical round trip — property-tested in
+    ``tests/test_transport_codec.py``).
+    """
+    parts: List[bytes] = [_BATCH_HEADER.pack(_FRAME_VERSION, len(sections))]
+    for section in sections:
+        n_records = len(section.raws)
+        if len(section.timestamps) != n_records:
+            raise ValueError("timestamps must match raws in length")
+        topic_bytes = section.topic.encode("utf-8")
+        raw_bytes = [raw.encode("utf-8") for raw in section.raws]
+        parts.append(_SECTION_HEAD.pack(len(topic_bytes), section.first_seq, n_records))
+        parts.append(topic_bytes)
+        parts.append(np.asarray(section.timestamps, dtype="<f8").tobytes())
+        parts.append(
+            np.fromiter((len(b) for b in raw_bytes), dtype="<u4", count=n_records).tobytes()
+        )
+        parts.extend(raw_bytes)
+    return b"".join(parts)
+
+
+def decode_record_batch(data: bytes) -> List[BatchSection]:
+    """Decode one batch frame back into sections (inverse of encode)."""
+    version, n_sections = _BATCH_HEADER.unpack_from(data, 0)
+    if version != _FRAME_VERSION:
+        raise ValueError(f"unknown batch frame version {version}")
+    offset = _BATCH_HEADER.size
+    sections: List[BatchSection] = []
+    for _ in range(n_sections):
+        topic_len, first_seq, n_records = _SECTION_HEAD.unpack_from(data, offset)
+        offset += _SECTION_HEAD.size
+        topic = data[offset : offset + topic_len].decode("utf-8")
+        offset += topic_len
+        timestamps = np.frombuffer(data, dtype="<f8", count=n_records, offset=offset).tolist()
+        offset += 8 * n_records
+        lengths = np.frombuffer(data, dtype="<u4", count=n_records, offset=offset)
+        offset += 4 * n_records
+        raws: List[str] = []
+        for length in lengths.tolist():
+            raws.append(data[offset : offset + length].decode("utf-8"))
+            offset += length
+        sections.append(
+            BatchSection(topic=topic, first_seq=first_seq, timestamps=timestamps, raws=raws)
+        )
+    if offset != len(data):
+        raise ValueError("batch frame has trailing bytes")
+    return sections
+
+
+# --------------------------------------------------------------------- #
+# child side
+# --------------------------------------------------------------------- #
+@dataclass
+class _ChildSpec:
+    """Everything a worker process needs, passed as live objects through
+    ``fork`` (no pickling — the child inherits the parent's memory)."""
+
+    index: int
+    n_shards: int
+    #: Monotonic per-shard spawn counter.  The child stamps every control
+    #: reply with it, so the parent can tell a reply from the *live*
+    #: incarnation (its sync increments must be applied, even when a
+    #: retried barrier made the token stale) from one a dead incarnation
+    #: left behind (must be dropped — the restart forked from the parent
+    #: mirror *without* that increment, and the WAL resync re-covers it).
+    incarnation: int
+    cmd_r: object
+    resp_w: object
+    #: Every *other* Connection the child inherited; closed at bootstrap
+    #: so pipe EOF semantics stay exact (a sibling holding a stray write
+    #: end would keep a dead peer's reader alive forever).
+    close_conns: List[object]
+    service: object
+    wal_shard_dir: Optional[Path]
+    wal_sync_mode: str
+    wal_segment_bytes: int
+    wal_retain_versions: int
+    #: Per-topic seq base / next seq at fork time (parent-allocated).
+    bases: Dict[str, int]
+    next_seqs: Dict[str, int]
+    captured: Dict[str, int]
+    #: Armed failpoints' remaining behaviour (re-armed after the fork).
+    failpoint_specs: List[str] = field(default_factory=list)
+    #: True on restart: replay acked-but-unapplied WAL records past the
+    #: inherited mirror state before serving.
+    resync: bool = False
+
+
+def _child_main(spec: _ChildSpec) -> None:
+    worker = _ShardWorker(spec)
+    try:
+        worker.bootstrap()
+        worker.serve()
+    except BaseException as error:  # noqa: BLE001 — last-resort crash report
+        worker.fatal(error)
+
+
+class _ShardWorker:
+    """One shard's worker process: engines, WAL, rounds, the serve loop."""
+
+    def __init__(self, spec: _ChildSpec) -> None:
+        self.spec = spec
+        self.service = spec.service
+        self.index = spec.index
+        self.cmd = spec.cmd_r
+        self.resp = spec.resp_w
+        self.wal: Optional[ShardWal] = None
+        self._send_lock = threading.Lock()
+        self._engine_locks: Dict[str, threading.Lock] = {}
+        self._rounds_lock = threading.Lock()
+        self._rounds_in_flight: Dict[str, Future] = {}
+        self._rounds_delta = 0
+        self._batches = 0
+        self._largest_batch = 0
+        self._bases = dict(spec.bases)
+        self._next_seqs = dict(spec.next_seqs)
+        self._captured = dict(spec.captured)
+        #: Topic -> record id through which the parent mirror is up to
+        #: date (captured at bootstrap = the fork-time high watermark).
+        self._synced_watermark: Dict[str, int] = {}
+        #: Topics whose first round backfilled template ids onto records
+        #: the mirror already holds — their restamps ship at next sync.
+        self._backfilled: set = set()
+        self._last_seen: Dict[str, float] = {}
+        self._owned: List[str] = []
+
+    # -- lifecycle ----------------------------------------------------- #
+    def bootstrap(self) -> None:
+        parallel.reset_after_fork()
+        failpoints.reset_after_fork()
+        for fp_spec in self.spec.failpoint_specs:
+            failpoints.configure_from_spec(fp_spec)
+        for conn in self.spec.close_conns:
+            if conn is self.cmd or conn is self.resp:
+                continue
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._owned = [
+            name
+            for name in self.service.topic_names()
+            if self._shard_of(name) == self.index
+        ]
+        for name in self._owned:
+            engine = self.service.topic(name)
+            # Inherited locks may have been captured mid-acquire by a
+            # parent thread that does not exist here; replace them.
+            engine.swap_guard = threading.Lock()
+            engine.topic._token_index_lock = threading.Lock()
+            self._synced_watermark[name] = engine.topic.high_watermark
+        if self.spec.wal_shard_dir is not None:
+            self.wal = ShardWal(
+                self.spec.wal_shard_dir,
+                sync_mode=self.spec.wal_sync_mode,
+                segment_bytes=self.spec.wal_segment_bytes,
+            )
+        if self.spec.resync and self.wal is not None:
+            self._resync_from_wal()
+
+    def _shard_of(self, topic_name: str) -> int:
+        import zlib
+
+        return zlib.crc32(topic_name.encode("utf-8")) % self.spec.n_shards
+
+    def _resync_from_wal(self) -> None:
+        """Replay acked records the inherited mirror state never applied."""
+        floors: Dict[str, int] = {}
+        for name in self._owned:
+            engine = self.service.topic(name)
+            floors[name] = self._bases.get(name, 0) + engine.topic.high_watermark
+        if not floors:
+            return
+        pending = self.wal.pending_records(floors)
+        for name in sorted(pending):
+            records = pending[name]
+            if not records:
+                continue
+            engine = self.service.topic(name)
+            with self._engine_lock(name):
+                for start in range(0, len(records), _RESYNC_BATCH):
+                    chunk = records[start : start + _RESYNC_BATCH]
+                    engine.ingest_batch_fast(
+                        [record.raw for record in chunk],
+                        now=chunk[-1].timestamp,
+                        timestamps=[record.timestamp for record in chunk],
+                    )
+            self._next_seqs[name] = max(
+                self._next_seqs.get(name, 1), records[-1].seq + 1
+            )
+            self._last_seen[name] = records[-1].timestamp
+
+    def serve(self) -> None:
+        while True:
+            try:
+                message = self.cmd.recv_bytes()
+            except (EOFError, OSError):
+                # Parent is gone (its cmd write end closed).  Flush the
+                # WAL and exit; orphaned workers must not linger.
+                self._wait_rounds()
+                if self.wal is not None:
+                    self.wal.close()
+                return
+            tag, body = message[:1], message[1:]
+            if tag == _TAG_BATCH:
+                self._handle_batch(body)
+            elif tag == _TAG_CONTROL:
+                control = pickle.loads(body)
+                op = control.get("op")
+                if op == "stop":
+                    self._wait_rounds()
+                    if self.wal is not None:
+                        self.wal.close()
+                    return
+                if op == "drain":
+                    self._handle_drain(control)
+                elif op == "train":
+                    self._handle_train(control)
+                elif op == "rollback_prepare":
+                    self._handle_rollback_prepare(control)
+                elif op == "rollback_commit":
+                    self._handle_rollback_commit(control)
+
+    def fatal(self, error: BaseException) -> None:
+        """Report the crash over the resp pipe, then die non-zero.
+
+        ``os._exit`` mimics a hard crash: no atexit hooks, no WAL close —
+        everything appended is already in the OS page cache (unbuffered
+        writes), which a process death cannot lose, and the restarted
+        incarnation resyncs from it.
+        """
+        report = (repr(error), traceback.format_exc(), failpoints.state())
+        self._send(_TAG_FATAL, pickle.dumps(report))
+        try:
+            self.resp.close()
+        except OSError:
+            pass
+        os._exit(1)
+
+    def _send(self, tag: bytes, body: bytes) -> None:
+        with self._send_lock:
+            try:
+                self.resp.send_bytes(tag + body)
+            except (BrokenPipeError, OSError):
+                pass  # parent died; the serve loop will see EOF shortly
+
+    # -- ingest -------------------------------------------------------- #
+    def _handle_batch(self, body: bytes) -> None:
+        try:
+            failpoints.hit("worker.batch")
+            sections = decode_record_batch(body)
+            self._batches += 1
+            frame_records = sum(len(section.raws) for section in sections)
+            if frame_records > self._largest_batch:
+                self._largest_batch = frame_records
+            acks: List[Tuple[str, int, int]] = []
+            for section in sections:
+                if not section.raws:
+                    continue
+                engine = self.service.topic(section.topic)
+                base = self._bases.get(section.topic, 0)
+                # Exactly-once across restarts: the WAL resync may already
+                # have applied a prefix of a redelivered section.
+                applied_seq = base + engine.topic.high_watermark
+                first_new = min(max(0, applied_seq + 1 - section.first_seq), len(section.raws))
+                raws = section.raws[first_new:]
+                timestamps = section.timestamps[first_new:]
+                if raws:
+                    if self.wal is not None:
+                        # Durability point: the frame reaches the page
+                        # cache (always mode: stable storage) before the
+                        # ack — acked therefore implies recoverable.
+                        self.wal.append_batch(
+                            section.topic,
+                            section.first_seq + first_new,
+                            timestamps[-1],
+                            raws,
+                            timestamps=timestamps,
+                        )
+                    with self._engine_lock(section.topic):
+                        engine.ingest_batch_fast(
+                            raws, now=timestamps[-1], timestamps=timestamps
+                        )
+                    self._next_seqs[section.topic] = max(
+                        self._next_seqs.get(section.topic, 1),
+                        section.first_seq + len(section.raws),
+                    )
+                self._last_seen[section.topic] = section.timestamps[-1]
+                acks.append(
+                    (section.topic, section.first_seq + len(section.raws) - 1, len(raws))
+                )
+            if self.wal is not None and self.wal.sync_mode == "batch":
+                self.wal.sync(min_interval=_BATCH_SYNC_INTERVAL)
+            self._send(_TAG_ACK, pickle.dumps(acks))
+            for section in sections:
+                if not section.raws:
+                    continue
+                engine = self.service.topic(section.topic)
+                self._maybe_dispatch_round(section.topic, engine, section.timestamps[-1])
+        except Exception as error:
+            # Batch-stage failures are fatal to the incarnation — the
+            # parent's supervisor restarts the process, resyncs from the
+            # WAL and redelivers unacked frames, which is exactly the
+            # thread backend's requeue-and-restart semantics.
+            self.fatal(error)
+
+    # -- training rounds ----------------------------------------------- #
+    def _engine_lock(self, topic_name: str) -> threading.Lock:
+        return self._engine_locks.setdefault(topic_name, threading.Lock())
+
+    def _maybe_dispatch_round(self, topic_name: str, engine, now: float) -> bool:
+        if not engine.scheduler.should_train(now):
+            return False
+        with self._rounds_lock:
+            if topic_name in self._rounds_in_flight:
+                return False
+            with self._engine_lock(topic_name):
+                plan = engine.plan_round(now)
+            if plan is None:
+                return False
+            future = parallel.shared_executor().submit(
+                self._run_round, topic_name, engine, plan
+            )
+            self._rounds_in_flight[topic_name] = future
+            self._rounds_delta += 1
+            return True
+
+    def _run_round(self, topic_name: str, engine, plan) -> None:
+        try:
+            prepared = engine.execute_round(plan)
+            with self._engine_lock(topic_name):
+                engine.commit_round(prepared, persist=False)
+            if plan.base_model is None:
+                self._backfilled.add(topic_name)
+            self._persist_round(topic_name, engine, plan, prepared)
+        except Exception as error:
+            self._send(
+                _TAG_ERROR, pickle.dumps(f"training round for {topic_name!r}: {error!r}")
+            )
+        finally:
+            with self._rounds_lock:
+                self._rounds_in_flight.pop(topic_name, None)
+
+    def _persist_round(self, topic_name: str, engine, plan, prepared) -> None:
+        """Snapshot-first durability ordering, then report coverage.
+
+        Store snapshot (with ``wal_seq``) → ``P`` to the parent (which
+        advances watermark.json) → truncate this shard's own segments.  A
+        crash between any two steps leaves the watermark *lagging* the
+        snapshot, which recovery resolves in the snapshot's favour.
+        """
+        if self.wal is None:
+            engine.persist_round(prepared)
+            return
+        captured_seq = self._seq_of_watermark(topic_name, plan.watermark)
+        engine.persist_round(prepared, extra_metadata={"wal_seq": captured_seq})
+        if prepared.model_changed and engine.store is not None:
+            self._captured[topic_name] = captured_seq
+            self._send(_TAG_CAPTURED, pickle.dumps((topic_name, captured_seq)))
+            self.wal.truncate(self._wal_floors())
+
+    def _seq_of_watermark(self, topic_name: str, watermark: int) -> int:
+        base = self._bases.get(topic_name, 0)
+        next_seq = self._next_seqs.get(topic_name, 1)
+        return max(0, min(base + watermark, next_seq - 1))
+
+    def _wal_floors(self) -> Dict[str, int]:
+        """Per-topic truncation floors for this shard's own directory
+        (same retained-rollback-targets rule as the thread backend)."""
+        floors: Dict[str, int] = {}
+        retain = self.spec.wal_retain_versions
+        for name in self._owned:
+            engine = self.service.topic(name)
+            floor = self._captured.get(name, 0)
+            if engine.store is None:
+                floors[name] = 0
+                continue
+            current, versions = engine.store.current_and_versions()
+            if current is None:
+                floors[name] = 0
+                continue
+            for entry in versions:
+                if current - retain < entry.version <= current:
+                    floor = min(floor, int(entry.metadata.get("wal_seq", 0)))
+            floors[name] = floor
+        return floors
+
+    def _wait_rounds(self) -> None:
+        while True:
+            with self._rounds_lock:
+                futures = list(self._rounds_in_flight.values())
+            if not futures:
+                return
+            wait_futures(futures)
+
+    # -- sync barriers -------------------------------------------------- #
+    def _handle_drain(self, control: Dict[str, object]) -> None:
+        self._wait_rounds()
+        while True:
+            dispatched = False
+            for topic_name, last_ts in list(self._last_seen.items()):
+                try:
+                    engine = self.service.topic(topic_name)
+                except KeyError:
+                    continue
+                if self._maybe_dispatch_round(topic_name, engine, last_ts):
+                    dispatched = True
+            self._wait_rounds()
+            if not dispatched:
+                break
+        if self.wal is not None:
+            self.wal.sync()  # full fsync barrier, mirroring drain()'s sync_all
+            self.wal.truncate(self._wal_floors())
+        payload = self._build_sync_payload()
+        payload["token"] = control.get("token")
+        payload["incarnation"] = self.spec.incarnation
+        self._send(_TAG_SYNC, pickle.dumps(payload))
+
+    def _handle_train(self, control: Dict[str, object]) -> None:
+        topic_name = control["topic"]
+        self._wait_rounds()
+        info = None
+        error: Optional[str] = None
+        try:
+            engine = self.service.topic(topic_name)
+            with self._engine_lock(topic_name):
+                plan = engine.plan_round(
+                    control["now"], force_full=bool(control.get("force_full"))
+                )
+            if plan is not None:
+                prepared = engine.execute_round(plan)
+                with self._engine_lock(topic_name):
+                    engine.commit_round(prepared, persist=False)
+                if plan.base_model is None:
+                    self._backfilled.add(topic_name)
+                self._persist_round(topic_name, engine, plan, prepared)
+                self._rounds_delta += 1
+                info = {
+                    "mode": prepared.round.mode,
+                    "reason": prepared.round.reason,
+                    "n_clustered": prepared.round.n_clustered,
+                    "n_reused": prepared.round.n_reused,
+                    "model_changed": prepared.model_changed,
+                }
+        except Exception as exc:
+            error = repr(exc)
+        reply = {
+            "token": control.get("token"),
+            "incarnation": self.spec.incarnation,
+            "info": info,
+            "error": error,
+            "sync": self._build_sync_payload(),
+        }
+        self._send(_TAG_TRAIN, pickle.dumps(reply))
+
+    def _handle_rollback_prepare(self, control: Dict[str, object]) -> None:
+        """Phase 1: predict the rollback target and the watermark rewind.
+
+        Read-only — the parent rewinds watermark.json *before* phase 2
+        moves the store pointer, preserving the thread backend's
+        crash-ordering (see ``ShardedRuntime.rollback_model``).
+        """
+        topic_name = control["topic"]
+        reply: Dict[str, object] = {
+            "token": control.get("token"),
+            "incarnation": self.spec.incarnation,
+            "error": None,
+        }
+        try:
+            engine = self.service.topic(topic_name)
+            if engine.store is None:
+                raise RuntimeError(
+                    f"topic {topic_name!r} has no model store configured"
+                )
+            current = engine.store.current_version()
+            if current is None:
+                raise LookupError("model store is empty; nothing to roll back to")
+            earlier = [
+                v for v in engine.store.versions() if v.version < current.version
+            ]
+            if not earlier:
+                raise LookupError(
+                    f"no version earlier than current ({current.version})"
+                )
+            target = max(earlier, key=lambda v: v.version)
+            reply["target_version"] = target.version
+            if self.wal is not None:
+                base = self._bases.get(topic_name, 0)
+                reply["rewind"] = max(int(target.metadata.get("wal_seq", 0)), base)
+            else:
+                reply["rewind"] = None
+        except Exception as exc:
+            reply["error"] = str(exc)
+            reply["error_type"] = type(exc).__name__
+        self._send(_TAG_ROLLBACK, pickle.dumps(reply))
+
+    def _handle_rollback_commit(self, control: Dict[str, object]) -> None:
+        """Phase 2: move the store pointer to the prepared target and
+        install it.  Explicit ``to_version`` keeps a retry after a crash
+        idempotent (a default one-back rollback would step twice)."""
+        topic_name = control["topic"]
+        to_version = int(control["to_version"])
+        reply: Dict[str, object] = {
+            "token": control.get("token"),
+            "incarnation": self.spec.incarnation,
+            "error": None,
+        }
+        try:
+            engine = self.service.topic(topic_name)
+            version = engine.store.rollback(to_version=to_version)
+            model = engine.store.load(version.version)
+            model.reserve_ids(engine.parser.model.next_template_id)
+            matcher = engine.parser.build_matcher(model)
+            with self._engine_lock(topic_name):
+                with engine.swap_guard:
+                    engine.parser.install_model(model, matcher=matcher)
+                    engine.pipeline.attach_matcher(matcher)
+                    engine.trained_watermark = int(
+                        version.metadata.get("trained_watermark", 0)
+                    )
+                    if self.wal is not None:
+                        self._rebase_watermark_after_rollback(
+                            engine, topic_name, version
+                        )
+            engine.internal_topic.publish_model(model)
+            rewind = control.get("rewind")
+            if rewind is not None:
+                self._captured[topic_name] = int(rewind)
+            reply["version"] = version
+            reply["model_json"] = model.to_json()
+            reply["next_template_id"] = model.next_template_id
+            reply["trained_watermark"] = engine.trained_watermark
+        except Exception as exc:
+            reply["error"] = str(exc)
+            reply["error_type"] = type(exc).__name__
+        self._send(_TAG_ROLLBACK, pickle.dumps(reply))
+
+    def _rebase_watermark_after_rollback(self, engine, topic_name: str, version) -> None:
+        wal_seq = version.metadata.get("wal_seq")
+        if wal_seq is None:
+            return
+        base = self._bases.get(topic_name, 0)
+        rebased = min(max(0, int(wal_seq) - base), engine.topic.high_watermark)
+        engine.trained_watermark = rebased
+
+    def _build_sync_payload(self) -> Dict[str, object]:
+        """Everything the parent mirror needs to catch up to this child.
+
+        Callers hold the sync-barrier invariant: no round in flight, so
+        every record below the new synced watermark carries its final
+        template id (late-temporary restamps only touch records at or
+        past a round's plan watermark, which is at or past the *previous*
+        synced watermark).
+        """
+        topics: Dict[str, Dict[str, object]] = {}
+        for name in self._owned:
+            engine = self.service.topic(name)
+            from_id = self._synced_watermark.get(name, 0)
+            high = engine.topic.high_watermark
+            restamps: List[Tuple[int, Optional[int]]] = []
+            if name in self._backfilled:
+                restamps = [
+                    (record.record_id, record.template_id)
+                    for record in engine.topic.slice(0, from_id)
+                ]
+                self._backfilled.discard(name)
+            scheduler = engine.scheduler
+            topics[name] = {
+                "from_id": from_id,
+                "records": [
+                    (record.raw, record.timestamp, record.template_id)
+                    for record in engine.topic.slice(from_id, high)
+                ],
+                "restamps": restamps,
+                "model_json": (
+                    engine.parser.model.to_json() if engine.parser.is_trained else None
+                ),
+                "next_template_id": engine.parser.model.next_template_id,
+                "trained_watermark": engine.trained_watermark,
+                "scheduler": {
+                    "records_since": scheduler._records_since_training,
+                    "last_time": scheduler._last_training_time,
+                    "rounds": scheduler._training_rounds,
+                    "incremental": scheduler._incremental_rounds,
+                    "full": scheduler._full_rounds,
+                    "last_mode": scheduler._last_mode,
+                },
+                "captured": self._captured.get(name, 0),
+            }
+            self._synced_watermark[name] = high
+        payload: Dict[str, object] = {
+            "topics": topics,
+            "stats": {
+                "batches": self._batches,
+                "largest_batch": self._largest_batch,
+                "rounds_delta": self._rounds_delta,
+            },
+            "failpoints": failpoints.state(),
+        }
+        self._rounds_delta = 0
+        return payload
+
+
+# --------------------------------------------------------------------- #
+# parent side
+# --------------------------------------------------------------------- #
+@dataclass
+class _ProcessFailure:
+    """One worker-process death, as seen by its supervisor."""
+
+    message: str
+    traceback_text: str
+    exitcode: Optional[int]
+
+
+class _ProcessShard:
+    """Parent-side state for one shard's worker process."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        #: Guards pending, the pipe handles and seq-order invariants —
+        #: submits, flushes and restarts all serialise on it.
+        self.lock = threading.Lock()
+        #: Records accepted but not yet framed and sent.
+        self.pending: List[Tuple[str, str, float, int]] = []
+        #: Topic -> seq-ordered records sent but not yet acked; the
+        #: redelivery source after a child death.
+        self.unacked: Dict[str, deque] = {}
+        #: Records sent and not yet acked (backpressure accounting).
+        self.in_flight = 0
+        self.cmd_w = None
+        self.resp_r = None
+        self.process = None
+        #: Bumped (under ``lock``) each time a worker process is forked
+        #: for this shard; see :class:`_ChildSpec.incarnation`.
+        self.incarnation = 0
+        self.state = "running"
+        #: Control replies (S/T/R payloads and ("died", msg) markers)
+        #: forwarded by the applier to whoever runs the barrier op.
+        self.control_replies: Queue = Queue()
+        self.stats = ShardStats(shard=index)
+
+
+class ProcessShardedRuntime(ShardTransport):
+    """Process-backend shard transport (see the module docstring).
+
+    Accepts the same constructor surface as the thread backend
+    (``executor`` is accepted and ignored — rounds run on each child's
+    own shared executor).  Select it through
+    :func:`repro.service.runtime.create_runtime` /
+    ``service.sharded_runtime(backend="process")`` / the
+    ``shard_backend`` config knob / ``REPRO_SHARD_BACKEND``.
+    """
+
+    backend = "process"
+
+    def __init__(
+        self,
+        service,
+        n_shards: Optional[int] = None,
+        micro_batch_size: Optional[int] = None,
+        max_batch_delay: Optional[float] = None,
+        queue_capacity: Optional[int] = None,
+        executor=None,
+        wal: Optional[WriteAheadLog] = None,
+        wal_dir=None,
+        wal_positions: Optional[Dict[str, Tuple[int, int]]] = None,
+    ) -> None:
+        config = service.config
+        self.service = service
+        self.n_shards = n_shards if n_shards is not None else config.n_shards
+        self.micro_batch_size = (
+            micro_batch_size if micro_batch_size is not None else config.micro_batch_size
+        )
+        self.max_batch_delay = (
+            max_batch_delay if max_batch_delay is not None else config.max_batch_delay
+        )
+        capacity = queue_capacity if queue_capacity is not None else config.ingest_queue_capacity
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.micro_batch_size < 1:
+            raise ValueError("micro_batch_size must be >= 1")
+        if capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if wal is not None and wal_dir is not None:
+            raise ValueError("pass either wal or wal_dir, not both")
+        if "fork" not in mp.get_all_start_methods():
+            raise RuntimeError(
+                "the process shard backend requires the 'fork' start method; "
+                "use the thread backend on this platform"
+            )
+        self._mp = mp.get_context("fork")
+        self.wal = wal if wal is not None else (
+            WriteAheadLog(
+                wal_dir,
+                sync_mode=config.wal_sync_mode,
+                segment_bytes=config.wal_segment_bytes,
+            )
+            if wal_dir is not None
+            else None
+        )
+        self._wal_positions: Dict[str, Tuple[int, int]] = dict(wal_positions or {})
+        if self.wal is not None and wal_positions is None and self.wal.has_state():
+            raise RuntimeError(
+                f"WAL at {self.wal.root} already contains state; open it through "
+                "RecoveredRuntime.open(...) (which replays it and carries the "
+                "sequence positions over) instead of a fresh runtime"
+            )
+        if wal_positions is None:
+            # Pre-existing records (bootstrap training) shift the
+            # record-id <-> seq mapping; seqs are allocated even without a
+            # WAL here, because the restart redelivery filter runs on them.
+            for name in service.topic_names():
+                pre_existing = service.topic(name).topic.high_watermark
+                if pre_existing:
+                    self._wal_positions[name] = (-pre_existing, 1)
+        #: Children fork with the topics that exist *now*; later
+        #: ``create_topic`` calls are invisible to them (documented limit).
+        self._known_topics = frozenset(service.topic_names())
+        self._queue_capacity = capacity
+        self._errors: List[str] = []
+        self._errors_lock = threading.Lock()
+        self._worker_failures: Dict[int, _ProcessFailure] = {}
+        self._restart_policy = RetryPolicy(
+            max_attempts=config.worker_restart_max_attempts,
+            base_delay=config.worker_restart_backoff,
+            max_delay=config.worker_restart_backoff_max,
+            deadline=config.worker_restart_deadline_seconds,
+        )
+        self._stop_event = threading.Event()
+        self._closed = False
+        #: Serialises drain / train / rollback barrier operations.
+        self._control_lock = threading.Lock()
+        self._control_token = 0
+        self._stop_sent = [False] * self.n_shards
+        self._shards = [_ProcessShard(index) for index in range(self.n_shards)]
+        for shard in self._shards:
+            self._spawn(shard, resync=False)
+        self._supervisors = [
+            threading.Thread(
+                target=self._supervisor_loop,
+                args=(shard,),
+                name=f"repro-shard-sup-{shard.index}",
+                daemon=True,
+            )
+            for shard in self._shards
+        ]
+        for thread in self._supervisors:
+            thread.start()
+        self._flusher = threading.Thread(
+            target=self._flusher_loop, name="repro-shard-flusher", daemon=True
+        )
+        self._flusher.start()
+
+    # -- child lifecycle ------------------------------------------------ #
+    def _spawn(self, shard: _ProcessShard, resync: bool) -> None:
+        """Fork one worker process (caller holds ``shard.lock`` on restart;
+        at construction no other thread exists yet)."""
+        cmd_r, cmd_w = self._mp.Pipe(duplex=False)
+        resp_r, resp_w = self._mp.Pipe(duplex=False)
+        close_conns: List[object] = [cmd_w, resp_r]
+        for other in self._shards:
+            for conn in (other.cmd_w, other.resp_r):
+                if conn is not None:
+                    close_conns.append(conn)
+        shard.incarnation += 1
+        spec = _ChildSpec(
+            index=shard.index,
+            n_shards=self.n_shards,
+            incarnation=shard.incarnation,
+            cmd_r=cmd_r,
+            resp_w=resp_w,
+            close_conns=close_conns,
+            service=self.service,
+            wal_shard_dir=(
+                self.wal.shard_directory(shard.index) if self.wal is not None else None
+            ),
+            wal_sync_mode=self.wal.sync_mode if self.wal is not None else "batch",
+            wal_segment_bytes=(
+                self.wal.segment_bytes if self.wal is not None else 4 * 1024 * 1024
+            ),
+            wal_retain_versions=self.service.config.wal_retain_versions,
+            bases={name: base for name, (base, _n) in self._wal_positions.items()},
+            next_seqs={name: nxt for name, (_b, nxt) in self._wal_positions.items()},
+            captured=self.wal.captured() if self.wal is not None else {},
+            failpoint_specs=failpoints.active_specs(),
+            resync=resync,
+        )
+        process = self._mp.Process(
+            target=_child_main,
+            args=(spec,),
+            name=f"repro-shard-proc-{shard.index}",
+            daemon=True,
+        )
+        process.start()
+        # The parent must not hold the child's ends: resp EOF is the death
+        # signal and cmd EOF is the child's parent-death signal.
+        cmd_r.close()
+        resp_w.close()
+        shard.cmd_w, shard.resp_r, shard.process = cmd_w, resp_r, process
+
+    def _restart(self, shard: _ProcessShard) -> None:
+        """Fork a fresh incarnation and redeliver the unacked backlog."""
+        with shard.lock:
+            for conn in (shard.cmd_w, shard.resp_r):
+                if conn is not None:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+            shard.cmd_w = shard.resp_r = None
+            self._spawn(shard, resync=self.wal is not None)
+            # Redeliver in micro-batch-sized frames, not one giant frame:
+            # the thread backend requeues unacked records and re-batches
+            # them at ``micro_batch_size``, so per-batch behaviour (batch
+            # stats, ``worker.batch`` failpoint evaluations) stays
+            # equivalent across backends.
+            frames: List[List[BatchSection]] = []
+            for topic, dq in shard.unacked.items():
+                records = list(dq)
+                for start in range(0, len(records), self.micro_batch_size):
+                    chunk = records[start : start + self.micro_batch_size]
+                    frames.append(
+                        [
+                            BatchSection(
+                                topic=topic,
+                                first_seq=chunk[0][3],
+                                timestamps=[record[2] for record in chunk],
+                                raws=[record[1] for record in chunk],
+                            )
+                        ]
+                    )
+            for sections in frames:
+                try:
+                    shard.cmd_w.send_bytes(_TAG_BATCH + encode_record_batch(sections))
+                except OSError:
+                    break  # died instantly; the next supervisor pass retries
+
+    def _supervisor_loop(self, shard: _ProcessShard) -> None:
+        state = self._restart_policy.start(seed=shard.index)
+        while True:
+            started_at = time.monotonic()
+            failure = self._applier(shard)
+            if failure is None:
+                return  # clean stop
+            shard.state = "restarting"
+            shard.control_replies.put(("died", failure.message))
+            if self._closed:
+                return  # shutting down: no point restarting
+            if time.monotonic() - started_at >= _HEALTHY_RESET_SECONDS:
+                state.reset()
+            delay = state.record_failure()
+            if delay is None:
+                self._quarantine(shard, failure, state.attempts)
+                return
+            shard.stats.restarts += 1
+            self._record_error(
+                f"shard {shard.index} worker process died ({failure.message}); "
+                f"restart {state.attempts}/{self._restart_policy.max_attempts} "
+                f"in {delay * 1000:.0f} ms"
+            )
+            self._stop_event.wait(delay)
+            if self._closed:
+                return
+            try:
+                self._restart(shard)
+            except Exception as error:  # fork/redelivery failed
+                failure = _ProcessFailure(repr(error), traceback.format_exc(), None)
+                shard.control_replies.put(("died", failure.message))
+                continue
+            shard.state = "running"
+
+    def _applier(self, shard: _ProcessShard) -> Optional[_ProcessFailure]:
+        """Apply one incarnation's resp stream; returns the failure (or
+        ``None`` for a clean post-stop exit)."""
+        resp = shard.resp_r
+        process = shard.process
+        fatal: Optional[Tuple[str, str, Dict]] = None
+        while True:
+            try:
+                message = resp.recv_bytes()
+            except (EOFError, OSError):
+                break
+            tag, body = message[:1], message[1:]
+            if tag == _TAG_ACK:
+                self._apply_acks(shard, pickle.loads(body))
+            elif tag == _TAG_CAPTURED:
+                topic_name, captured_seq = pickle.loads(body)
+                if self.wal is not None:
+                    self.wal.set_captured(topic_name, captured_seq)
+            elif tag in (_TAG_SYNC, _TAG_TRAIN, _TAG_ROLLBACK):
+                shard.control_replies.put((tag, pickle.loads(body)))
+            elif tag == _TAG_ERROR:
+                self._record_error(pickle.loads(body))
+            elif tag == _TAG_FATAL:
+                fatal = pickle.loads(body)
+        process.join(timeout=10.0)
+        exitcode = process.exitcode
+        if fatal is not None:
+            # Fold the dead child's failpoint counters back so bounded
+            # (times=N) faults stay bounded across incarnations.
+            failpoints.absorb_child_state(fatal[2])
+            return _ProcessFailure(fatal[0], fatal[1], exitcode)
+        if self._stop_sent[shard.index] and exitcode == 0:
+            return None
+        return _ProcessFailure(
+            f"worker process exited with code {exitcode}", "", exitcode
+        )
+
+    def _apply_acks(self, shard: _ProcessShard, acks) -> None:
+        removed_total = 0
+        applied_total = 0
+        for topic_name, through_seq, n_applied in acks:
+            backlog = shard.unacked.get(topic_name)
+            while backlog and backlog[0][3] <= through_seq:
+                backlog.popleft()
+                removed_total += 1
+            applied_total += n_applied
+        with shard.lock:
+            shard.in_flight -= removed_total
+        shard.stats.ingested += applied_total
+        shard.stats.batches += 1
+        if applied_total > shard.stats.largest_batch:
+            shard.stats.largest_batch = applied_total
+
+    def _quarantine(self, shard: _ProcessShard, failure: _ProcessFailure, attempts: int) -> None:
+        with self._errors_lock:
+            self._worker_failures[shard.index] = failure
+            self._errors.append(
+                f"shard {shard.index} worker died after {attempts} restart(s), "
+                f"shard quarantined: {failure.traceback_text or failure.message}"
+            )
+        shard.state = "quarantined"
+        shard.control_replies.put(("died", failure.message))
+
+    # -- producer side -------------------------------------------------- #
+    def submit(self, topic_name: str, raw: str, timestamp: float) -> int:
+        """Enqueue one record; same contract as the thread backend."""
+        if self._closed:
+            raise RuntimeError("runtime is shut down")
+        self.service.topic(topic_name)  # fail fast on unknown topics
+        if topic_name not in self._known_topics:
+            raise KeyError(
+                f"topic {topic_name!r} was created after the process runtime "
+                "started; the process backend requires every topic to exist "
+                "before the runtime is constructed"
+            )
+        shard = self._shards[self.shard_of(topic_name)]
+        self._backpressure(shard)
+        with shard.lock:
+            if shard.state == "quarantined" or self._closed:
+                raise RuntimeError("shard queue is closed (shutdown or dead worker)")
+            base, next_seq = self._wal_positions.get(topic_name, (0, 1))
+            self._wal_positions[topic_name] = (base, next_seq + 1)
+            shard.pending.append((topic_name, raw, timestamp, next_seq))
+            if len(shard.pending) >= self.micro_batch_size:
+                self._flush_locked(shard)
+        return shard.index
+
+    def submit_many(self, topic_name: str, raws: Sequence[str], timestamp: float) -> int:
+        """Enqueue a sequence of records for one topic; returns the count."""
+        if self._closed:
+            raise RuntimeError("runtime is shut down")
+        self.service.topic(topic_name)
+        if topic_name not in self._known_topics:
+            raise KeyError(
+                f"topic {topic_name!r} was created after the process runtime "
+                "started; the process backend requires every topic to exist "
+                "before the runtime is constructed"
+            )
+        if not raws:
+            return 0
+        shard = self._shards[self.shard_of(topic_name)]
+        self._backpressure(shard)
+        with shard.lock:
+            if shard.state == "quarantined" or self._closed:
+                raise RuntimeError("shard queue is closed (shutdown or dead worker)")
+            base, next_seq = self._wal_positions.get(topic_name, (0, 1))
+            self._wal_positions[topic_name] = (base, next_seq + len(raws))
+            pending = shard.pending
+            for offset, raw in enumerate(raws):
+                pending.append((topic_name, raw, timestamp, next_seq + offset))
+                if len(pending) >= self.micro_batch_size:
+                    self._flush_locked(shard)
+        return len(raws)
+
+    def _backpressure(self, shard: _ProcessShard) -> None:
+        while shard.in_flight + len(shard.pending) >= self._queue_capacity:
+            if shard.state == "quarantined" or self._closed:
+                raise RuntimeError("shard queue is closed (shutdown or dead worker)")
+            time.sleep(0.0002)
+
+    def _flush_locked(self, shard: _ProcessShard) -> None:
+        """Frame and send the pending backlog (caller holds ``shard.lock``).
+
+        Seqs are allocated under the same lock, so each topic's slice of
+        the frame is seq-contiguous.  A send failure (dead or restarting
+        child) leaves everything pending — the restart path flushes again.
+        """
+        if not shard.pending or shard.cmd_w is None:
+            return
+        groups: Dict[str, List[Tuple[str, str, float, int]]] = {}
+        for record in shard.pending:
+            groups.setdefault(record[0], []).append(record)
+        sections = [
+            BatchSection(
+                topic=topic_name,
+                first_seq=records[0][3],
+                timestamps=[record[2] for record in records],
+                raws=[record[1] for record in records],
+            )
+            for topic_name, records in groups.items()
+        ]
+        try:
+            shard.cmd_w.send_bytes(_TAG_BATCH + encode_record_batch(sections))
+        except (BrokenPipeError, OSError):
+            return
+        shard.in_flight += len(shard.pending)
+        for topic_name, records in groups.items():
+            shard.unacked.setdefault(topic_name, deque()).extend(records)
+            if topic_name not in shard.stats.topics:
+                shard.stats.topics.append(topic_name)
+        shard.pending.clear()
+
+    def _flusher_loop(self) -> None:
+        while not self._stop_event.wait(self.max_batch_delay):
+            for shard in self._shards:
+                with shard.lock:
+                    self._flush_locked(shard)
+
+    # -- barrier operations --------------------------------------------- #
+    def drain(self) -> None:
+        """Block until every accepted record is applied in its child,
+        every round committed, and the parent mirror is synced.
+
+        Same contract as the thread backend's ``drain`` (flush +
+        durability barrier; producers must have quiesced), plus the
+        mirror sync that makes parent-side reads current.
+        """
+        with self._control_lock:
+            self._drain_locked()
+
+    def _drain_locked(self) -> None:
+        while True:
+            self._raise_on_dead_workers()
+            if any(shard.state == "restarting" for shard in self._shards):
+                time.sleep(0.001)
+                continue
+            for shard in self._shards:
+                with shard.lock:
+                    self._flush_locked(shard)
+            if any(shard.in_flight > 0 or shard.pending for shard in self._shards):
+                time.sleep(0.001)
+                continue
+            self._control_token += 1
+            token = self._control_token
+            if not all(
+                self._send_control(shard, {"op": "drain", "token": token})
+                for shard in self._shards
+            ):
+                time.sleep(0.005)
+                continue
+            synced = True
+            for shard in self._shards:
+                reply = self._await_control_reply(shard, token)
+                if reply is None or not self._apply_live_reply(shard, reply):
+                    synced = False  # died mid-drain; restart, then retry
+                    break
+            if synced:
+                break
+        if self.wal is not None:
+            self.wal.truncate_orphans(
+                self._wal_floors(),
+                [self.wal.shard_directory(index) for index in range(self.n_shards)],
+            )
+
+    def _send_control(self, shard: _ProcessShard, control: Dict[str, object]) -> bool:
+        with shard.lock:
+            if shard.state != "running" or shard.cmd_w is None:
+                return False
+            try:
+                shard.cmd_w.send_bytes(_TAG_CONTROL + pickle.dumps(control))
+                return True
+            except (BrokenPipeError, OSError):
+                return False
+
+    def _await_control_reply(self, shard: _ProcessShard, token: int):
+        """Next control reply for ``token``; ``None`` when the child died.
+
+        A reply whose token is stale (the parent abandoned that barrier
+        attempt, e.g. over a leftover death marker) is NOT discarded if it
+        came from the live incarnation: the child advanced its synced
+        watermark when it built the payload, so dropping the increment
+        would diverge the mirror.  It is applied here, then the wait
+        continues.  Replies from dead incarnations ARE dropped — the
+        restart forked the new child from the parent mirror *without*
+        that increment, so applying it would diverge the other way
+        (:meth:`_apply_live_reply` arbitrates under the shard lock).
+        """
+        while True:
+            tag, payload = shard.control_replies.get()
+            if tag == "died":
+                return None
+            if not isinstance(payload, dict):
+                continue
+            if payload.get("token") == token:
+                return payload
+            self._apply_live_reply(shard, payload)
+
+    def _apply_live_reply(self, shard: _ProcessShard, reply: Dict[str, object]) -> bool:
+        """Apply a control reply's sync increment iff its incarnation is
+        still the live one; False means the child died and the caller
+        must retry its barrier.
+
+        The incarnation check and the apply share one ``shard.lock``
+        acquisition, making them atomic against :meth:`_restart`'s fork
+        (which bumps the incarnation under the same lock): either the
+        increment lands before the fork (the new child inherits it) or
+        the fork wins and the increment is dropped (the new child
+        re-derives it from the WAL resync).
+        """
+        sync = reply if "topics" in reply else reply.get("sync")
+        with shard.lock:
+            if reply.get("incarnation") != shard.incarnation:
+                return False
+            if sync is not None:
+                self._apply_sync_payload(shard, sync)
+            return True
+
+    def _apply_sync_payload(self, shard: _ProcessShard, payload: Dict[str, object]) -> None:
+        """Catch the parent mirror up to a child's sync barrier."""
+        for topic_name, entry in payload["topics"].items():
+            engine = self.service.topic(topic_name)
+            topic = engine.topic
+            if topic.high_watermark != entry["from_id"]:
+                raise RuntimeError(
+                    f"mirror diverged for topic {topic_name!r}: parent holds "
+                    f"{topic.high_watermark} records, child synced from "
+                    f"{entry['from_id']}"
+                )
+            for record_id, template_id in entry["restamps"]:
+                if template_id is not None:
+                    topic.set_template(record_id, template_id)
+            for raw, record_ts, template_id in entry["records"]:
+                topic.append(raw, record_ts, template_id=template_id)
+            if entry["model_json"] is not None:
+                model = ParserModel.from_json(entry["model_json"])
+                model.reserve_ids(entry["next_template_id"])
+                matcher = engine.parser.build_matcher(model)
+                with engine.swap_guard:
+                    engine.parser.install_model(model, matcher=matcher)
+                    engine.pipeline.attach_matcher(matcher)
+                    engine.trained_watermark = entry["trained_watermark"]
+                engine.internal_topic.publish_model(model)
+            else:
+                engine.trained_watermark = entry["trained_watermark"]
+            scheduler = engine.scheduler
+            counters = entry["scheduler"]
+            scheduler._records_since_training = counters["records_since"]
+            scheduler._last_training_time = counters["last_time"]
+            scheduler._training_rounds = counters["rounds"]
+            scheduler._incremental_rounds = counters["incremental"]
+            scheduler._full_rounds = counters["full"]
+            scheduler._last_mode = counters["last_mode"]
+            if self.wal is not None and entry["captured"] > self.wal.captured().get(
+                topic_name, 0
+            ):
+                self.wal.set_captured(topic_name, entry["captured"])
+        shard.stats.rounds_dispatched += payload["stats"]["rounds_delta"]
+
+    def _wal_floors(self) -> Dict[str, int]:
+        """Same retained-versions floor rule as the thread backend, read
+        from the children-written stores (stateless manifest reads)."""
+        floors: Dict[str, int] = {}
+        retain = self.service.config.wal_retain_versions
+        captured = self.wal.captured()
+        for topic_name in self.service.topic_names():
+            engine = self.service.topic(topic_name)
+            floor = captured.get(topic_name, 0)
+            if engine.store is None:
+                floors[topic_name] = 0
+                continue
+            current, versions = engine.store.current_and_versions()
+            if current is None:
+                floors[topic_name] = 0
+                continue
+            for entry in versions:
+                if current - retain < entry.version <= current:
+                    floor = min(floor, int(entry.metadata.get("wal_seq", 0)))
+            floors[topic_name] = floor
+        return floors
+
+    def train_topic(
+        self, topic_name: str, now: float, force_full: bool = False
+    ) -> Optional[Dict[str, object]]:
+        """Synchronous training round inside the owning child, mirrored
+        back — the process twin of the thread backend's ``train_topic``."""
+        self.service.topic(topic_name)
+        with self._control_lock:
+            reply = self._control_roundtrip(
+                topic_name,
+                lambda token: {
+                    "op": "train",
+                    "topic": topic_name,
+                    "now": now,
+                    "force_full": force_full,
+                    "token": token,
+                },
+            )
+            if reply["error"] is not None:
+                raise RuntimeError(
+                    f"training round for {topic_name!r} failed in worker: "
+                    f"{reply['error']}"
+                )
+            return reply["info"]
+
+    def rollback_model(self, topic_name: str):
+        """WAL-aware hot rollback with the thread backend's crash ordering:
+        watermark rewind (parent, durable) *before* the store pointer move
+        (child).  Returns the restored ``ModelVersion``."""
+        engine = self.service.topic(topic_name)
+        with self._control_lock:
+            prepare = self._control_roundtrip(
+                topic_name,
+                lambda token: {
+                    "op": "rollback_prepare",
+                    "topic": topic_name,
+                    "token": token,
+                },
+            )
+            self._raise_reply_error(prepare)
+            rewind = prepare.get("rewind")
+            if self.wal is not None and rewind is not None:
+                self.wal.set_captured(topic_name, int(rewind))
+            commit = self._control_roundtrip(
+                topic_name,
+                lambda token: {
+                    "op": "rollback_commit",
+                    "topic": topic_name,
+                    "to_version": prepare["target_version"],
+                    "rewind": rewind,
+                    "token": token,
+                },
+            )
+            self._raise_reply_error(commit)
+            model = ParserModel.from_json(commit["model_json"])
+            model.reserve_ids(commit["next_template_id"])
+            matcher = engine.parser.build_matcher(model)
+            with engine.swap_guard:
+                engine.parser.install_model(model, matcher=matcher)
+                engine.pipeline.attach_matcher(matcher)
+                engine.trained_watermark = commit["trained_watermark"]
+            engine.internal_topic.publish_model(model)
+            return commit["version"]
+
+    def _control_roundtrip(self, topic_name: str, build_control):
+        """Drain-barrier + request/reply with the topic's child, retrying
+        across child restarts (quarantine surfaces via the drain).
+
+        The reply's sync increment (if any) is applied before returning.
+        A retry can re-run the operation in the new incarnation — for
+        ``train`` that may produce a duplicate store version (records and
+        assignments stay correct); ``rollback_commit`` is idempotent via
+        its explicit ``to_version``.
+        """
+        shard = self._shards[self.shard_of(topic_name)]
+        while True:
+            self._drain_locked()
+            self._control_token += 1
+            token = self._control_token
+            if not self._send_control(shard, build_control(token)):
+                time.sleep(0.005)
+                continue
+            reply = self._await_control_reply(shard, token)
+            if reply is None or not self._apply_live_reply(shard, reply):
+                continue  # died mid-op; the next drain waits out the restart
+            return reply
+
+    @staticmethod
+    def _raise_reply_error(reply: Dict[str, object]) -> None:
+        if reply.get("error") is None:
+            return
+        message = str(reply["error"])
+        if reply.get("error_type") == "LookupError":
+            raise LookupError(message)
+        raise RuntimeError(message)
+
+    # -- shutdown / reporting ------------------------------------------- #
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting records, optionally drain, stop the children."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if drain:
+                self.drain()
+        finally:
+            self._stop_event.set()
+            for shard in self._shards:
+                self._stop_sent[shard.index] = True
+                with shard.lock:
+                    if shard.cmd_w is not None:
+                        try:
+                            shard.cmd_w.send_bytes(
+                                _TAG_CONTROL + pickle.dumps({"op": "stop"})
+                            )
+                        except (BrokenPipeError, OSError):
+                            pass
+            for thread in self._supervisors:
+                thread.join(timeout=30.0)
+            self._flusher.join(timeout=5.0)
+            for shard in self._shards:
+                process = shard.process
+                if process is not None:
+                    process.join(timeout=10.0)
+                    if process.is_alive():
+                        process.terminate()
+                        process.join(timeout=5.0)
+                for conn in (shard.cmd_w, shard.resp_r):
+                    if conn is not None:
+                        try:
+                            conn.close()
+                        except OSError:
+                            pass
+            if self.wal is not None:
+                self.wal.close()
+
+    def _raise_on_dead_workers(self) -> None:
+        with self._errors_lock:
+            failures = dict(self._worker_failures)
+        if failures:
+            details = "; ".join(
+                f"shard {index}: {info.message}" for index, info in sorted(failures.items())
+            )
+            raise RuntimeError(
+                f"shard worker died ({details}); full tracebacks in runtime.errors"
+            )
+
+    def _record_error(self, message: str) -> None:
+        with self._errors_lock:
+            self._errors.append(message)
+
+    @property
+    def errors(self) -> List[str]:
+        """Errors recorded by workers and training rounds (empty when healthy)."""
+        with self._errors_lock:
+            return list(self._errors)
+
+    def stats(self) -> Dict[str, object]:
+        """Runtime-wide and per-shard operational counters (same shape as
+        the thread backend, plus each shard's worker ``pid``)."""
+        with self._errors_lock:
+            failures = {
+                index: info.message for index, info in self._worker_failures.items()
+            }
+        shards = []
+        for shard in self._shards:
+            stats = shard.stats
+            shards.append(
+                {
+                    "shard": shard.index,
+                    "state": shard.state,
+                    "pid": shard.process.pid if shard.process is not None else None,
+                    "ingested": stats.ingested,
+                    "batches": stats.batches,
+                    "largest_batch": stats.largest_batch,
+                    "mean_batch_size": round(stats.mean_batch_size, 2),
+                    "rounds_dispatched": stats.rounds_dispatched,
+                    "restarts": stats.restarts,
+                    "last_failure": failures.get(shard.index),
+                    "queue_depth": len(shard.pending) + shard.in_flight,
+                    "topics": list(stats.topics),
+                }
+            )
+        return {
+            "backend": self.backend,
+            "n_shards": self.n_shards,
+            "micro_batch_size": self.micro_batch_size,
+            "max_batch_delay": self.max_batch_delay,
+            "ingested": sum(s.stats.ingested for s in self._shards),
+            "batches": sum(s.stats.batches for s in self._shards),
+            "rounds_dispatched": sum(s.stats.rounds_dispatched for s in self._shards),
+            "restarts": sum(s.stats.restarts for s in self._shards),
+            "degraded_shards": [
+                shard.index for shard in self._shards if shard.state == "quarantined"
+            ],
+            "supervisor": {
+                "max_attempts": self._restart_policy.max_attempts,
+                "backoff": self._restart_policy.base_delay,
+                "backoff_max": self._restart_policy.max_delay,
+                "deadline": self._restart_policy.deadline,
+            },
+            "n_errors": len(self.errors),
+            "wal": (
+                {
+                    "sync_mode": self.wal.sync_mode,
+                    "segment_bytes": self.wal.segment_bytes,
+                    "captured": self.wal.captured(),
+                }
+                if self.wal is not None
+                else None
+            ),
+            "shards": shards,
+        }

@@ -131,13 +131,17 @@ _TOPIC_HEAD_STRUCTS: Dict[int, struct.Struct] = {}
 
 
 def _encode_topic_frame(topic: str, first_seq: int, timestamp: float,
-                        raws: Sequence[str]) -> bytes:
+                        raws: Sequence[str],
+                        timestamps: Optional[Sequence[float]] = None) -> bytes:
     """Encode one frame of seq-contiguous records for a single topic.
 
     The ingest hot path: identical wire format to :func:`_encode_frame`,
     but the per-record topic/seq/timestamp prefix collapses into one
     precompiled struct pack — an acknowledged durable append must stay
     within a microsecond or two of the in-memory deque push it guards.
+    ``timestamps`` optionally stamps each record individually (worker
+    processes coalesce records submitted at different times into one
+    frame); ``timestamp`` stamps the whole batch otherwise.
     """
     topic_bytes = topic.encode("utf-8")
     topic_len = len(topic_bytes)
@@ -150,11 +154,20 @@ def _encode_topic_frame(topic: str, first_seq: int, timestamp: float,
     append = parts.append
     pack = head.pack
     seq = first_seq
-    for raw in raws:
-        raw_bytes = raw.encode("utf-8")
-        append(pack(topic_len, topic_bytes, seq, timestamp, len(raw_bytes)))
-        append(raw_bytes)
-        seq += 1
+    if timestamps is None:
+        for raw in raws:
+            raw_bytes = raw.encode("utf-8")
+            append(pack(topic_len, topic_bytes, seq, timestamp, len(raw_bytes)))
+            append(raw_bytes)
+            seq += 1
+    else:
+        if len(timestamps) != len(raws):
+            raise ValueError("timestamps must match raws in length")
+        for raw, record_ts in zip(raws, timestamps):
+            raw_bytes = raw.encode("utf-8")
+            append(pack(topic_len, topic_bytes, seq, record_ts, len(raw_bytes)))
+            append(raw_bytes)
+            seq += 1
     payload = b"".join(parts)
     return _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
@@ -360,16 +373,18 @@ class ShardWal:
                     self._active_stats[record.topic] = record.seq
 
     def append_batch(self, topic: str, first_seq: int, timestamp: float,
-                     raws: Sequence[str]) -> None:
+                     raws: Sequence[str],
+                     timestamps: Optional[Sequence[float]] = None) -> None:
         """Hot-path append: one frame of contiguous records for one topic.
 
         Same durability and framing as :meth:`append`; skips the
         per-record :class:`WalRecord` materialisation the generic path
         pays (the runtime always logs one topic per frame).
+        ``timestamps`` stamps each record individually when given.
         """
         if not raws:
             return
-        frame = _encode_topic_frame(topic, first_seq, timestamp, raws)
+        frame = _encode_topic_frame(topic, first_seq, timestamp, raws, timestamps)
         last_seq = first_seq + len(raws) - 1
         with self._lock:
             start = self._write_frame(frame)
@@ -580,6 +595,13 @@ class WriteAheadLog:
                 self._shards[index] = wal
             return wal
 
+    def shard_directory(self, index: int) -> Path:
+        """Path of shard ``index``'s directory, *without* opening a
+        :class:`ShardWal` over it (opening starts a fresh segment and
+        claims append ownership — worker processes do that themselves;
+        the parent must only ever name the path)."""
+        return self.root / f"{_SHARD_PREFIX}{index:02d}"
+
     def shard_dirs(self) -> List[Path]:
         """Every shard directory on disk (crash-time shard count may differ
         from the current runtime's)."""
@@ -704,6 +726,27 @@ class WriteAheadLog:
         open_dirs = {wal.directory for wal in shards.values()}
         for shard_dir in self.shard_dirs():
             if shard_dir in open_dirs:
+                continue
+            deleted.extend(self._truncate_orphan_dir(shard_dir, floors))
+        return deleted
+
+    def truncate_orphans(self, floors: Dict[str, int], live_dirs: Sequence[Path]) -> List[Path]:
+        """Truncate only shard directories *not* in ``live_dirs``.
+
+        The process-backend parent's truncation entry point: each worker
+        process owns (and truncates) its own shard directory, and this
+        process has no :class:`ShardWal` open at all — plain
+        :meth:`truncate` would classify every live directory as orphaned
+        and delete segments out from under the children, including their
+        active ones.  Ownership rule: a shard directory is touched by
+        exactly one writer — the worker that appends to it — and the
+        parent only ever reclaims directories left behind by a previous
+        run with a higher shard count.
+        """
+        live = {Path(d) for d in live_dirs}
+        deleted: List[Path] = []
+        for shard_dir in self.shard_dirs():
+            if shard_dir in live:
                 continue
             deleted.extend(self._truncate_orphan_dir(shard_dir, floors))
         return deleted

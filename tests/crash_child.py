@@ -88,6 +88,13 @@ def main() -> int:
     parser.add_argument("--kill-after", type=int, default=200,
                         help="acked submits before the after_acks SIGKILL")
     parser.add_argument("--records", type=int, default=400)
+    parser.add_argument("--backend", default="thread", choices=["thread", "process"],
+                        help="shard transport backend driving the workload")
+    parser.add_argument("--drain-at", type=int, default=0,
+                        help="drain() after this many acked submits and append a "
+                             "DRAIN marker to the ack file (durability barrier for "
+                             "the process backend, where submit-return is not the "
+                             "durability point)")
     parser.add_argument("--volume-threshold", type=int, default=10**9)
     parser.add_argument("--initial-threshold", type=int, default=150)
     parser.add_argument("--segment-bytes", type=int, default=256 * 1024)
@@ -100,7 +107,7 @@ def main() -> int:
     failpoints.install_from_env()
 
     from repro.core.config import ByteBrainConfig
-    from repro.service.runtime import ShardedRuntime
+    from repro.service.runtime import create_runtime
     from repro.service.scheduler import SchedulerPolicy
     from repro.service.service import LogParsingService
 
@@ -117,8 +124,9 @@ def main() -> int:
     for topic in topics:
         service.create_topic(topic)
     ack_fd = os.open(args.ack_file, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
-    runtime = ShardedRuntime(
-        service, n_shards=2, micro_batch_size=32, max_batch_delay=0.002, wal_dir=args.wal_dir
+    runtime = create_runtime(
+        service, backend=args.backend, n_shards=2, micro_batch_size=32,
+        max_batch_delay=0.002, wal_dir=args.wal_dir
     )
     acked = 0
     for i in range(args.records):
@@ -130,6 +138,9 @@ def main() -> int:
             )
             os.write(ack_fd, f"{topic}\t{i}\n".encode("utf-8"))
             acked += 1
+            if args.drain_at and acked == args.drain_at:
+                runtime.drain()
+                os.write(ack_fd, f"DRAIN\t{acked}\n".encode("utf-8"))
             if args.kill_at == "after_acks" and acked >= args.kill_after:
                 # Give the page cache its dues (O_APPEND writes are
                 # already there) and die without warning.

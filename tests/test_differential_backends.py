@@ -1,0 +1,144 @@
+"""Differential harness: thread and process backends must agree.
+
+The process transport's correctness story is *equivalence*: the thread
+backend is the battle-tested baseline, and the process backend must
+produce the same observable service state for the same workload.  Two
+comparison modes:
+
+* **exact** — automatic training triggers are disabled (huge scheduler
+  thresholds) and both backends train at identical explicit barriers
+  (``train_topic`` after ``drain``).  Round coverage is then
+  deterministic, so the full per-topic state must match field for field:
+  record ``(timestamp, raw, template_id)`` sequences, topic watermarks,
+  trained watermarks, model templates, operational stats, and the
+  query path's template groups.
+* **invariant** — automatic triggers stay on, so training rounds land at
+  backend-dependent moments and template *ids* may legitimately differ.
+  The invariants that must still hold: every submitted record stored
+  exactly once (same ``(timestamp, raw)`` multiset), watermark equals
+  the per-topic submit count, and record-count stats agree.
+"""
+
+import pytest
+
+from repro.service.scheduler import SchedulerPolicy
+from repro.service.service import LogParsingService
+
+BACKENDS = ["thread", "process"]
+TOPICS = ("checkout", "payments", "inventory")
+NEVER = 10**9
+
+STATUS = [200, 200, 200, 503, 200, 404, 200]
+
+
+def raw_line(topic: str, i: int) -> str:
+    return (
+        f"{topic} request {i % 97} served for user u{i % 13} "
+        f"in {i % 450} ms status {STATUS[i % len(STATUS)]}"
+    )
+
+
+def submitted_workload(phase: int, n: int = 240):
+    """Deterministic multi-topic interleave; phase shifts the id space."""
+    base = phase * n
+    for i in range(base, base + n):
+        yield TOPICS[i % len(TOPICS)], raw_line(TOPICS[i % len(TOPICS)], i), float(i)
+
+
+def run_workload(tmp_path, backend: str, auto_train: bool):
+    """Run the two-phase workload on one backend; return the state snapshot."""
+    if auto_train:
+        policy = SchedulerPolicy(
+            volume_threshold=50, time_interval_seconds=NEVER, initial_volume_threshold=50
+        )
+    else:
+        policy = SchedulerPolicy(
+            volume_threshold=NEVER, time_interval_seconds=NEVER, initial_volume_threshold=NEVER
+        )
+    root = tmp_path / backend
+    service = LogParsingService(scheduler_policy=policy, store_root=root / "store")
+    for name in TOPICS:
+        service.create_topic(name)
+    runtime = service.sharded_runtime(
+        backend=backend,
+        n_shards=2,
+        micro_batch_size=16,
+        max_batch_delay=0.002,
+        wal_dir=root / "wal",
+    )
+    with runtime:
+        for phase in range(2):
+            for topic, raw, ts in submitted_workload(phase):
+                runtime.submit(topic, raw, ts)
+            runtime.drain()
+            if not auto_train:
+                for name in TOPICS:
+                    runtime.train_topic(name, now=1000.0 * (phase + 1))
+        runtime.drain()
+        snapshot = {name: topic_snapshot(service, name) for name in TOPICS}
+    return snapshot
+
+
+def topic_snapshot(service, name):
+    engine = service.topic(name)
+    return {
+        "records": [
+            (r.timestamp, r.raw, r.template_id) for r in engine.topic.records()
+        ],
+        "watermark": engine.topic.high_watermark,
+        "trained_watermark": engine.trained_watermark,
+        "templates": sorted(
+            (t.template_id, t.tokens, t.parent_id, t.depth, t.is_temporary)
+            for t in engine.parser.model.templates()
+        ),
+        "stats": service.topic_stats(name),
+        "query": [
+            (group.display_text, group.count)
+            for group in service.query_templates(name, threshold=0.6)
+        ],
+    }
+
+
+class TestExactEquivalence:
+    def test_backends_produce_identical_state(self, tmp_path):
+        thread_state = run_workload(tmp_path, "thread", auto_train=False)
+        process_state = run_workload(tmp_path, "process", auto_train=False)
+        for name in TOPICS:
+            for key in thread_state[name]:
+                assert process_state[name][key] == thread_state[name][key], (
+                    f"backend divergence in topic {name!r}, field {key!r}"
+                )
+
+    def test_exact_mode_actually_trained(self, tmp_path):
+        # Guard against the harness passing vacuously on two untrained
+        # (template-id-less) states.
+        state = run_workload(tmp_path, "process", auto_train=False)
+        for name in TOPICS:
+            assert state[name]["templates"], f"no templates trained for {name!r}"
+            assert any(tid is not None for _, _, tid in state[name]["records"])
+            assert state[name]["stats"]["training_rounds"] >= 2
+
+
+class TestInvariantEquivalence:
+    def test_no_loss_no_duplication_under_auto_training(self, tmp_path):
+        thread_state = run_workload(tmp_path, "thread", auto_train=True)
+        process_state = run_workload(tmp_path, "process", auto_train=True)
+        expected = {name: [] for name in TOPICS}
+        for phase in range(2):
+            for topic, raw, ts in submitted_workload(phase):
+                expected[topic].append((ts, raw))
+        for name in TOPICS:
+            want = sorted(expected[name])
+            for state in (thread_state, process_state):
+                got = sorted((ts, raw) for ts, raw, _ in state[name]["records"])
+                assert got == want, f"lost or duplicated records in topic {name!r}"
+                assert state[name]["watermark"] == len(want)
+            assert (
+                thread_state[name]["stats"]["n_records"]
+                == process_state[name]["stats"]["n_records"]
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_auto_triggers_fire_on_each_backend(self, tmp_path, backend):
+        state = run_workload(tmp_path, backend, auto_train=True)
+        assert any(state[name]["stats"]["training_rounds"] >= 1 for name in TOPICS)

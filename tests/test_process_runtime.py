@@ -1,0 +1,466 @@
+"""Process shard backend: lifecycle, selection, and the crash matrix.
+
+Companion to the parametrized suites (``test_differential_backends``,
+``test_supervisor``): everything here is specific to the *process*
+transport — backend selection, the fork boundary (picklable config,
+failpoint propagation into children), in-test ``SIGKILL`` of worker
+processes, and driver death with a child-written WAL.
+
+The durability contract differs from the thread backend in exactly one
+place, and these tests pin it down: submit-return is *not* the process
+backend's durability point (the WAL append happens inside the child);
+the ``drain()`` barrier is.  Crash assertions therefore anchor on drain
+barriers (``DRAIN`` markers in the crash-child ack log) rather than on
+raw ack counts.
+"""
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import failpoints
+from repro.core.config import ByteBrainConfig
+from repro.service.recovery import RecoveredRuntime
+from repro.service.runtime import BACKEND_ENV_VAR, ShardedRuntime, create_runtime
+from repro.service.scheduler import SchedulerPolicy
+from repro.service.service import LogParsingService
+from repro.service.transport import ProcessShardedRuntime, _ChildSpec
+
+TOPICS = ("checkout", "payments")
+CHILD = Path(__file__).resolve().parent / "crash_child.py"
+REPO_SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    failpoints.clear_all()
+    yield
+    failpoints.clear_all()
+
+
+def fast_restart_config(**overrides) -> ByteBrainConfig:
+    defaults = dict(
+        worker_restart_max_attempts=3,
+        worker_restart_backoff=0.005,
+        worker_restart_backoff_max=0.02,
+    )
+    defaults.update(overrides)
+    return ByteBrainConfig(**defaults)
+
+
+def build_service(tmp_path, config=None, scheduler_policy=None):
+    service = LogParsingService(
+        config=config or fast_restart_config(),
+        scheduler_policy=scheduler_policy,
+        store_root=tmp_path / "store",
+    )
+    for name in TOPICS:
+        service.create_topic(name)
+    return service
+
+
+def raw_line(topic: str, i: int) -> str:
+    return f"{topic} request {i} served for user {i % 13} with latency {i % 450}"
+
+
+def stored_counts(service, topic):
+    counts = {}
+    for record in service.topic(topic).topic.records():
+        counts[record.raw] = counts.get(record.raw, 0) + 1
+    return counts
+
+
+def worker_pids(runtime):
+    return [shard["pid"] for shard in runtime.stats()["shards"]]
+
+
+# --------------------------------------------------------------------- #
+# selection and fork-boundary basics (fast lane)
+# --------------------------------------------------------------------- #
+class TestBackendSelection:
+    def test_env_variable_selects_process_backend(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        service = build_service(tmp_path)
+        runtime = create_runtime(service, n_shards=1, micro_batch_size=8)
+        try:
+            assert isinstance(runtime, ProcessShardedRuntime)
+            assert runtime.stats()["backend"] == "process"
+        finally:
+            runtime.shutdown()
+
+    def test_explicit_backend_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        service = build_service(tmp_path)
+        runtime = create_runtime(service, backend="thread", n_shards=1)
+        try:
+            assert isinstance(runtime, ShardedRuntime)
+            assert runtime.stats()["backend"] == "thread"
+        finally:
+            runtime.shutdown()
+
+    def test_config_knob_selects_backend(self, tmp_path):
+        service = build_service(tmp_path, config=fast_restart_config(shard_backend="process"))
+        runtime = service.sharded_runtime(n_shards=1, micro_batch_size=8)
+        try:
+            assert isinstance(runtime, ProcessShardedRuntime)
+        finally:
+            runtime.shutdown()
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        service = build_service(tmp_path)
+        with pytest.raises(ValueError, match="unknown shard backend"):
+            create_runtime(service, backend="fiber")
+
+    def test_config_is_picklable(self):
+        # Children arm themselves from forked state; a config (or the
+        # failpoint spec strings riding with it) that cannot pickle would
+        # break any future spawn-based transport, so pin it now.
+        config = fast_restart_config(wal_sync_mode="always", n_shards=4)
+        clone = pickle.loads(pickle.dumps(config))
+        assert vars(clone) == vars(config)
+
+    def test_failpoint_specs_are_plain_strings(self):
+        failpoints.configure("worker.batch", "raise", nth=3, times=2)
+        failpoints.configure("wal.sync", "delay", seconds=0.5)
+        specs = failpoints.active_specs()
+        assert specs == pickle.loads(pickle.dumps(specs))
+        assert all(isinstance(spec, str) for spec in specs)
+
+
+class TestProcessLifecycle:
+    def test_ingest_drain_and_stats(self, tmp_path):
+        service = build_service(tmp_path)
+        runtime = service.sharded_runtime(
+            backend="process", n_shards=2, micro_batch_size=16, wal_dir=tmp_path / "wal"
+        )
+        with runtime:
+            for i in range(120):
+                for topic in TOPICS:
+                    runtime.submit(topic, raw_line(topic, i), float(i))
+            runtime.drain()
+            stats = runtime.stats()
+            assert stats["backend"] == "process"
+            assert len(stats["shards"]) == 2
+            # Real worker processes, not threads in disguise.
+            for pid in worker_pids(runtime):
+                assert pid is not None and pid != os.getpid()
+            for shard in stats["shards"]:
+                assert shard["queue_depth"] == 0
+                assert shard["state"] == "running"
+            # The parent mirror serves reads after the barrier.
+            for topic in TOPICS:
+                assert service.topic(topic).topic.high_watermark == 120
+                assert service.topic_stats(topic)["n_records"] == 120.0
+
+    def test_topic_created_after_start_is_rejected(self, tmp_path):
+        service = build_service(tmp_path)
+        runtime = service.sharded_runtime(backend="process", n_shards=1)
+        with runtime:
+            service.create_topic("latecomer")
+            with pytest.raises(KeyError, match="created after"):
+                runtime.submit("latecomer", "too late", 0.0)
+
+    def test_child_spec_carries_incarnation(self, tmp_path):
+        # The stale-reply filter hinges on every spawn bumping the
+        # incarnation; a regression here silently re-opens the
+        # apply-a-dead-child's-sync race.
+        assert "incarnation" in _ChildSpec.__dataclass_fields__
+        service = build_service(tmp_path)
+        runtime = service.sharded_runtime(backend="process", n_shards=1)
+        with runtime:
+            assert runtime._shards[0].incarnation == 1
+
+
+# --------------------------------------------------------------------- #
+# fault matrix (slow lane)
+# --------------------------------------------------------------------- #
+@pytest.mark.slow
+class TestChildFailpoints:
+    def test_worker_batch_failpoint_fires_inside_child(self, tmp_path):
+        """Satellite regression: a ``worker.batch`` failpoint armed in the
+        parent must fire *inside the forked worker* (propagated via
+        ``active_specs``), kill that incarnation, and fold its counters
+        back into the parent registry."""
+        failpoints.configure("worker.batch", "raise", nth=3, times=1)
+        service = build_service(tmp_path)
+        runtime = service.sharded_runtime(
+            backend="process", n_shards=1, micro_batch_size=8,
+            max_batch_delay=0.002, wal_dir=tmp_path / "wal",
+        )
+        with runtime:
+            for i in range(200):
+                runtime.submit(TOPICS[0], raw_line(TOPICS[0], i), float(i))
+            runtime.drain()
+            counts = stored_counts(service, TOPICS[0])
+            assert len(counts) == 200
+            assert all(n == 1 for n in counts.values())
+            assert runtime.stats()["restarts"] >= 1
+            # The dead child's counters were absorbed: the bounded fault
+            # is spent in the parent registry too.
+            assert failpoints.state()["worker.batch"]["fired"] == 1
+
+    def test_mid_fsync_crash_is_survived_exactly_once(self, tmp_path):
+        failpoints.configure("wal.sync", "raise", nth=2, times=1)
+        service = build_service(tmp_path)
+        runtime = service.sharded_runtime(
+            backend="process", n_shards=1, micro_batch_size=8,
+            max_batch_delay=0.002, wal_dir=tmp_path / "wal",
+        )
+        with runtime:
+            for i in range(300):
+                runtime.submit(TOPICS[0], raw_line(TOPICS[0], i), float(i))
+            runtime.drain()
+            counts = stored_counts(service, TOPICS[0])
+            assert len(counts) == 300
+            assert all(n == 1 for n in counts.values())
+            assert runtime.stats()["restarts"] >= 1
+
+
+@pytest.mark.slow
+class TestSigkillMatrix:
+    @pytest.mark.parametrize("kill_after", [64, 256])
+    def test_sigkill_mid_stream_is_exactly_once(self, tmp_path, kill_after):
+        """SIGKILL a worker mid-stream (auto-rounds running, so the kill
+        can land mid-round or mid-write); the restarted incarnation must
+        resync and land every record exactly once."""
+        service = build_service(
+            tmp_path,
+            scheduler_policy=SchedulerPolicy(
+                volume_threshold=50, time_interval_seconds=10**9,
+                initial_volume_threshold=50,
+            ),
+        )
+        runtime = service.sharded_runtime(
+            backend="process", n_shards=2, micro_batch_size=16,
+            max_batch_delay=0.002, wal_dir=tmp_path / "wal",
+        )
+        with runtime:
+            victims = worker_pids(runtime)
+            killed = False
+            for i in range(500):
+                for topic in TOPICS:
+                    runtime.submit(topic, raw_line(topic, i), float(i))
+                if not killed and i == kill_after:
+                    os.kill(victims[0], signal.SIGKILL)
+                    killed = True
+            runtime.drain()
+            for topic in TOPICS:
+                counts = stored_counts(service, topic)
+                assert len(counts) == 500, f"records lost in {topic!r}"
+                duplicates = {raw: n for raw, n in counts.items() if n > 1}
+                assert not duplicates, duplicates
+            assert runtime.stats()["restarts"] >= 1
+            # Training still works against the restarted incarnation.
+            info = runtime.train_topic(TOPICS[0], now=10_000.0)
+            assert info is None or "error" not in info
+
+    def test_sigkill_both_workers(self, tmp_path):
+        service = build_service(tmp_path)
+        runtime = service.sharded_runtime(
+            backend="process", n_shards=2, micro_batch_size=16,
+            max_batch_delay=0.002, wal_dir=tmp_path / "wal",
+        )
+        with runtime:
+            for i in range(200):
+                for topic in TOPICS:
+                    runtime.submit(topic, raw_line(topic, i), float(i))
+            for pid in worker_pids(runtime):
+                os.kill(pid, signal.SIGKILL)
+            for i in range(200, 400):
+                for topic in TOPICS:
+                    runtime.submit(topic, raw_line(topic, i), float(i))
+            runtime.drain()
+            for topic in TOPICS:
+                counts = stored_counts(service, topic)
+                assert len(counts) == 400
+                assert all(n == 1 for n in counts.values())
+            assert runtime.stats()["restarts"] >= 2
+
+    def test_restart_budget_resets_after_healthy_run(self, tmp_path, monkeypatch):
+        # _HEALTHY_RESET_SECONDS was imported *by value* into the
+        # transport module; patch both homes or the test lies.
+        monkeypatch.setattr("repro.service.runtime._HEALTHY_RESET_SECONDS", 0.0)
+        monkeypatch.setattr("repro.service.transport._HEALTHY_RESET_SECONDS", 0.0)
+        service = build_service(tmp_path)
+        runtime = service.sharded_runtime(
+            backend="process", n_shards=1, micro_batch_size=8,
+            max_batch_delay=0.002, wal_dir=tmp_path / "wal",
+        )
+        with runtime:
+            # 5 kills against a restart budget of 3: only survivable
+            # because every healthy incarnation resets the budget.
+            for round_index in range(5):
+                base = round_index * 40
+                for i in range(base, base + 40):
+                    runtime.submit(TOPICS[0], raw_line(TOPICS[0], i), float(i))
+                runtime.drain()
+                os.kill(worker_pids(runtime)[0], signal.SIGKILL)
+                deadline = time.monotonic() + 10.0
+                while runtime.stats()["restarts"] < round_index + 1:
+                    assert time.monotonic() < deadline, "supervisor missed the kill"
+                    time.sleep(0.01)
+            runtime.drain()
+            counts = stored_counts(service, TOPICS[0])
+            assert len(counts) == 200
+            assert all(n == 1 for n in counts.values())
+            assert runtime.stats()["restarts"] == 5
+            assert runtime.stats()["degraded_shards"] == []
+
+    def test_drained_records_survive_quarantine(self, tmp_path):
+        """Process analog of the thread backend's quarantine-durability
+        test, anchored on the drain barrier: records drained before the
+        shard is quarantined must be recoverable from the child-written
+        WAL."""
+        service = build_service(tmp_path)
+        runtime = service.sharded_runtime(
+            backend="process", n_shards=1, micro_batch_size=8,
+            max_batch_delay=0.002, wal_dir=tmp_path / "wal",
+        )
+        drained = [raw_line(TOPICS[0], i) for i in range(50)]
+        for i, raw in enumerate(drained):
+            runtime.submit(TOPICS[0], raw, float(i))
+        runtime.drain()
+        # Kill every incarnation until the budget (3) is spent.
+        deadline = time.monotonic() + 30.0
+        while runtime.stats()["shards"][0]["state"] != "quarantined":
+            assert time.monotonic() < deadline, "shard never quarantined"
+            pid = worker_pids(runtime)[0]
+            if pid is not None:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+            time.sleep(0.02)
+        with pytest.raises(RuntimeError, match="closed"):
+            runtime.submit(TOPICS[0], "rejected", 99.0)
+        with pytest.raises(RuntimeError, match="shard worker died"):
+            runtime.shutdown()
+        with RecoveredRuntime.open(
+            tmp_path / "store", tmp_path / "wal", config=fast_restart_config()
+        ) as recovered:
+            counts = {}
+            for record in recovered.service.topic(TOPICS[0]).topic.records():
+                counts[record.raw] = counts.get(record.raw, 0) + 1
+            for raw in drained:
+                assert counts.get(raw) == 1, f"drained record lost or duplicated: {raw}"
+            assert all(n == 1 for n in counts.values())
+
+
+# --------------------------------------------------------------------- #
+# driver death: the WAL the children wrote must recover (slow lane)
+# --------------------------------------------------------------------- #
+def run_crash_child(tmp_path, **extra_args):
+    store = tmp_path / "store"
+    wal_dir = tmp_path / "wal"
+    ack_file = tmp_path / "acks.log"
+    argv = [
+        sys.executable, str(CHILD),
+        "--store", str(store),
+        "--wal-dir", str(wal_dir),
+        "--ack-file", str(ack_file),
+        "--backend", "process",
+    ]
+    for flag, value in extra_args.items():
+        argv += [f"--{flag.replace('_', '-')}", str(value)]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(argv, capture_output=True, text=True, env=env, timeout=180)
+    return store, wal_dir, ack_file, result
+
+
+def read_ack_log(ack_file):
+    """(per-topic acked indices, index count covered by the last DRAIN)."""
+    acks = {topic: set() for topic in TOPICS}
+    drain_barrier = 0
+    payload = ack_file.read_bytes().decode("utf-8", errors="replace")
+    for line in payload.split("\n")[:-1]:
+        parts = line.split("\t")
+        if len(parts) != 2 or not parts[1].isdigit():
+            continue
+        if parts[0] == "DRAIN":
+            drain_barrier = max(drain_barrier, int(parts[1]))
+        elif parts[0] in acks:
+            acks[parts[0]].add(int(parts[1]))
+    return acks, drain_barrier
+
+
+@pytest.mark.slow
+class TestDriverDeath:
+    def test_child_written_wal_recovers_past_drain_barrier(self, tmp_path):
+        """SIGKILL the *driver* (parent) after a drain barrier: the shard
+        WALs live in worker processes, so recovery reads segments the
+        parent never touched.  Everything drained must restore exactly
+        once; nothing may duplicate."""
+        store, wal_dir, ack_file, result = run_crash_child(
+            tmp_path, kill_at="after_acks", kill_after=500,
+            drain_at=300, records=400,
+        )
+        assert result.returncode == -signal.SIGKILL, result.stderr
+        acks, drain_barrier = read_ack_log(ack_file)
+        assert drain_barrier == 300
+        # Orphaned workers see cmd-pipe EOF and exit on their own
+        # (closing their WAL segments); give them a moment.
+        time.sleep(1.0)
+        with RecoveredRuntime.open(
+            store, wal_dir, config=ByteBrainConfig(wal_segment_bytes=256 * 1024)
+        ) as recovered:
+            drained = {
+                topic: {i for i in acks[topic] if len(TOPICS) * i < drain_barrier}
+                for topic in TOPICS
+            }
+            for topic in TOPICS:
+                recovery = next(t for t in recovered.report.topics if t.topic == topic)
+                captured = recovery.captured_seq
+                counts = {}
+                for record in recovered.service.topic(topic).topic.records():
+                    counts[record.raw] = counts.get(record.raw, 0) + 1
+                duplicates = {raw: n for raw, n in counts.items() if n > 1}
+                assert not duplicates, duplicates
+                for i in sorted(drained[topic]):
+                    raw = raw_line(topic, i)
+                    if i < captured:
+                        # Captured by a child-persisted snapshot: its
+                        # template knowledge travels in the loaded model;
+                        # replaying it too would double-count.
+                        assert raw not in counts, (
+                            f"captured record {topic}/{i} also replayed"
+                        )
+                    else:
+                        assert counts.get(raw) == 1, (
+                            f"drained record lost: {topic}/{i}"
+                        )
+
+    def test_recovery_can_reopen_with_process_backend(self, tmp_path):
+        store, wal_dir, ack_file, result = run_crash_child(
+            tmp_path, kill_at="after_acks", kill_after=400,
+            drain_at=200, records=400,
+        )
+        assert result.returncode == -signal.SIGKILL, result.stderr
+        time.sleep(1.0)
+        with RecoveredRuntime.open(
+            store, wal_dir,
+            config=ByteBrainConfig(wal_segment_bytes=256 * 1024),
+            backend="process", n_shards=2, micro_batch_size=32,
+            max_batch_delay=0.002,
+        ) as recovered:
+            runtime = recovered.runtime
+            assert runtime.stats()["backend"] == "process"
+            before = {
+                topic: recovered.service.topic(topic).topic.high_watermark
+                for topic in TOPICS
+            }
+            for i in range(1000, 1100):
+                for topic in TOPICS:
+                    runtime.submit(topic, raw_line(topic, i), float(i))
+            runtime.drain()
+            for topic in TOPICS:
+                assert (
+                    recovered.service.topic(topic).topic.high_watermark
+                    == before[topic] + 100
+                )

@@ -17,6 +17,16 @@ pytestmark = pytest.mark.slow
 
 TOPIC = "orders"
 
+#: Most fault scenarios here run against both shard transports.  The
+#: process backend propagates failpoint specs to children **at spawn**
+#: (``failpoints.active_specs()``), so parametrized tests arm their
+#: failpoints *before* building the runtime — equivalent for threads,
+#: mandatory for processes.  Tests that rely on submit-return being the
+#: durability point (it is for threads, the drain barrier is for
+#: processes) or on re-arming failpoints against live workers stay
+#: thread-only; their process analogs live in ``test_process_runtime.py``.
+BACKENDS = ["thread", "process"]
+
 
 @pytest.fixture(autouse=True)
 def _clean_failpoints():
@@ -35,7 +45,7 @@ def fast_restart_config(**overrides) -> ByteBrainConfig:
     return ByteBrainConfig(**defaults)
 
 
-def make_runtime(tmp_path, config=None, wal=True, **kwargs):
+def make_runtime(tmp_path, config=None, wal=True, backend="thread", **kwargs):
     service = LogParsingService(
         config=config or fast_restart_config(), store_root=tmp_path / "store"
     )
@@ -45,7 +55,7 @@ def make_runtime(tmp_path, config=None, wal=True, **kwargs):
     kwargs.setdefault("max_batch_delay", 0.002)
     if wal:
         kwargs.setdefault("wal_dir", tmp_path / "wal")
-    return service, service.sharded_runtime(**kwargs)
+    return service, service.sharded_runtime(backend=backend, **kwargs)
 
 
 def raw_line(i: int) -> str:
@@ -60,10 +70,11 @@ def stored_counts(service):
 
 
 class TestSupervisedRestart:
-    def test_transient_crash_is_restarted_and_no_record_lost(self, tmp_path):
-        service, runtime = make_runtime(tmp_path)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_transient_crash_is_restarted_and_no_record_lost(self, tmp_path, backend):
+        failpoints.configure("worker.batch", "raise", nth=3, times=1)
+        service, runtime = make_runtime(tmp_path, backend=backend)
         with runtime:
-            failpoints.configure("worker.batch", "raise", nth=3, times=1)
             for i in range(200):
                 runtime.submit(TOPIC, raw_line(i), float(i))
             runtime.drain()
@@ -78,12 +89,13 @@ class TestSupervisedRestart:
             assert stats["shards"][0]["state"] == "running"
             assert any("restart" in message for message in runtime.errors)
 
-    def test_repeated_crashes_with_wal_stay_exactly_once(self, tmp_path):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_repeated_crashes_with_wal_stay_exactly_once(self, tmp_path, backend):
         """Three separate mid-batch crashes; the WAL resync + seq filter
         must land every acked record exactly once."""
-        service, runtime = make_runtime(tmp_path)
+        failpoints.configure("worker.batch", "raise", nth=2, times=3)
+        service, runtime = make_runtime(tmp_path, backend=backend)
         with runtime:
-            failpoints.configure("worker.batch", "raise", nth=2, times=3)
             for i in range(300):
                 runtime.submit(TOPIC, raw_line(i), float(i))
             runtime.drain()
@@ -93,9 +105,10 @@ class TestSupervisedRestart:
             assert not duplicates, duplicates
             assert runtime.stats()["restarts"] == 3
 
-    def test_quarantine_after_budget_exhausted(self, tmp_path):
-        service, runtime = make_runtime(tmp_path)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_quarantine_after_budget_exhausted(self, tmp_path, backend):
         failpoints.configure("worker.batch", "raise")  # every batch dies
+        service, runtime = make_runtime(tmp_path, backend=backend)
         runtime.submit(TOPIC, raw_line(0), 0.0)
         with pytest.raises(RuntimeError, match="shard worker died"):
             runtime.drain()
@@ -210,13 +223,14 @@ class TestWalFaults:
             # that one.
             assert stored == sorted(acked)
 
-    def test_worker_crash_mid_batch_under_wal_io_faults(self, tmp_path):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_worker_crash_mid_batch_under_wal_io_faults(self, tmp_path, backend):
         """The acceptance scenario: a worker killed mid-batch restarts
         under injected WAL IO faults with no lost or duplicated acked
         records."""
-        service, runtime = make_runtime(tmp_path)
         failpoints.configure("worker.batch", "raise", nth=4, times=2)
         failpoints.configure("wal.sync", "raise", nth=2, times=1)
+        service, runtime = make_runtime(tmp_path, backend=backend)
         acked = []
         for i in range(250):
             try:
@@ -232,12 +246,13 @@ class TestWalFaults:
 
 
 class TestBackpressureDuringRestart:
-    def test_blocked_producer_survives_a_restart(self, tmp_path):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_blocked_producer_survives_a_restart(self, tmp_path, backend):
         """A producer blocked on backpressure while the worker is down
         must neither deadlock nor lose its record once the restarted
         worker drains the queue."""
-        service, runtime = make_runtime(tmp_path, queue_capacity=16)
         failpoints.configure("worker.batch", "raise", nth=2, times=1)
+        service, runtime = make_runtime(tmp_path, queue_capacity=16, backend=backend)
         errors = []
         done = threading.Event()
 
