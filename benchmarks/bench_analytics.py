@@ -1,0 +1,313 @@
+"""Benchmark: incremental window analytics vs the O(N) recompute oracle.
+
+The §6 analytics surface (top-k templates, anomaly detection, period
+comparison) originally rescanned the topic's record list per query.  PR 8
+materializes time-bucketed aggregates on the ingest commit path
+(:mod:`repro.service.columnar`), turning repeated window queries into
+O(buckets-touched) lookups.  This benchmark ingests a LogHub-2.0-style
+stream at a fixed record rate, then answers the same mixed query workload
+(top-k / anomaly windows / period comparisons) through both engines:
+
+* ``incremental`` — materialized bucket counters + lazy prefix sums;
+* ``recompute`` — the retained differential oracle that scans records.
+
+Both must return **byte-identical** answers (the run aborts otherwise);
+the headline number is the wall-clock speedup of the incremental engine
+over the oracle on the identical workload.  ``--smoke --check-floor
+BENCH_analytics.json`` is the CI gate form.  Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_analytics.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.core.config import ByteBrainConfig
+from repro.datasets.catalog import SYSTEM_SPECS
+from repro.datasets.synthetic import SyntheticLogGenerator
+from repro.service.service import LogParsingService
+
+TOPIC = "analytics-bench"
+
+DEFAULT_RECORDS = 500_000
+DEFAULT_TRAIN_RECORDS = 4_000
+DEFAULT_QUERIES = 32
+#: How many time buckets the simulated stream spans: the record rate is
+#: derived as ``n_records / (stream_buckets * bucket_seconds)`` so the
+#: aggregate structure is actually exercised at every scale — wide windows
+#: hit the prefix sums over many full buckets, narrow ones the vectorised
+#: edge-bucket scans.
+DEFAULT_STREAM_BUCKETS = 160
+DEFAULT_BUCKET_SECONDS = 60.0
+#: Corpus size for ``--smoke`` (CI PR gate): runs in seconds; the
+#: incremental-vs-recompute ratio shrinks with N, so the smoke floor is
+#: derived from the reference with a generous fraction plus an absolute
+#: minimum rather than taken at face value.
+SMOKE_RECORDS = 40_000
+SMOKE_TRAIN_RECORDS = 1_500
+SMOKE_QUERIES = 10
+SMOKE_STREAM_BUCKETS = 24
+
+#: The tentpole acceptance gate for full runs: incremental window queries
+#: must beat the recompute oracle by at least this factor at 500k records.
+FULL_RUN_MINIMUM_SPEEDUP = 10.0
+#: ``check_floor`` passes when the measured speedup clears
+#: ``max(FLOOR_MINIMUM, FLOOR_FRACTION * reference_speedup_at_this_scale)``.
+FLOOR_FRACTION = 0.25
+FLOOR_MINIMUM = 5.0
+
+
+def build_corpus(n_logs: int, system: str = "Spark") -> List[str]:
+    """LogHub-2.0-style synthetic stream (heavy Zipf duplication)."""
+    generator = SyntheticLogGenerator(SYSTEM_SPECS[system])
+    return generator.generate(n_logs=n_logs, variant="loghub2").lines
+
+
+def build_service(
+    n_records: int,
+    train_records: int,
+    bucket_seconds: float,
+    stream_buckets: int,
+) -> Tuple[LogParsingService, float, float]:
+    """Train a topic, then stream ``n_records`` at a fixed simulated rate.
+
+    Returns ``(service, stream_start, stream_end)`` timestamps bounding
+    the measured stream.
+    """
+    config = ByteBrainConfig(analytics_bucket_seconds=bucket_seconds)
+    service = LogParsingService(config=config)
+    service.create_topic(TOPIC)
+    engine = service.topic(TOPIC)
+    lines = build_corpus(n_records + train_records)
+
+    t0 = 1_700_000_000.0
+    engine.ingest_batch(lines[:train_records], t0)
+    engine.train_now(t0)
+
+    records_per_second = n_records / (stream_buckets * bucket_seconds)
+    stream_start = t0 + bucket_seconds
+    now = stream_start
+    batch = 2_000
+    for lo in range(train_records, len(lines), batch):
+        raws = lines[lo : lo + batch]
+        engine.ingest_batch_fast(raws, now)
+        now += len(raws) / records_per_second
+    return service, stream_start, now
+
+
+def build_queries(
+    stream_start: float, stream_end: float, n_queries: int, bucket_seconds: float
+) -> List[Dict[str, Tuple[float, float]]]:
+    """A deterministic mixed window workload over the stream's time span.
+
+    Widths range from sub-bucket (edge-scan heavy) to a large fraction of
+    the stream (prefix-sum heavy); every query carries a current window
+    and the equal-width window preceding it (anomaly baseline / period A).
+    """
+    rng = random.Random(7)
+    span = stream_end - stream_start
+    queries: List[Dict[str, Tuple[float, float]]] = []
+    for index in range(n_queries):
+        fraction = [0.005, 0.05, 0.25, 0.6][index % 4]
+        width = max(span * fraction, bucket_seconds / 3.0)
+        start = stream_start + rng.random() * max(span - width, 0.0) + width
+        queries.append(
+            {
+                "current": (start, start + width),
+                "previous": (start - width, start),
+            }
+        )
+    return queries
+
+
+def run_queries(
+    service: LogParsingService, queries: List[Dict[str, Tuple[float, float]]], mode: str
+) -> Tuple[float, List[object]]:
+    """Answer the whole workload through one engine; returns (seconds,
+    answers) — answers are compared across engines for byte-identity."""
+    answers: List[object] = []
+    start = time.perf_counter()
+    for query in queries:
+        current = query["current"]
+        previous = query["previous"]
+        answers.append(service.top_k_templates(TOPIC, *current, k=10, engine=mode))
+        answers.append(service.detect_anomalies(TOPIC, previous, current, engine=mode))
+        comparison = service.compare_periods(TOPIC, previous, current, engine=mode)
+        answers.append(
+            (
+                comparison.jensen_shannon_divergence,
+                comparison.added_templates,
+                comparison.removed_templates,
+                comparison.largest_shifts,
+            )
+        )
+    return time.perf_counter() - start, answers
+
+
+def run(
+    n_records: int = DEFAULT_RECORDS,
+    train_records: int = DEFAULT_TRAIN_RECORDS,
+    n_queries: int = DEFAULT_QUERIES,
+    bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
+    stream_buckets: int = DEFAULT_STREAM_BUCKETS,
+    output: Optional[Path] = None,
+    enforce: bool = True,
+    smoke: bool = False,
+) -> Dict[str, object]:
+    service, stream_start, stream_end = build_service(
+        n_records, train_records, bucket_seconds, stream_buckets
+    )
+    engine = service.topic(TOPIC)
+    queries = build_queries(stream_start, stream_end, n_queries, bucket_seconds)
+
+    # Warm the lazy prefix index once (a production stream pays this on
+    # its first wide query after a quiet period), then measure the
+    # steady state both engines would serve dashboards from.
+    service.top_k_templates(TOPIC, stream_start, stream_end, k=5, engine="incremental")
+
+    recompute_seconds, recompute_answers = run_queries(service, queries, "recompute")
+    incremental_seconds, incremental_answers = run_queries(service, queries, "incremental")
+    identical = incremental_answers == recompute_answers
+    if not identical:
+        for index, (got, expected) in enumerate(zip(incremental_answers, recompute_answers)):
+            if got != expected:
+                raise AssertionError(
+                    f"incremental answer {index} diverged from the recompute "
+                    f"oracle:\n  incremental: {got!r}\n  recompute:   {expected!r}"
+                )
+
+    # Drill-down identity over a few windows (not timed: the oracle's
+    # full scan per call would just re-measure the same O(N) story).
+    for query in queries[:3]:
+        assert service.drill_down(TOPIC, *query["current"], limit=50, engine="incremental") == (
+            service.drill_down(TOPIC, *query["current"], limit=50, engine="recompute")
+        ), "drill-down diverged from the recompute oracle"
+
+    speedup = recompute_seconds / incremental_seconds if incremental_seconds > 0 else float("inf")
+    n_answers = len(queries)
+    report: Dict[str, object] = {
+        "benchmark": "analytics",
+        "smoke": smoke,
+        "n_records": n_records,
+        "n_queries": n_answers,
+        "bucket_seconds": bucket_seconds,
+        "stream_buckets": stream_buckets,
+        "stream_span_seconds": round(stream_end - stream_start, 3),
+        "recompute_seconds": round(recompute_seconds, 4),
+        "incremental_seconds": round(incremental_seconds, 4),
+        "speedup": round(speedup, 2),
+        "queries_per_second_incremental": (
+            round(n_answers / incremental_seconds, 1) if incremental_seconds > 0 else None
+        ),
+        "queries_per_second_recompute": (
+            round(n_answers / recompute_seconds, 1) if recompute_seconds > 0 else None
+        ),
+        "identical_answers": identical,
+        "aggregates": engine.analytics.stats(),
+    }
+
+    print(json.dumps(report, indent=2))
+    if enforce and not smoke:
+        if speedup < FULL_RUN_MINIMUM_SPEEDUP:
+            raise AssertionError(
+                f"incremental analytics speedup {speedup:.1f}x is below the "
+                f"{FULL_RUN_MINIMUM_SPEEDUP:.0f}x tentpole gate at {n_records} records"
+            )
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}", file=sys.stderr)
+    return report
+
+
+def check_floor(report: Dict[str, object], reference_path: Path) -> int:
+    """CI gate: the measured speedup must clear a conservative floor
+    derived from the checked-in reference artifact.
+
+    The incremental-vs-recompute ratio grows ~linearly with stream size
+    (the oracle is O(N) per query, the aggregates are O(buckets)), so
+    the full-run reference is first rescaled to this run's record count
+    before the fraction applies — a smoke run is held to a smoke-scale
+    floor, not to the 500k-record headline number.
+    """
+    reference = json.loads(reference_path.read_text())
+    reference_speedup = float(reference["speedup"])
+    scale = float(report["n_records"]) / float(reference["n_records"])
+    expected = reference_speedup * scale
+    floor = max(FLOOR_MINIMUM, expected * FLOOR_FRACTION)
+    measured = float(report["speedup"])
+    print(
+        f"analytics floor check: measured speedup {measured:.1f}x vs floor "
+        f"{floor:.1f}x (= max({FLOOR_MINIMUM}, {FLOOR_FRACTION} * reference "
+        f"{reference_speedup:.1f}x rescaled by {scale:.2f} to this run's "
+        f"{report['n_records']} records))"
+    )
+    if not report.get("identical_answers", False):
+        print("FAIL: incremental answers diverged from the recompute oracle")
+        return 1
+    if measured < floor:
+        print("FAIL: incremental analytics speedup regressed below the floor")
+        return 1
+    print("OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=None, help="records to stream")
+    parser.add_argument("--queries", type=int, default=None, help="queries to answer")
+    parser.add_argument(
+        "--bucket-seconds", type=float, default=DEFAULT_BUCKET_SECONDS,
+        help="aggregate bucket width",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"CI smoke mode: {SMOKE_RECORDS} records, {SMOKE_QUERIES} queries, "
+        "no full-run speedup gate",
+    )
+    parser.add_argument(
+        "--check-floor",
+        type=Path,
+        default=None,
+        metavar="REFERENCE_JSON",
+        help="compare the measured speedup against a reference artifact floor",
+    )
+    parser.add_argument("--output", type=Path, default=None, help="write the report JSON here")
+    args = parser.parse_args()
+
+    n_records = args.records if args.records is not None else (
+        SMOKE_RECORDS if args.smoke else DEFAULT_RECORDS
+    )
+    n_queries = args.queries if args.queries is not None else (
+        SMOKE_QUERIES if args.smoke else DEFAULT_QUERIES
+    )
+    output = args.output
+    if output is None and not args.smoke:
+        output = Path(__file__).resolve().parent / "BENCH_analytics.json"
+
+    report = run(
+        n_records=n_records,
+        train_records=SMOKE_TRAIN_RECORDS if args.smoke else DEFAULT_TRAIN_RECORDS,
+        n_queries=n_queries,
+        bucket_seconds=args.bucket_seconds,
+        stream_buckets=SMOKE_STREAM_BUCKETS if args.smoke else DEFAULT_STREAM_BUCKETS,
+        output=output,
+        enforce=True,
+        smoke=args.smoke,
+    )
+    if args.check_floor is not None:
+        return check_floor(report, args.check_floor)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -305,6 +305,12 @@ def main() -> int:
     output = args.output
     if output is None and not args.smoke:
         output = Path(__file__).resolve().parent / "BENCH_sharded.json"
+    if args.smoke and (os.cpu_count() or 1) < 4:
+        print(
+            f"notice: only {os.cpu_count() or 1} CPU(s) visible — process-backend "
+            "speedups are not representative; check_floor applies its reduced "
+            "low-core floor (see process_floor_ratio)."
+        )
     report = run(
         n_topics=args.topics,
         records_per_topic=records,

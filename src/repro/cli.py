@@ -289,6 +289,102 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analytics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.recovery import RecoveredRuntime
+    from repro.service.wal import WalCorruptionError
+
+    if args.query == "compare" and (args.baseline_start is None or args.baseline_end is None):
+        print(
+            "error: compare needs --baseline-start/--baseline-end (period A)",
+            file=sys.stderr,
+        )
+        return 2
+    if not Path(args.wal_dir).is_dir():
+        print(f"error: {args.wal_dir} is not a directory", file=sys.stderr)
+        return 2
+    try:
+        recovered = RecoveredRuntime.open(
+            Path(args.store), Path(args.wal_dir), start_runtime=False
+        )
+    except WalCorruptionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    service = recovered.service
+    if args.topic not in service.topic_names():
+        print(f"error: topic {args.topic!r} not found in recovered state", file=sys.stderr)
+        return 2
+
+    window = (args.start, args.end)
+    if args.query == "top-k":
+        pairs = service.top_k_templates(
+            args.topic, args.start, args.end, k=args.k, engine=args.engine
+        )
+        model = service.topic(args.topic).parser.model
+        rows = [
+            {
+                "template_id": tid,
+                "count": count,
+                "template": " ".join(model.get(tid).tokens) if tid in model else "-",
+            }
+            for tid, count in pairs
+        ]
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        elif rows:
+            print(format_table(rows, ["template_id", "count", "template"]))
+        else:
+            print("no records in window")
+        return 0
+
+    if args.query == "anomaly":
+        baseline = (
+            (args.baseline_start, args.baseline_end)
+            if args.baseline_start is not None and args.baseline_end is not None
+            else (args.start - (args.end - args.start), args.start)
+        )
+        anomalies = service.detect_anomalies(args.topic, baseline, window, engine=args.engine)
+        score = service.anomaly_score(
+            args.topic, window, baseline_window=baseline, engine=args.engine
+        )
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "anomaly_score": score,
+                        "anomalies": [vars(anomaly) for anomaly in anomalies],
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            for anomaly in anomalies:
+                print(str(anomaly))
+            print(f"# anomaly score: {score:.4f} ({len(anomalies)} anomalies)")
+        return 0
+
+    # args.query == "compare"
+    comparison = service.compare_periods(
+        args.topic, (args.baseline_start, args.baseline_end), window, engine=args.engine
+    )
+    payload = {
+        "jensen_shannon_divergence": comparison.jensen_shannon_divergence,
+        "added_templates": comparison.added_templates,
+        "removed_templates": comparison.removed_templates,
+        "largest_shifts": comparison.largest_shifts,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"JSD: {comparison.jensen_shannon_divergence:.6f}")
+        print(f"added: {comparison.added_templates}")
+        print(f"removed: {comparison.removed_templates}")
+        for tid, delta in comparison.largest_shifts:
+            print(f"shift: template {tid} {delta:+.4f}")
+    return 0
+
+
 def _arm_failpoints(args: argparse.Namespace) -> int:
     """Arm any ``--failpoint`` specs; returns 0 or an error exit code."""
     from repro.core import failpoints
@@ -520,6 +616,38 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--wal-dir", required=True, help="WAL root directory")
     recover.add_argument("--output", help="optional path for the JSON recovery report")
     recover.set_defaults(func=_cmd_recover)
+
+    analytics = subparsers.add_parser(
+        "analytics",
+        help="window analytics (top-k / anomaly / compare) over recovered state",
+    )
+    analytics.add_argument(
+        "query", choices=["top-k", "anomaly", "compare"], help="which question to ask"
+    )
+    analytics.add_argument("--store", required=True, help="model store root (one dir per topic)")
+    analytics.add_argument("--wal-dir", required=True, help="WAL root directory")
+    analytics.add_argument("--topic", required=True, help="topic to query")
+    analytics.add_argument(
+        "--start", type=float, required=True, help="window start (unix seconds, inclusive)"
+    )
+    analytics.add_argument(
+        "--end", type=float, required=True, help="window end (unix seconds, exclusive)"
+    )
+    analytics.add_argument(
+        "--baseline-start", type=float, default=None,
+        help="baseline/period-A start (anomaly: defaults to the preceding "
+        "equal-width window; compare: required)",
+    )
+    analytics.add_argument(
+        "--baseline-end", type=float, default=None, help="baseline/period-A end"
+    )
+    analytics.add_argument("-k", type=int, default=10, help="top-k size (top-k query)")
+    analytics.add_argument(
+        "--engine", choices=["incremental", "recompute"], default=None,
+        help="answer from materialized aggregates (default) or the O(N) rescan oracle",
+    )
+    analytics.add_argument("--json", action="store_true", help="emit JSON")
+    analytics.set_defaults(func=_cmd_analytics)
 
     standby = subparsers.add_parser(
         "standby", help="tail a primary WAL and maintain a warm standby directory"

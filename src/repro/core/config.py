@@ -208,6 +208,22 @@ class ByteBrainConfig:
     replication_ship_active: bool = True
 
     # ------------------------------------------------------------------ #
+    # Incremental window analytics (service/columnar.py)
+    # ------------------------------------------------------------------ #
+    #: Width of one time bucket in the per-topic materialized aggregates;
+    #: window queries cost O(buckets touched), so smaller buckets give
+    #: finer partial-window exactness scans, larger ones fewer buckets.
+    analytics_bucket_seconds: float = 60.0
+    #: Retained minima per K-minimum-values variable-value sketch (one
+    #: sketch per template; memory is bounded by this knob).
+    analytics_sketch_size: int = 64
+    #: How the §6 analytics surface answers window queries:
+    #: ``"incremental"`` reads the materialized aggregates (O(buckets)),
+    #: ``"recompute"`` rescans the record list (O(records) — the
+    #: differential oracle the incremental path is tested against).
+    analytics_engine: str = "incremental"
+
+    # ------------------------------------------------------------------ #
     # Per-topic training schedule (service/scheduler.py)
     # ------------------------------------------------------------------ #
     #: Per-topic overrides of the service's default
@@ -285,6 +301,15 @@ class ByteBrainConfig:
             raise ValueError("worker_restart_deadline_seconds must be positive or None")
         if self.replication_poll_interval <= 0.0:
             raise ValueError("replication_poll_interval must be positive")
+        if self.analytics_bucket_seconds <= 0.0:
+            raise ValueError("analytics_bucket_seconds must be positive")
+        if self.analytics_sketch_size < 2:
+            raise ValueError("analytics_sketch_size must be >= 2")
+        if self.analytics_engine not in ("incremental", "recompute"):
+            raise ValueError(
+                "analytics_engine must be 'incremental' or 'recompute', "
+                f"got {self.analytics_engine!r}"
+            )
         for name in (
             "train_volume_threshold",
             "train_time_interval_seconds",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 from repro.core.model import Template, template_similarity
 
@@ -22,6 +22,7 @@ __all__ = [
     "TemplateAnomalyDetector",
     "DistributionComparison",
     "compare_template_distributions",
+    "compare_distribution_counts",
     "FailureScenario",
     "FailureScenarioLibrary",
 ]
@@ -48,14 +49,32 @@ class TemplateAnomaly:
 
 
 class TemplateAnomalyDetector:
-    """Detects count anomalies and newly emerged templates between windows."""
+    """Detects count anomalies and newly emerged templates between windows.
 
-    def __init__(self, spike_ratio: float = 3.0, drop_ratio: float = 3.0, min_count: int = 5) -> None:
+    Scores are clamped to ``score_cap``: a drop to zero occurrences is
+    already maximally anomalous, an unclamped rate ratio (formerly
+    ``base_rate / 1e-9`` ≈ 1e9) adds nothing but numeric noise.  Drop
+    detection is additionally skipped when the current window holds fewer
+    than ``min_count`` records — a near-empty window says "no traffic",
+    not "every baseline template dropped", and flagging all of them was
+    the old behaviour's failure mode.
+    """
+
+    def __init__(
+        self,
+        spike_ratio: float = 3.0,
+        drop_ratio: float = 3.0,
+        min_count: int = 5,
+        score_cap: float = 1000.0,
+    ) -> None:
         if spike_ratio <= 1.0 or drop_ratio <= 1.0:
             raise ValueError("spike_ratio and drop_ratio must be > 1")
+        if score_cap <= 1.0:
+            raise ValueError("score_cap must be > 1")
         self.spike_ratio = spike_ratio
         self.drop_ratio = drop_ratio
         self.min_count = min_count
+        self.score_cap = score_cap
 
     def detect(
         self,
@@ -63,13 +82,30 @@ class TemplateAnomalyDetector:
         current_template_ids: Sequence[int],
     ) -> List[TemplateAnomaly]:
         """Compare two windows of per-record template ids."""
-        baseline = Counter(baseline_template_ids)
-        current = Counter(current_template_ids)
+        return self.detect_from_counts(
+            Counter(baseline_template_ids), Counter(current_template_ids)
+        )
+
+    def detect_from_counts(
+        self,
+        baseline: Mapping[int, int],
+        current: Mapping[int, int],
+    ) -> List[TemplateAnomaly]:
+        """Compare two windows given per-template counts.
+
+        This is the aggregate-friendly core: the incremental analytics
+        path feeds it materialized bucket counters, the recompute oracle
+        feeds it ``Counter``s over scanned records, and both produce
+        byte-identical anomaly lists (iteration and ordering are fully
+        deterministic).
+        """
         baseline_total = max(sum(baseline.values()), 1)
-        current_total = max(sum(current.values()), 1)
+        current_records = sum(current.values())
+        current_total = max(current_records, 1)
 
         anomalies: List[TemplateAnomaly] = []
-        for template_id, count in current.items():
+        for template_id in sorted(current):
+            count = current[template_id]
             base_count = baseline.get(template_id, 0)
             if base_count == 0:
                 if count >= self.min_count:
@@ -79,7 +115,7 @@ class TemplateAnomalyDetector:
                             kind="new_template",
                             baseline_count=0,
                             current_count=count,
-                            score=float(count),
+                            score=min(float(count), self.score_cap),
                         )
                     )
                 continue
@@ -92,26 +128,28 @@ class TemplateAnomalyDetector:
                         kind="count_spike",
                         baseline_count=base_count,
                         current_count=count,
-                        score=current_rate / base_rate,
+                        score=min(current_rate / base_rate, self.score_cap),
                     )
                 )
-        for template_id, base_count in baseline.items():
-            if base_count < self.min_count:
-                continue
-            count = current.get(template_id, 0)
-            base_rate = base_count / baseline_total
-            current_rate = count / current_total
-            if current_rate * self.drop_ratio <= base_rate:
-                anomalies.append(
-                    TemplateAnomaly(
-                        template_id=template_id,
-                        kind="count_drop",
-                        baseline_count=base_count,
-                        current_count=count,
-                        score=base_rate / max(current_rate, 1e-9),
+        if current_records >= self.min_count:
+            for template_id in sorted(baseline):
+                base_count = baseline[template_id]
+                if base_count < self.min_count:
+                    continue
+                count = current.get(template_id, 0)
+                base_rate = base_count / baseline_total
+                current_rate = count / current_total
+                if current_rate * self.drop_ratio <= base_rate:
+                    anomalies.append(
+                        TemplateAnomaly(
+                            template_id=template_id,
+                            kind="count_drop",
+                            baseline_count=base_count,
+                            current_count=count,
+                            score=min(base_rate / max(current_rate, 1e-9), self.score_cap),
+                        )
                     )
-                )
-        return sorted(anomalies, key=lambda a: -a.score)
+        return sorted(anomalies, key=lambda a: (-a.score, a.kind, a.template_id))
 
 
 # --------------------------------------------------------------------------- #
@@ -133,11 +171,28 @@ def compare_template_distributions(
     top_k: int = 10,
 ) -> DistributionComparison:
     """Compare the template mix of two time periods (§6 feature)."""
-    count_a = Counter(period_a_template_ids)
-    count_b = Counter(period_b_template_ids)
+    return compare_distribution_counts(
+        Counter(period_a_template_ids), Counter(period_b_template_ids), top_k=top_k
+    )
+
+
+def compare_distribution_counts(
+    count_a: Mapping[int, int],
+    count_b: Mapping[int, int],
+    top_k: int = 10,
+) -> DistributionComparison:
+    """Compare two template distributions given per-template counts.
+
+    The aggregate-friendly core of :func:`compare_template_distributions`:
+    both the incremental path (materialized bucket counters) and the
+    recompute oracle (counted record scans) call this, and because the
+    template ids are visited in sorted order the floating-point JSD sum
+    is bit-identical between them.  The divergence uses natural log, so
+    it lives in ``[0, ln 2]`` and is symmetric in its arguments.
+    """
     total_a = max(sum(count_a.values()), 1)
     total_b = max(sum(count_b.values()), 1)
-    all_ids = set(count_a) | set(count_b)
+    all_ids = sorted(set(count_a) | set(count_b))
 
     divergence = 0.0
     shifts: List[Tuple[int, float]] = []
@@ -146,12 +201,12 @@ def compare_template_distributions(
         q = count_b.get(template_id, 0) / total_b
         m = (p + q) / 2.0
         if p > 0:
-            divergence += 0.5 * p * math.log2(p / m)
+            divergence += 0.5 * p * math.log(p / m)
         if q > 0:
-            divergence += 0.5 * q * math.log2(q / m)
+            divergence += 0.5 * q * math.log(q / m)
         shifts.append((template_id, q - p))
 
-    shifts.sort(key=lambda item: -abs(item[1]))
+    shifts.sort(key=lambda item: (-abs(item[1]), item[0]))
     return DistributionComparison(
         jensen_shannon_divergence=divergence,
         added_templates=sorted(set(count_b) - set(count_a)),

@@ -1,0 +1,476 @@
+"""Incremental columnar analytics over the parse stream (ROADMAP item 3).
+
+The §6 analytics surface (anomaly detection, period comparison, failure
+matching) originally recomputed every answer with an O(N) scan over the
+topic's record list — the query side got *slower* as PRs 1–7 made the
+ingest side faster.  This module is the fix: a per-topic columnar store
+plus time-bucketed materialized aggregates that are maintained
+**incrementally under insertions** (PAPERS.md: "Answering FO+MOD queries
+under updates") instead of recomputed, so a window query costs
+O(buckets touched), not O(records stored).
+
+:class:`TopicAggregates` holds, per topic:
+
+* **columnar record state** — append-indexed numpy columns
+  ``template_id`` (int64, ``-1`` = unassigned) and ``timestamp``
+  (float64), grown amortised-O(1).  Record id == column index, and the
+  runtime's ``seq = base + record_id + 1`` mapping turns any row back
+  into a WAL position, which is what drill-down rides on;
+* **time-bucketed frequency counters** — ``floor(ts / bucket_seconds)``
+  keys a dict of per-template counts.  A window query sums whole-bucket
+  counters for every fully covered bucket and resolves the (at most two)
+  partially covered edge buckets with one vectorised scan over that
+  bucket's row span — the window-shrinking trick: the exact-scan region
+  shrinks to the edges as the window widens;
+* **a lazy prefix-sum index** — per-template cumulative counts over the
+  sorted bucket keys, built on first wide query and reused until a
+  mutation dirties it, dropping the full-bucket sum from O(buckets) to
+  O(templates · log buckets) for repeated queries over a quiet stream;
+* **a first-seen index** — per-template ``(record_id, timestamp)``
+  minima for new-template burst detection without any scan;
+* **bounded variable-value sketches** — a K-minimum-values distinct
+  sketch per template over stable 32-bit hashes of the raw text.
+  Distinct raw realisations of one template ≈ distinct variable
+  bindings, so the sketch estimates per-template variable diversity in
+  O(sketch_size) memory however hot the template runs.
+
+Every mutation enters through exactly two hooks, called by
+:class:`~repro.service.topic.LogTopic` on the ingest commit path:
+:meth:`TopicAggregates.observe_append` and
+:meth:`TopicAggregates.observe_restamp` (backfill and late-temporary
+carry-over re-stamp records; counters move, they are never rebuilt).
+Because the hooks live on the topic itself, WAL recovery replay,
+supervisor resync and the process backend's parent mirror all maintain
+their aggregates for free by replaying the same append/restamp stream.
+:meth:`TopicAggregates.digest` folds the live aggregate state into one
+crc so the process backend can assert child and mirror agree at every
+sync barrier.
+
+All query methods are exact (the sketches are estimates, but counters
+and indexes are not): the differential tests assert byte-identical
+answers against the retained O(N) recompute oracle.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import struct
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ValueSketch", "TopicAggregates"]
+
+#: Column value for records whose template is not (yet) assigned.
+UNASSIGNED = -1
+
+#: Full-bucket ranges at least this many buckets wide go through the
+#: prefix-sum index (when clean); narrower ones sum bucket dicts directly,
+#: which is cheaper than a potential rebuild.
+_PREFIX_MIN_BUCKETS = 16
+
+_HASH_SPACE = float(1 << 32)
+
+
+def stable_raw_hash(raw: str) -> int:
+    """Stable 32-bit hash of a raw record (crc32 — identical across
+    processes and Python versions, unlike the salted built-in ``hash``,
+    so child and mirror sketches agree bit-for-bit)."""
+    return zlib.crc32(raw.encode("utf-8", "surrogatepass")) & 0xFFFFFFFF
+
+
+class ValueSketch:
+    """Bounded-memory K-minimum-values distinct-count sketch.
+
+    Keeps the ``k`` smallest hashes ever inserted.  The state is a pure
+    function of the inserted hash *set* — insertion order never matters —
+    which is what makes child and parent-mirror sketches comparable even
+    though restamps reach them in different orders.
+    """
+
+    __slots__ = ("k", "_members", "_heap")
+
+    def __init__(self, k: int = 64) -> None:
+        if k < 2:
+            raise ValueError("sketch size must be >= 2")
+        self.k = k
+        self._members: set = set()
+        self._heap: List[int] = []  # max-heap via negation
+
+    def insert(self, value: int) -> None:
+        """Insert one hash (no-op for duplicates and values above the
+        current k-th minimum once full)."""
+        if value in self._members:
+            return
+        if len(self._members) < self.k:
+            self._members.add(value)
+            heapq.heappush(self._heap, -value)
+        elif value < -self._heap[0]:
+            evicted = -heapq.heappushpop(self._heap, -value)
+            self._members.discard(evicted)
+            self._members.add(value)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def estimate(self) -> float:
+        """Estimated distinct-value count (exact while under capacity)."""
+        if len(self._members) < self.k:
+            return float(len(self._members))
+        kth = float(-self._heap[0])
+        if kth <= 0.0:
+            return float(self.k)
+        return (self.k - 1) * _HASH_SPACE / kth
+
+    def state(self) -> List[int]:
+        """Canonical (sorted) retained hashes — deterministic for digests."""
+        return sorted(self._members)
+
+
+class TopicAggregates:
+    """Columnar store + materialized time-bucketed aggregates for one topic."""
+
+    def __init__(self, bucket_seconds: float = 60.0, sketch_size: int = 64) -> None:
+        if bucket_seconds <= 0.0:
+            raise ValueError("bucket_seconds must be positive")
+        self.bucket_seconds = float(bucket_seconds)
+        self.sketch_size = int(sketch_size)
+        self._n = 0
+        self._tids = np.full(1024, UNASSIGNED, dtype=np.int64)
+        self._ts = np.zeros(1024, dtype=np.float64)
+        #: bucket key -> {template_id: count}; counts are exact and move
+        #: under restamps (decrement old, increment new) — never rebuilt.
+        self._buckets: Dict[int, Dict[int, int]] = {}
+        #: bucket key -> inclusive (lo, hi) record-id span: the only rows
+        #: an exact edge-bucket scan ever has to touch.
+        self._spans: Dict[int, List[int]] = {}
+        #: Ascending bucket keys (kept sorted on creation) so range
+        #: queries over sparse streams bisect instead of iterating gaps.
+        self._sorted_keys: List[int] = []
+        #: template -> (min record_id, min timestamp) ever stamped.
+        self._first_seen: Dict[int, Tuple[int, float]] = {}
+        #: template -> current total count across all buckets ("live"
+        #: templates have a positive total; fully-restamped temporaries
+        #: drop to zero and vanish from every query and the digest).
+        self._totals: Dict[int, int] = {}
+        self._sketches: Dict[int, ValueSketch] = {}
+        # Lazy prefix-sum index over full buckets.
+        self._prefix_keys: Optional[np.ndarray] = None
+        self._prefix_cum: Dict[int, np.ndarray] = {}
+        self._prefix_dirty = True
+
+    # ------------------------------------------------------------------ #
+    # mutation hooks (the ingest commit path)
+    # ------------------------------------------------------------------ #
+    def bucket_key(self, timestamp: float) -> int:
+        """Bucket a timestamp falls into."""
+        return math.floor(timestamp / self.bucket_seconds)
+
+    def observe_append(
+        self, record_id: int, timestamp: float, raw: str, template_id: Optional[int]
+    ) -> None:
+        """Account one appended record (O(1) amortised)."""
+        if record_id >= len(self._tids):
+            self._grow(record_id + 1)
+        tid = UNASSIGNED if template_id is None else int(template_id)
+        self._tids[record_id] = tid
+        self._ts[record_id] = timestamp
+        if record_id >= self._n:
+            self._n = record_id + 1
+        key = self.bucket_key(timestamp)
+        span = self._spans.get(key)
+        if span is None:
+            self._spans[key] = [record_id, record_id]
+            self._insert_key(key)
+        else:
+            if record_id < span[0]:
+                span[0] = record_id
+            if record_id > span[1]:
+                span[1] = record_id
+        if tid != UNASSIGNED:
+            self._count(key, tid, 1)
+            self._note_template(tid, record_id, timestamp, raw)
+        self._prefix_dirty = True
+
+    def observe_restamp(self, record_id: int, timestamp: float, raw: str, template_id: int) -> None:
+        """Move one record's count from its previous template to a new one."""
+        old = int(self._tids[record_id])
+        tid = int(template_id)
+        if old == tid:
+            return
+        key = self.bucket_key(timestamp)
+        if old != UNASSIGNED:
+            self._count(key, old, -1)
+        self._tids[record_id] = tid
+        self._count(key, tid, 1)
+        self._note_template(tid, record_id, timestamp, raw)
+        self._prefix_dirty = True
+
+    def _note_template(self, tid: int, record_id: int, timestamp: float, raw: str) -> None:
+        seen = self._first_seen.get(tid)
+        if seen is None:
+            self._first_seen[tid] = (record_id, timestamp)
+        else:
+            self._first_seen[tid] = (min(seen[0], record_id), min(seen[1], timestamp))
+        sketch = self._sketches.get(tid)
+        if sketch is None:
+            sketch = self._sketches[tid] = ValueSketch(self.sketch_size)
+        sketch.insert(stable_raw_hash(raw))
+
+    def _count(self, key: int, tid: int, delta: int) -> None:
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = {}
+        new = bucket.get(tid, 0) + delta
+        if new:
+            bucket[tid] = new
+        else:
+            bucket.pop(tid, None)
+        total = self._totals.get(tid, 0) + delta
+        if total:
+            self._totals[tid] = total
+        else:
+            self._totals.pop(tid, None)
+
+    def _insert_key(self, key: int) -> None:
+        keys = self._sorted_keys
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        keys.insert(lo, key)
+
+    def _grow(self, needed: int) -> None:
+        capacity = max(needed, 2 * len(self._tids))
+        tids = np.full(capacity, UNASSIGNED, dtype=np.int64)
+        tids[: self._n] = self._tids[: self._n]
+        ts = np.zeros(capacity, dtype=np.float64)
+        ts[: self._n] = self._ts[: self._n]
+        self._tids = tids
+        self._ts = ts
+
+    # ------------------------------------------------------------------ #
+    # window queries (exact; O(buckets touched))
+    # ------------------------------------------------------------------ #
+    def template_counts_between(self, start_time: float, end_time: float) -> Dict[int, int]:
+        """Exact per-template counts over ``[start_time, end_time)`` —
+        identical to counting ``records_between`` but without the scan."""
+        counts: Dict[int, int] = {}
+        if end_time <= start_time or not self._sorted_keys:
+            return counts
+        k_lo = self.bucket_key(start_time)
+        k_hi = self.bucket_key(end_time)
+        lo_partial = start_time > k_lo * self.bucket_seconds
+        hi_partial = end_time > k_hi * self.bucket_seconds
+        full_lo = k_lo + 1 if lo_partial else k_lo
+        full_hi = k_hi - 1
+        self._sum_full_buckets(full_lo, full_hi, counts)
+        if lo_partial:
+            self._scan_edge_bucket(k_lo, start_time, end_time, counts)
+        if hi_partial and k_hi != k_lo:
+            self._scan_edge_bucket(k_hi, start_time, end_time, counts)
+        return counts
+
+    def _sum_full_buckets(self, full_lo: int, full_hi: int, counts: Dict[int, int]) -> None:
+        if full_hi < full_lo:
+            return
+        keys = self._sorted_keys
+        lo_i = _bisect_left(keys, full_lo)
+        hi_i = _bisect_right(keys, full_hi)
+        if hi_i <= lo_i:
+            return
+        if hi_i - lo_i >= _PREFIX_MIN_BUCKETS:
+            self._ensure_prefix()
+            p_lo = int(np.searchsorted(self._prefix_keys, full_lo, side="left"))
+            p_hi = int(np.searchsorted(self._prefix_keys, full_hi, side="right")) - 1
+            if p_hi >= p_lo:
+                for tid, cum in self._prefix_cum.items():
+                    total = int(cum[p_hi]) - (int(cum[p_lo - 1]) if p_lo > 0 else 0)
+                    if total:
+                        counts[tid] = counts.get(tid, 0) + total
+            return
+        for key in keys[lo_i:hi_i]:
+            bucket = self._buckets.get(key)
+            if bucket:
+                for tid, count in bucket.items():
+                    counts[tid] = counts.get(tid, 0) + count
+
+    def _scan_edge_bucket(
+        self, key: int, start_time: float, end_time: float, counts: Dict[int, int]
+    ) -> None:
+        """Exactly count one partially covered bucket with a vectorised
+        scan over its row span.  The bucket-membership mask excludes rows
+        of *other* buckets interleaved into the span by out-of-order
+        timestamps, so nothing is double counted against the whole-bucket
+        counters."""
+        span = self._spans.get(key)
+        if span is None:
+            return
+        lo, hi = span[0], span[1] + 1
+        ts = self._ts[lo:hi]
+        tids = self._tids[lo:hi]
+        mask = (
+            (np.floor(ts / self.bucket_seconds) == key)
+            & (ts >= start_time)
+            & (ts < end_time)
+            & (tids != UNASSIGNED)
+        )
+        if not mask.any():
+            return
+        ids, found = np.unique(tids[mask], return_counts=True)
+        for tid, count in zip(ids.tolist(), found.tolist()):
+            counts[tid] = counts.get(tid, 0) + count
+
+    def _ensure_prefix(self) -> None:
+        if not self._prefix_dirty and self._prefix_keys is not None:
+            return
+        keys = np.asarray(self._sorted_keys, dtype=np.int64)
+        per_template: Dict[int, np.ndarray] = {}
+        for index, key in enumerate(self._sorted_keys):
+            for tid, count in self._buckets.get(key, {}).items():
+                row = per_template.get(tid)
+                if row is None:
+                    row = per_template[tid] = np.zeros(len(keys), dtype=np.int64)
+                row[index] = count
+        self._prefix_keys = keys
+        self._prefix_cum = {tid: np.cumsum(row) for tid, row in per_template.items()}
+        self._prefix_dirty = False
+
+    def top_k(self, start_time: float, end_time: float, k: int = 10) -> List[Tuple[int, int]]:
+        """Top-``k`` ``(template_id, count)`` over the window, ordered by
+        descending count with template id as the deterministic tiebreak."""
+        counts = self.template_counts_between(start_time, end_time)
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[: max(k, 0)]
+
+    def distinct_templates_between(self, start_time: float, end_time: float) -> List[int]:
+        """Sorted distinct template ids observed in the window."""
+        return sorted(self.template_counts_between(start_time, end_time))
+
+    def new_templates_between(
+        self, start_time: float, end_time: float
+    ) -> List[Tuple[int, int, float]]:
+        """Templates *born* in the window: ``(template_id, first_record_id,
+        first_timestamp)`` for every live template whose earliest stamp
+        falls in ``[start_time, end_time)`` — the burst-detection feed."""
+        born: List[Tuple[int, int, float]] = []
+        for tid in sorted(self._first_seen):
+            if tid not in self._totals:
+                continue  # fully re-stamped temporary: not a live template
+            record_id, first_ts = self._first_seen[tid]
+            if start_time <= first_ts < end_time:
+                born.append((tid, record_id, first_ts))
+        return born
+
+    def first_seen(self, template_id: int) -> Optional[Tuple[int, float]]:
+        """``(record_id, timestamp)`` of a template's earliest stamp."""
+        return self._first_seen.get(template_id)
+
+    def record_ids_between(
+        self,
+        start_time: float,
+        end_time: float,
+        template_id: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> List[int]:
+        """Record ids in the window (ascending), optionally filtered to one
+        template — the drill-down path from a bucket back to raw records.
+        Only the row spans of touched buckets are scanned."""
+        if end_time <= start_time:
+            return []
+        k_lo = self.bucket_key(start_time)
+        k_hi = self.bucket_key(end_time)
+        keys = self._sorted_keys
+        lo_i = _bisect_left(keys, k_lo)
+        hi_i = _bisect_right(keys, k_hi)
+        found: List[np.ndarray] = []
+        for key in keys[lo_i:hi_i]:
+            span = self._spans.get(key)
+            if span is None:
+                continue
+            lo, hi = span[0], span[1] + 1
+            ts = self._ts[lo:hi]
+            mask = (np.floor(ts / self.bucket_seconds) == key) & (ts >= start_time) & (
+                ts < end_time
+            )
+            if template_id is not None:
+                mask &= self._tids[lo:hi] == template_id
+            if mask.any():
+                found.append(np.nonzero(mask)[0] + lo)
+        if not found:
+            return []
+        ids = np.sort(np.concatenate(found))
+        if limit is not None:
+            ids = ids[: max(limit, 0)]
+        return ids.tolist()
+
+    def distinct_value_estimate(self, template_id: int) -> float:
+        """Estimated distinct raw realisations (≈ variable bindings) of a
+        template, from its bounded K-minimum-values sketch."""
+        sketch = self._sketches.get(template_id)
+        return sketch.estimate() if sketch is not None else 0.0
+
+    # ------------------------------------------------------------------ #
+    # state summaries
+    # ------------------------------------------------------------------ #
+    def digest(self) -> int:
+        """crc32 over the canonical live aggregate state.
+
+        Covers bucket counters, per-live-template first-seen minima and
+        sketch states.  Dead templates (total count zero — fully
+        re-stamped temporaries) are excluded: the child observed them,
+        the parent mirror never did, and neither can answer a query from
+        them.  The process backend compares child and mirror digests at
+        every sync barrier."""
+        crc = zlib.crc32(struct.pack("<qd", self._n, self.bucket_seconds))
+        for key in self._sorted_keys:
+            bucket = self._buckets.get(key)
+            if not bucket:
+                continue
+            for tid in sorted(bucket):
+                crc = zlib.crc32(struct.pack("<qqq", key, tid, bucket[tid]), crc)
+        for tid in sorted(self._totals):
+            record_id, first_ts = self._first_seen[tid]
+            crc = zlib.crc32(struct.pack("<qqd", tid, record_id, first_ts), crc)
+            sketch = self._sketches.get(tid)
+            if sketch is not None:
+                state = sketch.state()
+                crc = zlib.crc32(struct.pack(f"<{len(state)}I", *state), crc)
+        return crc
+
+    def stats(self) -> Dict[str, float]:
+        """Operational counters for reporting surfaces."""
+        return {
+            "records": float(self._n),
+            "buckets": float(len(self._buckets)),
+            "live_templates": float(len(self._totals)),
+            "bucket_seconds": self.bucket_seconds,
+            "prefix_index_clean": float(not self._prefix_dirty),
+        }
+
+
+def _bisect_left(keys: List[int], value: int) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < value:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _bisect_right(keys: List[int], value: int) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] <= value:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

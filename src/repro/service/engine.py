@@ -46,6 +46,7 @@ from repro.core.model import ParserModel
 from repro.core.modelstore import ModelStore, ModelVersion
 from repro.core.parser import ByteBrainParser
 from repro.core.query import TemplateGroup
+from repro.service.columnar import TopicAggregates
 from repro.service.indexer import IndexingPipeline, IngestionOutcome
 from repro.service.internal_topic import InternalTemplateTopic
 from repro.service.scheduler import SchedulerPolicy, TrainingScheduler
@@ -112,7 +113,15 @@ class TopicEngine:
         self.name = name
         self.config = config or ByteBrainConfig()
         policy = scheduler_policy or SchedulerPolicy.from_config(self.config)
-        self.topic = LogTopic(name)
+        #: Incremental columnar analytics: time-bucketed materialized
+        #: aggregates kept current by the topic's append/set_template
+        #: hooks (see :mod:`repro.service.columnar`) — the §6 query
+        #: surface answers from these, never by rescanning records.
+        self.analytics = TopicAggregates(
+            bucket_seconds=self.config.analytics_bucket_seconds,
+            sketch_size=self.config.analytics_sketch_size,
+        )
+        self.topic = LogTopic(name, aggregates=self.analytics)
         self.parser = ByteBrainParser(self.config)
         self.scheduler = TrainingScheduler(policy)
         self.pipeline = IndexingPipeline(self.topic, self.scheduler)

@@ -1097,6 +1097,54 @@ class ShardedRuntime(ShardTransport):
         engine.trained_watermark = rebased
 
     # ------------------------------------------------------------------ #
+    # analytics drill-down
+    # ------------------------------------------------------------------ #
+    def drill_down(
+        self,
+        topic_name: str,
+        start_time: float,
+        end_time: float,
+        template_id: Optional[int] = None,
+        limit: int = 100,
+    ) -> List[Dict[str, object]]:
+        """Raw records behind a query window, annotated with WAL seqs.
+
+        The bucket → records half of the analytics surface: the topic's
+        materialized aggregates locate the row spans (O(buckets touched),
+        no rescan), and each record id is mapped back to its WAL sequence
+        number via the runtime's ``seq = base + record_id + 1`` rule, so a
+        finding can be chased into the durable log or a snapshot.  Records
+        that predate the WAL attach (negative base) report ``seq None``.
+        """
+        engine = self.service.topic(topic_name)
+        base, _ = self._wal_positions.get(topic_name, (0, 1))
+        with self._engine_lock(topic_name):
+            if engine.topic.aggregates is not None:
+                record_ids = engine.analytics.record_ids_between(
+                    start_time, end_time, template_id=template_id, limit=limit
+                )
+                records = [engine.topic.record(record_id) for record_id in record_ids]
+            else:
+                records = [
+                    record
+                    for record in engine.topic.records_between(start_time, end_time)
+                    if template_id is None or record.template_id == template_id
+                ][:limit]
+        rows: List[Dict[str, object]] = []
+        for record in records:
+            seq = base + record.record_id + 1
+            rows.append(
+                {
+                    "seq": seq if seq >= 1 else None,
+                    "record_id": record.record_id,
+                    "timestamp": record.timestamp,
+                    "template_id": record.template_id,
+                    "raw": record.raw,
+                }
+            )
+        return rows
+
+    # ------------------------------------------------------------------ #
     # internals / reporting
     # ------------------------------------------------------------------ #
     def _engine_lock(self, topic_name: str) -> threading.Lock:

@@ -26,6 +26,7 @@ tests and benchmarks; production would pass wall-clock time.
 
 from __future__ import annotations
 
+import math
 import os
 import threading
 from dataclasses import dataclass
@@ -42,11 +43,12 @@ from repro.service.analytics import (
     FailureScenarioLibrary,
     TemplateAnomaly,
     TemplateAnomalyDetector,
-    compare_template_distributions,
+    compare_distribution_counts,
 )
 from repro.service.engine import TopicEngine
 from repro.service.indexer import IngestionOutcome
 from repro.service.scheduler import SchedulerPolicy
+from repro.service.topic import LogRecord
 
 __all__ = ["TopicState", "LogParsingService", "IngestionOutcomeWithTraining"]
 
@@ -241,58 +243,185 @@ class LogParsingService:
     # ------------------------------------------------------------------ #
     # analytics (§6)
     # ------------------------------------------------------------------ #
+    def _analytics_mode(self, override: Optional[str]) -> str:
+        mode = override or self.config.analytics_engine
+        if mode not in ("incremental", "recompute"):
+            raise ValueError(
+                f"analytics engine must be 'incremental' or 'recompute', got {mode!r}"
+            )
+        return mode
+
+    def _window_counts(
+        self, engine: TopicEngine, window: Tuple[float, float], mode: str
+    ) -> Dict[int, int]:
+        """Per-template counts over a half-open time window.
+
+        ``"incremental"`` answers from the topic's materialized bucket
+        counters in O(buckets touched); ``"recompute"`` is the retained
+        O(records) oracle that scans and counts the record list.  Both
+        return exactly the same integers — the differential tests hold
+        them to byte-identical downstream answers.
+        """
+        start_time, end_time = window
+        if mode == "incremental":
+            return engine.analytics.template_counts_between(start_time, end_time)
+        counts: Dict[int, int] = {}
+        for record in engine.topic.records_between(start_time, end_time):
+            if record.template_id is not None:
+                counts[record.template_id] = counts.get(record.template_id, 0) + 1
+        return counts
+
     def detect_anomalies(
         self,
         topic_name: str,
         baseline_window: Tuple[float, float],
         current_window: Tuple[float, float],
+        engine: Optional[str] = None,
     ) -> List[TemplateAnomaly]:
         """Template-count anomaly detection between two time windows."""
-        engine = self._topics[topic_name]
-        baseline_ids = [
-            r.template_id
-            for r in engine.topic.records_between(*baseline_window)
-            if r.template_id is not None
-        ]
-        current_ids = [
-            r.template_id
-            for r in engine.topic.records_between(*current_window)
-            if r.template_id is not None
-        ]
-        return self.anomaly_detector.detect(baseline_ids, current_ids)
+        mode = self._analytics_mode(engine)
+        state = self._topics[topic_name]
+        return self.anomaly_detector.detect_from_counts(
+            self._window_counts(state, baseline_window, mode),
+            self._window_counts(state, current_window, mode),
+        )
 
     def compare_periods(
         self,
         topic_name: str,
         period_a: Tuple[float, float],
         period_b: Tuple[float, float],
+        engine: Optional[str] = None,
     ):
         """Template-distribution comparison across two time periods."""
-        engine = self._topics[topic_name]
-        ids_a = [
-            r.template_id
-            for r in engine.topic.records_between(*period_a)
-            if r.template_id is not None
-        ]
-        ids_b = [
-            r.template_id
-            for r in engine.topic.records_between(*period_b)
-            if r.template_id is not None
-        ]
-        return compare_template_distributions(ids_a, ids_b)
+        mode = self._analytics_mode(engine)
+        state = self._topics[topic_name]
+        return compare_distribution_counts(
+            self._window_counts(state, period_a, mode),
+            self._window_counts(state, period_b, mode),
+        )
 
-    def match_failure_scenarios(self, topic_name: str, window: Tuple[float, float]):
+    def match_failure_scenarios(
+        self, topic_name: str, window: Tuple[float, float], engine: Optional[str] = None
+    ):
         """Match the window's templates against the known-failure library."""
-        engine = self._topics[topic_name]
-        template_ids = {
-            r.template_id
-            for r in engine.topic.records_between(*window)
-            if r.template_id is not None
-        }
+        mode = self._analytics_mode(engine)
+        state = self._topics[topic_name]
+        template_ids = sorted(self._window_counts(state, window, mode))
         templates: List[Template] = [
-            engine.parser.model.get(tid) for tid in template_ids if tid in engine.parser.model
+            state.parser.model.get(tid) for tid in template_ids if tid in state.parser.model
         ]
         return self.failure_library.match(templates)
+
+    def top_k_templates(
+        self,
+        topic_name: str,
+        start_time: float,
+        end_time: float,
+        k: int = 10,
+        engine: Optional[str] = None,
+    ) -> List[Tuple[int, int]]:
+        """Most frequent ``(template_id, count)`` over ``[start_time,
+        end_time)``, descending count with template id as tiebreak."""
+        mode = self._analytics_mode(engine)
+        state = self._topics[topic_name]
+        counts = self._window_counts(state, (start_time, end_time), mode)
+        return sorted(counts.items(), key=lambda item: (-item[1], item[0]))[: max(k, 0)]
+
+    def anomaly_score(
+        self,
+        topic_name: str,
+        window: Tuple[float, float],
+        baseline_window: Optional[Tuple[float, float]] = None,
+        engine: Optional[str] = None,
+    ) -> float:
+        """Scalar anomaly score of a window against a baseline window.
+
+        The baseline defaults to the window of equal duration immediately
+        preceding ``window``.  The score sums ``log1p`` of the (already
+        clamped) per-anomaly scores, so one huge spike cannot drown out
+        the signal that many templates misbehaved at once; ``0.0`` means
+        no anomalies.
+        """
+        start_time, end_time = window
+        if baseline_window is None:
+            baseline_window = (start_time - (end_time - start_time), start_time)
+        anomalies = self.detect_anomalies(topic_name, baseline_window, window, engine=engine)
+        return sum(math.log1p(anomaly.score) for anomaly in anomalies)
+
+    def new_template_bursts(
+        self,
+        topic_name: str,
+        window: Tuple[float, float],
+        min_count: Optional[int] = None,
+        engine: Optional[str] = None,
+    ) -> List[Tuple[int, int, float, int]]:
+        """Templates *born* in the window, with their traffic: ``
+        (template_id, first_record_id, first_timestamp, window_count)``
+        for templates whose earliest record falls inside ``window`` and
+        that hit at least ``min_count`` records there (default: the
+        anomaly detector's ``min_count``).  Ordered by descending count.
+        """
+        mode = self._analytics_mode(engine)
+        state = self._topics[topic_name]
+        threshold = self.anomaly_detector.min_count if min_count is None else min_count
+        counts = self._window_counts(state, window, mode)
+        start_time, end_time = window
+        if mode == "incremental":
+            born = state.analytics.new_templates_between(start_time, end_time)
+        else:
+            born = []
+            first: Dict[int, Tuple[int, float]] = {}
+            for record in state.topic.records():
+                if record.template_id is None:
+                    continue
+                seen = first.get(record.template_id)
+                if seen is None:
+                    first[record.template_id] = (record.record_id, record.timestamp)
+                else:
+                    first[record.template_id] = (
+                        min(seen[0], record.record_id),
+                        min(seen[1], record.timestamp),
+                    )
+            for tid in sorted(first):
+                record_id, first_ts = first[tid]
+                if start_time <= first_ts < end_time:
+                    born.append((tid, record_id, first_ts))
+        bursts = [
+            (tid, record_id, first_ts, counts.get(tid, 0))
+            for tid, record_id, first_ts in born
+            if counts.get(tid, 0) >= threshold
+        ]
+        bursts.sort(key=lambda item: (-item[3], item[0]))
+        return bursts
+
+    def drill_down(
+        self,
+        topic_name: str,
+        start_time: float,
+        end_time: float,
+        template_id: Optional[int] = None,
+        limit: int = 100,
+        engine: Optional[str] = None,
+    ) -> List["LogRecord"]:
+        """Raw records behind a window (optionally one template) — the
+        bucket-to-records drill-down path.  The incremental engine scans
+        only the row spans of touched buckets; the oracle rescans."""
+        mode = self._analytics_mode(engine)
+        state = self._topics[topic_name]
+        if mode == "incremental":
+            record_ids = state.analytics.record_ids_between(
+                start_time, end_time, template_id=template_id, limit=limit
+            )
+            return [state.topic.record(record_id) for record_id in record_ids]
+        matches: List[LogRecord] = []
+        for record in state.topic.records_between(start_time, end_time):
+            if template_id is not None and record.template_id != template_id:
+                continue
+            matches.append(record)
+            if len(matches) >= limit:
+                break
+        return matches
 
     # ------------------------------------------------------------------ #
     # reporting

@@ -20,7 +20,10 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.columnar import TopicAggregates
 
 __all__ = ["LogRecord", "LogTopic"]
 
@@ -42,10 +45,17 @@ class LogRecord:
 class LogTopic:
     """Append-only storage for one log stream."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, aggregates: Optional["TopicAggregates"] = None) -> None:
         if not name:
             raise ValueError("topic name must be non-empty")
         self.name = name
+        #: Optional incremental analytics sidecar
+        #: (:class:`~repro.service.columnar.TopicAggregates`).  When
+        #: attached, ``append`` / ``set_template`` keep its bucketed
+        #: counters current, so *every* write path — live ingest, WAL
+        #: recovery replay, the process backend's parent mirror — keeps
+        #: aggregates in lockstep with the records for free.
+        self.aggregates = aggregates
         self._records: List[LogRecord] = []
         self._token_index: Dict[str, Set[int]] = {}
         #: Records below this id are in the token index; the suffix is
@@ -72,6 +82,8 @@ class LogTopic:
         self._records.append(record)
         if template_id is not None:
             self._template_index.setdefault(template_id, []).append(record.record_id)
+        if self.aggregates is not None:
+            self.aggregates.observe_append(record.record_id, timestamp, raw, template_id)
         return record
 
     def set_template(self, record_id: int, template_id: int) -> None:
@@ -83,6 +95,8 @@ class LogTopic:
                 previous.remove(record_id)
         record.template_id = template_id
         self._template_index.setdefault(template_id, []).append(record_id)
+        if self.aggregates is not None:
+            self.aggregates.observe_restamp(record_id, record.timestamp, record.raw, template_id)
 
     # ------------------------------------------------------------------ #
     # reads

@@ -745,6 +745,15 @@ class _ShardWorker:
                     "last_mode": scheduler._last_mode,
                 },
                 "captured": self._captured.get(name, 0),
+                # Digest of the child's live materialized aggregates
+                # (bucket counters, first-seen index, value sketches).
+                # The shipped records/restamps above *are* the aggregate
+                # delta — the parent mirror's topic hooks replay them
+                # into its own aggregates — and the digest lets the
+                # parent assert both sides agree at this barrier.
+                "analytics_digest": (
+                    engine.analytics.digest() if engine.topic.aggregates is not None else None
+                ),
             }
             self._synced_watermark[name] = high
         payload: Dict[str, object] = {
@@ -1302,6 +1311,20 @@ class ProcessShardedRuntime(ShardTransport):
                     topic.set_template(record_id, template_id)
             for raw, record_ts, template_id in entry["records"]:
                 topic.append(raw, record_ts, template_id=template_id)
+            # The mirror's topic hooks just replayed the child's aggregate
+            # delta; its materialized analytics must now be bit-identical
+            # to the child's (same bucket counters, first-seen minima and
+            # sketch states), or local window queries would silently
+            # answer from diverged state.
+            child_digest = entry.get("analytics_digest")
+            if child_digest is not None and topic.aggregates is not None:
+                mirror_digest = topic.aggregates.digest()
+                if mirror_digest != child_digest:
+                    raise RuntimeError(
+                        f"mirror aggregates diverged for topic {topic_name!r}: "
+                        f"parent digest {mirror_digest:#010x}, child digest "
+                        f"{child_digest:#010x}"
+                    )
             if entry["model_json"] is not None:
                 model = ParserModel.from_json(entry["model_json"])
                 model.reserve_ids(entry["next_template_id"])
@@ -1326,6 +1349,49 @@ class ProcessShardedRuntime(ShardTransport):
             ):
                 self.wal.set_captured(topic_name, entry["captured"])
         shard.stats.rounds_dispatched += payload["stats"]["rounds_delta"]
+
+    def drill_down(
+        self,
+        topic_name: str,
+        start_time: float,
+        end_time: float,
+        template_id: Optional[int] = None,
+        limit: int = 100,
+    ) -> List[Dict[str, object]]:
+        """Window drill-down answered from the parent's mirror.
+
+        The mirror's materialized aggregates are current as of the last
+        sync barrier (``drain()`` to force one), so this needs no child
+        round-trip — the shipped aggregate deltas already landed here.
+        Same row shape and ``seq = base + record_id + 1`` mapping as the
+        thread backend's drill-down.
+        """
+        engine = self.service.topic(topic_name)
+        base, _ = self._wal_positions.get(topic_name, (0, 1))
+        if engine.topic.aggregates is not None:
+            record_ids = engine.analytics.record_ids_between(
+                start_time, end_time, template_id=template_id, limit=limit
+            )
+            records = [engine.topic.record(record_id) for record_id in record_ids]
+        else:
+            records = [
+                record
+                for record in engine.topic.records_between(start_time, end_time)
+                if template_id is None or record.template_id == template_id
+            ][:limit]
+        rows: List[Dict[str, object]] = []
+        for record in records:
+            seq = base + record.record_id + 1
+            rows.append(
+                {
+                    "seq": seq if seq >= 1 else None,
+                    "record_id": record.record_id,
+                    "timestamp": record.timestamp,
+                    "template_id": record.template_id,
+                    "raw": record.raw,
+                }
+            )
+        return rows
 
     def _wal_floors(self) -> Dict[str, int]:
         """Same retained-versions floor rule as the thread backend, read

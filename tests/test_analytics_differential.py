@@ -1,0 +1,165 @@
+"""Differential harness: incremental analytics vs the recompute oracle.
+
+The tentpole's correctness story mirrors PR 7's backend equivalence: the
+O(N)-rescan analytics path is the battle-tested baseline, and the
+materialized-aggregate path must return **identical** answers — equal
+top-k lists, equal anomaly lists (same objects field for field), equal
+JSD floats down to the last bit, equal drill-down record lists — for the
+same windows, on the thread *and* the process shard backend.  On the
+process backend the parent answers from its aggregate mirror, which the
+transport's digest handshake holds to the children's state at every sync
+barrier, so this also exercises the cross-process delta-shipping path.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.config import ByteBrainConfig
+from repro.service.scheduler import SchedulerPolicy
+from repro.service.service import LogParsingService
+
+BACKENDS = ["thread", "process"]
+NEVER = 10**9
+TOPIC = "checkout"
+
+#: Half-open query windows over the workload's [0, 300) time span: full
+#: span, bucket-aligned, mid-bucket edges, the burst, and an empty tail.
+WINDOWS = [
+    (0.0, 300.0),
+    (0.0, 100.0),
+    (33.3, 266.7),
+    (195.0, 245.0),
+    (280.0, 299.5),
+    (400.0, 500.0),
+]
+
+
+def workload():
+    """(raw, timestamp) stream: steady mix, then a burst of a new shape."""
+    for i in range(300):
+        yield f"checkout request {i % 37} took {i % 9} ms", float(i)
+    for i in range(60):
+        yield f"user u{i % 11} viewed cart page {i % 5}", 100.0 + i * 2.0
+    for i in range(45):
+        yield f"payment gateway timeout shard {i % 3}", 200.0 + i
+    for i in range(30):
+        yield f"checkout request {i % 37} took {i % 9} ms", 250.0 + i
+
+
+@pytest.fixture(params=BACKENDS)
+def service(request, tmp_path):
+    policy = SchedulerPolicy(
+        volume_threshold=NEVER, time_interval_seconds=NEVER, initial_volume_threshold=NEVER
+    )
+    svc = LogParsingService(
+        config=ByteBrainConfig(analytics_bucket_seconds=10.0),
+        scheduler_policy=policy,
+        store_root=tmp_path / "store",
+    )
+    svc.create_topic(TOPIC)
+    runtime = svc.sharded_runtime(
+        backend=request.param,
+        n_shards=2,
+        micro_batch_size=16,
+        max_batch_delay=0.002,
+        wal_dir=tmp_path / "wal",
+    )
+    with runtime:
+        sent = 0
+        for raw, ts in workload():
+            runtime.submit(TOPIC, raw, ts)
+            sent += 1
+            if sent == 150:
+                # Train mid-stream so later records re-stamp temporaries
+                # (the aggregate path must survive backfill, not just
+                # clean appends).
+                runtime.drain()
+                runtime.train_topic(TOPIC, now=150.0)
+        runtime.drain()
+        runtime.train_topic(TOPIC, now=400.0)
+        runtime.drain()
+        yield svc
+
+
+class TestEnginesAgree:
+    def test_top_k_identical(self, service):
+        for window in WINDOWS:
+            for k in (1, 5, 100):
+                assert service.top_k_templates(
+                    TOPIC, *window, k=k, engine="incremental"
+                ) == service.top_k_templates(TOPIC, *window, k=k, engine="recompute")
+
+    def test_anomaly_lists_identical(self, service):
+        for baseline in WINDOWS:
+            for current in WINDOWS:
+                assert service.detect_anomalies(
+                    TOPIC, baseline, current, engine="incremental"
+                ) == service.detect_anomalies(TOPIC, baseline, current, engine="recompute")
+
+    def test_jsd_bitwise_identical(self, service):
+        for period_a in WINDOWS:
+            for period_b in WINDOWS:
+                left = service.compare_periods(TOPIC, period_a, period_b, engine="incremental")
+                right = service.compare_periods(TOPIC, period_a, period_b, engine="recompute")
+                # Dataclass equality covers added/removed/shifts; assert
+                # the float separately so a NaN can never slip through ==.
+                assert left == right
+                assert not math.isnan(left.jensen_shannon_divergence)
+                assert 0.0 <= left.jensen_shannon_divergence <= math.log(2.0) + 1e-12
+
+    def test_anomaly_scores_identical(self, service):
+        for window in WINDOWS:
+            assert service.anomaly_score(
+                TOPIC, window, engine="incremental"
+            ) == service.anomaly_score(TOPIC, window, engine="recompute")
+
+    def test_new_template_bursts_identical(self, service):
+        for window in WINDOWS:
+            assert service.new_template_bursts(
+                TOPIC, window, min_count=1, engine="incremental"
+            ) == service.new_template_bursts(TOPIC, window, min_count=1, engine="recompute")
+
+    def test_drill_down_identical(self, service):
+        for window in WINDOWS:
+            incremental = service.drill_down(TOPIC, *window, limit=40, engine="incremental")
+            recompute = service.drill_down(TOPIC, *window, limit=40, engine="recompute")
+            assert incremental == recompute
+
+    def test_drill_down_per_template_identical(self, service):
+        top = service.top_k_templates(TOPIC, 0.0, 300.0, k=3, engine="incremental")
+        for tid, _count in top:
+            assert service.drill_down(
+                TOPIC, 0.0, 300.0, template_id=tid, limit=25, engine="incremental"
+            ) == service.drill_down(
+                TOPIC, 0.0, 300.0, template_id=tid, limit=25, engine="recompute"
+            )
+
+    def test_failure_scenario_matching_identical(self, service):
+        from repro.service.analytics import FailureScenario
+
+        service.failure_library.add(
+            FailureScenario(
+                name="gateway-timeout",
+                description="payment gateway timing out",
+                signature_templates=["payment gateway timeout shard <*>"],
+                min_coverage=0.5,
+            )
+        )
+        for window in WINDOWS:
+            left = service.match_failure_scenarios(TOPIC, window, engine="incremental")
+            right = service.match_failure_scenarios(TOPIC, window, engine="recompute")
+            assert [(m.scenario.name, m.coverage, m.matched_templates) for m in left] == [
+                (m.scenario.name, m.coverage, m.matched_templates) for m in right
+            ]
+
+    def test_burst_is_actually_detected(self, service):
+        """The workload's payment burst must show up — guards against the
+        vacuous case where both engines agree on empty answers."""
+        anomalies = service.detect_anomalies(
+            TOPIC, (100.0, 200.0), (200.0, 250.0), engine="incremental"
+        )
+        assert any(a.kind == "new_template" for a in anomalies)
+        assert service.anomaly_score(TOPIC, (200.0, 250.0), engine="incremental") > 0.0

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import math
 
 import pytest
 
@@ -271,3 +272,115 @@ class TestEvaluateAndDatasets:
     def test_serve_bench_paced_rate_requires_training(self, capsys):
         assert main(["serve-bench", "--paced-rate", "100"]) == 2
         assert "--volume-threshold" in capsys.readouterr().err
+
+
+class TestAnalyticsCommand:
+    @pytest.fixture()
+    def analytics_state(self, tmp_path):
+        """A store + WAL whose tail (past the snapshot watermark) holds a
+        known template mix: a steady checkout stream over [120, 140) and a
+        payment-timeout burst over [140, 160).  The first drain snapshots
+        the training prefix, so recovery replays exactly that tail."""
+        from repro.core.config import ByteBrainConfig
+        from repro.service.runtime import ShardedRuntime
+        from repro.service.scheduler import SchedulerPolicy
+        from repro.service.service import LogParsingService
+
+        store, wal_dir = tmp_path / "store", tmp_path / "wal"
+        service = LogParsingService(
+            config=ByteBrainConfig(analytics_bucket_seconds=10.0),
+            scheduler_policy=SchedulerPolicy(
+                volume_threshold=10**9, time_interval_seconds=10**9,
+                initial_volume_threshold=50,
+            ),
+            store_root=store,
+        )
+        service.create_topic("checkout")
+        with ShardedRuntime(service, n_shards=1, wal_dir=wal_dir) as runtime:
+            for i in range(120):
+                runtime.submit("checkout", f"checkout request {i} took {i % 9} ms", float(i))
+            runtime.drain()  # training round snapshots this prefix
+            for i in range(40):
+                runtime.submit(
+                    "checkout", f"checkout request {i} took {i % 9} ms", 120.0 + i * 0.5
+                )
+            for i in range(40):
+                runtime.submit(
+                    "checkout", f"payment gateway timeout shard {i % 3}", 140.0 + i * 0.5
+                )
+            runtime.drain()
+        return store, wal_dir
+
+    def test_top_k_round_trip(self, analytics_state, capsys):
+        store, wal_dir = analytics_state
+        assert main(
+            [
+                "analytics", "top-k",
+                "--store", str(store), "--wal-dir", str(wal_dir),
+                "--topic", "checkout", "--start", "0", "--end", "200", "--json",
+            ]
+        ) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows and rows[0]["count"] >= rows[-1]["count"]
+        assert sum(row["count"] for row in rows) == 80
+
+    def test_top_k_engines_agree(self, analytics_state, capsys):
+        store, wal_dir = analytics_state
+        base = [
+            "analytics", "top-k",
+            "--store", str(store), "--wal-dir", str(wal_dir),
+            "--topic", "checkout", "--start", "125", "--end", "155", "--json",
+        ]
+        assert main(base + ["--engine", "incremental"]) == 0
+        incremental = capsys.readouterr().out
+        assert main(base + ["--engine", "recompute"]) == 0
+        assert capsys.readouterr().out == incremental
+
+    def test_anomaly_reports_burst(self, analytics_state, capsys):
+        store, wal_dir = analytics_state
+        assert main(
+            [
+                "analytics", "anomaly",
+                "--store", str(store), "--wal-dir", str(wal_dir),
+                "--topic", "checkout", "--start", "140", "--end", "160", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["anomaly_score"] > 0
+        assert any(a["kind"] == "new_template" for a in payload["anomalies"])
+
+    def test_compare_requires_baseline(self, analytics_state, capsys):
+        store, wal_dir = analytics_state
+        assert main(
+            [
+                "analytics", "compare",
+                "--store", str(store), "--wal-dir", str(wal_dir),
+                "--topic", "checkout", "--start", "120", "--end", "160",
+            ]
+        ) == 2
+        assert "--baseline-start" in capsys.readouterr().err
+
+    def test_compare_emits_divergence(self, analytics_state, capsys):
+        store, wal_dir = analytics_state
+        assert main(
+            [
+                "analytics", "compare",
+                "--store", str(store), "--wal-dir", str(wal_dir),
+                "--topic", "checkout",
+                "--baseline-start", "120", "--baseline-end", "140",
+                "--start", "140", "--end", "160", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert 0.0 < payload["jensen_shannon_divergence"] <= math.log(2.0) + 1e-12
+
+    def test_unknown_topic_fails_cleanly(self, analytics_state, capsys):
+        store, wal_dir = analytics_state
+        assert main(
+            [
+                "analytics", "top-k",
+                "--store", str(store), "--wal-dir", str(wal_dir),
+                "--topic", "nope", "--start", "0", "--end", "1",
+            ]
+        ) == 2
+        assert "not found" in capsys.readouterr().err

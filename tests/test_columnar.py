@@ -1,0 +1,222 @@
+"""Unit tests for the columnar aggregate store (service/columnar.py).
+
+Every query on :class:`TopicAggregates` is held against a brute-force
+oracle over the same event stream, including the awkward regimes: out of
+order timestamps interleaving bucket spans, re-stamped records, windows
+wide enough to engage the lazy prefix-sum index, and windows whose edges
+land mid-bucket.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.service.columnar import TopicAggregates, ValueSketch, stable_raw_hash
+
+
+def brute_counts(events, start, end):
+    """Oracle: per-template counts over [start, end) from final stamps."""
+    counts = {}
+    for _rid, ts, _raw, tid in events:
+        if tid is not None and start <= ts < end:
+            counts[tid] = counts.get(tid, 0) + 1
+    return counts
+
+
+def feed(aggregates, events):
+    for rid, ts, raw, tid in events:
+        aggregates.observe_append(rid, ts, raw, -1 if tid is None else tid)
+
+
+def make_stream(n, n_templates=7, span=500.0, seed=3, shuffle_ts=True):
+    """A synthetic (rid, ts, raw, tid) stream with out-of-order timestamps."""
+    rng = random.Random(seed)
+    events = []
+    for rid in range(n):
+        ts = rng.uniform(0.0, span) if shuffle_ts else rid * (span / n)
+        tid = rng.randrange(n_templates)
+        events.append((rid, ts, f"msg {rid} of template {tid}", tid))
+    return events
+
+
+class TestCountsAgainstOracle:
+    @pytest.mark.parametrize("shuffle_ts", [False, True])
+    def test_window_counts_match_brute_force(self, shuffle_ts):
+        events = make_stream(600, span=300.0, shuffle_ts=shuffle_ts)
+        agg = TopicAggregates(bucket_seconds=10.0)
+        feed(agg, events)
+        rng = random.Random(11)
+        for _ in range(40):
+            a = rng.uniform(-20.0, 320.0)
+            b = a + rng.uniform(0.0, 200.0)
+            assert agg.template_counts_between(a, b) == brute_counts(events, a, b)
+
+    def test_bucket_aligned_and_midbucket_edges(self):
+        events = make_stream(400, span=200.0)
+        agg = TopicAggregates(bucket_seconds=10.0)
+        feed(agg, events)
+        for window in [(0.0, 200.0), (10.0, 190.0), (15.0, 185.0), (14.999, 15.001)]:
+            assert agg.template_counts_between(*window) == brute_counts(events, *window)
+
+    def test_unassigned_records_are_invisible(self):
+        agg = TopicAggregates(bucket_seconds=10.0)
+        agg.observe_append(0, 5.0, "raw a", -1)
+        agg.observe_append(1, 6.0, "raw b", 3)
+        assert agg.template_counts_between(0.0, 10.0) == {3: 1}
+
+    def test_restamp_moves_counts(self):
+        events = make_stream(200, span=100.0)
+        agg = TopicAggregates(bucket_seconds=10.0)
+        feed(agg, events)
+        # Re-stamp a third of the records to new template ids (backfill /
+        # temporary-replacement flows) and mutate the oracle stream too.
+        rng = random.Random(5)
+        final = list(events)
+        for rid in rng.sample(range(200), 66):
+            _, ts, raw, _ = events[rid]
+            new_tid = 100 + rng.randrange(3)
+            agg.observe_restamp(rid, ts, raw, new_tid)
+            final[rid] = (rid, ts, raw, new_tid)
+        for window in [(0.0, 100.0), (25.0, 75.0), (3.0, 7.0)]:
+            assert agg.template_counts_between(*window) == brute_counts(final, *window)
+
+    def test_restamp_to_same_template_is_a_noop(self):
+        agg = TopicAggregates(bucket_seconds=10.0)
+        agg.observe_append(0, 5.0, "raw", 2)
+        before = agg.digest()
+        agg.observe_restamp(0, 5.0, "raw", 2)
+        assert agg.digest() == before
+
+
+class TestPrefixSumPath:
+    def test_wide_window_engages_prefix_and_agrees_with_oracle(self):
+        # > _PREFIX_MIN_BUCKETS full buckets so the cumsum path runs.
+        events = make_stream(2000, span=3000.0, n_templates=5)
+        agg = TopicAggregates(bucket_seconds=10.0)
+        feed(agg, events)
+        wide = agg.template_counts_between(-5.0, 3005.0)
+        assert wide == brute_counts(events, -5.0, 3005.0)
+        assert agg.stats()["prefix_index_clean"] == 1.0
+        # A mutation dirties the index; answers must stay correct.
+        agg.observe_append(2000, 1500.0, "late arrival", 1)
+        events.append((2000, 1500.0, "late arrival", 1))
+        assert agg.stats()["prefix_index_clean"] == 0.0
+        assert agg.template_counts_between(-5.0, 3005.0) == brute_counts(events, -5.0, 3005.0)
+
+    def test_narrow_window_answers_match_prefix_answers(self):
+        events = make_stream(1500, span=2500.0, n_templates=4)
+        agg = TopicAggregates(bucket_seconds=10.0)
+        feed(agg, events)
+        rng = random.Random(2)
+        for _ in range(25):
+            a = rng.uniform(0.0, 2000.0)
+            b = a + rng.uniform(0.0, 2400.0)  # mixes sub- and super-threshold widths
+            assert agg.template_counts_between(a, b) == brute_counts(events, a, b)
+
+
+class TestTopKAndFirstSeen:
+    def test_top_k_order_is_deterministic(self):
+        agg = TopicAggregates(bucket_seconds=10.0)
+        for rid, tid in enumerate([1, 1, 1, 2, 2, 2, 3]):  # tie between 1 and 2
+            agg.observe_append(rid, 5.0, f"r{rid}", tid)
+        assert agg.top_k(0.0, 10.0, k=2) == [(1, 3), (2, 3)]
+        assert agg.top_k(0.0, 10.0, k=0) == []
+
+    def test_first_seen_tracks_minima_independently(self):
+        agg = TopicAggregates(bucket_seconds=10.0)
+        agg.observe_append(5, 50.0, "late rid early ts", 7)
+        agg.observe_append(9, 20.0, "early ts late rid", 7)
+        # min record id and min timestamp come from different records.
+        assert agg.first_seen(7) == (5, 20.0)
+        assert agg.first_seen(999) is None
+
+    def test_new_templates_between_reports_births(self):
+        agg = TopicAggregates(bucket_seconds=10.0)
+        agg.observe_append(0, 5.0, "a", 1)
+        agg.observe_append(1, 25.0, "b", 2)
+        agg.observe_append(2, 26.0, "c", 2)
+        born = agg.new_templates_between(20.0, 30.0)
+        assert born == [(2, 1, 25.0)]
+
+
+class TestRecordIdsBetween:
+    def test_matches_brute_force_scan(self):
+        events = make_stream(500, span=250.0)
+        agg = TopicAggregates(bucket_seconds=10.0)
+        feed(agg, events)
+        rng = random.Random(17)
+        for _ in range(20):
+            a = rng.uniform(0.0, 250.0)
+            b = a + rng.uniform(0.0, 120.0)
+            expected = sorted(
+                rid for rid, ts, _raw, tid in events if tid is not None and a <= ts < b
+            )
+            assert agg.record_ids_between(a, b) == expected
+
+    def test_template_filter_and_limit(self):
+        events = make_stream(300, span=150.0, n_templates=3)
+        agg = TopicAggregates(bucket_seconds=10.0)
+        feed(agg, events)
+        expected = sorted(rid for rid, ts, _raw, tid in events if tid == 1 and 0 <= ts < 150)
+        assert agg.record_ids_between(0.0, 150.0, template_id=1) == expected
+        assert agg.record_ids_between(0.0, 150.0, template_id=1, limit=5) == expected[:5]
+
+
+class TestValueSketch:
+    def test_order_independent_state(self):
+        values = [stable_raw_hash(f"value {i}") for i in range(300)]
+        forward, backward = ValueSketch(k=32), ValueSketch(k=32)
+        for v in values:
+            forward.insert(v)
+        for v in reversed(values):
+            backward.insert(v)
+        assert forward.state() == backward.state()
+
+    def test_estimate_tracks_cardinality_within_kmv_error(self):
+        sketch = ValueSketch(k=64)
+        for i in range(5000):
+            sketch.insert(stable_raw_hash(f"distinct value {i}"))
+        # KMV standard error is ~1/sqrt(k-1) ≈ 12.6% at k=64; allow 4 sigma.
+        assert 5000 * 0.5 <= sketch.estimate() <= 5000 * 1.5
+
+    def test_small_sets_are_exact(self):
+        sketch = ValueSketch(k=64)
+        for i in range(10):
+            sketch.insert(stable_raw_hash(f"v{i}"))
+            sketch.insert(stable_raw_hash(f"v{i}"))  # duplicates are free
+        assert sketch.estimate() == 10.0
+
+    def test_rejects_degenerate_k(self):
+        with pytest.raises(ValueError):
+            ValueSketch(k=1)
+
+
+class TestDigest:
+    def test_equal_streams_equal_digests(self):
+        events = make_stream(400, span=200.0)
+        a, b = TopicAggregates(bucket_seconds=10.0), TopicAggregates(bucket_seconds=10.0)
+        feed(a, events)
+        feed(b, events)
+        assert a.digest() == b.digest()
+
+    def test_restamp_path_converges_with_direct_path(self):
+        """A mirror that only ever saw final template ids must agree with
+        a child that went through temporary ids and re-stamps."""
+        direct, via_restamp = TopicAggregates(bucket_seconds=10.0), TopicAggregates(
+            bucket_seconds=10.0
+        )
+        for rid in range(50):
+            ts, raw = float(rid), f"record {rid}"
+            direct.observe_append(rid, ts, raw, rid % 4)
+            via_restamp.observe_append(rid, ts, raw, 100 + rid)  # temporary id
+        for rid in range(50):
+            via_restamp.observe_restamp(rid, float(rid), f"record {rid}", rid % 4)
+        assert direct.digest() == via_restamp.digest()
+
+    def test_divergent_streams_differ(self):
+        a, b = TopicAggregates(bucket_seconds=10.0), TopicAggregates(bucket_seconds=10.0)
+        a.observe_append(0, 1.0, "x", 1)
+        b.observe_append(0, 1.0, "x", 2)
+        assert a.digest() != b.digest()

@@ -1,6 +1,9 @@
 """Unit tests for the template-based analytics (§6)."""
 
+import math
+
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.model import Template
 from repro.service.analytics import (
@@ -109,3 +112,121 @@ class TestFailureScenarioLibrary:
     def test_library_listing(self, library):
         assert len(library) == 1
         assert library.scenarios()[0].name == "disk-pressure"
+
+
+# --------------------------------------------------------------------------- #
+# PR 8: detector edge cases (empty / tiny windows, score clamping)
+# --------------------------------------------------------------------------- #
+class TestDetectorEdgeCases:
+    @pytest.fixture()
+    def detector(self):
+        return TemplateAnomalyDetector(spike_ratio=3.0, drop_ratio=3.0, min_count=5)
+
+    def test_empty_current_window_reports_nothing(self, detector):
+        """The old failure mode: an empty window flagged *every* baseline
+        template as a drop.  'No traffic' is not 'everything dropped'."""
+        assert detector.detect([1] * 50 + [2] * 50, []) == []
+
+    def test_single_record_window_reports_nothing(self, detector):
+        assert detector.detect([1] * 50 + [2] * 50, [1]) == []
+
+    def test_empty_baseline_only_yields_new_templates(self, detector):
+        anomalies = detector.detect([], [1] * 10 + [2] * 2)
+        assert [(a.kind, a.template_id) for a in anomalies] == [("new_template", 1)]
+
+    def test_both_windows_empty(self, detector):
+        assert detector.detect([], []) == []
+
+    def test_drop_to_zero_score_is_clamped(self):
+        detector = TemplateAnomalyDetector(min_count=5, score_cap=1000.0)
+        anomalies = detector.detect([1] * 50 + [2] * 50, [1] * 100)
+        drops = [a for a in anomalies if a.kind == "count_drop"]
+        assert drops and all(a.score == 1000.0 for a in drops)
+
+    def test_all_scores_respect_the_cap(self):
+        detector = TemplateAnomalyDetector(min_count=1, score_cap=7.5)
+        anomalies = detector.detect([1] * 10**6 + [2], [1] + [2] * 10**6 + [3] * 10**6)
+        assert anomalies and all(a.score <= 7.5 for a in anomalies)
+
+    def test_invalid_score_cap_rejected(self):
+        with pytest.raises(ValueError):
+            TemplateAnomalyDetector(score_cap=1.0)
+
+    def test_detect_from_counts_matches_detect(self, detector):
+        baseline = [1] * 40 + [2] * 40 + [3] * 20
+        current = [1] * 70 + [3] * 2 + [9] * 28
+        from collections import Counter
+
+        assert detector.detect(baseline, current) == detector.detect_from_counts(
+            Counter(baseline), Counter(current)
+        )
+
+
+# --------------------------------------------------------------------------- #
+# PR 8: property tests (hypothesis)
+# --------------------------------------------------------------------------- #
+window_strategy = st.lists(st.integers(min_value=0, max_value=12), max_size=300)
+
+
+class TestDistributionProperties:
+    @given(window_strategy, window_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_jsd_is_bounded(self, window_a, window_b):
+        divergence = compare_template_distributions(
+            window_a, window_b
+        ).jensen_shannon_divergence
+        assert 0.0 <= divergence <= math.log(2.0) + 1e-12
+
+    @given(window_strategy, window_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_jsd_is_symmetric(self, window_a, window_b):
+        forward = compare_template_distributions(window_a, window_b)
+        backward = compare_template_distributions(window_b, window_a)
+        assert forward.jensen_shannon_divergence == pytest.approx(
+            backward.jensen_shannon_divergence, abs=1e-12
+        )
+        assert forward.added_templates == backward.removed_templates
+        assert forward.removed_templates == backward.added_templates
+
+    @given(window_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_jsd_is_zero_on_identical_windows(self, window):
+        comparison = compare_template_distributions(window, list(window))
+        assert comparison.jensen_shannon_divergence == pytest.approx(0.0, abs=1e-12)
+        assert comparison.added_templates == []
+        assert comparison.removed_templates == []
+
+    @given(window_strategy, window_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_disjoint_windows_hit_the_upper_bound(self, window_a, window_b):
+        shifted_b = [tid + 100 for tid in window_b]  # force disjoint supports
+        if not window_a or not shifted_b:
+            return
+        divergence = compare_template_distributions(
+            window_a, shifted_b
+        ).jensen_shannon_divergence
+        assert divergence == pytest.approx(math.log(2.0), abs=1e-9)
+
+
+class TestDetectorProperties:
+    @given(window_strategy, window_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_detect_never_crashes_and_scores_are_finite(self, baseline, current):
+        detector = TemplateAnomalyDetector(min_count=2, score_cap=500.0)
+        for anomaly in detector.detect(baseline, current):
+            assert 0.0 <= anomaly.score <= 500.0
+            assert anomaly.kind in ("new_template", "count_spike", "count_drop")
+
+    @given(window_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_tiny_current_windows_never_report_drops(self, baseline):
+        detector = TemplateAnomalyDetector(min_count=5)
+        for current in ([], [0], [0, 1, 2, 3]):
+            anomalies = detector.detect(baseline, current)
+            assert all(a.kind != "count_drop" for a in anomalies)
+
+    @given(window_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_identical_windows_are_never_anomalous(self, window):
+        detector = TemplateAnomalyDetector()
+        assert detector.detect(window, list(window)) == []
