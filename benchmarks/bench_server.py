@@ -1,0 +1,381 @@
+"""Benchmark: closed-loop wire latency through the front-door server.
+
+PR 9 put a TCP protocol, tenancy, and admission control in front of the
+sharded runtime.  This benchmark measures what a caller actually feels:
+per-request latency percentiles (p50/p95/p99) for batch ingest and for
+template queries, under multiple concurrent tenants running closed
+loops (next request leaves when the previous answer lands) against an
+in-process server — real sockets, real frames, no event-loop mocks.
+
+A second phase restarts the server with a tiny shard queue and a
+slow-worker failpoint, then pours records in: backpressure must surface
+as protocol ``BACKPRESSURE`` retries and every record must still arrive
+exactly once (silent drops are the failure mode this layer exists to
+kill).
+
+``--smoke --check-floor BENCH_server.json`` is the CI gate form: the
+floor is a conservative fraction of the reference throughput plus the
+hard correctness criteria (>= 2 tenants, backpressure surfaced, zero
+silent drops).  Latency percentiles are recorded but not gated — shared
+CI boxes make tail latency a lousy pass/fail signal.  Run from the
+repo root::
+
+    PYTHONPATH=src python benchmarks/bench_server.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.core import failpoints
+from repro.core.config import ByteBrainConfig
+from repro.service.client import IngestReport, ServiceClient
+from repro.service.runtime import create_runtime
+from repro.service.server import (
+    LogServer,
+    build_tenant_specs,
+    qualify_topic,
+    run_server_in_thread,
+)
+from repro.service.service import LogParsingService
+
+DEFAULT_TENANTS = 2
+DEFAULT_WORKERS_PER_TENANT = 2
+DEFAULT_RECORDS_PER_WORKER = 20_000
+DEFAULT_BATCH_SIZE = 500
+DEFAULT_QUERY_EVERY = 8  # one timed query per this many ingest batches
+
+SMOKE_RECORDS_PER_WORKER = 2_000
+SMOKE_BATCH_SIZE = 200
+
+#: Backpressure phase: small queue + slowed workers force refusals.
+PRESSURE_QUEUE_CAPACITY = 64
+PRESSURE_RECORDS = 3_000
+PRESSURE_BATCH_SIZE = 50
+PRESSURE_DELAY_SECONDS = 0.02
+
+#: ``check_floor`` passes when measured ingest throughput clears
+#: ``max(FLOOR_MINIMUM_RPS, FLOOR_FRACTION * reference throughput)``.
+FLOOR_FRACTION = 0.25
+FLOOR_MINIMUM_RPS = 2_000.0
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an unsorted sample list (seconds)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _latency_stats(samples: List[float]) -> Dict[str, float]:
+    return {
+        "count": len(samples),
+        "mean_ms": round(1000.0 * sum(samples) / len(samples), 3) if samples else 0.0,
+        "p50_ms": round(1000.0 * percentile(samples, 0.50), 3),
+        "p95_ms": round(1000.0 * percentile(samples, 0.95), 3),
+        "p99_ms": round(1000.0 * percentile(samples, 0.99), 3),
+    }
+
+
+class _FrontDoor:
+    """A disposable in-process server over a temp store + WAL."""
+
+    def __init__(self, n_tenants: int, backend: Optional[str], **runtime_kwargs):
+        self._tmp = tempfile.TemporaryDirectory(prefix="bench-server-")
+        root = Path(self._tmp.name)
+        self.config = ByteBrainConfig()
+        self.service = LogParsingService(config=self.config, store_root=root / "store")
+        self.tenant_names = [f"tenant{i}" for i in range(n_tenants)]
+        tenants = build_tenant_specs(
+            [{"name": name, "topics": ["app"]} for name in self.tenant_names]
+        )
+        for spec, topics in tenants:
+            for topic in topics:
+                self.service.create_topic(qualify_topic(spec.name, topic))
+        self.runtime = create_runtime(
+            self.service, backend=backend, wal_dir=root / "wal", **runtime_kwargs
+        )
+        self.server = LogServer(self.service, self.runtime, tenants,
+                                config=self.config)
+        self._thread, self._stop = run_server_in_thread(self.server)
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def close(self) -> None:
+        try:
+            self._stop()
+        finally:
+            self.runtime.shutdown(drain=False)
+            self._tmp.cleanup()
+
+
+def _closed_loop_worker(
+    port: int,
+    tenant: str,
+    worker_index: int,
+    n_records: int,
+    batch_size: int,
+    query_every: int,
+    out: dict,
+    errors: list,
+) -> None:
+    """One closed-loop caller: timed ingest batches + periodic queries."""
+    ingest_lat: List[float] = []
+    query_lat: List[float] = []
+    report = IngestReport()
+    try:
+        with ServiceClient("127.0.0.1", port, tenant) as client:
+            base = 1_700_000_000.0
+            sent = 0
+            batch_index = 0
+            while sent < n_records:
+                n = min(batch_size, n_records - sent)
+                raws = [
+                    f"{tenant} w{worker_index} proc {i % 11} handled request "
+                    f"{sent + i} in {i % 29} ms"
+                    for i in range(n)
+                ]
+                t0 = time.perf_counter()
+                client.ingest("app", raws, timestamp=base + sent * 0.01,
+                              report=report)
+                ingest_lat.append(time.perf_counter() - t0)
+                sent += n
+                batch_index += 1
+                if batch_index % query_every == 0:
+                    t0 = time.perf_counter()
+                    client.query("app", threshold=0.6)
+                    query_lat.append(time.perf_counter() - t0)
+        out[(tenant, worker_index)] = (ingest_lat, query_lat, report)
+    except Exception as exc:  # noqa: BLE001 — bench harness boundary
+        errors.append(f"{tenant}/w{worker_index}: {type(exc).__name__}: {exc}")
+
+
+def run_latency_phase(
+    n_tenants: int,
+    workers_per_tenant: int,
+    records_per_worker: int,
+    batch_size: int,
+    query_every: int,
+    backend: Optional[str],
+) -> Dict[str, object]:
+    door = _FrontDoor(n_tenants, backend)
+    try:
+        out: dict = {}
+        errors: list = []
+        threads = [
+            threading.Thread(
+                target=_closed_loop_worker,
+                args=(door.port, tenant, w, records_per_worker, batch_size,
+                      query_every, out, errors),
+                name=f"bench-{tenant}-w{w}",
+            )
+            for tenant in door.tenant_names
+            for w in range(workers_per_tenant)
+        ]
+        wall0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - wall0
+        if errors:
+            raise RuntimeError("bench workers failed: " + "; ".join(errors))
+
+        all_ingest = [s for ingest, _, _ in out.values() for s in ingest]
+        all_query = [s for _, query, _ in out.values() for s in query]
+        total_records = sum(r.accepted for _, _, r in out.values())
+        per_tenant = {}
+        for tenant in door.tenant_names:
+            ingest = [s for (t, _), (i, _, _) in out.items() if t == tenant for s in i]
+            query = [s for (t, _), (_, q, _) in out.items() if t == tenant for s in q]
+            per_tenant[tenant] = {
+                "ingest": _latency_stats(ingest),
+                "query": _latency_stats(query),
+            }
+        # Ground truth: the server must hold exactly what was acked.
+        expected = workers_per_tenant * records_per_worker
+        stored_ok = True
+        with ServiceClient("127.0.0.1", door.port, door.tenant_names[0]) as client:
+            client.drain()
+        for tenant in door.tenant_names:
+            stored = door.service.topic_stats(qualify_topic(tenant, "app"))
+            if int(stored["n_records"]) != expected:
+                stored_ok = False
+        return {
+            "wall_seconds": round(wall, 3),
+            "records": total_records,
+            "records_per_second": round(total_records / wall, 1),
+            "ingest": _latency_stats(all_ingest),
+            "query": _latency_stats(all_query),
+            "per_tenant": per_tenant,
+            "counts_verified": stored_ok,
+        }
+    finally:
+        door.close()
+
+
+def run_backpressure_phase(backend: Optional[str]) -> Dict[str, object]:
+    """Tiny queues + slowed workers: refusals must be loud, loss zero."""
+    # Armed before the runtime starts: process-backend children inherit
+    # the spec at fork.
+    failpoints.configure_from_spec(
+        f"worker.batch:delay:seconds={PRESSURE_DELAY_SECONDS}"
+    )
+    door = _FrontDoor(
+        1, backend,
+        queue_capacity=PRESSURE_QUEUE_CAPACITY, micro_batch_size=16,
+    )
+    try:
+        tenant = door.tenant_names[0]
+        with ServiceClient("127.0.0.1", door.port, tenant) as client:
+            report = IngestReport()
+            raws = [f"pressure record {i}" for i in range(PRESSURE_RECORDS)]
+            base = 1_700_000_000.0
+            for start in range(0, PRESSURE_RECORDS, PRESSURE_BATCH_SIZE):
+                client.ingest("app", raws[start : start + PRESSURE_BATCH_SIZE],
+                              timestamp=base + start, max_retries=10_000,
+                              report=report)
+            client.drain()
+            stored = int(client.topic_stats("app")["n_records"])
+        return {
+            "queue_capacity": PRESSURE_QUEUE_CAPACITY,
+            "records": PRESSURE_RECORDS,
+            "acked": report.accepted,
+            "stored": stored,
+            "retries": report.retries,
+            "backpressure_errors": report.backpressure,
+            "silent_drops": PRESSURE_RECORDS - stored,
+        }
+    finally:
+        failpoints.clear_all()
+        door.close()
+
+
+def check_floor(report: Dict[str, object], reference_path: Path) -> int:
+    """CI gate: throughput floor + the hard correctness criteria."""
+    reference = json.loads(reference_path.read_text())
+    reference_rps = float(reference["latency"]["records_per_second"])
+    floor = max(FLOOR_MINIMUM_RPS, reference_rps * FLOOR_FRACTION)
+    measured = float(report["latency"]["records_per_second"])
+    summary = report["summary"]
+    print(
+        f"server floor check: measured {measured:.0f} records/s vs floor "
+        f"{floor:.0f} (= max({FLOOR_MINIMUM_RPS:.0f}, {FLOOR_FRACTION} * "
+        f"reference {reference_rps:.0f}))"
+    )
+    failed = False
+    if measured < floor:
+        print("FAIL: wire ingest throughput regressed below the floor")
+        failed = True
+    for criterion in ("meets_tenant_minimum", "backpressure_surfaced",
+                      "no_silent_drops", "counts_verified"):
+        if not summary.get(criterion, False):
+            print(f"FAIL: criterion {criterion} not met")
+            failed = True
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tenants", type=int, default=DEFAULT_TENANTS)
+    parser.add_argument("--workers-per-tenant", type=int,
+                        default=DEFAULT_WORKERS_PER_TENANT)
+    parser.add_argument("--records-per-worker", type=int, default=None)
+    parser.add_argument("--batch-size", type=int, default=None)
+    parser.add_argument("--query-every", type=int, default=DEFAULT_QUERY_EVERY)
+    parser.add_argument("--backend", choices=["thread", "process"], default=None,
+                        help="shard backend (default: REPRO_SHARD_BACKEND or thread)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (seconds, not minutes)")
+    parser.add_argument("--check-floor", type=Path, default=None,
+                        metavar="REFERENCE_JSON",
+                        help="gate against a reference BENCH_server.json")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the report JSON here")
+    args = parser.parse_args()
+
+    records = args.records_per_worker or (
+        SMOKE_RECORDS_PER_WORKER if args.smoke else DEFAULT_RECORDS_PER_WORKER
+    )
+    batch = args.batch_size or (
+        SMOKE_BATCH_SIZE if args.smoke else DEFAULT_BATCH_SIZE
+    )
+    if args.tenants < 2:
+        parser.error("--tenants must be >= 2 (the point is concurrent tenants)")
+
+    print(
+        f"server bench: {args.tenants} tenants x {args.workers_per_tenant} "
+        f"closed-loop workers, {records} records/worker, batch {batch}",
+        flush=True,
+    )
+    latency = run_latency_phase(
+        args.tenants, args.workers_per_tenant, records, batch,
+        args.query_every, args.backend,
+    )
+    print(
+        f"  ingest p50/p95/p99: {latency['ingest']['p50_ms']}/"
+        f"{latency['ingest']['p95_ms']}/{latency['ingest']['p99_ms']} ms, "
+        f"query p50/p95/p99: {latency['query']['p50_ms']}/"
+        f"{latency['query']['p95_ms']}/{latency['query']['p99_ms']} ms, "
+        f"{latency['records_per_second']:.0f} records/s over the wire",
+        flush=True,
+    )
+    pressure = run_backpressure_phase(args.backend)
+    print(
+        f"  backpressure phase: {pressure['backpressure_errors']} refusals, "
+        f"{pressure['retries']} retries, {pressure['silent_drops']} silent drops",
+        flush=True,
+    )
+
+    report = {
+        "benchmark": "server",
+        "smoke": bool(args.smoke),
+        "backend": args.backend or "thread",
+        "n_tenants": args.tenants,
+        "workers_per_tenant": args.workers_per_tenant,
+        "records_per_worker": records,
+        "batch_size": batch,
+        "latency": latency,
+        "backpressure": pressure,
+        "summary": {
+            "meets_tenant_minimum": args.tenants >= 2,
+            "backpressure_surfaced": pressure["backpressure_errors"] > 0,
+            "no_silent_drops": pressure["silent_drops"] == 0
+            and pressure["acked"] == pressure["records"],
+            "counts_verified": latency["counts_verified"],
+            "records_per_second": latency["records_per_second"],
+        },
+    }
+    if args.output is not None:
+        args.output.write_text(json.dumps(report, indent=1) + "\n")
+        print(f"wrote {args.output}")
+    if args.check_floor is not None:
+        return check_floor(report, args.check_floor)
+    # A full (non-gated) run still fails on broken correctness criteria.
+    if not all(
+        report["summary"][k]
+        for k in ("backpressure_surfaced", "no_silent_drops", "counts_verified")
+    ):
+        print("FAIL: correctness criteria not met")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,16 @@ Python:
     Fail over to a standby directory: replay its replica WAL into a
     fresh follower, print the promoted per-topic sequence watermarks and
     exit (the directory is then a valid ``recover`` target).
+``serve``
+    Run the wire-protocol front door: an asyncio TCP server with
+    per-tenant topics, token-bucket rate limits, quotas, and
+    backpressure mapped to protocol errors, over a durable sharded
+    runtime (restarting over an existing store + WAL recovers first).
+``ingest``
+    Ship a log file into a running ``serve`` instance (batched binary
+    frames, automatic retry on backpressure).
+``query``
+    Ask a running ``serve`` instance for template groups.
 
 Fault injection: ``standby``, ``promote`` and ``serve-bench`` accept
 ``--failpoint NAME:ACTION[:OPTS]`` (repeatable), and every command arms
@@ -60,6 +70,9 @@ Examples
     python -m repro.cli recover --store state/models --wal-dir state/wal
     python -m repro.cli standby --primary-wal state/wal --standby-dir standby --once
     python -m repro.cli promote --standby-dir standby
+    python -m repro.cli serve --store state/models --wal-dir state/wal --port 7171
+    python -m repro.cli ingest --port 7171 --input app.log
+    python -m repro.cli query --port 7171 --threshold 0.6
 """
 
 from __future__ import annotations
@@ -555,6 +568,155 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_tenant_specs(path: Optional[str]):
+    """Parse ``--tenants`` JSON (or the single-tenant default)."""
+    import json
+
+    from repro.service.server import build_tenant_specs
+
+    if path is None:
+        data = [{"name": "default", "topics": ["app"]}]
+    else:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(data, list):
+            raise ValueError("--tenants file must hold a JSON list of tenant specs")
+    return build_tenant_specs(data)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.service.recovery import RecoveredRuntime
+    from repro.service.runtime import create_runtime
+    from repro.service.server import LogServer, qualify_topic
+    from repro.service.service import LogParsingService
+    from repro.service.wal import WriteAheadLog
+
+    code = _arm_failpoints(args)
+    if code:
+        return code
+    try:
+        tenants = _load_tenant_specs(args.tenants)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = ByteBrainConfig(
+        **{
+            key: value
+            for key, value in (
+                ("n_shards", args.shards),
+                ("ingest_queue_capacity", args.queue_capacity),
+                ("micro_batch_size", args.micro_batch_size),
+                ("max_batch_delay", args.max_batch_delay),
+                ("server_rate_limit", args.rate_limit),
+                ("server_record_quota", args.record_quota),
+            )
+            if value is not None
+        }
+    )
+    store_dir, wal_dir = Path(args.store), Path(args.wal_dir)
+    runtime_kwargs = dict(backend=args.backend, wal_dir=wal_dir)
+
+    probe = WriteAheadLog(
+        wal_dir, sync_mode=config.wal_sync_mode, segment_bytes=config.wal_segment_bytes
+    )
+    has_state = probe.has_state()
+    probe.close()
+    if has_state:
+        # Restart over prior state: replay the WAL, then add any tenant
+        # topics that did not exist yet *before* the runtime starts (the
+        # process backend forks with the topic set fixed).
+        recovered = RecoveredRuntime.open(
+            store_dir, wal_dir, config=config, start_runtime=False
+        )
+        service = recovered.service
+        positions = {
+            t.topic: (t.captured_seq, max(t.last_seq, t.captured_seq) + 1)
+            for t in recovered.report.topics
+        }
+        for spec, topics in tenants:
+            for topic in topics:
+                name = qualify_topic(spec.name, topic)
+                if name not in service.topic_names():
+                    service.create_topic(name)
+        runtime = create_runtime(service, wal_positions=positions, **runtime_kwargs)
+        replayed = sum(t.replayed_records for t in recovered.report.topics)
+        print(f"recovered {len(recovered.report.topics)} topics "
+              f"({replayed} records replayed from the WAL)")
+    else:
+        service = LogParsingService(config=config, store_root=store_dir)
+        for spec, topics in tenants:
+            for topic in topics:
+                service.create_topic(qualify_topic(spec.name, topic))
+        runtime = create_runtime(service, **runtime_kwargs)
+
+    server = LogServer(
+        service, runtime, tenants, config=config, host=args.host, port=args.port
+    )
+
+    async def run() -> None:
+        await server.start()
+        if args.ready_file:
+            Path(args.ready_file).write_text(
+                f"{server.host} {server.port}\n", encoding="utf-8"
+            )
+        print(f"serving on {server.host}:{server.port} "
+              f"({len(tenants)} tenants, backend={type(runtime).__name__})",
+              flush=True)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, lambda: loop.create_task(server.stop()))
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(run())
+    finally:
+        runtime.shutdown(drain=False)  # server.stop() already ran the barrier
+    print(f"stopped; counters: {server.counters}")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service.client import ServiceClient
+
+    lines = _read_lines(args.input)
+    if not lines:
+        print("error: input file contains no log lines", file=sys.stderr)
+        return 2
+    with ServiceClient(args.host, args.port, args.tenant) as client:
+        base = time.time()
+        report = client.ingest(args.topic, lines, timestamp=base)
+        client.drain()
+        stats = client.topic_stats(args.topic)
+    print(
+        f"acked {report.accepted} records in {report.batches} batches "
+        f"({report.retries} retries); topic now holds "
+        f"{int(stats['n_records'])} records, {int(stats['n_templates'])} templates"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.host, args.port, args.tenant) as client:
+        groups = client.query(
+            args.topic, threshold=args.threshold, text_filter=args.text_filter
+        )
+    if args.json:
+        print(json.dumps(groups, indent=2))
+    else:
+        for group in groups:
+            print(f"{group['count']:8d}  {group['display_text']}")
+        print(f"# {len(groups)} template groups", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -739,6 +901,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm a failpoint (name:action[:opts]); repeatable",
     )
     serve_bench.set_defaults(func=_cmd_serve_bench)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the wire-protocol front door over a durable sharded runtime",
+    )
+    serve.add_argument("--store", required=True, help="model store root (one dir per topic)")
+    serve.add_argument("--wal-dir", required=True, help="WAL root directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="listen port (0 = pick an ephemeral port)"
+    )
+    serve.add_argument(
+        "--tenants",
+        help="JSON file: list of tenant specs (name, topics, rate_limit, "
+        "rate_burst, record_quota, byte_quota); default is one unlimited "
+        "tenant 'default' with topic 'app'",
+    )
+    serve.add_argument(
+        "--backend", choices=["thread", "process"], default=None,
+        help="shard transport backend (default: REPRO_SHARD_BACKEND or config)",
+    )
+    serve.add_argument("--shards", type=int, default=None, help="shard count")
+    serve.add_argument(
+        "--queue-capacity", type=int, default=None,
+        help="per-shard ingest queue bound (the backpressure ceiling)",
+    )
+    serve.add_argument("--micro-batch-size", type=int, default=None)
+    serve.add_argument("--max-batch-delay", type=float, default=None)
+    serve.add_argument(
+        "--rate-limit", type=float, default=None,
+        help="default per-tenant records/s (tenant specs override)",
+    )
+    serve.add_argument(
+        "--record-quota", type=int, default=None,
+        help="default per-tenant lifetime record quota",
+    )
+    serve.add_argument(
+        "--ready-file",
+        help="write '<host> <port>' here once the listener is bound (CI handshake)",
+    )
+    serve.add_argument(
+        "--failpoint",
+        action="append",
+        metavar="SPEC",
+        help="arm a failpoint (name:action[:opts]); repeatable",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    ingest = subparsers.add_parser(
+        "ingest", help="ship a log file to a running front-door server"
+    )
+    ingest.add_argument("--host", default="127.0.0.1")
+    ingest.add_argument("--port", type=int, required=True)
+    ingest.add_argument("--tenant", default="default")
+    ingest.add_argument("--topic", default="app")
+    ingest.add_argument("--input", required=True, help="path to a plain-text log file")
+    ingest.add_argument("--batch-size", type=int, default=500)
+    ingest.set_defaults(func=_cmd_ingest)
+
+    query = subparsers.add_parser(
+        "query", help="query templates from a running front-door server"
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, required=True)
+    query.add_argument("--tenant", default="default")
+    query.add_argument("--topic", default="app")
+    query.add_argument("--threshold", type=float, default=0.6)
+    query.add_argument("--text-filter", default=None)
+    query.add_argument("--json", action="store_true", help="emit JSON")
+    query.set_defaults(func=_cmd_query)
 
     datasets = subparsers.add_parser("datasets", help="list available benchmark corpora")
     datasets.set_defaults(func=_cmd_datasets)

@@ -224,6 +224,34 @@ class ByteBrainConfig:
     analytics_engine: str = "incremental"
 
     # ------------------------------------------------------------------ #
+    # Wire-protocol front door (service/server.py)
+    # ------------------------------------------------------------------ #
+    #: Largest frame (bytes) the server accepts on a connection; larger
+    #: frames are rejected with ``FRAME_TOO_LARGE`` and the connection is
+    #: closed (a length prefix beyond this bound is unrecoverable —
+    #: resynchronising mid-stream is not possible).
+    server_max_frame_bytes: int = 8 * 1024 * 1024
+    #: Per-connection outbound buffer bound (bytes).  A client that stops
+    #: reading while responses accumulate past this high-water mark has
+    #: its writes paused; combined with ``server_write_timeout_seconds``
+    #: it bounds how long a stalled reader can pin server memory.
+    server_write_buffer_bytes: int = 1024 * 1024
+    #: How long (seconds) the server waits for a slow client's socket to
+    #: accept buffered responses before aborting the connection — one
+    #: stalled reader must never wedge a shard or the event loop.
+    server_write_timeout_seconds: float = 10.0
+    #: Default per-tenant token-bucket refill rate (records/second) for
+    #: tenants whose spec does not override it; ``None`` = unlimited.
+    server_rate_limit: Optional[float] = None
+    #: Default token-bucket burst capacity (records); ``None`` derives
+    #: 2x the rate limit.
+    server_rate_burst: Optional[float] = None
+    #: Default per-tenant lifetime record quota; ``None`` = unlimited.
+    server_record_quota: Optional[int] = None
+    #: Default per-tenant lifetime ingested-byte quota; ``None`` = unlimited.
+    server_byte_quota: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
     # Per-topic training schedule (service/scheduler.py)
     # ------------------------------------------------------------------ #
     #: Per-topic overrides of the service's default
@@ -310,10 +338,20 @@ class ByteBrainConfig:
                 "analytics_engine must be 'incremental' or 'recompute', "
                 f"got {self.analytics_engine!r}"
             )
+        if self.server_max_frame_bytes < 4096:
+            raise ValueError("server_max_frame_bytes must be >= 4096")
+        if self.server_write_buffer_bytes < 4096:
+            raise ValueError("server_write_buffer_bytes must be >= 4096")
+        if self.server_write_timeout_seconds <= 0.0:
+            raise ValueError("server_write_timeout_seconds must be positive")
         for name in (
             "train_volume_threshold",
             "train_time_interval_seconds",
             "train_initial_volume_threshold",
+            "server_rate_limit",
+            "server_rate_burst",
+            "server_record_quota",
+            "server_byte_quota",
         ):
             value = getattr(self, name)
             if value is not None and value <= 0:

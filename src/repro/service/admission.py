@@ -1,0 +1,287 @@
+"""Per-tenant admission control for the front-door server.
+
+Three layers guard the shard queues:
+
+1. **Token-bucket rate limits** (:class:`TokenBucket`) — sustained
+   records/second with a burst allowance.  Refusals are transient:
+   the client retries after ``retry_after`` seconds.
+2. **Lifetime quotas** — total records and total ingested bytes per
+   tenant.  Refusals are terminal: retrying cannot help.
+3. **Shard backpressure** — checked downstream by
+   ``ShardTransport.try_submit_many``; the controller only *refunds*
+   a charge when that check rejects a batch, so an unadmitted batch
+   never consumes quota.
+
+Admission is all-or-nothing per batch: either every record in the
+batch is charged and forwarded, or none is.  That keeps the retry
+contract simple — a refused batch can be resent verbatim without
+double-charging or partial application.
+
+The controller takes an injectable ``clock`` so tests can verify the
+refill math deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..core.config import ByteBrainConfig
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "TenantSpec",
+    "TenantUsage",
+    "TokenBucket",
+]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    The bucket starts full.  ``try_take(n)`` lazily refills from the
+    elapsed time since the last call, then either takes ``n`` tokens or
+    returns the seconds until ``n`` tokens will be available.  Refill is
+    continuous (fractional tokens accumulate), so a 100/s bucket grants
+    one token every 10 ms, not 100 on each whole second.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0.0:
+            raise ValueError("rate must be positive")
+        if burst <= 0.0:
+            raise ValueError("burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last
+        if elapsed > 0.0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._last = now
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (refilled to now)."""
+        self._refill(self._clock())
+        return self._tokens
+
+    def try_take(self, n: float) -> float:
+        """Take ``n`` tokens if available; else return seconds to wait.
+
+        Returns ``0.0`` on success.  A positive return means nothing
+        was taken and the caller should retry after that many seconds.
+        Requests larger than ``burst`` can never succeed; they return
+        the time to fill the whole bucket so callers still get a finite
+        hint, but should split the batch instead.
+        """
+        self._refill(self._clock())
+        if n <= self._tokens:
+            self._tokens -= n
+            return 0.0
+        deficit = min(n, self.burst) - self._tokens
+        return max(deficit / self.rate, 1e-9)
+
+    def give_back(self, n: float) -> None:
+        """Return ``n`` tokens (a downstream reject refunds its charge)."""
+        self._tokens = min(self.burst, self._tokens + n)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Static per-tenant limits; ``None`` inherits the config default."""
+
+    name: str
+    rate_limit: Optional[float] = None
+    rate_burst: Optional[float] = None
+    record_quota: Optional[int] = None
+    byte_quota: Optional[int] = None
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantSpec":
+        name = data.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"tenant spec needs a non-empty 'name': {data!r}")
+        known = {"name", "rate_limit", "rate_burst", "record_quota", "byte_quota"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown tenant spec keys for {name!r}: {sorted(unknown)}")
+        return cls(
+            name=name,
+            rate_limit=data.get("rate_limit"),
+            rate_burst=data.get("rate_burst"),
+            record_quota=data.get("record_quota"),
+            byte_quota=data.get("byte_quota"),
+        )
+
+
+@dataclass
+class TenantUsage:
+    """Lifetime counters for one tenant (admitted work only)."""
+
+    records: int = 0
+    bytes: int = 0
+    batches: int = 0
+    rate_limited: int = 0
+    quota_refused: int = 0
+    refunds: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "records": self.records,
+            "bytes": self.bytes,
+            "batches": self.batches,
+            "rate_limited": self.rate_limited,
+            "quota_refused": self.quota_refused,
+            "refunds": self.refunds,
+        }
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of :meth:`AdmissionController.admit`."""
+
+    allowed: bool
+    #: ``None`` when allowed; else ``"rate"`` or ``"record_quota"`` /
+    #: ``"byte_quota"`` — the server maps these to protocol error codes.
+    reason: Optional[str] = None
+    #: Seconds until a rate-limited batch is worth retrying.
+    retry_after: float = 0.0
+
+
+class _TenantState:
+    """Mutable per-tenant admission state (bucket + quota counters)."""
+
+    def __init__(self, spec: TenantSpec, config: ByteBrainConfig, clock) -> None:
+        self.spec = spec
+        rate = spec.rate_limit if spec.rate_limit is not None else config.server_rate_limit
+        if rate is not None:
+            burst = spec.rate_burst if spec.rate_burst is not None else config.server_rate_burst
+            if burst is None:
+                burst = 2.0 * rate
+            self.bucket: Optional[TokenBucket] = TokenBucket(rate, burst, clock)
+        else:
+            self.bucket = None
+        self.record_quota = (
+            spec.record_quota if spec.record_quota is not None else config.server_record_quota
+        )
+        self.byte_quota = (
+            spec.byte_quota if spec.byte_quota is not None else config.server_byte_quota
+        )
+        self.usage = TenantUsage()
+
+
+class AdmissionController:
+    """Charges batches against per-tenant buckets and quotas.
+
+    Thread-safe: the server calls :meth:`admit` from the event loop but
+    :meth:`usage` may be read from executor threads, and tests poke it
+    from multiple threads.  A single lock suffices — every operation is
+    a handful of arithmetic ops.
+    """
+
+    def __init__(
+        self,
+        config: ByteBrainConfig,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._config = config
+        self._clock = clock
+        self._tenants: Dict[str, _TenantState] = {}
+        self._lock = threading.Lock()
+
+    def register(self, spec: TenantSpec) -> None:
+        """Register a tenant; re-registering the same name resets it."""
+        with self._lock:
+            self._tenants[spec.name] = _TenantState(spec, self._config, self._clock)
+
+    def known(self, tenant: str) -> bool:
+        with self._lock:
+            return tenant in self._tenants
+
+    def tenant_names(self) -> list:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def admit(self, tenant: str, n_records: int, n_bytes: int) -> AdmissionDecision:
+        """Charge a batch; all-or-nothing.
+
+        Quotas are checked before the bucket so a quota-dead tenant gets
+        the terminal error even when also rate-limited — retrying a
+        ``QUOTA_EXCEEDED`` batch is pointless and the client must learn
+        that first.
+        """
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                raise KeyError(f"unknown tenant {tenant!r}")
+            usage = state.usage
+            if (
+                state.record_quota is not None
+                and usage.records + n_records > state.record_quota
+            ):
+                usage.quota_refused += 1
+                return AdmissionDecision(False, "record_quota")
+            if state.byte_quota is not None and usage.bytes + n_bytes > state.byte_quota:
+                usage.quota_refused += 1
+                return AdmissionDecision(False, "byte_quota")
+            if state.bucket is not None:
+                wait = state.bucket.try_take(float(n_records))
+                if wait > 0.0:
+                    usage.rate_limited += 1
+                    return AdmissionDecision(False, "rate", retry_after=wait)
+            usage.records += n_records
+            usage.bytes += n_bytes
+            usage.batches += 1
+            return AdmissionDecision(True)
+
+    def refund(self, tenant: str, n_records: int, n_bytes: int) -> None:
+        """Undo an :meth:`admit` charge after a downstream reject.
+
+        Shard backpressure (``ShardBusy``) happens *after* admission but
+        *before* anything is logged, so the batch was never applied and
+        must not count against the tenant.
+        """
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                return
+            usage = state.usage
+            usage.records = max(0, usage.records - n_records)
+            usage.bytes = max(0, usage.bytes - n_bytes)
+            usage.batches = max(0, usage.batches - 1)
+            usage.refunds += 1
+            if state.bucket is not None:
+                state.bucket.give_back(float(n_records))
+
+    def usage(self, tenant: str) -> TenantUsage:
+        """Snapshot of a tenant's lifetime counters."""
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                raise KeyError(f"unknown tenant {tenant!r}")
+            return TenantUsage(**state.usage.to_dict())
+
+    def limits(self, tenant: str) -> Dict[str, Optional[float]]:
+        """Effective limits for a tenant (spec merged over config)."""
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                raise KeyError(f"unknown tenant {tenant!r}")
+            return {
+                "rate_limit": state.bucket.rate if state.bucket else None,
+                "rate_burst": state.bucket.burst if state.bucket else None,
+                "record_quota": state.record_quota,
+                "byte_quota": state.byte_quota,
+            }

@@ -1,0 +1,358 @@
+"""Synchronous pipelined client for the front-door server.
+
+The client is deliberately plain ``socket`` code: callers (benchmarks,
+CI smoke, collectors) are closed-loop worker threads, and a blocking
+client measures true request latency without event-loop scheduling
+noise.
+
+Pipelining: requests carry monotonically increasing ``id``s and the
+server answers strictly in order, so :meth:`ServiceClient.send` /
+:meth:`ServiceClient.recv` let a caller keep a window of requests in
+flight and match responses positionally.  :meth:`ServiceClient.call`
+is the depth-1 convenience.
+
+Ingest uses the binary batch frame (``encode_record_batch``) so record
+text crosses the wire once.  Batches are split to the server's
+advertised ``max_batch_records`` and retried on the two retryable
+codes (``RATE_LIMITED``, ``BACKPRESSURE``) honouring ``retry_after`` —
+safe because the server guarantees a refused batch was never logged.
+
+Run ``python -m repro.service.client --smoke`` against a live server
+for the CI smoke workload: concurrent tenants, optional induced
+backpressure, count verification, clean shutdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from . import protocol
+from .transport import BatchSection, encode_record_batch
+
+__all__ = ["ServerError", "ServiceClient", "IngestReport", "main"]
+
+
+class ServerError(RuntimeError):
+    """The server answered ``ok: false``; carries the protocol code."""
+
+    def __init__(self, payload: dict) -> None:
+        super().__init__(f"{payload.get('error')}: {payload.get('message')}")
+        self.code = payload.get("error")
+        self.payload = payload
+        self.retry_after = float(payload.get("retry_after", 0.0) or 0.0)
+
+    @property
+    def retryable(self) -> bool:
+        return self.code in protocol.RETRYABLE_ERRORS
+
+
+class IngestReport:
+    """Counters from one :meth:`ServiceClient.ingest` call."""
+
+    def __init__(self) -> None:
+        self.accepted = 0
+        self.batches = 0
+        self.retries = 0
+        self.backpressure = 0
+        self.rate_limited = 0
+
+    def merge(self, other: "IngestReport") -> None:
+        self.accepted += other.accepted
+        self.batches += other.batches
+        self.retries += other.retries
+        self.backpressure += other.backpressure
+        self.rate_limited += other.rate_limited
+
+
+class ServiceClient:
+    """One tenant connection; not thread-safe (one client per thread)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str,
+        timeout: float = 30.0,
+        max_frame_bytes: int = 64 * 1024 * 1024,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._rfile = self._sock.makefile("rb")
+        self._max_frame_bytes = max_frame_bytes
+        self._next_id = 0
+        self._in_flight = 0
+        self.tenant = tenant
+        self.hello = self.call("hello", tenant=tenant)
+        #: Server-advertised per-frame record ceiling; ingest splits to it.
+        self.max_batch_records = int(self.hello["max_batch_records"])
+
+    # ------------------------------------------------------------------ #
+    # Raw pipelined frame IO
+    # ------------------------------------------------------------------ #
+
+    def send(self, op: str, **params) -> int:
+        """Queue one JSON request; returns its id (response comes in order)."""
+        request_id = self._next_id
+        self._next_id += 1
+        frame = protocol.encode_json_frame({"id": request_id, "op": op, **params})
+        self._sock.sendall(frame)
+        self._in_flight += 1
+        return request_id
+
+    def send_batch(self, sections: Sequence[BatchSection]) -> int:
+        """Queue one binary ingest frame for ``sections``."""
+        request_id = self._next_id
+        self._next_id += 1
+        frame = protocol.encode_batch_frame(
+            {"id": request_id}, encode_record_batch(list(sections))
+        )
+        self._sock.sendall(frame)
+        self._in_flight += 1
+        return request_id
+
+    def recv(self) -> dict:
+        """Read the next response (in request order); raises on ok=false."""
+        kind, body = protocol.read_frame_sync(self._rfile, self._max_frame_bytes)
+        if kind == -1:
+            raise ConnectionError("server closed the connection")
+        self._in_flight -= 1
+        payload = protocol.decode_json_body(body)
+        if not payload.get("ok", False):
+            raise ServerError(payload)
+        return payload
+
+    def call(self, op: str, **params) -> dict:
+        """Depth-1 request/response."""
+        self.send(op, **params)
+        return self.recv()
+
+    # ------------------------------------------------------------------ #
+    # Ingest with splitting + retry
+    # ------------------------------------------------------------------ #
+
+    def ingest(
+        self,
+        topic: str,
+        raws: Sequence[str],
+        timestamps: Optional[Sequence[float]] = None,
+        timestamp: Optional[float] = None,
+        max_retries: int = 50,
+        report: Optional[IngestReport] = None,
+    ) -> IngestReport:
+        """Ingest ``raws`` into ``topic``, splitting and retrying as needed.
+
+        Every record is either acked by the server or an exception is
+        raised — there is no silent-drop path.  Retryable refusals
+        (``RATE_LIMITED`` / ``BACKPRESSURE``) re-send the same chunk
+        after the server's ``retry_after`` hint; anything else raises.
+        """
+        if timestamps is None:
+            ts = float(timestamp if timestamp is not None else time.time())
+            timestamps = [ts] * len(raws)
+        if len(timestamps) != len(raws):
+            raise ValueError("timestamps and raws must have equal length")
+        report = report if report is not None else IngestReport()
+        chunk = self.max_batch_records
+        for start in range(0, len(raws), chunk):
+            section = BatchSection(
+                topic=topic,
+                first_seq=0,
+                timestamps=list(timestamps[start : start + chunk]),
+                raws=list(raws[start : start + chunk]),
+            )
+            attempts = 0
+            while True:
+                self.send_batch([section])
+                try:
+                    response = self.recv()
+                except ServerError as exc:
+                    if not exc.retryable:
+                        raise
+                    attempts += 1
+                    report.retries += 1
+                    if exc.code == protocol.ERR_BACKPRESSURE:
+                        report.backpressure += 1
+                    else:
+                        report.rate_limited += 1
+                    if attempts > max_retries:
+                        raise
+                    time.sleep(max(exc.retry_after, 0.001))
+                    continue
+                report.accepted += int(response["accepted"])
+                report.batches += 1
+                break
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Convenience wrappers
+    # ------------------------------------------------------------------ #
+
+    def query(self, topic: str, threshold: float = 1.0, **params) -> List[dict]:
+        return self.call("query", topic=topic, threshold=threshold, **params)["groups"]
+
+    def topic_stats(self, topic: str) -> Dict[str, float]:
+        return self.call("topic_stats", topic=topic)["stats"]
+
+    def drain(self) -> None:
+        self.call("drain")
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+    def shutdown_server(self) -> None:
+        self.call("shutdown")
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------- #
+# Smoke workload (CI `server` job)
+# --------------------------------------------------------------------- #
+
+
+def _smoke_worker(
+    host: str,
+    port: int,
+    tenant: str,
+    topic: str,
+    n_records: int,
+    batch_size: int,
+    results: dict,
+    errors: list,
+) -> None:
+    try:
+        with ServiceClient(host, port, tenant) as client:
+            report = IngestReport()
+            baseline = int(client.topic_stats(topic).get("n_records", 0))
+            base = time.time()
+            raws = [
+                f"{tenant} worker thread {i % 7} finished job {i} in {i % 13} ms"
+                for i in range(n_records)
+            ]
+            for start in range(0, n_records, batch_size):
+                client.ingest(
+                    topic,
+                    raws[start : start + batch_size],
+                    timestamp=base + start * 0.001,
+                    report=report,
+                )
+            client.drain()
+            stats = client.topic_stats(topic)
+            groups = client.query(topic, threshold=0.5)
+            results[tenant] = {
+                "report": report,
+                "stats": stats,
+                "baseline": baseline,
+                "n_groups": len(groups),
+            }
+    except Exception as exc:  # noqa: BLE001 — smoke harness boundary
+        errors.append(f"{tenant}: {type(exc).__name__}: {exc}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Front-door client smoke workload (CI server job)."
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the multi-tenant smoke workload")
+    parser.add_argument("--tenants", default="alpha,beta",
+                        help="comma-separated tenant names")
+    parser.add_argument("--topic", default="app",
+                        help="wire topic each tenant ingests into")
+    parser.add_argument("--records-per-tenant", type=int, default=2000)
+    parser.add_argument("--batch-size", type=int, default=200)
+    parser.add_argument("--expect-backpressure", action="store_true",
+                        help="fail unless at least one retryable refusal was seen")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="send the shutdown op after verifying")
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("only --smoke mode is implemented")
+
+    tenants = [t for t in args.tenants.split(",") if t]
+    results: dict = {}
+    errors: list = []
+    threads = [
+        threading.Thread(
+            target=_smoke_worker,
+            args=(args.host, args.port, tenant, args.topic,
+                  args.records_per_tenant, args.batch_size, results, errors),
+            name=f"smoke-{tenant}",
+        )
+        for tenant in tenants
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300.0)
+
+    ok = not errors
+    total_retries = 0
+    for tenant in tenants:
+        entry = results.get(tenant)
+        if entry is None:
+            errors.append(f"{tenant}: no result (worker died or hung)")
+            ok = False
+            continue
+        report: IngestReport = entry["report"]
+        total_retries += report.retries
+        expected = args.records_per_tenant
+        ingested = int(entry["stats"].get("n_records", -1)) - entry["baseline"]
+        if report.accepted != expected:
+            errors.append(
+                f"{tenant}: acked {report.accepted} != sent {expected}"
+            )
+            ok = False
+        if ingested != expected:
+            errors.append(
+                f"{tenant}: server stored {ingested} != acked {expected}"
+            )
+            ok = False
+        print(
+            f"[smoke] {tenant}: acked={report.accepted} stored={ingested} "
+            f"retries={report.retries} (backpressure={report.backpressure}, "
+            f"rate_limited={report.rate_limited}) groups={entry['n_groups']}"
+        )
+    if args.expect_backpressure and total_retries == 0:
+        errors.append("expected induced backpressure but saw zero retries")
+        ok = False
+
+    if args.shutdown:
+        try:
+            with ServiceClient(args.host, args.port, tenants[0]) as client:
+                client.shutdown_server()
+            print("[smoke] shutdown acknowledged")
+        except Exception as exc:  # noqa: BLE001
+            errors.append(f"shutdown failed: {type(exc).__name__}: {exc}")
+            ok = False
+
+    for line in errors:
+        print(f"[smoke] ERROR: {line}", file=sys.stderr)
+    print(f"[smoke] {'PASS' if ok else 'FAIL'}: {len(tenants)} tenants, "
+          f"{args.records_per_tenant} records each, {total_retries} retries")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,211 @@
+"""Wire protocol for the front-door server (:mod:`repro.service.server`).
+
+Framing reuses the PR 6 discipline: every message is a length-prefixed
+frame so both sides can read exactly one message without scanning for
+delimiters, and a truncated stream is detected as a short read instead
+of silently merging two messages.
+
+Frame layout (all integers little-endian)::
+
+    u32 body_len | u8 kind | body (body_len bytes)
+
+Two frame kinds exist:
+
+* ``KIND_JSON`` — ``body`` is a UTF-8 JSON object.  Requests carry
+  ``{"id": <int>, "op": <str>, ...params}``; responses echo ``id`` and
+  carry either ``{"ok": true, ...result}`` or
+  ``{"ok": false, "error": <code>, "message": <str>, ...}``.
+* ``KIND_BATCH`` — the ingest fast path.  ``body`` is
+  ``u32 header_len | JSON header | batch payload`` where the payload is
+  :func:`repro.service.transport.encode_record_batch` bytes.  Record
+  text crosses the wire once, as packed binary sections, instead of
+  being re-escaped into JSON.
+
+The ``id`` field makes pipelining safe: the server processes a
+connection's frames strictly in order and always responds with the
+request's ``id``, so a client may keep many requests in flight and
+match responses by position or id.
+
+Error codes are part of the contract (clients switch on them, tests
+assert them); see the ``ERR_*`` constants.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import BinaryIO, Tuple
+
+__all__ = [
+    "FRAME_HEADER_BYTES",
+    "KIND_BATCH",
+    "KIND_JSON",
+    "ERR_BACKPRESSURE",
+    "ERR_BAD_REQUEST",
+    "ERR_FRAME_TOO_LARGE",
+    "ERR_INTERNAL",
+    "ERR_QUOTA_EXCEEDED",
+    "ERR_RATE_LIMITED",
+    "ERR_SHUTTING_DOWN",
+    "ERR_UNAUTHENTICATED",
+    "ERR_UNKNOWN_TOPIC",
+    "RETRYABLE_ERRORS",
+    "FrameError",
+    "encode_frame",
+    "encode_json_frame",
+    "encode_batch_frame",
+    "decode_json_body",
+    "split_batch_body",
+    "read_frame",
+    "read_frame_sync",
+]
+
+#: ``u32 body_len | u8 kind`` — 5 bytes before every body.
+_HEADER = struct.Struct("<IB")
+FRAME_HEADER_BYTES = _HEADER.size
+
+KIND_JSON = 0
+KIND_BATCH = 1
+
+#: ``u32 header_len`` prefix inside a batch frame body.
+_BATCH_HEAD = struct.Struct("<I")
+
+# --------------------------------------------------------------------- #
+# Protocol error codes — the stable names clients may switch on.
+# --------------------------------------------------------------------- #
+#: Token bucket empty: the tenant sent faster than its refill rate.
+ERR_RATE_LIMITED = "RATE_LIMITED"
+#: A lifetime record/byte quota is exhausted; retrying will not help.
+ERR_QUOTA_EXCEEDED = "QUOTA_EXCEEDED"
+#: The target shard's queue is full; retry after ``retry_after`` seconds.
+ERR_BACKPRESSURE = "BACKPRESSURE"
+#: The named topic does not exist for this tenant.
+ERR_UNKNOWN_TOPIC = "UNKNOWN_TOPIC"
+#: Malformed frame body, unknown op, or missing/invalid parameters.
+ERR_BAD_REQUEST = "BAD_REQUEST"
+#: Frame length prefix exceeds the server's configured maximum.  The
+#: stream cannot be resynchronised, so the connection is closed after
+#: this error is sent.
+ERR_FRAME_TOO_LARGE = "FRAME_TOO_LARGE"
+#: The connection has not completed the ``hello`` handshake.
+ERR_UNAUTHENTICATED = "UNAUTHENTICATED"
+#: The server is draining; no new work is admitted.
+ERR_SHUTTING_DOWN = "SHUTTING_DOWN"
+#: Unexpected server-side failure; details in the message.
+ERR_INTERNAL = "INTERNAL"
+
+#: Errors a client may retry verbatim without risking duplicates: the
+#: server guarantees nothing was logged or enqueued before raising them.
+RETRYABLE_ERRORS = frozenset({ERR_RATE_LIMITED, ERR_BACKPRESSURE})
+
+
+class FrameError(ValueError):
+    """A frame violated the wire contract (bad kind, length, or body).
+
+    Raised by the decode helpers; the server maps it to
+    ``ERR_BAD_REQUEST`` / ``ERR_FRAME_TOO_LARGE`` and, where the stream
+    position is lost, closes the connection.
+    """
+
+
+def encode_frame(kind: int, body: bytes) -> bytes:
+    """Prefix ``body`` with the 5-byte frame header."""
+    return _HEADER.pack(len(body), kind) + body
+
+
+def encode_json_frame(payload: dict) -> bytes:
+    """Encode one JSON frame (compact separators, UTF-8)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return encode_frame(KIND_JSON, body)
+
+
+def encode_batch_frame(header: dict, payload: bytes) -> bytes:
+    """Encode one batch frame: JSON header + binary record sections."""
+    head = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return encode_frame(KIND_BATCH, _BATCH_HEAD.pack(len(head)) + head + payload)
+
+
+def decode_json_body(body: bytes) -> dict:
+    """Parse a JSON frame body, insisting on a top-level object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"undecodable JSON frame body: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise FrameError(f"frame body must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def split_batch_body(body: bytes) -> Tuple[dict, bytes]:
+    """Split a batch frame body into (JSON header, binary payload)."""
+    if len(body) < _BATCH_HEAD.size:
+        raise FrameError(f"batch frame body truncated at {len(body)} bytes")
+    (head_len,) = _BATCH_HEAD.unpack_from(body, 0)
+    head_end = _BATCH_HEAD.size + head_len
+    if head_end > len(body):
+        raise FrameError(
+            f"batch header length {head_len} overruns the {len(body)}-byte body"
+        )
+    header = decode_json_body(body[_BATCH_HEAD.size : head_end])
+    return header, body[head_end:]
+
+
+async def read_frame(reader: asyncio.StreamReader, max_frame_bytes: int) -> Tuple[int, bytes]:
+    """Read one ``(kind, body)`` frame from an asyncio stream.
+
+    Returns ``(-1, b"")`` on clean EOF (peer closed between frames).
+    Raises :class:`FrameError` for an oversized length prefix or an
+    unknown kind, and :class:`asyncio.IncompleteReadError` for a stream
+    truncated mid-frame — both are loud, never a silent partial message.
+    """
+    try:
+        head = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return -1, b""
+        raise
+    body_len, kind = _HEADER.unpack(head)
+    if body_len > max_frame_bytes:
+        raise FrameError(
+            f"frame of {body_len} bytes exceeds the {max_frame_bytes}-byte limit"
+        )
+    if kind not in (KIND_JSON, KIND_BATCH):
+        raise FrameError(f"unknown frame kind {kind}")
+    body = await reader.readexactly(body_len)
+    return kind, body
+
+
+def read_frame_sync(stream: BinaryIO, max_frame_bytes: int) -> Tuple[int, bytes]:
+    """Blocking twin of :func:`read_frame` for the synchronous client.
+
+    ``stream`` is a file-like object (``socket.makefile("rb")``).
+    Returns ``(-1, b"")`` on clean EOF; raises :class:`FrameError` on a
+    truncated frame or contract violation.
+    """
+    head = _read_exactly(stream, _HEADER.size, allow_eof=True)
+    if not head:
+        return -1, b""
+    body_len, kind = _HEADER.unpack(head)
+    if body_len > max_frame_bytes:
+        raise FrameError(
+            f"frame of {body_len} bytes exceeds the {max_frame_bytes}-byte limit"
+        )
+    if kind not in (KIND_JSON, KIND_BATCH):
+        raise FrameError(f"unknown frame kind {kind}")
+    return kind, _read_exactly(stream, body_len, allow_eof=False)
+
+
+def _read_exactly(stream: BinaryIO, n: int, *, allow_eof: bool) -> bytes:
+    """Read exactly ``n`` bytes, or b"" at clean EOF when allowed."""
+    chunks: list = []
+    got = 0
+    while got < n:
+        chunk = stream.read(n - got)
+        if not chunk:
+            if allow_eof and got == 0:
+                return b""
+            raise FrameError(f"stream truncated: wanted {n} bytes, got {got}")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)

@@ -84,7 +84,7 @@ from repro.core.retry import RetryPolicy
 from repro.service.engine import TopicEngine
 from repro.service.wal import WriteAheadLog
 
-__all__ = ["ShardStats", "ShardTransport", "ShardedRuntime", "create_runtime"]
+__all__ = ["ShardBusy", "ShardStats", "ShardTransport", "ShardedRuntime", "create_runtime"]
 
 #: Environment override for :func:`create_runtime`'s default backend.  Only
 #: the factory consults it — constructing :class:`ShardedRuntime` directly
@@ -108,6 +108,28 @@ _RESYNC_BATCH = 1024
 #: bounding both the fsync overhead under load and the window a *kernel*
 #: crash can lose (a process crash loses nothing either way).
 _BATCH_SYNC_INTERVAL = 0.005
+
+
+class ShardBusy(RuntimeError):
+    """A non-blocking submit found the target shard's queue at capacity.
+
+    Raised by :meth:`ShardTransport.try_submit_many` *instead of* blocking
+    the caller on backpressure — the front-door server maps it to a
+    protocol-level RETRY-AFTER response so a remote producer can pace
+    itself, rather than wedging a server thread against a full queue.
+    ``retry_after`` is a pacing hint (seconds): roughly how long the shard
+    needs to drain one micro-batch at its configured flush latency.
+    """
+
+    def __init__(self, shard: int, depth: int, capacity: int, retry_after: float) -> None:
+        super().__init__(
+            f"shard {shard} queue at capacity ({depth}/{capacity}); "
+            f"retry in ~{retry_after * 1000:.0f} ms"
+        )
+        self.shard = shard
+        self.depth = depth
+        self.capacity = capacity
+        self.retry_after = retry_after
 
 
 class _ShardQueue:
@@ -297,6 +319,42 @@ class ShardTransport:
         """Stable hash partition of a topic onto a shard."""
         return zlib.crc32(topic_name.encode("utf-8")) % self.n_shards
 
+    def shard_load(self, shard_index: int) -> int:
+        """Records accepted for a shard but not yet applied (approximate).
+
+        The admission signal behind :meth:`try_submit_many`: compared
+        against :attr:`queue_capacity` to decide whether a submit would
+        block on backpressure.  Thread backend: the shard queue's depth;
+        process backend: records pending + in flight to the child.
+        """
+        raise NotImplementedError
+
+    def try_submit_many(self, topic_name: str, raws: Sequence[str], timestamp: float) -> int:
+        """Non-blocking :meth:`submit_many`: raise instead of waiting.
+
+        Raises :class:`ShardBusy` when the target shard does not have
+        headroom for the whole batch — the batch is then *not* accepted
+        (nothing logged, nothing enqueued), so the caller can retry it
+        verbatim after ``retry_after`` without risking duplicates.  Also
+        raises ``ValueError`` for batches larger than the queue capacity,
+        which could never be accepted atomically.
+
+        The check-then-submit is not atomic against *other* producers; a
+        single-writer caller (the wire-protocol server's event loop) gets
+        an exact guarantee, concurrent writers may still block briefly in
+        :meth:`submit_many`.
+        """
+        if len(raws) > self.queue_capacity:
+            raise ValueError(
+                f"batch of {len(raws)} records exceeds the shard queue capacity "
+                f"({self.queue_capacity}); split it before submitting"
+            )
+        shard = self.shard_of(topic_name)
+        depth = self.shard_load(shard)
+        if depth + len(raws) > self.queue_capacity:
+            raise ShardBusy(shard, depth, self.queue_capacity, self.max_batch_delay)
+        return self.submit_many(topic_name, raws, timestamp)
+
     def __enter__(self):
         return self
 
@@ -382,6 +440,9 @@ class ShardedRuntime(ShardTransport):
             raise ValueError("micro_batch_size must be >= 1")
         if capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
+        #: Soft bound of each shard's ingest queue; the admission ceiling
+        #: :meth:`try_submit_many` checks :meth:`shard_load` against.
+        self.queue_capacity = capacity
         if wal is not None and wal_dir is not None:
             raise ValueError("pass either wal or wal_dir, not both")
         #: Write-ahead log: accepted records are appended (and sequence-
@@ -509,6 +570,10 @@ class ShardedRuntime(ShardTransport):
             self._wal_positions[topic_name] = (base, next_seq + len(raws))
             for offset, raw in enumerate(raws):
                 shard_queue.put(_IngestItem(topic_name, raw, timestamp, next_seq + offset))
+
+    def shard_load(self, shard_index: int) -> int:
+        """Depth of a shard's ingest queue (records accepted, not applied)."""
+        return self._queues[shard_index].qsize()
 
     def submit(self, topic_name: str, raw: str, timestamp: float) -> int:
         """Enqueue one record for async ingestion; returns the shard index.

@@ -1,0 +1,693 @@
+"""Asyncio TCP front door over a :class:`~repro.service.runtime.ShardedRuntime`.
+
+This is the first layer where the *wire contract* lives: tenancy,
+admission control, and backpressure mapping.  Everything below it
+(sharded runtime, WAL, process workers, incremental analytics) stays
+unchanged — the server is a protocol adapter plus a policy gate.
+
+Design points
+-------------
+
+**Single-writer ingest.**  All ingest submission happens on the event
+loop thread, so the headroom check in
+``ShardTransport.try_submit_many`` (and the multi-section variant in
+:meth:`LogServer._submit_sections`) is exact, not advisory: between the
+check and the enqueue nothing else can fill the queue (shard workers
+only *drain* it).  A batch is therefore either fully logged + enqueued
+or untouched — which is what makes ``BACKPRESSURE`` and
+``RATE_LIMITED`` safely retryable verbatim.
+
+**Ack implies durable.**  ``try_submit_many`` returns only after the
+WAL append, so by the time the ``ok`` frame is written the records
+survive a SIGKILL of the server process.  Graceful shutdown goes
+further: the listener keeps accepting (refusing work with
+``SHUTTING_DOWN``) while :meth:`~repro.service.runtime.ShardedRuntime.drain`
+runs its fsync barrier, and only then are listeners and connections
+closed — an acked record is never lost to a clean stop either.
+
+**Tenancy by namespacing.**  Wire topic ``t`` for tenant ``A`` is the
+internal topic ``A::t``.  Tenants cannot name each other's topics (the
+separator is forbidden in wire names) and every response is computed
+against the connection's tenant only.
+
+**Slow clients are bounded.**  Each connection's transport gets a write
+high-water mark (``server_write_buffer_bytes``) and every response
+write is awaited under ``server_write_timeout_seconds``; a reader that
+stalls past that gets its connection aborted instead of pinning server
+memory or wedging the loop.
+
+**Blocking ops leave the loop.**  Queries, analytics, training and
+drain run in a thread-pool executor; the event loop only ever does
+admission arithmetic, WAL appends, and frame IO.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import dataclasses
+import logging
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import ByteBrainConfig
+from .admission import AdmissionController, TenantSpec
+from .runtime import ShardBusy
+from . import protocol
+from .transport import BatchSection, decode_record_batch
+
+__all__ = ["LogServer", "TENANT_SEPARATOR", "qualify_topic", "build_tenant_specs"]
+
+logger = logging.getLogger(__name__)
+
+#: Joins tenant and wire topic into the internal topic name.  Forbidden
+#: inside wire topic names so tenants cannot forge cross-tenant paths.
+TENANT_SEPARATOR = "::"
+
+
+def qualify_topic(tenant: str, topic: str) -> str:
+    """Map a tenant's wire topic name to the internal topic name."""
+    return f"{tenant}{TENANT_SEPARATOR}{topic}"
+
+
+def build_tenant_specs(data: Sequence[dict]) -> List[Tuple[TenantSpec, List[str]]]:
+    """Parse tenant declarations (``cli serve --tenants`` JSON).
+
+    Each entry is a :class:`TenantSpec` dict plus an optional
+    ``topics`` list naming the wire topics to pre-create.  Topics are
+    declared up front because the process shard backend forks its
+    workers with the topic set fixed; the thread backend additionally
+    allows the ``create_topic`` op at runtime.
+    """
+    specs: List[Tuple[TenantSpec, List[str]]] = []
+    for entry in data:
+        entry = dict(entry)
+        topics = entry.pop("topics", [])
+        if not isinstance(topics, list) or not all(isinstance(t, str) for t in topics):
+            raise ValueError(f"tenant 'topics' must be a list of strings: {entry!r}")
+        for topic in topics:
+            _check_wire_topic(topic)
+        specs.append((TenantSpec.from_dict(entry), list(topics)))
+    names = [spec.name for spec, _ in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tenant names in spec: {names}")
+    return specs
+
+
+def _check_wire_topic(topic: str) -> None:
+    if not topic or TENANT_SEPARATOR in topic:
+        raise ValueError(
+            f"invalid wire topic name {topic!r}: must be non-empty and must not "
+            f"contain {TENANT_SEPARATOR!r}"
+        )
+
+
+class _RequestError(Exception):
+    """Internal: abort request handling with a protocol error response."""
+
+    def __init__(self, code: str, message: str, **extra: object) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.extra = extra
+
+
+class LogServer:
+    """The front-door server: one instance per process, many connections.
+
+    ``runtime`` is any :class:`~repro.service.runtime.ShardTransport`
+    (thread or process backend) whose service already holds the
+    tenants' pre-created topics.  The server owns no storage — stopping
+    it leaves service + runtime usable (and :meth:`stop` has already
+    drained, so everything acked is on disk).
+    """
+
+    def __init__(
+        self,
+        service,
+        runtime,
+        tenants: Sequence[Tuple[TenantSpec, List[str]]],
+        config: Optional[ByteBrainConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.runtime = runtime
+        self.config = config or getattr(service, "config", None) or ByteBrainConfig()
+        self.host = host
+        self.port = port  # replaced with the bound port after start()
+        self.admission = AdmissionController(self.config)
+        #: wire topic names per tenant (authorisation set for queries).
+        self._topics: Dict[str, set] = {}
+        for spec, topics in tenants:
+            self.admission.register(spec)
+            self._topics[spec.name] = set(topics)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set = set()
+        self._closing = False
+        self._stopped = asyncio.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=4, thread_name_prefix="frontdoor"
+        )
+        # Ingest counters the bench and smoke harnesses assert on: every
+        # refused batch must be *visible* — silent drops are a bug class
+        # this layer exists to prevent.
+        self.counters = {
+            "accepted_batches": 0,
+            "accepted_records": 0,
+            "backpressure": 0,
+            "rate_limited": 0,
+            "quota_refused": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Bind and start accepting connections; sets :attr:`port`."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("front door listening on %s:%d", self.host, self.port)
+
+    async def serve_until_stopped(self) -> None:
+        """Run until :meth:`stop` (or the ``shutdown`` op) completes."""
+        if self._server is None:
+            await self.start()
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: refuse new work, drain, then close.
+
+        Order matters (and is tested): the closing flag flips first so
+        no new records are admitted, then ``runtime.drain()`` runs its
+        fsync barrier *before* listeners and connections close — every
+        record acked over the wire is durable by the time the socket
+        goes away.
+        """
+        if self._closing:
+            await self._stopped.wait()
+            return
+        self._closing = True
+        try:
+            await self._run_blocking(self.runtime.drain)
+        except Exception:
+            logger.exception("drain during shutdown failed")
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._connections):
+            writer.close()
+        self._executor.shutdown(wait=False)
+        self._stopped.set()
+
+    async def _run_blocking(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, fn, *args)
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        writer.transport.set_write_buffer_limits(high=self.config.server_write_buffer_bytes)
+        self._connections.add(writer)
+        tenant: Optional[str] = None
+        try:
+            while True:
+                try:
+                    kind, body = await protocol.read_frame(
+                        reader, self.config.server_max_frame_bytes
+                    )
+                except protocol.FrameError as exc:
+                    # The stream position is lost (we did not consume the
+                    # oversized/unknown frame), so answer loudly and close.
+                    code = (
+                        protocol.ERR_FRAME_TOO_LARGE
+                        if "exceeds" in str(exc)
+                        else protocol.ERR_BAD_REQUEST
+                    )
+                    await self._send(writer, {"id": None, "ok": False, "error": code,
+                                              "message": str(exc)})
+                    return
+                except asyncio.IncompleteReadError:
+                    logger.warning("connection truncated mid-frame (tenant=%s)", tenant)
+                    return
+                if kind == -1:
+                    return  # clean EOF between frames
+                response, tenant, close = await self._dispatch(kind, body, tenant)
+                if response is not None:
+                    await self._send(writer, response)
+                if close:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+
+    async def _send(self, writer: asyncio.StreamWriter, payload: dict) -> None:
+        """Write one JSON response frame, bounding slow readers."""
+        writer.write(protocol.encode_json_frame(payload))
+        try:
+            await asyncio.wait_for(
+                writer.drain(), timeout=self.config.server_write_timeout_seconds
+            )
+        except asyncio.TimeoutError:
+            logger.warning("slow client: write stalled > %.1fs, aborting connection",
+                           self.config.server_write_timeout_seconds)
+            writer.transport.abort()
+            raise ConnectionResetError("slow client aborted")
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    async def _dispatch(
+        self, kind: int, body: bytes, tenant: Optional[str]
+    ) -> Tuple[Optional[dict], Optional[str], bool]:
+        """Handle one frame; returns (response, tenant, close_connection)."""
+        request_id: object = None
+        try:
+            if kind == protocol.KIND_BATCH:
+                header, payload = protocol.split_batch_body(body)
+                request_id = header.get("id")
+                if tenant is None:
+                    raise _RequestError(protocol.ERR_UNAUTHENTICATED,
+                                        "send a 'hello' frame first")
+                if self._closing:
+                    raise _RequestError(protocol.ERR_SHUTTING_DOWN,
+                                        "server is draining")
+                result = self._handle_batch_ingest(tenant, payload)
+                return {"id": request_id, "ok": True, **result}, tenant, False
+
+            request = protocol.decode_json_body(body)
+            request_id = request.get("id")
+            op = request.get("op")
+            if not isinstance(op, str):
+                raise _RequestError(protocol.ERR_BAD_REQUEST, "missing 'op'")
+            if op == "hello":
+                new_tenant, result = self._handle_hello(request)
+                return {"id": request_id, "ok": True, **result}, new_tenant, False
+            if tenant is None:
+                raise _RequestError(protocol.ERR_UNAUTHENTICATED,
+                                    "send a 'hello' frame first")
+            if op == "shutdown":
+                # Ack first so the client can observe an orderly goodbye,
+                # then stop (drain barrier included) in the background.
+                asyncio.get_running_loop().create_task(self.stop())
+                return {"id": request_id, "ok": True, "stopping": True}, tenant, False
+            if self._closing and op not in ("stats", "ping"):
+                raise _RequestError(protocol.ERR_SHUTTING_DOWN, "server is draining")
+            handler = self._OPS.get(op)
+            if handler is None:
+                raise _RequestError(protocol.ERR_BAD_REQUEST, f"unknown op {op!r}")
+            result = await handler(self, tenant, request)
+            return {"id": request_id, "ok": True, **result}, tenant, False
+        except protocol.FrameError as exc:
+            return (
+                {"id": request_id, "ok": False, "error": protocol.ERR_BAD_REQUEST,
+                 "message": str(exc)},
+                tenant,
+                False,
+            )
+        except _RequestError as exc:
+            return (
+                {"id": request_id, "ok": False, "error": exc.code,
+                 "message": exc.message, **exc.extra},
+                tenant,
+                False,
+            )
+        except Exception as exc:  # noqa: BLE001 — protocol boundary
+            logger.exception("internal error handling op")
+            return (
+                {"id": request_id, "ok": False, "error": protocol.ERR_INTERNAL,
+                 "message": f"{type(exc).__name__}: {exc}"},
+                tenant,
+                False,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Handshake + ingest
+    # ------------------------------------------------------------------ #
+
+    def _handle_hello(self, request: dict) -> Tuple[str, dict]:
+        tenant = request.get("tenant")
+        if not isinstance(tenant, str) or not self.admission.known(tenant):
+            raise _RequestError(protocol.ERR_UNAUTHENTICATED,
+                                f"unknown tenant {tenant!r}")
+        return tenant, {
+            "tenant": tenant,
+            "topics": sorted(self._topics.get(tenant, ())),
+            "limits": self.admission.limits(tenant),
+            # Largest batch a single frame may carry: a batch bigger than
+            # the shard queue can never be admitted atomically, so the
+            # client splits to this bound.
+            "max_batch_records": self.runtime.queue_capacity,
+            "max_frame_bytes": self.config.server_max_frame_bytes,
+        }
+
+    def _wire_topic(self, tenant: str, topic: object) -> str:
+        if not isinstance(topic, str):
+            raise _RequestError(protocol.ERR_BAD_REQUEST, "missing 'topic'")
+        try:
+            _check_wire_topic(topic)
+        except ValueError as exc:
+            raise _RequestError(protocol.ERR_BAD_REQUEST, str(exc)) from exc
+        if topic not in self._topics.get(tenant, ()):
+            raise _RequestError(protocol.ERR_UNKNOWN_TOPIC,
+                                f"no topic {topic!r} for tenant {tenant!r}")
+        return qualify_topic(tenant, topic)
+
+    def _handle_batch_ingest(self, tenant: str, payload: bytes) -> dict:
+        try:
+            sections = decode_record_batch(payload)
+        except Exception as exc:
+            raise _RequestError(protocol.ERR_BAD_REQUEST,
+                                f"undecodable batch payload: {exc}") from exc
+        if not sections:
+            raise _RequestError(protocol.ERR_BAD_REQUEST, "empty batch frame")
+        qualified: List[Tuple[str, BatchSection]] = []
+        for section in sections:
+            if len(section.raws) != len(section.timestamps):
+                raise _RequestError(protocol.ERR_BAD_REQUEST,
+                                    "timestamps/records length mismatch")
+            qualified.append((self._wire_topic(tenant, section.topic), section))
+        n_records = sum(len(s.raws) for _, s in qualified)
+        n_bytes = sum(len(raw.encode("utf-8")) for _, s in qualified for raw in s.raws)
+        if n_records == 0:
+            raise _RequestError(protocol.ERR_BAD_REQUEST, "empty batch frame")
+        self._admit(tenant, n_records, n_bytes)
+        try:
+            self._submit_sections(qualified)
+        except ShardBusy as exc:
+            self.admission.refund(tenant, n_records, n_bytes)
+            self.counters["backpressure"] += 1
+            raise _RequestError(
+                protocol.ERR_BACKPRESSURE, str(exc), retry_after=exc.retry_after
+            ) from exc
+        self.counters["accepted_batches"] += 1
+        self.counters["accepted_records"] += n_records
+        return {"accepted": n_records}
+
+    async def _op_ingest(self, tenant: str, request: dict) -> dict:
+        """JSON ingest path (small batches; the batch frame is the fast path)."""
+        topic = self._wire_topic(tenant, request.get("topic"))
+        records = request.get("records")
+        if not isinstance(records, list) or not records or not all(
+            isinstance(r, str) for r in records
+        ):
+            raise _RequestError(protocol.ERR_BAD_REQUEST,
+                                "'records' must be a non-empty list of strings")
+        timestamps = request.get("timestamps")
+        if timestamps is None:
+            timestamp = request.get("timestamp")
+            if not isinstance(timestamp, (int, float)):
+                raise _RequestError(protocol.ERR_BAD_REQUEST,
+                                    "provide 'timestamp' or 'timestamps'")
+            timestamps = [float(timestamp)] * len(records)
+        elif (
+            not isinstance(timestamps, list)
+            or len(timestamps) != len(records)
+            or not all(isinstance(t, (int, float)) for t in timestamps)
+        ):
+            raise _RequestError(protocol.ERR_BAD_REQUEST,
+                                "'timestamps' must be numbers, one per record")
+        section = BatchSection(
+            topic=topic, first_seq=0,
+            timestamps=[float(t) for t in timestamps], raws=list(records),
+        )
+        n_bytes = sum(len(r.encode("utf-8")) for r in records)
+        self._admit(tenant, len(records), n_bytes)
+        try:
+            self._submit_sections([(topic, section)])
+        except ShardBusy as exc:
+            self.admission.refund(tenant, len(records), n_bytes)
+            self.counters["backpressure"] += 1
+            raise _RequestError(
+                protocol.ERR_BACKPRESSURE, str(exc), retry_after=exc.retry_after
+            ) from exc
+        self.counters["accepted_batches"] += 1
+        self.counters["accepted_records"] += len(records)
+        return {"accepted": len(records)}
+
+    def _admit(self, tenant: str, n_records: int, n_bytes: int) -> None:
+        decision = self.admission.admit(tenant, n_records, n_bytes)
+        if decision.allowed:
+            return
+        if decision.reason == "rate":
+            self.counters["rate_limited"] += 1
+            raise _RequestError(
+                protocol.ERR_RATE_LIMITED,
+                f"rate limit exceeded for tenant {tenant!r}",
+                retry_after=decision.retry_after,
+            )
+        self.counters["quota_refused"] += 1
+        raise _RequestError(
+            protocol.ERR_QUOTA_EXCEEDED,
+            f"{decision.reason} exhausted for tenant {tenant!r}",
+        )
+
+    def _submit_sections(self, qualified: Sequence[Tuple[str, BatchSection]]) -> None:
+        """Submit every section or nothing (single-writer headroom check).
+
+        A frame may span topics on different shards; ``try_submit_many``
+        alone would leave earlier sections enqueued when a later shard is
+        full.  Instead the headroom of *every* involved shard is checked
+        up front — exact because only this event-loop thread enqueues and
+        shard workers strictly drain — and only then are the sections
+        submitted (split into runs of equal timestamps, since the WAL
+        frames one timestamp per batch).
+        """
+        needed: Dict[int, int] = {}
+        for topic, section in qualified:
+            shard = self.runtime.shard_of(topic)
+            needed[shard] = needed.get(shard, 0) + len(section.raws)
+        capacity = self.runtime.queue_capacity
+        for shard, count in needed.items():
+            if count > capacity:
+                raise _RequestError(
+                    protocol.ERR_BAD_REQUEST,
+                    f"batch routes {count} records to shard {shard}, above the "
+                    f"queue capacity ({capacity}); split the batch",
+                )
+            depth = self.runtime.shard_load(shard)
+            if depth + count > capacity:
+                raise ShardBusy(shard, depth, capacity, self.runtime.max_batch_delay)
+        for topic, section in qualified:
+            start = 0
+            timestamps = section.timestamps
+            for i in range(1, len(timestamps) + 1):
+                if i == len(timestamps) or timestamps[i] != timestamps[start]:
+                    self.runtime.submit_many(
+                        topic, section.raws[start:i], timestamps[start]
+                    )
+                    start = i
+
+    # ------------------------------------------------------------------ #
+    # Query / analytics / model ops (blocking → executor)
+    # ------------------------------------------------------------------ #
+
+    async def _op_query(self, tenant: str, request: dict) -> dict:
+        topic = self._wire_topic(tenant, request.get("topic"))
+        threshold = request.get("threshold", 1.0)
+        text_filter = request.get("text_filter")
+        groups = await self._run_blocking(
+            lambda: self.service.query_templates(topic, float(threshold), text_filter)
+        )
+        return {
+            "groups": [
+                {
+                    "display_text": g.display_text,
+                    "template_ids": list(g.template_ids),
+                    "count": g.count,
+                    "saturation": g.saturation,
+                }
+                for g in groups
+            ]
+        }
+
+    async def _op_analytics(self, tenant: str, request: dict) -> dict:
+        topic = self._wire_topic(tenant, request.get("topic"))
+        kind = request.get("kind")
+        engine = request.get("engine")
+
+        def run():
+            if kind == "top_k":
+                pairs = self.service.top_k_templates(
+                    topic, float(request["start_time"]), float(request["end_time"]),
+                    k=int(request.get("k", 10)), engine=engine,
+                )
+                return {"top_k": [[tid, count] for tid, count in pairs]}
+            if kind == "anomaly_score":
+                baseline = request.get("baseline_window")
+                score = self.service.anomaly_score(
+                    topic, tuple(request["window"]),
+                    baseline_window=tuple(baseline) if baseline else None,
+                    engine=engine,
+                )
+                return {"score": score}
+            if kind == "new_template_bursts":
+                bursts = self.service.new_template_bursts(
+                    topic, tuple(request["window"]),
+                    min_count=request.get("min_count"), engine=engine,
+                )
+                return {"bursts": [list(b) for b in bursts]}
+            if kind == "drill_down":
+                records = self.service.drill_down(
+                    topic, float(request["start_time"]), float(request["end_time"]),
+                    template_id=request.get("template_id"),
+                    limit=int(request.get("limit", 100)), engine=engine,
+                )
+                return {
+                    "records": [
+                        {
+                            "record_id": r.record_id,
+                            "timestamp": r.timestamp,
+                            "raw": r.raw,
+                            "template_id": r.template_id,
+                        }
+                        for r in records
+                    ]
+                }
+            if kind == "detect_anomalies":
+                anomalies = self.service.detect_anomalies(
+                    topic, tuple(request["baseline_window"]),
+                    tuple(request["current_window"]), engine=engine,
+                )
+                return {"anomalies": [dataclasses.asdict(a) for a in anomalies]}
+            raise _RequestError(protocol.ERR_BAD_REQUEST,
+                                f"unknown analytics kind {kind!r}")
+
+        try:
+            return await self._run_blocking(run)
+        except KeyError as exc:
+            raise _RequestError(protocol.ERR_BAD_REQUEST,
+                                f"missing analytics parameter {exc}") from exc
+
+    async def _op_train(self, tenant: str, request: dict) -> dict:
+        topic = self._wire_topic(tenant, request.get("topic"))
+        now = request.get("now")
+        if not isinstance(now, (int, float)):
+            raise _RequestError(protocol.ERR_BAD_REQUEST, "missing 'now'")
+        force_full = bool(request.get("force_full", False))
+        await self._run_blocking(
+            lambda: self.service.train_now(topic, float(now), force_full=force_full)
+        )
+        return {"trained": True}
+
+    async def _op_model_versions(self, tenant: str, request: dict) -> dict:
+        topic = self._wire_topic(tenant, request.get("topic"))
+        versions = await self._run_blocking(lambda: self.service.model_versions(topic))
+        return {"versions": [v.to_dict() for v in versions]}
+
+    async def _op_rollback_model(self, tenant: str, request: dict) -> dict:
+        topic = self._wire_topic(tenant, request.get("topic"))
+        version = await self._run_blocking(lambda: self.service.rollback_model(topic))
+        return {"restored": version.to_dict()}
+
+    async def _op_topic_stats(self, tenant: str, request: dict) -> dict:
+        topic = self._wire_topic(tenant, request.get("topic"))
+        stats = await self._run_blocking(lambda: self.service.topic_stats(topic))
+        return {"stats": stats}
+
+    async def _op_stats(self, tenant: str, request: dict) -> dict:
+        usage = self.admission.usage(tenant)
+        return {
+            "tenant": tenant,
+            "usage": usage.to_dict(),
+            "limits": self.admission.limits(tenant),
+            "server": dict(self.counters),
+        }
+
+    async def _op_drain(self, tenant: str, request: dict) -> dict:
+        await self._run_blocking(self.runtime.drain)
+        return {"drained": True}
+
+    async def _op_create_topic(self, tenant: str, request: dict) -> dict:
+        topic = request.get("topic")
+        if not isinstance(topic, str):
+            raise _RequestError(protocol.ERR_BAD_REQUEST, "missing 'topic'")
+        try:
+            _check_wire_topic(topic)
+        except ValueError as exc:
+            raise _RequestError(protocol.ERR_BAD_REQUEST, str(exc)) from exc
+        from .transport import ProcessShardedRuntime
+
+        if isinstance(self.runtime, ProcessShardedRuntime):
+            raise _RequestError(
+                protocol.ERR_BAD_REQUEST,
+                "the process shard backend fixes its topic set at startup; "
+                "declare the topic in the tenant spec",
+            )
+        if topic not in self._topics.setdefault(tenant, set()):
+            await self._run_blocking(
+                lambda: self.service.create_topic(qualify_topic(tenant, topic))
+            )
+            self._topics[tenant].add(topic)
+        return {"topics": sorted(self._topics[tenant])}
+
+    async def _op_ping(self, tenant: str, request: dict) -> dict:
+        return {"pong": True, "closing": self._closing}
+
+    _OPS = {
+        "ingest": _op_ingest,
+        "query": _op_query,
+        "analytics": _op_analytics,
+        "train": _op_train,
+        "model_versions": _op_model_versions,
+        "rollback_model": _op_rollback_model,
+        "topic_stats": _op_topic_stats,
+        "stats": _op_stats,
+        "drain": _op_drain,
+        "create_topic": _op_create_topic,
+        "ping": _op_ping,
+    }
+
+
+def run_server_in_thread(server: LogServer):
+    """Start ``server`` on a daemon event-loop thread (tests + bench).
+
+    Returns ``(thread, stop)`` where ``stop()`` requests graceful
+    shutdown and joins the thread.  The server's port is bound before
+    this returns.
+    """
+    started = threading.Event()
+    loop_holder: dict = {}
+
+    def runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        loop_holder["loop"] = loop
+
+        async def main() -> None:
+            await server.start()
+            started.set()
+            await server.serve_until_stopped()
+
+        try:
+            loop.run_until_complete(main())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=runner, name="frontdoor-server", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30.0):
+        raise RuntimeError("server failed to start within 30s")
+
+    def stop() -> None:
+        loop = loop_holder["loop"]
+        coro = server.stop()
+        try:
+            asyncio.run_coroutine_threadsafe(coro, loop).result(timeout=60.0)
+        except RuntimeError:
+            coro.close()  # loop already gone — the server stopped itself
+        thread.join(timeout=60.0)
+
+    return thread, stop

@@ -886,6 +886,9 @@ class ProcessShardedRuntime(ShardTransport):
         #: ``create_topic`` calls are invisible to them (documented limit).
         self._known_topics = frozenset(service.topic_names())
         self._queue_capacity = capacity
+        #: Same admission ceiling the thread backend exposes; see
+        #: :meth:`ShardTransport.try_submit_many`.
+        self.queue_capacity = capacity
         self._errors: List[str] = []
         self._errors_lock = threading.Lock()
         self._worker_failures: Dict[int, _ProcessFailure] = {}
@@ -1151,6 +1154,11 @@ class ProcessShardedRuntime(ShardTransport):
                 if len(pending) >= self.micro_batch_size:
                     self._flush_locked(shard)
         return len(raws)
+
+    def shard_load(self, shard_index: int) -> int:
+        """Records accepted for a shard's child but not yet acked by it."""
+        shard = self._shards[shard_index]
+        return shard.in_flight + len(shard.pending)
 
     def _backpressure(self, shard: _ProcessShard) -> None:
         while shard.in_flight + len(shard.pending) >= self._queue_capacity:

@@ -1,0 +1,193 @@
+"""Unit tests for per-tenant admission control (token buckets, quotas)."""
+
+import pytest
+
+from repro.core.config import ByteBrainConfig
+from repro.service.admission import (
+    AdmissionController,
+    TenantSpec,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock for refill-math tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends_down(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=100.0, clock=clock)
+        assert bucket.tokens == pytest.approx(100.0)
+        assert bucket.try_take(60.0) == 0.0
+        assert bucket.tokens == pytest.approx(40.0)
+        assert bucket.try_take(40.0) == 0.0
+        assert bucket.tokens == pytest.approx(0.0)
+
+    def test_refill_is_continuous_not_stepwise(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=100.0, clock=clock)
+        bucket.try_take(100.0)
+        clock.advance(0.25)  # a quarter second buys 2.5 tokens
+        assert bucket.tokens == pytest.approx(2.5)
+        assert bucket.try_take(2.5) == 0.0
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=20.0, clock=clock)
+        bucket.try_take(20.0)
+        clock.advance(1000.0)
+        assert bucket.tokens == pytest.approx(20.0)
+
+    def test_refusal_returns_exact_wait(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=100.0, clock=clock)
+        bucket.try_take(100.0)
+        # 30 tokens at 10/s: exactly 3 seconds away.
+        wait = bucket.try_take(30.0)
+        assert wait == pytest.approx(3.0)
+        # Nothing was taken by the refused call.
+        clock.advance(3.0)
+        assert bucket.try_take(30.0) == 0.0
+
+    def test_refused_take_is_side_effect_free(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=5.0, burst=10.0, clock=clock)
+        bucket.try_take(8.0)
+        before = bucket.tokens
+        assert bucket.try_take(5.0) > 0.0
+        assert bucket.tokens == pytest.approx(before)
+
+    def test_oversized_request_reports_finite_wait(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=20.0, clock=clock)
+        bucket.try_take(20.0)
+        # A 50-token ask can never succeed (burst 20); the hint is the
+        # time to a full bucket, not infinity.
+        assert bucket.try_take(50.0) == pytest.approx(2.0)
+
+    def test_give_back_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=20.0, clock=clock)
+        bucket.try_take(5.0)
+        bucket.give_back(500.0)
+        assert bucket.tokens == pytest.approx(20.0)
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestTenantSpec:
+    def test_from_dict_roundtrip(self):
+        spec = TenantSpec.from_dict(
+            {"name": "a", "rate_limit": 5.0, "record_quota": 100}
+        )
+        assert spec.name == "a"
+        assert spec.rate_limit == 5.0
+        assert spec.record_quota == 100
+        assert spec.byte_quota is None
+
+    def test_rejects_missing_name_and_unknown_keys(self):
+        with pytest.raises(ValueError):
+            TenantSpec.from_dict({"rate_limit": 5.0})
+        with pytest.raises(ValueError):
+            TenantSpec.from_dict({"name": "a", "rate": 5.0})
+
+
+class TestAdmissionController:
+    def _controller(self, spec: TenantSpec, config=None, clock=None):
+        controller = AdmissionController(
+            config or ByteBrainConfig(), clock=clock or FakeClock()
+        )
+        controller.register(spec)
+        return controller
+
+    def test_unlimited_tenant_admits_everything(self):
+        controller = self._controller(TenantSpec(name="a"))
+        for _ in range(50):
+            assert controller.admit("a", 1000, 100000).allowed
+        assert controller.usage("a").records == 50000
+
+    def test_unknown_tenant_raises(self):
+        controller = self._controller(TenantSpec(name="a"))
+        with pytest.raises(KeyError):
+            controller.admit("ghost", 1, 1)
+
+    def test_rate_limit_refuses_with_retry_after(self):
+        clock = FakeClock()
+        controller = self._controller(
+            TenantSpec(name="a", rate_limit=10.0, rate_burst=20.0), clock=clock
+        )
+        assert controller.admit("a", 20, 0).allowed
+        decision = controller.admit("a", 10, 0)
+        assert not decision.allowed
+        assert decision.reason == "rate"
+        assert decision.retry_after == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert controller.admit("a", 10, 0).allowed
+        assert controller.usage("a").rate_limited == 1
+
+    def test_record_quota_is_terminal_and_checked_first(self):
+        clock = FakeClock()
+        controller = self._controller(
+            TenantSpec(name="a", rate_limit=1.0, rate_burst=1.0, record_quota=5),
+            clock=clock,
+        )
+        assert controller.admit("a", 1, 10).allowed
+        # Bucket is now empty AND the next batch would bust the quota:
+        # the terminal reason must win so clients stop retrying.
+        decision = controller.admit("a", 5, 10)
+        assert not decision.allowed
+        assert decision.reason == "record_quota"
+        assert controller.usage("a").quota_refused == 1
+
+    def test_byte_quota_refuses(self):
+        controller = self._controller(TenantSpec(name="a", byte_quota=100))
+        assert controller.admit("a", 1, 80).allowed
+        decision = controller.admit("a", 1, 30)
+        assert not decision.allowed
+        assert decision.reason == "byte_quota"
+        # A smaller batch still fits.
+        assert controller.admit("a", 1, 20).allowed
+
+    def test_refund_restores_quota_and_tokens(self):
+        clock = FakeClock()
+        controller = self._controller(
+            TenantSpec(name="a", rate_limit=10.0, rate_burst=10.0, record_quota=10),
+            clock=clock,
+        )
+        assert controller.admit("a", 10, 100).allowed
+        # Shard said no: the charge comes back in full.
+        controller.refund("a", 10, 100)
+        usage = controller.usage("a")
+        assert usage.records == 0 and usage.bytes == 0 and usage.refunds == 1
+        assert controller.admit("a", 10, 100).allowed
+
+    def test_config_defaults_apply_when_spec_is_silent(self):
+        config = ByteBrainConfig(server_rate_limit=10.0, server_record_quota=15)
+        controller = self._controller(TenantSpec(name="a"), config=config)
+        limits = controller.limits("a")
+        assert limits["rate_limit"] == 10.0
+        assert limits["rate_burst"] == 20.0  # derived 2x default
+        assert limits["record_quota"] == 15
+
+    def test_spec_overrides_config_defaults(self):
+        config = ByteBrainConfig(server_rate_limit=10.0)
+        controller = self._controller(
+            TenantSpec(name="a", rate_limit=99.0, rate_burst=7.0), config=config
+        )
+        limits = controller.limits("a")
+        assert limits["rate_limit"] == 99.0
+        assert limits["rate_burst"] == 7.0

@@ -384,3 +384,51 @@ class TestAnalyticsCommand:
             ]
         ) == 2
         assert "not found" in capsys.readouterr().err
+
+
+class TestFrontDoorCommands:
+    """Argument surface for serve / ingest / query (end-to-end runs live
+    in test_server_recovery.py — these cover parsing and spec errors)."""
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--store", "s", "--wal-dir", "w"]
+        )
+        assert args.port == 0
+        assert args.host == "127.0.0.1"
+        assert args.backend is None
+        assert args.tenants is None
+
+    def test_serve_rejects_bad_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--store", "s", "--wal-dir", "w", "--backend", "carrier"]
+            )
+
+    def test_ingest_and_query_require_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ingest", "--input", "x.log"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query"])
+
+    def test_serve_bad_tenants_file_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "tenants.json"
+        bad.write_text('{"name": "not-a-list"}', encoding="utf-8")
+        code = main(
+            ["serve", "--store", str(tmp_path / "s"),
+             "--wal-dir", str(tmp_path / "w"), "--tenants", str(bad)]
+        )
+        assert code == 2
+        assert "tenant" in capsys.readouterr().err
+
+    def test_serve_rejects_duplicate_tenants(self, tmp_path, capsys):
+        bad = tmp_path / "tenants.json"
+        bad.write_text(
+            '[{"name": "a", "topics": ["t"]}, {"name": "a"}]', encoding="utf-8"
+        )
+        code = main(
+            ["serve", "--store", str(tmp_path / "s"),
+             "--wal-dir", str(tmp_path / "w"), "--tenants", str(bad)]
+        )
+        assert code == 2
+        assert "duplicate" in capsys.readouterr().err

@@ -1,0 +1,376 @@
+"""End-to-end tests for the wire-protocol front door.
+
+Each test boots a real :class:`~repro.service.server.LogServer` on an
+event-loop thread and talks to it over TCP with the real client (or a
+raw socket for the frame-abuse cases).  The shard backend defaults to
+the thread transport; the CI matrix re-runs this module once with
+``REPRO_SHARD_BACKEND=process`` to prove the wire path over forked
+workers too (``create_runtime`` reads the env var when no explicit
+backend is passed).
+"""
+
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.core import failpoints
+from repro.core.config import ByteBrainConfig
+from repro.service import protocol
+from repro.service.client import ServerError, ServiceClient
+from repro.service.runtime import create_runtime
+from repro.service.server import (
+    LogServer,
+    build_tenant_specs,
+    qualify_topic,
+    run_server_in_thread,
+)
+from repro.service.service import LogParsingService
+from repro.service.transport import BatchSection, encode_record_batch
+
+
+DEFAULT_TENANTS = [{"name": "alpha", "topics": ["app"]},
+                   {"name": "beta", "topics": ["app"]}]
+
+
+class FrontDoor:
+    """One running server plus the pieces tests poke at."""
+
+    def __init__(self, tmp_path, tenants_data=None, config=None, **runtime_kwargs):
+        self.config = config or ByteBrainConfig(n_shards=2)
+        self.service = LogParsingService(config=self.config, store_root=tmp_path / "store")
+        self.tenants = build_tenant_specs(tenants_data or DEFAULT_TENANTS)
+        for spec, topics in self.tenants:
+            for topic in topics:
+                self.service.create_topic(qualify_topic(spec.name, topic))
+        self.runtime = create_runtime(
+            self.service, wal_dir=tmp_path / "wal", **runtime_kwargs
+        )
+        self.server = LogServer(self.service, self.runtime, self.tenants,
+                                config=self.config)
+        self._thread, self._stop = run_server_in_thread(self.server)
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def client(self, tenant="alpha") -> ServiceClient:
+        return ServiceClient("127.0.0.1", self.port, tenant)
+
+    def close(self) -> None:
+        try:
+            self._stop()
+        finally:
+            self.runtime.shutdown(drain=False)
+
+
+@pytest.fixture()
+def front_door(tmp_path):
+    door = FrontDoor(tmp_path)
+    yield door
+    door.close()
+
+
+class TestHandshakeAndTenancy:
+    def test_hello_advertises_topics_and_limits(self, front_door):
+        with front_door.client("alpha") as client:
+            assert client.hello["topics"] == ["app"]
+            assert client.max_batch_records >= 1
+            assert "rate_limit" in client.hello["limits"]
+
+    def test_unknown_tenant_is_rejected(self, front_door):
+        with pytest.raises(ServerError) as excinfo:
+            ServiceClient("127.0.0.1", front_door.port, "ghost")
+        assert excinfo.value.code == protocol.ERR_UNAUTHENTICATED
+
+    def test_ops_before_hello_are_rejected(self, front_door):
+        sock = socket.create_connection(("127.0.0.1", front_door.port), timeout=10)
+        try:
+            rfile = sock.makefile("rb")
+            sock.sendall(protocol.encode_json_frame(
+                {"id": 0, "op": "query", "topic": "app"}))
+            _, body = protocol.read_frame_sync(rfile, 1 << 20)
+            response = protocol.decode_json_body(body)
+            assert response["error"] == protocol.ERR_UNAUTHENTICATED
+        finally:
+            sock.close()
+
+    def test_tenants_cannot_see_each_other(self, front_door):
+        with front_door.client("alpha") as alpha:
+            alpha.ingest("app", [f"alpha event {i}" for i in range(40)], timestamp=10.0)
+            alpha.drain()
+        with front_door.client("beta") as beta:
+            assert int(beta.topic_stats("app")["n_records"]) == 0
+            # And the separator cannot be smuggled into a topic name.
+            with pytest.raises(ServerError) as excinfo:
+                beta.ingest("alpha::app", ["sneaky"], timestamp=1.0)
+            assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+
+    def test_unknown_topic(self, front_door):
+        with front_door.client() as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.ingest("nope", ["x"], timestamp=1.0)
+            assert excinfo.value.code == protocol.ERR_UNKNOWN_TOPIC
+
+
+class TestIngestAndQuery:
+    def test_binary_batch_roundtrip(self, front_door):
+        raws = [f"worker {i % 5} finished job {i} in {i % 17} ms" for i in range(300)]
+        with front_door.client() as client:
+            report = client.ingest("app", raws, timestamp=50.0)
+            assert report.accepted == 300
+            client.drain()
+            stats = client.topic_stats("app")
+            assert int(stats["n_records"]) == 300
+            groups = client.query("app", threshold=0.5)
+            assert sum(g["count"] for g in groups) == 300
+
+    def test_json_ingest_path(self, front_door):
+        with front_door.client() as client:
+            response = client.call("ingest", topic="app",
+                                   records=["a b c", "a b d"], timestamp=5.0)
+            assert response["accepted"] == 2
+            client.drain()
+            assert int(client.topic_stats("app")["n_records"]) == 2
+
+    def test_per_record_timestamps_survive(self, front_door):
+        raws = [f"event {i}" for i in range(10)]
+        stamps = [100.0 + i for i in range(10)]
+        with front_door.client() as client:
+            client.ingest("app", raws, timestamps=stamps)
+            client.drain()
+            result = client.call("analytics", topic="app", kind="drill_down",
+                                 start_time=104.5, end_time=200.0)
+            got = sorted(r["timestamp"] for r in result["records"])
+            assert got == stamps[5:]
+
+    def test_pipelined_requests_answer_in_order(self, front_door):
+        with front_door.client() as client:
+            ids = [client.send("ping") for _ in range(20)]
+            responses = [client.recv() for _ in range(20)]
+            assert [r["id"] for r in responses] == ids
+
+    def test_analytics_and_model_ops(self, front_door):
+        raws = [f"worker {i % 3} finished job {i}" for i in range(200)]
+        with front_door.client() as client:
+            client.ingest("app", raws, timestamp=10.0)
+            client.drain()
+            # Window spans a whole analytics bucket (60 s): the
+            # incremental engine answers over complete buckets.
+            top = client.call("analytics", topic="app", kind="top_k",
+                              start_time=0.0, end_time=60.0, k=3)["top_k"]
+            assert sum(count for _, count in top) == 200
+            client.call("train", topic="app", now=20.0)
+            versions = client.call("model_versions", topic="app")["versions"]
+            assert len(versions) >= 1
+
+
+class TestAdmissionOverTheWire:
+    def test_rate_limited_then_recovers(self, tmp_path):
+        door = FrontDoor(tmp_path, tenants_data=[
+            {"name": "alpha", "topics": ["app"], "rate_limit": 50.0, "rate_burst": 100.0},
+        ])
+        try:
+            with door.client() as client:
+                section = BatchSection(topic="app", first_seq=0,
+                                       timestamps=[1.0] * 60, raws=["x"] * 60)
+                client.send_batch([section])
+                client.recv()  # 60 of 100 burst tokens spent
+                client.send_batch([section])
+                with pytest.raises(ServerError) as excinfo:
+                    client.recv()
+                assert excinfo.value.code == protocol.ERR_RATE_LIMITED
+                assert excinfo.value.retry_after > 0.0
+                assert excinfo.value.retryable
+                # The high-level path retries through the refusal.
+                report = client.ingest("app", ["y"] * 60, timestamp=2.0)
+                assert report.accepted == 60
+                assert report.rate_limited >= 0  # retry loop handled it
+                client.drain()
+                assert int(client.topic_stats("app")["n_records"]) == 120
+        finally:
+            door.close()
+
+    def test_quota_exhaustion_is_terminal(self, tmp_path):
+        door = FrontDoor(tmp_path, tenants_data=[
+            {"name": "alpha", "topics": ["app"], "record_quota": 100},
+        ])
+        try:
+            with door.client() as client:
+                client.ingest("app", ["x"] * 100, timestamp=1.0)
+                with pytest.raises(ServerError) as excinfo:
+                    client.ingest("app", ["y"], timestamp=2.0)
+                assert excinfo.value.code == protocol.ERR_QUOTA_EXCEEDED
+                assert not excinfo.value.retryable
+                client.drain()
+                assert int(client.topic_stats("app")["n_records"]) == 100
+        finally:
+            door.close()
+
+    def test_backpressure_surfaces_and_loses_nothing(self, tmp_path):
+        # Slow the shard workers so the bounded queues fill, then pour
+        # records in: the server must answer BACKPRESSURE (retryable),
+        # never block the producer or drop an acked record.
+        failpoints.configure_from_spec("worker.batch:delay:seconds=0.05")
+        try:
+            door = FrontDoor(tmp_path, queue_capacity=32, micro_batch_size=16)
+        finally:
+            # Armed before runtime construction so process-backend
+            # children inherit it; disarm in the parent either way once
+            # the workers exist.
+            pass
+        try:
+            with door.client() as client:
+                raws = [f"pressure record {i}" for i in range(400)]
+                report = client.ingest("app", raws, timestamp=5.0, max_retries=500)
+                assert report.accepted == 400
+                assert report.backpressure > 0, "queues never filled — not exercised"
+                client.drain()
+                assert int(client.topic_stats("app")["n_records"]) == 400
+                server_counters = client.stats()["server"]
+                assert server_counters["backpressure"] == report.backpressure
+        finally:
+            failpoints.clear_all()
+            door.close()
+
+    def test_oversized_batch_is_a_client_error(self, front_door):
+        capacity = front_door.runtime.queue_capacity
+        section = BatchSection(topic="app", first_seq=0,
+                               timestamps=[1.0] * (capacity + 1),
+                               raws=["x"] * (capacity + 1))
+        with front_door.client() as client:
+            client.send_batch([section])
+            with pytest.raises(ServerError) as excinfo:
+                client.recv()
+            assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+
+
+class TestFrameAbuse:
+    def _raw(self, port):
+        sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        return sock, sock.makefile("rb")
+
+    def test_malformed_json_body(self, front_door):
+        sock, rfile = self._raw(front_door.port)
+        try:
+            sock.sendall(protocol.encode_frame(protocol.KIND_JSON, b"{not json"))
+            _, body = protocol.read_frame_sync(rfile, 1 << 20)
+            assert protocol.decode_json_body(body)["error"] == protocol.ERR_BAD_REQUEST
+        finally:
+            sock.close()
+
+    def test_oversized_frame_rejected_and_connection_closed(self, front_door):
+        sock, rfile = self._raw(front_door.port)
+        try:
+            huge = front_door.config.server_max_frame_bytes + 1
+            sock.sendall(struct.pack("<IB", huge, protocol.KIND_JSON))
+            kind, body = protocol.read_frame_sync(rfile, 1 << 20)
+            assert protocol.decode_json_body(body)["error"] == protocol.ERR_FRAME_TOO_LARGE
+            # The server hangs up: the stream cannot be resynchronised.
+            assert protocol.read_frame_sync(rfile, 1 << 20) == (-1, b"")
+        finally:
+            sock.close()
+
+    def test_unknown_frame_kind_rejected(self, front_door):
+        sock, rfile = self._raw(front_door.port)
+        try:
+            sock.sendall(struct.pack("<IB", 0, 99))
+            _, body = protocol.read_frame_sync(rfile, 1 << 20)
+            assert protocol.decode_json_body(body)["error"] == protocol.ERR_BAD_REQUEST
+        finally:
+            sock.close()
+
+    def test_truncated_frame_does_not_wedge_the_server(self, front_door):
+        sock, _ = self._raw(front_door.port)
+        # Promise 1000 bytes, deliver 3, vanish.
+        sock.sendall(struct.pack("<IB", 1000, protocol.KIND_JSON) + b"abc")
+        sock.close()
+        # The server shrugged it off and still serves real clients.
+        with front_door.client() as client:
+            assert client.call("ping")["pong"] is True
+
+    def test_garbage_batch_payload(self, front_door):
+        with front_door.client() as client:
+            frame = protocol.encode_batch_frame({"id": 99}, b"\xff\xfe garbage")
+            client._sock.sendall(frame)
+            client._in_flight += 1
+            with pytest.raises(ServerError) as excinfo:
+                client.recv()
+            assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+
+
+class TestDisconnectAndShutdown:
+    def test_mid_request_disconnect_loses_no_acked_records(self, front_door):
+        batch = 20
+        acked = 0
+        client = front_door.client()
+        try:
+            for i in range(5):
+                raws = [f"durable record {i}-{j}" for j in range(batch)]
+                report = client.ingest("app", raws, timestamp=float(i))
+                acked += report.accepted
+            # One more batch goes out, but the client dies before
+            # reading the ack — the server may or may not have applied
+            # it; the five acked batches must all survive.
+            section = BatchSection(topic="app", first_seq=0,
+                                   timestamps=[9.0] * batch,
+                                   raws=[f"unacked {j}" for j in range(batch)])
+            client.send_batch([section])
+        finally:
+            client._sock.close()  # abrupt: no goodbye, response unread
+        with front_door.client() as verifier:
+            verifier.drain()
+            stored = int(verifier.topic_stats("app")["n_records"])
+        assert stored >= acked == 100
+        assert stored in (acked, acked + batch)
+
+    def test_shutdown_op_drains_then_refuses_connections(self, tmp_path):
+        door = FrontDoor(tmp_path)
+        try:
+            with door.client() as client:
+                client.ingest("app", [f"final {i}" for i in range(50)], timestamp=1.0)
+                client.shutdown_server()
+            deadline = time.time() + 30.0
+            while time.time() < deadline and not door.server._stopped.is_set():
+                time.sleep(0.05)
+            assert door.server._stopped.is_set()
+            # Drain-before-close: everything acked is applied.
+            topic = qualify_topic("alpha", "app")
+            assert door.service.topic(topic).topic.high_watermark == 50
+            with pytest.raises(OSError):
+                socket.create_connection(("127.0.0.1", door.port), timeout=2)
+        finally:
+            door.close()
+
+    def test_slow_reader_is_bounded_not_wedging(self, tmp_path):
+        config = ByteBrainConfig(
+            n_shards=2,
+            server_write_buffer_bytes=4096,
+            server_write_timeout_seconds=0.5,
+        )
+        door = FrontDoor(tmp_path, config=config)
+        try:
+            with door.client() as feeder:
+                feeder.ingest(
+                    "app",
+                    [f"padding record {i} {'x' * 200}" for i in range(2000)],
+                    timestamp=1.0,
+                )
+                feeder.drain()
+            stalled = door.client()
+            # Pile up large responses without ever reading them.
+            for _ in range(200):
+                try:
+                    stalled.send("analytics", topic="app", kind="drill_down",
+                                 start_time=0.0, end_time=10.0, limit=2000)
+                except OSError:
+                    break  # server aborted us — exactly the point
+            time.sleep(1.5)
+            # Whatever happened to the stalled reader, the server must
+            # still answer everyone else promptly.
+            with door.client("beta") as healthy:
+                assert healthy.call("ping")["pong"] is True
+            stalled._sock.close()
+        finally:
+            door.close()

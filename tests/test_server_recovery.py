@@ -1,0 +1,169 @@
+"""Kill-after-ack durability for the front door.
+
+The wire contract promises that a record acked over the wire is
+durable: ``try_submit_many`` returns only after the WAL append, so the
+ack frame is written strictly after the record hits the log.  These
+tests enforce it the hard way — boot ``cli serve`` as a real
+subprocess, ingest over TCP while journalling every acked record to an
+O_APPEND file (the ``crash_child.py`` discipline: a SIGKILL cannot lose
+page-cache writes), SIGKILL the server, then recover the store + WAL
+and check every acked record survived exactly once.
+
+Marked slow: run by the CI reliability job and the server job, not the
+unit step.
+"""
+
+import collections
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.recovery import RecoveredRuntime
+from repro.service.server import qualify_topic
+
+pytestmark = pytest.mark.slow
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+_BOOTS = iter(range(10**6))
+
+
+def _start_server(tmp_path: Path, *extra: str) -> tuple:
+    # Fresh ready file per boot: a restart must not read the previous
+    # life's port.
+    ready = tmp_path / f"ready-{next(_BOOTS)}.txt"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{SRC}{os.pathsep}{env.get('PYTHONPATH', '')}".rstrip(
+        os.pathsep
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--store", str(tmp_path / "store"),
+            "--wal-dir", str(tmp_path / "wal"),
+            "--ready-file", str(ready),
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.time() + 60.0
+    while time.time() < deadline:
+        if ready.exists() and ready.read_text().strip():
+            port = int(ready.read_text().split()[1])
+            return proc, port
+        if proc.poll() is not None:
+            raise RuntimeError(f"server died during boot:\n{proc.stdout.read()}")
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("server never wrote the ready file")
+
+
+def _recover(tmp_path: Path, topic: str) -> tuple:
+    """Recover the store + WAL; returns (replayed raws, captured_seq).
+
+    ``captured_seq`` is the durability split point: acked records with
+    seq <= captured are inside the loaded model snapshot (replaying
+    them too would double-count); acked records past it must be
+    replayed into raw storage exactly once.  Same contract as the PR 4
+    crash matrix (``test_crash_recovery.assert_exactly_once``).
+    """
+    with RecoveredRuntime.open(
+        tmp_path / "store", tmp_path / "wal", start_runtime=False
+    ) as recovered:
+        engine = recovered.service.topic(topic)
+        raws = [
+            engine.topic.record(i).raw
+            for i in range(engine.topic.high_watermark)
+        ]
+        entry = next(t for t in recovered.report.topics if t.topic == topic)
+        return raws, entry.captured_seq
+
+
+def _assert_exactly_once(acked: list, survived: list, captured: int) -> None:
+    counts = collections.Counter(survived)
+    duplicates = {raw: n for raw, n in counts.items() if n > 1}
+    assert not duplicates, f"records restored more than once: {duplicates}"
+    # Acked record i holds seq i+1 (single topic, in-order acks).
+    for i, raw in enumerate(acked):
+        if i + 1 <= captured:
+            assert raw not in counts, f"captured record {i} also replayed"
+        else:
+            assert counts.get(raw, 0) == 1, f"acked record {i} lost"
+    # Nothing invented: every survivor was sent by us.
+    assert set(survived) <= set(acked)
+    assert captured + len(survived) == len(acked)
+
+
+class TestKillAfterAck:
+    def test_every_acked_record_survives_sigkill_exactly_once(self, tmp_path):
+        proc, port = _start_server(tmp_path)
+        ack_path = tmp_path / "acks.txt"
+        ack_fd = os.open(str(ack_path), os.O_WRONLY | os.O_CREAT | os.O_APPEND)
+        try:
+            with ServiceClient("127.0.0.1", port, "default") as client:
+                for batch in range(10):
+                    raws = [f"acked {batch}-{i}" for i in range(40)]
+                    report = client.ingest("app", raws, timestamp=float(batch))
+                    assert report.accepted == 40
+                    # Journal only after the server's ack arrived.
+                    os.write(ack_fd, ("".join(r + "\n" for r in raws)).encode())
+                # No drain, no goodbye: die with queues possibly full.
+                proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            os.close(ack_fd)
+            if proc.poll() is None:
+                proc.kill()
+        acked = ack_path.read_text().splitlines()
+        assert len(acked) == 400
+        survived, captured = _recover(tmp_path, qualify_topic("default", "app"))
+        _assert_exactly_once(acked, survived, captured)
+
+    def test_graceful_shutdown_is_durable_via_drain_barrier(self, tmp_path):
+        proc, port = _start_server(tmp_path)
+        with ServiceClient("127.0.0.1", port, "default") as client:
+            report = client.ingest(
+                "app", [f"graceful {i}" for i in range(200)], timestamp=1.0
+            )
+            assert report.accepted == 200
+            client.shutdown_server()
+        assert proc.wait(timeout=60) == 0
+        acked = [f"graceful {i}" for i in range(200)]
+        survived, captured = _recover(tmp_path, qualify_topic("default", "app"))
+        _assert_exactly_once(acked, survived, captured)
+
+    def test_restarted_server_serves_recovered_records(self, tmp_path):
+        proc, port = _start_server(tmp_path)
+        with ServiceClient("127.0.0.1", port, "default") as client:
+            client.ingest("app", [f"first life {i}" for i in range(100)], timestamp=1.0)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+
+        proc2, port2 = _start_server(tmp_path)
+        try:
+            with ServiceClient("127.0.0.1", port2, "default") as client:
+                client.drain()
+                # Raw storage holds the replayed suffix; anything below
+                # the snapshot watermark lives in the restored model.
+                replayed = int(client.topic_stats("app")["n_records"])
+                assert 0 <= replayed <= 100
+                # The recovered topic keeps accepting new records.
+                client.ingest("app", [f"second life {i}" for i in range(50)],
+                              timestamp=2.0)
+                client.drain()
+                assert int(client.topic_stats("app")["n_records"]) == replayed + 50
+                client.shutdown_server()
+            assert proc2.wait(timeout=60) == 0
+        finally:
+            if proc2.poll() is None:
+                proc2.kill()
