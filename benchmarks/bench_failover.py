@@ -1,0 +1,338 @@
+"""Benchmark: client-observed failover blackout under a primary kill.
+
+PR 10 gave the front door an HA story: a warm standby tails the
+primary's WAL over the shipper, a heartbeat watchdog promotes it when
+the primary goes silent, and sessioned clients fail over and replay
+idempotently.  This benchmark measures what that costs the caller: a
+closed-loop sessioned producer streams batches against a real
+``cli serve`` primary (a subprocess, so it can be SIGKILLed mid-stream)
+while a warm auto-promote standby watches; the primary is killed and
+three intervals are clocked per trial:
+
+* **promotion_seconds** — kill to the standby answering ``role=primary``
+  (failure detection + WAL catch-up + runtime construction),
+* **blackout_seconds** — kill to the client's first post-kill ack (the
+  window writes actually stall),
+* the exactly-once audit — every acked record stored exactly once on
+  the survivor, replays deduplicated, nothing lost or invented.
+
+``--smoke --check-floor BENCH_failover.json`` is the CI gate form: the
+hard criteria are correctness (zero loss, zero duplicates, a failover
+actually observed); blackout is gated only against a conservative
+ceiling — shared CI boxes make wall-clock a lousy tight gate.  Run
+from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_failover.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.service.client import IngestReport, ServiceClient
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+DEFAULT_TRIALS = 5
+SMOKE_TRIALS = 3
+RECORDS_PER_BATCH = 50
+PRE_KILL_BATCHES = 4  # acked batches banked before the kill
+POST_KILL_BATCHES = 8  # batches that must land on the survivor
+HEARTBEAT_INTERVAL = 0.1
+HEARTBEAT_MISSES = 3
+
+#: ``check_floor`` passes when the measured p50 blackout stays under
+#: ``max(FLOOR_CEILING_SECONDS, FLOOR_MULTIPLE * reference p50)``.
+FLOOR_CEILING_SECONDS = 10.0
+FLOOR_MULTIPLE = 4.0
+
+_BOOTS = iter(range(10**6))
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an unsorted sample list (seconds)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _stats(samples: List[float]) -> Dict[str, float]:
+    return {
+        "count": len(samples),
+        "mean_s": round(sum(samples) / len(samples), 3) if samples else 0.0,
+        "p50_s": round(percentile(samples, 0.50), 3),
+        "max_s": round(max(samples), 3) if samples else 0.0,
+    }
+
+
+def _spawn(tmp_path: Path, *argv: str):
+    """Boot one ``cli serve`` flavour as a subprocess; (proc, port)."""
+    ready = tmp_path / f"ready-{next(_BOOTS)}.txt"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{SRC}{os.pathsep}{env.get('PYTHONPATH', '')}".rstrip(
+        os.pathsep
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--ready-file", str(ready), *argv],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.time() + 90.0
+    while time.time() < deadline:
+        if ready.exists() and ready.read_text().strip():
+            return proc, int(ready.read_text().split()[1])
+        if proc.poll() is not None:
+            raise RuntimeError(f"server died during boot:\n{proc.stdout.read()}")
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("server never wrote the ready file")
+
+
+def _watch_promotion(port: int, out: dict) -> None:
+    """Poll the standby until it answers ``role=primary``; record when."""
+    deadline = time.time() + 120.0
+    while time.time() < deadline:
+        try:
+            with ServiceClient("127.0.0.1", port, "bench") as probe:
+                if probe.hello.get("role") == "primary":
+                    out["promoted_at"] = time.perf_counter()
+                    return
+        except (ConnectionError, OSError):
+            pass
+        time.sleep(0.02)
+
+
+def run_trial(backend: Optional[str], post_kill_batches: int) -> Dict[str, object]:
+    with tempfile.TemporaryDirectory(prefix="bench-failover-") as tmp:
+        root = Path(tmp)
+        tenants_file = root / "tenants.json"
+        tenants_file.write_text(
+            json.dumps([{"name": "bench", "topics": ["app"]}]), encoding="utf-8"
+        )
+        primary_wal = root / "primary" / "wal"
+        backend_args = ("--backend", backend) if backend else ()
+        primary, primary_port = _spawn(
+            root,
+            "--store", str(root / "primary" / "store"),
+            "--wal-dir", str(primary_wal),
+            "--tenants", str(tenants_file), *backend_args,
+        )
+        standby, standby_port = _spawn(
+            root,
+            "--standby-of", str(primary_wal),
+            "--standby-dir", str(root / "standby"),
+            "--tenants", str(tenants_file), *backend_args,
+            "--primary-addr", f"127.0.0.1:{primary_port}",
+            "--auto-promote",
+            "--heartbeat-interval", str(HEARTBEAT_INTERVAL),
+            "--heartbeat-misses", str(HEARTBEAT_MISSES),
+        )
+        try:
+            client = ServiceClient(
+                "127.0.0.1", primary_port, "bench",
+                endpoints=[("127.0.0.1", primary_port),
+                           ("127.0.0.1", standby_port)],
+                producer_id="bench-producer", reconnect_attempts=60,
+                reconnect_backoff=0.02, reconnect_backoff_max=0.5, seed=7,
+            )
+            report = IngestReport()
+            acked: List[str] = []
+            total_batches = PRE_KILL_BATCHES + post_kill_batches
+            for batch in range(PRE_KILL_BATCHES):
+                raws = [f"bench batch {batch} record {i}"
+                        for i in range(RECORDS_PER_BATCH)]
+                client.ingest("app", raws, timestamp=float(batch), report=report)
+                acked.extend(raws)
+
+            promo: dict = {}
+            watcher = threading.Thread(
+                target=_watch_promotion, args=(standby_port, promo),
+                daemon=True,
+            )
+            primary.send_signal(signal.SIGKILL)
+            killed = time.perf_counter()
+            primary.wait(timeout=30.0)
+            watcher.start()
+
+            first_post_kill_ack: Optional[float] = None
+            for batch in range(PRE_KILL_BATCHES, total_batches):
+                raws = [f"bench batch {batch} record {i}"
+                        for i in range(RECORDS_PER_BATCH)]
+                client.ingest("app", raws, timestamp=float(batch), report=report)
+                if first_post_kill_ack is None:
+                    first_post_kill_ack = time.perf_counter()
+                acked.extend(raws)
+            watcher.join(timeout=120.0)
+
+            # Exactly-once audit on the survivor.
+            client.drain()
+            stored = int(client.topic_stats("app")["n_records"])
+            fetched = client.call(
+                "analytics", topic="app", kind="drill_down",
+                start_time=-1.0, end_time=1e9, limit=len(acked) * 2,
+            )["records"]
+            counts = collections.Counter(r["raw"] for r in fetched)
+            duplicates = sum(n - 1 for n in counts.values() if n > 1)
+            missing = sum(1 for raw in acked if raw not in counts)
+            client.close()
+            return {
+                "blackout_seconds": (first_post_kill_ack or killed) - killed,
+                "promotion_seconds": (
+                    promo["promoted_at"] - killed if "promoted_at" in promo
+                    else None
+                ),
+                "acked": report.accepted,
+                "stored": stored,
+                "duplicates": duplicates,
+                "missing": missing,
+                "failovers": report.failovers,
+                "replayed": report.replayed,
+                "deduped": report.deduped,
+            }
+        finally:
+            for proc in (primary, standby):
+                if proc.poll() is None:
+                    proc.terminate()
+                    try:
+                        proc.wait(timeout=60.0)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+                        proc.wait(timeout=30.0)
+
+
+def run_phase(trials: int, backend: Optional[str],
+              post_kill_batches: int) -> Dict[str, object]:
+    results = []
+    for trial in range(trials):
+        result = run_trial(backend, post_kill_batches)
+        print(
+            f"  trial {trial + 1}/{trials}: blackout "
+            f"{result['blackout_seconds']:.3f}s, promotion "
+            f"{result['promotion_seconds']:.3f}s, "
+            f"{result['stored']}/{result['acked']} stored, "
+            f"{result['duplicates']} dups, {result['missing']} missing",
+            flush=True,
+        )
+        results.append(result)
+    return {
+        "trials": trials,
+        "blackout": _stats([r["blackout_seconds"] for r in results]),
+        "promotion": _stats(
+            [r["promotion_seconds"] for r in results
+             if r["promotion_seconds"] is not None]
+        ),
+        "failovers_observed": sum(1 for r in results if r["failovers"] >= 1),
+        "total_acked": sum(r["acked"] for r in results),
+        "total_stored": sum(r["stored"] for r in results),
+        "total_duplicates": sum(r["duplicates"] for r in results),
+        "total_missing": sum(r["missing"] for r in results),
+    }
+
+
+def check_floor(report: Dict[str, object], reference_path: Path) -> int:
+    """CI gate: correctness criteria + a conservative blackout ceiling."""
+    reference = json.loads(reference_path.read_text())
+    reference_p50 = float(reference["failover"]["blackout"]["p50_s"])
+    ceiling = max(FLOOR_CEILING_SECONDS, reference_p50 * FLOOR_MULTIPLE)
+    measured = float(report["failover"]["blackout"]["p50_s"])
+    print(
+        f"failover floor check: measured p50 blackout {measured:.3f}s vs "
+        f"ceiling {ceiling:.1f}s (= max({FLOOR_CEILING_SECONDS:.0f}, "
+        f"{FLOOR_MULTIPLE} * reference {reference_p50:.3f}))"
+    )
+    failed = False
+    if measured > ceiling:
+        print("FAIL: failover blackout regressed above the ceiling")
+        failed = True
+    for criterion in ("every_trial_failed_over", "no_acked_loss",
+                      "no_duplicates"):
+        if not report["summary"].get(criterion, False):
+            print(f"FAIL: criterion {criterion} not met")
+            failed = True
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trials", type=int, default=None)
+    parser.add_argument("--post-kill-batches", type=int,
+                        default=POST_KILL_BATCHES)
+    parser.add_argument("--backend", choices=["thread", "process"], default=None,
+                        help="shard backend (default: REPRO_SHARD_BACKEND or thread)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer trials)")
+    parser.add_argument("--check-floor", type=Path, default=None,
+                        metavar="REFERENCE_JSON",
+                        help="gate against a reference BENCH_failover.json")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the report JSON here")
+    args = parser.parse_args()
+    trials = args.trials or (SMOKE_TRIALS if args.smoke else DEFAULT_TRIALS)
+
+    print(
+        f"failover bench: {trials} kill-the-primary trials, heartbeat "
+        f"{HEARTBEAT_INTERVAL}s x {HEARTBEAT_MISSES} misses, backend "
+        f"{args.backend or 'thread'}",
+        flush=True,
+    )
+    failover = run_phase(trials, args.backend, args.post_kill_batches)
+    print(
+        f"  blackout p50/max: {failover['blackout']['p50_s']}/"
+        f"{failover['blackout']['max_s']} s, promotion p50: "
+        f"{failover['promotion']['p50_s']} s",
+        flush=True,
+    )
+
+    report = {
+        "benchmark": "failover",
+        "smoke": bool(args.smoke),
+        "backend": args.backend or "thread",
+        "records_per_batch": RECORDS_PER_BATCH,
+        "pre_kill_batches": PRE_KILL_BATCHES,
+        "post_kill_batches": args.post_kill_batches,
+        "heartbeat_interval": HEARTBEAT_INTERVAL,
+        "heartbeat_misses": HEARTBEAT_MISSES,
+        "failover": failover,
+        "summary": {
+            "every_trial_failed_over":
+                failover["failovers_observed"] == failover["trials"],
+            "no_acked_loss": failover["total_missing"] == 0
+            and failover["total_stored"] == failover["total_acked"],
+            "no_duplicates": failover["total_duplicates"] == 0,
+            "blackout_p50_s": failover["blackout"]["p50_s"],
+        },
+    }
+    if args.output is not None:
+        args.output.write_text(json.dumps(report, indent=1) + "\n")
+        print(f"wrote {args.output}")
+    if args.check_floor is not None:
+        return check_floor(report, args.check_floor)
+    if not all(
+        report["summary"][k]
+        for k in ("every_trial_failed_over", "no_acked_loss", "no_duplicates")
+    ):
+        print("FAIL: correctness criteria not met")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,13 @@ Python:
     per-tenant topics, token-bucket rate limits, quotas, and
     backpressure mapped to protocol errors, over a durable sharded
     runtime (restarting over an existing store + WAL recovers first).
+    With ``--standby-of`` it instead runs a wire-speaking warm standby
+    that tails a primary's WAL, redirects clients via ``NOT_PRIMARY``,
+    and can promote itself (``--auto-promote``) when heartbeats to
+    ``--primary-addr`` go dead.
+``failover``
+    Promote a wire-speaking standby (``serve --standby-of``) to primary
+    over the wire — the operator half of the HA pair.
 ``ingest``
     Ship a log file into a running ``serve`` instance (batched binary
     frames, automatic retry on backpressure).
@@ -71,6 +78,9 @@ Examples
     python -m repro.cli standby --primary-wal state/wal --standby-dir standby --once
     python -m repro.cli promote --standby-dir standby
     python -m repro.cli serve --store state/models --wal-dir state/wal --port 7171
+    python -m repro.cli serve --standby-of state/wal --standby-dir standby \\
+        --primary-addr 127.0.0.1:7171 --auto-promote --port 7172
+    python -m repro.cli failover --port 7172
     python -m repro.cli ingest --port 7171 --input app.log
     python -m repro.cli query --port 7171 --threshold 0.6
 """
@@ -583,6 +593,131 @@ def _load_tenant_specs(path: Optional[str]):
     return build_tenant_specs(data)
 
 
+def _serve_standby(args: argparse.Namespace, config, tenants) -> int:
+    """``serve --standby-of``: a warm standby that speaks the protocol.
+
+    Tails the primary's WAL root with a :class:`WalShipper`, answers
+    ``hello`` with ``role=standby`` plus the ``--primary-addr`` redirect
+    hint, and refuses writes with ``NOT_PRIMARY`` until promoted — by
+    the ``promote`` op (``cli failover``), or automatically when
+    ``--auto-promote`` heartbeats against the primary go dead.
+    Promotion seals the replica (shipper stop + final catch-up pass over
+    whatever the dead primary left on disk) and swaps in a live runtime
+    serving the same tenant namespace and sequences.
+    """
+    import asyncio
+    import signal
+
+    from repro.service.replication import StandbyRuntime, WalShipper
+    from repro.service.server import LogServer, qualify_topic
+
+    if not args.standby_dir:
+        print("error: --standby-of needs --standby-dir (the replica root)",
+              file=sys.stderr)
+        return 2
+    standby = StandbyRuntime(Path(args.standby_dir), config=config)
+    shipper = WalShipper(Path(args.standby_of), standby)
+    shipper.catch_up()
+    shipper.start()
+
+    def promote_hook():
+        shipper.stop()
+        shipper.catch_up()  # the dead primary's durable tail is still on disk
+        runtime = standby.promote(backend=args.backend)
+        # Tenant topics that never saw a shipped frame must still exist
+        # before clients repoint at the survivor.
+        for spec, topics in tenants:
+            for topic in topics:
+                runtime.create_topic(qualify_topic(spec.name, topic))
+        return standby.service, runtime
+
+    server = LogServer(
+        standby.service,
+        None,
+        tenants,
+        config=config,
+        host=args.host,
+        port=args.port,
+        role="standby",
+        primary_hint=args.primary_addr,
+        promote_hook=promote_hook,
+        auto_promote=args.auto_promote,
+    )
+
+    async def run() -> None:
+        await server.start()
+        if args.ready_file:
+            Path(args.ready_file).write_text(
+                f"{server.host} {server.port}\n", encoding="utf-8"
+            )
+        print(f"standby serving on {server.host}:{server.port} "
+              f"(shipping from {args.standby_of}, "
+              f"auto_promote={args.auto_promote})", flush=True)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, lambda: loop.create_task(server.stop()))
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(run())
+    finally:
+        shipper.stop()
+        if server.runtime is not None:  # promoted during this run
+            server.runtime.shutdown(drain=False)
+        standby.close()
+    print(f"stopped (role={server.role}); counters: {server.counters}")
+    return 0
+
+
+def _cmd_failover(args: argparse.Namespace) -> int:
+    """Promote a standby server over the wire (the operator path)."""
+    import hashlib
+    import hmac
+    import socket
+
+    from repro.service import protocol
+
+    try:
+        sock = socket.create_connection((args.host, args.port), timeout=args.timeout)
+    except OSError as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        rfile = sock.makefile("rb")
+
+        def call(payload: dict) -> dict:
+            sock.sendall(protocol.encode_json_frame(payload))
+            kind, body = protocol.read_frame_sync(rfile, 16 * 1024 * 1024)
+            if kind == -1:
+                raise ConnectionError("server closed the connection")
+            return protocol.decode_json_body(body)
+
+        reply = call({"id": 0, "op": "hello", "tenant": args.tenant})
+        if reply.get("ok") and reply.get("auth") == "challenge":
+            mac = hmac.new(
+                (args.secret or "").encode("utf-8"),
+                str(reply.get("challenge", "")).encode("ascii"),
+                hashlib.sha256,
+            ).hexdigest()
+            reply = call({"id": 1, "op": "auth", "mac": mac})
+        if not reply.get("ok"):
+            print(f"error: handshake refused: {reply.get('error')}: "
+                  f"{reply.get('message')}", file=sys.stderr)
+            return 1
+        reply = call({"id": 2, "op": "promote"})
+    except (OSError, ConnectionError, protocol.FrameError) as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        sock.close()
+    if not reply.get("ok"):
+        print(f"error: promote refused: {reply.get('error')}: "
+              f"{reply.get('message')}", file=sys.stderr)
+        return 1
+    print(f"role={reply.get('role')} promoted={reply.get('promoted')}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
@@ -611,10 +746,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ("max_batch_delay", args.max_batch_delay),
                 ("server_rate_limit", args.rate_limit),
                 ("server_record_quota", args.record_quota),
+                ("ha_heartbeat_interval", args.heartbeat_interval),
+                ("ha_heartbeat_misses", args.heartbeat_misses),
             )
             if value is not None
         }
     )
+    if args.standby_of:
+        return _serve_standby(args, config, tenants)
+    if not args.store or not args.wal_dir:
+        print("error: serve needs --store and --wal-dir (or --standby-of)",
+              file=sys.stderr)
+        return 2
     store_dir, wal_dir = Path(args.store), Path(args.wal_dir)
     runtime_kwargs = dict(backend=args.backend, wal_dir=wal_dir)
 
@@ -906,8 +1049,8 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="run the wire-protocol front door over a durable sharded runtime",
     )
-    serve.add_argument("--store", required=True, help="model store root (one dir per topic)")
-    serve.add_argument("--wal-dir", required=True, help="WAL root directory")
+    serve.add_argument("--store", help="model store root (one dir per topic)")
+    serve.add_argument("--wal-dir", help="WAL root directory")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port", type=int, default=0, help="listen port (0 = pick an ephemeral port)"
@@ -942,12 +1085,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="write '<host> <port>' here once the listener is bound (CI handshake)",
     )
     serve.add_argument(
+        "--standby-of", metavar="PRIMARY_WAL",
+        help="run as a wire-speaking warm standby tailing this primary WAL root",
+    )
+    serve.add_argument(
+        "--standby-dir",
+        help="replica root for --standby-of (gets <dir>/wal and <dir>/store)",
+    )
+    serve.add_argument(
+        "--primary-addr", metavar="HOST:PORT",
+        help="redirect hint handed to clients while this node is a standby; "
+        "also the auto-promote watchdog's heartbeat target",
+    )
+    serve.add_argument(
+        "--auto-promote", action="store_true",
+        help="promote automatically after ha_heartbeat_misses missed "
+        "heartbeats against --primary-addr",
+    )
+    serve.add_argument(
+        "--heartbeat-interval", type=float, default=None,
+        help="seconds between heartbeat probes (config ha_heartbeat_interval)",
+    )
+    serve.add_argument(
+        "--heartbeat-misses", type=int, default=None,
+        help="consecutive missed heartbeats before auto-promote "
+        "(config ha_heartbeat_misses)",
+    )
+    serve.add_argument(
         "--failpoint",
         action="append",
         metavar="SPEC",
         help="arm a failpoint (name:action[:opts]); repeatable",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    failover = subparsers.add_parser(
+        "failover", help="promote a wire-speaking standby server to primary"
+    )
+    failover.add_argument("--host", default="127.0.0.1")
+    failover.add_argument("--port", type=int, required=True,
+                          help="the standby server's port")
+    failover.add_argument("--tenant", default="default",
+                          help="tenant to authenticate the promote op as")
+    failover.add_argument("--secret", default=None,
+                          help="tenant shared secret (if the tenant declares one)")
+    failover.add_argument("--timeout", type=float, default=30.0)
+    failover.set_defaults(func=_cmd_failover)
 
     ingest = subparsers.add_parser(
         "ingest", help="ship a log file to a running front-door server"

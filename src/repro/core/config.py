@@ -252,6 +252,33 @@ class ByteBrainConfig:
     server_byte_quota: Optional[int] = None
 
     # ------------------------------------------------------------------ #
+    # High availability (service/server.py standby role, service/client.py
+    # failover)
+    # ------------------------------------------------------------------ #
+    #: How long the server waits for an idempotent-producer batch's
+    #: durability barrier (process backend: the owning child's WAL append
+    #: ack) before answering ``INTERNAL`` — the client then reconnects
+    #: and replays, and the in-frame dedup mark resolves the ambiguity.
+    server_session_barrier_seconds: float = 30.0
+    #: Interval (seconds) between a standby watchdog's heartbeat probes
+    #: of the primary.
+    ha_heartbeat_interval: float = 0.25
+    #: Consecutive missed heartbeats before the watchdog declares the
+    #: primary dead and auto-promotes the standby.
+    ha_heartbeat_misses: int = 4
+    #: Upper bound (seconds) the client honours for a server-sent
+    #: ``retry_after`` hint — a buggy or hostile server must not be able
+    #: to stall a producer indefinitely.
+    client_retry_after_cap: float = 5.0
+    #: Client reconnect backoff: first delay, cap, and multiplier for the
+    #: capped exponential (full jitter is applied on top).
+    client_reconnect_backoff: float = 0.05
+    client_reconnect_backoff_max: float = 2.0
+    #: Reconnect/failover attempts across the endpoint list before the
+    #: client gives up and surfaces the connection error.
+    client_reconnect_attempts: int = 12
+
+    # ------------------------------------------------------------------ #
     # Per-topic training schedule (service/scheduler.py)
     # ------------------------------------------------------------------ #
     #: Per-topic overrides of the service's default
@@ -344,6 +371,22 @@ class ByteBrainConfig:
             raise ValueError("server_write_buffer_bytes must be >= 4096")
         if self.server_write_timeout_seconds <= 0.0:
             raise ValueError("server_write_timeout_seconds must be positive")
+        if self.server_session_barrier_seconds <= 0.0:
+            raise ValueError("server_session_barrier_seconds must be positive")
+        if self.ha_heartbeat_interval <= 0.0:
+            raise ValueError("ha_heartbeat_interval must be positive")
+        if self.ha_heartbeat_misses < 1:
+            raise ValueError("ha_heartbeat_misses must be >= 1")
+        if self.client_retry_after_cap <= 0.0:
+            raise ValueError("client_retry_after_cap must be positive")
+        if self.client_reconnect_backoff < 0.0:
+            raise ValueError("client_reconnect_backoff must be >= 0")
+        if self.client_reconnect_backoff_max < self.client_reconnect_backoff:
+            raise ValueError(
+                "client_reconnect_backoff_max must be >= client_reconnect_backoff"
+            )
+        if self.client_reconnect_attempts < 1:
+            raise ValueError("client_reconnect_attempts must be >= 1")
         for name in (
             "train_volume_threshold",
             "train_time_interval_seconds",

@@ -107,22 +107,30 @@ class TenantSpec:
     rate_burst: Optional[float] = None
     record_quota: Optional[int] = None
     byte_quota: Optional[int] = None
+    #: Shared secret for the HMAC hello challenge/response; ``None``
+    #: means the tenant authenticates by name alone (trusted network).
+    secret: Optional[str] = None
 
     @classmethod
     def from_dict(cls, data: dict) -> "TenantSpec":
         name = data.get("name")
         if not isinstance(name, str) or not name:
             raise ValueError(f"tenant spec needs a non-empty 'name': {data!r}")
-        known = {"name", "rate_limit", "rate_burst", "record_quota", "byte_quota"}
+        known = {"name", "rate_limit", "rate_burst", "record_quota", "byte_quota",
+                 "secret"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown tenant spec keys for {name!r}: {sorted(unknown)}")
+        secret = data.get("secret")
+        if secret is not None and (not isinstance(secret, str) or not secret):
+            raise ValueError(f"tenant {name!r}: 'secret' must be a non-empty string")
         return cls(
             name=name,
             rate_limit=data.get("rate_limit"),
             rate_burst=data.get("rate_burst"),
             record_quota=data.get("record_quota"),
             byte_quota=data.get("byte_quota"),
+            secret=secret,
         )
 
 

@@ -14,8 +14,22 @@ is the depth-1 convenience.
 Ingest uses the binary batch frame (``encode_record_batch``) so record
 text crosses the wire once.  Batches are split to the server's
 advertised ``max_batch_records`` and retried on the two retryable
-codes (``RATE_LIMITED``, ``BACKPRESSURE``) honouring ``retry_after`` —
-safe because the server guarantees a refused batch was never logged.
+codes (``RATE_LIMITED``, ``BACKPRESSURE``) honouring ``retry_after``
+(capped at ``retry_after_cap`` and jittered so a refused fleet does not
+retry in lockstep) — safe because the server guarantees a refused batch
+was never logged.
+
+High availability: construct the client with ``endpoints=[(host, port),
+...]`` (primary first, standbys after) and a ``producer_id``, and
+ingest becomes self-healing — a dead or demoted endpoint triggers
+reconnection with capped jittered backoff, the session is
+re-established (HMAC handshake included when the tenant has a
+``secret``), and the unacked batch is replayed *with the same
+``batch_seq``* so the server's idempotent-producer dedup turns an
+ambiguous ack into exactly-once.  Callers see none of it except the
+``reconnects`` / ``failovers`` / ``replayed`` / ``deduped`` counters on
+:class:`IngestReport`.  Without a ``producer_id`` a torn connection
+still raises: replaying without dedup state could double-apply.
 
 Run ``python -m repro.service.client --smoke`` against a live server
 for the CI smoke workload: concurrent tenants, optional induced
@@ -25,11 +39,14 @@ backpressure, count verification, clean shutdown.
 from __future__ import annotations
 
 import argparse
+import hashlib
+import hmac
+import random
 import socket
 import sys
 import threading
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from . import protocol
 from .transport import BatchSection, encode_record_batch
@@ -60,6 +77,15 @@ class IngestReport:
         self.retries = 0
         self.backpressure = 0
         self.rate_limited = 0
+        #: Connections re-established mid-ingest (any endpoint).
+        self.reconnects = 0
+        #: Reconnections that landed on a *different* endpoint.
+        self.failovers = 0
+        #: Batches re-sent after an ambiguous ack (connection died between
+        #: send and response).
+        self.replayed = 0
+        #: Replayed batches the server acked as already-applied no-ops.
+        self.deduped = 0
 
     def merge(self, other: "IngestReport") -> None:
         self.accepted += other.accepted
@@ -67,6 +93,10 @@ class IngestReport:
         self.retries += other.retries
         self.backpressure += other.backpressure
         self.rate_limited += other.rate_limited
+        self.reconnects += other.reconnects
+        self.failovers += other.failovers
+        self.replayed += other.replayed
+        self.deduped += other.deduped
 
 
 class ServiceClient:
@@ -79,17 +109,159 @@ class ServiceClient:
         tenant: str,
         timeout: float = 30.0,
         max_frame_bytes: int = 64 * 1024 * 1024,
+        endpoints: Optional[Sequence[Tuple[str, int]]] = None,
+        secret: Optional[str] = None,
+        producer_id: Optional[str] = None,
+        retry_after_cap: float = 5.0,
+        reconnect_backoff: float = 0.05,
+        reconnect_backoff_max: float = 2.0,
+        reconnect_attempts: int = 12,
+        seed: int = 0,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._rfile = self._sock.makefile("rb")
+        #: Known endpoints, tried in order on (re)connect; the server's
+        #: ``primary`` redirect hint is appended when it names a new one.
+        self.endpoints: List[Tuple[str, int]] = (
+            [(h, int(p)) for h, p in endpoints] if endpoints else [(host, port)]
+        )
+        self._endpoint_index = 0
+        self._timeout = timeout
         self._max_frame_bytes = max_frame_bytes
+        self._secret = secret
+        self.producer_id = producer_id
+        #: Ceiling on any server ``retry_after`` hint the client honours.
+        self.retry_after_cap = float(retry_after_cap)
+        self._reconnect_backoff = float(reconnect_backoff)
+        self._reconnect_backoff_max = float(reconnect_backoff_max)
+        self._reconnect_attempts = int(reconnect_attempts)
+        self._rng = random.Random(seed)
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
         self._next_id = 0
         self._in_flight = 0
         self.tenant = tenant
-        self.hello = self.call("hello", tenant=tenant)
-        #: Server-advertised per-frame record ceiling; ingest splits to it.
-        self.max_batch_records = int(self.hello["max_batch_records"])
+        #: Highest ``batch_seq`` the server has acknowledged for this
+        #: producer session (0 without a session).
+        self.producer_seq = 0
+        self.hello: dict = {}
+        self.max_batch_records = 0
+        self.role: Optional[str] = None
+        self._reconnect(report=None, first=True)
+
+    # ------------------------------------------------------------------ #
+    # Connection establishment + self-healing
+    # ------------------------------------------------------------------ #
+
+    def _teardown(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        self._in_flight = 0
+
+    def _open(self, host: str, port: int) -> None:
+        self._sock = socket.create_connection((host, port), timeout=self._timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._rfile = self._sock.makefile("rb")
+
+    def _handshake(self) -> dict:
+        """``hello`` (+ HMAC ``auth`` when challenged) on the raw socket."""
+        params: Dict[str, object] = {"tenant": self.tenant}
+        if self.producer_id is not None:
+            params["producer_id"] = self.producer_id
+        reply = self.call("hello", **params)
+        if reply.get("auth") == "challenge":
+            challenge = str(reply.get("challenge", ""))
+            mac = hmac.new(
+                (self._secret or "").encode("utf-8"),
+                challenge.encode("ascii"),
+                hashlib.sha256,
+            ).hexdigest()
+            # A missing secret still answers (with the empty-key MAC) so
+            # the failure mode is uniform: the server's terminal AUTH.
+            reply = self.call("auth", mac=mac)
+        return reply
+
+    def _note_hint(self, hello: dict) -> None:
+        hint = hello.get("primary")
+        if isinstance(hint, str) and ":" in hint:
+            host, _, port_s = hint.rpartition(":")
+            try:
+                endpoint = (host, int(port_s))
+            except ValueError:
+                return
+            if endpoint not in self.endpoints:
+                self.endpoints.append(endpoint)
+
+    def _reconnect(self, report: Optional["IngestReport"], first: bool = False) -> None:
+        """(Re)connect to the first endpoint answering as primary.
+
+        Cycles through the endpoint list (following ``primary`` redirect
+        hints from standbys) under capped jittered exponential backoff.
+        Auth and tenant errors propagate immediately — retrying wrong
+        credentials cannot succeed; only transport failures and
+        standby answers keep the loop hunting.
+        """
+        previous = self._endpoint_index
+        self._teardown()
+        delay = self._reconnect_backoff
+        last_error: Optional[BaseException] = None
+        for _ in range(max(1, self._reconnect_attempts)):
+            for offset in range(len(self.endpoints)):
+                index = (self._endpoint_index + offset) % len(self.endpoints)
+                host, port = self.endpoints[index]
+                try:
+                    self._open(host, port)
+                    hello = self._handshake()
+                except ServerError as exc:
+                    self._teardown()
+                    if exc.code == protocol.ERR_NOT_PRIMARY:
+                        last_error = exc
+                        continue
+                    raise
+                except (OSError, ConnectionError, protocol.FrameError) as exc:
+                    self._teardown()
+                    last_error = exc
+                    continue
+                if hello.get("role", "primary") != "primary":
+                    self._note_hint(hello)
+                    self._teardown()
+                    last_error = ConnectionError(
+                        f"{host}:{port} is a standby (no promoted primary yet)"
+                    )
+                    continue
+                self._endpoint_index = index
+                self.hello = hello
+                self.role = "primary"
+                self.max_batch_records = int(hello["max_batch_records"])
+                if self.producer_id is not None and first:
+                    # Resume after the server's durable high-water mark.
+                    # On later reconnects the client's own counter stays
+                    # authoritative: the survivor's mark can only be at or
+                    # one ahead of it (replay + dedup absorbs the one),
+                    # and a server *behind* it means acked data was lost —
+                    # the replay's gap error surfaces that loudly instead
+                    # of silently resequencing.
+                    self.producer_seq = int(hello.get("producer_seq", 0))
+                if report is not None:
+                    report.reconnects += 1
+                    if index != previous:
+                        report.failovers += 1
+                return
+            sleep = delay * (1.0 + self._rng.uniform(0.0, 0.25))
+            time.sleep(sleep)
+            delay = min(delay * 2.0, self._reconnect_backoff_max)
+        raise ConnectionError(
+            f"no primary reachable across {len(self.endpoints)} endpoint(s) "
+            f"after {self._reconnect_attempts} rounds: {last_error}"
+        )
 
     # ------------------------------------------------------------------ #
     # Raw pipelined frame IO
@@ -104,12 +276,16 @@ class ServiceClient:
         self._in_flight += 1
         return request_id
 
-    def send_batch(self, sections: Sequence[BatchSection]) -> int:
-        """Queue one binary ingest frame for ``sections``."""
+    def send_batch(self, sections: Sequence[BatchSection], **header) -> int:
+        """Queue one binary ingest frame for ``sections``.
+
+        Extra keyword arguments (e.g. ``batch_seq`` for producer
+        sessions) travel in the frame's JSON header.
+        """
         request_id = self._next_id
         self._next_id += 1
         frame = protocol.encode_batch_frame(
-            {"id": request_id}, encode_record_batch(list(sections))
+            {"id": request_id, **header}, encode_record_batch(list(sections))
         )
         self._sock.sendall(frame)
         self._in_flight += 1
@@ -135,6 +311,17 @@ class ServiceClient:
     # Ingest with splitting + retry
     # ------------------------------------------------------------------ #
 
+    def _retry_sleep(self, retry_after: float) -> None:
+        """Honour a server ``retry_after`` hint, capped and jittered.
+
+        The cap bounds how long one refusal can stall a closed-loop
+        worker regardless of what the server computed; the jitter keeps
+        a fleet refused together from retrying together.
+        """
+        wait = min(max(retry_after, 0.001), self.retry_after_cap)
+        time.sleep(min(wait * (1.0 + self._rng.uniform(0.0, 0.25)),
+                       self.retry_after_cap))
+
     def ingest(
         self,
         topic: str,
@@ -149,7 +336,16 @@ class ServiceClient:
         Every record is either acked by the server or an exception is
         raised — there is no silent-drop path.  Retryable refusals
         (``RATE_LIMITED`` / ``BACKPRESSURE``) re-send the same chunk
-        after the server's ``retry_after`` hint; anything else raises.
+        after the server's (capped, jittered) ``retry_after`` hint;
+        anything else raises.
+
+        With a producer session each chunk is one idempotent wire batch:
+        one topic, the next monotone ``batch_seq``, one outstanding.  A
+        connection that dies between send and ack leaves the batch's
+        fate unknown — the client reconnects (failing over if needed)
+        and replays it under the *same* ``batch_seq``; the server either
+        applies it or acks it as a dedup no-op, so the records land
+        exactly once either way.
         """
         if timestamps is None:
             ts = float(timestamp if timestamp is not None else time.time())
@@ -157,7 +353,8 @@ class ServiceClient:
         if len(timestamps) != len(raws):
             raise ValueError("timestamps and raws must have equal length")
         report = report if report is not None else IngestReport()
-        chunk = self.max_batch_records
+        session = self.producer_id is not None
+        chunk = max(1, self.max_batch_records)
         for start in range(0, len(raws), chunk):
             section = BatchSection(
                 topic=topic,
@@ -165,12 +362,21 @@ class ServiceClient:
                 timestamps=list(timestamps[start : start + chunk]),
                 raws=list(raws[start : start + chunk]),
             )
+            batch_seq = self.producer_seq + 1
             attempts = 0
             while True:
-                self.send_batch([section])
                 try:
+                    if session:
+                        self.send_batch([section], batch_seq=batch_seq)
+                    else:
+                        self.send_batch([section])
                     response = self.recv()
                 except ServerError as exc:
+                    if exc.code == protocol.ERR_NOT_PRIMARY and session:
+                        # The endpoint demoted under us (or we raced a
+                        # promotion): hunt for the primary and replay.
+                        self._reconnect(report)
+                        continue
                     if not exc.retryable:
                         raise
                     attempts += 1
@@ -181,10 +387,31 @@ class ServiceClient:
                         report.rate_limited += 1
                     if attempts > max_retries:
                         raise
-                    time.sleep(max(exc.retry_after, 0.001))
+                    self._retry_sleep(exc.retry_after)
                     continue
-                report.accepted += int(response["accepted"])
+                except (ConnectionError, OSError):
+                    if not session:
+                        # Without dedup state a replay could double-apply;
+                        # the ambiguity belongs to the caller.
+                        raise
+                    attempts += 1
+                    if attempts > max_retries:
+                        # A backend that wedges on every replay must fail
+                        # loudly, not trap the producer in a silent loop.
+                        raise
+                    self._reconnect(report)
+                    report.replayed += 1
+                    continue
+                if response.get("deduped"):
+                    # A previous delivery (whose ack we lost) applied it:
+                    # the records are durable server-side, so they count.
+                    report.deduped += 1
+                    report.accepted += len(section.raws)
+                else:
+                    report.accepted += int(response["accepted"])
                 report.batches += 1
+                if session:
+                    self.producer_seq = batch_seq
                 break
         return report
 
@@ -208,14 +435,7 @@ class ServiceClient:
         self.call("shutdown")
 
     def close(self) -> None:
-        try:
-            self._rfile.close()
-        except OSError:
-            pass
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._teardown()
 
     def __enter__(self) -> "ServiceClient":
         return self

@@ -41,10 +41,12 @@ __all__ = [
     "FRAME_HEADER_BYTES",
     "KIND_BATCH",
     "KIND_JSON",
+    "ERR_AUTH",
     "ERR_BACKPRESSURE",
     "ERR_BAD_REQUEST",
     "ERR_FRAME_TOO_LARGE",
     "ERR_INTERNAL",
+    "ERR_NOT_PRIMARY",
     "ERR_QUOTA_EXCEEDED",
     "ERR_RATE_LIMITED",
     "ERR_SHUTTING_DOWN",
@@ -94,6 +96,13 @@ ERR_UNAUTHENTICATED = "UNAUTHENTICATED"
 ERR_SHUTTING_DOWN = "SHUTTING_DOWN"
 #: Unexpected server-side failure; details in the message.
 ERR_INTERNAL = "INTERNAL"
+#: The HMAC challenge/response failed (wrong or missing shared secret).
+#: Terminal: the connection is closed and retrying cannot help.
+ERR_AUTH = "AUTH"
+#: This node is a standby replica; writes must go to the primary.  The
+#: response carries a ``primary`` hint (``"host:port"`` or ``None``)
+#: the client should fail over to.
+ERR_NOT_PRIMARY = "NOT_PRIMARY"
 
 #: Errors a client may retry verbatim without risking duplicates: the
 #: server guarantees nothing was logged or enqueued before raising them.

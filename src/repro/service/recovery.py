@@ -84,6 +84,9 @@ class RecoveryReport:
     torn_segments: int = 0
     #: Non-fatal irregularities (sequence gaps, unknown-topic records).
     warnings: List[str] = field(default_factory=list)
+    #: Idempotent-producer dedup high-water marks restored from frame-
+    #: embedded marks (version-2 segments) and sessions.json checkpoints.
+    producer_marks: Dict[str, int] = field(default_factory=dict)
 
     @property
     def replayed_records(self) -> int:
@@ -97,6 +100,7 @@ class RecoveryReport:
             "torn_segments": self.torn_segments,
             "replayed_records": self.replayed_records,
             "warnings": list(self.warnings),
+            "producer_marks": dict(self.producer_marks),
         }
 
 
@@ -154,6 +158,21 @@ class RecoveredRuntime:
         report.segments_read = len(segment_infos)
         report.frames_read = sum(info.n_frames for info in segment_infos)
         report.torn_segments = sum(1 for info in segment_infos if info.torn_tail)
+
+        # Restore idempotent-producer dedup state: max-merge the marks
+        # embedded in the replayed frames with the sessions.json
+        # checkpoints (which outlive truncated segments), and checkpoint
+        # the merge to the root file *before* the runtime exists — the
+        # runtime seeds its in-memory marks from the WAL, and any later
+        # truncation re-checkpoints from there.
+        marks: Dict[str, int] = wal.producer_marks()
+        for info in segment_infos:
+            for key, seq in info.producer_marks.items():
+                if seq > marks.get(key, 0):
+                    marks[key] = seq
+        if marks:
+            wal.record_producer_marks(marks)
+        report.producer_marks = dict(marks)
 
         topic_names = sorted(
             {p.parent.name for p in store_root.glob("*/manifest.json")}

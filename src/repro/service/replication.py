@@ -39,6 +39,7 @@ diverging.
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 import zlib
@@ -52,11 +53,14 @@ from repro.service.service import LogParsingService
 from repro.service.wal import (
     _FRAME_HEADER,
     _MAGIC,
+    _MAGIC_V2,
+    _SESSIONS_FILE,
     WalCorruptionError,
     WalRecord,
     WriteAheadLog,
-    _decode_payload,
     _segment_paths,
+    decode_frame_payload,
+    segment_version,
 )
 
 __all__ = ["ShipperStats", "WalShipper", "StandbyRuntime"]
@@ -140,6 +144,9 @@ class WalShipper:
                 continue
         #: Highest seq seen per topic in shipped frames (feeds lag()).
         self._shipped_seqs: Dict[str, int] = {}
+        #: Primary segment path -> frame-format version (read from its
+        #: magic once; a seeded cursor resumes past the magic bytes).
+        self._versions: Dict[Path, int] = {}
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._ship_lock = threading.Lock()
@@ -164,7 +171,29 @@ class WalShipper:
             # Forget cursors of segments the primary truncated away.
             for path in [p for p in self._cursors if not p.exists()]:
                 del self._cursors[path]
+                self._versions.pop(path, None)
+            self._ship_sessions()
             return shipped
+
+    def _ship_sessions(self) -> None:
+        """Carry the primary's checkpointed producer marks to the standby.
+
+        The in-frame marks cover everything the shipper sees; this file
+        covers marks whose carrying segments the primary truncated before
+        this standby ever connected (a standby seeded mid-life).  Reads
+        are tolerant: the file is written crash-atomically, so a parse
+        error means only that a write raced the read — retried next round.
+        """
+        path = self.primary_root / _SESSIONS_FILE
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        marks = {
+            str(key): int(seq) for key, seq in data.get("producers", {}).items()
+        }
+        if marks:
+            self.standby.observe_producer_marks(marks)
 
     def _ship_segment(self, shard_name: str, path: Path) -> int:
         offset = self._cursors.get(path, len(_MAGIC))
@@ -183,21 +212,25 @@ class WalShipper:
             if size <= offset:
                 return 0
             with open(path, "rb") as handle:
-                if offset == len(_MAGIC):
-                    magic = handle.read(len(_MAGIC))
-                    if len(magic) < len(_MAGIC):
-                        return 0  # segment still being created
-                    if magic != _MAGIC:
-                        raise WalCorruptionError(f"bad segment magic in {path}")
-                else:
+                magic = handle.read(len(_MAGIC))
+                if len(magic) < len(_MAGIC):
+                    return 0  # segment still being created
+                version = segment_version(magic)
+                if version is None:
+                    raise WalCorruptionError(f"bad segment magic in {path}")
+                self._versions[path] = version
+                if offset > len(_MAGIC):
                     handle.seek(offset)
                 data = handle.read()
         except OSError:
             return 0  # truncated away between listing and reading
-        frames, records, consumed = self._parse_frames(path, data)
+        frames, records, marks, consumed = self._parse_frames(path, data, version)
         if consumed == 0:
             return 0
-        self.standby._receive(shard_name, path.name, b"".join(frames), records)
+        self.standby._receive(
+            shard_name, path.name, b"".join(frames), records,
+            version=version, producer_marks=marks,
+        )
         for record in records:
             if record.seq > self._shipped_seqs.get(record.topic, 0):
                 self._shipped_seqs[record.topic] = record.seq
@@ -207,16 +240,20 @@ class WalShipper:
         self.stats.bytes_shipped += consumed
         return len(frames)
 
-    def _parse_frames(self, path, data: bytes):
+    def _parse_frames(self, path, data: bytes, version: int = 2):
         """Split ``data`` into complete CRC-valid frames.
 
-        Returns ``(frame_bytes, records, bytes_consumed)``.  An
-        incomplete or CRC-bad suffix at the very end is an append in
+        Returns ``(frame_bytes, records, producer_marks, bytes_consumed)``.
+        An incomplete or CRC-bad suffix at the very end is an append in
         flight (or a crash's torn tail) — left unconsumed for the next
         round.  A bad frame with more data after it is corruption.
+        ``version`` selects the frame decoder (the segment magic's
+        format); v2 frames may carry producer dedup marks, returned
+        max-merged per producer key.
         """
         frames: List[bytes] = []
         records: List[WalRecord] = []
+        marks: Dict[str, int] = {}
         position = 0
         total = len(data)
         while position + _FRAME_HEADER.size <= total:
@@ -229,7 +266,7 @@ class WalShipper:
             bad = zlib.crc32(payload) != crc
             if not bad:
                 try:
-                    decoded = _decode_payload(payload)
+                    decoded, frame_marks = decode_frame_payload(payload, version)
                 except Exception:
                     bad = True
             if bad:
@@ -241,8 +278,11 @@ class WalShipper:
                 )
             frames.append(data[position:end])
             records.extend(decoded)
+            for key, seq in frame_marks.items():
+                if seq > marks.get(key, 0):
+                    marks[key] = seq
             position = end
-        return frames, records, position
+        return frames, records, marks, position
 
     def catch_up(self, max_rounds: int = 1000) -> int:
         """Ship inline until a full scan finds nothing new; returns the
@@ -344,6 +384,9 @@ class StandbyRuntime:
         )
         #: Per-topic highest applied seq (the standby's replay watermark).
         self._applied: Dict[str, int] = {}
+        #: Per-producer dedup high-water marks carried by shipped frames
+        #: (``tenant::producer_id`` -> highest applied wire batch_seq).
+        self._producer_marks: Dict[str, int] = {}
         self._lock = threading.Lock()
         self._promoted = False
         self.warnings: List[str] = []
@@ -366,9 +409,15 @@ class StandbyRuntime:
             sync_mode=self.config.wal_sync_mode,
             segment_bytes=self.config.wal_segment_bytes,
         )
-        records_by_topic, _ = replica.replay_records()
+        records_by_topic, infos = replica.replay_records()
         for topic_name in sorted(records_by_topic):
             self.apply_records(records_by_topic[topic_name])
+        # Producer marks survive a standby restart two ways: in-frame
+        # (read back here) and checkpointed to the replica's sessions.json
+        # at promote time / by the shipper's sessions pass.
+        for info in infos:
+            self.observe_producer_marks(info.producer_marks)
+        self.observe_producer_marks(replica.producer_marks())
 
     def replica_segments(self) -> List[Path]:
         """Every mirrored segment file under the replica WAL root."""
@@ -383,15 +432,21 @@ class StandbyRuntime:
     # receiving (called by the shipper)
     # ------------------------------------------------------------------ #
     def _receive(self, shard_name: str, segment_name: str, frame_bytes: bytes,
-                 records: List[WalRecord]) -> None:
+                 records: List[WalRecord], version: int = 2,
+                 producer_marks: Optional[Dict[str, int]] = None) -> None:
         """Mirror one batch of frames to disk, then replay its records."""
         with self._lock:
             if self._promoted:
                 raise RuntimeError("standby was promoted; no longer accepting frames")
-            self._mirror(shard_name, segment_name, frame_bytes)
+            self._mirror(shard_name, segment_name, frame_bytes, version)
             self.apply_records(records)
+            if producer_marks:
+                for key, seq in producer_marks.items():
+                    if seq > self._producer_marks.get(key, 0):
+                        self._producer_marks[key] = seq
 
-    def _mirror(self, shard_name: str, segment_name: str, frame_bytes: bytes) -> None:
+    def _mirror(self, shard_name: str, segment_name: str, frame_bytes: bytes,
+                version: int = 2) -> None:
         directory = self.wal_root / shard_name
         path = directory / segment_name
         handle = self._mirror_files.get(path)
@@ -400,9 +455,20 @@ class StandbyRuntime:
             fresh = not path.exists() or path.stat().st_size == 0
             handle = open(path, "ab", buffering=0)
             if fresh:
-                handle.write(_MAGIC)
+                # The mirror stays byte-for-byte identical to its source
+                # segment, magic included — the frames that follow are in
+                # the source's format, and the replica must replay as-is.
+                handle.write(_MAGIC if version == 1 else _MAGIC_V2)
             self._mirror_files[path] = handle
         handle.write(frame_bytes)
+
+    def observe_producer_marks(self, marks: Dict[str, int]) -> None:
+        """Max-merge externally sourced producer marks (sessions file,
+        replica resume scan) into the follower's dedup state."""
+        for key, seq in marks.items():
+            seq = int(seq)
+            if seq > self._producer_marks.get(key, 0):
+                self._producer_marks[key] = seq
 
     def apply_records(self, records: List[WalRecord]) -> int:
         """Replay shipped records into the follower engines.
@@ -456,6 +522,10 @@ class StandbyRuntime:
         """Per-topic highest seq replayed into the follower engines."""
         return dict(self._applied)
 
+    def producer_marks(self) -> Dict[str, int]:
+        """Per-producer dedup high-water marks the follower has observed."""
+        return dict(self._producer_marks)
+
     def stats(self) -> Dict[str, object]:
         return {
             "promoted": self._promoted,
@@ -493,6 +563,10 @@ class StandbyRuntime:
             sync_mode=self.config.wal_sync_mode,
             segment_bytes=self.config.wal_segment_bytes,
         )
+        # Checkpoint the observed producer marks into the replica root so
+        # the promoted node's own recovery (and any standby re-seeded off
+        # it) inherits the dedup state even after truncation.
+        wal.record_producer_marks(self._producer_marks)
         wal_positions = {
             topic: (0, applied + 1) for topic, applied in self._applied.items()
         }

@@ -82,7 +82,7 @@ from repro.core import failpoints
 from repro.core.parallel import shared_executor
 from repro.core.retry import RetryPolicy
 from repro.service.engine import TopicEngine
-from repro.service.wal import WriteAheadLog
+from repro.service.wal import WalRecord, WriteAheadLog
 
 __all__ = ["ShardBusy", "ShardStats", "ShardTransport", "ShardedRuntime", "create_runtime"]
 
@@ -355,6 +355,23 @@ class ShardTransport:
             raise ShardBusy(shard, depth, self.queue_capacity, self.max_batch_delay)
         return self.submit_many(topic_name, raws, timestamp)
 
+    def create_topic(self, topic_name: str):
+        """Create ``topic_name`` if missing and return its engine.
+
+        The thread backend shares the service registry with its workers,
+        so creating it on the service is enough; the process backend
+        overrides this to also teach the owning worker process.
+        """
+        try:
+            return self.service.topic(topic_name)
+        except KeyError:
+            return self.service.create_topic(topic_name)
+
+    def producer_marks(self) -> Dict[str, int]:
+        """Idempotent-producer dedup high-water marks (see the concrete
+        backends; transports without session support report none)."""
+        return {}
+
     def __enter__(self):
         return self
 
@@ -496,6 +513,14 @@ class ShardedRuntime(ShardTransport):
             if self.wal is not None
             else []
         )
+        #: Idempotent-producer dedup high-water marks (seeded from the
+        #: WAL's sessions.json checkpoints; frame-embedded marks reach the
+        #: checkpoint through recovery before a runtime is built over an
+        #: existing log).  Checkpointed back before any truncation.
+        self._producer_marks: Dict[str, int] = (
+            self.wal.producer_marks() if self.wal is not None else {}
+        )
+        self._producer_marks_lock = threading.Lock()
         self._executor = executor if executor is not None else shared_executor()
         self._queues: List[_ShardQueue] = [_ShardQueue(capacity) for _ in range(self.n_shards)]
         self._shard_stats = [ShardStats(shard=index) for index in range(self.n_shards)]
@@ -613,6 +638,86 @@ class ShardedRuntime(ShardTransport):
                 shard_queue.put(_IngestItem(topic_name, raw, timestamp, 0))
         return len(raws)
 
+    def submit_session_batch(
+        self,
+        topic_name: str,
+        raws: Sequence[str],
+        timestamps: Sequence[float],
+        session_key: str,
+        batch_seq: int,
+        timeout: float = 30.0,
+    ) -> int:
+        """Durably apply one idempotent-producer wire batch.
+
+        The records *and* the producer's ``(session_key, batch_seq)``
+        dedup mark land in one WAL frame (``ShardWal.append`` with a
+        session), so the mark is recoverable if and only if every record
+        it covers is — a replayed batch can never be half-deduplicated.
+        The append is synchronous on this backend, so when this returns
+        the batch is exactly as durable as any acked ``submit_many``.
+        ``timeout`` is accepted for interface parity with the process
+        backend and unused here.
+        """
+        if self._closed:
+            raise RuntimeError("runtime is shut down")
+        self.service.topic(topic_name)
+        if len(raws) != len(timestamps):
+            raise ValueError("raws and timestamps must have the same length")
+        if not raws:
+            # Even an empty batch's ack promises a durable mark.
+            if self.wal is not None:
+                shard = self.shard_of(topic_name)
+                with self._wal_locks[shard]:
+                    self._shard_wals[shard].append(
+                        [], session=[(session_key, int(batch_seq))]
+                    )
+            self._note_producer_mark(session_key, int(batch_seq))
+            return 0
+        shard = self.shard_of(topic_name)
+        shard_queue = self._queues[shard]
+        if self.wal is not None:
+            with self._wal_locks[shard]:
+                if shard_queue.closed:
+                    raise RuntimeError(
+                        "shard queue is closed (shutdown or dead worker)"
+                    )
+                base, next_seq = self._wal_positions.get(topic_name, (0, 1))
+                records = [
+                    WalRecord(topic_name, next_seq + offset, float(timestamps[offset]), raw)
+                    for offset, raw in enumerate(raws)
+                ]
+                self._shard_wals[shard].append(
+                    records, session=[(session_key, int(batch_seq))]
+                )
+                self._wal_positions[topic_name] = (base, next_seq + len(raws))
+                for record in records:
+                    shard_queue.put(
+                        _IngestItem(topic_name, record.raw, record.timestamp, record.seq)
+                    )
+        else:
+            for offset, raw in enumerate(raws):
+                shard_queue.put(_IngestItem(topic_name, raw, float(timestamps[offset]), 0))
+        self._note_producer_mark(session_key, int(batch_seq))
+        return len(raws)
+
+    def _note_producer_mark(self, session_key: str, batch_seq: int) -> None:
+        with self._producer_marks_lock:
+            if batch_seq > self._producer_marks.get(session_key, 0):
+                self._producer_marks[session_key] = batch_seq
+
+    def producer_marks(self) -> Dict[str, int]:
+        """Per-producer dedup high-water marks (durable + this run's)."""
+        with self._producer_marks_lock:
+            return dict(self._producer_marks)
+
+    def _checkpoint_marks_and_truncate(self) -> None:
+        """Persist producer marks, then reclaim segments (truncation may
+        delete the frames that carried a producer's latest mark)."""
+        marks = self.producer_marks()
+        if marks:
+            self.wal.record_producer_marks(marks)
+        self.wal.truncate(self._wal_floors())
+
     def drain(self) -> None:
         """Block until all accepted records are ingested, every dispatched
         round committed, and no armed training trigger is left unfired.
@@ -659,7 +764,7 @@ class ShardedRuntime(ShardTransport):
                     # accepted so far is fsynced, and segments every
                     # retained snapshot has captured are reclaimed.
                     self.wal.sync_all()
-                    self.wal.truncate(self._wal_floors())
+                    self._checkpoint_marks_and_truncate()
                 return
 
     def _raise_on_dead_workers(self) -> None:
@@ -961,7 +1066,7 @@ class ShardedRuntime(ShardTransport):
                     # steps only leaves *extra* log to replay, never too
                     # little.
                     self.wal.set_captured(topic_name, captured_seq)
-                    self.wal.truncate(self._wal_floors())
+                    self._checkpoint_marks_and_truncate()
             else:
                 engine.persist_round(prepared)
         except Exception as error:
@@ -1060,7 +1165,7 @@ class ShardedRuntime(ShardTransport):
                 engine.persist_round(prepared, extra_metadata={"wal_seq": captured_seq})
                 if prepared.model_changed and engine.store is not None:
                     self.wal.set_captured(topic_name, captured_seq)
-                    self.wal.truncate(self._wal_floors())
+                    self._checkpoint_marks_and_truncate()
             else:
                 engine.persist_round(prepared)
             return {

@@ -39,6 +39,24 @@ memory or wedging the loop.
 **Blocking ops leave the loop.**  Queries, analytics, training and
 drain run in a thread-pool executor; the event loop only ever does
 admission arithmetic, WAL appends, and frame IO.
+
+**Idempotent producer sessions.**  A ``hello`` carrying a
+``producer_id`` opens a ``(tenant, producer_id)`` session; each batch
+frame then carries a monotone ``batch_seq``.  The server embeds the
+producer's dedup high-water mark *inside the WAL frame holding the
+batch's records* (``submit_session_batch``), so the mark is durable
+exactly when the records are: recovery, and the WAL shipper feeding a
+standby, restore dedup state together with the data, and a batch
+replayed after an ack was lost — to this node or to a promoted standby
+— is acknowledged as a no-op instead of applied twice.
+
+**Roles.**  A server runs as ``primary`` (the default) or ``standby``.
+A standby answers ``hello`` with ``role=standby`` plus a redirect hint
+and refuses writes with ``NOT_PRIMARY``; ``promote`` (the ``cli
+failover`` op, or the auto-promote watchdog after missed heartbeats)
+seals the underlying :class:`~repro.service.replication.StandbyRuntime`
+and swaps a live runtime in, after which the same tenants and sequences
+are served from the replica.
 """
 
 from __future__ import annotations
@@ -46,11 +64,16 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import dataclasses
+import hmac as hmac_mod
+import hashlib
 import logging
+import os
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..core import failpoints
 from ..core.config import ByteBrainConfig
+from ..core.retry import RetryPolicy
 from .admission import AdmissionController, TenantSpec
 from .runtime import ShardBusy
 from . import protocol
@@ -74,10 +97,11 @@ def build_tenant_specs(data: Sequence[dict]) -> List[Tuple[TenantSpec, List[str]
     """Parse tenant declarations (``cli serve --tenants`` JSON).
 
     Each entry is a :class:`TenantSpec` dict plus an optional
-    ``topics`` list naming the wire topics to pre-create.  Topics are
-    declared up front because the process shard backend forks its
-    workers with the topic set fixed; the thread backend additionally
-    allows the ``create_topic`` op at runtime.
+    ``topics`` list naming the wire topics to pre-create.  Pre-declared
+    topics skip the per-topic ``create_topic`` roundtrip at runtime
+    (both backends also accept the op live — the process backend
+    registers new topics with its shard workers over the control
+    channel).
     """
     specs: List[Tuple[TenantSpec, List[str]]] = []
     for entry in data:
@@ -105,11 +129,35 @@ def _check_wire_topic(topic: str) -> None:
 class _RequestError(Exception):
     """Internal: abort request handling with a protocol error response."""
 
-    def __init__(self, code: str, message: str, **extra: object) -> None:
+    def __init__(self, code: str, message: str, close: bool = False,
+                 **extra: object) -> None:
         super().__init__(message)
         self.code = code
         self.message = message
+        self.close = close
         self.extra = extra
+
+
+class _ConnState:
+    """Per-connection handshake + session state.
+
+    ``tenant`` is set only once the connection is authenticated.  When a
+    tenant declares a shared secret, ``hello`` stores the outstanding
+    challenge here and authentication completes on the ``auth`` frame;
+    ``producer_key`` (``tenant::producer_id``) marks an idempotent
+    producer session — batch frames on such a connection must carry a
+    ``batch_seq`` and are deduplicated against the server's mark table.
+    """
+
+    __slots__ = ("tenant", "producer_key", "challenge",
+                 "pending_tenant", "pending_producer")
+
+    def __init__(self) -> None:
+        self.tenant: Optional[str] = None
+        self.producer_key: Optional[str] = None
+        self.challenge: Optional[str] = None
+        self.pending_tenant: Optional[str] = None
+        self.pending_producer: Optional[str] = None
 
 
 class LogServer:
@@ -120,6 +168,18 @@ class LogServer:
     tenants' pre-created topics.  The server owns no storage — stopping
     it leaves service + runtime usable (and :meth:`stop` has already
     drained, so everything acked is on disk).
+
+    With ``role="standby"`` the server answers ``hello``/``ping``/
+    ``stats`` but refuses all data-plane work with ``NOT_PRIMARY`` (the
+    response carries ``primary_hint`` so clients can redirect).
+    ``runtime``/``service`` may be ``None`` until ``promote_hook`` — a
+    blocking callable returning ``(service, runtime)``, typically
+    wrapping :meth:`~repro.service.replication.StandbyRuntime.promote`
+    — installs them via the ``promote`` op, ``promote()``, or the
+    auto-promote watchdog (``auto_promote=True`` + ``primary_hint``),
+    which probes the primary with ``ping`` heartbeats every
+    ``ha_heartbeat_interval`` seconds and promotes after
+    ``ha_heartbeat_misses`` consecutive missed deadlines.
     """
 
     def __init__(
@@ -130,23 +190,46 @@ class LogServer:
         config: Optional[ByteBrainConfig] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        role: str = "primary",
+        primary_hint: Optional[str] = None,
+        promote_hook: Optional[Callable[[], Tuple[object, object]]] = None,
+        auto_promote: bool = False,
     ) -> None:
+        if role not in ("primary", "standby"):
+            raise ValueError(f"role must be 'primary' or 'standby', not {role!r}")
+        if role == "primary" and runtime is None:
+            raise ValueError("a primary server needs a runtime")
         self.service = service
         self.runtime = runtime
         self.config = config or getattr(service, "config", None) or ByteBrainConfig()
         self.host = host
         self.port = port  # replaced with the bound port after start()
+        self.role = role
+        self.primary_hint = primary_hint
+        self._promote_hook = promote_hook
+        self._auto_promote = auto_promote
         self.admission = AdmissionController(self.config)
         #: wire topic names per tenant (authorisation set for queries).
         self._topics: Dict[str, set] = {}
+        #: shared secrets for tenants that require the HMAC handshake.
+        self._secrets: Dict[str, str] = {}
         for spec, topics in tenants:
             self.admission.register(spec)
             self._topics[spec.name] = set(topics)
+            if spec.secret is not None:
+                self._secrets[spec.name] = spec.secret
+        #: idempotent-producer dedup high-water marks, seeded from the
+        #: runtime (which read them from the WAL at open/recovery time).
+        self._producer_marks: Dict[str, int] = (
+            dict(runtime.producer_marks()) if runtime is not None else {}
+        )
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set = set()
         self._closing = False
         self._stopped = asyncio.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._promote_lock = threading.Lock()
+        self._watchdog_task: Optional[asyncio.Task] = None
         self._executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=4, thread_name_prefix="frontdoor"
         )
@@ -159,6 +242,9 @@ class LogServer:
             "backpressure": 0,
             "rate_limited": 0,
             "quota_refused": 0,
+            "deduped_batches": 0,
+            "auth_failures": 0,
+            "not_primary": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -172,7 +258,10 @@ class LogServer:
             self._handle_connection, host=self.host, port=self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
-        logger.info("front door listening on %s:%d", self.host, self.port)
+        logger.info("front door listening on %s:%d (role=%s)",
+                    self.host, self.port, self.role)
+        if self.role == "standby" and self._auto_promote and self.primary_hint:
+            self._watchdog_task = self._loop.create_task(self._heartbeat_watchdog())
 
     async def serve_until_stopped(self) -> None:
         """Run until :meth:`stop` (or the ``shutdown`` op) completes."""
@@ -193,10 +282,13 @@ class LogServer:
             await self._stopped.wait()
             return
         self._closing = True
-        try:
-            await self._run_blocking(self.runtime.drain)
-        except Exception:
-            logger.exception("drain during shutdown failed")
+        if self._watchdog_task is not None:
+            self._watchdog_task.cancel()
+        if self.runtime is not None:
+            try:
+                await self._run_blocking(self.runtime.drain)
+            except Exception:
+                logger.exception("drain during shutdown failed")
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -210,6 +302,114 @@ class LogServer:
         return await loop.run_in_executor(self._executor, fn, *args)
 
     # ------------------------------------------------------------------ #
+    # Failover
+    # ------------------------------------------------------------------ #
+
+    async def promote(self, reason: str = "operator") -> bool:
+        """Promote a standby to primary; idempotent, returns True if the
+        role changed.
+
+        The promote hook (shipper stop + catch-up + WAL seal + runtime
+        construction) blocks for as long as replay takes, so it runs in
+        the executor; the role flips only after the new runtime is live,
+        and its recovered producer marks are merged into the dedup table
+        before any client can reach the ingest path again.
+        """
+        if self.role == "primary":
+            return False
+        if self._promote_hook is None:
+            raise _RequestError(protocol.ERR_BAD_REQUEST,
+                                "this standby has no promote hook wired")
+
+        def _do_promote():
+            with self._promote_lock:
+                if self.role == "primary":
+                    return False
+                service, runtime = self._promote_hook()
+                self.service = service
+                self.runtime = runtime
+                for key, seq in runtime.producer_marks().items():
+                    if seq > self._producer_marks.get(key, 0):
+                        self._producer_marks[key] = seq
+                # Publish last: connections observe role=="standby" until
+                # the runtime above is fully in place.
+                self.role = "primary"
+                return True
+
+        promoted = await self._run_blocking(_do_promote)
+        if promoted:
+            logger.warning("promoted standby to primary (reason=%s)", reason)
+            if self._watchdog_task is not None:
+                self._watchdog_task.cancel()
+                self._watchdog_task = None
+        return promoted
+
+    async def _heartbeat_watchdog(self) -> None:
+        """Probe the primary with ``ping`` frames; promote when it misses
+        ``ha_heartbeat_misses`` consecutive deadlines.
+
+        The missed-deadline policy is a :class:`~repro.core.retry.RetryPolicy`
+        with a flat backoff of one heartbeat interval: each failed probe
+        consumes an attempt, a successful probe resets the budget, and
+        policy exhaustion *is* the failure-detector verdict.
+        """
+        interval = self.config.ha_heartbeat_interval
+        # max_attempts counts *retries*: misses - 1 retries means the
+        # policy exhausts on the configured Nth consecutive miss.
+        policy = RetryPolicy(
+            max_attempts=max(0, self.config.ha_heartbeat_misses - 1),
+            base_delay=interval, max_delay=interval,
+            multiplier=1.0, jitter=0.0,
+        )
+        state = policy.start()
+        try:
+            while self.role == "standby":
+                alive = await self._probe_primary(timeout=interval * 2)
+                if alive:
+                    state.reset()
+                    await asyncio.sleep(interval)
+                    continue
+                delay = state.record_failure()
+                if delay is None:
+                    try:
+                        await self.promote(reason="heartbeat")
+                    except Exception:
+                        logger.exception("auto-promote failed; retrying")
+                        state = policy.start()
+                        await asyncio.sleep(interval)
+                    continue
+                await asyncio.sleep(delay)
+        except asyncio.CancelledError:
+            pass
+
+    async def _probe_primary(self, timeout: float) -> bool:
+        """One heartbeat: connect to the primary and exchange a ``ping``
+        (allowed pre-``hello`` exactly so this probe stays cheap)."""
+        host, _, port = (self.primary_hint or "").rpartition(":")
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, int(port)), timeout=timeout
+            )
+        except (OSError, ValueError, asyncio.TimeoutError):
+            return False
+        try:
+            writer.write(protocol.encode_json_frame({"id": 0, "op": "ping"}))
+            await asyncio.wait_for(writer.drain(), timeout=timeout)
+            kind, body = await asyncio.wait_for(
+                protocol.read_frame(reader, self.config.server_max_frame_bytes),
+                timeout=timeout,
+            )
+            if kind != protocol.KIND_JSON:
+                return False
+            reply = protocol.decode_json_body(body)
+            return bool(reply.get("ok"))
+        except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError,
+                protocol.FrameError):
+            return False
+        finally:
+            writer.close()
+
+    # ------------------------------------------------------------------ #
     # Connection handling
     # ------------------------------------------------------------------ #
 
@@ -218,7 +418,7 @@ class LogServer:
     ) -> None:
         writer.transport.set_write_buffer_limits(high=self.config.server_write_buffer_bytes)
         self._connections.add(writer)
-        tenant: Optional[str] = None
+        state = _ConnState()
         try:
             while True:
                 try:
@@ -237,12 +437,24 @@ class LogServer:
                                               "message": str(exc)})
                     return
                 except asyncio.IncompleteReadError:
-                    logger.warning("connection truncated mid-frame (tenant=%s)", tenant)
+                    logger.warning("connection truncated mid-frame (tenant=%s)",
+                                   state.tenant)
                     return
                 if kind == -1:
                     return  # clean EOF between frames
-                response, tenant, close = await self._dispatch(kind, body, tenant)
+                response, close = await self._dispatch(kind, body, state)
                 if response is not None:
+                    if kind == protocol.KIND_BATCH:
+                        # Chaos-drill hook: drop the ack *after* the batch
+                        # was durably applied, exactly the window where an
+                        # idempotent replay must be deduplicated.
+                        try:
+                            failpoints.hit("server.ack_lost")
+                        except failpoints.FailpointError:
+                            logger.warning("failpoint server.ack_lost: "
+                                           "aborting connection before ack")
+                            writer.transport.abort()
+                            return
                     await self._send(writer, response)
                 if close:
                     return
@@ -269,23 +481,31 @@ class LogServer:
     # Dispatch
     # ------------------------------------------------------------------ #
 
+    #: Ops a standby answers; everything else gets ``NOT_PRIMARY``.
+    _STANDBY_OPS = frozenset({"ping", "stats", "promote", "shutdown"})
+
     async def _dispatch(
-        self, kind: int, body: bytes, tenant: Optional[str]
-    ) -> Tuple[Optional[dict], Optional[str], bool]:
-        """Handle one frame; returns (response, tenant, close_connection)."""
+        self, kind: int, body: bytes, state: _ConnState
+    ) -> Tuple[Optional[dict], bool]:
+        """Handle one frame; returns (response, close_connection)."""
         request_id: object = None
         try:
             if kind == protocol.KIND_BATCH:
                 header, payload = protocol.split_batch_body(body)
                 request_id = header.get("id")
-                if tenant is None:
+                if state.tenant is None:
                     raise _RequestError(protocol.ERR_UNAUTHENTICATED,
                                         "send a 'hello' frame first")
+                if self.role != "primary":
+                    self.counters["not_primary"] += 1
+                    raise _RequestError(protocol.ERR_NOT_PRIMARY,
+                                        "this node is a standby replica",
+                                        primary=self.primary_hint)
                 if self._closing:
                     raise _RequestError(protocol.ERR_SHUTTING_DOWN,
                                         "server is draining")
-                result = self._handle_batch_ingest(tenant, payload)
-                return {"id": request_id, "ok": True, **result}, tenant, False
+                result = await self._handle_batch_ingest(state, header, payload)
+                return {"id": request_id, "ok": True, **result}, False
 
             request = protocol.decode_json_body(body)
             request_id = request.get("id")
@@ -293,43 +513,57 @@ class LogServer:
             if not isinstance(op, str):
                 raise _RequestError(protocol.ERR_BAD_REQUEST, "missing 'op'")
             if op == "hello":
-                new_tenant, result = self._handle_hello(request)
-                return {"id": request_id, "ok": True, **result}, new_tenant, False
-            if tenant is None:
+                result = self._handle_hello(state, request)
+                return {"id": request_id, "ok": True, **result}, False
+            if op == "auth":
+                result = self._handle_auth(state, request)
+                return {"id": request_id, "ok": True, **result}, False
+            if op == "ping":
+                # Pre-hello on purpose: the standby's failure detector and
+                # liveness probes must not need tenant credentials.
+                return {"id": request_id, "ok": True, "pong": True,
+                        "closing": self._closing, "role": self.role}, False
+            if state.tenant is None:
                 raise _RequestError(protocol.ERR_UNAUTHENTICATED,
                                     "send a 'hello' frame first")
+            if op == "promote":
+                promoted = await self.promote(reason="operator")
+                return {"id": request_id, "ok": True, "promoted": promoted,
+                        "role": self.role}, False
+            if self.role != "primary" and op not in self._STANDBY_OPS:
+                self.counters["not_primary"] += 1
+                raise _RequestError(protocol.ERR_NOT_PRIMARY,
+                                    "this node is a standby replica",
+                                    primary=self.primary_hint)
             if op == "shutdown":
                 # Ack first so the client can observe an orderly goodbye,
                 # then stop (drain barrier included) in the background.
                 asyncio.get_running_loop().create_task(self.stop())
-                return {"id": request_id, "ok": True, "stopping": True}, tenant, False
+                return {"id": request_id, "ok": True, "stopping": True}, False
             if self._closing and op not in ("stats", "ping"):
                 raise _RequestError(protocol.ERR_SHUTTING_DOWN, "server is draining")
             handler = self._OPS.get(op)
             if handler is None:
                 raise _RequestError(protocol.ERR_BAD_REQUEST, f"unknown op {op!r}")
-            result = await handler(self, tenant, request)
-            return {"id": request_id, "ok": True, **result}, tenant, False
+            result = await handler(self, state.tenant, request)
+            return {"id": request_id, "ok": True, **result}, False
         except protocol.FrameError as exc:
             return (
                 {"id": request_id, "ok": False, "error": protocol.ERR_BAD_REQUEST,
                  "message": str(exc)},
-                tenant,
                 False,
             )
         except _RequestError as exc:
             return (
                 {"id": request_id, "ok": False, "error": exc.code,
                  "message": exc.message, **exc.extra},
-                tenant,
-                False,
+                exc.close,
             )
         except Exception as exc:  # noqa: BLE001 — protocol boundary
             logger.exception("internal error handling op")
             return (
                 {"id": request_id, "ok": False, "error": protocol.ERR_INTERNAL,
                  "message": f"{type(exc).__name__}: {exc}"},
-                tenant,
                 False,
             )
 
@@ -337,21 +571,85 @@ class LogServer:
     # Handshake + ingest
     # ------------------------------------------------------------------ #
 
-    def _handle_hello(self, request: dict) -> Tuple[str, dict]:
+    def _handle_hello(self, state: _ConnState, request: dict) -> dict:
         tenant = request.get("tenant")
         if not isinstance(tenant, str) or not self.admission.known(tenant):
             raise _RequestError(protocol.ERR_UNAUTHENTICATED,
                                 f"unknown tenant {tenant!r}")
-        return tenant, {
+        producer_id = request.get("producer_id")
+        if producer_id is not None and (
+            not isinstance(producer_id, str)
+            or not producer_id
+            or TENANT_SEPARATOR in producer_id
+        ):
+            raise _RequestError(
+                protocol.ERR_BAD_REQUEST,
+                f"invalid producer_id {producer_id!r}: must be a non-empty "
+                f"string without {TENANT_SEPARATOR!r}",
+            )
+        secret = self._secrets.get(tenant)
+        if secret is not None:
+            # Challenge/response: the connection stays unauthenticated
+            # until the 'auth' frame returns a valid HMAC of this nonce.
+            state.challenge = os.urandom(16).hex()
+            state.pending_tenant = tenant
+            state.pending_producer = producer_id
+            return {"auth": "challenge", "challenge": state.challenge,
+                    "role": self.role, "primary": self.primary_hint}
+        return self._establish(state, tenant, producer_id)
+
+    def _handle_auth(self, state: _ConnState, request: dict) -> dict:
+        """Complete the HMAC handshake: ``mac = HMAC-SHA256(secret, challenge)``.
+
+        Any failure is terminal (``AUTH`` + connection close): retrying
+        with the same wrong secret cannot succeed, and a client that
+        skipped ``hello`` has no challenge to answer.
+        """
+        if state.challenge is None or state.pending_tenant is None:
+            self.counters["auth_failures"] += 1
+            raise _RequestError(protocol.ERR_AUTH,
+                                "no outstanding challenge (send 'hello' first)",
+                                close=True)
+        mac = request.get("mac")
+        secret = self._secrets[state.pending_tenant]
+        expected = hmac_mod.new(
+            secret.encode("utf-8"), state.challenge.encode("ascii"), hashlib.sha256
+        ).hexdigest()
+        if not isinstance(mac, str) or not hmac_mod.compare_digest(expected, mac):
+            self.counters["auth_failures"] += 1
+            state.challenge = None
+            raise _RequestError(protocol.ERR_AUTH,
+                                f"bad credentials for tenant "
+                                f"{state.pending_tenant!r}", close=True)
+        tenant, producer_id = state.pending_tenant, state.pending_producer
+        state.challenge = None
+        state.pending_tenant = None
+        state.pending_producer = None
+        return self._establish(state, tenant, producer_id)
+
+    def _establish(self, state: _ConnState, tenant: str,
+                   producer_id: Optional[str]) -> dict:
+        state.tenant = tenant
+        result = {
             "tenant": tenant,
+            "role": self.role,
+            "primary": self.primary_hint,
             "topics": sorted(self._topics.get(tenant, ())),
             "limits": self.admission.limits(tenant),
             # Largest batch a single frame may carry: a batch bigger than
             # the shard queue can never be admitted atomically, so the
             # client splits to this bound.
-            "max_batch_records": self.runtime.queue_capacity,
+            "max_batch_records": (
+                self.runtime.queue_capacity if self.runtime is not None else 0
+            ),
             "max_frame_bytes": self.config.server_max_frame_bytes,
         }
+        if producer_id is not None:
+            state.producer_key = qualify_topic(tenant, producer_id)
+            # The producer resumes after the acked high-water mark; a
+            # reconnecting client replays everything above this.
+            result["producer_seq"] = self._producer_marks.get(state.producer_key, 0)
+        return result
 
     def _wire_topic(self, tenant: str, topic: object) -> str:
         if not isinstance(topic, str):
@@ -365,7 +663,9 @@ class LogServer:
                                 f"no topic {topic!r} for tenant {tenant!r}")
         return qualify_topic(tenant, topic)
 
-    def _handle_batch_ingest(self, tenant: str, payload: bytes) -> dict:
+    async def _handle_batch_ingest(self, state: _ConnState, header: dict,
+                                   payload: bytes) -> dict:
+        tenant = state.tenant
         try:
             sections = decode_record_batch(payload)
         except Exception as exc:
@@ -383,6 +683,14 @@ class LogServer:
         n_bytes = sum(len(raw.encode("utf-8")) for _, s in qualified for raw in s.raws)
         if n_records == 0:
             raise _RequestError(protocol.ERR_BAD_REQUEST, "empty batch frame")
+        if state.producer_key is not None:
+            return await self._handle_session_batch(
+                state, header, qualified, n_records, n_bytes
+            )
+        if "batch_seq" in header:
+            raise _RequestError(protocol.ERR_BAD_REQUEST,
+                                "batch_seq requires a producer_id session "
+                                "(send it in 'hello')")
         self._admit(tenant, n_records, n_bytes)
         try:
             self._submit_sections(qualified)
@@ -395,6 +703,108 @@ class LogServer:
         self.counters["accepted_batches"] += 1
         self.counters["accepted_records"] += n_records
         return {"accepted": n_records}
+
+    async def _handle_session_batch(
+        self,
+        state: _ConnState,
+        header: dict,
+        qualified: List[Tuple[str, BatchSection]],
+        n_records: int,
+        n_bytes: int,
+    ) -> dict:
+        """Idempotent ingest: dedup by ``batch_seq``, apply atomically.
+
+        The contract that makes exactly-once possible (and that the
+        client upholds): a sessioned wire batch is **one topic, one
+        monotone ``batch_seq``, one outstanding at a time**.  Single-
+        topic means the records and the producer mark land in *one* WAL
+        frame, so frame-CRC atomicity makes "mark durable" equivalent to
+        "all its records durable" — there is no window where a replay
+        could be half-applied or half-deduplicated.  Sequential sending
+        means the mark table needs only a high-water mark, not a window.
+
+        A ``batch_seq`` at or below the mark was fully applied by a
+        previous delivery (possibly on the node this one was promoted
+        from) and is acked as a no-op without touching admission — the
+        tenant already paid for it once.  The submit itself runs in the
+        executor: on the process backend it blocks on the shard worker's
+        durability barrier, which must not stall the event loop.
+        """
+        tenant = state.tenant
+        key = state.producer_key
+        batch_seq = header.get("batch_seq")
+        if not isinstance(batch_seq, int) or batch_seq < 1:
+            raise _RequestError(protocol.ERR_BAD_REQUEST,
+                                "a producer session batch needs an integer "
+                                "batch_seq >= 1")
+        if len(qualified) != 1:
+            raise _RequestError(
+                protocol.ERR_BAD_REQUEST,
+                "a producer session batch must carry exactly one topic "
+                "section (split per topic client-side)",
+            )
+        mark = self._producer_marks.get(key, 0)
+        if batch_seq <= mark:
+            self.counters["deduped_batches"] += 1
+            return {"accepted": 0, "deduped": True,
+                    "batch_seq": batch_seq, "producer_seq": mark}
+        if batch_seq > mark + 1:
+            raise _RequestError(
+                protocol.ERR_BAD_REQUEST,
+                f"batch_seq gap: expected {mark + 1}, got {batch_seq} "
+                f"(sessions are sequential with one batch outstanding)",
+            )
+        topic, section = qualified[0]
+        self._admit(tenant, n_records, n_bytes)
+        # Exact headroom gate (single-writer: only the loop enqueues).
+        shard = self.runtime.shard_of(topic)
+        capacity = self.runtime.queue_capacity
+        if n_records > capacity:
+            self.admission.refund(tenant, n_records, n_bytes)
+            raise _RequestError(
+                protocol.ERR_BAD_REQUEST,
+                f"batch routes {n_records} records to shard {shard}, above "
+                f"the queue capacity ({capacity}); split the batch",
+            )
+        depth = self.runtime.shard_load(shard)
+        if depth + n_records > capacity:
+            self.admission.refund(tenant, n_records, n_bytes)
+            self.counters["backpressure"] += 1
+            busy = ShardBusy(shard, depth, capacity, self.runtime.max_batch_delay)
+            raise _RequestError(
+                protocol.ERR_BACKPRESSURE, str(busy), retry_after=busy.retry_after
+            )
+        try:
+            await self._run_blocking(
+                lambda: self.runtime.submit_session_batch(
+                    topic,
+                    list(section.raws),
+                    [float(t) for t in section.timestamps],
+                    key,
+                    batch_seq,
+                    timeout=self.config.server_session_barrier_seconds,
+                )
+            )
+        except ShardBusy as exc:
+            self.admission.refund(tenant, n_records, n_bytes)
+            self.counters["backpressure"] += 1
+            raise _RequestError(
+                protocol.ERR_BACKPRESSURE, str(exc), retry_after=exc.retry_after
+            ) from exc
+        except TimeoutError as exc:
+            # Durability unknown (the records may yet land): surface a
+            # non-retryable-in-place error; the client's reconnect path
+            # replays the batch and dedup resolves the ambiguity.
+            raise _RequestError(
+                protocol.ERR_INTERNAL,
+                f"durability barrier timed out for batch_seq {batch_seq}: {exc}",
+            ) from exc
+        if batch_seq > self._producer_marks.get(key, 0):
+            self._producer_marks[key] = batch_seq
+        self.counters["accepted_batches"] += 1
+        self.counters["accepted_records"] += n_records
+        return {"accepted": n_records, "batch_seq": batch_seq,
+                "producer_seq": batch_seq}
 
     async def _op_ingest(self, tenant: str, request: dict) -> dict:
         """JSON ingest path (small batches; the batch frame is the fast path)."""
@@ -618,17 +1028,13 @@ class LogServer:
             _check_wire_topic(topic)
         except ValueError as exc:
             raise _RequestError(protocol.ERR_BAD_REQUEST, str(exc)) from exc
-        from .transport import ProcessShardedRuntime
-
-        if isinstance(self.runtime, ProcessShardedRuntime):
-            raise _RequestError(
-                protocol.ERR_BAD_REQUEST,
-                "the process shard backend fixes its topic set at startup; "
-                "declare the topic in the tenant spec",
-            )
         if topic not in self._topics.setdefault(tenant, set()):
+            # runtime.create_topic registers the topic with the backend
+            # itself: on the process backend that is a control roundtrip
+            # to every shard worker (blocking → executor), on the thread
+            # backend a plain service.create_topic.
             await self._run_blocking(
-                lambda: self.service.create_topic(qualify_topic(tenant, topic))
+                lambda: self.runtime.create_topic(qualify_topic(tenant, topic))
             )
             self._topics[tenant].add(topic)
         return {"topics": sorted(self._topics[tenant])}

@@ -64,10 +64,12 @@ mirror already holds.  The one exception is the first round's backfill
 (template ids for records ingested before any model existed); the child
 tracks it and ships explicit ``(record_id, template_id)`` restamps.
 
-Known limits: every topic must exist before the runtime is constructed
-(children cannot see topics created in the parent afterwards), and
-without a WAL a child crash loses acked-but-unsynced records (at-most-
-once degradation) — supervised durability requires ``wal_dir``.
+Known limits: topics created directly on the parent service after
+construction are invisible to the children — register them through
+:meth:`ProcessShardedRuntime.create_topic`, which teaches the owning
+worker over the control pipe.  Without a WAL a child crash loses
+acked-but-unsynced records (at-most-once degradation) — supervised
+durability requires ``wal_dir``.
 """
 
 from __future__ import annotations
@@ -134,8 +136,15 @@ _TAG_ERROR = b"E"
 _TAG_FATAL = b"X"
 
 _FRAME_VERSION = 1
+#: Frame version carrying per-section producer dedup marks; emitted only
+#: when at least one section has marks, so markless traffic (and every
+#: pre-upgrade peer reading it) stays byte-identical to version 1.
+_FRAME_VERSION_MARKS = 2
 _BATCH_HEADER = struct.Struct("<BI")  # version, n_sections
 _SECTION_HEAD = struct.Struct("<HQI")  # len(topic), first_seq, n_records
+_MARK_COUNT = struct.Struct("<H")  # v2: producer marks per section
+_MARK_KEY = struct.Struct("<H")  # v2: len(producer key)
+_MARK_SEQ = struct.Struct("<Q")  # v2: producer batch_seq
 
 
 @dataclass
@@ -147,6 +156,10 @@ class BatchSection:
     first_seq: int
     timestamps: List[float]
     raws: List[str]
+    #: Producer dedup marks covering this section's records —
+    #: ``(producer_key, batch_seq)`` pairs the worker embeds in the WAL
+    #: frame it writes for the section (see ``wal.py``'s BBWAL002).
+    marks: List[Tuple[str, int]] = field(default_factory=list)
 
 
 def encode_record_batch(sections: Sequence[BatchSection]) -> bytes:
@@ -155,13 +168,18 @@ def encode_record_batch(sections: Sequence[BatchSection]) -> bytes:
     Layout: ``u8 version | u32 n_sections``, then per section
     ``u16 len(topic) | topic utf-8 | u64 first_seq | u32 n | f64[n]
     timestamps | u32[n] raw byte lengths | concatenated raw utf-8``.
+    Version 2 (used only when a section carries producer marks) inserts
+    ``u16 n_marks | n_marks x (u16 len(key) | key utf-8 | u64 batch_seq)``
+    between the topic name and the timestamps.
     Timestamps and lengths travel as packed little-endian numpy arrays, so
     a thousand-record section costs two array copies, not a thousand
     object serialisations.  Exact inverse of :func:`decode_record_batch`
     (byte-identical round trip — property-tested in
     ``tests/test_transport_codec.py``).
     """
-    parts: List[bytes] = [_BATCH_HEADER.pack(_FRAME_VERSION, len(sections))]
+    with_marks = any(section.marks for section in sections)
+    version = _FRAME_VERSION_MARKS if with_marks else _FRAME_VERSION
+    parts: List[bytes] = [_BATCH_HEADER.pack(version, len(sections))]
     for section in sections:
         n_records = len(section.raws)
         if len(section.timestamps) != n_records:
@@ -170,6 +188,13 @@ def encode_record_batch(sections: Sequence[BatchSection]) -> bytes:
         raw_bytes = [raw.encode("utf-8") for raw in section.raws]
         parts.append(_SECTION_HEAD.pack(len(topic_bytes), section.first_seq, n_records))
         parts.append(topic_bytes)
+        if with_marks:
+            parts.append(_MARK_COUNT.pack(len(section.marks)))
+            for producer_key, batch_seq in section.marks:
+                key_bytes = producer_key.encode("utf-8")
+                parts.append(_MARK_KEY.pack(len(key_bytes)))
+                parts.append(key_bytes)
+                parts.append(_MARK_SEQ.pack(batch_seq))
         parts.append(np.asarray(section.timestamps, dtype="<f8").tobytes())
         parts.append(
             np.fromiter((len(b) for b in raw_bytes), dtype="<u4", count=n_records).tobytes()
@@ -181,7 +206,7 @@ def encode_record_batch(sections: Sequence[BatchSection]) -> bytes:
 def decode_record_batch(data: bytes) -> List[BatchSection]:
     """Decode one batch frame back into sections (inverse of encode)."""
     version, n_sections = _BATCH_HEADER.unpack_from(data, 0)
-    if version != _FRAME_VERSION:
+    if version not in (_FRAME_VERSION, _FRAME_VERSION_MARKS):
         raise ValueError(f"unknown batch frame version {version}")
     offset = _BATCH_HEADER.size
     sections: List[BatchSection] = []
@@ -190,6 +215,18 @@ def decode_record_batch(data: bytes) -> List[BatchSection]:
         offset += _SECTION_HEAD.size
         topic = data[offset : offset + topic_len].decode("utf-8")
         offset += topic_len
+        marks: List[Tuple[str, int]] = []
+        if version == _FRAME_VERSION_MARKS:
+            (n_marks,) = _MARK_COUNT.unpack_from(data, offset)
+            offset += _MARK_COUNT.size
+            for _ in range(n_marks):
+                (key_len,) = _MARK_KEY.unpack_from(data, offset)
+                offset += _MARK_KEY.size
+                producer_key = data[offset : offset + key_len].decode("utf-8")
+                offset += key_len
+                (batch_seq,) = _MARK_SEQ.unpack_from(data, offset)
+                offset += _MARK_SEQ.size
+                marks.append((producer_key, batch_seq))
         timestamps = np.frombuffer(data, dtype="<f8", count=n_records, offset=offset).tolist()
         offset += 8 * n_records
         lengths = np.frombuffer(data, dtype="<u4", count=n_records, offset=offset)
@@ -199,7 +236,8 @@ def decode_record_batch(data: bytes) -> List[BatchSection]:
             raws.append(data[offset : offset + length].decode("utf-8"))
             offset += length
         sections.append(
-            BatchSection(topic=topic, first_seq=first_seq, timestamps=timestamps, raws=raws)
+            BatchSection(topic=topic, first_seq=first_seq, timestamps=timestamps,
+                         raws=raws, marks=marks)
         )
     if offset != len(data):
         raise ValueError("batch frame has trailing bytes")
@@ -282,6 +320,9 @@ class _ShardWorker:
         self._backfilled: set = set()
         self._last_seen: Dict[str, float] = {}
         self._owned: List[str] = []
+        #: Producer dedup marks applied by this incarnation; checkpointed
+        #: to the shard's sessions.json before any truncation.
+        self._producer_marks: Dict[str, int] = {}
 
     # -- lifecycle ----------------------------------------------------- #
     def bootstrap(self) -> None:
@@ -379,6 +420,8 @@ class _ShardWorker:
                     self._handle_rollback_prepare(control)
                 elif op == "rollback_commit":
                     self._handle_rollback_commit(control)
+                elif op == "create_topic":
+                    self._handle_create_topic(control)
 
     def fatal(self, error: BaseException) -> None:
         """Report the crash over the resp pipe, then die non-zero.
@@ -428,13 +471,17 @@ class _ShardWorker:
                     if self.wal is not None:
                         # Durability point: the frame reaches the page
                         # cache (always mode: stable storage) before the
-                        # ack — acked therefore implies recoverable.
+                        # ack — acked therefore implies recoverable.  The
+                        # section's producer marks ride the same frame,
+                        # so dedup state is exactly as durable as the
+                        # records it covers.
                         self.wal.append_batch(
                             section.topic,
                             section.first_seq + first_new,
                             timestamps[-1],
                             raws,
                             timestamps=timestamps,
+                            session=section.marks or None,
                         )
                     with self._engine_lock(section.topic):
                         engine.ingest_batch_fast(
@@ -445,6 +492,9 @@ class _ShardWorker:
                         section.first_seq + len(section.raws),
                     )
                 self._last_seen[section.topic] = section.timestamps[-1]
+                for producer_key, batch_seq in section.marks:
+                    if batch_seq > self._producer_marks.get(producer_key, 0):
+                        self._producer_marks[producer_key] = batch_seq
                 acks.append(
                     (section.topic, section.first_seq + len(section.raws) - 1, len(raws))
                 )
@@ -516,6 +566,9 @@ class _ShardWorker:
         if prepared.model_changed and engine.store is not None:
             self._captured[topic_name] = captured_seq
             self._send(_TAG_CAPTURED, pickle.dumps((topic_name, captured_seq)))
+            # Marks outlive the segments that carried them: checkpoint
+            # before reclaiming (no-op when nothing advanced).
+            self.wal.record_producer_marks(self._producer_marks)
             self.wal.truncate(self._wal_floors())
 
     def _seq_of_watermark(self, topic_name: str, watermark: int) -> int:
@@ -569,11 +622,42 @@ class _ShardWorker:
                 break
         if self.wal is not None:
             self.wal.sync()  # full fsync barrier, mirroring drain()'s sync_all
+            self.wal.record_producer_marks(self._producer_marks)
             self.wal.truncate(self._wal_floors())
         payload = self._build_sync_payload()
         payload["token"] = control.get("token")
         payload["incarnation"] = self.spec.incarnation
         self._send(_TAG_SYNC, pickle.dumps(payload))
+
+    def _handle_create_topic(self, control: Dict[str, object]) -> None:
+        """Register a dynamically created topic in this (owning) worker.
+
+        Idempotent: a retry after a mid-op restart finds the topic either
+        absent (create it) or inherited through the fork (the restarted
+        child's bootstrap already registered it in ``_owned``) — both
+        converge on the same state.
+        """
+        topic_name = control["topic"]
+        error: Optional[str] = None
+        try:
+            if self._shard_of(topic_name) == self.index:
+                try:
+                    engine = self.service.topic(topic_name)
+                except KeyError:
+                    engine = self.service.create_topic(topic_name)
+                if topic_name not in self._owned:
+                    self._owned.append(topic_name)
+                    engine.swap_guard = threading.Lock()
+                    engine.topic._token_index_lock = threading.Lock()
+                    self._synced_watermark[topic_name] = engine.topic.high_watermark
+        except Exception as exc:
+            error = repr(exc)
+        reply = {
+            "token": control.get("token"),
+            "incarnation": self.spec.incarnation,
+            "error": error,
+        }
+        self._send(_TAG_SYNC, pickle.dumps(reply))
 
     def _handle_train(self, control: Dict[str, object]) -> None:
         topic_name = control["topic"]
@@ -781,6 +865,18 @@ class _ProcessFailure:
     exitcode: Optional[int]
 
 
+def _section_marks(records: Sequence[Tuple]) -> List[Tuple[str, int]]:
+    """Producer dedup marks for one frame section: the max ``batch_seq``
+    per producer across the records' ``(producer_key, batch_seq)``
+    sessions (most sections carry none and encode as version-1 frames)."""
+    marks: Dict[str, int] = {}
+    for record in records:
+        session = record[4]
+        if session is not None and session[1] > marks.get(session[0], 0):
+            marks[session[0]] = session[1]
+    return sorted(marks.items())
+
+
 class _ProcessShard:
     """Parent-side state for one shard's worker process."""
 
@@ -789,8 +885,11 @@ class _ProcessShard:
         #: Guards pending, the pipe handles and seq-order invariants —
         #: submits, flushes and restarts all serialise on it.
         self.lock = threading.Lock()
-        #: Records accepted but not yet framed and sent.
-        self.pending: List[Tuple[str, str, float, int]] = []
+        #: Records accepted but not yet framed and sent, as
+        #: ``(topic, raw, timestamp, seq, session)`` tuples where
+        #: ``session`` is ``None`` or a ``(producer_key, batch_seq)``
+        #: idempotent-producer mark that must ride the records' frame.
+        self.pending: List[Tuple[str, str, float, int, Optional[Tuple[str, int]]]] = []
         #: Topic -> seq-ordered records sent but not yet acked; the
         #: redelivery source after a child death.
         self.unacked: Dict[str, deque] = {}
@@ -882,9 +981,16 @@ class ProcessShardedRuntime(ShardTransport):
                 pre_existing = service.topic(name).topic.high_watermark
                 if pre_existing:
                     self._wal_positions[name] = (-pre_existing, 1)
-        #: Children fork with the topics that exist *now*; later
-        #: ``create_topic`` calls are invisible to them (documented limit).
-        self._known_topics = frozenset(service.topic_names())
+        #: Topics the shard workers know about.  Children fork with the
+        #: topics that exist at construction; :meth:`create_topic` teaches
+        #: the owning worker about later additions and extends this set.
+        self._known_topics = set(service.topic_names())
+        #: Idempotent-producer dedup high-water marks observed by this
+        #: runtime (seeded from the WAL's checkpoints + frame replay).
+        self._producer_marks: Dict[str, int] = (
+            self.wal.producer_marks() if self.wal is not None else {}
+        )
+        self._producer_marks_lock = threading.Lock()
         self._queue_capacity = capacity
         #: Same admission ceiling the thread backend exposes; see
         #: :meth:`ShardTransport.try_submit_many`.
@@ -989,8 +1095,23 @@ class ProcessShardedRuntime(ShardTransport):
             frames: List[List[BatchSection]] = []
             for topic, dq in shard.unacked.items():
                 records = list(dq)
-                for start in range(0, len(records), self.micro_batch_size):
-                    chunk = records[start : start + self.micro_batch_size]
+                start = 0
+                while start < len(records):
+                    if records[start][4] is not None:
+                        # A sessioned batch must stay in ONE frame: its
+                        # dedup mark is only valid when it is exactly as
+                        # durable as every record it covers.
+                        session = records[start][4]
+                        end = start + 1
+                        while end < len(records) and records[end][4] == session:
+                            end += 1
+                    else:
+                        end = min(start + self.micro_batch_size, len(records))
+                        for i in range(start + 1, end):
+                            if records[i][4] is not None:
+                                end = i
+                                break
+                    chunk = records[start:end]
                     frames.append(
                         [
                             BatchSection(
@@ -998,9 +1119,11 @@ class ProcessShardedRuntime(ShardTransport):
                                 first_seq=chunk[0][3],
                                 timestamps=[record[2] for record in chunk],
                                 raws=[record[1] for record in chunk],
+                                marks=_section_marks(chunk),
                             )
                         ]
                     )
+                    start = end
             for sections in frames:
                 try:
                     shard.cmd_w.send_bytes(_TAG_BATCH + encode_record_batch(sections))
@@ -1081,13 +1204,18 @@ class ProcessShardedRuntime(ShardTransport):
     def _apply_acks(self, shard: _ProcessShard, acks) -> None:
         removed_total = 0
         applied_total = 0
-        for topic_name, through_seq, n_applied in acks:
-            backlog = shard.unacked.get(topic_name)
-            while backlog and backlog[0][3] <= through_seq:
-                backlog.popleft()
-                removed_total += 1
-            applied_total += n_applied
+        # The whole ack must apply under ``shard.lock``: ``_flush_locked``
+        # holds it across send_bytes *and* the unacked extend, and a hot
+        # child can ack in between — popping lock-free here would observe
+        # the pre-extend backlog, clear nothing, and strand the (already
+        # acked) records in ``unacked`` forever.
         with shard.lock:
+            for topic_name, through_seq, n_applied in acks:
+                backlog = shard.unacked.get(topic_name)
+                while backlog and backlog[0][3] <= through_seq:
+                    backlog.popleft()
+                    removed_total += 1
+                applied_total += n_applied
             shard.in_flight -= removed_total
         shard.stats.ingested += applied_total
         shard.stats.batches += 1
@@ -1112,9 +1240,8 @@ class ProcessShardedRuntime(ShardTransport):
         self.service.topic(topic_name)  # fail fast on unknown topics
         if topic_name not in self._known_topics:
             raise KeyError(
-                f"topic {topic_name!r} was created after the process runtime "
-                "started; the process backend requires every topic to exist "
-                "before the runtime is constructed"
+                f"topic {topic_name!r} is not registered with the shard "
+                "workers; create it through create_topic() first"
             )
         shard = self._shards[self.shard_of(topic_name)]
         self._backpressure(shard)
@@ -1123,7 +1250,7 @@ class ProcessShardedRuntime(ShardTransport):
                 raise RuntimeError("shard queue is closed (shutdown or dead worker)")
             base, next_seq = self._wal_positions.get(topic_name, (0, 1))
             self._wal_positions[topic_name] = (base, next_seq + 1)
-            shard.pending.append((topic_name, raw, timestamp, next_seq))
+            shard.pending.append((topic_name, raw, timestamp, next_seq, None))
             if len(shard.pending) >= self.micro_batch_size:
                 self._flush_locked(shard)
         return shard.index
@@ -1135,9 +1262,8 @@ class ProcessShardedRuntime(ShardTransport):
         self.service.topic(topic_name)
         if topic_name not in self._known_topics:
             raise KeyError(
-                f"topic {topic_name!r} was created after the process runtime "
-                "started; the process backend requires every topic to exist "
-                "before the runtime is constructed"
+                f"topic {topic_name!r} is not registered with the shard "
+                "workers; create it through create_topic() first"
             )
         if not raws:
             return 0
@@ -1150,10 +1276,158 @@ class ProcessShardedRuntime(ShardTransport):
             self._wal_positions[topic_name] = (base, next_seq + len(raws))
             pending = shard.pending
             for offset, raw in enumerate(raws):
-                pending.append((topic_name, raw, timestamp, next_seq + offset))
+                pending.append((topic_name, raw, timestamp, next_seq + offset, None))
                 if len(pending) >= self.micro_batch_size:
                     self._flush_locked(shard)
         return len(raws)
+
+    def submit_session_batch(
+        self,
+        topic_name: str,
+        raws: Sequence[str],
+        timestamps: Sequence[float],
+        session_key: str,
+        batch_seq: int,
+        timeout: float = 30.0,
+    ) -> int:
+        """Durably apply one idempotent-producer wire batch and return only
+        once it is recoverable.
+
+        The whole batch targets one topic (hence one shard, one child WAL
+        frame): the producer's ``(session_key, batch_seq)`` dedup mark is
+        embedded in the *same* frame as the records, so the mark is
+        durable if and only if every record it covers is — a replay after
+        a crash can never be half-deduplicated.  Unlike :meth:`submit_many`
+        this blocks until the owning child has appended and acked the
+        records (the wire server's ack must imply recoverability, and on
+        this backend the plain submit path only hands records to the
+        parent's in-memory pending queue).
+
+        A dead child is waited out: the records sit in ``pending`` /
+        ``unacked`` and the restart path redelivers them, mark included,
+        as one unsplit frame.  Raises ``TimeoutError`` when the barrier
+        does not clear within ``timeout`` — the batch is then in an
+        indeterminate state and the caller must *not* ack it.
+        """
+        if self._closed:
+            raise RuntimeError("runtime is shut down")
+        self.service.topic(topic_name)
+        if topic_name not in self._known_topics:
+            raise KeyError(
+                f"topic {topic_name!r} is not registered with the shard "
+                "workers; create it through create_topic() first"
+            )
+        if len(raws) != len(timestamps):
+            raise ValueError("raws and timestamps must have the same length")
+        session = (session_key, int(batch_seq))
+        if not raws:
+            self._note_producer_mark(session_key, int(batch_seq))
+            return 0
+        shard = self._shards[self.shard_of(topic_name)]
+        self._backpressure(shard)
+        with shard.lock:
+            if shard.state == "quarantined" or self._closed:
+                raise RuntimeError("shard queue is closed (shutdown or dead worker)")
+            base, next_seq = self._wal_positions.get(topic_name, (0, 1))
+            self._wal_positions[topic_name] = (base, next_seq + len(raws))
+            for offset, raw in enumerate(raws):
+                shard.pending.append(
+                    (topic_name, raw, float(timestamps[offset]), next_seq + offset, session)
+                )
+            last_seq = next_seq + len(raws) - 1
+            # One flush for everything pending: the sessioned records were
+            # appended contiguously under this lock, so they share one
+            # section (one child WAL frame) carrying their mark.
+            self._flush_locked(shard)
+        self._await_session_applied(shard, topic_name, last_seq, timeout)
+        self._note_producer_mark(session_key, int(batch_seq))
+        return len(raws)
+
+    def _await_session_applied(
+        self, shard: _ProcessShard, topic_name: str, last_seq: int, timeout: float
+    ) -> None:
+        """Block until the child has acked every record of ``topic_name``
+        up to ``last_seq`` (i.e. appended them to its shard WAL)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            with shard.lock:
+                if shard.state == "quarantined":
+                    raise RuntimeError(
+                        "shard queue is closed (shutdown or dead worker)"
+                    )
+                settled = True
+                for record in shard.pending:
+                    if record[0] == topic_name and record[3] <= last_seq:
+                        settled = False
+                        break
+                if settled:
+                    backlog = shard.unacked.get(topic_name)
+                    if backlog and backlog[0][3] <= last_seq:
+                        settled = False
+                if not settled and shard.pending and shard.cmd_w is not None:
+                    self._flush_locked(shard)  # e.g. a send raced a restart
+            if settled:
+                return
+            if time.monotonic() >= deadline:
+                with shard.lock:
+                    backlog = shard.unacked.get(topic_name)
+                    raise TimeoutError(
+                        f"session batch for topic {topic_name!r} not applied "
+                        f"within {timeout:.1f}s (shard {shard.index} "
+                        f"state={shard.state} pending={len(shard.pending)} "
+                        f"unacked={len(backlog) if backlog else 0} "
+                        f"unacked_head={backlog[0][3] if backlog else None} "
+                        f"in_flight={shard.in_flight} "
+                        f"restarts={shard.stats.restarts} "
+                        f"child_alive={shard.process.is_alive() if shard.process else None})"
+                    )
+            time.sleep(0.0005)
+
+    def _note_producer_mark(self, session_key: str, batch_seq: int) -> None:
+        with self._producer_marks_lock:
+            if batch_seq > self._producer_marks.get(session_key, 0):
+                self._producer_marks[session_key] = batch_seq
+
+    def producer_marks(self) -> Dict[str, int]:
+        """Per-producer dedup high-water marks (durable + this run's)."""
+        with self._producer_marks_lock:
+            return dict(self._producer_marks)
+
+    def create_topic(self, topic_name: str):
+        """Create ``topic_name`` in the parent mirror *and* its owning
+        shard worker, so first-write-to-unseen-topic works on this backend.
+
+        Idempotent and restart-safe: the parent mirror is created first,
+        so a worker restarted mid-operation forks with the topic already
+        present and its bootstrap re-registers ownership; the control
+        reply is only bookkeeping confirmation.
+        """
+        if self._closed:
+            raise RuntimeError("runtime is shut down")
+        try:
+            engine = self.service.topic(topic_name)
+        except KeyError:
+            engine = self.service.create_topic(topic_name)
+        if topic_name in self._known_topics:
+            return engine
+        with self._control_lock:
+            if topic_name in self._known_topics:
+                return engine
+            reply = self._control_roundtrip(
+                topic_name,
+                lambda token: {
+                    "op": "create_topic",
+                    "topic": topic_name,
+                    "token": token,
+                },
+            )
+            if reply.get("error"):
+                raise RuntimeError(
+                    f"shard worker failed to register topic {topic_name!r}: "
+                    f"{reply['error']}"
+                )
+            self._known_topics.add(topic_name)
+        return engine
 
     def shard_load(self, shard_index: int) -> int:
         """Records accepted for a shard's child but not yet acked by it."""
@@ -1175,7 +1449,7 @@ class ProcessShardedRuntime(ShardTransport):
         """
         if not shard.pending or shard.cmd_w is None:
             return
-        groups: Dict[str, List[Tuple[str, str, float, int]]] = {}
+        groups: Dict[str, List[Tuple]] = {}
         for record in shard.pending:
             groups.setdefault(record[0], []).append(record)
         sections = [
@@ -1184,6 +1458,7 @@ class ProcessShardedRuntime(ShardTransport):
                 first_seq=records[0][3],
                 timestamps=[record[2] for record in records],
                 raws=[record[1] for record in records],
+                marks=_section_marks(records),
             )
             for topic_name, records in groups.items()
         ]
@@ -1245,6 +1520,11 @@ class ProcessShardedRuntime(ShardTransport):
             if synced:
                 break
         if self.wal is not None:
+            marks = self.producer_marks()
+            if marks:
+                # Orphan segments may carry marks no shard checkpoint
+                # covers; persist to the root file (parent-owned) first.
+                self.wal.record_producer_marks(marks)
             self.wal.truncate_orphans(
                 self._wal_floors(),
                 [self.wal.shard_directory(index) for index in range(self.n_shards)],

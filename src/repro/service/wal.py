@@ -19,12 +19,27 @@ On-disk layout (one directory per runtime)::
         ...
 
 Segment format: an 8-byte magic header, then frames.  Each frame is one
-*record batch*::
+*record batch*.  Two magics are readable; writers emit v2::
 
     u32 payload_length | u32 crc32(payload) | payload
-    payload := u32 n_records, then per record:
+
+    BBWAL001 payload := u32 n_records, then per record:
         u16 len(topic) | topic utf-8 | u64 seq | f64 timestamp
         | u32 len(raw) | raw utf-8
+
+    BBWAL002 payload := u8 n_marks
+        | n_marks x (u16 len(producer) | producer utf-8 | u64 batch_seq)
+        | <BBWAL001 payload>
+
+The v2 *producer mark* records the idempotent-producer dedup high-water
+mark (``tenant::producer_id`` -> highest applied wire ``batch_seq``)
+inside the same frame as the records it covers: recovery and the WAL
+shipper restore dedup state from the frames themselves, so a client
+replaying an un-acked batch after reconnect or failover is detected as
+a duplicate even across a crash or a promotion.  The mark rides the
+frame — never a frame of its own — because a torn tail must not restore
+records without the mark that makes their replay a no-op.  A segment's
+frames are uniformly one version (every process starts a fresh segment).
 
 ``seq`` is a per-topic sequence number assigned at append time, starting
 at 1 and contiguous — replay and snapshot watermarks are expressed in it.
@@ -67,16 +82,24 @@ __all__ = [
     "ShardWal",
     "WriteAheadLog",
     "read_segment",
+    "decode_frame_payload",
+    "segment_version",
 ]
 
 _MAGIC = b"BBWAL001"
+_MAGIC_V2 = b"BBWAL002"
+_MAGICS = (_MAGIC, _MAGIC_V2)
 _FRAME_HEADER = struct.Struct("<II")  # payload length, crc32(payload)
 _RECORD_HEAD = struct.Struct("<H")  # len(topic)
 _RECORD_BODY = struct.Struct("<Qd")  # seq, timestamp
 _RECORD_RAW = struct.Struct("<I")  # len(raw)
 _COUNT = struct.Struct("<I")  # records per frame
+_MARK_FLAG = struct.Struct("<B")  # v2: number of producer marks (0-255)
+_MARK_HEAD = struct.Struct("<H")  # v2: len(producer key)
+_MARK_SEQ = struct.Struct("<Q")  # v2: producer batch_seq
 
 _WATERMARK_FILE = "watermark.json"
+_SESSIONS_FILE = "sessions.json"
 _SHARD_PREFIX = "shard-"
 _SEGMENT_PREFIX = "segment-"
 _SEGMENT_SUFFIX = ".wal"
@@ -107,10 +130,38 @@ class SegmentInfo:
     topic_seqs: Dict[str, Tuple[int, int]] = field(default_factory=dict)
     #: True when the segment ends in a torn (partially written) frame.
     torn_tail: bool = False
+    #: Per-producer max ``batch_seq`` mark found in this segment (v2 only).
+    producer_marks: Dict[str, int] = field(default_factory=dict)
+    #: Frame-format version of the segment (1 = BBWAL001, 2 = BBWAL002).
+    version: int = 2
 
 
-def _encode_frame(records: Sequence[WalRecord]) -> bytes:
-    parts: List[bytes] = [_COUNT.pack(len(records))]
+def _normalize_session(session) -> List[Tuple[str, int]]:
+    """Accept one ``(producer_key, batch_seq)`` mark or a sequence of
+    them (a coalesced micro-batch frame can cover several producers)."""
+    if session is None:
+        return []
+    if isinstance(session, tuple) and len(session) == 2 and isinstance(session[0], str):
+        return [session]
+    return [tuple(mark) for mark in session]
+
+
+def _encode_mark_prefix(session) -> bytes:
+    """The v2 payload prefix: the producer-mark count and entries."""
+    marks = _normalize_session(session)
+    if len(marks) > 255:
+        raise ValueError("a frame carries at most 255 producer marks")
+    parts = [_MARK_FLAG.pack(len(marks))]
+    for producer_key, batch_seq in marks:
+        key_bytes = producer_key.encode("utf-8")
+        parts.append(_MARK_HEAD.pack(len(key_bytes)))
+        parts.append(key_bytes)
+        parts.append(_MARK_SEQ.pack(batch_seq))
+    return b"".join(parts)
+
+
+def _encode_frame(records: Sequence[WalRecord], session=None) -> bytes:
+    parts: List[bytes] = [_encode_mark_prefix(session), _COUNT.pack(len(records))]
     for record in records:
         topic_bytes = record.topic.encode("utf-8")
         raw_bytes = record.raw.encode("utf-8")
@@ -132,7 +183,8 @@ _TOPIC_HEAD_STRUCTS: Dict[int, struct.Struct] = {}
 
 def _encode_topic_frame(topic: str, first_seq: int, timestamp: float,
                         raws: Sequence[str],
-                        timestamps: Optional[Sequence[float]] = None) -> bytes:
+                        timestamps: Optional[Sequence[float]] = None,
+                        session=None) -> bytes:
     """Encode one frame of seq-contiguous records for a single topic.
 
     The ingest hot path: identical wire format to :func:`_encode_frame`,
@@ -141,7 +193,9 @@ def _encode_topic_frame(topic: str, first_seq: int, timestamp: float,
     within a microsecond or two of the in-memory deque push it guards.
     ``timestamps`` optionally stamps each record individually (worker
     processes coalesce records submitted at different times into one
-    frame); ``timestamp`` stamps the whole batch otherwise.
+    frame); ``timestamp`` stamps the whole batch otherwise.  ``session``
+    — ``(producer_key, batch_seq)`` — embeds an idempotent-producer
+    dedup mark in the same frame as the records it covers.
     """
     topic_bytes = topic.encode("utf-8")
     topic_len = len(topic_bytes)
@@ -150,7 +204,7 @@ def _encode_topic_frame(topic: str, first_seq: int, timestamp: float,
         head = _TOPIC_HEAD_STRUCTS.setdefault(
             topic_len, struct.Struct(f"<H{topic_len}sQdI")
         )
-    parts: List[bytes] = [_COUNT.pack(len(raws))]
+    parts: List[bytes] = [_encode_mark_prefix(session), _COUNT.pack(len(raws))]
     append = parts.append
     pack = head.pack
     seq = first_seq
@@ -172,9 +226,10 @@ def _encode_topic_frame(topic: str, first_seq: int, timestamp: float,
     return _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
 
-def _decode_payload(payload: bytes) -> List[WalRecord]:
-    (n_records,) = _COUNT.unpack_from(payload, 0)
-    offset = _COUNT.size
+def _decode_payload(payload: bytes, offset: int = 0) -> List[WalRecord]:
+    """Decode the v1 record block starting at ``offset``."""
+    (n_records,) = _COUNT.unpack_from(payload, offset)
+    offset += _COUNT.size
     records: List[WalRecord] = []
     for _ in range(n_records):
         (topic_len,) = _RECORD_HEAD.unpack_from(payload, offset)
@@ -193,6 +248,41 @@ def _decode_payload(payload: bytes) -> List[WalRecord]:
     return records
 
 
+def _decode_payload_v2(payload: bytes) -> Tuple[List[WalRecord], Dict[str, int]]:
+    """Decode a v2 payload: ``(records, producer_marks)``."""
+    (n_marks,) = _MARK_FLAG.unpack_from(payload, 0)
+    offset = _MARK_FLAG.size
+    marks: Dict[str, int] = {}
+    for _ in range(n_marks):
+        (key_len,) = _MARK_HEAD.unpack_from(payload, offset)
+        offset += _MARK_HEAD.size
+        producer_key = payload[offset : offset + key_len].decode("utf-8")
+        offset += key_len
+        (batch_seq,) = _MARK_SEQ.unpack_from(payload, offset)
+        offset += _MARK_SEQ.size
+        if batch_seq > marks.get(producer_key, 0):
+            marks[producer_key] = batch_seq
+    return _decode_payload(payload, offset), marks
+
+
+def decode_frame_payload(
+    payload: bytes, version: int
+) -> Tuple[List[WalRecord], Dict[str, int]]:
+    """Version-dispatching payload decoder shared with the WAL shipper."""
+    if version == 1:
+        return _decode_payload(payload), {}
+    return _decode_payload_v2(payload)
+
+
+def segment_version(magic: bytes) -> Optional[int]:
+    """Frame-format version for a segment magic; ``None`` if unknown."""
+    if magic == _MAGIC:
+        return 1
+    if magic == _MAGIC_V2:
+        return 2
+    return None
+
+
 def read_segment(path: Path) -> Tuple[List[List[WalRecord]], SegmentInfo]:
     """Read one segment: ``(frames, info)``.
 
@@ -207,11 +297,13 @@ def read_segment(path: Path) -> Tuple[List[List[WalRecord]], SegmentInfo]:
         # A crash during segment creation: empty file or partial header.
         info.torn_tail = len(data) > 0
         return [], info
-    if not data.startswith(_MAGIC):
-        # A full-size header that is not the magic is never a crash
+    version = segment_version(data[: len(_MAGIC)])
+    if version is None:
+        # A full-size header that is not a known magic is never a crash
         # artifact — treating it as torn would silently drop every frame
         # in the segment.
         raise WalCorruptionError(f"bad segment magic in {path}")
+    info.version = version
     frames: List[List[WalRecord]] = []
     offset = len(_MAGIC)
     total = len(data)
@@ -227,9 +319,10 @@ def read_segment(path: Path) -> Tuple[List[List[WalRecord]], SegmentInfo]:
             break
         payload = data[payload_start:payload_end]
         bad = zlib.crc32(payload) != crc
+        marks: Dict[str, int] = {}
         if not bad:
             try:
-                records = _decode_payload(payload)
+                records, marks = decode_frame_payload(payload, version)
             except Exception:
                 bad = True
         if bad:
@@ -243,11 +336,51 @@ def read_segment(path: Path) -> Tuple[List[List[WalRecord]], SegmentInfo]:
         frames.append(records)
         info.n_frames += 1
         info.n_records += len(records)
+        for producer_key, batch_seq in marks.items():
+            if batch_seq > info.producer_marks.get(producer_key, 0):
+                info.producer_marks[producer_key] = batch_seq
         for record in records:
             lo, hi = info.topic_seqs.get(record.topic, (record.seq, record.seq))
             info.topic_seqs[record.topic] = (min(lo, record.seq), max(hi, record.seq))
         offset = payload_end
     return frames, info
+
+
+def _write_json_atomic(directory: Path, filename: str, obj: Dict) -> None:
+    """Temp file, fsync, ``os.replace``, best-effort directory fsync — a
+    crash at any point leaves either the old complete file or the new
+    complete file (watermark.json and the sessions.json checkpoints)."""
+    payload = (json.dumps(obj, indent=2) + "\n").encode("utf-8")
+    target = directory / filename
+    tmp = target.with_name(filename + ".tmp")
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        os.write(fd, payload)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp, target)
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # directory fds unsupported (non-POSIX): replace is enough
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def _read_producer_marks(path: Path) -> Dict[str, int]:
+    """Read one sessions.json checkpoint; missing or torn reads as empty
+    (the file is written crash-atomically, so a parse error only means a
+    write raced the read)."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    return {str(key): int(seq) for key, seq in data.get("producers", {}).items()}
 
 
 def _segment_index(path: Path) -> int:
@@ -312,6 +445,7 @@ class ShardWal:
         self._closed_stats: Dict[Path, Dict[str, int]] = {}
         self._active_stats: Dict[str, int] = {}
         self._active_path: Optional[Path] = None
+        self._producer_marks_cache: Optional[Dict[str, int]] = None
         existing = self.segments()
         for path in existing:
             # Truncation needs per-topic max seqs for pre-existing
@@ -343,8 +477,8 @@ class ShardWal:
         # cache, which is the per-append durability point (a process kill
         # cannot lose it) — no userspace buffer to flush, no double copy.
         self._file = open(path, "ab", buffering=0)
-        self._file.write(_MAGIC)
-        self._size = len(_MAGIC)
+        self._file.write(_MAGIC_V2)
+        self._size = len(_MAGIC_V2)
         self._active_path = path
         self._active_stats = {}
         self._force_rotate = False
@@ -358,11 +492,16 @@ class ShardWal:
         self._closed_stats[self._active_path] = self._active_stats
         self._start_segment(_segment_index(self._active_path) + 1)
 
-    def append(self, records: Sequence[WalRecord]) -> None:
-        """Durably append one frame holding ``records`` (a record batch)."""
-        if not records:
+    def append(self, records: Sequence[WalRecord], session=None) -> None:
+        """Durably append one frame holding ``records`` (a record batch).
+
+        A record-less call with a ``session`` still writes a mark-only
+        frame: an empty idempotent batch's acknowledgement promises the
+        producer's ``batch_seq`` is durable like any other.
+        """
+        if not records and not _normalize_session(session):
             return
-        frame = _encode_frame(records)
+        frame = _encode_frame(records, session)
         with self._lock:
             start = self._write_frame(frame)
             if self.sync_mode == "always":
@@ -374,17 +513,20 @@ class ShardWal:
 
     def append_batch(self, topic: str, first_seq: int, timestamp: float,
                      raws: Sequence[str],
-                     timestamps: Optional[Sequence[float]] = None) -> None:
+                     timestamps: Optional[Sequence[float]] = None,
+                     session=None) -> None:
         """Hot-path append: one frame of contiguous records for one topic.
 
         Same durability and framing as :meth:`append`; skips the
         per-record :class:`WalRecord` materialisation the generic path
         pays (the runtime always logs one topic per frame).
-        ``timestamps`` stamps each record individually when given.
+        ``timestamps`` stamps each record individually when given;
+        ``session`` embeds a producer dedup mark in the frame.
         """
         if not raws:
             return
-        frame = _encode_topic_frame(topic, first_seq, timestamp, raws, timestamps)
+        frame = _encode_topic_frame(topic, first_seq, timestamp, raws, timestamps,
+                                    session)
         last_seq = first_seq + len(raws) - 1
         with self._lock:
             start = self._write_frame(frame)
@@ -544,6 +686,39 @@ class ShardWal:
                     deleted.append(path)
         return deleted
 
+    def producer_marks(self) -> Dict[str, int]:
+        """This shard's checkpointed producer marks (see
+        :meth:`WriteAheadLog.producer_marks` for the ownership split)."""
+        with self._lock:
+            return dict(self._producer_marks_locked())
+
+    def _producer_marks_locked(self) -> Dict[str, int]:
+        if self._producer_marks_cache is None:
+            self._producer_marks_cache = _read_producer_marks(
+                self.directory / _SESSIONS_FILE
+            )
+        return self._producer_marks_cache
+
+    def record_producer_marks(self, marks: Dict[str, int]) -> None:
+        """Max-merge ``marks`` into this shard's checkpoint (crash-atomic;
+        a no-op when nothing advanced).  Process-backend workers call this
+        before truncating their own segments — the marks those segments
+        carried must survive the reclaim, and only the owning worker may
+        write inside a shard directory."""
+        if not marks:
+            return
+        with self._lock:
+            merged = dict(self._producer_marks_locked())
+            changed = False
+            for key, seq in marks.items():
+                if int(seq) > merged.get(key, 0):
+                    merged[key] = int(seq)
+                    changed = True
+            if not changed:
+                return
+            _write_json_atomic(self.directory, _SESSIONS_FILE, {"producers": merged})
+            self._producer_marks_cache = merged
+
 
 class WriteAheadLog:
     """Per-shard WALs plus the persisted low-water mark, under one root."""
@@ -562,6 +737,7 @@ class WriteAheadLog:
         self._shards_lock = threading.Lock()
         self._watermark_lock = threading.Lock()
         self._captured_cache: Optional[Dict[str, int]] = None
+        self._producer_marks_cache: Optional[Dict[str, int]] = None
         #: Segment -> per-topic max seq for shard dirs this process does
         #: not write to (scanned once per segment, see truncate()).
         self._orphan_stats: Dict[Path, Dict[str, int]] = {}
@@ -680,27 +856,59 @@ class WriteAheadLog:
         with self._watermark_lock:
             captured = dict(self._captured_locked())
             captured[topic] = seq
-            payload = (json.dumps({"captured": captured}, indent=2) + "\n").encode("utf-8")
-            target = self._watermark_path()
-            tmp = target.with_name(_WATERMARK_FILE + ".tmp")
-            fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
-            try:
-                os.write(fd, payload)
-                os.fsync(fd)
-            finally:
-                os.close(fd)
-            os.replace(tmp, target)
+            _write_json_atomic(self.root, _WATERMARK_FILE, {"captured": captured})
             self._captured_cache = captured
-            try:
-                dir_fd = os.open(self.root, os.O_RDONLY)
-            except OSError:
-                return  # directory fds unsupported (non-POSIX): replace is enough
-            try:
-                os.fsync(dir_fd)
-            except OSError:
-                pass
-            finally:
-                os.close(dir_fd)
+
+    # ------------------------------------------------------------------ #
+    # idempotent-producer marks
+    # ------------------------------------------------------------------ #
+    def producer_marks(self) -> Dict[str, int]:
+        """Per-producer dedup high-water marks, max-merged across every
+        checkpoint under this root.
+
+        The marks embedded in the frames themselves cover live segments;
+        truncation may delete the segments that carried a producer's
+        latest mark, so the mark set is checkpointed (same crash-atomic
+        protocol as the low-water mark) before segments are reclaimed.
+        Two checkpoint locations exist because of write ownership: the
+        root's ``sessions.json`` (thread backend, recovery, promotion)
+        and one per shard directory (process-backend workers truncate
+        their own directories and may not touch the parent's file).
+        """
+        with self._watermark_lock:
+            merged = dict(self._root_marks_locked())
+        for shard_dir in self.shard_dirs():
+            for key, seq in _read_producer_marks(shard_dir / _SESSIONS_FILE).items():
+                if seq > merged.get(key, 0):
+                    merged[key] = seq
+        return merged
+
+    def _root_marks_locked(self) -> Dict[str, int]:
+        if self._producer_marks_cache is None:
+            self._producer_marks_cache = _read_producer_marks(
+                self.root / _SESSIONS_FILE
+            )
+        return self._producer_marks_cache
+
+    def record_producer_marks(self, marks: Dict[str, int]) -> None:
+        """Max-merge ``marks`` into the root checkpoint (crash-atomic).
+
+        A no-op when nothing advanced, so callers may invoke it on every
+        truncation barrier without paying a write.
+        """
+        if not marks:
+            return
+        with self._watermark_lock:
+            merged = dict(self._root_marks_locked())
+            changed = False
+            for key, seq in marks.items():
+                if int(seq) > merged.get(key, 0):
+                    merged[key] = int(seq)
+                    changed = True
+            if not changed:
+                return
+            _write_json_atomic(self.root, _SESSIONS_FILE, {"producers": merged})
+            self._producer_marks_cache = merged
 
     # ------------------------------------------------------------------ #
     # maintenance / reading

@@ -1,0 +1,283 @@
+"""Kill-the-primary chaos drill: wire-level failover under live load.
+
+The tentpole acceptance test for end-to-end high availability.  A real
+``cli serve`` primary and a real ``cli serve --standby-of`` warm
+standby run as subprocesses; multi-tenant sessioned clients stream
+batches, journalling every acked record to an O_APPEND file (the
+``test_server_recovery`` discipline — a SIGKILL cannot lose page-cache
+writes, and the journal is the on-failure artifact).  Mid-stream the
+primary is SIGKILLed — with an ``ack_lost`` failpoint having already
+dropped one ack on the floor, and a torn frame planted on the dead
+primary's WAL tail.  The standby's heartbeat watchdog notices, promotes
+itself (final catch-up over the dead primary's durable WAL included),
+and the clients fail over automatically on the same producer sessions.
+
+The verdict: **every client-acked record appears exactly once on the
+survivor** — nothing lost (acks imply WAL durability, and the final
+catch-up ships the whole durable tail), nothing doubled (replayed
+``batch_seq``\\ es are deduplicated by marks that travelled inside the
+shipped WAL frames), and nothing invented (the torn tail is skipped,
+not applied).  Runs on the thread AND the process shard backend.
+
+Marked slow: run by the CI chaos job, not the unit step.
+"""
+
+import collections
+import json
+import os
+import signal
+import struct
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service.client import IngestReport, ServiceClient
+
+pytestmark = pytest.mark.slow
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+TENANTS = [{"name": "alpha", "topics": ["app"]},
+           {"name": "beta", "topics": ["app"]}]
+N_BATCHES = 8
+RECORDS_PER_BATCH = 40
+
+_BOOTS = iter(range(10**6))
+
+
+def _spawn(tmp_path: Path, *argv: str) -> tuple:
+    """Boot one ``cli serve`` flavour; returns (proc, port)."""
+    ready = tmp_path / f"ready-{next(_BOOTS)}.txt"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{SRC}{os.pathsep}{env.get('PYTHONPATH', '')}".rstrip(
+        os.pathsep
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--ready-file", str(ready), *argv],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.time() + 90.0
+    while time.time() < deadline:
+        if ready.exists() and ready.read_text().strip():
+            return proc, int(ready.read_text().split()[1])
+        if proc.poll() is not None:
+            raise RuntimeError(f"server died during boot:\n{proc.stdout.read()}")
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("server never wrote the ready file")
+
+
+def _plant_torn_tail(wal_root: Path) -> None:
+    """Append a torn frame (header promising bytes that never arrive) to
+    the dead primary's newest segment — the exact window a mid-append
+    SIGKILL leaves behind; the shipper must skip it, not ship it."""
+    segments = sorted(wal_root.glob("shard-*/segment-*.wal"))
+    if segments:
+        with open(segments[-1], "ab") as handle:
+            handle.write(struct.pack("<II", 100, 0xDEADBEEF) + b"torn")
+
+
+def _chaos_worker(tenant: str, endpoints, journal_path: Path, progress: dict,
+                  lock: threading.Lock, results: dict, errors: list) -> None:
+    journal_fd = os.open(str(journal_path),
+                         os.O_WRONLY | os.O_CREAT | os.O_APPEND)
+    try:
+        client = ServiceClient(
+            endpoints[0][0], endpoints[0][1], tenant,
+            endpoints=endpoints, producer_id=f"{tenant}-producer",
+            reconnect_attempts=40, reconnect_backoff=0.05,
+            reconnect_backoff_max=1.0, seed=hash(tenant) % 1000,
+        )
+        report = IngestReport()
+        acked = []
+        for batch in range(N_BATCHES):
+            raws = [f"{tenant} chaos batch {batch} record {i}"
+                    for i in range(RECORDS_PER_BATCH)]
+            client.ingest("app", raws, timestamp=float(batch), report=report)
+            # Journal strictly after the ack: this file defines "acked".
+            os.write(journal_fd, ("".join(r + "\n" for r in raws)).encode())
+            acked.extend(raws)
+            with lock:
+                progress[tenant] = batch + 1
+        results[tenant] = (client, report, acked)
+    except Exception as exc:  # noqa: BLE001 — drill harness boundary
+        errors.append(f"{tenant}: {type(exc).__name__}: {exc}")
+    finally:
+        os.close(journal_fd)
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+class TestKillThePrimary:
+    def test_acked_records_survive_failover_exactly_once(self, tmp_path, backend):
+        tenants_file = tmp_path / "tenants.json"
+        tenants_file.write_text(json.dumps(TENANTS), encoding="utf-8")
+        primary_wal = tmp_path / "primary" / "wal"
+
+        primary, primary_port = _spawn(
+            tmp_path,
+            "--store", str(tmp_path / "primary" / "store"),
+            "--wal-dir", str(primary_wal),
+            "--tenants", str(tenants_file),
+            "--backend", backend,
+            # One ack dropped after durable apply: the idempotent-replay
+            # window is exercised even before the kill.
+            "--failpoint", "server.ack_lost:raise:nth=3,times=1",
+        )
+        standby, standby_port = _spawn(
+            tmp_path,
+            "--standby-of", str(primary_wal),
+            "--standby-dir", str(tmp_path / "standby"),
+            "--tenants", str(tenants_file),
+            "--backend", backend,
+            "--primary-addr", f"127.0.0.1:{primary_port}",
+            "--auto-promote",
+            "--heartbeat-interval", "0.1",
+            "--heartbeat-misses", "3",
+        )
+        endpoints = [("127.0.0.1", primary_port), ("127.0.0.1", standby_port)]
+        progress: dict = {}
+        results: dict = {}
+        errors: list = []
+        lock = threading.Lock()
+        threads = [
+            threading.Thread(
+                target=_chaos_worker,
+                args=(spec["name"], endpoints,
+                      tmp_path / f"acked-{spec['name']}.txt",
+                      progress, lock, results, errors),
+                name=f"chaos-{spec['name']}",
+            )
+            for spec in TENANTS
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+
+            # Let every tenant bank a few acked batches, then murder the
+            # primary mid-stream — no drain, no goodbye.
+            deadline = time.time() + 120.0
+            while time.time() < deadline:
+                with lock:
+                    if len(progress) == len(TENANTS) and min(progress.values()) >= 2:
+                        break
+                if primary.poll() is not None:
+                    pytest.fail(f"primary died early:\n{primary.stdout.read()}")
+                time.sleep(0.01)
+            primary.send_signal(signal.SIGKILL)
+            primary.wait(timeout=30.0)
+            _plant_torn_tail(primary_wal)
+
+            for thread in threads:
+                thread.join(timeout=180.0)
+            assert not errors, errors
+            assert not any(t.is_alive() for t in threads), "a worker hung"
+            assert standby.poll() is None, (
+                f"standby died during the drill:\n{standby.stdout.read()}"
+            )
+
+            total = N_BATCHES * RECORDS_PER_BATCH
+            for spec in TENANTS:
+                tenant = spec["name"]
+                client, report, acked = results[tenant]
+                assert report.accepted == total
+                assert report.failovers >= 1, "never failed over?"
+                assert report.reconnects >= 1
+
+                # The journal (what a crashed test run would leave behind)
+                # and the in-memory ack list must agree.
+                journal = (tmp_path / f"acked-{tenant}.txt").read_text().splitlines()
+                assert journal == acked
+
+                # Exactly once on the survivor: count every stored raw.
+                client.drain()
+                stored = int(client.topic_stats("app")["n_records"])
+                assert stored == total, (
+                    f"{tenant}: survivor stores {stored}, clients were acked {total}"
+                )
+                fetched = client.call(
+                    "analytics", topic="app", kind="drill_down",
+                    start_time=-1.0, end_time=1e9, limit=total * 2,
+                )["records"]
+                counts = collections.Counter(r["raw"] for r in fetched)
+                duplicates = {raw: n for raw, n in counts.items() if n > 1}
+                assert not duplicates, f"{tenant}: doubled records: {duplicates}"
+                missing = [raw for raw in acked if raw not in counts]
+                assert not missing, (
+                    f"{tenant}: {len(missing)} acked records lost, "
+                    f"first: {missing[0]!r}"
+                )
+                assert set(counts) == set(acked), "records invented from nowhere"
+                client.close()
+        finally:
+            for proc in (primary, standby):
+                if proc.poll() is None:
+                    proc.terminate()
+                    try:
+                        proc.wait(timeout=60.0)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+                        proc.wait(timeout=30.0)
+
+    def test_operator_failover_command(self, tmp_path, backend):
+        """The runbook path: no auto-promote — a human runs
+        ``cli failover`` against the standby after the primary dies."""
+        tenants_file = tmp_path / "tenants.json"
+        tenants_file.write_text(json.dumps(TENANTS), encoding="utf-8")
+        primary_wal = tmp_path / "primary" / "wal"
+        primary, primary_port = _spawn(
+            tmp_path,
+            "--store", str(tmp_path / "primary" / "store"),
+            "--wal-dir", str(primary_wal),
+            "--tenants", str(tenants_file),
+            "--backend", backend,
+        )
+        standby, standby_port = _spawn(
+            tmp_path,
+            "--standby-of", str(primary_wal),
+            "--standby-dir", str(tmp_path / "standby"),
+            "--tenants", str(tenants_file),
+            "--backend", backend,
+            "--primary-addr", f"127.0.0.1:{primary_port}",
+        )
+        try:
+            with ServiceClient("127.0.0.1", primary_port, "alpha",
+                               producer_id="p1") as client:
+                client.ingest("app", [f"acked {i}" for i in range(60)],
+                              timestamp=1.0)
+            time.sleep(0.3)  # a couple of shipper polls
+            primary.send_signal(signal.SIGKILL)
+            primary.wait(timeout=30.0)
+
+            env = dict(os.environ)
+            env["PYTHONPATH"] = f"{SRC}{os.pathsep}{env.get('PYTHONPATH', '')}".rstrip(
+                os.pathsep
+            )
+            done = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "failover",
+                 "--port", str(standby_port), "--tenant", "alpha"],
+                env=env, capture_output=True, text=True, timeout=120.0,
+            )
+            assert done.returncode == 0, done.stderr
+            assert "promoted=True" in done.stdout
+
+            with ServiceClient("127.0.0.1", standby_port, "alpha",
+                               producer_id="p1") as client:
+                assert client.hello["role"] == "primary"
+                assert client.hello["producer_seq"] == 1
+                client.ingest("app", ["after failover"], timestamp=2.0)
+                client.drain()
+                assert int(client.topic_stats("app")["n_records"]) == 61
+        finally:
+            for proc in (primary, standby):
+                if proc.poll() is None:
+                    proc.terminate()
+                    try:
+                        proc.wait(timeout=60.0)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+                        proc.wait(timeout=30.0)

@@ -1,0 +1,550 @@
+"""High availability over the wire: auth, sessions, standby, failover.
+
+Each test boots real :class:`~repro.service.server.LogServer` instances
+on event-loop threads and drives them with the real client (or a raw
+socket for handshake-level assertions).  Together they pin the HA
+contract the chaos drill exercises end-to-end:
+
+* tenants with a shared secret complete an HMAC challenge/response, and
+  a wrong or missing secret is a *terminal* ``AUTH`` — never retried;
+* producer sessions deduplicate replayed ``batch_seq``\\ es, reject
+  gaps, and survive a server restart through WAL recovery;
+* a standby answers ``hello`` with ``role=standby`` plus a redirect
+  hint and refuses writes with ``NOT_PRIMARY``;
+* ``promote`` (operator op or the heartbeat watchdog) turns the standby
+  into a serving primary on the same tenant namespace and sequences,
+  and a sessioned client follows it there without losing or doubling a
+  single acked record.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.core import failpoints
+from repro.core.config import ByteBrainConfig
+from repro.service import protocol
+from repro.service.client import IngestReport, ServerError, ServiceClient
+from repro.service.recovery import RecoveredRuntime
+from repro.service.replication import StandbyRuntime, WalShipper
+from repro.service.runtime import create_runtime
+from repro.service.server import (
+    LogServer,
+    build_tenant_specs,
+    qualify_topic,
+    run_server_in_thread,
+)
+from repro.service.service import LogParsingService
+
+
+PLAIN_TENANTS = [{"name": "alpha", "topics": ["app"]}]
+SECRET_TENANTS = [{"name": "alpha", "topics": ["app"], "secret": "hunter2"}]
+
+
+class Door:
+    """One primary server over its own store + WAL (restartable)."""
+
+    def __init__(self, tmp_path, tenants_data=None, config=None, **runtime_kwargs):
+        self.root = tmp_path
+        self.config = config or ByteBrainConfig(n_shards=2)
+        self.tenants_data = tenants_data or PLAIN_TENANTS
+        self.tenants = build_tenant_specs(self.tenants_data)
+        self.service = LogParsingService(
+            config=self.config, store_root=tmp_path / "store"
+        )
+        for spec, topics in self.tenants:
+            for topic in topics:
+                self.service.create_topic(qualify_topic(spec.name, topic))
+        self.runtime = create_runtime(
+            self.service, wal_dir=tmp_path / "wal", **runtime_kwargs
+        )
+        self._start()
+
+    def _start(self):
+        self.server = LogServer(
+            self.service, self.runtime, self.tenants, config=self.config
+        )
+        self._thread, self._stop = run_server_in_thread(self.server)
+
+    @property
+    def port(self):
+        return self.server.port
+
+    def client(self, tenant="alpha", **kwargs):
+        return ServiceClient("127.0.0.1", self.port, tenant, **kwargs)
+
+    def close(self):
+        try:
+            self._stop()
+        finally:
+            self.runtime.shutdown(drain=False)
+
+    def restart(self):
+        """Stop everything, then recover store + WAL into a new server."""
+        self.close()
+        recovered = RecoveredRuntime.open(
+            self.root / "store", self.root / "wal", config=self.config
+        )
+        self.service = recovered.service
+        self.runtime = recovered.runtime
+        self._start()
+        return recovered.report
+
+
+def _raw_call(port, *requests, timeout=10.0):
+    """Send JSON ops on one raw connection; returns the responses."""
+    sock = socket.create_connection(("127.0.0.1", port), timeout=timeout)
+    try:
+        rfile = sock.makefile("rb")
+        responses = []
+        for i, request in enumerate(requests):
+            sock.sendall(protocol.encode_json_frame({"id": i, **request}))
+            _, body = protocol.read_frame_sync(rfile, 1 << 20)
+            responses.append(protocol.decode_json_body(body))
+        return responses
+    finally:
+        sock.close()
+
+
+# --------------------------------------------------------------------- #
+# HMAC challenge/response
+# --------------------------------------------------------------------- #
+
+
+class TestTenantAuth:
+    def test_correct_secret_establishes_and_ingests(self, tmp_path):
+        door = Door(tmp_path, tenants_data=SECRET_TENANTS)
+        try:
+            with door.client(secret="hunter2") as client:
+                assert client.hello["tenant"] == "alpha"
+                report = client.ingest("app", ["authed record"], timestamp=1.0)
+                assert report.accepted == 1
+        finally:
+            door.close()
+
+    def test_wrong_secret_is_terminal_auth(self, tmp_path):
+        door = Door(tmp_path, tenants_data=SECRET_TENANTS)
+        try:
+            with pytest.raises(ServerError) as excinfo:
+                door.client(secret="letmein")
+            assert excinfo.value.code == protocol.ERR_AUTH
+            assert not excinfo.value.retryable
+            assert door.server.counters["auth_failures"] == 1
+        finally:
+            door.close()
+
+    def test_missing_secret_is_terminal_auth(self, tmp_path):
+        door = Door(tmp_path, tenants_data=SECRET_TENANTS)
+        try:
+            with pytest.raises(ServerError) as excinfo:
+                door.client()  # no secret: answers the challenge wrongly
+            assert excinfo.value.code == protocol.ERR_AUTH
+        finally:
+            door.close()
+
+    def test_auth_failure_closes_the_connection(self, tmp_path):
+        door = Door(tmp_path, tenants_data=SECRET_TENANTS)
+        try:
+            hello, bad_auth = _raw_call(
+                door.port,
+                {"op": "hello", "tenant": "alpha"},
+                {"op": "auth", "mac": "deadbeef"},
+            )
+            assert hello["auth"] == "challenge"
+            assert bad_auth["error"] == protocol.ERR_AUTH
+            with pytest.raises((ConnectionError, OSError, ValueError)):
+                _raw_call(door.port, {"op": "auth", "mac": "deadbeef"},
+                          {"op": "ping"})
+                raise ConnectionError("auth without hello must close")
+        finally:
+            door.close()
+
+    def test_secretless_tenant_skips_the_challenge(self, tmp_path):
+        door = Door(tmp_path)
+        try:
+            (hello,) = _raw_call(door.port, {"op": "hello", "tenant": "alpha"})
+            assert hello["ok"] and "auth" not in hello
+        finally:
+            door.close()
+
+
+# --------------------------------------------------------------------- #
+# Producer sessions over the wire
+# --------------------------------------------------------------------- #
+
+
+class TestProducerSessions:
+    def test_batch_seq_without_session_is_rejected(self, tmp_path):
+        door = Door(tmp_path)
+        try:
+            with door.client() as client:  # no producer_id
+                from repro.service.transport import BatchSection
+
+                section = BatchSection(topic="app", first_seq=0,
+                                       timestamps=[1.0], raws=["x"])
+                client.send_batch([section], batch_seq=1)
+                with pytest.raises(ServerError) as excinfo:
+                    client.recv()
+                assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+        finally:
+            door.close()
+
+    def test_sequence_gap_is_rejected(self, tmp_path):
+        door = Door(tmp_path)
+        try:
+            with door.client(producer_id="p1") as client:
+                from repro.service.transport import BatchSection
+
+                section = BatchSection(topic="app", first_seq=0,
+                                       timestamps=[1.0], raws=["x"])
+                client.send_batch([section], batch_seq=5)  # expected 1
+                with pytest.raises(ServerError) as excinfo:
+                    client.recv()
+                assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+                assert "gap" in str(excinfo.value)
+        finally:
+            door.close()
+
+    def test_replayed_batch_is_acked_as_a_noop(self, tmp_path):
+        door = Door(tmp_path)
+        try:
+            with door.client(producer_id="p1") as client:
+                report = client.ingest("app", ["one", "two"], timestamp=1.0)
+                assert report.accepted == 2
+                assert client.producer_seq == 1
+                # Replay the same batch_seq by hand: the ack-was-lost path.
+                from repro.service.transport import BatchSection
+
+                section = BatchSection(topic="app", first_seq=0,
+                                       timestamps=[1.0, 1.0],
+                                       raws=["one", "two"])
+                client.send_batch([section], batch_seq=1)
+                response = client.recv()
+                assert response["deduped"] is True
+                assert response["accepted"] == 0
+                assert door.server.counters["deduped_batches"] == 1
+                client.drain()
+                stored = int(client.topic_stats("app")["n_records"])
+                assert stored == 2  # applied exactly once
+        finally:
+            door.close()
+
+    def test_lost_ack_replay_lands_exactly_once(self, tmp_path):
+        """The chaos drill's core move, in miniature: the server applies a
+        batch durably, then drops the ack on the floor (connection abort);
+        the client replays it on a fresh connection and dedup turns the
+        replay into a no-op."""
+        door = Door(tmp_path)
+        failpoints.configure("server.ack_lost", "raise", nth=2, times=1)
+        try:
+            with door.client(producer_id="p1") as client:
+                total = 0
+                report = IngestReport()
+                for batch in range(4):
+                    raws = [f"batch {batch} record {i}" for i in range(25)]
+                    client.ingest("app", raws, timestamp=float(batch),
+                                  report=report)
+                    total += len(raws)
+                assert report.accepted == total
+                assert report.replayed == 1
+                assert report.deduped == 1
+                assert report.reconnects == 1
+                client.drain()
+                assert int(client.topic_stats("app")["n_records"]) == total
+        finally:
+            failpoints.clear_all()
+            door.close()
+
+    def test_dedup_state_survives_server_restart(self, tmp_path):
+        door = Door(tmp_path)
+        try:
+            with door.client(producer_id="p1") as client:
+                for batch in range(3):
+                    client.ingest("app", [f"pre-restart {batch}"],
+                                  timestamp=float(batch))
+                assert client.producer_seq == 3
+
+            report = door.restart()
+            assert report.producer_marks == {"alpha::p1": 3}
+
+            with door.client(producer_id="p1") as client:
+                # The session resumes after the recovered high-water mark.
+                assert client.hello["producer_seq"] == 3
+                from repro.service.transport import BatchSection
+
+                section = BatchSection(topic="app", first_seq=0,
+                                       timestamps=[9.0], raws=["replayed"])
+                client.send_batch([section], batch_seq=3)
+                assert client.recv()["deduped"] is True
+                client.producer_seq = 3
+                client.ingest("app", ["post-restart"], timestamp=9.0)
+                client.drain()
+                assert int(client.topic_stats("app")["n_records"]) == 4
+        finally:
+            door.close()
+
+
+# --------------------------------------------------------------------- #
+# Standby role + redirect
+# --------------------------------------------------------------------- #
+
+
+class _StandbyDoor:
+    """A standby server over a :class:`StandbyRuntime` (promotable)."""
+
+    def __init__(self, tmp_path, tenants_data=None, config=None,
+                 primary_hint="127.0.0.1:9", auto_promote=False):
+        self.config = config or ByteBrainConfig(n_shards=2)
+        self.tenants_data = tenants_data or PLAIN_TENANTS
+        self.tenants = build_tenant_specs(self.tenants_data)
+        self.standby = StandbyRuntime(tmp_path, config=self.config)
+        self.shipper = None  # attached by tests that ship
+        self._promoted_runtime = None
+
+        def promote_hook():
+            if self.shipper is not None:
+                self.shipper.stop()
+                self.shipper.catch_up()
+            runtime = self.standby.promote()
+            # Tenant topics that never saw a shipped frame must still
+            # exist on the promoted node (same bootstrap as `cli serve`).
+            for spec, topics in self.tenants:
+                for topic in topics:
+                    name = qualify_topic(spec.name, topic)
+                    try:
+                        self.standby.service.topic(name)
+                    except KeyError:
+                        runtime.create_topic(name)
+            self._promoted_runtime = runtime
+            return self.standby.service, runtime
+
+        self.server = LogServer(
+            self.standby.service, None, self.tenants, config=self.config,
+            role="standby", primary_hint=primary_hint,
+            promote_hook=promote_hook, auto_promote=auto_promote,
+        )
+        self._thread, self._stop = run_server_in_thread(self.server)
+
+    @property
+    def port(self):
+        return self.server.port
+
+    def close(self):
+        if self.shipper is not None:
+            self.shipper.stop()
+        try:
+            self._stop()
+        finally:
+            if self._promoted_runtime is not None:
+                self._promoted_runtime.shutdown(drain=False)
+            self.standby.close()
+
+
+class TestStandbyRole:
+    def test_hello_announces_standby_and_redirect_hint(self, tmp_path):
+        standby = _StandbyDoor(tmp_path, primary_hint="127.0.0.1:4242")
+        try:
+            (hello,) = _raw_call(standby.port, {"op": "hello", "tenant": "alpha"})
+            assert hello["role"] == "standby"
+            assert hello["primary"] == "127.0.0.1:4242"
+        finally:
+            standby.close()
+
+    def test_writes_are_refused_with_not_primary(self, tmp_path):
+        standby = _StandbyDoor(tmp_path, primary_hint="127.0.0.1:4242")
+        try:
+            hello, refused = _raw_call(
+                standby.port,
+                {"op": "hello", "tenant": "alpha"},
+                {"op": "ingest", "topic": "app", "records": ["x"],
+                 "timestamp": 1.0},
+            )
+            assert refused["error"] == protocol.ERR_NOT_PRIMARY
+            assert refused["primary"] == "127.0.0.1:4242"
+            assert standby.server.counters["not_primary"] == 1
+        finally:
+            standby.close()
+
+    def test_ping_and_promote_are_answered(self, tmp_path):
+        standby = _StandbyDoor(tmp_path)
+        try:
+            ping, hello, promoted = _raw_call(
+                standby.port,
+                {"op": "ping"},  # pre-hello: the failure detector's probe
+                {"op": "hello", "tenant": "alpha"},
+                {"op": "promote"},
+            )
+            assert ping["pong"] and ping["role"] == "standby"
+            assert promoted["promoted"] is True
+            assert promoted["role"] == "primary"
+            # Idempotent: a second promote is a no-op.
+            _, again = _raw_call(standby.port,
+                                 {"op": "hello", "tenant": "alpha"},
+                                 {"op": "promote"})
+            assert again["promoted"] is False
+        finally:
+            standby.close()
+
+    def test_client_constructor_refuses_a_lone_standby(self, tmp_path):
+        standby = _StandbyDoor(tmp_path)
+        try:
+            with pytest.raises(ConnectionError):
+                ServiceClient("127.0.0.1", standby.port, "alpha",
+                              reconnect_attempts=2, reconnect_backoff=0.01)
+        finally:
+            standby.close()
+
+
+# --------------------------------------------------------------------- #
+# End-to-end failover
+# --------------------------------------------------------------------- #
+
+
+class TestFailover:
+    def test_sessioned_client_follows_a_promotion(self, tmp_path):
+        """Primary dies; the standby is promoted; the same client keeps
+        ingesting on the same session with zero loss and zero duplicates."""
+        primary = Door(tmp_path / "primary")
+        standby = _StandbyDoor(tmp_path / "standby", config=primary.config)
+        standby.shipper = WalShipper(tmp_path / "primary" / "wal", standby.standby)
+        client = None
+        try:
+            client = primary.client(producer_id="p1", reconnect_backoff=0.01)
+            report = IngestReport()
+            acked = [f"pre-failover {i}" for i in range(50)]
+            client.ingest("app", acked, timestamp=1.0, report=report)
+            primary.runtime.drain()
+            standby.shipper.catch_up()
+
+            # The primary dies (server + runtime down, WAL left on disk).
+            primary.close()
+            _, promoted = _raw_call(standby.port,
+                                    {"op": "hello", "tenant": "alpha"},
+                                    {"op": "promote"})
+            assert promoted["promoted"] is True
+
+            # The client only knows the dead endpoint until we tell it.
+            client.endpoints.append(("127.0.0.1", standby.port))
+            more = [f"post-failover {i}" for i in range(30)]
+            client.ingest("app", more, timestamp=2.0, report=report)
+            assert report.accepted == 80
+            assert report.reconnects >= 1
+            assert report.failovers >= 1
+
+            client.drain()
+            stored = int(client.topic_stats("app")["n_records"])
+            assert stored == 80
+            # Exactly once: nothing lost, nothing doubled, nothing invented.
+            engine = standby.standby.service.topic("alpha::app").topic
+            survived = [engine.record(i).raw for i in range(engine.high_watermark)]
+            assert sorted(survived) == sorted(acked + more)
+        finally:
+            if client is not None:
+                client.close()
+            standby.close()
+            try:
+                primary.close()
+            except Exception:
+                pass
+
+    def test_promotion_carries_the_dedup_marks(self, tmp_path):
+        """A batch acked by the primary and replayed against the promoted
+        standby is a dedup no-op: the marks travelled inside the shipped
+        WAL frames."""
+        primary = Door(tmp_path / "primary")
+        standby = _StandbyDoor(tmp_path / "standby", config=primary.config)
+        standby.shipper = WalShipper(tmp_path / "primary" / "wal", standby.standby)
+        try:
+            with primary.client(producer_id="p1") as client:
+                client.ingest("app", ["acked once"], timestamp=1.0)
+            primary.runtime.drain()
+            standby.shipper.catch_up()
+            primary.close()
+            _raw_call(standby.port, {"op": "hello", "tenant": "alpha"},
+                      {"op": "promote"})
+
+            with ServiceClient("127.0.0.1", standby.port, "alpha",
+                               producer_id="p1") as client:
+                assert client.hello["producer_seq"] == 1
+                from repro.service.transport import BatchSection
+
+                section = BatchSection(topic="app", first_seq=0,
+                                       timestamps=[1.0], raws=["acked once"])
+                client.send_batch([section], batch_seq=1)
+                assert client.recv()["deduped"] is True
+        finally:
+            standby.close()
+            try:
+                primary.close()
+            except Exception:
+                pass
+
+    def test_auto_promote_watchdog_fires_on_missed_heartbeats(self, tmp_path):
+        # Port 9 (discard) refuses instantly, so every probe is a miss.
+        config = ByteBrainConfig(n_shards=2, ha_heartbeat_interval=0.05,
+                                 ha_heartbeat_misses=2)
+        standby = _StandbyDoor(tmp_path, config=config,
+                               primary_hint="127.0.0.1:9", auto_promote=True)
+        try:
+            deadline = time.time() + 30.0
+            while time.time() < deadline and standby.server.role != "primary":
+                time.sleep(0.02)
+            assert standby.server.role == "primary"
+            with ServiceClient("127.0.0.1", standby.port, "alpha") as client:
+                assert client.ingest("app", ["served by the promoted node"],
+                                     timestamp=1.0).accepted == 1
+        finally:
+            standby.close()
+
+    def test_watchdog_does_not_fire_while_the_primary_answers(self, tmp_path):
+        primary = Door(tmp_path / "primary")
+        config = ByteBrainConfig(n_shards=2, ha_heartbeat_interval=0.05,
+                                 ha_heartbeat_misses=2)
+        standby = _StandbyDoor(
+            tmp_path / "standby", config=config,
+            primary_hint=f"127.0.0.1:{primary.port}", auto_promote=True,
+        )
+        try:
+            time.sleep(1.0)  # ~20 heartbeat intervals
+            assert standby.server.role == "standby"
+        finally:
+            standby.close()
+            primary.close()
+
+
+# --------------------------------------------------------------------- #
+# Dynamic topic creation (both backends)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+class TestDynamicTopics:
+    def test_create_topic_then_ingest(self, tmp_path, backend):
+        door = Door(tmp_path, backend=backend)
+        try:
+            with door.client() as client:
+                assert client.hello["topics"] == ["app"]
+                response = client.call("create_topic", topic="fresh")
+                assert response["topics"] == ["app", "fresh"]
+                report = client.ingest("fresh", [f"new topic record {i}"
+                                                 for i in range(20)],
+                                       timestamp=1.0)
+                assert report.accepted == 20
+                client.drain()
+                assert int(client.topic_stats("fresh")["n_records"]) == 20
+                # Idempotent: re-creating is a no-op, data intact.
+                client.call("create_topic", topic="fresh")
+                assert int(client.topic_stats("fresh")["n_records"]) == 20
+        finally:
+            door.close()
+
+    def test_separator_cannot_be_smuggled(self, tmp_path, backend):
+        door = Door(tmp_path, backend=backend)
+        try:
+            with door.client() as client:
+                with pytest.raises(ServerError) as excinfo:
+                    client.call("create_topic", topic="beta::app")
+                assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+        finally:
+            door.close()

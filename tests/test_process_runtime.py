@@ -158,13 +158,27 @@ class TestProcessLifecycle:
                 assert service.topic(topic).topic.high_watermark == 120
                 assert service.topic_stats(topic)["n_records"] == 120.0
 
-    def test_topic_created_after_start_is_rejected(self, tmp_path):
+    def test_topic_created_behind_runtimes_back_is_rejected(self, tmp_path):
+        # Creating a topic directly on the parent service does not teach
+        # the shard workers about it — only runtime.create_topic does.
         service = build_service(tmp_path)
         runtime = service.sharded_runtime(backend="process", n_shards=1)
         with runtime:
             service.create_topic("latecomer")
-            with pytest.raises(KeyError, match="created after"):
+            with pytest.raises(KeyError, match="not registered"):
                 runtime.submit("latecomer", "too late", 0.0)
+
+    def test_dynamic_topic_via_create_topic(self, tmp_path):
+        service = build_service(tmp_path)
+        runtime = service.sharded_runtime(backend="process", n_shards=2)
+        with runtime:
+            runtime.create_topic("latecomer")
+            runtime.create_topic("latecomer")  # idempotent
+            for i in range(40):
+                runtime.submit("latecomer", raw_line("latecomer", i), float(i))
+            runtime.drain()
+            assert service.topic("latecomer").topic.high_watermark == 40
+            assert service.topic_stats("latecomer")["n_records"] == 40.0
 
     def test_child_spec_carries_incarnation(self, tmp_path):
         # The stale-reply filter hinges on every spawn bumping the

@@ -1,0 +1,191 @@
+"""Idempotent producer sessions: WAL frame marks, runtime barriers, dedup.
+
+The exactly-once contract under test: a sessioned wire batch's records
+and its ``(producer_key, batch_seq)`` dedup mark land in **one** WAL
+frame, so frame-CRC atomicity makes "mark durable" equivalent to "all
+its records durable".  Recovery and replication restore dedup state
+together with the data; a replayed batch is acked as a no-op, never
+re-applied.  Old version-1 segments (``BBWAL001``, written before the
+frame-version bump) must still recover — they simply carry no marks.
+"""
+
+import zlib
+
+import pytest
+
+from repro.core.config import ByteBrainConfig
+from repro.service import wal as wal_mod
+from repro.service.recovery import RecoveredRuntime
+from repro.service.runtime import create_runtime
+from repro.service.service import LogParsingService
+from repro.service.wal import WalRecord, WriteAheadLog
+
+
+def _drain_and_close(runtime):
+    runtime.drain()
+    runtime.shutdown(drain=False)
+
+
+# --------------------------------------------------------------------- #
+# Frame-level marks
+# --------------------------------------------------------------------- #
+
+
+class TestFrameMarks:
+    def test_marks_round_trip_in_the_records_frame(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        shard = wal.shard(0)
+        shard.append(
+            [WalRecord("t", 1, 1.0, "a"), WalRecord("t", 2, 1.0, "b")],
+            session=[("alpha::p1", 7)],
+        )
+        shard.close()
+
+        by_topic, infos = WriteAheadLog(tmp_path).replay_records()
+        assert [r.raw for r in by_topic["t"]] == ["a", "b"]
+        assert len(infos) == 1
+        assert infos[0].version == 2
+        assert infos[0].producer_marks == {"alpha::p1": 7}
+
+    def test_mark_without_records_is_a_valid_frame(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        shard = wal.shard(0)
+        shard.append([], session=[("alpha::p1", 3)])
+        shard.close()
+        _, infos = WriteAheadLog(tmp_path).replay_records()
+        assert infos[0].producer_marks == {"alpha::p1": 3}
+
+    def test_segment_max_merges_marks_across_frames(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        shard = wal.shard(0)
+        shard.append([WalRecord("t", 1, 1.0, "a")], session=[("k", 1)])
+        shard.append([WalRecord("t", 2, 1.0, "b")], session=[("k", 2)])
+        shard.close()
+        _, infos = WriteAheadLog(tmp_path).replay_records()
+        assert infos[0].producer_marks == {"k": 2}
+
+    def test_sessions_checkpoint_survives_truncation(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.record_producer_marks({"alpha::p1": 9})
+        wal.close()
+        assert WriteAheadLog(tmp_path).producer_marks() == {"alpha::p1": 9}
+
+
+# --------------------------------------------------------------------- #
+# Version-1 segment compatibility
+# --------------------------------------------------------------------- #
+
+
+def _write_v1_segment(path, records):
+    """Hand-craft a pre-version-bump (BBWAL001) segment file."""
+    parts = [wal_mod._MAGIC]
+    payload_parts = [wal_mod._COUNT.pack(len(records))]
+    for topic, seq, timestamp, raw in records:
+        topic_bytes = topic.encode()
+        raw_bytes = raw.encode()
+        payload_parts.append(wal_mod._RECORD_HEAD.pack(len(topic_bytes)))
+        payload_parts.append(topic_bytes)
+        payload_parts.append(wal_mod._RECORD_BODY.pack(seq, timestamp))
+        payload_parts.append(wal_mod._RECORD_RAW.pack(len(raw_bytes)))
+        payload_parts.append(raw_bytes)
+    payload = b"".join(payload_parts)
+    parts.append(wal_mod._FRAME_HEADER.pack(len(payload), zlib.crc32(payload)))
+    parts.append(payload)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"".join(parts))
+
+
+class TestV1Compatibility:
+    def test_v1_segment_replays(self, tmp_path):
+        _write_v1_segment(
+            tmp_path / "shard-00" / "segment-00000000.wal",
+            [("t", 1, 1.0, "old a"), ("t", 2, 1.0, "old b")],
+        )
+        by_topic, infos = WriteAheadLog(tmp_path).replay_records()
+        assert [r.raw for r in by_topic["t"]] == ["old a", "old b"]
+        assert infos[0].version == 1
+        assert infos[0].producer_marks == {}
+
+    def test_v1_segment_recovers_through_the_full_stack(self, tmp_path):
+        _write_v1_segment(
+            tmp_path / "wal" / "shard-00" / "segment-00000000.wal",
+            [("app", i + 1, 1.0, f"legacy record {i}") for i in range(20)],
+        )
+        with RecoveredRuntime.open(tmp_path / "store", tmp_path / "wal") as rec:
+            assert rec.report.producer_marks == {}
+            topic = {t.topic: t for t in rec.report.topics}["app"]
+            assert topic.replayed_records == 20
+            rec.runtime.drain()
+            assert rec.service.topic("app").topic.high_watermark == 20
+
+    def test_v1_and_v2_segments_mix_in_one_replay(self, tmp_path):
+        _write_v1_segment(
+            tmp_path / "shard-00" / "segment-00000000.wal",
+            [("t", 1, 1.0, "v1 rec")],
+        )
+        wal = WriteAheadLog(tmp_path)
+        # A fresh process starts a fresh (v2) segment in another shard dir.
+        wal.shard(1).append([WalRecord("t", 2, 2.0, "v2 rec")], session=[("k", 1)])
+        wal.close()
+        by_topic, infos = WriteAheadLog(tmp_path).replay_records()
+        assert [r.raw for r in by_topic["t"]] == ["v1 rec", "v2 rec"]
+        assert sorted(i.version for i in infos) == [1, 2]
+
+
+# --------------------------------------------------------------------- #
+# Runtime submit_session_batch — both backends
+# --------------------------------------------------------------------- #
+
+
+def _make_runtime(tmp_path, backend, n_shards=2):
+    config = ByteBrainConfig(n_shards=n_shards)
+    service = LogParsingService(config=config, store_root=tmp_path / "store")
+    service.create_topic("alpha::app")
+    runtime = create_runtime(service, backend=backend, wal_dir=tmp_path / "wal")
+    return service, runtime
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+class TestSubmitSessionBatch:
+    def test_records_and_mark_are_durable_together(self, tmp_path, backend):
+        service, runtime = _make_runtime(tmp_path, backend)
+        raws = [f"job {i} done" for i in range(10)]
+        try:
+            n = runtime.submit_session_batch(
+                "alpha::app", raws, [1.0] * 10, "alpha::p1", 1
+            )
+            assert n == 10
+            assert runtime.producer_marks() == {"alpha::p1": 1}
+            _drain_and_close(runtime)
+        except BaseException:
+            runtime.shutdown(drain=False)
+            raise
+
+        # Recovery restores records AND the mark from the same frames.
+        with RecoveredRuntime.open(tmp_path / "store", tmp_path / "wal") as rec:
+            assert rec.report.producer_marks == {"alpha::p1": 1}
+            assert rec.runtime.producer_marks()["alpha::p1"] == 1
+            rec.runtime.drain()
+            assert rec.service.topic("alpha::app").topic.high_watermark == 10
+
+    def test_empty_batch_still_advances_the_mark(self, tmp_path, backend):
+        service, runtime = _make_runtime(tmp_path, backend)
+        try:
+            assert runtime.submit_session_batch(
+                "alpha::app", [], [], "alpha::p1", 4
+            ) == 0
+            assert runtime.producer_marks() == {"alpha::p1": 4}
+        finally:
+            _drain_and_close(runtime)
+
+    def test_marks_survive_checkpoint_truncation(self, tmp_path, backend):
+        service, runtime = _make_runtime(tmp_path, backend)
+        try:
+            for seq in range(1, 4):
+                runtime.submit_session_batch(
+                    "alpha::app", [f"r{seq}"], [float(seq)], "alpha::p1", seq
+                )
+            runtime.drain()  # drain checkpoints marks before truncating
+        finally:
+            runtime.shutdown(drain=False)
+        assert WriteAheadLog(tmp_path / "wal").producer_marks() == {"alpha::p1": 3}

@@ -1,0 +1,205 @@
+"""Wire-frame abuse: byte-level fuzz against a live server socket.
+
+The TCP mirror of ``tests/test_wal_torn_tail.py``: where that suite
+truncates and flips bytes in WAL segments and demands recovery either
+replays cleanly or raises, this one truncates and flips bytes in
+*protocol frames* mid-stream and demands the server (a) answers with a
+loud protocol error or hangs up — never applies a half-read frame or
+wedges — and (b) keeps serving well-formed clients afterwards.  The
+abuse matrix:
+
+* frames torn at **every** byte offset (the sender vanishes mid-frame),
+* a batch frame with each byte flipped in turn (header-length prefix,
+  JSON header, binary payload),
+* length prefixes claiming more than the advertised frame cap,
+* every undefined frame-kind byte,
+* seeded random garbage streams.
+
+Marked slow: run by the CI chaos job, not the unit step.
+"""
+
+import random
+import socket
+import struct
+
+import pytest
+
+from repro.core.config import ByteBrainConfig
+from repro.service import protocol
+from repro.service.client import ServiceClient
+from repro.service.runtime import create_runtime
+from repro.service.server import LogServer, build_tenant_specs, qualify_topic, run_server_in_thread
+from repro.service.service import LogParsingService
+from repro.service.transport import BatchSection, encode_record_batch
+
+pytestmark = pytest.mark.slow
+
+_HEADER = struct.Struct("<IB")
+
+
+@pytest.fixture(scope="module")
+def door(tmp_path_factory):
+    """One server shared by the whole fuzz matrix (hundreds of connects)."""
+    root = tmp_path_factory.mktemp("fuzz")
+    config = ByteBrainConfig(n_shards=2)
+    service = LogParsingService(config=config, store_root=root / "store")
+    tenants = build_tenant_specs([{"name": "alpha", "topics": ["app"]}])
+    for spec, topics in tenants:
+        for topic in topics:
+            service.create_topic(qualify_topic(spec.name, topic))
+    runtime = create_runtime(service, wal_dir=root / "wal")
+    server = LogServer(service, runtime, tenants, config=config)
+    thread, stop = run_server_in_thread(server)
+    holder = type("Door", (), {"server": server, "port": server.port,
+                               "config": config})()
+    yield holder
+    stop()
+    runtime.shutdown(drain=False)
+
+
+def _poke(port, payload, timeout=10.0):
+    """Send raw bytes; return ("error", code) / ("ok",) / ("closed",).
+
+    "Hangs" surface as socket timeouts and fail the test: whatever the
+    server does with garbage, it must do it promptly.
+    """
+    sock = socket.create_connection(("127.0.0.1", port), timeout=timeout)
+    try:
+        sock.sendall(payload)
+        sock.shutdown(socket.SHUT_WR)  # sender vanishes after the bytes
+        rfile = sock.makefile("rb")
+        try:
+            kind, body = protocol.read_frame_sync(rfile, 1 << 26)
+        except (protocol.FrameError, ConnectionError, OSError, ValueError):
+            return ("closed",)
+        if kind == -1:
+            return ("closed",)
+        response = protocol.decode_json_body(body)
+        if response.get("ok"):
+            return ("ok",)
+        return ("error", response.get("error"))
+    finally:
+        sock.close()
+
+
+def _assert_healthy(door):
+    with ServiceClient("127.0.0.1", door.port, "alpha") as client:
+        assert client.call("ping")["pong"] is True
+
+
+def _batch_frame():
+    section = BatchSection(topic="app", first_seq=0,
+                           timestamps=[1.0, 2.0], raws=["fuzz a", "fuzz b"])
+    return protocol.encode_batch_frame({"id": 7}, encode_record_batch([section]))
+
+
+class TestTornFrames:
+    def test_json_frame_torn_at_every_offset(self, door):
+        frame = protocol.encode_json_frame({"id": 1, "op": "ping"})
+        for cut in range(1, len(frame)):
+            outcome = _poke(door.port, frame[:cut])
+            # A torn frame can only end in silence (short read) — the
+            # server must never answer a half-frame as if it parsed.
+            assert outcome == ("closed",), (
+                f"cut at byte {cut}: server answered a torn frame: {outcome}"
+            )
+        _assert_healthy(door)
+
+    def test_batch_frame_torn_at_sampled_offsets(self, door):
+        frame = _batch_frame()
+        rng = random.Random(0xF0221)
+        cuts = sorted(rng.sample(range(1, len(frame)), min(64, len(frame) - 1)))
+        for cut in cuts:
+            outcome = _poke(door.port, frame[:cut])
+            assert outcome == ("closed",), (
+                f"cut at byte {cut}: torn batch frame was answered: {outcome}"
+            )
+        _assert_healthy(door)
+        # Nothing from any torn frame was applied.
+        with ServiceClient("127.0.0.1", door.port, "alpha") as client:
+            client.drain()
+            assert int(client.topic_stats("app")["n_records"]) == 0
+
+
+class TestFlippedBytes:
+    def test_batch_frame_with_each_byte_flipped(self, door):
+        """Flip every byte of a batch frame in turn.
+
+        There is deliberately no application-level CRC on the wire (TCP
+        already checksums the stream; the WAL adds CRCs where bytes
+        *rest*), so a flip inside the float timestamps or the raw text
+        may still decode — that is fine.  What must never happen: a
+        hang, a server death, or a record count that exceeds what one
+        frame could carry.
+        """
+        frame = bytearray(_batch_frame())
+        applied_budget = 0
+        for position in range(len(frame)):
+            mutated = bytes(frame[:position]) + bytes([frame[position] ^ 0xFF]) \
+                + bytes(frame[position + 1:])
+            outcome = _poke(door.port, mutated)
+            assert outcome[0] in ("ok", "error", "closed"), outcome
+            if outcome[0] == "ok":
+                applied_budget += 2  # the frame's two records, at most
+        _assert_healthy(door)
+        with ServiceClient("127.0.0.1", door.port, "alpha") as client:
+            client.drain()
+            stored = int(client.topic_stats("app")["n_records"])
+            assert stored <= applied_budget, (
+                f"{stored} records stored but only {applied_budget} were acked"
+            )
+
+    def test_flipped_kind_byte_is_rejected(self, door):
+        frame = protocol.encode_json_frame({"id": 1, "op": "ping"})
+        for kind in (2, 3, 17, 128, 255):
+            mutated = frame[:4] + bytes([kind]) + frame[5:]
+            outcome = _poke(door.port, mutated)
+            assert outcome[0] in ("error", "closed"), (
+                f"kind {kind}: {outcome}"
+            )
+        _assert_healthy(door)
+
+
+class TestHostileLengths:
+    def test_oversized_length_prefix_is_refused_loudly(self, door):
+        cap = door.config.server_max_frame_bytes
+        for length in (cap + 1, cap * 2, 0xFFFFFFFF):
+            outcome = _poke(door.port, _HEADER.pack(length, protocol.KIND_JSON))
+            assert outcome in (("error", protocol.ERR_FRAME_TOO_LARGE),
+                               ("closed",)), f"length {length}: {outcome}"
+        _assert_healthy(door)
+
+    def test_batch_header_length_beyond_body_is_bad_request(self, door):
+        # The inner header_len prefix promises more bytes than the body has.
+        body = struct.pack("<I", 1 << 20) + b"{}"
+        outcome = _poke(door.port, protocol.encode_frame(protocol.KIND_BATCH, body))
+        assert outcome[0] in ("error", "closed")
+        _assert_healthy(door)
+
+    def test_empty_and_tiny_bodies(self, door):
+        for body in (b"", b"\x00", b"{}"):
+            for kind in (protocol.KIND_JSON, protocol.KIND_BATCH):
+                outcome = _poke(door.port, protocol.encode_frame(kind, body))
+                assert outcome[0] in ("error", "closed"), (kind, body, outcome)
+        _assert_healthy(door)
+
+
+class TestGarbageStreams:
+    def test_seeded_random_garbage_never_wedges(self, door):
+        rng = random.Random(0xBAD5EED)
+        for trial in range(32):
+            blob = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 512)))
+            outcome = _poke(door.port, blob)
+            assert outcome[0] in ("error", "closed"), (
+                f"trial {trial}: garbage was acknowledged: {outcome}"
+            )
+        _assert_healthy(door)
+
+    def test_good_frame_after_garbage_connection(self, door):
+        # Abuse and real traffic interleaved: each garbage connection is
+        # isolated — the next clean connection sees a pristine server.
+        frame = protocol.encode_json_frame({"id": 1, "op": "ping"})
+        _poke(door.port, b"\xde\xad\xbe\xef" * 8)
+        assert _poke(door.port, frame) == ("ok",)
+        _poke(door.port, frame[: len(frame) // 2])
+        assert _poke(door.port, frame) == ("ok",)
